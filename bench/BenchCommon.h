@@ -1,0 +1,84 @@
+//===- bench/BenchCommon.h - shared benchmark harness helpers ---*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure/per-table benchmark binaries: machine
+/// construction, repeat-and-average timing (the paper runs each point 3
+/// times), and result table emission (ASCII + CSV side files).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_BENCH_BENCHCOMMON_H
+#define LLSC_BENCH_BENCHCOMMON_H
+
+#include "core/Machine.h"
+#include "support/CommandLine.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace llsc {
+namespace bench {
+
+/// Builds a machine for benchmarking. HTM schemes use the software model
+/// by default for determinism; pass UseHwHtm to probe real RTM.
+inline std::unique_ptr<Machine>
+makeBenchMachine(SchemeKind Scheme, unsigned Threads, bool Profile = false,
+                 bool UseHwHtm = false, uint64_t MaxBlocksPerCpu = 0,
+                 double MaxSecondsPerCpu = 0) {
+  MachineConfig Config;
+  Config.Scheme = Scheme;
+  Config.NumThreads = Threads;
+  Config.MemBytes = 64ULL << 20;
+  Config.Profile = Profile;
+  Config.ForceSoftHtm = !UseHwHtm;
+  Config.MaxBlocksPerCpu = MaxBlocksPerCpu;
+  Config.MaxSecondsPerCpu = MaxSecondsPerCpu;
+  auto MachineOrErr = Machine::create(Config);
+  if (!MachineOrErr)
+    reportFatalError(MachineOrErr.error());
+  return MachineOrErr.take();
+}
+
+/// Runs \p Body \p Repeats times and returns the mean wall seconds of the
+/// RunResults it produces (the paper averages 3 runs per point).
+inline double
+averageSeconds(unsigned Repeats,
+               const std::function<ErrorOr<RunResult>()> &Body) {
+  double Sum = 0;
+  for (unsigned Rep = 0; Rep < Repeats; ++Rep) {
+    auto Result = Body();
+    if (!Result)
+      reportFatalError(Result.error());
+    Sum += Result->WallSeconds;
+  }
+  return Sum / Repeats;
+}
+
+/// Prints the table and writes a CSV next to the binary's cwd.
+inline void emitTable(const std::string &Title, const Table &Results,
+                      const std::string &CsvName) {
+  std::printf("\n== %s ==\n%s", Title.c_str(),
+              Results.renderAscii().c_str());
+  if (!CsvName.empty()) {
+    if (FILE *Csv = std::fopen(CsvName.c_str(), "w")) {
+      std::string Data = Results.renderCsv();
+      std::fwrite(Data.data(), 1, Data.size(), Csv);
+      std::fclose(Csv);
+      std::printf("(csv written to %s)\n", CsvName.c_str());
+    }
+  }
+}
+
+} // namespace bench
+} // namespace llsc
+
+#endif // LLSC_BENCH_BENCHCOMMON_H

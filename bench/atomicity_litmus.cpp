@@ -1,0 +1,49 @@
+//===- bench/atomicity_litmus.cpp - E2: Seq1-Seq4 classification matrix --------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Prints the Section IV-A matrix: for each scheme and each of the four
+/// basic execution sequences, whether the final SCa correctly failed.
+/// The paper's required outcome is "fail" everywhere; "SUCC" marks the
+/// ABA-prone holes (all four for PICO-CAS, Seq1 for HST-WEAK, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "workloads/Litmus.h"
+
+using namespace llsc;
+using namespace llsc::bench;
+using namespace llsc::workloads;
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("E2: atomicity litmus matrix (paper Section IV-A)");
+  Args.parse(Argc, Argv);
+
+  Table Results({"scheme", "Seq1 (S,S)", "Seq2 (LL/SC x2)", "Seq3 (SC,S)",
+                 "Seq4 (S,SC)", "classification"});
+
+  for (SchemeKind Kind : allSchemeKinds()) {
+    auto M = makeBenchMachine(Kind, 2);
+    auto DriverOrErr = LitmusDriver::create(*M);
+    if (!DriverOrErr)
+      reportFatalError(DriverOrErr.error());
+    LitmusDriver &Driver = *DriverOrErr;
+
+    std::vector<std::string> Row;
+    Row.push_back(schemeTraits(Kind).Name);
+    for (int Seq = 1; Seq <= 4; ++Seq) {
+      LitmusOutcome Outcome = runLitmusSequence(Driver, Seq);
+      Row.push_back(Outcome.ScaFailed ? "fail (ok)" : "SUCC (aba!)");
+    }
+    Row.push_back(measuredAtomicityName(classifyScheme(Driver)));
+    Results.addRow(std::move(Row));
+  }
+
+  emitTable("E2: Section IV-A sequences — the final SCa must fail",
+            Results, "atomicity_litmus.csv");
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- bench/fig10_scalability.cpp - E3: Fig. 10 scalability -------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Fig. 10: for HST, HST-WEAK, PST and PICO-ST (plus PICO-CAS
+/// as the incorrect-but-fast reference), run each PARSEC-like kernel at
+/// 1..N guest threads and report the speedup normalized to the scheme's
+/// own single-thread time, exactly as the paper plots it.
+///
+/// Host note (EXPERIMENTS.md): on a single-core host the guest threads
+/// time-share, so absolute speedups flatten near 1; the *relative*
+/// ordering of schemes — who adds per-event cost where — is the
+/// reproduced quantity, visible in the per-thread-count times.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "workloads/ParsecKernels.h"
+
+using namespace llsc;
+using namespace llsc::bench;
+using namespace llsc::workloads;
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("E3 / Fig. 10: scalability of HST, HST-WEAK, PST, PICO-ST");
+  int64_t *MaxThreads = Args.addInt("max-threads", 16, "largest thread count "
+                                                       "(doubling from 1)");
+  int64_t *Repeats = Args.addInt("repeats", 2, "runs per point");
+  std::string *OnlyKernel = Args.addString("kernel", "", "run one kernel");
+  std::string *OnlySchemes = Args.addString(
+      "schemes", "hst,hst-weak,pst,pico-st,pico-cas", "schemes to sweep");
+  double *Scale = nullptr;
+  int64_t *ScalePct = Args.addInt("scale-pct", 50,
+                                  "workload scale percentage");
+  Args.parse(Argc, Argv);
+  (void)Scale;
+
+  std::vector<SchemeKind> Schemes;
+  for (std::string_view Name : split(*OnlySchemes, ',')) {
+    auto Kind = parseSchemeName(Name);
+    if (!Kind)
+      reportFatalError("unknown scheme '" + std::string(Name) + "'");
+    Schemes.push_back(*Kind);
+  }
+
+  std::vector<unsigned> ThreadCounts;
+  for (unsigned T = 1; T <= static_cast<unsigned>(*MaxThreads); T *= 2)
+    ThreadCounts.push_back(T);
+
+  std::vector<std::string> Header{"kernel", "scheme"};
+  for (unsigned T : ThreadCounts)
+    Header.push_back(formatString("t=%u (s)", T));
+  for (unsigned T : ThreadCounts)
+    Header.push_back(formatString("speedup@%u", T));
+  Table Results(Header);
+
+  for (const KernelParams &Kernel : parsecKernels()) {
+    if (!OnlyKernel->empty() && !equalsLower(*OnlyKernel, Kernel.Name))
+      continue;
+    for (SchemeKind Kind : Schemes) {
+      std::vector<double> Seconds;
+      for (unsigned Threads : ThreadCounts) {
+        auto Prog = buildKernel(Kernel, *ScalePct / 100.0);
+        if (!Prog)
+          reportFatalError(Prog.error());
+        double Mean = averageSeconds(
+            static_cast<unsigned>(*Repeats), [&]() -> ErrorOr<RunResult> {
+              auto M = makeBenchMachine(Kind, Threads);
+              if (auto Loaded = M->loadProgram(*Prog); !Loaded)
+                return Loaded.error();
+              return M->run();
+            });
+        Seconds.push_back(Mean);
+        std::fprintf(stderr, "  %s/%s t=%u: %.3fs\n", Kernel.Name.c_str(),
+                     schemeTraits(Kind).Name, Threads, Mean);
+      }
+
+      std::vector<std::string> Row{Kernel.Name, schemeTraits(Kind).Name};
+      for (double S : Seconds)
+        Row.push_back(formatString("%.3f", S));
+      for (double S : Seconds)
+        Row.push_back(formatString("%.2f", Seconds.front() / S));
+      Results.addRow(std::move(Row));
+    }
+  }
+
+  emitTable("E3 / Fig. 10: per-scheme scalability "
+            "(speedup vs own single-thread time)",
+            Results, "fig10_scalability.csv");
+  return 0;
+}

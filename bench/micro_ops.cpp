@@ -1,0 +1,170 @@
+//===- bench/micro_ops.cpp - E9: primitive operation costs ----------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks for the primitive costs that explain
+/// the macro results: per-scheme LL+SC pair latency, plain-store hook
+/// latency (the cost PICO-ST pays 88x..3000x more often than LL/SC),
+/// exclusive-section round trips, page protect/unprotect, and the
+/// end-to-end interpreter throughput.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "mem/FaultGuard.h"
+#include "runtime/Exclusive.h"
+
+#include <benchmark/benchmark.h>
+#include <sys/mman.h>
+
+using namespace llsc;
+
+namespace {
+
+struct SchemeFixture {
+  std::unique_ptr<Machine> M;
+
+  explicit SchemeFixture(SchemeKind Kind) {
+    MachineConfig Config;
+    Config.Scheme = Kind;
+    Config.NumThreads = 2;
+    Config.MemBytes = 8ULL << 20;
+    Config.ForceSoftHtm = true;
+    M = Machine::create(Config).take();
+    auto Loaded = M->loadAssembly("_start: halt\n");
+    if (!Loaded)
+      reportFatalError(Loaded.error());
+    M->prepareRun();
+  }
+};
+
+void llscPair(benchmark::State &State, SchemeKind Kind) {
+  SchemeFixture Fixture(Kind);
+  AtomicScheme &Scheme = Fixture.M->scheme();
+  VCpu &Cpu = Fixture.M->cpu(0);
+  uint64_t Value = 0;
+  for (auto _ : State) {
+    Scheme.emulateLoadLink(Cpu, 0x4000, 4);
+    bool Ok = Scheme.emulateStoreCond(Cpu, 0x4000, ++Value, 4);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+
+void plainStore(benchmark::State &State, SchemeKind Kind) {
+  SchemeFixture Fixture(Kind);
+  AtomicScheme &Scheme = Fixture.M->scheme();
+  VCpu &Cpu = Fixture.M->cpu(0);
+  uint64_t Value = 0;
+  for (auto _ : State)
+    Scheme.storeHook(Cpu, 0x5000, ++Value, 8);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(llscPair, pico_cas, SchemeKind::PicoCas);
+BENCHMARK_CAPTURE(llscPair, pico_st, SchemeKind::PicoSt);
+BENCHMARK_CAPTURE(llscPair, hst, SchemeKind::Hst);
+BENCHMARK_CAPTURE(llscPair, hst_weak, SchemeKind::HstWeak);
+BENCHMARK_CAPTURE(llscPair, hst_htm, SchemeKind::HstHtm);
+BENCHMARK_CAPTURE(llscPair, pst, SchemeKind::Pst);
+BENCHMARK_CAPTURE(llscPair, pst_remap, SchemeKind::PstRemap);
+BENCHMARK_CAPTURE(llscPair, pst_mpk, SchemeKind::PstMpk);
+
+BENCHMARK_CAPTURE(plainStore, raw_default, SchemeKind::PicoCas);
+BENCHMARK_CAPTURE(plainStore, pico_st_helper, SchemeKind::PicoSt);
+BENCHMARK_CAPTURE(plainStore, pst_unmonitored, SchemeKind::Pst);
+BENCHMARK_CAPTURE(plainStore, pst_mpk_unarmed, SchemeKind::PstMpk);
+
+/// PST plain store hitting a monitored page (false sharing): one fault +
+/// slow path per store — Fig. 12's mprotect component per event.
+static void pstFalseSharingStore(benchmark::State &State) {
+  SchemeFixture Fixture(SchemeKind::Pst);
+  AtomicScheme &Scheme = Fixture.M->scheme();
+  VCpu &Monitor = Fixture.M->cpu(0);
+  VCpu &Storer = Fixture.M->cpu(1);
+  for (auto _ : State) {
+    State.PauseTiming();
+    Scheme.emulateLoadLink(Monitor, 0x6000, 4); // Protect the page.
+    State.ResumeTiming();
+    Scheme.storeHook(Storer, 0x6100, 1, 8); // Same page, different addr.
+    State.PauseTiming();
+    Scheme.emulateStoreCond(Monitor, 0x6000, 1, 4); // Release.
+    State.ResumeTiming();
+  }
+}
+BENCHMARK(pstFalseSharingStore);
+
+static void exclusiveSectionRoundTrip(benchmark::State &State) {
+  ExclusiveContext Excl;
+  for (auto _ : State) {
+    Excl.startExclusive(/*SelfRunning=*/false);
+    Excl.endExclusive(/*SelfRunning=*/false);
+  }
+}
+BENCHMARK(exclusiveSectionRoundTrip);
+
+static void mprotectToggle(benchmark::State &State) {
+  auto Mem = GuestMemory::create(1 << 20).take();
+  for (auto _ : State) {
+    Mem->protectPage(3, PROT_READ);
+    Mem->protectPage(3, PROT_READ | PROT_WRITE);
+  }
+}
+BENCHMARK(mprotectToggle);
+
+static void remapRoundTrip(benchmark::State &State) {
+  auto Mem = GuestMemory::create(1 << 20).take();
+  for (auto _ : State) {
+    Mem->remapPageAway(3);
+    Mem->remapPageBack(3, /*Writable=*/true);
+  }
+}
+BENCHMARK(remapRoundTrip);
+
+static void recoveredFaultCost(benchmark::State &State) {
+  auto Mem = GuestMemory::create(1 << 20).take();
+  Mem->protectPage(4, PROT_READ);
+  uint64_t Addr = 4 * Mem->pageSize();
+  for (auto _ : State) {
+    FaultResult Result = FaultGuard::tryStore(*Mem, Addr, 1, 8);
+    benchmark::DoNotOptimize(Result.Faulted);
+  }
+  Mem->protectPage(4, PROT_READ | PROT_WRITE);
+}
+BENCHMARK(recoveredFaultCost);
+
+/// End-to-end interpreter throughput: guest instructions per second on a
+/// pure ALU loop.
+static void interpreterThroughput(benchmark::State &State) {
+  MachineConfig Config;
+  Config.Scheme = SchemeKind::PicoCas;
+  Config.MemBytes = 8ULL << 20;
+  auto M = Machine::create(Config).take();
+  auto Loaded = M->loadAssembly(R"(
+_start: li      r2, #20000
+loop:   cbz     r2, done
+        addi    r1, r1, #3
+        eori    r1, r1, #0x55
+        lsri    r3, r1, #2
+        add     r1, r1, r3
+        addi    r2, r2, #-1
+        b       loop
+done:   halt
+)");
+  if (!Loaded)
+    reportFatalError(Loaded.error());
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    auto Result = M->run();
+    if (!Result)
+      reportFatalError(Result.error());
+    Insts += Result->Total.ExecutedInsts;
+  }
+  State.counters["guest_insts_per_s"] = benchmark::Counter(
+      static_cast<double>(Insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(interpreterThroughput);
+
+BENCHMARK_MAIN();

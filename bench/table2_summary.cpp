@@ -1,0 +1,62 @@
+//===- bench/table2_summary.cpp - E7: Table II qualitative summary -------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the paper's Table II (speed / atomicity / portability per
+/// scheme). The atomicity column is not read off a constant: it is
+/// *measured* by replaying the Section IV-A litmus sequences against each
+/// scheme and printed next to the claimed class so divergence is visible.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "workloads/Litmus.h"
+
+using namespace llsc;
+using namespace llsc::bench;
+using namespace llsc::workloads;
+
+namespace {
+
+const char *atomicityName(AtomicityClass Class) {
+  switch (Class) {
+  case AtomicityClass::Incorrect:
+    return "incorrect";
+  case AtomicityClass::Weak:
+    return "weak";
+  case AtomicityClass::Strong:
+    return "strong";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("E7: Table II scheme summary (claimed vs measured)");
+  Args.parse(Argc, Argv);
+
+  Table Results({"approach", "speed", "atomicity (claimed)",
+                 "atomicity (measured)", "portability"});
+
+  for (SchemeKind Kind : allSchemeKinds()) {
+    const SchemeTraits &Traits = schemeTraits(Kind);
+
+    auto M = makeBenchMachine(Kind, 2);
+    auto DriverOrErr = LitmusDriver::create(*M);
+    if (!DriverOrErr)
+      reportFatalError(DriverOrErr.error());
+    MeasuredAtomicity Measured = classifyScheme(*DriverOrErr);
+
+    Results.addRow({Traits.Name, Traits.Speed,
+                    atomicityName(Traits.Atomicity),
+                    measuredAtomicityName(Measured), Traits.Portability});
+  }
+
+  emitTable("E7 / Table II: approaches to LL/SC emulation", Results,
+            "table2_summary.csv");
+  return 0;
+}

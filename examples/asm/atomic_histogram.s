@@ -1,0 +1,31 @@
+; atomic_histogram.s — threads bin pseudo-random values into a shared
+; histogram with LL/SC fetch-add loops (the Section VI idiom; try
+; --rule-based to translate them to host atomics):
+;   llsc-run --threads 4 --rule-based examples/asm/atomic_histogram.s \
+;            --dump sym=hist,len=64
+_start:
+        la      r10, hist
+        addi    r8, r0, #1      ; lcg state, seeded by tid
+        li      r7, #0x9e3779b97f4a7c15
+        mul     r8, r8, r7
+        li      r11, #0x5851f42d4c957f2d
+        li      r12, #0x14057b7ef767814f
+        li      r9, #20000
+loop:   cbz     r9, done
+        mul     r8, r8, r11     ; advance lcg
+        add     r8, r8, r12
+        lsri    r1, r8, #59     ; top bits -> bin 0..15... use 3 bits
+        andi    r1, r1, #7      ; 8 bins
+        lsli    r1, r1, #2
+        add     r1, r10, r1     ; &hist[bin]
+        movz    r2, #1
+; atomic fetch-add idiom (recognized by the rule-based pass)
+retry:  ldxr.w  r3, [r1]
+        add     r5, r3, r2
+        stxr.w  r6, r5, [r1]
+        cbnz    r6, retry
+        addi    r9, r9, #-1
+        b       loop
+done:   halt
+        .align  4096
+hist:   .space  32

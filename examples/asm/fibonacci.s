@@ -1,0 +1,17 @@
+; fibonacci.s — compute fib(40) iteratively into `result`
+;   llsc-run examples/asm/fibonacci.s --dump sym=result,len=8
+_start:
+        movz    r1, #0          ; a
+        movz    r2, #1          ; b
+        movz    r3, #40         ; n
+loop:   cbz     r3, done
+        add     r4, r1, r2
+        mov     r1, r2
+        mov     r2, r4
+        addi    r3, r3, #-1
+        b       loop
+done:   la      r5, result
+        std     r1, [r5]
+        halt
+        .align  8
+result: .quad   0

@@ -1,0 +1,33 @@
+; spinlock_counter.s — N threads increment a counter under an LL/SC
+; spin lock; run with e.g.:
+;   llsc-run --threads 8 --scheme hst examples/asm/spinlock_counter.s \
+;            --dump sym=counter,len=8
+_start:
+        la      r10, lock
+        la      r11, counter
+        li      r9, #5000
+loop:   cbz     r9, done
+; acquire
+acq:    ldxr.w  r1, [r10]
+        cbnz    r1, wait
+        movz    r1, #1
+        stxr.w  r2, r1, [r10]
+        cbnz    r2, acq
+        dmb
+; critical section: non-atomic increment (safe only under the lock)
+        ldd     r3, [r11]
+        addi    r3, r3, #1
+        std     r3, [r11]
+; release (plain store: lock-owner convention, see HST-WEAK)
+        dmb
+        movz    r1, #0
+        stw     r1, [r10]
+        addi    r9, r9, #-1
+        b       loop
+wait:   yield
+        b       acq
+done:   halt
+        .align  4096
+lock:   .word   0
+        .align  64
+counter: .quad  0

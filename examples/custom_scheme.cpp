@@ -1,0 +1,179 @@
+//===- examples/custom_scheme.cpp - plugging in your own scheme -----------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Shows the extension surface: implement AtomicScheme yourself and drive
+/// the engine with it. The example scheme is a deliberately naive
+/// "global-lock" emulation — every LL/SC pair serializes on one mutex —
+/// which is trivially correct (strong atomicity among LL/SC and, because
+/// plain stores are also routed through the lock, against stores too) but
+/// scales terribly; the demo compares it against HST on the litmus
+/// sequences and a contended counter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "mem/GuestMemory.h"
+#include "workloads/Litmus.h"
+
+#include <cstdio>
+#include <mutex>
+
+using namespace llsc;
+using namespace llsc::workloads;
+
+namespace {
+
+/// A user-defined scheme: one global mutex serializes LL/SC and stores.
+/// Monitors are per-thread; any other thread's store or SC to the
+/// monitored range breaks the monitor — like PICO-ST with the simplest
+/// possible data structure.
+class GlobalLockScheme final : public AtomicScheme {
+public:
+  const SchemeTraits &traits() const override {
+    static SchemeTraits Traits = {SchemeKind::PicoSt, // Closest kind.
+                                  "global-lock", AtomicityClass::Strong,
+                                  "slow", false, "portable"};
+    return Traits;
+  }
+
+  void attach(MachineContext &Ctx) override {
+    AtomicScheme::attach(Ctx);
+    Monitors.assign(Ctx.NumThreads, Monitor());
+  }
+
+  void reset() override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (Monitor &Mon : Monitors)
+      Mon.Valid = false;
+  }
+
+  bool storesViaHelper() const override { return true; }
+
+  uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Monitors[Cpu.Tid] = {true, Addr, Size};
+    uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
+    Cpu.Monitor.arm(Addr, Value, Size);
+    return Value;
+  }
+
+  bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                        unsigned Size) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Monitor &Own = Monitors[Cpu.Tid];
+    bool Ok = Own.Valid && Own.Addr == Addr && Own.Size == Size;
+    if (Ok) {
+      breakOverlapping(Addr, Size, Monitors.size());
+      Ctx->Mem->shadowStore(Addr, Value, Size);
+    }
+    Own.Valid = false;
+    Cpu.Monitor.clear();
+    return Ok;
+  }
+
+  void clearExclusive(VCpu &Cpu) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Monitors[Cpu.Tid].Valid = false;
+    Cpu.Monitor.clear();
+  }
+
+  void storeHook(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                 unsigned Size) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    breakOverlapping(Addr, Size, Cpu.Tid);
+    Ctx->Mem->shadowStore(Addr, Value, Size);
+  }
+
+private:
+  struct Monitor {
+    bool Valid = false;
+    uint64_t Addr = 0;
+    unsigned Size = 0;
+  };
+
+  void breakOverlapping(uint64_t Addr, unsigned Size, size_t ExcludeTid) {
+    for (size_t Tid = 0; Tid < Monitors.size(); ++Tid) {
+      if (Tid == ExcludeTid)
+        continue;
+      Monitor &Mon = Monitors[Tid];
+      if (Mon.Valid && Mon.Addr < Addr + Size && Addr < Mon.Addr + Mon.Size)
+        Mon.Valid = false;
+    }
+  }
+
+  std::mutex Mutex;
+  std::vector<Monitor> Monitors;
+};
+
+const char *CounterProgram = R"(
+_start:
+        la      r1, counter
+        li      r4, #5000
+loop:   cbz     r4, done
+retry:  ldxr.w  r2, [r1]
+        addi    r2, r2, #1
+        stxr.w  r3, r2, [r1]
+        cbnz    r3, retry
+        addi    r4, r4, #-1
+        b       loop
+done:   halt
+        .align 4096
+counter: .word 0
+)";
+
+} // namespace
+
+int main() {
+  // A Machine owns its scheme via the factory; to run a *custom* scheme
+  // we build a machine and swap the scheme interface the engine sees.
+  // The supported way is the MachineContext: schemes are attached to it,
+  // so we construct the machine pieces with the library API directly.
+  MachineConfig Config;
+  Config.Scheme = SchemeKind::Hst; // Placeholder; replaced below.
+  Config.NumThreads = 4;
+  Config.MemBytes = 32ULL << 20;
+
+  auto MachineOrErr = Machine::create(Config);
+  if (!MachineOrErr) {
+    std::fprintf(stderr, "error: %s\n",
+                 MachineOrErr.error().render().c_str());
+    return 1;
+  }
+  Machine &M = **MachineOrErr;
+
+  // Plug in the custom scheme: the engine dispatches LL/SC/stores to it
+  // and the translator consults its TranslationHooks (storesViaHelper).
+  GlobalLockScheme Custom;
+  M.setCustomScheme(Custom);
+
+  if (auto Loaded = M.loadAssembly(CounterProgram); !Loaded) {
+    std::fprintf(stderr, "error: %s\n", Loaded.error().render().c_str());
+    return 1;
+  }
+
+  auto Result = M.run();
+  if (!Result) {
+    std::fprintf(stderr, "error: %s\n", Result.error().render().c_str());
+    return 1;
+  }
+  uint64_t Counter =
+      M.mem().shadowLoad(M.program().requiredSymbol("counter"), 4);
+  std::printf("custom global-lock scheme: counter = %llu (expected %u) "
+              "in %.3f s\n",
+              static_cast<unsigned long long>(Counter), 4u * 5000u,
+              Result->WallSeconds);
+
+  // Classify the custom scheme with the paper's litmus sequences.
+  auto DriverOrErr = LitmusDriver::create(M);
+  if (!DriverOrErr) {
+    std::fprintf(stderr, "error: %s\n",
+                 DriverOrErr.error().render().c_str());
+    return 1;
+  }
+  std::printf("litmus classification      : %s (expected strong)\n",
+              measuredAtomicityName(classifyScheme(*DriverOrErr)));
+  return Counter == 4 * 5000 ? 0 : 1;
+}

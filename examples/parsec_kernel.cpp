@@ -1,0 +1,115 @@
+//===- examples/parsec_kernel.cpp - run a PARSEC-like kernel --------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Runs one of the eight PARSEC-like kernels under any scheme, printing
+/// the measured instruction mix (Table I style) and timing. Useful for
+/// exploring how each scheme's cost reacts to a workload's store:LL/SC
+/// ratio:
+///
+///   $ ./parsec_kernel --kernel blackscholes --scheme pico-st --threads 8
+///   $ ./parsec_kernel --kernel fluidanimate --scheme hst --threads 8
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "support/CommandLine.h"
+#include "workloads/ParsecKernels.h"
+
+#include <cstdio>
+
+using namespace llsc;
+using namespace llsc::workloads;
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("parsec_kernel: run a synthetic PARSEC kernel");
+  std::string *KernelName = Args.addString("kernel", "swaptions", "kernel");
+  std::string *SchemeName = Args.addString("scheme", "hst", "scheme");
+  int64_t *Threads = Args.addInt("threads", 4, "guest threads");
+  int64_t *ScalePct = Args.addInt("scale-pct", 100, "workload scale %");
+  bool *List = Args.addBool("list", false, "list kernels and exit");
+  Args.parse(Argc, Argv);
+
+  if (*List) {
+    std::printf("available kernels:\n");
+    for (const KernelParams &Params : parsecKernels())
+      std::printf("  %-14s %llu iters, %u locks/iter, %u adds/iter, "
+                  "barrier every %u%s\n",
+                  Params.Name.c_str(),
+                  static_cast<unsigned long long>(Params.OuterIters),
+                  Params.LockedSections, Params.SharedAtomicAdds,
+                  Params.BarrierEvery,
+                  Params.SerialSection ? ", serial section" : "");
+    return 0;
+  }
+
+  const KernelParams *Kernel = findKernel(*KernelName);
+  if (!Kernel) {
+    std::fprintf(stderr, "unknown kernel '%s' (try --list)\n",
+                 KernelName->c_str());
+    return 1;
+  }
+  auto Kind = parseSchemeName(*SchemeName);
+  if (!Kind) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", SchemeName->c_str());
+    return 1;
+  }
+
+  MachineConfig Config;
+  Config.Scheme = *Kind;
+  Config.NumThreads = static_cast<unsigned>(*Threads);
+  Config.MemBytes = 64ULL << 20;
+  Config.ForceSoftHtm = true;
+  auto MachineOrErr = Machine::create(Config);
+  if (!MachineOrErr) {
+    std::fprintf(stderr, "error: %s\n",
+                 MachineOrErr.error().render().c_str());
+    return 1;
+  }
+  Machine &M = **MachineOrErr;
+
+  auto Prog = buildKernel(*Kernel, *ScalePct / 100.0);
+  if (!Prog) {
+    std::fprintf(stderr, "error: %s\n", Prog.error().render().c_str());
+    return 1;
+  }
+  if (auto Loaded = M.loadProgram(*Prog); !Loaded) {
+    std::fprintf(stderr, "error: %s\n", Loaded.error().render().c_str());
+    return 1;
+  }
+
+  auto Result = M.run();
+  if (!Result) {
+    std::fprintf(stderr, "error: %s\n", Result.error().render().c_str());
+    return 1;
+  }
+
+  const CpuCounters &Counters = Result->Total;
+  double Ratio = Counters.LoadLinks
+                     ? static_cast<double>(Counters.Stores) /
+                           static_cast<double>(Counters.LoadLinks)
+                     : 0;
+  std::printf("kernel '%s' under %s, %u threads:\n", Kernel->Name.c_str(),
+              schemeTraits(*Kind).Name, M.numThreads());
+  std::printf("  wall time        : %.3f s\n", Result->WallSeconds);
+  std::printf("  guest insts      : %llu (%.1f M/s)\n",
+              static_cast<unsigned long long>(Counters.ExecutedInsts),
+              static_cast<double>(Counters.ExecutedInsts) /
+                  Result->WallSeconds * 1e-6);
+  std::printf("  loads / stores   : %llu / %llu\n",
+              static_cast<unsigned long long>(Counters.Loads),
+              static_cast<unsigned long long>(Counters.Stores));
+  std::printf("  LL/SC pairs      : %llu (stores per pair: %.0f)\n",
+              static_cast<unsigned long long>(Counters.LoadLinks), Ratio);
+  std::printf("  SC failures      : %llu\n",
+              static_cast<unsigned long long>(Counters.StoreCondFailures));
+  std::printf("  exclusive sects  : %llu\n",
+              static_cast<unsigned long long>(Result->ExclusiveSections));
+  std::printf("  recovered faults : %llu (%llu false sharing)\n",
+              static_cast<unsigned long long>(
+                  Counters.PageFaultsRecovered),
+              static_cast<unsigned long long>(Counters.FalseSharingFaults));
+  return 0;
+}

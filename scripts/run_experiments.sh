@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs every paper experiment (E1..E9) sequentially and collects outputs
+# under results/. Pass --quick for a reduced-scale smoke pass.
+set -u
+BUILD=${BUILD:-build}
+OUT=${OUT:-results}
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+mkdir -p "$OUT"
+cd "$OUT"
+
+run() {
+  local name="$1"; shift
+  echo "==== $name ===="
+  "../$BUILD/bench/$@" 2>&1 | tee "$name.txt"
+}
+
+if [ "$QUICK" = 1 ]; then
+  run e1_aba aba_correctness --threads 8 --iters 2000 --repeats 1
+  run e2_litmus atomicity_litmus
+  run e3_fig10 fig10_scalability --max-threads 4 --repeats 1 --scale-pct 20
+  run e4_fig11 fig11_htm --max-threads 8 --scale-pct 10
+  run e5_fig12 fig12_breakdown --max-threads 4 --scale-pct 20
+  run e6_table1 table1_profile --scale-pct 20
+  run e7_table2 table2_summary
+  run e8_headline headline_speedup --repeats 1 --scale-pct 20
+else
+  run e1_aba aba_correctness
+  run e2_litmus atomicity_litmus
+  run e3_fig10 fig10_scalability
+  run e4_fig11 fig11_htm
+  run e5_fig12 fig12_breakdown
+  run e6_table1 table1_profile
+  run e7_table2 table2_summary
+  run e8_headline headline_speedup
+fi
+echo "==== e9_micro ===="
+"../$BUILD/bench/micro_ops" --benchmark_min_time=0.2 2>&1 | tee e9_micro.txt
+echo "done; outputs in $OUT/"

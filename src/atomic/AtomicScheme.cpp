@@ -1,0 +1,86 @@
+//===- atomic/AtomicScheme.cpp - Scheme interface and registry ---------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "atomic/AtomicScheme.h"
+
+#include "mem/GuestMemory.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace llsc;
+
+AtomicScheme::~AtomicScheme() = default;
+
+void AtomicScheme::storeHook(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                             unsigned Size) {
+  // Default: a plain store straight to guest memory.
+  Ctx->Mem->store(Addr, Value, Size);
+}
+
+uint64_t AtomicScheme::loadHook(VCpu &Cpu, uint64_t Addr, unsigned Size) {
+  return Ctx->Mem->load(Addr, Size);
+}
+
+namespace {
+
+constexpr SchemeTraits TraitsTable[] = {
+    {SchemeKind::PicoCas, "pico-cas", AtomicityClass::Incorrect, "fast",
+     false, "portable"},
+    {SchemeKind::PicoSt, "pico-st", AtomicityClass::Strong, "slow", false,
+     "portable"},
+    {SchemeKind::PicoHtm, "pico-htm", AtomicityClass::Incorrect, "fast",
+     true, "HTM"},
+    {SchemeKind::Hst, "hst", AtomicityClass::Strong, "fast", false,
+     "portable"},
+    {SchemeKind::HstWeak, "hst-weak", AtomicityClass::Weak, "fast", false,
+     "portable"},
+    {SchemeKind::HstHtm, "hst-htm", AtomicityClass::Strong, "fast", true,
+     "HTM"},
+    {SchemeKind::HstHelper, "hst-helper", AtomicityClass::Strong, "slow",
+     false, "portable"},
+    {SchemeKind::Pst, "pst", AtomicityClass::Strong, "slow", false,
+     "portable"},
+    {SchemeKind::PstRemap, "pst-remap", AtomicityClass::Strong, "varies",
+     false, "portable"},
+    {SchemeKind::PstMpk, "pst-mpk", AtomicityClass::Strong, "fast", false,
+     "portable (emulated MPK)"},
+};
+
+} // namespace
+
+const SchemeTraits &llsc::schemeTraits(SchemeKind Kind) {
+  for (const SchemeTraits &Traits : TraitsTable)
+    if (Traits.Kind == Kind)
+      return Traits;
+  llsc_unreachable("unknown scheme kind");
+}
+
+const std::vector<SchemeKind> &llsc::allSchemeKinds() {
+  static const std::vector<SchemeKind> Kinds = [] {
+    std::vector<SchemeKind> Out;
+    for (const SchemeTraits &Traits : TraitsTable)
+      Out.push_back(Traits.Kind);
+    return Out;
+  }();
+  return Kinds;
+}
+
+std::optional<SchemeKind> llsc::parseSchemeName(std::string_view Name) {
+  for (const SchemeTraits &Traits : TraitsTable)
+    if (equalsLower(Name, Traits.Name))
+      return Traits.Kind;
+  // Accept underscore spellings too.
+  std::string Normalized = toLower(Name);
+  for (char &C : Normalized)
+    if (C == '_')
+      C = '-';
+  for (const SchemeTraits &Traits : TraitsTable)
+    if (Normalized == Traits.Name)
+      return Traits.Kind;
+  return std::nullopt;
+}

@@ -1,0 +1,174 @@
+//===- atomic/AtomicScheme.h - LL/SC emulation scheme interface -*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface every atomic-instruction emulation scheme implements.
+/// This is the design space the paper explores (Table II):
+///
+///   PICO-CAS  (QEMU 4.1)   fast    incorrect  portable
+///   PICO-ST                slow    strong     portable
+///   PICO-HTM               fast    incorrect* needs HTM (livelocks)
+///   HST                    fast    strong     portable      (paper's best)
+///   HST-WEAK               fast    weak       portable
+///   HST-HTM                fast    strong     needs HTM
+///   PST                    slow    strong     portable
+///   PST-REMAP              varies  strong     portable
+///
+/// A scheme participates at two times:
+///  - translate time, via ir::TranslationHooks — it decides whether plain
+///    stores/loads run raw, get inline IR instrumentation (HST), or are
+///    routed through runtime helpers (PICO-ST, PST, PST-REMAP);
+///  - run time, via emulateLoadLink/emulateStoreCond/storeHook/loadHook,
+///    invoked by the engine for the corresponding micro-ops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_ATOMIC_ATOMICSCHEME_H
+#define LLSC_ATOMIC_ATOMICSCHEME_H
+
+#include "ir/TranslationHooks.h"
+#include "runtime/VCpu.h"
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace llsc {
+
+class GuestMemory;
+class ExclusiveContext;
+class HtmRuntime;
+
+/// The schemes evaluated in the paper, plus the HST-HELPER ablation
+/// (HST's hash table updated through a helper call instead of inline IR,
+/// quantifying the paper's IR-inlining argument).
+enum class SchemeKind {
+  PicoCas,
+  PicoSt,
+  PicoHtm,
+  Hst,
+  HstWeak,
+  HstHtm,
+  HstHelper,
+  Pst,
+  PstRemap,
+  /// The paper's Discussion-section proposal (Section VI "Optimization
+  /// using Intel MPK") realized with emulated protection keys: per-key
+  /// monitor counts checked on the store path instead of kernel-global
+  /// mprotect — no syscalls, no stop-the-world, but only 15 usable keys,
+  /// so pages sharing a key false-share monitors.
+  PstMpk,
+};
+
+/// Atomicity classes in the sense of Section II-D.
+enum class AtomicityClass {
+  Incorrect, ///< May miss even LL/SC-vs-LL/SC conflicts (ABA-prone).
+  Weak,      ///< Catches LL/SC-vs-LL/SC conflicts, misses plain stores.
+  Strong,    ///< Catches conflicts from plain stores too.
+};
+
+/// Static description of a scheme (Table II row).
+struct SchemeTraits {
+  SchemeKind Kind;
+  const char *Name;
+  AtomicityClass Atomicity;
+  const char *Speed;       ///< Table II qualitative label.
+  bool RequiresHtm;
+  const char *Portability; ///< Table II qualitative label.
+};
+
+/// Abstract atomic-emulation scheme.
+class AtomicScheme : public ir::TranslationHooks {
+public:
+  ~AtomicScheme() override;
+
+  virtual const SchemeTraits &traits() const = 0;
+
+  /// Binds the scheme to a machine's services. Called once before any
+  /// execution; \p Ctx outlives the scheme's use.
+  virtual void attach(MachineContext &Ctx) { this->Ctx = &Ctx; }
+
+  /// Clears scheme-internal state (monitors, tables) between runs.
+  virtual void reset() {}
+
+  // --- Runtime hooks --------------------------------------------------------
+
+  /// Emulates LDXR: loads Size bytes at \p Addr and arms the monitor.
+  virtual uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr,
+                                   unsigned Size) = 0;
+
+  /// Emulates STXR. \returns true on success (the store happened).
+  virtual bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                                unsigned Size) = 0;
+
+  /// Emulates CLREX.
+  virtual void clearExclusive(VCpu &Cpu) { Cpu.Monitor.clear(); }
+
+  /// Executes a plain guest store when storesViaHelper() is true.
+  virtual void storeHook(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                         unsigned Size);
+
+  /// Executes a plain guest load when loadsViaHelper() is true.
+  /// \returns the zero-extended loaded value.
+  virtual uint64_t loadHook(VCpu &Cpu, uint64_t Addr, unsigned Size);
+
+  /// Called by the engine when \p Cpu stops executing (halt, budget
+  /// exhaustion, error). Schemes holding cross-instruction state — an
+  /// open PICO-HTM transaction or exclusive-fallback floor — must release
+  /// it here or parked sibling threads deadlock.
+  virtual void onCpuStopped(VCpu &Cpu) {}
+
+protected:
+  MachineContext *Ctx = nullptr;
+};
+
+/// Models the guest-context save/restore a QEMU-style JIT performs around
+/// every helper call — the "context switch to QEMU" Section II-B blames
+/// for PICO-ST's cost ("implemented as a helper function ... incurs
+/// extremely heavy runtime overheads"). Our interpreter reaches helpers
+/// through a plain virtual call, which would make helper-routed schemes
+/// unrealistically cheap relative to JIT-inlined instrumentation; schemes
+/// whose hot paths are genuine QEMU helpers (PICO-ST's store test, the
+/// HST-HELPER ablation) call this on helper entry. The cost is the real
+/// work a JIT does: spill all guest registers, reload them after.
+inline void simulateQemuHelperCall(VCpu &Cpu) {
+  volatile uint64_t *Spill = Cpu.HelperSpill;
+  for (unsigned Reg = 0; Reg < guest::NumGuestRegs; ++Reg)
+    Spill[Reg] = Cpu.Regs[Reg];
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  for (unsigned Reg = 0; Reg < guest::NumGuestRegs; ++Reg)
+    Cpu.Regs[Reg] = Spill[Reg];
+}
+
+/// \returns the traits row for \p Kind without instantiating a scheme.
+const SchemeTraits &schemeTraits(SchemeKind Kind);
+
+/// \returns all scheme kinds in Table II order.
+const std::vector<SchemeKind> &allSchemeKinds();
+
+/// Parses a scheme name ("hst", "pico-cas", "pst-remap", ...).
+std::optional<SchemeKind> parseSchemeName(std::string_view Name);
+
+/// Tunables shared by scheme constructors.
+struct SchemeConfig {
+  /// log2 of the HST hash table entry count (Figure 4's table).
+  unsigned HstTableLog2 = 20;
+  /// PICO-HTM retries before it falls back to blocking serialization
+  /// (the paper's PICO-HTM has no sound fallback and crashes; we record a
+  /// livelock-fallback event instead).
+  unsigned HtmMaxRetries = 64;
+};
+
+/// Creates a scheme instance. For the HTM-based kinds, \p Htm must be
+/// non-null (pass the machine's HtmRuntime).
+std::unique_ptr<AtomicScheme> createScheme(SchemeKind Kind,
+                                           const SchemeConfig &Config);
+
+} // namespace llsc
+
+#endif // LLSC_ATOMIC_ATOMICSCHEME_H

@@ -1,0 +1,142 @@
+//===- atomic/HstHtm.cpp - HST with HTM-backed SC (HST-HTM) -------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// HST-HTM (Section III-B, Figure 6): identical to HST except the SC
+/// critical section — hash-table check plus store — runs as an HTM
+/// transaction instead of a QEMU start/end_exclusive stop-the-world
+/// section. Crucially, and unlike PICO-HTM, the transaction covers *only*
+/// the SC emulation, never the translated code between LL and SC, so its
+/// footprint stays tiny and it keeps scaling where PICO-HTM livelocks
+/// (Fig. 11).
+///
+/// After repeated conflict aborts the SC falls back to the exclusive
+/// section, guaranteeing forward progress.
+///
+//===----------------------------------------------------------------------===//
+
+#include "atomic/AtomicScheme.h"
+#include "atomic/Schemes.h"
+
+#include "htm/Htm.h"
+#include "mem/GuestMemory.h"
+#include "runtime/Exclusive.h"
+#include "support/BitUtils.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+
+using namespace llsc;
+using namespace llsc::ir;
+
+namespace {
+
+class HstHtm final : public AtomicScheme {
+public:
+  explicit HstHtm(const SchemeConfig &Config)
+      : NumEntries(1ULL << Config.HstTableLog2), Mask(NumEntries - 1),
+        MaxRetries(Config.HtmMaxRetries),
+        Table(std::make_unique<std::atomic<uint32_t>[]>(NumEntries)) {
+    reset();
+  }
+
+  const SchemeTraits &traits() const override {
+    return schemeTraits(SchemeKind::HstHtm);
+  }
+
+  void attach(MachineContext &Ctx) override {
+    AtomicScheme::attach(Ctx);
+    Ctx.HstTable = Table.get();
+    Ctx.HstMask = Mask;
+  }
+
+  void reset() override {
+    for (uint64_t Index = 0; Index < NumEntries; ++Index)
+      Table[Index].store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t entryIndex(uint64_t Addr) const { return (Addr >> 2) & Mask; }
+  static uint32_t tagFor(unsigned Tid) { return Tid + 1; }
+
+  uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    Table[entryIndex(Addr)].store(tagFor(Cpu.Tid), std::memory_order_relaxed);
+    uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
+    Cpu.Monitor.arm(Addr, Value, Size);
+    return Value;
+  }
+
+  bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                        unsigned Size) override {
+    ExclusiveMonitor &Mon = Cpu.Monitor;
+    if (!Mon.valid() || Mon.Addr != Addr || Mon.Size != Size) {
+      Mon.clear();
+      return false;
+    }
+    assert(Ctx->Htm && "HST-HTM requires an HTM runtime");
+
+    bool Ok = false;
+    bool Done = false;
+    for (unsigned Attempt = 0; Attempt < MaxRetries && !Done; ++Attempt) {
+      TxStatus Status = Ctx->Htm->begin(Cpu.Tid, Addr);
+      if (Status != TxStatus::Started)
+        continue; // Conflict: retry the tiny transaction.
+      // Figure 6: HTM_xbegin; Htable_check; store; HTM_xend.
+      bool CheckOk = Table[entryIndex(Addr)].load(
+                         std::memory_order_relaxed) == tagFor(Cpu.Tid);
+      if (CheckOk)
+        Ctx->Mem->shadowStore(Addr, Value, Size);
+      if (Ctx->Htm->commit(Cpu.Tid)) {
+        Ok = CheckOk;
+        Done = true;
+      }
+      // A doomed commit means a plain store hit our watch address while
+      // the transaction ran; the SC must fail and the guest retries.
+      else {
+        Ok = false;
+        Done = true;
+      }
+    }
+
+    if (!Done) {
+      // Forward-progress fallback: the HST exclusive-section path.
+      Cpu.Counters.HtmLivelockFallbacks++;
+      BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Exclusive);
+      Ctx->Excl->startExclusive(Cpu.InRunLoop);
+      Ok = Table[entryIndex(Addr)].load(std::memory_order_relaxed) ==
+           tagFor(Cpu.Tid);
+      if (Ok)
+        Ctx->Mem->shadowStore(Addr, Value, Size);
+      Ctx->Excl->endExclusive(Cpu.InRunLoop);
+    }
+
+    Mon.clear();
+    return Ok;
+  }
+
+  void emitStorePrologue(IRBuilder &B, ValueId Addr, int64_t Offset,
+                         ValueId Value, unsigned Size) override {
+    // Same inline instrumentation as HST (Figure 6 keeps the table);
+    // fused into one micro-op like HST's (see Hst.cpp).
+    B.setInstrumentMode(true);
+    ValueId EffAddr =
+        Offset ? B.emitBinImm(IROp::AddImm, Addr, Offset) : Addr;
+    B.emitHstStoreTag(EffAddr, 0);
+    B.setInstrumentMode(false);
+  }
+
+private:
+  uint64_t NumEntries;
+  uint64_t Mask;
+  unsigned MaxRetries;
+  std::unique_ptr<std::atomic<uint32_t>[]> Table;
+};
+
+} // namespace
+
+std::unique_ptr<AtomicScheme> llsc::createHstHtm(const SchemeConfig &Config) {
+  return std::make_unique<HstHtm>(Config);
+}

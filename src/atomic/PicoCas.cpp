@@ -1,0 +1,57 @@
+//===- atomic/PicoCas.cpp - QEMU 4.1's CAS-based LL/SC emulation --------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PICO-CAS (Figure 1 of the paper; what QEMU ships): the LL records the
+/// loaded value and address; the SC performs a host compare-and-swap
+/// against the recorded value. "Value unchanged" is taken to mean "nothing
+/// changed", which is exactly the ABA bug — neither intervening plain
+/// stores nor complete LL/SC cycles by other threads that restore the old
+/// value are detected (Seq1–Seq4 of Section IV-A all succeed when they
+/// must fail).
+///
+//===----------------------------------------------------------------------===//
+
+#include "atomic/AtomicScheme.h"
+#include "atomic/Schemes.h"
+
+#include "mem/GuestMemory.h"
+
+using namespace llsc;
+
+namespace {
+
+class PicoCas final : public AtomicScheme {
+public:
+  const SchemeTraits &traits() const override {
+    return schemeTraits(SchemeKind::PicoCas);
+  }
+
+  uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    // Figure 1: record oldval and lsc_addr after loading.
+    uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
+    Cpu.Monitor.arm(Addr, Value, Size);
+    return Value;
+  }
+
+  bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                        unsigned Size) override {
+    ExclusiveMonitor &Mon = Cpu.Monitor;
+    if (!Mon.valid() || Mon.Addr != Addr || Mon.Size != Size) {
+      Mon.clear();
+      return false;
+    }
+    uint64_t Expected = Mon.Value;
+    bool Ok = Ctx->Mem->compareExchange(Addr, Expected, Value, Size);
+    Mon.clear();
+    return Ok;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<AtomicScheme> llsc::createPicoCas(const SchemeConfig &) {
+  return std::make_unique<PicoCas>();
+}

@@ -1,0 +1,161 @@
+//===- atomic/PicoHtm.cpp - HTM transaction spanning LL..SC (PICO-HTM) --------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PICO-HTM (Section II-B): the whole region between LL and SC runs as one
+/// HTM transaction, so the hardware detects any conflicting write to the
+/// synchronization variable. The fatal flaw the paper identifies (Section
+/// III-B, [18]): in a DBT the *emulator's own* code — block lookup,
+/// interpretation, helpers — executes inside the transaction too, inflating
+/// its footprint and causing aborts; beyond ~8 threads the abort storms
+/// turn into livelock/crashes (Fig. 11).
+///
+/// Our engine charges per-block emulator footprint to the open transaction
+/// (VCpu::InLongTx -> HtmRuntime::noteFootprint), so capacity aborts emerge
+/// exactly as described. When the LL retry budget is exhausted the scheme
+/// falls back to a stop-the-world LL (recorded as a livelock-fallback
+/// event — the paper's implementation simply crashed here).
+///
+//===----------------------------------------------------------------------===//
+
+#include "atomic/AtomicScheme.h"
+#include "atomic/Schemes.h"
+
+#include "htm/Htm.h"
+#include "mem/GuestMemory.h"
+#include "runtime/Exclusive.h"
+#include "support/Timing.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace llsc;
+
+namespace {
+
+class PicoHtm final : public AtomicScheme {
+public:
+  explicit PicoHtm(const SchemeConfig &Config)
+      : MaxRetries(Config.HtmMaxRetries) {}
+
+  const SchemeTraits &traits() const override {
+    return schemeTraits(SchemeKind::PicoHtm);
+  }
+
+  void attach(MachineContext &Ctx) override {
+    AtomicScheme::attach(Ctx);
+    InExclFallback.assign(Ctx.NumThreads, false);
+  }
+
+  void reset() override {
+    for (auto &&Flag : InExclFallback)
+      Flag = false;
+  }
+
+  bool storesViaHelper() const override { return true; }
+
+  uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    assert(Ctx->Htm && "PICO-HTM requires an HTM runtime");
+    // A dangling transaction from a path that never reached SC is aborted
+    // before starting over.
+    abandonOpenTransaction(Cpu);
+
+    for (unsigned Attempt = 0; Attempt < MaxRetries; ++Attempt) {
+      if (Ctx->Htm->begin(Cpu.Tid, Addr) == TxStatus::Started) {
+        uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
+        Cpu.Monitor.arm(Addr, Value, Size);
+        Cpu.InLongTx = true; // Engine now charges footprint to the tx.
+        return Value;
+      }
+    }
+
+    // Retry budget exhausted: the paper's PICO-HTM livelocks/crashes here.
+    // We record the event and serialize via a stop-the-world fallback so
+    // the measurement can continue (EXPERIMENTS.md discusses this).
+    Cpu.Counters.HtmLivelockFallbacks++;
+    BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Exclusive);
+    Ctx->Excl->startExclusive(Cpu.InRunLoop);
+    InExclFallback[Cpu.Tid] = true;
+    uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
+    Cpu.Monitor.arm(Addr, Value, Size);
+    return Value;
+  }
+
+  bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                        unsigned Size) override {
+    ExclusiveMonitor &Mon = Cpu.Monitor;
+    bool AddrOk = Mon.valid() && Mon.Addr == Addr && Mon.Size == Size;
+
+    if (InExclFallback[Cpu.Tid]) {
+      // Serialized fallback: the world is stopped, the store is safe.
+      if (AddrOk)
+        Ctx->Mem->shadowStore(Addr, Value, Size);
+      InExclFallback[Cpu.Tid] = false;
+      Ctx->Excl->endExclusive(Cpu.InRunLoop);
+      Mon.clear();
+      return AddrOk;
+    }
+
+    if (!Ctx->Htm->inTransaction(Cpu.Tid)) {
+      Mon.clear();
+      return false;
+    }
+    if (!AddrOk) {
+      Ctx->Htm->abort(Cpu.Tid);
+      Cpu.InLongTx = false;
+      Mon.clear();
+      return false;
+    }
+
+    Ctx->Mem->shadowStore(Addr, Value, Size);
+    bool Committed = Ctx->Htm->commit(Cpu.Tid);
+    Cpu.InLongTx = false;
+    Mon.clear();
+    return Committed;
+  }
+
+  void clearExclusive(VCpu &Cpu) override {
+    abandonOpenTransaction(Cpu);
+    Cpu.Monitor.clear();
+  }
+
+  void onCpuStopped(VCpu &Cpu) override {
+    // A wall/block budget can stop the vCPU between LL and SC: release
+    // the open transaction or the exclusive-fallback floor.
+    abandonOpenTransaction(Cpu);
+  }
+
+  void storeHook(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                 unsigned Size) override {
+    // Plain stores are not instrumented in PICO-HTM (its selling point);
+    // the only cost is the conflict notification to the HTM model, which
+    // is a single relaxed load when no transaction is active.
+    if (Ctx->Htm->needsStoreNotification())
+      Ctx->Htm->notifyStore(Addr);
+    Ctx->Mem->store(Addr, Value, Size);
+  }
+
+private:
+  void abandonOpenTransaction(VCpu &Cpu) {
+    if (Ctx->Htm->inTransaction(Cpu.Tid)) {
+      Ctx->Htm->abort(Cpu.Tid);
+      Cpu.InLongTx = false;
+    }
+    if (InExclFallback[Cpu.Tid]) {
+      InExclFallback[Cpu.Tid] = false;
+      Ctx->Excl->endExclusive(Cpu.InRunLoop);
+    }
+  }
+
+  unsigned MaxRetries;
+  std::vector<char> InExclFallback; ///< Indexed by tid; char to avoid
+                                    ///< vector<bool> aliasing pitfalls.
+};
+
+} // namespace
+
+std::unique_ptr<AtomicScheme> llsc::createPicoHtm(const SchemeConfig &Config) {
+  return std::make_unique<PicoHtm>(Config);
+}

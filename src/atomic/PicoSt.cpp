@@ -1,0 +1,125 @@
+//===- atomic/PicoSt.cpp - Software store-test (PICO-ST) ----------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PICO-ST (Section II-B): a software exclusive flag per thread associates
+/// the LL/SC target address with its thread; *every* plain store is
+/// instrumented through a runtime helper that checks the store address
+/// against the active monitors of every other thread under a lock, and
+/// clears conflicting flags. Correct (strong atomicity) but expensive —
+/// stores are 88x–3000x more frequent than LL/SC (Table I), and each one
+/// pays a helper call plus lock acquisition. This is the baseline the
+/// paper's headline "HST is 2.03x faster" speedup is measured against.
+///
+//===----------------------------------------------------------------------===//
+
+#include "atomic/AtomicScheme.h"
+#include "atomic/Schemes.h"
+
+#include "mem/GuestMemory.h"
+#include "support/Timing.h"
+
+#include <cassert>
+#include <mutex>
+#include <vector>
+
+using namespace llsc;
+
+namespace {
+
+/// One thread's software exclusive flag.
+struct SoftMonitor {
+  bool Valid = false;
+  uint64_t Addr = 0;
+  unsigned Size = 0;
+
+  bool overlaps(uint64_t A, unsigned S) const {
+    return Valid && Addr < A + S && A < Addr + Size;
+  }
+};
+
+class PicoSt final : public AtomicScheme {
+public:
+  const SchemeTraits &traits() const override {
+    return schemeTraits(SchemeKind::PicoSt);
+  }
+
+  void attach(MachineContext &Ctx) override {
+    AtomicScheme::attach(Ctx);
+    Monitors.assign(Ctx.NumThreads, SoftMonitor());
+  }
+
+  void reset() override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (SoftMonitor &Mon : Monitors)
+      Mon.Valid = false;
+  }
+
+  bool storesViaHelper() const override { return true; }
+
+  uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    uint64_t Value;
+    {
+      BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Exclusive);
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Monitors[Cpu.Tid] = {true, Addr, Size};
+      Value = Ctx->Mem->shadowLoad(Addr, Size);
+    }
+    Cpu.Monitor.arm(Addr, Value, Size);
+    return Value;
+  }
+
+  bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                        unsigned Size) override {
+    BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Exclusive);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    SoftMonitor &Own = Monitors[Cpu.Tid];
+    bool Ok = Own.Valid && Own.Addr == Addr && Own.Size == Size &&
+              Cpu.Monitor.valid() && Cpu.Monitor.Addr == Addr;
+    if (Ok) {
+      // The SC is itself a store: it must break every other thread's
+      // monitor of this location.
+      for (unsigned Tid = 0; Tid < Monitors.size(); ++Tid)
+        if (Monitors[Tid].overlaps(Addr, Size))
+          Monitors[Tid].Valid = false;
+      Ctx->Mem->shadowStore(Addr, Value, Size);
+    }
+    Own.Valid = false;
+    Cpu.Monitor.clear();
+    return Ok;
+  }
+
+  void clearExclusive(VCpu &Cpu) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Monitors[Cpu.Tid].Valid = false;
+    Cpu.Monitor.clear();
+  }
+
+  void storeHook(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                 unsigned Size) override {
+    // The paper implements this as a QEMU helper; the dominant costs are
+    // the helper context switch, the lock, and the scan — all modeled.
+    simulateQemuHelperCall(Cpu);
+    BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Instrument);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (unsigned Tid = 0; Tid < Monitors.size(); ++Tid) {
+      if (Tid == Cpu.Tid)
+        continue; // A thread's own store does not clear its monitor.
+      if (Monitors[Tid].overlaps(Addr, Size))
+        Monitors[Tid].Valid = false;
+    }
+    Ctx->Mem->shadowStore(Addr, Value, Size);
+  }
+
+private:
+  std::mutex Mutex;
+  std::vector<SoftMonitor> Monitors;
+};
+
+} // namespace
+
+std::unique_ptr<AtomicScheme> llsc::createPicoSt(const SchemeConfig &) {
+  return std::make_unique<PicoSt>();
+}

@@ -1,0 +1,128 @@
+//===- atomic/Pst.cpp - Page-protection store test (PST) ----------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PST (Section III-D, Figure 8): the LL mprotect()s the page holding the
+/// synchronization variable read-only. A conflicting plain store then
+/// raises a hardware page fault; the handler checks whether the store
+/// address matches an armed monitor — if so the monitor is broken (the SC
+/// will fail and retry), otherwise it is false sharing and the store is
+/// performed without breaking atomicity. The SC itself runs under a
+/// stop-the-world exclusive section and flips the page writable and back —
+/// the syscall traffic that Fig. 12's "mprotect" bars account for, and the
+/// reason PST loses to HST despite instrumenting no stores.
+///
+//===----------------------------------------------------------------------===//
+
+#include "atomic/PstBase.h"
+#include "atomic/Schemes.h"
+
+#include "mem/FaultGuard.h"
+#include "runtime/Exclusive.h"
+#include "support/Timing.h"
+
+#include <sys/mman.h>
+
+using namespace llsc;
+
+namespace {
+
+class Pst final : public PstBase {
+public:
+  const SchemeTraits &traits() const override {
+    return schemeTraits(SchemeKind::Pst);
+  }
+
+  uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    CpuProfile *Profile = Cpu.profileOrNull();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      releaseMonitorLocked(Cpu.Tid, Profile);
+      armMonitorLocked(Cpu.Tid, Addr, Size, Profile);
+    }
+    uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
+    Cpu.Monitor.arm(Addr, Value, Size);
+    return Value;
+  }
+
+  bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                        unsigned Size) override {
+    CpuProfile *Profile = Cpu.profileOrNull();
+    bool AddrOk = Cpu.Monitor.valid() && Cpu.Monitor.Addr == Addr &&
+                  Cpu.Monitor.Size == Size;
+
+    bool Ok = false;
+    {
+      BucketTimer ExclTimer(Profile, ProfileBucket::Exclusive);
+      Ctx->Excl->startExclusive(Cpu.InRunLoop);
+      {
+        // The scheme mutex must be released before endExclusive:
+        // endExclusive(SelfRunning) can block behind a queued exclusive
+        // section whose body needs this mutex (deadlock otherwise).
+        std::lock_guard<std::mutex> Lock(Mutex);
+
+        Ok = AddrOk && Monitors[Cpu.Tid].Valid &&
+             Monitors[Cpu.Tid].Addr == Addr;
+        if (Ok) {
+          uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
+          // Figure 8: RO -> RW, store through the primary mapping, back
+          // to RO if other monitors remain on the page.
+          {
+            BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+            Ctx->Mem->protectPage(PageIdx, PROT_READ | PROT_WRITE);
+          }
+          Ctx->Mem->store(Addr, Value, Size);
+          // The SC is a store: break every monitor of this location
+          // (including our own, releasing its page count).
+          breakOverlappingLocked(Addr, Size,
+                                 /*ExcludeTid=*/Monitors.size(), Profile,
+                                 /*AdjustProtection=*/false);
+          if (pageMonitorCountLocked(PageIdx) > 0) {
+            BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+            Ctx->Mem->protectPage(PageIdx, PROT_READ);
+          }
+        } else {
+          releaseMonitorLocked(Cpu.Tid, Profile);
+        }
+      }
+      Ctx->Excl->endExclusive(Cpu.InRunLoop);
+    }
+    Cpu.Monitor.clear();
+    return Ok;
+  }
+
+  void clearExclusive(VCpu &Cpu) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    releaseMonitorLocked(Cpu.Tid, Cpu.profileOrNull());
+    Cpu.Monitor.clear();
+  }
+
+  void storeHook(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                 unsigned Size) override {
+    // Fast path: a raw store against the primary mapping. Unmonitored
+    // pages execute exactly one host store — PST's selling point: no
+    // instrumentation cost (Section III-D).
+    FaultResult Result = FaultGuard::tryStore(*Ctx->Mem, Addr, Value, Size);
+    if (!Result.Faulted)
+      return;
+
+    // Slow path: the page is monitored. Break matching monitors; a
+    // non-matching fault is false sharing (Section IV-B2's false alarms).
+    Cpu.Counters.PageFaultsRecovered++;
+    BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Mprotect);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    bool Broke = breakOverlappingLocked(Addr, Size, Cpu.Tid,
+                                        Cpu.profileOrNull());
+    if (!Broke)
+      Cpu.Counters.FalseSharingFaults++;
+    Ctx->Mem->shadowStore(Addr, Value, Size);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<AtomicScheme> llsc::createPst(const SchemeConfig &) {
+  return std::make_unique<Pst>();
+}

@@ -1,0 +1,64 @@
+//===- atomic/PstBase.cpp - Shared PST monitor bookkeeping --------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "atomic/PstBase.h"
+
+#include <cassert>
+#include <sys/mman.h>
+
+using namespace llsc;
+
+void PstBase::attach(MachineContext &Ctx) {
+  AtomicScheme::attach(Ctx);
+  Monitors.assign(Ctx.NumThreads, PageMonitor());
+  PageCount.assign(Ctx.Mem->numPages(), 0);
+}
+
+void PstBase::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (unsigned Tid = 0; Tid < Monitors.size(); ++Tid)
+    releaseMonitorLocked(Tid, /*Profile=*/nullptr);
+}
+
+void PstBase::armMonitorLocked(unsigned Tid, uint64_t Addr, unsigned Size,
+                               CpuProfile *Profile) {
+  assert(!Monitors[Tid].Valid && "previous monitor must be released first");
+  Monitors[Tid] = {true, Addr, Size};
+  uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
+  if (PageCount[PageIdx]++ == 0) {
+    BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+    Ctx->Mem->protectPage(PageIdx, PROT_READ);
+  }
+}
+
+void PstBase::releaseMonitorLocked(unsigned Tid, CpuProfile *Profile,
+                                   bool AdjustProtection) {
+  PageMonitor &Mon = Monitors[Tid];
+  if (!Mon.Valid)
+    return;
+  Mon.Valid = false;
+  uint64_t PageIdx = Ctx->Mem->pageIndex(Mon.Addr);
+  assert(PageCount[PageIdx] > 0 && "page count underflow");
+  if (--PageCount[PageIdx] == 0 && AdjustProtection) {
+    BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+    Ctx->Mem->protectPage(PageIdx, PROT_READ | PROT_WRITE);
+  }
+}
+
+bool PstBase::breakOverlappingLocked(uint64_t Addr, unsigned Size,
+                                     unsigned ExcludeTid, CpuProfile *Profile,
+                                     bool AdjustProtection) {
+  bool AnyBroken = false;
+  for (unsigned Tid = 0; Tid < Monitors.size(); ++Tid) {
+    if (Tid == ExcludeTid)
+      continue;
+    if (Monitors[Tid].overlaps(Addr, Size)) {
+      releaseMonitorLocked(Tid, Profile, AdjustProtection);
+      AnyBroken = true;
+    }
+  }
+  return AnyBroken;
+}

@@ -1,0 +1,81 @@
+//===- atomic/PstBase.h - Shared PST monitor bookkeeping --------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monitor/page bookkeeping shared by PST and PST-REMAP (Sections III-D/E):
+/// per-thread software monitors plus a per-page count of active monitors.
+/// When the first monitor lands on a page, the page's *primary* mapping is
+/// mprotect()ed read-only so conflicting plain stores fault; when the last
+/// monitor leaves, the page becomes writable again.
+///
+/// All mutators must hold the scheme mutex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_ATOMIC_PSTBASE_H
+#define LLSC_ATOMIC_PSTBASE_H
+
+#include "atomic/AtomicScheme.h"
+
+#include "mem/GuestMemory.h"
+#include "runtime/Profiler.h"
+
+#include <mutex>
+#include <vector>
+
+namespace llsc {
+
+/// Base for the page-protection schemes.
+class PstBase : public AtomicScheme {
+public:
+  void attach(MachineContext &Ctx) override;
+  void reset() override;
+
+  bool storesViaHelper() const override { return true; }
+
+protected:
+  struct PageMonitor {
+    bool Valid = false;
+    uint64_t Addr = 0;
+    unsigned Size = 0;
+
+    bool overlaps(uint64_t A, unsigned S) const {
+      return Valid && Addr < A + S && A < Addr + Size;
+    }
+  };
+
+  /// Arms \p Tid's monitor on [Addr, Addr+Size), protecting the page when
+  /// it acquires its first monitor. Any previous monitor of \p Tid must
+  /// already have been released. \p Profile may be null.
+  void armMonitorLocked(unsigned Tid, uint64_t Addr, unsigned Size,
+                        CpuProfile *Profile);
+
+  /// Releases \p Tid's monitor if valid. When \p AdjustProtection, a page
+  /// whose count drops to zero is made writable again (callers doing their
+  /// own remap/protect sequencing pass false).
+  void releaseMonitorLocked(unsigned Tid, CpuProfile *Profile,
+                            bool AdjustProtection = true);
+
+  /// Invalidates every monitor overlapping [Addr, Addr+Size) except
+  /// \p ExcludeTid (pass NumThreads to exclude none).
+  /// \returns true if at least one monitor was broken.
+  bool breakOverlappingLocked(uint64_t Addr, unsigned Size,
+                              unsigned ExcludeTid, CpuProfile *Profile,
+                              bool AdjustProtection = true);
+
+  /// \returns the number of live monitors on \p PageIdx.
+  uint32_t pageMonitorCountLocked(uint64_t PageIdx) const {
+    return PageCount[PageIdx];
+  }
+
+  std::mutex Mutex;
+  std::vector<PageMonitor> Monitors; ///< Indexed by tid.
+  std::vector<uint32_t> PageCount;   ///< Live monitors per page.
+};
+
+} // namespace llsc
+
+#endif // LLSC_ATOMIC_PSTBASE_H

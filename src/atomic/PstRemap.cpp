@@ -1,0 +1,170 @@
+//===- atomic/PstRemap.cpp - PST with page remapping (PST-REMAP) --------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PST-REMAP (Section III-E, Figure 9): PST's crux is granting different
+/// threads different privileges on one page during SC. Instead of the
+/// stop-the-world RO->RW->RO dance, the SC thread remaps the page *out of*
+/// the primary mapping (every other thread's access now faults with a
+/// mapping error) and performs its check-and-store through a private
+/// writable alias (our always-mapped shadow view of the same memfd pages).
+/// Faulting threads simply wait on the page lock until the SC remaps the
+/// page back — no global thread suspension, which is where PST-REMAP's
+/// wins over PST come from (Fig. 12: blackscholes, bodytrack, swaptions).
+///
+/// Because a removed mapping faults on *reads* too, plain loads are routed
+/// through a guarded helper (loadsViaHelper).
+///
+//===----------------------------------------------------------------------===//
+
+#include "atomic/PstBase.h"
+#include "atomic/Schemes.h"
+
+#include "mem/FaultGuard.h"
+#include "support/Timing.h"
+
+#include <memory>
+#include <sys/mman.h>
+
+using namespace llsc;
+
+namespace {
+
+class PstRemap final : public PstBase {
+public:
+  const SchemeTraits &traits() const override {
+    return schemeTraits(SchemeKind::PstRemap);
+  }
+
+  void attach(MachineContext &Ctx) override {
+    PstBase::attach(Ctx);
+    NumPages = Ctx.Mem->numPages();
+    PageLocks = std::make_unique<std::mutex[]>(NumPages);
+  }
+
+  bool loadsViaHelper() const override { return true; }
+
+  uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    CpuProfile *Profile = Cpu.profileOrNull();
+
+    // Release any previous monitor first (its page lock, then ours, are
+    // taken in separate critical sections to keep lock ordering simple).
+    if (Monitors[Cpu.Tid].Valid) {
+      uint64_t OldPage = Ctx->Mem->pageIndex(Monitors[Cpu.Tid].Addr);
+      std::lock_guard<std::mutex> PageLock(PageLocks[OldPage]);
+      std::lock_guard<std::mutex> Lock(Mutex);
+      releaseMonitorLocked(Cpu.Tid, Profile);
+    }
+
+    uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
+    uint64_t Value;
+    {
+      std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
+      std::lock_guard<std::mutex> Lock(Mutex);
+      armMonitorLocked(Cpu.Tid, Addr, Size, Profile);
+      Value = Ctx->Mem->shadowLoad(Addr, Size);
+    }
+    Cpu.Monitor.arm(Addr, Value, Size);
+    return Value;
+  }
+
+  bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                        unsigned Size) override {
+    CpuProfile *Profile = Cpu.profileOrNull();
+    bool AddrOk = Cpu.Monitor.valid() && Cpu.Monitor.Addr == Addr &&
+                  Cpu.Monitor.Size == Size;
+    uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
+
+    bool Ok = false;
+    {
+      std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
+      // Figure 9: remap page x away; every access to x by other threads
+      // now faults and blocks on the page lock.
+      {
+        BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+        Ctx->Mem->remapPageAway(PageIdx);
+      }
+
+      uint32_t RemainingMonitors;
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        Ok = AddrOk && Monitors[Cpu.Tid].Valid &&
+             Monitors[Cpu.Tid].Addr == Addr;
+        if (Ok) {
+          // The check-and-store goes through the writable alias (z).
+          Ctx->Mem->shadowStore(Addr, Value, Size);
+          breakOverlappingLocked(Addr, Size, /*ExcludeTid=*/Monitors.size(),
+                                 Profile, /*AdjustProtection=*/false);
+        } else {
+          releaseMonitorLocked(Cpu.Tid, Profile,
+                               /*AdjustProtection=*/false);
+        }
+        RemainingMonitors = pageMonitorCountLocked(PageIdx);
+      }
+
+      // Remap x back; protection is set in the same mmap call so there is
+      // no window where other monitors go unenforced.
+      {
+        BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+        Ctx->Mem->remapPageBack(PageIdx, /*Writable=*/RemainingMonitors == 0);
+      }
+    }
+    Cpu.Monitor.clear();
+    return Ok;
+  }
+
+  void clearExclusive(VCpu &Cpu) override {
+    if (Monitors[Cpu.Tid].Valid) {
+      uint64_t PageIdx = Ctx->Mem->pageIndex(Monitors[Cpu.Tid].Addr);
+      std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
+      std::lock_guard<std::mutex> Lock(Mutex);
+      releaseMonitorLocked(Cpu.Tid, Cpu.profileOrNull());
+    }
+    Cpu.Monitor.clear();
+  }
+
+  void storeHook(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                 unsigned Size) override {
+    FaultResult Result = FaultGuard::tryStore(*Ctx->Mem, Addr, Value, Size);
+    if (!Result.Faulted)
+      return;
+
+    // Monitored (RO) or mid-SC (remapped) page. Waiting on the page lock
+    // is the paper's "pagefault handler simply waits ... by locking and
+    // unlocking".
+    Cpu.Counters.PageFaultsRecovered++;
+    BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Mprotect);
+    uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
+    std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    bool Broke = breakOverlappingLocked(Addr, Size, Cpu.Tid,
+                                        Cpu.profileOrNull());
+    if (!Broke)
+      Cpu.Counters.FalseSharingFaults++;
+    Ctx->Mem->shadowStore(Addr, Value, Size);
+  }
+
+  uint64_t loadHook(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    FaultResult Result = FaultGuard::tryLoad(*Ctx->Mem, Addr, Size);
+    if (!Result.Faulted)
+      return Result.LoadedValue;
+
+    // The page is remapped away by an in-flight SC: wait for it.
+    Cpu.Counters.PageFaultsRecovered++;
+    uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
+    std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
+    return Ctx->Mem->shadowLoad(Addr, Size);
+  }
+
+private:
+  uint64_t NumPages = 0;
+  std::unique_ptr<std::mutex[]> PageLocks;
+};
+
+} // namespace
+
+std::unique_ptr<AtomicScheme> llsc::createPstRemap(const SchemeConfig &) {
+  return std::make_unique<PstRemap>();
+}

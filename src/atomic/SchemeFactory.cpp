@@ -1,0 +1,36 @@
+//===- atomic/SchemeFactory.cpp - createScheme dispatch -----------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "atomic/Schemes.h"
+
+#include "support/Compiler.h"
+
+using namespace llsc;
+
+std::unique_ptr<AtomicScheme> llsc::createScheme(SchemeKind Kind,
+                                                 const SchemeConfig &Config) {
+  switch (Kind) {
+  case SchemeKind::PicoCas:
+    return createPicoCas(Config);
+  case SchemeKind::PicoSt:
+    return createPicoSt(Config);
+  case SchemeKind::PicoHtm:
+    return createPicoHtm(Config);
+  case SchemeKind::Hst:
+  case SchemeKind::HstWeak:
+  case SchemeKind::HstHelper:
+    return createHst(Config, Kind);
+  case SchemeKind::HstHtm:
+    return createHstHtm(Config);
+  case SchemeKind::Pst:
+    return createPst(Config);
+  case SchemeKind::PstRemap:
+    return createPstRemap(Config);
+  case SchemeKind::PstMpk:
+    return createPstMpk(Config);
+  }
+  llsc_unreachable("unknown scheme kind");
+}

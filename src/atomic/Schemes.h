@@ -1,0 +1,32 @@
+//===- atomic/Schemes.h - Concrete scheme constructors ----------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal constructors for the individual schemes; external code uses
+/// createScheme() from AtomicScheme.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_ATOMIC_SCHEMES_H
+#define LLSC_ATOMIC_SCHEMES_H
+
+#include "atomic/AtomicScheme.h"
+
+namespace llsc {
+
+std::unique_ptr<AtomicScheme> createPicoCas(const SchemeConfig &Config);
+std::unique_ptr<AtomicScheme> createPicoSt(const SchemeConfig &Config);
+std::unique_ptr<AtomicScheme> createPicoHtm(const SchemeConfig &Config);
+std::unique_ptr<AtomicScheme> createHst(const SchemeConfig &Config,
+                                        SchemeKind Variant);
+std::unique_ptr<AtomicScheme> createHstHtm(const SchemeConfig &Config);
+std::unique_ptr<AtomicScheme> createPst(const SchemeConfig &Config);
+std::unique_ptr<AtomicScheme> createPstRemap(const SchemeConfig &Config);
+std::unique_ptr<AtomicScheme> createPstMpk(const SchemeConfig &Config);
+
+} // namespace llsc
+
+#endif // LLSC_ATOMIC_SCHEMES_H

@@ -1,0 +1,225 @@
+//===- core/Machine.cpp - Public emulator facade --------------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+
+#include "guest/Assembler.h"
+#include "mem/FaultGuard.h"
+#include "support/BitUtils.h"
+#include "support/Logging.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+using namespace llsc;
+
+Machine::Machine(const MachineConfig &Config) : Config(Config) {}
+
+Machine::~Machine() = default;
+
+ErrorOr<std::unique_ptr<Machine>> Machine::create(const MachineConfig &Config) {
+  if (Config.NumThreads == 0)
+    return makeError("machine needs at least one thread");
+  if (Config.StackBytes * Config.NumThreads >= Config.MemBytes)
+    return makeError("stacks (%u x %llu) do not fit in guest memory",
+                     Config.NumThreads,
+                     static_cast<unsigned long long>(Config.StackBytes));
+
+  auto M = std::unique_ptr<Machine>(new Machine(Config));
+
+  auto MemOrErr = GuestMemory::create(Config.MemBytes);
+  if (!MemOrErr)
+    return MemOrErr.error();
+  M->Mem = MemOrErr.take();
+
+  const SchemeTraits &Traits = schemeTraits(Config.Scheme);
+  if (Traits.RequiresHtm) {
+    SoftHtmConfig SoftConfig = Config.SoftHtm;
+    SoftConfig.MaxThreads = std::max(SoftConfig.MaxThreads,
+                                     Config.NumThreads);
+    M->Htm = Config.ForceSoftHtm ? createSoftHtm(SoftConfig)
+                                 : createBestHtm(SoftConfig);
+  }
+
+  M->Scheme = createScheme(Config.Scheme, Config.SchemeTuning);
+
+  M->Ctx.Mem = M->Mem.get();
+  M->Ctx.Excl = &M->Excl;
+  M->Ctx.Htm = M->Htm.get();
+  M->Ctx.Scheme = M->Scheme.get();
+  M->Ctx.NumThreads = Config.NumThreads;
+  M->Scheme->attach(M->Ctx);
+
+  M->Trans = std::make_unique<Translator>(*M->Mem, M->Scheme.get(),
+                                          Config.Translation);
+  M->Cache = std::make_unique<TbCache>(*M->Trans);
+
+  EngineConfig EngineCfg;
+  EngineCfg.Profile = Config.Profile;
+  EngineCfg.MaxBlocksPerCpu = Config.MaxBlocksPerCpu;
+  EngineCfg.MaxWallNanosPerCpu =
+      static_cast<uint64_t>(Config.MaxSecondsPerCpu * 1e9);
+  M->Exec = std::make_unique<Engine>(M->Ctx, *M->Cache, EngineCfg);
+
+  M->Cpus.resize(Config.NumThreads);
+  for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
+    M->Cpus[Tid].Tid = Tid;
+    M->Cpus[Tid].Ctx = &M->Ctx;
+    M->Cpus[Tid].ProfilingEnabled = Config.Profile;
+  }
+
+  // The page-protection schemes rely on recoverable faults; installing the
+  // handler here keeps the first run free of lazy-init hiccups.
+  FaultGuard::ensureInstalled();
+  return M;
+}
+
+ErrorOr<bool> Machine::loadProgram(guest::Program NewProg) {
+  auto LoadedOrErr = Mem->loadProgram(NewProg);
+  if (!LoadedOrErr)
+    return LoadedOrErr.error();
+  Prog = std::move(NewProg);
+  Cache->flush();
+  return true;
+}
+
+ErrorOr<bool> Machine::loadAssembly(std::string_view Source,
+                                    uint64_t BaseAddr) {
+  auto ProgOrErr = guest::assemble(Source, BaseAddr);
+  if (!ProgOrErr)
+    return ProgOrErr.error();
+  return loadProgram(ProgOrErr.take());
+}
+
+void Machine::setCustomScheme(AtomicScheme &Custom) {
+  Ctx.Scheme = &Custom;
+  Custom.attach(Ctx);
+  Trans = std::make_unique<Translator>(*Mem, &Custom, Config.Translation);
+  Cache = std::make_unique<TbCache>(*Trans);
+  EngineConfig EngineCfg;
+  EngineCfg.Profile = Config.Profile;
+  EngineCfg.MaxBlocksPerCpu = Config.MaxBlocksPerCpu;
+  EngineCfg.MaxWallNanosPerCpu =
+      static_cast<uint64_t>(Config.MaxSecondsPerCpu * 1e9);
+  Exec = std::make_unique<Engine>(Ctx, *Cache, EngineCfg);
+}
+
+void Machine::prepareRun() {
+  Ctx.Scheme->reset(); // The active scheme (may be a custom one).
+  if (Htm)
+    Htm->resetStats();
+  for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
+    VCpu &Cpu = Cpus[Tid];
+    Cpu.resetForRun(Prog.entryAddr());
+    // Entry conventions: r0 = tid, sp = private stack top (16-aligned),
+    // stacks carved from the top of guest memory downwards.
+    Cpu.Regs[0] = Tid;
+    uint64_t StackTop = Config.MemBytes - Tid * Config.StackBytes;
+    Cpu.Regs[guest::RegSp] = alignDown(StackTop - 16, 16);
+  }
+}
+
+RunResult Machine::collectResult(bool AllHalted,
+                                 uint64_t FaultsBefore) const {
+  RunResult Result;
+  Result.AllHalted = AllHalted;
+  for (const VCpu &Cpu : Cpus) {
+    Result.Total.merge(Cpu.Counters);
+    Result.Profile.merge(Cpu.Profile);
+    Result.PerCpu.push_back(Cpu.Counters);
+  }
+  if (Htm)
+    Result.Htm = Htm->stats();
+  Result.ExclusiveSections = Excl.exclusiveCount();
+  Result.RecoveredFaults = FaultGuard::recoveredFaultCount() - FaultsBefore;
+  return Result;
+}
+
+ErrorOr<RunResult> Machine::run() {
+  prepareRun();
+  uint64_t FaultsBefore = FaultGuard::recoveredFaultCount();
+
+  std::vector<std::thread> Threads;
+  std::vector<ErrorOr<RunStatus>> Statuses(Config.NumThreads,
+                                           ErrorOr<RunStatus>(
+                                               RunStatus::Halted));
+  // Start gate: guest threads must overlap in time, not run back-to-back
+  // as their host threads happen to get spawned (essential on few-core
+  // hosts where a whole workload can fit in one scheduling quantum).
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  Threads.reserve(Config.NumThreads);
+  for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid)
+    Threads.emplace_back([this, Tid, &Statuses, &Ready, &Go] {
+      Ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      Statuses[Tid] = Exec->runCpu(Cpus[Tid]);
+    });
+  while (Ready.load(std::memory_order_acquire) != Config.NumThreads)
+    std::this_thread::yield();
+  uint64_t WallStart = monotonicNanos();
+  Go.store(true, std::memory_order_release);
+  for (std::thread &Thread : Threads)
+    Thread.join();
+  uint64_t WallEnd = monotonicNanos();
+
+  bool AllHalted = true;
+  for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
+    if (!Statuses[Tid])
+      return Statuses[Tid].error();
+    if (*Statuses[Tid] != RunStatus::Halted)
+      AllHalted = false;
+  }
+
+  RunResult Result = collectResult(AllHalted, FaultsBefore);
+  Result.WallSeconds = static_cast<double>(WallEnd - WallStart) * 1e-9;
+  return Result;
+}
+
+ErrorOr<RunResult> Machine::runCooperative(uint64_t BlocksPerSlice) {
+  assert(BlocksPerSlice > 0 && "slice must be positive");
+  prepareRun();
+  uint64_t FaultsBefore = FaultGuard::recoveredFaultCount();
+
+  uint64_t WallStart = monotonicNanos();
+  bool AllHalted = true;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    AllHalted = true;
+    for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
+      VCpu &Cpu = Cpus[Tid];
+      if (Cpu.Halted)
+        continue;
+      auto StatusOrErr = Exec->stepBlocks(Cpu, BlocksPerSlice);
+      if (!StatusOrErr)
+        return StatusOrErr.error();
+      switch (*StatusOrErr) {
+      case RunStatus::Halted:
+        Progress = true;
+        break;
+      case RunStatus::Running:
+        Progress = true;
+        AllHalted = false;
+        break;
+      case RunStatus::TimedOut:
+        AllHalted = false;
+        break;
+      }
+    }
+    if (AllHalted)
+      break;
+  }
+  uint64_t WallEnd = monotonicNanos();
+
+  RunResult Result = collectResult(AllHalted, FaultsBefore);
+  Result.WallSeconds = static_cast<double>(WallEnd - WallStart) * 1e-9;
+  return Result;
+}

@@ -1,0 +1,154 @@
+//===- core/Machine.h - Public emulator facade ------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's main entry point. A Machine bundles guest memory, the
+/// translation cache, the execution engine, and one atomic-emulation
+/// scheme, and runs a guest program on N emulated hardware threads —
+/// QEMU user-mode in miniature, with the scheme swappable so the paper's
+/// design space can be measured side by side.
+///
+/// Typical use:
+/// \code
+///   MachineConfig Config;
+///   Config.Scheme = SchemeKind::Hst;
+///   Config.NumThreads = 16;
+///   auto MachineOrErr = Machine::create(Config);
+///   auto &M = **MachineOrErr;
+///   M.loadAssembly(Source);           // or loadProgram(Program)
+///   auto Result = M.run();            // one host thread per guest thread
+///   printf("%f s, %llu SC failures\n", Result->WallSeconds,
+///          Result->Total.StoreCondFailures);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_CORE_MACHINE_H
+#define LLSC_CORE_MACHINE_H
+
+#include "atomic/AtomicScheme.h"
+#include "engine/Engine.h"
+#include "guest/Program.h"
+#include "htm/Htm.h"
+#include "mem/GuestMemory.h"
+#include "runtime/Exclusive.h"
+#include "translate/Translator.h"
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace llsc {
+
+/// Everything configurable about a Machine.
+struct MachineConfig {
+  SchemeKind Scheme = SchemeKind::Hst;
+  unsigned NumThreads = 1;
+  uint64_t MemBytes = 64ULL << 20;
+  uint64_t StackBytes = 256 * 1024; ///< Per-thread stack at top of memory.
+  bool Profile = false;             ///< Fig. 12 bucket attribution.
+  /// Use the software HTM model even when hardware RTM is usable
+  /// (deterministic tests force this).
+  bool ForceSoftHtm = false;
+  /// Stop each vCPU after this many blocks; 0 = unlimited.
+  uint64_t MaxBlocksPerCpu = 0;
+  /// Stop each vCPU after this much wall time; 0 = unlimited. Catches
+  /// livelocks spent inside scheme spin loops (PICO-HTM).
+  double MaxSecondsPerCpu = 0;
+
+  SchemeConfig SchemeTuning;
+  TranslatorConfig Translation;
+  SoftHtmConfig SoftHtm;
+};
+
+/// Aggregate outcome of one run().
+struct RunResult {
+  double WallSeconds = 0;
+  bool AllHalted = true; ///< False if any vCPU hit the block budget.
+  CpuCounters Total;
+  CpuProfile Profile;
+  std::vector<CpuCounters> PerCpu;
+  HtmStats Htm;
+  uint64_t ExclusiveSections = 0;
+  uint64_t RecoveredFaults = 0; ///< Process-wide delta during the run.
+};
+
+/// The emulator facade.
+class Machine {
+public:
+  /// Builds a machine: memory, scheme, HTM runtime (if the scheme needs
+  /// one), translator and engine.
+  static ErrorOr<std::unique_ptr<Machine>> create(const MachineConfig &Config);
+
+  ~Machine();
+  Machine(const Machine &) = delete;
+  Machine &operator=(const Machine &) = delete;
+
+  /// Loads an assembled program and flushes the code cache.
+  ErrorOr<bool> loadProgram(guest::Program Prog);
+
+  /// Assembles \p Source at \p BaseAddr and loads it.
+  ErrorOr<bool> loadAssembly(std::string_view Source,
+                             uint64_t BaseAddr = 0x1000);
+
+  /// Runs every vCPU from the program entry to HALT, one host thread per
+  /// vCPU. Register conventions at entry: r0 = tid, sp = top-of-stack.
+  ErrorOr<RunResult> run();
+
+  /// Deterministic single-host-thread mode: executes vCPUs round-robin,
+  /// \p BlocksPerSlice blocks at a time, in tid order.
+  ErrorOr<RunResult> runCooperative(uint64_t BlocksPerSlice = 1);
+
+  // --- Component access (benchmarks, tests, litmus drivers) ----------------
+
+  GuestMemory &mem() { return *Mem; }
+  AtomicScheme &scheme() { return *Scheme; }
+  ExclusiveContext &exclusive() { return Excl; }
+  HtmRuntime *htm() { return Htm.get(); }
+  Translator &translator() { return *Trans; }
+  TbCache &cache() { return *Cache; }
+  Engine &engine() { return *Exec; }
+  MachineContext &context() { return Ctx; }
+  const MachineConfig &config() const { return Config; }
+  const guest::Program &program() const { return Prog; }
+
+  unsigned numThreads() const { return Config.NumThreads; }
+  VCpu &cpu(unsigned Tid) { return Cpus[Tid]; }
+
+  /// Re-initializes vCPUs (pc/regs/stacks), scheme state and counters as
+  /// run() does, without executing. Exposed for drivers that call scheme
+  /// hooks directly (atomicity litmus tests).
+  void prepareRun();
+
+  /// Replaces the machine's atomic scheme with a caller-owned instance
+  /// (which must outlive the machine). Rebuilds the translator, engine
+  /// and code cache so the scheme's translate-time hooks take effect.
+  /// The machine's original scheme stays owned but unused.
+  void setCustomScheme(AtomicScheme &Custom);
+
+private:
+  explicit Machine(const MachineConfig &Config);
+
+  /// Collects counters/profiles into a RunResult (wall time filled by the
+  /// caller).
+  RunResult collectResult(bool AllHalted, uint64_t FaultsBefore) const;
+
+  MachineConfig Config;
+  std::unique_ptr<GuestMemory> Mem;
+  ExclusiveContext Excl;
+  std::unique_ptr<HtmRuntime> Htm;
+  std::unique_ptr<AtomicScheme> Scheme;
+  std::unique_ptr<Translator> Trans;
+  std::unique_ptr<TbCache> Cache;
+  std::unique_ptr<Engine> Exec;
+  MachineContext Ctx;
+  std::vector<VCpu> Cpus;
+  guest::Program Prog;
+};
+
+} // namespace llsc
+
+#endif // LLSC_CORE_MACHINE_H

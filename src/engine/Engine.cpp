@@ -1,0 +1,387 @@
+//===- engine/Engine.cpp - IR execution engine ---------------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "atomic/AtomicScheme.h"
+#include "htm/Htm.h"
+#include "mem/GuestMemory.h"
+#include "runtime/Exclusive.h"
+#include "support/BitUtils.h"
+#include "support/Compiler.h"
+#include "support/Logging.h"
+
+#include <atomic>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <sched.h>
+
+using namespace llsc;
+using namespace llsc::ir;
+
+namespace {
+
+/// Relaxed-atomic host memory accessors for scheme tables (LoadHost /
+/// StoreHost micro-ops emitted by inline instrumentation).
+uint64_t hostLoad(uint64_t Addr, unsigned Size) {
+  switch (Size) {
+  case 1:
+    return __atomic_load_n(reinterpret_cast<uint8_t *>(Addr),
+                           __ATOMIC_RELAXED);
+  case 2:
+    return __atomic_load_n(reinterpret_cast<uint16_t *>(Addr),
+                           __ATOMIC_RELAXED);
+  case 4:
+    return __atomic_load_n(reinterpret_cast<uint32_t *>(Addr),
+                           __ATOMIC_RELAXED);
+  case 8:
+    return __atomic_load_n(reinterpret_cast<uint64_t *>(Addr),
+                           __ATOMIC_RELAXED);
+  default:
+    llsc_unreachable("bad host access size");
+  }
+}
+
+void hostStore(uint64_t Addr, uint64_t Value, unsigned Size) {
+  switch (Size) {
+  case 1:
+    __atomic_store_n(reinterpret_cast<uint8_t *>(Addr),
+                     static_cast<uint8_t>(Value), __ATOMIC_RELAXED);
+    return;
+  case 2:
+    __atomic_store_n(reinterpret_cast<uint16_t *>(Addr),
+                     static_cast<uint16_t>(Value), __ATOMIC_RELAXED);
+    return;
+  case 4:
+    __atomic_store_n(reinterpret_cast<uint32_t *>(Addr),
+                     static_cast<uint32_t>(Value), __ATOMIC_RELAXED);
+    return;
+  case 8:
+    __atomic_store_n(reinterpret_cast<uint64_t *>(Addr), Value,
+                     __ATOMIC_RELAXED);
+    return;
+  default:
+    llsc_unreachable("bad host access size");
+  }
+}
+
+} // namespace
+
+Engine::BlockExit Engine::execBlock(VCpu &Cpu, const CachedBlock &Block,
+                                    std::vector<uint64_t> &Temps) {
+  const IRBlock &IR = Block.IR;
+  if (Temps.size() < static_cast<size_t>(IR.NumValues))
+    Temps.resize(IR.NumValues);
+
+  // Value accessors: ids below FirstTempId alias the guest registers.
+  auto V = [&](ValueId Id) -> uint64_t {
+    return Id < FirstTempId ? Cpu.Regs[Id] : Temps[Id];
+  };
+  auto SetV = [&](ValueId Id, uint64_t Value) {
+    if (Id < FirstTempId)
+      Cpu.Regs[Id] = Value;
+    else
+      Temps[Id] = Value;
+  };
+
+  const bool Profiling = Cpu.ProfilingEnabled;
+  GuestMemory &Mem = *Ctx.Mem;
+  AtomicScheme &Scheme = *Ctx.Scheme;
+
+  for (const IRInst &I : IR.Insts) {
+    if (Profiling && (I.Flags & IRFlagInstrument))
+      Cpu.Profile.InlineInstrumentOps++;
+
+    switch (I.Op) {
+    // --- ALU (shared constant-folder semantics) ---------------------------
+    case IROp::MovImm:
+    case IROp::Mov:
+    case IROp::Add:
+    case IROp::Sub:
+    case IROp::Mul:
+    case IROp::UDiv:
+    case IROp::SDiv:
+    case IROp::URem:
+    case IROp::SRem:
+    case IROp::And:
+    case IROp::Or:
+    case IROp::Xor:
+    case IROp::Shl:
+    case IROp::Shr:
+    case IROp::Sar:
+    case IROp::SltS:
+    case IROp::SltU:
+    case IROp::AddImm:
+    case IROp::AndImm:
+    case IROp::OrImm:
+    case IROp::XorImm:
+    case IROp::ShlImm:
+    case IROp::ShrImm:
+    case IROp::SarImm:
+    case IROp::SltSImm:
+    case IROp::SltUImm:
+      SetV(I.Dst, evalAluOp(I.Op, V(I.A), V(I.B), I.Imm));
+      break;
+
+    // --- Guest memory -----------------------------------------------------
+    case IROp::LoadG: {
+      uint64_t Addr = V(I.A) + static_cast<uint64_t>(I.Imm);
+      if (LLSC_UNLIKELY(Addr + I.Size > Mem.size())) {
+        LLSC_ERROR("tid %u: guest load out of range at pc-block 0x%" PRIx64
+                   " addr 0x%" PRIx64,
+                   Cpu.Tid, IR.GuestPc, Addr);
+        Cpu.Halted = true;
+        return {BlockExit::Halted, 0};
+      }
+      uint64_t Value = Mem.load(Addr, I.Size);
+      if (I.Flags & IRFlagSignExtend)
+        Value = static_cast<uint64_t>(signExtend(Value, I.Size * 8));
+      SetV(I.Dst, Value);
+      Cpu.Counters.Loads++;
+      break;
+    }
+    case IROp::StoreG: {
+      uint64_t Addr = V(I.A) + static_cast<uint64_t>(I.Imm);
+      if (LLSC_UNLIKELY(Addr + I.Size > Mem.size())) {
+        LLSC_ERROR("tid %u: guest store out of range at pc-block 0x%" PRIx64
+                   " addr 0x%" PRIx64,
+                   Cpu.Tid, IR.GuestPc, Addr);
+        Cpu.Halted = true;
+        return {BlockExit::Halted, 0};
+      }
+      Mem.store(Addr, V(I.B), I.Size);
+      Cpu.Counters.Stores++;
+      break;
+    }
+
+    // --- Host memory (scheme tables) ---------------------------------------
+    case IROp::LoadHost:
+      SetV(I.Dst, hostLoad(V(I.A) + static_cast<uint64_t>(I.Imm), I.Size));
+      break;
+    case IROp::StoreHost:
+      hostStore(V(I.A) + static_cast<uint64_t>(I.Imm), V(I.B), I.Size);
+      break;
+
+    // --- Atomics ------------------------------------------------------------
+    case IROp::LoadLink:
+      SetV(I.Dst, Scheme.emulateLoadLink(Cpu, V(I.A), I.Size));
+      Cpu.Counters.LoadLinks++;
+      break;
+    case IROp::StoreCond: {
+      bool Ok = Scheme.emulateStoreCond(Cpu, V(I.A), V(I.B), I.Size);
+      SetV(I.Dst, Ok ? 0 : 1);
+      Cpu.Counters.StoreConds++;
+      if (!Ok)
+        Cpu.Counters.StoreCondFailures++;
+      break;
+    }
+    case IROp::ClearExcl:
+      Scheme.clearExclusive(Cpu);
+      break;
+    case IROp::Fence:
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      break;
+
+    // --- Helper-routed memory ------------------------------------------------
+    case IROp::HelperStore:
+      Scheme.storeHook(Cpu, V(I.A) + static_cast<uint64_t>(I.Imm), V(I.B),
+                       I.Size);
+      Cpu.Counters.Stores++;
+      break;
+    case IROp::HelperLoad: {
+      uint64_t Value =
+          Scheme.loadHook(Cpu, V(I.A) + static_cast<uint64_t>(I.Imm), I.Size);
+      if (I.Flags & IRFlagSignExtend)
+        Value = static_cast<uint64_t>(signExtend(Value, I.Size * 8));
+      SetV(I.Dst, Value);
+      Cpu.Counters.Loads++;
+      break;
+    }
+    case IROp::Helper: {
+      const HelperFn &Fn = IR.Helpers[static_cast<size_t>(I.Imm)];
+      SetV(I.Dst, Fn.Fn(Fn.Ctx, &Cpu, V(I.A), V(I.B)));
+      break;
+    }
+
+    case IROp::HstStoreTag: {
+      // Fused HST instrumentation (Figure 5's 4-instruction inline
+      // sequence): one dispatch, no scheme call. Guarded in case a
+      // custom scheme emits the op without publishing a table.
+      if (LLSC_LIKELY(Ctx.HstTable != nullptr)) {
+        uint64_t Addr = V(I.A) + static_cast<uint64_t>(I.Imm);
+        Ctx.HstTable[(Addr >> 2) & Ctx.HstMask].store(
+            Cpu.Tid + 1, std::memory_order_relaxed);
+      }
+      break;
+    }
+
+    case IROp::AtomicAddG: {
+      uint64_t Addr = V(I.A);
+      if (LLSC_UNLIKELY(Addr + I.Size > Mem.size())) {
+        LLSC_ERROR("tid %u: atomic rmw out of range addr 0x%" PRIx64,
+                   Cpu.Tid, Addr);
+        Cpu.Halted = true;
+        return {BlockExit::Halted, 0};
+      }
+      SetV(I.Dst, Mem.fetchAdd(Addr, V(I.B), I.Size));
+      break;
+    }
+
+    // --- Specials --------------------------------------------------------------
+    case IROp::ReadSpecial:
+      switch (static_cast<SpecialValue>(I.Imm)) {
+      case SpecialValue::Tid:
+        SetV(I.Dst, Cpu.Tid);
+        break;
+      case SpecialValue::NumThreads:
+        SetV(I.Dst, Ctx.NumThreads);
+        break;
+      case SpecialValue::ClockNanos:
+        SetV(I.Dst, monotonicNanos());
+        break;
+      }
+      break;
+    case IROp::SysCall:
+      if (static_cast<guest::SysCall>(I.Imm) == guest::SysCall::PrintReg) {
+        std::fprintf(stderr, "[guest tid %u] 0x%016" PRIx64 " (%" PRId64 ")\n",
+                     Cpu.Tid, V(I.A), static_cast<int64_t>(V(I.A)));
+        SetV(I.Dst, V(I.A));
+      } else {
+        LLSC_WARN("unknown SYS selector %lld", static_cast<long long>(I.Imm));
+        SetV(I.Dst, 0);
+      }
+      break;
+    case IROp::Yield: {
+      Cpu.Counters.Yields++;
+      // Mostly a scheduler yield; occasionally a short random sleep.
+      // sched_yield() alone produces near-perfect FIFO rotation on a
+      // single-core host, a schedule so structured that cross-thread
+      // interleavings (the ABA ingredient) cannot form; the sleep models
+      // the timer-interrupt descheduling a loaded multicore shows.
+      thread_local uint64_t YieldLcg = 0x9e3779b97f4a7c15ULL ^
+                                       (uint64_t)(uintptr_t)&YieldLcg;
+      YieldLcg = YieldLcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      if ((YieldLcg >> 60) == 0) {
+        timespec Ts{0, static_cast<long>(20000 + ((YieldLcg >> 20) %
+                                                  100000))};
+        nanosleep(&Ts, nullptr);
+      } else {
+        sched_yield();
+      }
+      break;
+    }
+
+    // --- Terminators --------------------------------------------------------------
+    case IROp::BrCond:
+      if (evalCondCode(I.Cc, V(I.A), V(I.B)))
+        return {BlockExit::TakenBranch, static_cast<uint64_t>(I.Imm)};
+      break;
+    case IROp::SetPcImm:
+      return {BlockExit::FallThrough, static_cast<uint64_t>(I.Imm)};
+    case IROp::SetPc:
+      return {BlockExit::Indirect, V(I.A)};
+    case IROp::Halt:
+      Cpu.Halted = true;
+      return {BlockExit::Halted, 0};
+
+    case IROp::NumOps:
+      llsc_unreachable("invalid opcode reached the interpreter");
+    }
+  }
+  llsc_unreachable("block fell off the end without a terminator");
+}
+
+ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
+                                   bool Registered) {
+  ExclusiveContext &Excl = *Ctx.Excl;
+  std::vector<uint64_t> Temps;
+
+  uint64_t WallStart = monotonicNanos();
+  auto Finish = [&](RunStatus Status) {
+    Cpu.Profile.WallNs += monotonicNanos() - WallStart;
+    return Status;
+  };
+
+  auto BlockOrErr = Cache.lookup(Cpu.Pc);
+  if (!BlockOrErr)
+    return BlockOrErr.error();
+  CachedBlock *Block = *BlockOrErr;
+
+  uint64_t Executed = 0;
+  while (true) {
+    if (Registered)
+      Excl.safepoint();
+
+    if (LLSC_UNLIKELY(logEnabled(LogLevel::Trace)))
+      LLSC_TRACE("tid %u exec block 0x%" PRIx64 " (%u insts)", Cpu.Tid,
+                 Block->IR.GuestPc, Block->IR.GuestInstCount);
+
+    BlockExit Exit = execBlock(Cpu, *Block, Temps);
+    Cpu.Counters.ExecutedBlocks++;
+    Cpu.Counters.ExecutedInsts += Block->IR.GuestInstCount;
+
+    if (Cpu.InLongTx && Ctx.Htm)
+      Ctx.Htm->noteFootprint(Cpu.Tid, Block->IR.GuestInstCount);
+
+    if (Exit.ExitKind == BlockExit::Halted) {
+      Cpu.Pc = 0;
+      return Finish(RunStatus::Halted);
+    }
+    Cpu.Pc = Exit.NextPc;
+
+    ++Executed;
+    if (MaxBlocks && Executed >= MaxBlocks)
+      return Finish(RunStatus::Running);
+    if (Config.MaxBlocksPerCpu &&
+        Cpu.Counters.ExecutedBlocks >= Config.MaxBlocksPerCpu)
+      return Finish(RunStatus::TimedOut);
+    // Checked every block: under scheme livelock a thread may spend
+    // nearly all wall time parked or asleep and execute blocks only
+    // rarely, so a sampled check would never fire.
+    if (Config.MaxWallNanosPerCpu &&
+        monotonicNanos() - WallStart > Config.MaxWallNanosPerCpu)
+      return Finish(RunStatus::TimedOut);
+
+    // Next block: direct chain for the two static successors, full lookup
+    // for indirect branches.
+    ErrorOr<CachedBlock *> NextOrErr = [&]() -> ErrorOr<CachedBlock *> {
+      switch (Exit.ExitKind) {
+      case BlockExit::TakenBranch:
+        return Cache.chain(*Block, 0, Exit.NextPc);
+      case BlockExit::FallThrough:
+        return Cache.chain(*Block, 1, Exit.NextPc);
+      case BlockExit::Indirect:
+        return Cache.lookup(Exit.NextPc);
+      case BlockExit::Halted:
+        break;
+      }
+      llsc_unreachable("unexpected exit kind");
+    }();
+    if (!NextOrErr)
+      return NextOrErr.error();
+    Block = *NextOrErr;
+  }
+}
+
+ErrorOr<RunStatus> Engine::runCpu(VCpu &Cpu) {
+  Ctx.Excl->execStart();
+  Cpu.InRunLoop = true;
+  auto Result = runLoop(Cpu, /*MaxBlocks=*/0, /*Registered=*/true);
+  // Release scheme state that may span guest instructions (open PICO-HTM
+  // transactions / exclusive floors) before deregistering.
+  Ctx.Scheme->onCpuStopped(Cpu);
+  Cpu.InRunLoop = false;
+  Ctx.Excl->execEnd();
+  return Result;
+}
+
+ErrorOr<RunStatus> Engine::stepBlocks(VCpu &Cpu, uint64_t MaxBlocks) {
+  if (Cpu.Halted)
+    return RunStatus::Halted;
+  return runLoop(Cpu, MaxBlocks, /*Registered=*/false);
+}

@@ -1,0 +1,95 @@
+//===- engine/Engine.h - IR execution engine --------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes translated blocks for one vCPU: a threaded-dispatch interpreter
+/// over the micro-op IR with QEMU-style block chaining, safepoint polling
+/// for exclusive sections, per-block HTM footprint accounting (PICO-HTM),
+/// and instruction-mix counting.
+///
+/// Two driving modes:
+///  - runCpu(): run until HALT; one host thread per vCPU (the
+///    multi-threaded emulation mode whose scalability Fig. 10 studies);
+///  - stepBlocks(): run a bounded number of blocks, used by the
+///    cooperative round-robin runner that replays the deterministic
+///    interleavings of Section IV-A's litmus sequences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_ENGINE_ENGINE_H
+#define LLSC_ENGINE_ENGINE_H
+
+#include "engine/TbCache.h"
+#include "runtime/VCpu.h"
+
+#include <vector>
+
+namespace llsc {
+
+/// Engine tunables.
+struct EngineConfig {
+  /// Attribute time/ops to profile buckets (Fig. 12 runs).
+  bool Profile = false;
+  /// Stop a vCPU after this many executed blocks (0 = unlimited). Guards
+  /// against livelock (PICO-HTM) and runaway guests.
+  uint64_t MaxBlocksPerCpu = 0;
+  /// Stop a vCPU after this much wall time (0 = unlimited), polled every
+  /// few hundred blocks. Catches livelocks whose time is spent inside
+  /// scheme spin loops rather than in guest blocks.
+  uint64_t MaxWallNanosPerCpu = 0;
+};
+
+/// Why execution of a vCPU stopped.
+enum class RunStatus {
+  Halted,   ///< The guest executed HALT.
+  Running,  ///< stepBlocks() budget exhausted; more work remains.
+  TimedOut, ///< MaxBlocksPerCpu reached.
+};
+
+/// Executes guest code for vCPUs of one machine.
+class Engine {
+public:
+  Engine(MachineContext &Ctx, TbCache &Cache, const EngineConfig &Config)
+      : Ctx(Ctx), Cache(Cache), Config(Config) {}
+
+  /// Runs \p Cpu until HALT (or the block budget). Brackets execution with
+  /// ExclusiveContext::execStart/execEnd and polls safepoints, so it is
+  /// safe to run one runCpu per host thread concurrently.
+  ErrorOr<RunStatus> runCpu(VCpu &Cpu);
+
+  /// Runs at most \p MaxBlocks blocks of \p Cpu without registering as a
+  /// running thread (single-threaded cooperative mode).
+  ErrorOr<RunStatus> stepBlocks(VCpu &Cpu, uint64_t MaxBlocks);
+
+private:
+  /// How a block handed control back.
+  struct BlockExit {
+    enum Kind : uint8_t {
+      TakenBranch, ///< BrCond taken: chain slot 0.
+      FallThrough, ///< Final SetPcImm: chain slot 1.
+      Indirect,    ///< SetPc: full cache lookup.
+      Halted,
+    } ExitKind;
+    uint64_t NextPc;
+  };
+
+  BlockExit execBlock(VCpu &Cpu, const CachedBlock &Block,
+                      std::vector<uint64_t> &Temps);
+
+  /// Shared body of runCpu/stepBlocks. \p Registered: whether the caller
+  /// holds an execStart registration (enables safepoints). The temp value
+  /// file lives in the caller's frame, so one Engine instance serves any
+  /// number of concurrent host threads.
+  ErrorOr<RunStatus> runLoop(VCpu &Cpu, uint64_t MaxBlocks, bool Registered);
+
+  MachineContext &Ctx;
+  TbCache &Cache;
+  EngineConfig Config;
+};
+
+} // namespace llsc
+
+#endif // LLSC_ENGINE_ENGINE_H

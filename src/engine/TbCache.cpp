@@ -1,0 +1,68 @@
+//===- engine/TbCache.cpp - Translation block cache ----------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/TbCache.h"
+
+#include "translate/Translator.h"
+
+#include <mutex>
+
+using namespace llsc;
+
+ErrorOr<CachedBlock *> TbCache::lookup(uint64_t Pc) {
+  Lookups.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::shared_lock<std::shared_mutex> ReadLock(Mutex);
+    auto It = Blocks.find(Pc);
+    if (It != Blocks.end())
+      return It->second.get();
+  }
+
+  std::unique_lock<std::shared_mutex> WriteLock(Mutex);
+  // Another thread may have translated it while we upgraded.
+  auto It = Blocks.find(Pc);
+  if (It != Blocks.end())
+    return It->second.get();
+
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  // Translation runs under the writer lock, which also serializes the
+  // Translator's statistics.
+  auto BlockOrErr = Trans.translateBlock(Pc);
+  if (!BlockOrErr)
+    return BlockOrErr.error();
+
+  auto Cached = std::make_unique<CachedBlock>();
+  Cached->IR = BlockOrErr.take();
+  CachedBlock *Raw = Cached.get();
+  Blocks.emplace(Pc, std::move(Cached));
+  return Raw;
+}
+
+ErrorOr<CachedBlock *> TbCache::chain(CachedBlock &Block, unsigned Slot,
+                                      uint64_t TargetPc) {
+  if (CachedBlock *Cached = Block.Chain[Slot].load(std::memory_order_acquire))
+    if (Block.ChainPc[Slot] == TargetPc)
+      return Cached;
+
+  auto TargetOrErr = lookup(TargetPc);
+  if (!TargetOrErr)
+    return TargetOrErr.error();
+  // Benign race: several threads may resolve the same slot to the same
+  // value. ChainPc is written before the pointer is published.
+  Block.ChainPc[Slot] = TargetPc;
+  Block.Chain[Slot].store(*TargetOrErr, std::memory_order_release);
+  return *TargetOrErr;
+}
+
+void TbCache::flush() {
+  std::unique_lock<std::shared_mutex> WriteLock(Mutex);
+  Blocks.clear();
+}
+
+size_t TbCache::size() const {
+  std::shared_lock<std::shared_mutex> ReadLock(Mutex);
+  return Blocks.size();
+}

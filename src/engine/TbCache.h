@@ -1,0 +1,73 @@
+//===- engine/TbCache.h - Translation block cache ---------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared translation-block cache: guest pc -> translated block, with
+/// QEMU-style direct block chaining so the hot path (loops) avoids the
+/// hash lookup. Blocks are translated once under the writer lock and are
+/// immutable afterwards; chain pointers are published with atomics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_ENGINE_TBCACHE_H
+#define LLSC_ENGINE_TBCACHE_H
+
+#include "ir/IR.h"
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace llsc {
+
+class Translator;
+
+/// A cached, immutable translated block plus its chain slots.
+struct CachedBlock {
+  ir::IRBlock IR;
+
+  /// Direct-chain successors: slot 0 = BrCond taken target, slot 1 =
+  /// final SetPcImm target. Resolved lazily; nullptr until then.
+  std::atomic<CachedBlock *> Chain[2] = {nullptr, nullptr};
+  uint64_t ChainPc[2] = {~0ULL, ~0ULL};
+};
+
+/// Thread-safe pc -> block cache.
+class TbCache {
+public:
+  explicit TbCache(Translator &Translator) : Trans(Translator) {}
+
+  /// Looks up (translating on miss) the block at \p Pc.
+  /// \returns the cached block, or an error from translation.
+  ErrorOr<CachedBlock *> lookup(uint64_t Pc);
+
+  /// Resolves a chain slot of \p Block to the block at \p TargetPc,
+  /// memoizing the pointer. \returns the successor block.
+  ErrorOr<CachedBlock *> chain(CachedBlock &Block, unsigned Slot,
+                               uint64_t TargetPc);
+
+  /// Drops every cached block (e.g. between runs with different hooks).
+  void flush();
+
+  size_t size() const;
+
+  uint64_t lookups() const { return Lookups.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+private:
+  Translator &Trans;
+  mutable std::shared_mutex Mutex;
+  std::unordered_map<uint64_t, std::unique_ptr<CachedBlock>> Blocks;
+  std::atomic<uint64_t> Lookups{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace llsc
+
+#endif // LLSC_ENGINE_TBCACHE_H

@@ -1,0 +1,772 @@
+//===- guest/Assembler.cpp - GRV two-pass assembler -------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Assembler.h"
+
+#include "guest/Encoding.h"
+#include "support/BitUtils.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace llsc;
+using namespace llsc::guest;
+
+namespace {
+
+/// How an instruction/data immediate gets its final value in pass 2.
+enum class ImmKind {
+  Literal,        ///< Imm/Addend holds the value directly.
+  SymbolAbs,      ///< Value = sym + addend.
+  SymbolBranch,   ///< Value = (sym + addend - item address) / 4.
+  SymbolHalfword, ///< Value = ((sym + addend) >> hw*16) & 0xffff.
+};
+
+struct ImmSpec {
+  ImmKind Kind = ImmKind::Literal;
+  std::string Symbol;
+  int64_t Addend = 0;
+};
+
+/// One unit of output: an instruction or a datum.
+struct Item {
+  enum class Kind { Instruction, Data, Space } ItemKind = Kind::Instruction;
+  int Line = 0;
+  uint64_t Address = 0;
+
+  // Instruction payload (immediate may come from Spec).
+  Inst Proto;
+  ImmSpec Spec;
+
+  // Data payload: SizeBytes in {1,2,4,8}; value from Spec.
+  // Space payload: SizeBytes arbitrary, zero fill.
+  uint64_t SizeBytes = 0;
+};
+
+class AssemblerImpl {
+public:
+  AssemblerImpl(std::string_view Source, uint64_t BaseAddr)
+      : Source(Source), BaseAddr(BaseAddr) {}
+
+  ErrorOr<Program> run();
+
+private:
+  // --- Pass 1 helpers -----------------------------------------------------
+  bool parseLine(std::string_view Body);
+  bool parseDirective(std::string_view Body);
+  bool parseInstruction(std::string_view Mnemonic,
+                        const std::vector<std::string_view> &Operands);
+  bool parsePseudo(std::string_view Mnemonic,
+                   const std::vector<std::string_view> &Operands,
+                   bool &Handled);
+
+  /// Splits the operand list on commas, respecting [...] brackets.
+  static std::vector<std::string_view> splitOperands(std::string_view Str);
+
+  bool parseRegOperand(std::string_view Tok, unsigned &Reg);
+  bool parseImmOperand(std::string_view Tok, ImmSpec &Spec);
+  bool parseMemOperand(std::string_view Tok, unsigned &Base, ImmSpec &Spec);
+
+  void emitInst(const Inst &Proto, ImmSpec Spec = ImmSpec());
+  void emitExpandedInst(const Inst &Proto);
+  void emitData(uint64_t SizeBytes, ImmSpec Spec);
+  void emitSpace(uint64_t SizeBytes);
+  bool defineSymbol(std::string_view Name, uint64_t Value);
+
+  bool fail(const std::string &Message) {
+    if (!FirstError)
+      FirstError = Error(Message, CurrentLine);
+    return false;
+  }
+
+  // --- Pass 2 -------------------------------------------------------------
+  ErrorOr<Program> finalize();
+  bool resolveImm(const Item &It, int64_t &Value);
+
+  std::string_view Source;
+  uint64_t BaseAddr;
+  uint64_t Lc = 0; ///< Location counter, relative to BaseAddr.
+  int CurrentLine = 0;
+  std::vector<Item> Items;
+  std::map<std::string, uint64_t> Symbols;
+  std::optional<Error> FirstError;
+};
+
+std::vector<std::string_view>
+AssemblerImpl::splitOperands(std::string_view Str) {
+  std::vector<std::string_view> Out;
+  int Depth = 0;
+  size_t Begin = 0;
+  for (size_t I = 0; I <= Str.size(); ++I) {
+    if (I == Str.size() || (Str[I] == ',' && Depth == 0)) {
+      std::string_view Piece = trim(Str.substr(Begin, I - Begin));
+      if (!Piece.empty() || !Out.empty() || I != Str.size())
+        Out.push_back(Piece);
+      Begin = I + 1;
+      continue;
+    }
+    if (Str[I] == '[')
+      ++Depth;
+    else if (Str[I] == ']')
+      --Depth;
+  }
+  // Trim a trailing empty piece caused by the sentinel iteration.
+  while (!Out.empty() && Out.back().empty())
+    Out.pop_back();
+  return Out;
+}
+
+bool AssemblerImpl::parseRegOperand(std::string_view Tok, unsigned &Reg) {
+  auto Parsed = parseRegName(Tok);
+  if (!Parsed)
+    return fail("expected register, got '" + std::string(Tok) + "'");
+  Reg = *Parsed;
+  return true;
+}
+
+bool AssemblerImpl::parseImmOperand(std::string_view Tok, ImmSpec &Spec) {
+  Tok = trim(Tok);
+  if (!Tok.empty() && Tok[0] == '#')
+    Tok = trim(Tok.substr(1));
+  if (Tok.empty())
+    return fail("empty immediate operand");
+
+  // Plain integer?
+  if (auto Value = parseInteger(Tok)) {
+    Spec.Kind = ImmKind::Literal;
+    Spec.Symbol.clear();
+    Spec.Addend = *Value;
+    return true;
+  }
+
+  // symbol, symbol+int, symbol-int.
+  size_t Split = Tok.find_first_of("+-", 1);
+  std::string_view Name = Tok;
+  int64_t Addend = 0;
+  if (Split != std::string_view::npos) {
+    Name = trim(Tok.substr(0, Split));
+    auto Value = parseInteger(Tok.substr(Split));
+    if (!Value)
+      return fail("bad symbol addend in '" + std::string(Tok) + "'");
+    Addend = *Value;
+  }
+  if (Name.empty())
+    return fail("bad immediate '" + std::string(Tok) + "'");
+
+  Spec.Kind = ImmKind::SymbolAbs;
+  Spec.Symbol = std::string(Name);
+  Spec.Addend = Addend;
+  return true;
+}
+
+bool AssemblerImpl::parseMemOperand(std::string_view Tok, unsigned &Base,
+                                    ImmSpec &Spec) {
+  Tok = trim(Tok);
+  if (Tok.size() < 3 || Tok.front() != '[' || Tok.back() != ']')
+    return fail("expected memory operand [reg] or [reg, #imm], got '" +
+                std::string(Tok) + "'");
+  std::string_view Inner = Tok.substr(1, Tok.size() - 2);
+  auto Parts = split(Inner, ',');
+  if (Parts.empty() || Parts.size() > 2)
+    return fail("malformed memory operand '" + std::string(Tok) + "'");
+  if (!parseRegOperand(Parts[0], Base))
+    return false;
+  Spec = ImmSpec(); // Zero offset by default.
+  if (Parts.size() == 2 && !parseImmOperand(Parts[1], Spec))
+    return false;
+  return true;
+}
+
+void AssemblerImpl::emitExpandedInst(const Inst &Proto) {
+  // Pseudo-expansion instructions carry their final immediate in the
+  // Inst itself; wrap it in a literal spec so pass 2 preserves it.
+  ImmSpec Spec;
+  Spec.Kind = ImmKind::Literal;
+  Spec.Addend = Proto.Imm;
+  emitInst(Proto, std::move(Spec));
+}
+
+void AssemblerImpl::emitInst(const Inst &Proto, ImmSpec Spec) {
+  if (!isAligned(Lc, InstBytes)) {
+    fail("instruction at misaligned offset; add .align 4");
+    return;
+  }
+  Item It;
+  It.ItemKind = Item::Kind::Instruction;
+  It.Line = CurrentLine;
+  It.Address = BaseAddr + Lc;
+  It.Proto = Proto;
+  It.Spec = std::move(Spec);
+  Items.push_back(std::move(It));
+  Lc += InstBytes;
+}
+
+void AssemblerImpl::emitData(uint64_t SizeBytes, ImmSpec Spec) {
+  Item It;
+  It.ItemKind = Item::Kind::Data;
+  It.Line = CurrentLine;
+  It.Address = BaseAddr + Lc;
+  It.SizeBytes = SizeBytes;
+  It.Spec = std::move(Spec);
+  Items.push_back(std::move(It));
+  Lc += SizeBytes;
+}
+
+void AssemblerImpl::emitSpace(uint64_t SizeBytes) {
+  Item It;
+  It.ItemKind = Item::Kind::Space;
+  It.Line = CurrentLine;
+  It.Address = BaseAddr + Lc;
+  It.SizeBytes = SizeBytes;
+  Items.push_back(std::move(It));
+  Lc += SizeBytes;
+}
+
+bool AssemblerImpl::defineSymbol(std::string_view Name, uint64_t Value) {
+  auto [It, Inserted] = Symbols.emplace(std::string(Name), Value);
+  if (!Inserted)
+    return fail("redefinition of symbol '" + std::string(Name) + "'");
+  return true;
+}
+
+bool AssemblerImpl::parseDirective(std::string_view Body) {
+  auto Tokens = splitWhitespace(Body);
+  assert(!Tokens.empty());
+  std::string_view Directive = Tokens[0];
+  std::string_view Rest = trim(Body.substr(Directive.size()));
+
+  if (equalsLower(Directive, ".equ")) {
+    auto Parts = split(Rest, ',');
+    if (Parts.size() != 2)
+      return fail(".equ expects: .equ NAME, value");
+    ImmSpec Spec;
+    if (!parseImmOperand(Parts[1], Spec))
+      return false;
+    int64_t Value = Spec.Addend;
+    if (Spec.Kind != ImmKind::Literal) {
+      auto Known = Symbols.find(Spec.Symbol);
+      if (Known == Symbols.end())
+        return fail(".equ value must be a literal or an already-defined "
+                    "symbol");
+      Value += static_cast<int64_t>(Known->second);
+    }
+    return defineSymbol(Parts[0], static_cast<uint64_t>(Value));
+  }
+
+  if (equalsLower(Directive, ".align")) {
+    auto Value = parseInteger(Rest);
+    if (!Value || *Value <= 0 || !isPowerOf2(static_cast<uint64_t>(*Value)))
+      return fail(".align expects a positive power-of-two byte count");
+    uint64_t Align = static_cast<uint64_t>(*Value);
+    uint64_t NewLc = alignTo(Lc, Align);
+    if (NewLc != Lc)
+      emitSpace(NewLc - Lc);
+    return true;
+  }
+
+  if (equalsLower(Directive, ".space")) {
+    auto Value = parseInteger(Rest);
+    if (!Value || *Value < 0)
+      return fail(".space expects a non-negative byte count");
+    if (*Value > 0)
+      emitSpace(static_cast<uint64_t>(*Value));
+    return true;
+  }
+
+  unsigned SizeBytes = 0;
+  if (equalsLower(Directive, ".byte"))
+    SizeBytes = 1;
+  else if (equalsLower(Directive, ".half"))
+    SizeBytes = 2;
+  else if (equalsLower(Directive, ".word"))
+    SizeBytes = 4;
+  else if (equalsLower(Directive, ".quad"))
+    SizeBytes = 8;
+  else if (equalsLower(Directive, ".global") ||
+           equalsLower(Directive, ".text") || equalsLower(Directive, ".data"))
+    return true; // Accepted and ignored for source compatibility.
+  else
+    return fail("unknown directive '" + std::string(Directive) + "'");
+
+  auto Values = split(Rest, ',');
+  if (Values.empty() || (Values.size() == 1 && Values[0].empty()))
+    return fail(std::string(Directive) + " expects at least one value");
+  for (std::string_view ValueTok : Values) {
+    ImmSpec Spec;
+    if (!parseImmOperand(ValueTok, Spec))
+      return false;
+    emitData(SizeBytes, std::move(Spec));
+  }
+  return true;
+}
+
+bool AssemblerImpl::parsePseudo(std::string_view Mnemonic,
+                                const std::vector<std::string_view> &Operands,
+                                bool &Handled) {
+  Handled = true;
+
+  auto MakeHalfwordSpec = [](const ImmSpec &Base, unsigned Hw) {
+    ImmSpec Spec = Base;
+    Spec.Kind = ImmKind::SymbolHalfword;
+    (void)Hw; // Halfword index travels in Proto.Hw.
+    return Spec;
+  };
+
+  if (equalsLower(Mnemonic, "li") || equalsLower(Mnemonic, "la")) {
+    if (Operands.size() != 2)
+      return fail("li/la expect: rd, value");
+    unsigned Rd;
+    if (!parseRegOperand(Operands[0], Rd))
+      return false;
+    ImmSpec Spec;
+    if (!parseImmOperand(Operands[1], Spec))
+      return false;
+    if (Spec.Kind == ImmKind::Literal) {
+      for (const Inst &I :
+           expandLoadImmediate(Rd, static_cast<uint64_t>(Spec.Addend)))
+        emitExpandedInst(I);
+      return true;
+    }
+    // Symbolic value: fixed four-instruction expansion so the size is known
+    // before symbol resolution.
+    for (unsigned Hw = 0; Hw < 4; ++Hw) {
+      Inst I;
+      I.Op = Hw == 0 ? Opcode::MOVZ : Opcode::MOVK;
+      I.Rd = static_cast<uint8_t>(Rd);
+      I.Hw = static_cast<uint8_t>(Hw);
+      emitInst(I, MakeHalfwordSpec(Spec, Hw));
+    }
+    return true;
+  }
+
+  if (equalsLower(Mnemonic, "mov")) {
+    if (Operands.size() != 2)
+      return fail("mov expects: rd, rs|#imm");
+    unsigned Rd;
+    if (!parseRegOperand(Operands[0], Rd))
+      return false;
+    if (auto Rs = parseRegName(Operands[1])) {
+      Inst I;
+      I.Op = Opcode::ADDI;
+      I.Rd = static_cast<uint8_t>(Rd);
+      I.Rs1 = static_cast<uint8_t>(*Rs);
+      I.Imm = 0;
+      emitExpandedInst(I);
+      return true;
+    }
+    ImmSpec Spec;
+    if (!parseImmOperand(Operands[1], Spec))
+      return false;
+    if (Spec.Kind != ImmKind::Literal)
+      return fail("mov with a symbol: use la/li");
+    for (const Inst &I :
+         expandLoadImmediate(Rd, static_cast<uint64_t>(Spec.Addend)))
+      emitExpandedInst(I);
+    return true;
+  }
+
+  if (equalsLower(Mnemonic, "ret")) {
+    if (!Operands.empty())
+      return fail("ret takes no operands");
+    Inst I;
+    I.Op = Opcode::BR;
+    I.Rs1 = RegLr;
+    emitExpandedInst(I);
+    return true;
+  }
+
+  if (equalsLower(Mnemonic, "j")) { // Alias of b.
+    return parseInstruction("b", Operands);
+  }
+
+  Handled = false;
+  return true;
+}
+
+bool AssemblerImpl::parseInstruction(
+    std::string_view Mnemonic, const std::vector<std::string_view> &Operands) {
+  bool Handled = false;
+  if (!parsePseudo(Mnemonic, Operands, Handled))
+    return false;
+  if (Handled)
+    return true;
+
+  auto Op = parseOpcode(Mnemonic);
+  if (!Op)
+    return fail("unknown mnemonic '" + std::string(Mnemonic) + "'");
+
+  const OpcodeInfo &Info = getOpcodeInfo(*Op);
+  Inst I;
+  I.Op = *Op;
+  ImmSpec Spec;
+  unsigned Reg = 0;
+
+  auto Expect = [&](size_t N) {
+    if (Operands.size() == N)
+      return true;
+    return fail(std::string(Mnemonic) + " expects " + std::to_string(N) +
+                " operand(s), got " + std::to_string(Operands.size()));
+  };
+
+  switch (Info.Form) {
+  case Format::R:
+    // Sub-cases by opcode family.
+    if (*Op == Opcode::LDXRW || *Op == Opcode::LDXRD) {
+      if (!Expect(2))
+        return false;
+      if (!parseRegOperand(Operands[0], Reg))
+        return false;
+      I.Rd = static_cast<uint8_t>(Reg);
+      ImmSpec Off;
+      if (!parseMemOperand(Operands[1], Reg, Off))
+        return false;
+      if (Off.Kind != ImmKind::Literal || Off.Addend != 0)
+        return fail("exclusive loads take no offset");
+      I.Rs1 = static_cast<uint8_t>(Reg);
+      break;
+    }
+    if (*Op == Opcode::STXRW || *Op == Opcode::STXRD) {
+      if (!Expect(3))
+        return false;
+      if (!parseRegOperand(Operands[0], Reg)) // Status register.
+        return false;
+      I.Rd = static_cast<uint8_t>(Reg);
+      if (!parseRegOperand(Operands[1], Reg)) // Value register.
+        return false;
+      I.Rs2 = static_cast<uint8_t>(Reg);
+      ImmSpec Off;
+      if (!parseMemOperand(Operands[2], Reg, Off))
+        return false;
+      if (Off.Kind != ImmKind::Literal || Off.Addend != 0)
+        return fail("exclusive stores take no offset");
+      I.Rs1 = static_cast<uint8_t>(Reg);
+      break;
+    }
+    if (*Op == Opcode::BR) {
+      if (!Expect(1))
+        return false;
+      if (!parseRegOperand(Operands[0], Reg))
+        return false;
+      I.Rs1 = static_cast<uint8_t>(Reg);
+      break;
+    }
+    if (*Op == Opcode::TID) {
+      if (!Expect(1))
+        return false;
+      if (!parseRegOperand(Operands[0], Reg))
+        return false;
+      I.Rd = static_cast<uint8_t>(Reg);
+      break;
+    }
+    if (*Op == Opcode::NOP || *Op == Opcode::HALT || *Op == Opcode::YIELD ||
+        *Op == Opcode::DMB || *Op == Opcode::CLREX) {
+      if (!Expect(0))
+        return false;
+      break;
+    }
+    // Three-register ALU.
+    if (!Expect(3))
+      return false;
+    if (!parseRegOperand(Operands[0], Reg))
+      return false;
+    I.Rd = static_cast<uint8_t>(Reg);
+    if (!parseRegOperand(Operands[1], Reg))
+      return false;
+    I.Rs1 = static_cast<uint8_t>(Reg);
+    if (!parseRegOperand(Operands[2], Reg))
+      return false;
+    I.Rs2 = static_cast<uint8_t>(Reg);
+    break;
+
+  case Format::I:
+    if (Info.IsLoad || Info.IsStore) {
+      if (!Expect(2))
+        return false;
+      if (!parseRegOperand(Operands[0], Reg))
+        return false;
+      I.Rd = static_cast<uint8_t>(Reg);
+      if (!parseMemOperand(Operands[1], Reg, Spec))
+        return false;
+      I.Rs1 = static_cast<uint8_t>(Reg);
+      break;
+    }
+    if (*Op == Opcode::SYS) {
+      // `sys rd, #sel` or `sys #sel`.
+      if (Operands.size() == 1) {
+        if (!parseImmOperand(Operands[0], Spec))
+          return false;
+        break;
+      }
+      if (!Expect(2))
+        return false;
+      if (!parseRegOperand(Operands[0], Reg))
+        return false;
+      I.Rd = static_cast<uint8_t>(Reg);
+      if (!parseImmOperand(Operands[1], Spec))
+        return false;
+      break;
+    }
+    // Register-immediate ALU.
+    if (!Expect(3))
+      return false;
+    if (!parseRegOperand(Operands[0], Reg))
+      return false;
+    I.Rd = static_cast<uint8_t>(Reg);
+    if (!parseRegOperand(Operands[1], Reg))
+      return false;
+    I.Rs1 = static_cast<uint8_t>(Reg);
+    if (!parseImmOperand(Operands[2], Spec))
+      return false;
+    break;
+
+  case Format::B: {
+    bool CompareZero = *Op == Opcode::CBZ || *Op == Opcode::CBNZ;
+    size_t NumOps = CompareZero ? 2 : 3;
+    if (!Expect(NumOps))
+      return false;
+    if (!parseRegOperand(Operands[0], Reg))
+      return false;
+    I.Rs1 = static_cast<uint8_t>(Reg);
+    if (!CompareZero) {
+      if (!parseRegOperand(Operands[1], Reg))
+        return false;
+      I.Rs2 = static_cast<uint8_t>(Reg);
+    }
+    if (!parseImmOperand(Operands[NumOps - 1], Spec))
+      return false;
+    if (Spec.Kind == ImmKind::SymbolAbs)
+      Spec.Kind = ImmKind::SymbolBranch;
+    else
+      return fail("branch target must be a label");
+    break;
+  }
+
+  case Format::W: {
+    // movz/movk rd, #imm16 [, lsl #shift].
+    if (Operands.size() != 2 && Operands.size() != 3)
+      return fail("movz/movk expect: rd, #imm16 [, lsl #shift]");
+    if (!parseRegOperand(Operands[0], Reg))
+      return false;
+    I.Rd = static_cast<uint8_t>(Reg);
+    if (!parseImmOperand(Operands[1], Spec))
+      return false;
+    if (Spec.Kind != ImmKind::Literal)
+      return fail("movz/movk immediates must be literals (use li/la)");
+    if (Operands.size() == 3) {
+      auto Tokens = splitWhitespace(Operands[2]);
+      if (Tokens.size() != 2 || !equalsLower(Tokens[0], "lsl"))
+        return fail("expected 'lsl #shift'");
+      ImmSpec Shift;
+      if (!parseImmOperand(Tokens[1], Shift) ||
+          Shift.Kind != ImmKind::Literal || Shift.Addend % 16 != 0 ||
+          Shift.Addend < 0 || Shift.Addend > 48)
+        return fail("movz/movk shift must be 0, 16, 32, or 48");
+      I.Hw = static_cast<uint8_t>(Shift.Addend / 16);
+    }
+    break;
+  }
+
+  case Format::J:
+    if (!Expect(1))
+      return false;
+    if (!parseImmOperand(Operands[0], Spec))
+      return false;
+    if (Spec.Kind == ImmKind::SymbolAbs)
+      Spec.Kind = ImmKind::SymbolBranch;
+    else
+      return fail("jump target must be a label");
+    break;
+  }
+
+  emitInst(I, std::move(Spec));
+  return true;
+}
+
+bool AssemblerImpl::parseLine(std::string_view Body) {
+  // Strip comments.
+  for (size_t I = 0; I < Body.size(); ++I) {
+    if (Body[I] == ';' ||
+        (Body[I] == '/' && I + 1 < Body.size() && Body[I + 1] == '/')) {
+      Body = Body.substr(0, I);
+      break;
+    }
+  }
+  Body = trim(Body);
+  if (Body.empty())
+    return true;
+
+  // Leading labels: "name:".
+  while (true) {
+    size_t Colon = Body.find(':');
+    if (Colon == std::string_view::npos)
+      break;
+    std::string_view Label = trim(Body.substr(0, Colon));
+    // A colon inside an operand list (e.g. never in this ISA) would break
+    // this; labels must be identifier-like.
+    bool IsIdent = !Label.empty();
+    for (char C : Label)
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_' && C != '.')
+        IsIdent = false;
+    if (!IsIdent)
+      break;
+    if (!defineSymbol(Label, BaseAddr + Lc))
+      return false;
+    Body = trim(Body.substr(Colon + 1));
+    if (Body.empty())
+      return true;
+  }
+
+  if (Body[0] == '.')
+    return parseDirective(Body);
+
+  // Mnemonic + operands.
+  size_t SpacePos = Body.find_first_of(" \t");
+  std::string_view Mnemonic = Body.substr(0, SpacePos);
+  std::string_view Rest =
+      SpacePos == std::string_view::npos ? "" : trim(Body.substr(SpacePos));
+  return parseInstruction(Mnemonic, splitOperands(Rest));
+}
+
+bool AssemblerImpl::resolveImm(const Item &It, int64_t &Value) {
+  const ImmSpec &Spec = It.Spec;
+  if (Spec.Kind == ImmKind::Literal) {
+    Value = Spec.Addend;
+    return true;
+  }
+  auto SymIt = Symbols.find(Spec.Symbol);
+  if (SymIt == Symbols.end()) {
+    if (!FirstError)
+      FirstError =
+          Error("undefined symbol '" + Spec.Symbol + "'", It.Line);
+    return false;
+  }
+  int64_t Target = static_cast<int64_t>(SymIt->second) + Spec.Addend;
+
+  switch (Spec.Kind) {
+  case ImmKind::SymbolAbs:
+    Value = Target;
+    return true;
+  case ImmKind::SymbolBranch: {
+    int64_t Delta = Target - static_cast<int64_t>(It.Address);
+    if (Delta % InstBytes != 0) {
+      if (!FirstError)
+        FirstError = Error("branch target '" + Spec.Symbol +
+                               "' is not instruction-aligned",
+                           It.Line);
+      return false;
+    }
+    Value = Delta / InstBytes;
+    return true;
+  }
+  case ImmKind::SymbolHalfword:
+    Value = static_cast<int64_t>(
+        (static_cast<uint64_t>(Target) >> (It.Proto.Hw * 16)) & 0xffff);
+    return true;
+  case ImmKind::Literal:
+    break;
+  }
+  llsc_unreachable("covered switch");
+}
+
+ErrorOr<Program> AssemblerImpl::finalize() {
+  std::vector<uint8_t> Image(Lc, 0);
+
+  auto StoreLe = [&](uint64_t Offset, uint64_t Value, unsigned Bytes) {
+    for (unsigned B = 0; B < Bytes; ++B)
+      Image[Offset + B] = static_cast<uint8_t>(Value >> (8 * B));
+  };
+
+  for (const Item &It : Items) {
+    uint64_t Offset = It.Address - BaseAddr;
+    switch (It.ItemKind) {
+    case Item::Kind::Space:
+      break; // Already zero.
+    case Item::Kind::Data: {
+      int64_t Value;
+      if (!resolveImm(It, Value))
+        return *FirstError;
+      if (It.SizeBytes < 8 &&
+          !fitsSigned(Value, static_cast<unsigned>(It.SizeBytes * 8)) &&
+          !fitsUnsigned(static_cast<uint64_t>(Value),
+                        static_cast<unsigned>(It.SizeBytes * 8)))
+        return Error(formatString("data value %lld does not fit %u bytes",
+                                  static_cast<long long>(Value),
+                                  static_cast<unsigned>(It.SizeBytes)),
+                     It.Line);
+      StoreLe(Offset, static_cast<uint64_t>(Value), It.SizeBytes);
+      break;
+    }
+    case Item::Kind::Instruction: {
+      Inst I = It.Proto;
+      int64_t Value;
+      if (!resolveImm(It, Value))
+        return *FirstError;
+      I.Imm = Value;
+      auto WordOrErr = encode(I);
+      if (!WordOrErr)
+        return Error(WordOrErr.error().message(), It.Line);
+      StoreLe(Offset, *WordOrErr, InstBytes);
+      break;
+    }
+    }
+  }
+
+  uint64_t Entry = BaseAddr;
+  if (auto It = Symbols.find("_start"); It != Symbols.end())
+    Entry = It->second;
+
+  return Program(std::move(Image), BaseAddr, Entry, std::move(Symbols));
+}
+
+ErrorOr<Program> AssemblerImpl::run() {
+  size_t Pos = 0;
+  CurrentLine = 0;
+  while (Pos <= Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    if (Eol == std::string_view::npos)
+      Eol = Source.size();
+    ++CurrentLine;
+    if (!parseLine(Source.substr(Pos, Eol - Pos)))
+      return *FirstError;
+    if (FirstError)
+      return *FirstError;
+    Pos = Eol + 1;
+  }
+  return finalize();
+}
+
+} // namespace
+
+std::vector<Inst> guest::expandLoadImmediate(unsigned Rd, uint64_t Value) {
+  std::vector<Inst> Out;
+  bool First = true;
+  for (unsigned Hw = 0; Hw < 4; ++Hw) {
+    uint16_t Piece = static_cast<uint16_t>(Value >> (Hw * 16));
+    if (Piece == 0)
+      continue;
+    Inst I;
+    I.Op = First ? Opcode::MOVZ : Opcode::MOVK;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Hw = static_cast<uint8_t>(Hw);
+    I.Imm = Piece;
+    Out.push_back(I);
+    First = false;
+  }
+  if (Out.empty()) { // Value == 0.
+    Inst I;
+    I.Op = Opcode::MOVZ;
+    I.Rd = static_cast<uint8_t>(Rd);
+    Out.push_back(I);
+  }
+  return Out;
+}
+
+ErrorOr<Program> guest::assemble(std::string_view Source, uint64_t BaseAddr) {
+  AssemblerImpl Impl(Source, BaseAddr);
+  return Impl.run();
+}

@@ -1,0 +1,60 @@
+//===- guest/Assembler.h - GRV two-pass assembler ---------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass assembler for GRV assembly. Supported syntax:
+///
+/// \code
+///   ; comment, also //
+///   .equ   COUNT, 0x100        ; named constant
+///   .align 8                   ; pad to an 8-byte boundary
+///   .byte 1    .half 2    .word 4    .quad 8   ; data emission
+///   .space 64                  ; zero padding
+///
+///   _start:                    ; labels (entry defaults to _start)
+///       li     r1, #0x12345678 ; pseudo: expands to movz/movk
+///       la     r2, table       ; pseudo: load a label address (4 insts)
+///       mov    r3, r1          ; pseudo: addi r3, r1, #0
+///       ldw    r4, [r2, #8]
+///       ldxr.w r5, [r2]
+///       stxr.w r6, r5, [r2]
+///       cbnz   r6, _start
+///       ret                    ; pseudo: br lr
+///   table:
+///       .quad  0
+/// \endcode
+///
+/// Immediates accept `#` prefixes, 0x/0b radix, and `sym+offset` forms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_GUEST_ASSEMBLER_H
+#define LLSC_GUEST_ASSEMBLER_H
+
+#include "guest/Isa.h"
+#include "guest/Program.h"
+
+#include "support/Error.h"
+
+#include <string_view>
+#include <vector>
+
+namespace llsc {
+namespace guest {
+
+/// Assembles \p Source into a program image loaded at \p BaseAddr.
+/// The entry point is the `_start` label when present, else \p BaseAddr.
+ErrorOr<Program> assemble(std::string_view Source, uint64_t BaseAddr = 0x1000);
+
+/// Computes the movz/movk sequence that materializes \p Value into \p Rd.
+/// Exposed for the translator's rule-based pass and for tests.
+/// \returns between 1 and 4 instructions.
+std::vector<Inst> expandLoadImmediate(unsigned Rd, uint64_t Value);
+
+} // namespace guest
+} // namespace llsc
+
+#endif // LLSC_GUEST_ASSEMBLER_H

@@ -1,0 +1,83 @@
+//===- guest/Disassembler.cpp - GRV disassembler ----------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Disassembler.h"
+
+#include "guest/Encoding.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+using namespace llsc;
+using namespace llsc::guest;
+
+std::string guest::disassemble(const Inst &I, uint64_t Pc) {
+  const OpcodeInfo &Info = getOpcodeInfo(I.Op);
+  std::string Mn(Info.Mnemonic);
+
+  auto Reg = [](unsigned R) { return std::string(regName(R)); };
+  auto BranchTarget = [&]() {
+    if (Pc != ~0ULL)
+      return formatString("0x%llx", static_cast<unsigned long long>(
+                                        Pc + I.Imm * InstBytes));
+    return formatString(". %+lld", static_cast<long long>(I.Imm * 4));
+  };
+
+  switch (Info.Form) {
+  case Format::R:
+    if (I.Op == Opcode::LDXRW || I.Op == Opcode::LDXRD)
+      return Mn + " " + Reg(I.Rd) + ", [" + Reg(I.Rs1) + "]";
+    if (I.Op == Opcode::STXRW || I.Op == Opcode::STXRD)
+      return Mn + " " + Reg(I.Rd) + ", " + Reg(I.Rs2) + ", [" + Reg(I.Rs1) +
+             "]";
+    if (I.Op == Opcode::BR)
+      return Mn + " " + Reg(I.Rs1);
+    if (I.Op == Opcode::TID)
+      return Mn + " " + Reg(I.Rd);
+    if (I.Op == Opcode::NOP || I.Op == Opcode::HALT ||
+        I.Op == Opcode::YIELD || I.Op == Opcode::DMB ||
+        I.Op == Opcode::CLREX)
+      return Mn;
+    return Mn + " " + Reg(I.Rd) + ", " + Reg(I.Rs1) + ", " + Reg(I.Rs2);
+
+  case Format::I:
+    if (Info.IsLoad || Info.IsStore) {
+      if (I.Imm == 0)
+        return Mn + " " + Reg(I.Rd) + ", [" + Reg(I.Rs1) + "]";
+      return Mn + " " + Reg(I.Rd) + ", [" + Reg(I.Rs1) +
+             formatString(", #%lld]", static_cast<long long>(I.Imm));
+    }
+    if (I.Op == Opcode::SYS)
+      return Mn + " " + Reg(I.Rd) +
+             formatString(", #%lld", static_cast<long long>(I.Imm));
+    return Mn + " " + Reg(I.Rd) + ", " + Reg(I.Rs1) +
+           formatString(", #%lld", static_cast<long long>(I.Imm));
+
+  case Format::B:
+    if (I.Op == Opcode::CBZ || I.Op == Opcode::CBNZ)
+      return Mn + " " + Reg(I.Rs1) + ", " + BranchTarget();
+    return Mn + " " + Reg(I.Rs1) + ", " + Reg(I.Rs2) + ", " + BranchTarget();
+
+  case Format::W: {
+    std::string Out = Mn + " " + Reg(I.Rd) +
+                      formatString(", #0x%llx",
+                                   static_cast<unsigned long long>(I.Imm));
+    if (I.Hw != 0)
+      Out += formatString(", lsl #%u", I.Hw * 16);
+    return Out;
+  }
+
+  case Format::J:
+    return Mn + " " + BranchTarget();
+  }
+  llsc_unreachable("covered switch");
+}
+
+std::string guest::disassembleWord(uint32_t Word, uint64_t Pc) {
+  auto InstOrErr = decode(Word);
+  if (!InstOrErr)
+    return formatString("<bad 0x%08x>", Word);
+  return disassemble(*InstOrErr, Pc);
+}

@@ -1,0 +1,33 @@
+//===- guest/Disassembler.h - GRV disassembler ------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders decoded GRV instructions back to assembler syntax; used by
+/// engine tracing, tests (round-trip property), and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_GUEST_DISASSEMBLER_H
+#define LLSC_GUEST_DISASSEMBLER_H
+
+#include "guest/Isa.h"
+
+#include <string>
+
+namespace llsc {
+namespace guest {
+
+/// Renders \p I in assembler syntax. When \p Pc is provided, branch targets
+/// are rendered as absolute hex addresses; otherwise as relative offsets.
+std::string disassemble(const Inst &I, uint64_t Pc = ~0ULL);
+
+/// Decodes and renders a raw instruction word ("<bad>" if undecodable).
+std::string disassembleWord(uint32_t Word, uint64_t Pc = ~0ULL);
+
+} // namespace guest
+} // namespace llsc
+
+#endif // LLSC_GUEST_DISASSEMBLER_H

@@ -1,0 +1,120 @@
+//===- guest/Encoding.cpp - GRV binary encoding ----------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Encoding.h"
+
+#include "support/BitUtils.h"
+#include "support/Compiler.h"
+
+#include <cassert>
+
+using namespace llsc;
+using namespace llsc::guest;
+
+ErrorOr<uint32_t> guest::encode(const Inst &I) {
+  const OpcodeInfo &Info = getOpcodeInfo(I.Op);
+  uint32_t Word = static_cast<uint32_t>(I.Op) << 26;
+
+  auto CheckReg = [](unsigned Reg) { return Reg < NumGuestRegs; };
+
+  switch (Info.Form) {
+  case Format::R:
+    if (!CheckReg(I.Rd) || !CheckReg(I.Rs1) || !CheckReg(I.Rs2))
+      return makeError("register out of range in %s", Info.Mnemonic);
+    Word |= static_cast<uint32_t>(I.Rd) << 22;
+    Word |= static_cast<uint32_t>(I.Rs1) << 18;
+    Word |= static_cast<uint32_t>(I.Rs2) << 14;
+    return Word;
+
+  case Format::I:
+    if (!CheckReg(I.Rd) || !CheckReg(I.Rs1))
+      return makeError("register out of range in %s", Info.Mnemonic);
+    if (!fitsSigned(I.Imm, 14))
+      return makeError("immediate %lld does not fit 14 bits in %s",
+                       static_cast<long long>(I.Imm), Info.Mnemonic);
+    Word |= static_cast<uint32_t>(I.Rd) << 22;
+    Word |= static_cast<uint32_t>(I.Rs1) << 18;
+    Word |= static_cast<uint32_t>(I.Imm) & 0x3fff;
+    return Word;
+
+  case Format::B:
+    if (!CheckReg(I.Rs1) || !CheckReg(I.Rs2))
+      return makeError("register out of range in %s", Info.Mnemonic);
+    if (!fitsSigned(I.Imm, 14))
+      return makeError("branch offset %lld does not fit 14 bits in %s",
+                       static_cast<long long>(I.Imm), Info.Mnemonic);
+    Word |= static_cast<uint32_t>(I.Rs1) << 22;
+    Word |= static_cast<uint32_t>(I.Rs2) << 18;
+    Word |= static_cast<uint32_t>(I.Imm) & 0x3fff;
+    return Word;
+
+  case Format::W:
+    if (!CheckReg(I.Rd))
+      return makeError("register out of range in %s", Info.Mnemonic);
+    if (I.Hw > 3)
+      return makeError("halfword selector %u out of range in %s",
+                       static_cast<unsigned>(I.Hw), Info.Mnemonic);
+    if (!fitsUnsigned(static_cast<uint64_t>(I.Imm), 16))
+      return makeError("immediate %lld does not fit 16 bits in %s",
+                       static_cast<long long>(I.Imm), Info.Mnemonic);
+    Word |= static_cast<uint32_t>(I.Rd) << 22;
+    Word |= static_cast<uint32_t>(I.Hw) << 20;
+    Word |= (static_cast<uint32_t>(I.Imm) & 0xffff) << 4;
+    return Word;
+
+  case Format::J:
+    if (!fitsSigned(I.Imm, 26))
+      return makeError("jump offset %lld does not fit 26 bits in %s",
+                       static_cast<long long>(I.Imm), Info.Mnemonic);
+    Word |= static_cast<uint32_t>(I.Imm) & 0x3ffffff;
+    return Word;
+  }
+  llsc_unreachable("covered switch");
+}
+
+uint32_t guest::encodeUnchecked(const Inst &I) {
+  auto WordOrErr = encode(I);
+  if (!WordOrErr)
+    reportFatalError(WordOrErr.error());
+  return *WordOrErr;
+}
+
+ErrorOr<Inst> guest::decode(uint32_t Word) {
+  uint32_t OpBits = Word >> 26;
+  if (OpBits >= static_cast<uint32_t>(Opcode::NumOpcodes))
+    return makeError("undefined opcode 0x%02x in word 0x%08x", OpBits, Word);
+
+  Inst I;
+  I.Op = static_cast<Opcode>(OpBits);
+  const OpcodeInfo &Info = getOpcodeInfo(I.Op);
+
+  switch (Info.Form) {
+  case Format::R:
+    I.Rd = static_cast<uint8_t>(extractBits(Word, 22, 4));
+    I.Rs1 = static_cast<uint8_t>(extractBits(Word, 18, 4));
+    I.Rs2 = static_cast<uint8_t>(extractBits(Word, 14, 4));
+    break;
+  case Format::I:
+    I.Rd = static_cast<uint8_t>(extractBits(Word, 22, 4));
+    I.Rs1 = static_cast<uint8_t>(extractBits(Word, 18, 4));
+    I.Imm = signExtend(extractBits(Word, 0, 14), 14);
+    break;
+  case Format::B:
+    I.Rs1 = static_cast<uint8_t>(extractBits(Word, 22, 4));
+    I.Rs2 = static_cast<uint8_t>(extractBits(Word, 18, 4));
+    I.Imm = signExtend(extractBits(Word, 0, 14), 14);
+    break;
+  case Format::W:
+    I.Rd = static_cast<uint8_t>(extractBits(Word, 22, 4));
+    I.Hw = static_cast<uint8_t>(extractBits(Word, 20, 2));
+    I.Imm = static_cast<int64_t>(extractBits(Word, 4, 16));
+    break;
+  case Format::J:
+    I.Imm = signExtend(extractBits(Word, 0, 26), 26);
+    break;
+  }
+  return I;
+}

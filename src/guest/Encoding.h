@@ -1,0 +1,37 @@
+//===- guest/Encoding.h - GRV binary encoding -------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary encode/decode for GRV instructions (see guest/Isa.h for formats).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_GUEST_ENCODING_H
+#define LLSC_GUEST_ENCODING_H
+
+#include "guest/Isa.h"
+
+#include "support/Error.h"
+
+namespace llsc {
+namespace guest {
+
+/// Encodes \p I into its 32-bit representation.
+/// \returns an error if an operand does not fit its field (e.g. an
+/// out-of-range immediate).
+ErrorOr<uint32_t> encode(const Inst &I);
+
+/// Encodes \p I, aborting on malformed operands. For encoder-internal use
+/// and tests where operands are known valid.
+uint32_t encodeUnchecked(const Inst &I);
+
+/// Decodes a 32-bit word. \returns an error for an undefined opcode.
+ErrorOr<Inst> decode(uint32_t Word);
+
+} // namespace guest
+} // namespace llsc
+
+#endif // LLSC_GUEST_ENCODING_H

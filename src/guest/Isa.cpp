@@ -1,0 +1,144 @@
+//===- guest/Isa.cpp - Guest RISC instruction set --------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Isa.h"
+
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace llsc;
+using namespace llsc::guest;
+
+namespace {
+
+// Shorthand for table construction.
+constexpr OpcodeInfo rAlu(const char *Name) {
+  return {Name, Format::R, true, true, true, false, false, false, false};
+}
+constexpr OpcodeInfo iAlu(const char *Name) {
+  return {Name, Format::I, true, false, true, false, false, false, false};
+}
+constexpr OpcodeInfo load(const char *Name) {
+  return {Name, Format::I, true, false, true, false, true, false, false};
+}
+constexpr OpcodeInfo store(const char *Name) {
+  // Stores read rd (the value) and rs1 (the base); "WritesRd" is false.
+  return {Name, Format::I, true, false, false, false, false, true, false};
+}
+constexpr OpcodeInfo branch(const char *Name) {
+  return {Name, Format::B, true, true, false, true, false, false, false};
+}
+
+constexpr OpcodeInfo OpcodeTable[] = {
+    // R-format ALU.
+    rAlu("add"), rAlu("sub"), rAlu("mul"), rAlu("udiv"), rAlu("sdiv"),
+    rAlu("urem"), rAlu("srem"), rAlu("and"), rAlu("orr"), rAlu("eor"),
+    rAlu("lsl"), rAlu("lsr"), rAlu("asr"), rAlu("slt"), rAlu("sltu"),
+    // I-format ALU.
+    iAlu("addi"), iAlu("andi"), iAlu("orri"), iAlu("eori"), iAlu("lsli"),
+    iAlu("lsri"), iAlu("asri"), iAlu("slti"), iAlu("sltui"),
+    // Wide moves.
+    {"movz", Format::W, false, false, true, false, false, false, false},
+    {"movk", Format::W, false, false, true, false, false, false, false},
+    // Loads.
+    load("ldb"), load("ldh"), load("ldw"), load("ldd"), load("ldsb"),
+    load("ldsh"), load("ldsw"),
+    // Stores.
+    store("stb"), store("sth"), store("stw"), store("std"),
+    // Exclusives.
+    {"ldxr.w", Format::R, true, false, true, false, true, false, true},
+    {"ldxr.d", Format::R, true, false, true, false, true, false, true},
+    {"stxr.w", Format::R, true, true, true, false, false, true, true},
+    {"stxr.d", Format::R, true, true, true, false, false, true, true},
+    {"clrex", Format::R, false, false, false, false, false, false, true},
+    // Conditional branches.
+    branch("beq"), branch("bne"), branch("blt"), branch("bltu"),
+    branch("bge"), branch("bgeu"),
+    {"cbz", Format::B, true, false, false, true, false, false, false},
+    {"cbnz", Format::B, true, false, false, true, false, false, false},
+    // Jumps.
+    {"b", Format::J, false, false, false, true, false, false, false},
+    {"bl", Format::J, false, false, false, true, false, false, false},
+    {"br", Format::R, true, false, false, true, false, false, false},
+    // Misc.
+    {"nop", Format::R, false, false, false, false, false, false, false},
+    {"halt", Format::R, false, false, false, true, false, false, false},
+    {"yield", Format::R, false, false, false, false, false, false, false},
+    {"dmb", Format::R, false, false, false, false, false, false, false},
+    {"tid", Format::R, false, false, true, false, false, false, false},
+    {"sys", Format::I, false, false, true, false, false, false, false},
+};
+
+static_assert(sizeof(OpcodeTable) / sizeof(OpcodeTable[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "opcode table out of sync with Opcode enum");
+
+} // namespace
+
+const OpcodeInfo &guest::getOpcodeInfo(Opcode Op) {
+  assert(Op < Opcode::NumOpcodes && "invalid opcode");
+  return OpcodeTable[static_cast<size_t>(Op)];
+}
+
+std::optional<Opcode> guest::parseOpcode(std::string_view Mnemonic) {
+  for (size_t I = 0; I < static_cast<size_t>(Opcode::NumOpcodes); ++I)
+    if (equalsLower(Mnemonic, OpcodeTable[I].Mnemonic))
+      return static_cast<Opcode>(I);
+  return std::nullopt;
+}
+
+std::string_view guest::regName(unsigned Reg) {
+  assert(Reg < NumGuestRegs && "invalid register");
+  static const char *Names[NumGuestRegs] = {
+      "r0", "r1", "r2",  "r3",  "r4",  "r5", "r6", "r7",
+      "r8", "r9", "r10", "r11", "r12", "sp", "lr", "r15"};
+  return Names[Reg];
+}
+
+std::optional<unsigned> guest::parseRegName(std::string_view Name) {
+  if (equalsLower(Name, "sp"))
+    return RegSp;
+  if (equalsLower(Name, "lr"))
+    return RegLr;
+  if (Name.size() >= 2 && (Name[0] == 'r' || Name[0] == 'R')) {
+    auto Num = parseInteger(Name.substr(1));
+    if (Num && *Num >= 0 && *Num < NumGuestRegs)
+      return static_cast<unsigned>(*Num);
+  }
+  return std::nullopt;
+}
+
+unsigned guest::memAccessBytes(Opcode Op) {
+  switch (Op) {
+  case Opcode::LDB:
+  case Opcode::LDSB:
+  case Opcode::STB:
+    return 1;
+  case Opcode::LDH:
+  case Opcode::LDSH:
+  case Opcode::STH:
+    return 2;
+  case Opcode::LDW:
+  case Opcode::LDSW:
+  case Opcode::STW:
+  case Opcode::LDXRW:
+  case Opcode::STXRW:
+    return 4;
+  case Opcode::LDD:
+  case Opcode::STD:
+  case Opcode::LDXRD:
+  case Opcode::STXRD:
+    return 8;
+  default:
+    return 0;
+  }
+}
+
+bool guest::isSignExtendingLoad(Opcode Op) {
+  return Op == Opcode::LDSB || Op == Opcode::LDSH || Op == Opcode::LDSW;
+}

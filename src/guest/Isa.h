@@ -1,0 +1,190 @@
+//===- guest/Isa.h - Guest RISC instruction set -----------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Definition of GRV, the guest RISC ISA emulated by the DBT.
+///
+/// GRV is a 32-bit fixed-width, ARM-flavoured RISC ISA with 16 64-bit
+/// general-purpose registers and — crucially for this reproduction — a
+/// Load-Exclusive / Store-Exclusive (LL/SC) pair with the same semantics as
+/// ARM's ldrex/strex: STXR succeeds only if no other thread wrote the
+/// monitored location since the matching LDXR (strong atomicity), and a
+/// plain store by the same thread does not clear its own monitor.
+///
+/// Instruction formats (32 bits, opcode in [31:26]):
+///   R: | op:6 | rd:4 | rs1:4 | rs2:4 | pad:14 |
+///   I: | op:6 | rd:4 | rs1:4 | imm14 (signed) |
+///   B: | op:6 | rs1:4 | rs2:4 | imm14 (signed, in instruction units) |
+///   W: | op:6 | rd:4 | hw:2 | imm16 | pad:4 |
+///   J: | op:6 | imm26 (signed, in instruction units) |
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_GUEST_ISA_H
+#define LLSC_GUEST_ISA_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace llsc {
+namespace guest {
+
+/// Number of general-purpose guest registers.
+constexpr unsigned NumGuestRegs = 16;
+
+/// Register conventions used by the assembler and the guest runtime.
+constexpr unsigned RegSp = 13; ///< Stack pointer.
+constexpr unsigned RegLr = 14; ///< Link register (written by BL).
+
+/// Width in bytes of one instruction.
+constexpr unsigned InstBytes = 4;
+
+/// Instruction encodings, grouped by format.
+enum class Opcode : uint8_t {
+  // R-format ALU: rd = rs1 op rs2 (64-bit).
+  ADD,
+  SUB,
+  MUL,
+  UDIV, ///< Unsigned division; division by zero yields 0 (like ARM).
+  SDIV, ///< Signed division; INT_MIN/-1 and x/0 yield 0.
+  UREM,
+  SREM,
+  AND,
+  ORR,
+  EOR,
+  LSL, ///< Shift amount taken mod 64.
+  LSR,
+  ASR,
+  SLT,  ///< rd = (int64)rs1 < (int64)rs2.
+  SLTU, ///< rd = (uint64)rs1 < (uint64)rs2.
+
+  // I-format ALU: rd = rs1 op signext(imm14).
+  ADDI,
+  ANDI,
+  ORRI,
+  EORI,
+  LSLI,
+  LSRI,
+  ASRI,
+  SLTI,
+  SLTUI,
+
+  // W-format wide moves.
+  MOVZ, ///< rd = imm16 << (hw*16).
+  MOVK, ///< rd = (rd & ~(0xffff << hw*16)) | imm16 << (hw*16).
+
+  // I-format loads: rd = mem[rs1 + imm]; LD* zero-extend, LDS* sign-extend.
+  LDB,
+  LDH,
+  LDW,
+  LDD,
+  LDSB,
+  LDSH,
+  LDSW,
+
+  // I-format stores: mem[rs1 + imm] = low bits of rd.
+  STB,
+  STH,
+  STW,
+  STD,
+
+  // Exclusive (LL/SC) pairs, R-format.
+  LDXRW, ///< rd = zext(mem32[rs1]); arms the exclusive monitor on rs1.
+  LDXRD, ///< rd = mem64[rs1]; arms the exclusive monitor on rs1.
+  STXRW, ///< If monitor valid: mem32[rs1] = rs2, rd = 0; else rd = 1.
+  STXRD, ///< 64-bit variant of STXRW.
+  CLREX, ///< Clears this thread's exclusive monitor.
+
+  // B-format conditional branches: if (rs1 cmp rs2) pc += imm*4.
+  BEQ,
+  BNE,
+  BLT,
+  BLTU,
+  BGE,
+  BGEU,
+  CBZ,  ///< Branch if rs1 == 0 (rs2 ignored).
+  CBNZ, ///< Branch if rs1 != 0 (rs2 ignored).
+
+  // J-format jumps: pc += imm*4; BL also sets lr = pc + 4.
+  B,
+  BL,
+
+  // R-format indirect branch: pc = rs1.
+  BR,
+
+  // Misc.
+  NOP,
+  HALT,  ///< Terminates the executing guest thread.
+  YIELD, ///< Hint: deschedule; the engine maps this to a host yield.
+  DMB,   ///< Full memory barrier (sequentially consistent fence).
+  TID,   ///< R-format: rd = current guest thread id.
+  SYS,   ///< I-format: host service call, selector in imm (see SysCall).
+
+  NumOpcodes
+};
+
+/// Host services reachable via the SYS instruction.
+enum class SysCall : uint16_t {
+  Exit = 0,       ///< Terminate the thread (same as HALT).
+  PrintReg = 1,   ///< Debug-print rd.
+  NumThreads = 2, ///< rd = number of guest threads in the machine.
+  ClockNanos = 3, ///< rd = host monotonic time in nanoseconds.
+};
+
+/// Instruction formats (see file header for bit layouts).
+enum class Format : uint8_t { R, I, B, W, J };
+
+/// Static description of one opcode.
+struct OpcodeInfo {
+  const char *Mnemonic;
+  Format Form;
+  bool ReadsRs1;
+  bool ReadsRs2;
+  bool WritesRd;
+  bool IsBranch; ///< Ends a translation block.
+  bool IsLoad;
+  bool IsStore;
+  bool IsExclusive; ///< LDXR/STXR/CLREX.
+};
+
+/// \returns the static info for \p Op.
+const OpcodeInfo &getOpcodeInfo(Opcode Op);
+
+/// \returns the opcode whose mnemonic equals \p Mnemonic (case-insensitive),
+/// or std::nullopt.
+std::optional<Opcode> parseOpcode(std::string_view Mnemonic);
+
+/// \returns the canonical name of register \p Reg ("r0".."r12", "sp", "lr",
+/// "r15").
+std::string_view regName(unsigned Reg);
+
+/// Parses "r0".."r15", "sp", "lr" (case-insensitive).
+std::optional<unsigned> parseRegName(std::string_view Name);
+
+/// A decoded instruction. Fields not used by the format are zero.
+struct Inst {
+  Opcode Op = Opcode::NOP;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  uint8_t Hw = 0;    ///< Halfword selector for MOVZ/MOVK (0..3).
+  int64_t Imm = 0;   ///< Sign-extended immediate.
+
+  bool operator==(const Inst &Other) const = default;
+};
+
+/// Memory access size in bytes for a load/store/exclusive opcode.
+/// \returns 0 for non-memory opcodes.
+unsigned memAccessBytes(Opcode Op);
+
+/// \returns true for sign-extending loads (LDSB/LDSH/LDSW).
+bool isSignExtendingLoad(Opcode Op);
+
+} // namespace guest
+} // namespace llsc
+
+#endif // LLSC_GUEST_ISA_H

@@ -1,0 +1,19 @@
+//===- guest/Program.cpp - Assembled guest program --------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Program.h"
+
+#include "support/Error.h"
+
+using namespace llsc;
+using namespace llsc::guest;
+
+uint64_t Program::requiredSymbol(const std::string &Name) const {
+  auto Addr = symbol(Name);
+  if (!Addr)
+    reportFatalError("missing required symbol '" + Name + "'");
+  return *Addr;
+}

@@ -1,0 +1,62 @@
+//===- guest/Program.h - Assembled guest program ----------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An assembled guest program image: raw bytes, load address, entry point
+/// and the symbol table produced by the assembler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_GUEST_PROGRAM_H
+#define LLSC_GUEST_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace llsc {
+namespace guest {
+
+/// An assembled (or hand-built) guest binary image.
+class Program {
+public:
+  Program() = default;
+  Program(std::vector<uint8_t> Image, uint64_t BaseAddr, uint64_t EntryAddr,
+          std::map<std::string, uint64_t> Symbols)
+      : Image(std::move(Image)), BaseAddr(BaseAddr), EntryAddr(EntryAddr),
+        Symbols(std::move(Symbols)) {}
+
+  const std::vector<uint8_t> &image() const { return Image; }
+  uint64_t baseAddr() const { return BaseAddr; }
+  uint64_t entryAddr() const { return EntryAddr; }
+  uint64_t endAddr() const { return BaseAddr + Image.size(); }
+
+  /// Looks up an assembler label. \returns its guest address or nullopt.
+  std::optional<uint64_t> symbol(const std::string &Name) const {
+    auto It = Symbols.find(Name);
+    if (It == Symbols.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// Looks up a label that must exist (aborts otherwise).
+  uint64_t requiredSymbol(const std::string &Name) const;
+
+  const std::map<std::string, uint64_t> &symbols() const { return Symbols; }
+
+private:
+  std::vector<uint8_t> Image;
+  uint64_t BaseAddr = 0;
+  uint64_t EntryAddr = 0;
+  std::map<std::string, uint64_t> Symbols;
+};
+
+} // namespace guest
+} // namespace llsc
+
+#endif // LLSC_GUEST_PROGRAM_H

@@ -1,0 +1,163 @@
+//===- htm/HardwareHtm.cpp - Intel RTM backend -------------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+// This translation unit is compiled with -mrtm when the compiler supports
+// it (see CMakeLists.txt); availability is still probed at runtime because
+// many virtualized environments advertise the CPUID bit but abort every
+// transaction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "htm/Htm.h"
+
+#include "support/Logging.h"
+
+#include <cassert>
+#include <vector>
+
+#if defined(LLSC_HAVE_RTM) && (defined(__x86_64__) || defined(__i386__))
+#include <cpuid.h>
+#include <immintrin.h>
+#define LLSC_RTM_COMPILED 1
+#else
+#define LLSC_RTM_COMPILED 0
+#endif
+
+using namespace llsc;
+
+#if LLSC_RTM_COMPILED
+
+namespace {
+
+bool cpuidHasRtm() {
+  unsigned Eax = 0, Ebx = 0, Ecx = 0, Edx = 0;
+  if (!__get_cpuid_count(7, 0, &Eax, &Ebx, &Ecx, &Edx))
+    return false;
+  return (Ebx & (1u << 11)) != 0; // CPUID.07H.EBX.RTM.
+}
+
+class HardwareHtm final : public HtmRuntime {
+public:
+  explicit HardwareHtm(unsigned MaxThreads) : InTx(MaxThreads) {
+    for (auto &Flag : InTx)
+      Flag.store(false, std::memory_order_relaxed);
+  }
+
+  const char *name() const override { return "rtm"; }
+
+  TxStatus begin(unsigned Tid, uint64_t WatchAddr) override {
+    (void)WatchAddr; // Hardware tracks the read/write set itself.
+    Begins.fetch_add(1, std::memory_order_relaxed);
+    unsigned Status = _xbegin();
+    if (Status == _XBEGIN_STARTED) {
+      InTx[Tid].store(true, std::memory_order_relaxed);
+      return TxStatus::Started;
+    }
+    if (Status & _XABORT_CONFLICT) {
+      ConflictAborts.fetch_add(1, std::memory_order_relaxed);
+      return TxStatus::AbortConflict;
+    }
+    if (Status & _XABORT_CAPACITY) {
+      CapacityAborts.fetch_add(1, std::memory_order_relaxed);
+      return TxStatus::AbortCapacity;
+    }
+    ConflictAborts.fetch_add(1, std::memory_order_relaxed);
+    return TxStatus::AbortOther;
+  }
+
+  bool commit(unsigned Tid) override {
+    // If we are still transactional, commit succeeds; if the transaction
+    // already aborted, control never reaches here (execution resumed at
+    // _xbegin), so this is unconditionally a commit.
+    if (_xtest()) {
+      _xend();
+      InTx[Tid].store(false, std::memory_order_relaxed);
+      Commits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    InTx[Tid].store(false, std::memory_order_relaxed);
+    return false;
+  }
+
+  void abort(unsigned Tid) override {
+    InTx[Tid].store(false, std::memory_order_relaxed);
+    if (_xtest())
+      _xabort(0xff);
+  }
+
+  bool inTransaction(unsigned Tid) const override {
+    return InTx[Tid].load(std::memory_order_relaxed);
+  }
+
+  HtmStats stats() const override {
+    HtmStats Stats;
+    Stats.Begins = Begins.load(std::memory_order_relaxed);
+    Stats.Commits = Commits.load(std::memory_order_relaxed);
+    Stats.ConflictAborts = ConflictAborts.load(std::memory_order_relaxed);
+    Stats.CapacityAborts = CapacityAborts.load(std::memory_order_relaxed);
+    return Stats;
+  }
+
+  void resetStats() override {
+    Begins = 0;
+    Commits = 0;
+    ConflictAborts = 0;
+    CapacityAborts = 0;
+  }
+
+private:
+  std::vector<std::atomic<bool>> InTx;
+  std::atomic<uint64_t> Begins{0};
+  std::atomic<uint64_t> Commits{0};
+  std::atomic<uint64_t> ConflictAborts{0};
+  std::atomic<uint64_t> CapacityAborts{0};
+};
+
+/// Executes one trivial transaction to check RTM actually works here.
+bool probeRtmWorks() {
+  if (!cpuidHasRtm())
+    return false;
+  for (int Attempt = 0; Attempt < 10; ++Attempt) {
+    unsigned Status = _xbegin();
+    if (Status == _XBEGIN_STARTED) {
+      _xend();
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool llsc::hardwareHtmUsable() {
+  static const bool Usable = probeRtmWorks();
+  return Usable;
+}
+
+std::unique_ptr<HtmRuntime> llsc::createHardwareHtm(unsigned MaxThreads) {
+  if (!hardwareHtmUsable())
+    return nullptr;
+  return std::make_unique<HardwareHtm>(MaxThreads);
+}
+
+#else // !LLSC_RTM_COMPILED
+
+bool llsc::hardwareHtmUsable() { return false; }
+
+std::unique_ptr<HtmRuntime> llsc::createHardwareHtm(unsigned MaxThreads) {
+  (void)MaxThreads;
+  return nullptr;
+}
+
+#endif // LLSC_RTM_COMPILED
+
+std::unique_ptr<HtmRuntime>
+llsc::createBestHtm(const SoftHtmConfig &SoftConfig) {
+  if (auto Hw = createHardwareHtm(SoftConfig.MaxThreads)) {
+    LLSC_INFO("using hardware RTM for HTM-based schemes");
+    return Hw;
+  }
+  LLSC_INFO("hardware RTM unavailable; using the software HTM model");
+  return createSoftHtm(SoftConfig);
+}

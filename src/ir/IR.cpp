@@ -1,0 +1,280 @@
+//===- ir/IR.cpp - Micro-op intermediate representation ---------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+
+using namespace llsc;
+using namespace llsc::ir;
+
+const char *ir::irOpName(IROp Op) {
+  switch (Op) {
+  case IROp::MovImm:
+    return "movi";
+  case IROp::Mov:
+    return "mov";
+  case IROp::Add:
+    return "add";
+  case IROp::Sub:
+    return "sub";
+  case IROp::Mul:
+    return "mul";
+  case IROp::UDiv:
+    return "udiv";
+  case IROp::SDiv:
+    return "sdiv";
+  case IROp::URem:
+    return "urem";
+  case IROp::SRem:
+    return "srem";
+  case IROp::And:
+    return "and";
+  case IROp::Or:
+    return "or";
+  case IROp::Xor:
+    return "xor";
+  case IROp::Shl:
+    return "shl";
+  case IROp::Shr:
+    return "shr";
+  case IROp::Sar:
+    return "sar";
+  case IROp::SltS:
+    return "slts";
+  case IROp::SltU:
+    return "sltu";
+  case IROp::AddImm:
+    return "addi";
+  case IROp::AndImm:
+    return "andi";
+  case IROp::OrImm:
+    return "ori";
+  case IROp::XorImm:
+    return "xori";
+  case IROp::ShlImm:
+    return "shli";
+  case IROp::ShrImm:
+    return "shri";
+  case IROp::SarImm:
+    return "sari";
+  case IROp::SltSImm:
+    return "sltsi";
+  case IROp::SltUImm:
+    return "sltui";
+  case IROp::LoadG:
+    return "ldg";
+  case IROp::StoreG:
+    return "stg";
+  case IROp::LoadHost:
+    return "ldh";
+  case IROp::StoreHost:
+    return "sth";
+  case IROp::LoadLink:
+    return "ll";
+  case IROp::StoreCond:
+    return "sc";
+  case IROp::ClearExcl:
+    return "clrex";
+  case IROp::Fence:
+    return "fence";
+  case IROp::HelperStore:
+    return "hstore";
+  case IROp::HelperLoad:
+    return "hload";
+  case IROp::Helper:
+    return "helper";
+  case IROp::AtomicAddG:
+    return "atomic_add";
+  case IROp::HstStoreTag:
+    return "hst_tag";
+  case IROp::ReadSpecial:
+    return "rdspec";
+  case IROp::SysCall:
+    return "sys";
+  case IROp::Yield:
+    return "yield";
+  case IROp::SetPcImm:
+    return "setpc_i";
+  case IROp::SetPc:
+    return "setpc";
+  case IROp::BrCond:
+    return "brcond";
+  case IROp::Halt:
+    return "halt";
+  case IROp::NumOps:
+    break;
+  }
+  llsc_unreachable("invalid IR opcode");
+}
+
+const char *ir::condCodeName(CondCode Cc) {
+  switch (Cc) {
+  case CondCode::Eq:
+    return "eq";
+  case CondCode::Ne:
+    return "ne";
+  case CondCode::LtS:
+    return "lts";
+  case CondCode::LtU:
+    return "ltu";
+  case CondCode::GeS:
+    return "ges";
+  case CondCode::GeU:
+    return "geu";
+  }
+  llsc_unreachable("invalid condition code");
+}
+
+bool ir::isTerminator(IROp Op) {
+  return Op == IROp::SetPc || Op == IROp::SetPcImm || Op == IROp::Halt;
+}
+
+bool ir::isPure(IROp Op) {
+  switch (Op) {
+  case IROp::MovImm:
+  case IROp::Mov:
+  case IROp::Add:
+  case IROp::Sub:
+  case IROp::Mul:
+  case IROp::UDiv:
+  case IROp::SDiv:
+  case IROp::URem:
+  case IROp::SRem:
+  case IROp::And:
+  case IROp::Or:
+  case IROp::Xor:
+  case IROp::Shl:
+  case IROp::Shr:
+  case IROp::Sar:
+  case IROp::SltS:
+  case IROp::SltU:
+  case IROp::AddImm:
+  case IROp::AndImm:
+  case IROp::OrImm:
+  case IROp::XorImm:
+  case IROp::ShlImm:
+  case IROp::ShrImm:
+  case IROp::SarImm:
+  case IROp::SltSImm:
+  case IROp::SltUImm:
+  case IROp::ReadSpecial:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ir::writesDst(IROp Op) {
+  switch (Op) {
+  case IROp::StoreG:
+  case IROp::StoreHost:
+  case IROp::HstStoreTag:
+  case IROp::ClearExcl:
+  case IROp::Fence:
+  case IROp::HelperStore:
+  case IROp::Yield:
+  case IROp::SetPcImm:
+  case IROp::SetPc:
+  case IROp::BrCond:
+  case IROp::Halt:
+  case IROp::NumOps:
+    return false;
+  default:
+    return true;
+  }
+}
+
+uint64_t ir::evalAluOp(IROp Op, uint64_t A, uint64_t B, int64_t Imm) {
+  auto SDivSafe = [](int64_t X, int64_t Y) -> uint64_t {
+    if (Y == 0 || (X == INT64_MIN && Y == -1))
+      return 0;
+    return static_cast<uint64_t>(X / Y);
+  };
+  auto SRemSafe = [](int64_t X, int64_t Y) -> uint64_t {
+    if (Y == 0 || (X == INT64_MIN && Y == -1))
+      return 0;
+    return static_cast<uint64_t>(X % Y);
+  };
+
+  switch (Op) {
+  case IROp::MovImm:
+    return static_cast<uint64_t>(Imm);
+  case IROp::Mov:
+    return A;
+  case IROp::Add:
+    return A + B;
+  case IROp::Sub:
+    return A - B;
+  case IROp::Mul:
+    return A * B;
+  case IROp::UDiv:
+    return B == 0 ? 0 : A / B;
+  case IROp::SDiv:
+    return SDivSafe(static_cast<int64_t>(A), static_cast<int64_t>(B));
+  case IROp::URem:
+    return B == 0 ? 0 : A % B;
+  case IROp::SRem:
+    return SRemSafe(static_cast<int64_t>(A), static_cast<int64_t>(B));
+  case IROp::And:
+    return A & B;
+  case IROp::Or:
+    return A | B;
+  case IROp::Xor:
+    return A ^ B;
+  case IROp::Shl:
+    return A << (B & 63);
+  case IROp::Shr:
+    return A >> (B & 63);
+  case IROp::Sar:
+    return static_cast<uint64_t>(static_cast<int64_t>(A) >> (B & 63));
+  case IROp::SltS:
+    return static_cast<int64_t>(A) < static_cast<int64_t>(B) ? 1 : 0;
+  case IROp::SltU:
+    return A < B ? 1 : 0;
+  case IROp::AddImm:
+    return A + static_cast<uint64_t>(Imm);
+  case IROp::AndImm:
+    return A & static_cast<uint64_t>(Imm);
+  case IROp::OrImm:
+    return A | static_cast<uint64_t>(Imm);
+  case IROp::XorImm:
+    return A ^ static_cast<uint64_t>(Imm);
+  case IROp::ShlImm:
+    return A << (static_cast<uint64_t>(Imm) & 63);
+  case IROp::ShrImm:
+    return A >> (static_cast<uint64_t>(Imm) & 63);
+  case IROp::SarImm:
+    return static_cast<uint64_t>(static_cast<int64_t>(A)
+                                 >> (static_cast<uint64_t>(Imm) & 63));
+  case IROp::SltSImm:
+    return static_cast<int64_t>(A) < Imm ? 1 : 0;
+  case IROp::SltUImm:
+    return A < static_cast<uint64_t>(Imm) ? 1 : 0;
+  default:
+    llsc_unreachable("evalAluOp on non-ALU opcode");
+  }
+}
+
+bool ir::evalCondCode(CondCode Cc, uint64_t A, uint64_t B) {
+  switch (Cc) {
+  case CondCode::Eq:
+    return A == B;
+  case CondCode::Ne:
+    return A != B;
+  case CondCode::LtS:
+    return static_cast<int64_t>(A) < static_cast<int64_t>(B);
+  case CondCode::LtU:
+    return A < B;
+  case CondCode::GeS:
+    return static_cast<int64_t>(A) >= static_cast<int64_t>(B);
+  case CondCode::GeU:
+    return A >= B;
+  }
+  llsc_unreachable("invalid condition code");
+}

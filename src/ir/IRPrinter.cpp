@@ -1,0 +1,158 @@
+//===- ir/IRPrinter.cpp - IR textual dump ------------------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "guest/Isa.h"
+#include "support/StringUtils.h"
+
+using namespace llsc;
+using namespace llsc::ir;
+
+std::string ir::printValue(ValueId Id) {
+  if (Id < FirstTempId)
+    return std::string(guest::regName(Id));
+  return "t" + std::to_string(Id);
+}
+
+std::string ir::printInst(const IRInst &I) {
+  auto V = [](ValueId Id) { return printValue(Id); };
+  auto Imm = [&]() {
+    return formatString("%lld", static_cast<long long>(I.Imm));
+  };
+  auto Hex = [&]() {
+    return formatString("0x%llx", static_cast<unsigned long long>(I.Imm));
+  };
+  auto Mem = [&](const char *Space) {
+    std::string Out = formatString("%s.%u [%s", Space, I.Size,
+                                   V(I.A).c_str());
+    if (I.Imm != 0)
+      Out += formatString("%+lld", static_cast<long long>(I.Imm));
+    Out += "]";
+    return Out;
+  };
+
+  std::string Text;
+  switch (I.Op) {
+  case IROp::MovImm:
+    Text = V(I.Dst) + " = " + Hex();
+    break;
+  case IROp::Mov:
+    Text = V(I.Dst) + " = " + V(I.A);
+    break;
+  case IROp::Add:
+  case IROp::Sub:
+  case IROp::Mul:
+  case IROp::UDiv:
+  case IROp::SDiv:
+  case IROp::URem:
+  case IROp::SRem:
+  case IROp::And:
+  case IROp::Or:
+  case IROp::Xor:
+  case IROp::Shl:
+  case IROp::Shr:
+  case IROp::Sar:
+  case IROp::SltS:
+  case IROp::SltU:
+    Text = V(I.Dst) + " = " + irOpName(I.Op) + " " + V(I.A) + ", " + V(I.B);
+    break;
+  case IROp::AddImm:
+  case IROp::AndImm:
+  case IROp::OrImm:
+  case IROp::XorImm:
+  case IROp::ShlImm:
+  case IROp::ShrImm:
+  case IROp::SarImm:
+  case IROp::SltSImm:
+  case IROp::SltUImm:
+    Text = V(I.Dst) + " = " + irOpName(I.Op) + " " + V(I.A) + ", " + Imm();
+    break;
+  case IROp::LoadG:
+    Text = V(I.Dst) + " = " + Mem("ldg") +
+           ((I.Flags & IRFlagSignExtend) ? " sext" : "");
+    break;
+  case IROp::StoreG:
+    Text = Mem("stg") + " = " + V(I.B);
+    break;
+  case IROp::LoadHost:
+    Text = V(I.Dst) + " = " + Mem("ldh");
+    break;
+  case IROp::StoreHost:
+    Text = Mem("sth") + " = " + V(I.B);
+    break;
+  case IROp::LoadLink:
+    Text = V(I.Dst) + " = ll." + std::to_string(I.Size) + " [" + V(I.A) + "]";
+    break;
+  case IROp::StoreCond:
+    Text = V(I.Dst) + " = sc." + std::to_string(I.Size) + " [" + V(I.A) +
+           "], " + V(I.B);
+    break;
+  case IROp::ClearExcl:
+    Text = "clrex";
+    break;
+  case IROp::Fence:
+    Text = "fence";
+    break;
+  case IROp::HelperStore:
+    Text = Mem("hstore") + " = " + V(I.B);
+    break;
+  case IROp::HelperLoad:
+    Text = V(I.Dst) + " = " + Mem("hload") +
+           ((I.Flags & IRFlagSignExtend) ? " sext" : "");
+    break;
+  case IROp::Helper:
+    Text = V(I.Dst) + " = helper[" + Imm() + "](" + V(I.A) + ", " + V(I.B) +
+           ")";
+    break;
+  case IROp::AtomicAddG:
+    Text = V(I.Dst) + " = atomic_add." + std::to_string(I.Size) + " [" +
+           V(I.A) + "], " + V(I.B);
+    break;
+  case IROp::HstStoreTag:
+    Text = "hst_tag [" + V(I.A) +
+           formatString("%+lld]", static_cast<long long>(I.Imm));
+    break;
+  case IROp::ReadSpecial:
+    Text = V(I.Dst) + " = rdspec " + Imm();
+    break;
+  case IROp::SysCall:
+    Text = V(I.Dst) + " = sys " + Imm() + "(" + V(I.A) + ")";
+    break;
+  case IROp::Yield:
+    Text = "yield";
+    break;
+  case IROp::SetPcImm:
+    Text = "pc = " + Hex();
+    break;
+  case IROp::SetPc:
+    Text = "pc = " + V(I.A);
+    break;
+  case IROp::BrCond:
+    Text = std::string("br.") + condCodeName(I.Cc) + " " + V(I.A) + ", " +
+           V(I.B) + " -> " + Hex();
+    break;
+  case IROp::Halt:
+    Text = "halt";
+    break;
+  case IROp::NumOps:
+    Text = "<invalid>";
+    break;
+  }
+  if (I.Flags & IRFlagInstrument)
+    Text += "   ; instrument";
+  return Text;
+}
+
+std::string ir::printBlock(const IRBlock &Block) {
+  std::string Out = formatString(
+      "block @ 0x%llx (%u guest insts, %u values, %u instrument ops)\n",
+      static_cast<unsigned long long>(Block.GuestPc), Block.GuestInstCount,
+      Block.NumValues, Block.InstrumentOpCount);
+  for (const IRInst &I : Block.Insts)
+    Out += "  " + printInst(I) + "\n";
+  return Out;
+}

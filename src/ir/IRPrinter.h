@@ -1,0 +1,34 @@
+//===- ir/IRPrinter.h - IR textual dump -------------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR blocks as text for debugging, tracing, and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_IR_IRPRINTER_H
+#define LLSC_IR_IRPRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace llsc {
+namespace ir {
+
+/// Renders one micro-op, e.g. "t17 = add r1, t16" or "stg.4 [t17+8], r2".
+std::string printInst(const IRInst &Inst);
+
+/// Renders a whole block with a header line.
+std::string printBlock(const IRBlock &Block);
+
+/// Renders a value id as "rN" (guest register) or "tN" (temp).
+std::string printValue(ValueId Id);
+
+} // namespace ir
+} // namespace llsc
+
+#endif // LLSC_IR_IRPRINTER_H

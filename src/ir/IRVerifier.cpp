@@ -1,0 +1,72 @@
+//===- ir/IRVerifier.cpp - IR well-formedness checks -------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRVerifier.h"
+
+#include "ir/IRPrinter.h"
+
+using namespace llsc;
+using namespace llsc::ir;
+
+ErrorOr<bool> ir::verify(const IRBlock &Block) {
+  if (Block.Insts.empty())
+    return makeError("empty IR block at 0x%llx",
+                     static_cast<unsigned long long>(Block.GuestPc));
+  if (Block.NumValues < FirstTempId)
+    return makeError("block value count below guest register count");
+
+  auto BadInst = [&](size_t Index, const char *Why) {
+    return makeError("IR verify failed at op %zu (%s): %s", Index,
+                     printInst(Block.Insts[Index]).c_str(), Why);
+  };
+
+  for (size_t Index = 0; Index < Block.Insts.size(); ++Index) {
+    const IRInst &I = Block.Insts[Index];
+    if (I.Op >= IROp::NumOps)
+      return BadInst(Index, "invalid opcode");
+
+    if (writesDst(I.Op) && I.Dst >= Block.NumValues)
+      return BadInst(Index, "dst out of range");
+    if (I.A >= Block.NumValues)
+      return BadInst(Index, "operand A out of range");
+    if (I.B >= Block.NumValues)
+      return BadInst(Index, "operand B out of range");
+
+    switch (I.Op) {
+    case IROp::LoadG:
+    case IROp::StoreG:
+    case IROp::LoadHost:
+    case IROp::StoreHost:
+    case IROp::HelperStore:
+    case IROp::HelperLoad:
+      if (I.Size != 1 && I.Size != 2 && I.Size != 4 && I.Size != 8)
+        return BadInst(Index, "invalid memory access size");
+      break;
+    case IROp::LoadLink:
+    case IROp::StoreCond:
+    case IROp::AtomicAddG:
+      if (I.Size != 4 && I.Size != 8)
+        return BadInst(Index, "exclusive/atomic size must be 4 or 8");
+      break;
+    case IROp::Helper:
+      if (I.Imm < 0 ||
+          static_cast<size_t>(I.Imm) >= Block.Helpers.size() ||
+          !Block.Helpers[static_cast<size_t>(I.Imm)].Fn)
+        return BadInst(Index, "unresolvable helper index");
+      break;
+    default:
+      break;
+    }
+
+    if (isTerminator(I.Op) && Index + 1 != Block.Insts.size())
+      return BadInst(Index, "terminator before end of block");
+  }
+
+  if (!isTerminator(Block.Insts.back().Op))
+    return makeError("block at 0x%llx does not end in a terminator",
+                     static_cast<unsigned long long>(Block.GuestPc));
+  return true;
+}

@@ -1,0 +1,32 @@
+//===- ir/IRVerifier.h - IR well-formedness checks --------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification for IR blocks: every block must end in exactly
+/// one final terminator, value ids must be in range, memory sizes valid,
+/// and helper indices resolvable. The translator verifies every block it
+/// produces in debug builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_IR_IRVERIFIER_H
+#define LLSC_IR_IRVERIFIER_H
+
+#include "ir/IR.h"
+
+#include "support/Error.h"
+
+namespace llsc {
+namespace ir {
+
+/// Checks the structural invariants of \p Block.
+/// \returns true, or an Error describing the first violation.
+ErrorOr<bool> verify(const IRBlock &Block);
+
+} // namespace ir
+} // namespace llsc
+
+#endif // LLSC_IR_IRVERIFIER_H

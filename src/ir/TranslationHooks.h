@@ -1,0 +1,58 @@
+//===- ir/TranslationHooks.h - Scheme instrumentation interface -*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translate-time interface through which an atomic-emulation scheme
+/// customizes code generation. This is the axis the paper's design space
+/// varies along:
+///
+///  - HST inlines a short hash-table update before every plain store
+///    (emitStorePrologue with IR ops — cheap);
+///  - PICO-ST and PST route every plain store through a runtime helper
+///    (storesViaHelper — expensive, either because the helper locks or
+///    because the store may fault);
+///  - PST-REMAP additionally routes loads through a guarded helper
+///    (loadsViaHelper) because a remapped page faults on reads too;
+///  - PICO-CAS and HST-WEAK leave plain stores untouched.
+///
+/// LL/SC instructions always translate to LoadLink/StoreCond micro-ops,
+/// which the engine dispatches to the active scheme at execution time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_IR_TRANSLATIONHOOKS_H
+#define LLSC_IR_TRANSLATIONHOOKS_H
+
+#include "ir/IRBuilder.h"
+
+namespace llsc {
+namespace ir {
+
+/// Translate-time customization points implemented by atomic schemes.
+class TranslationHooks {
+public:
+  virtual ~TranslationHooks() = default;
+
+  /// Invoked before each plain guest store, with the (not yet offset)
+  /// address value id. Implementations emit instrumentation ops via \p B
+  /// (typically inside setInstrumentMode(true)). \p Offset is the
+  /// displacement the store will add to \p Addr.
+  virtual void emitStorePrologue(IRBuilder &B, ValueId Addr, int64_t Offset,
+                                 ValueId Value, unsigned Size) {}
+
+  /// \returns true if plain stores must execute via the scheme's storeHook
+  /// (IROp::HelperStore) instead of a raw StoreG.
+  virtual bool storesViaHelper() const { return false; }
+
+  /// \returns true if plain loads must execute via the scheme's loadHook
+  /// (IROp::HelperLoad) instead of a raw LoadG.
+  virtual bool loadsViaHelper() const { return false; }
+};
+
+} // namespace ir
+} // namespace llsc
+
+#endif // LLSC_IR_TRANSLATIONHOOKS_H

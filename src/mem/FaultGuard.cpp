@@ -1,0 +1,105 @@
+//===- mem/FaultGuard.cpp - SIGSEGV recovery for guest accesses -------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/FaultGuard.h"
+
+#include "mem/GuestMemory.h"
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <csetjmp>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+using namespace llsc;
+
+namespace {
+
+/// Per-thread recovery state. Armed only for the duration of one guarded
+/// access; the handler consults it to decide whether the fault is ours.
+struct ThreadFrame {
+  sigjmp_buf JumpBuf;
+  volatile sig_atomic_t Armed = 0;
+  volatile uintptr_t FaultAddr = 0;
+};
+
+thread_local ThreadFrame Frame;
+
+std::atomic<uint64_t> RecoveredFaults{0};
+
+void segvHandler(int Signo, siginfo_t *Info, void *Context) {
+  if (Frame.Armed) {
+    Frame.Armed = 0;
+    Frame.FaultAddr = reinterpret_cast<uintptr_t>(Info->si_addr);
+    RecoveredFaults.fetch_add(1, std::memory_order_relaxed);
+    // Jump back into the guarded accessor. Safe: the guarded region
+    // performs only a single memory access, so no cleanup is skipped.
+    siglongjmp(Frame.JumpBuf, 1);
+  }
+  // Not our fault: restore default disposition and re-raise so the process
+  // dies with the genuine SIGSEGV.
+  signal(Signo, SIG_DFL);
+  raise(Signo);
+}
+
+std::once_flag InstallOnce;
+
+} // namespace
+
+void FaultGuard::ensureInstalled() {
+  std::call_once(InstallOnce, [] {
+    struct sigaction Action;
+    std::memset(&Action, 0, sizeof(Action));
+    Action.sa_sigaction = segvHandler;
+    Action.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&Action.sa_mask);
+    if (sigaction(SIGSEGV, &Action, nullptr) != 0)
+      reportFatalError("failed to install SIGSEGV handler");
+    // mprotect violations are delivered as SIGBUS on some configurations.
+    if (sigaction(SIGBUS, &Action, nullptr) != 0)
+      reportFatalError("failed to install SIGBUS handler");
+  });
+}
+
+FaultResult FaultGuard::tryStore(GuestMemory &Mem, uint64_t Addr,
+                                 uint64_t Value, unsigned Bytes) {
+  ensureInstalled();
+  FaultResult Result;
+  // savesigs=0: the handler runs with SA_NODEFER, so the signal mask is
+  // unchanged at siglongjmp time and saving/restoring it (a syscall pair)
+  // would only tax the fast path — which must stay as close to a raw
+  // store as real PST's uninstrumented stores are.
+  if (sigsetjmp(Frame.JumpBuf, /*savesigs=*/0) != 0) {
+    // Fault path: the handler disarmed the frame and recorded the address.
+    Result.Faulted = true;
+    Result.FaultHostAddr = Frame.FaultAddr;
+    return Result;
+  }
+  Frame.Armed = 1;
+  Mem.store(Addr, Value, Bytes);
+  Frame.Armed = 0;
+  return Result;
+}
+
+FaultResult FaultGuard::tryLoad(GuestMemory &Mem, uint64_t Addr,
+                                unsigned Bytes) {
+  ensureInstalled();
+  FaultResult Result;
+  if (sigsetjmp(Frame.JumpBuf, /*savesigs=*/0) != 0) {
+    Result.Faulted = true;
+    Result.FaultHostAddr = Frame.FaultAddr;
+    return Result;
+  }
+  Frame.Armed = 1;
+  Result.LoadedValue = Mem.load(Addr, Bytes);
+  Frame.Armed = 0;
+  return Result;
+}
+
+uint64_t FaultGuard::recoveredFaultCount() {
+  return RecoveredFaults.load(std::memory_order_relaxed);
+}

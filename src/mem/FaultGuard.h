@@ -1,0 +1,65 @@
+//===- mem/FaultGuard.h - SIGSEGV recovery for guest accesses ---*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable page-fault handling for the page-protection based schemes
+/// (PST, PST-REMAP). A guest store (or load, under PST-REMAP) is attempted
+/// directly against the primary mapping; when the page is read-only or
+/// remapped away the hardware fault is caught by a process-wide SIGSEGV
+/// handler which siglongjmp()s back into the access routine, reporting the
+/// faulting address so the scheme can run its slow path — exactly the
+/// store-test mechanism of the paper's Section III-D/E.
+///
+/// Faults that occur while no guard is armed on the current thread are
+/// re-raised with default disposition so genuine bugs still crash loudly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_MEM_FAULTGUARD_H
+#define LLSC_MEM_FAULTGUARD_H
+
+#include <cstdint>
+
+namespace llsc {
+
+class GuestMemory;
+
+/// Outcome of a guarded access attempt.
+struct FaultResult {
+  bool Faulted = false;
+  uint64_t LoadedValue = 0;   ///< For guarded loads, on success.
+  uintptr_t FaultHostAddr = 0; ///< Host address that faulted.
+};
+
+/// Process-wide fault recovery. All methods are static; the SIGSEGV handler
+/// is installed once on first use (thread-safe).
+class FaultGuard {
+public:
+  /// Installs the SIGSEGV handler if not yet installed. Called implicitly
+  /// by the guarded accessors; exposed for tests.
+  static void ensureInstalled();
+
+  /// Attempts `*(primary + Addr) = Value` (size \p Bytes). On a page fault
+  /// returns Faulted=true with the faulting host address; the store did not
+  /// happen.
+  static FaultResult tryStore(GuestMemory &Mem, uint64_t Addr, uint64_t Value,
+                              unsigned Bytes);
+
+  /// Attempts a load from the primary mapping. On a page fault returns
+  /// Faulted=true.
+  static FaultResult tryLoad(GuestMemory &Mem, uint64_t Addr, unsigned Bytes);
+
+  /// \returns the total number of recovered faults (process-wide), for
+  /// tests and the Fig. 12 profiling breakdown.
+  static uint64_t recoveredFaultCount();
+
+private:
+  FaultGuard() = delete;
+};
+
+} // namespace llsc
+
+#endif // LLSC_MEM_FAULTGUARD_H

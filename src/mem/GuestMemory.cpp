@@ -1,0 +1,224 @@
+//===- mem/GuestMemory.cpp - Guest physical memory --------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/GuestMemory.h"
+
+#include "guest/Program.h"
+#include "support/Compiler.h"
+#include "support/Logging.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/mman.h>
+#include <unistd.h>
+
+using namespace llsc;
+
+unsigned llsc::hostPageSize() {
+  static const unsigned Cached =
+      static_cast<unsigned>(sysconf(_SC_PAGESIZE));
+  return Cached;
+}
+
+ErrorOr<std::unique_ptr<GuestMemory>> GuestMemory::create(uint64_t Size) {
+  unsigned PageSize = hostPageSize();
+  Size = alignTo(Size, PageSize);
+  if (Size == 0)
+    return makeError("guest memory size must be non-zero");
+
+  int Fd = memfd_create("llsc-guest-mem", 0);
+  if (Fd < 0)
+    return makeError("memfd_create failed: %s", std::strerror(errno));
+  if (ftruncate(Fd, static_cast<off_t>(Size)) != 0) {
+    int Saved = errno;
+    close(Fd);
+    return makeError("ftruncate(guest memory) failed: %s",
+                     std::strerror(Saved));
+  }
+
+  void *Primary = mmap(nullptr, Size, PROT_READ | PROT_WRITE, MAP_SHARED, Fd,
+                       0);
+  if (Primary == MAP_FAILED) {
+    int Saved = errno;
+    close(Fd);
+    return makeError("mmap(primary) failed: %s", std::strerror(Saved));
+  }
+  void *Shadow = mmap(nullptr, Size, PROT_READ | PROT_WRITE, MAP_SHARED, Fd,
+                      0);
+  if (Shadow == MAP_FAILED) {
+    int Saved = errno;
+    munmap(Primary, Size);
+    close(Fd);
+    return makeError("mmap(shadow) failed: %s", std::strerror(Saved));
+  }
+
+  auto Mem = std::unique_ptr<GuestMemory>(new GuestMemory());
+  Mem->MemFd = Fd;
+  Mem->PrimaryBase = static_cast<uint8_t *>(Primary);
+  Mem->ShadowBase = static_cast<uint8_t *>(Shadow);
+  Mem->Size = Size;
+  Mem->PageSize = PageSize;
+  return Mem;
+}
+
+GuestMemory::~GuestMemory() {
+  if (PrimaryBase)
+    munmap(PrimaryBase, Size);
+  if (ShadowBase)
+    munmap(ShadowBase, Size);
+  if (MemFd >= 0)
+    close(MemFd);
+}
+
+bool GuestMemory::primaryToGuest(const void *HostAddr,
+                                 uint64_t &GuestAddr) const {
+  const uint8_t *Ptr = static_cast<const uint8_t *>(HostAddr);
+  if (Ptr < PrimaryBase || Ptr >= PrimaryBase + Size)
+    return false;
+  GuestAddr = static_cast<uint64_t>(Ptr - PrimaryBase);
+  return true;
+}
+
+uint64_t GuestMemory::loadFrom(const uint8_t *Ptr, unsigned Bytes) {
+  uintptr_t Raw = reinterpret_cast<uintptr_t>(Ptr);
+  if (LLSC_LIKELY(isAligned(Raw, Bytes))) {
+    switch (Bytes) {
+    case 1:
+      return __atomic_load_n(Ptr, __ATOMIC_RELAXED);
+    case 2:
+      return __atomic_load_n(reinterpret_cast<const uint16_t *>(Ptr),
+                             __ATOMIC_RELAXED);
+    case 4:
+      return __atomic_load_n(reinterpret_cast<const uint32_t *>(Ptr),
+                             __ATOMIC_RELAXED);
+    case 8:
+      return __atomic_load_n(reinterpret_cast<const uint64_t *>(Ptr),
+                             __ATOMIC_RELAXED);
+    default:
+      llsc_unreachable("bad access size");
+    }
+  }
+  // Unaligned: byte-wise (not single-copy atomic, like real hardware).
+  uint64_t Value = 0;
+  for (unsigned B = 0; B < Bytes; ++B)
+    Value |= static_cast<uint64_t>(__atomic_load_n(Ptr + B, __ATOMIC_RELAXED))
+             << (8 * B);
+  return Value;
+}
+
+void GuestMemory::storeTo(uint8_t *Ptr, uint64_t Value, unsigned Bytes) {
+  uintptr_t Raw = reinterpret_cast<uintptr_t>(Ptr);
+  if (LLSC_LIKELY(isAligned(Raw, Bytes))) {
+    switch (Bytes) {
+    case 1:
+      __atomic_store_n(Ptr, static_cast<uint8_t>(Value), __ATOMIC_RELAXED);
+      return;
+    case 2:
+      __atomic_store_n(reinterpret_cast<uint16_t *>(Ptr),
+                       static_cast<uint16_t>(Value), __ATOMIC_RELAXED);
+      return;
+    case 4:
+      __atomic_store_n(reinterpret_cast<uint32_t *>(Ptr),
+                       static_cast<uint32_t>(Value), __ATOMIC_RELAXED);
+      return;
+    case 8:
+      __atomic_store_n(reinterpret_cast<uint64_t *>(Ptr), Value,
+                       __ATOMIC_RELAXED);
+      return;
+    default:
+      llsc_unreachable("bad access size");
+    }
+  }
+  for (unsigned B = 0; B < Bytes; ++B)
+    __atomic_store_n(Ptr + B, static_cast<uint8_t>(Value >> (8 * B)),
+                     __ATOMIC_RELAXED);
+}
+
+bool GuestMemory::compareExchange(uint64_t Addr, uint64_t &Expected,
+                                  uint64_t Desired, unsigned Bytes) {
+  assert(isAligned(Addr, Bytes) && "atomic access must be aligned");
+  if (Bytes == 4) {
+    uint32_t Exp32 = static_cast<uint32_t>(Expected);
+    bool Ok = __atomic_compare_exchange_n(
+        reinterpret_cast<uint32_t *>(shadowPtr(Addr)), &Exp32,
+        static_cast<uint32_t>(Desired), /*weak=*/false, __ATOMIC_SEQ_CST,
+        __ATOMIC_SEQ_CST);
+    Expected = Exp32;
+    return Ok;
+  }
+  assert(Bytes == 8 && "CAS supports 4 or 8 bytes");
+  return __atomic_compare_exchange_n(
+      reinterpret_cast<uint64_t *>(shadowPtr(Addr)), &Expected, Desired,
+      /*weak=*/false, __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
+}
+
+uint64_t GuestMemory::fetchAdd(uint64_t Addr, uint64_t Delta, unsigned Bytes) {
+  assert(isAligned(Addr, Bytes) && "atomic access must be aligned");
+  if (Bytes == 4)
+    return __atomic_fetch_add(reinterpret_cast<uint32_t *>(shadowPtr(Addr)),
+                              static_cast<uint32_t>(Delta), __ATOMIC_SEQ_CST);
+  assert(Bytes == 8 && "fetchAdd supports 4 or 8 bytes");
+  return __atomic_fetch_add(reinterpret_cast<uint64_t *>(shadowPtr(Addr)),
+                            Delta, __ATOMIC_SEQ_CST);
+}
+
+bool GuestMemory::protectPage(uint64_t PageIdx, int Prot) {
+  assert(PageIdx < numPages() && "page index out of range");
+  if (mprotect(PrimaryBase + PageIdx * PageSize, PageSize, Prot) != 0) {
+    LLSC_ERROR("mprotect(page %llu, %d) failed: %s",
+               static_cast<unsigned long long>(PageIdx), Prot,
+               std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool GuestMemory::remapPageAway(uint64_t PageIdx) {
+  assert(PageIdx < numPages() && "page index out of range");
+  void *Target = PrimaryBase + PageIdx * PageSize;
+  // Replace the memfd-backed page with an inaccessible anonymous page; the
+  // data stays in the memfd (shared with the shadow mapping).
+  void *Result = mmap(Target, PageSize, PROT_NONE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+  if (Result == MAP_FAILED) {
+    LLSC_ERROR("remapPageAway(%llu) failed: %s",
+               static_cast<unsigned long long>(PageIdx),
+               std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool GuestMemory::remapPageBack(uint64_t PageIdx, bool Writable) {
+  assert(PageIdx < numPages() && "page index out of range");
+  void *Target = PrimaryBase + PageIdx * PageSize;
+  int Prot = Writable ? (PROT_READ | PROT_WRITE) : PROT_READ;
+  void *Result =
+      mmap(Target, PageSize, Prot, MAP_SHARED | MAP_FIXED, MemFd,
+           static_cast<off_t>(PageIdx * PageSize));
+  if (Result == MAP_FAILED) {
+    LLSC_ERROR("remapPageBack(%llu) failed: %s",
+               static_cast<unsigned long long>(PageIdx),
+               std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+ErrorOr<bool> GuestMemory::loadProgram(const guest::Program &Prog) {
+  if (Prog.baseAddr() + Prog.image().size() > Size)
+    return makeError(
+        "program image [0x%llx, 0x%llx) does not fit in guest memory of "
+        "size 0x%llx",
+        static_cast<unsigned long long>(Prog.baseAddr()),
+        static_cast<unsigned long long>(Prog.endAddr()),
+        static_cast<unsigned long long>(Size));
+  std::memcpy(ShadowBase + Prog.baseAddr(), Prog.image().data(),
+              Prog.image().size());
+  return true;
+}
+
+void GuestMemory::zeroAll() { std::memset(ShadowBase, 0, Size); }

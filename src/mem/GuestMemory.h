@@ -1,0 +1,151 @@
+//===- mem/GuestMemory.h - Guest physical memory ----------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest's flat physical address space, backed by a memfd so the same
+/// pages can be mapped at several host addresses:
+///
+///  - the *primary* mapping is what translated guest code reads and writes;
+///    the PST scheme mprotect()s its pages read-only to trap conflicting
+///    stores, and PST-REMAP remaps pages out of it entirely during SC;
+///  - the *shadow* mapping is always read-write and is used by the runtime
+///    and by fault handlers to access guest memory regardless of the
+///    protection state of the primary mapping.
+///
+/// Aligned accesses of 1/2/4/8 bytes are performed with relaxed host
+/// atomics so racing guest threads never constitute C++ data races; the
+/// schemes provide any stronger ordering the guest requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_MEM_GUESTMEMORY_H
+#define LLSC_MEM_GUESTMEMORY_H
+
+#include "support/BitUtils.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace llsc {
+
+namespace guest {
+class Program;
+} // namespace guest
+
+/// Host page size used for guest page granularity (queried from the OS).
+unsigned hostPageSize();
+
+/// The guest's flat physical memory.
+class GuestMemory {
+public:
+  /// Creates a memory of \p Size bytes (rounded up to a page multiple).
+  static ErrorOr<std::unique_ptr<GuestMemory>> create(uint64_t Size);
+
+  ~GuestMemory();
+  GuestMemory(const GuestMemory &) = delete;
+  GuestMemory &operator=(const GuestMemory &) = delete;
+
+  uint64_t size() const { return Size; }
+  uint64_t numPages() const { return Size / PageSize; }
+  unsigned pageSize() const { return PageSize; }
+
+  /// \returns the page index containing \p Addr.
+  uint64_t pageIndex(uint64_t Addr) const {
+    assert(Addr < Size && "guest address out of range");
+    return Addr / PageSize;
+  }
+
+  /// Host pointer into the primary (protectable) mapping.
+  uint8_t *primaryPtr(uint64_t Addr) {
+    assert(Addr < Size && "guest address out of range");
+    return PrimaryBase + Addr;
+  }
+
+  /// Host pointer into the always-writable shadow mapping.
+  uint8_t *shadowPtr(uint64_t Addr) {
+    assert(Addr < Size && "guest address out of range");
+    return ShadowBase + Addr;
+  }
+
+  /// \returns true if \p HostAddr lies inside the primary mapping, and sets
+  /// \p GuestAddr to the corresponding guest address. Used by the fault
+  /// handler to map a faulting host address back to guest space.
+  bool primaryToGuest(const void *HostAddr, uint64_t &GuestAddr) const;
+
+  // --- Typed accessors (primary mapping; relaxed host atomics) -----------
+
+  /// Loads \p Bytes (1/2/4/8) at \p Addr, zero-extended.
+  uint64_t load(uint64_t Addr, unsigned Bytes) {
+    return loadFrom(primaryPtr(Addr), Bytes);
+  }
+
+  /// Stores the low \p Bytes of \p Value at \p Addr via the primary mapping.
+  /// Faults if the page is protected; see FaultGuard for recovery.
+  void store(uint64_t Addr, uint64_t Value, unsigned Bytes) {
+    storeTo(primaryPtr(Addr), Value, Bytes);
+  }
+
+  /// Like load/store but via the shadow mapping (never faults).
+  uint64_t shadowLoad(uint64_t Addr, unsigned Bytes) {
+    return loadFrom(shadowPtr(Addr), Bytes);
+  }
+  void shadowStore(uint64_t Addr, uint64_t Value, unsigned Bytes) {
+    storeTo(shadowPtr(Addr), Value, Bytes);
+  }
+
+  /// Sequentially-consistent compare-and-swap on guest memory (via the
+  /// shadow mapping so page protection never blocks it). \p Bytes is 4 or 8.
+  /// \returns true on success; on failure \p Expected is updated.
+  bool compareExchange(uint64_t Addr, uint64_t &Expected, uint64_t Desired,
+                       unsigned Bytes);
+
+  /// Sequentially-consistent atomic fetch-add on guest memory (shadow
+  /// mapping). \p Bytes is 4 or 8. \returns the previous value.
+  uint64_t fetchAdd(uint64_t Addr, uint64_t Delta, unsigned Bytes);
+
+  // --- Page protection (primary mapping only) -----------------------------
+
+  /// mprotect()s one page of the primary mapping. \p Prot is a PROT_* mask.
+  /// \returns false on syscall failure (logged).
+  bool protectPage(uint64_t PageIdx, int Prot);
+
+  /// Remaps one primary page to PROT_NONE anonymous memory so every access
+  /// faults (PST-REMAP's "unmapped x" state). Data is preserved in the
+  /// memfd and remains accessible via the shadow mapping.
+  bool remapPageAway(uint64_t PageIdx);
+
+  /// Restores the memfd backing of a page previously remapPageAway()ed.
+  /// The new mapping is writable when \p Writable, else read-only — set in
+  /// the same mmap call, so there is no unprotected window.
+  bool remapPageBack(uint64_t PageIdx, bool Writable = true);
+
+  // --- Program loading -----------------------------------------------------
+
+  /// Copies \p Prog's image into guest memory at its base address.
+  /// \returns an error if the image does not fit.
+  ErrorOr<bool> loadProgram(const guest::Program &Prog);
+
+  /// Fills all of guest memory with zero (test isolation helper).
+  void zeroAll();
+
+private:
+  GuestMemory() = default;
+
+  static uint64_t loadFrom(const uint8_t *Ptr, unsigned Bytes);
+  static void storeTo(uint8_t *Ptr, uint64_t Value, unsigned Bytes);
+
+  int MemFd = -1;
+  uint8_t *PrimaryBase = nullptr;
+  uint8_t *ShadowBase = nullptr;
+  uint64_t Size = 0;
+  unsigned PageSize = 4096;
+};
+
+} // namespace llsc
+
+#endif // LLSC_MEM_GUESTMEMORY_H

@@ -1,0 +1,89 @@
+//===- runtime/Exclusive.cpp - Stop-the-world exclusive sections -------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Exclusive.h"
+
+#include <cassert>
+
+using namespace llsc;
+
+// Implementation note: ExclRequests counts queued + active exclusive
+// sections; parked threads and execStart() block while it is non-zero, so
+// back-to-back exclusives do not release the world in between. ExclActive
+// marks the single section currently holding the floor.
+
+void ExclusiveContext::execStart() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (ExclRequests > 0)
+    Cond.wait(Lock);
+  ++Running;
+}
+
+void ExclusiveContext::execEnd() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  assert(Running > 0 && "execEnd without execStart");
+  --Running;
+  Cond.notify_all();
+}
+
+void ExclusiveContext::safepointSlow() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (ExclRequests == 0)
+    return;
+  // The floor holder must never park itself.
+  if (ExclActive && HolderId == std::this_thread::get_id())
+    return;
+  assert(Running > 0 && "safepoint outside an exec region");
+  --Running;
+  Cond.notify_all();
+  while (ExclRequests > 0)
+    Cond.wait(Lock);
+  ++Running;
+}
+
+void ExclusiveContext::startExclusive(bool SelfRunning) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  ++ExclRequests;
+  ExclPending.store(true, std::memory_order_release);
+  if (SelfRunning) {
+    assert(Running > 0 && "SelfRunning without execStart");
+    --Running;
+    Cond.notify_all();
+  }
+  while (ExclActive)
+    Cond.wait(Lock);
+  ExclActive = true;
+  HolderId = std::this_thread::get_id();
+  while (Running > 0)
+    Cond.wait(Lock);
+  ExclusiveSections.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ExclusiveContext::endExclusive(bool SelfRunning) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  assert(ExclActive && "endExclusive without startExclusive");
+  ExclActive = false;
+  HolderId = std::thread::id();
+  --ExclRequests;
+  if (ExclRequests == 0)
+    ExclPending.store(false, std::memory_order_release);
+  Cond.notify_all();
+  if (SelfRunning) {
+    while (ExclRequests > 0)
+      Cond.wait(Lock);
+    ++Running;
+  }
+}
+
+int ExclusiveContext::runningForTest() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return Running;
+}
+
+ExclusiveContext::DebugState ExclusiveContext::debugState() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return {Running, ExclRequests, ExclActive};
+}

@@ -1,0 +1,98 @@
+//===- runtime/Exclusive.h - Stop-the-world exclusive sections --*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// QEMU-style start_exclusive/end_exclusive: a vCPU can request that all
+/// other vCPUs pause at their next safepoint (block boundary) so it can run
+/// a critical region alone. This is exactly the mechanism the paper's HST
+/// and PST schemes use to make the SC check-and-store atomic with respect
+/// to every other vCPU (Figures 5 and 8).
+///
+/// Protocol:
+///  - each engine thread brackets its run loop with execStart()/execEnd(),
+///  - it polls safepoint() at every block boundary (cheap relaxed load
+///    unless an exclusive section is pending),
+///  - a scheme wraps its SC critical region in
+///    startExclusive(SelfRunning)/endExclusive().
+///
+/// Exclusive sections are serialized; requesters queue on the same
+/// condition variable. A vCPU that is itself inside the run loop passes
+/// SelfRunning=true so its own run-slot is released while it waits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_RUNTIME_EXCLUSIVE_H
+#define LLSC_RUNTIME_EXCLUSIVE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace llsc {
+
+/// Stop-the-world coordination between engine threads.
+class ExclusiveContext {
+public:
+  /// Marks the calling thread as executing guest code. Blocks while an
+  /// exclusive section is pending or running.
+  void execStart();
+
+  /// Marks the calling thread as no longer executing guest code.
+  void execEnd();
+
+  /// Safepoint poll; call at every block boundary. Parks the calling
+  /// thread for the duration of any pending exclusive section.
+  void safepoint() {
+    if (__builtin_expect(ExclPending.load(std::memory_order_acquire), 0))
+      safepointSlow();
+  }
+
+  /// Enters an exclusive section: returns once every other running thread
+  /// is parked. \p SelfRunning must be true when the caller is itself
+  /// inside an execStart()/execEnd() region.
+  void startExclusive(bool SelfRunning);
+
+  /// Leaves the exclusive section and releases parked threads.
+  void endExclusive(bool SelfRunning);
+
+  /// Number of exclusive sections entered (for stats/tests).
+  uint64_t exclusiveCount() const {
+    return ExclusiveSections.load(std::memory_order_relaxed);
+  }
+
+  /// \returns the number of threads currently inside execStart/execEnd
+  /// (for tests).
+  int runningForTest();
+
+  /// Diagnostic snapshot (for tests and stall debugging).
+  struct DebugState {
+    int Running;
+    int ExclRequests;
+    bool ExclActive;
+  };
+  DebugState debugState();
+
+private:
+  void safepointSlow();
+
+  std::mutex Mutex;
+  std::condition_variable Cond;
+  int Running = 0;         ///< Threads inside exec regions, not parked.
+  int ExclRequests = 0;    ///< Queued + active exclusive sections.
+  bool ExclActive = false; ///< An exclusive section holds the floor.
+  /// Host thread holding the floor; safepoints of the holder itself are
+  /// no-ops so an exclusive section may span guest blocks (PICO-HTM's
+  /// serialized fallback executes translated code while exclusive).
+  std::thread::id HolderId;
+  std::atomic<bool> ExclPending{false}; ///< Fast-path flag for safepoint().
+  std::atomic<uint64_t> ExclusiveSections{0};
+};
+
+} // namespace llsc
+
+#endif // LLSC_RUNTIME_EXCLUSIVE_H

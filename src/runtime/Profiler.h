@@ -1,0 +1,98 @@
+//===- runtime/Profiler.h - Overhead attribution ----------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-vCPU time attribution into the four buckets of the paper's Fig. 12:
+///
+///   native     — base translation/execution work
+///   exclusive  — start/end_exclusive waits and scheme lock acquisition
+///   instrument — store/LL instrumentation (helpers, and inline IR ops
+///                attributed via a calibrated per-op cost)
+///   mprotect   — page-protection and remap system calls (PST/PST-REMAP)
+///
+/// Helper-based costs are measured with monotonic timers around the slow
+/// paths; inline IR instrumentation is far too fine-grained to time per op,
+/// so the engine counts executed instrumentation ops and the profiler
+/// multiplies by a startup-calibrated per-op cost (documented in
+/// EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_RUNTIME_PROFILER_H
+#define LLSC_RUNTIME_PROFILER_H
+
+#include "support/Timing.h"
+
+#include <cstdint>
+
+namespace llsc {
+
+/// Names for the Fig. 12 buckets.
+enum class ProfileBucket : unsigned {
+  Exclusive = 0,
+  Instrument = 1,
+  Mprotect = 2,
+  NumBuckets
+};
+
+/// Per-vCPU profile accumulators. "Native" time is derived as
+/// (wall time of the vCPU) - (sum of the other buckets).
+struct CpuProfile {
+  uint64_t BucketNs[static_cast<unsigned>(ProfileBucket::NumBuckets)] = {};
+  uint64_t WallNs = 0;
+  uint64_t InlineInstrumentOps = 0; ///< Executed instrumentation micro-ops.
+
+  uint64_t &bucket(ProfileBucket Which) {
+    return BucketNs[static_cast<unsigned>(Which)];
+  }
+  uint64_t bucketNs(ProfileBucket Which) const {
+    return BucketNs[static_cast<unsigned>(Which)];
+  }
+
+  void reset() {
+    for (auto &Ns : BucketNs)
+      Ns = 0;
+    WallNs = 0;
+    InlineInstrumentOps = 0;
+  }
+
+  /// Accumulates \p Other into this profile.
+  void merge(const CpuProfile &Other) {
+    for (unsigned B = 0; B < static_cast<unsigned>(ProfileBucket::NumBuckets);
+         ++B)
+      BucketNs[B] += Other.BucketNs[B];
+    WallNs += Other.WallNs;
+    InlineInstrumentOps += Other.InlineInstrumentOps;
+  }
+};
+
+/// RAII bucket timer, active only when profiling is enabled for the run.
+class BucketTimer {
+public:
+  BucketTimer(CpuProfile *Profile, ProfileBucket Which)
+      : Profile(Profile), Which(Which),
+        StartNs(Profile ? monotonicNanos() : 0) {}
+  ~BucketTimer() {
+    if (Profile)
+      Profile->bucket(Which) += monotonicNanos() - StartNs;
+  }
+
+  BucketTimer(const BucketTimer &) = delete;
+  BucketTimer &operator=(const BucketTimer &) = delete;
+
+private:
+  CpuProfile *Profile;
+  ProfileBucket Which;
+  uint64_t StartNs;
+};
+
+/// Measures the average cost of one inline instrumentation micro-op on this
+/// host (a shift/mask/add/store sequence); cached after the first call.
+double calibratedInstrumentOpNanos();
+
+} // namespace llsc
+
+#endif // LLSC_RUNTIME_PROFILER_H

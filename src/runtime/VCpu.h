@@ -1,0 +1,142 @@
+//===- runtime/VCpu.h - Virtual CPU state -----------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-guest-thread state: register file, pc, the exclusive monitor the
+/// atomic schemes operate on, profiling accumulators, and instruction-mix
+/// counters (the raw material of the paper's Table I).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_RUNTIME_VCPU_H
+#define LLSC_RUNTIME_VCPU_H
+
+#include "guest/Isa.h"
+#include "runtime/Profiler.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace llsc {
+
+class GuestMemory;
+class ExclusiveContext;
+class HtmRuntime;
+class AtomicScheme;
+
+/// Shared services a Machine hands to its vCPUs and scheme.
+struct MachineContext {
+  GuestMemory *Mem = nullptr;
+  ExclusiveContext *Excl = nullptr;
+  HtmRuntime *Htm = nullptr; ///< Null unless an HTM scheme is active.
+  AtomicScheme *Scheme = nullptr;
+  unsigned NumThreads = 1;
+
+  /// Published by the HST-family schemes at attach() so the engine can
+  /// execute the fused HstStoreTag micro-op without a scheme call (the
+  /// JIT equivalent: the table address and mask are translation-time
+  /// constants baked into the inlined instrumentation).
+  std::atomic<uint32_t> *HstTable = nullptr;
+  uint64_t HstMask = 0;
+};
+
+/// The local exclusive monitor of one vCPU, in the architectural sense of
+/// ARM's exclusive monitor: armed by LDXR, validated by STXR. The schemes
+/// differ in *how* they detect that the monitored location was written by
+/// someone else; the monitor records what is being watched.
+struct ExclusiveMonitor {
+  static constexpr uint64_t InvalidAddr = ~0ULL;
+
+  uint64_t Addr = InvalidAddr;
+  uint64_t Value = 0; ///< Value observed by the LL (used by PICO-CAS).
+  unsigned Size = 0;
+
+  bool valid() const { return Addr != InvalidAddr; }
+  void clear() { Addr = InvalidAddr; }
+
+  void arm(uint64_t A, uint64_t V, unsigned S) {
+    Addr = A;
+    Value = V;
+    Size = S;
+  }
+};
+
+/// Instruction-mix and event counters per vCPU (Table I inputs).
+struct CpuCounters {
+  uint64_t ExecutedInsts = 0;
+  uint64_t ExecutedBlocks = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t LoadLinks = 0;
+  uint64_t StoreConds = 0;
+  uint64_t StoreCondFailures = 0;
+  uint64_t Yields = 0;
+  uint64_t PageFaultsRecovered = 0; ///< PST/PST-REMAP slow-path entries.
+  uint64_t FalseSharingFaults = 0;  ///< Faults on a monitored page whose
+                                    ///< address did not match any monitor.
+  uint64_t HtmLivelockFallbacks = 0; ///< PICO-HTM retry-budget exhaustions.
+
+  void merge(const CpuCounters &Other) {
+    ExecutedInsts += Other.ExecutedInsts;
+    ExecutedBlocks += Other.ExecutedBlocks;
+    Loads += Other.Loads;
+    Stores += Other.Stores;
+    LoadLinks += Other.LoadLinks;
+    StoreConds += Other.StoreConds;
+    StoreCondFailures += Other.StoreCondFailures;
+    Yields += Other.Yields;
+    PageFaultsRecovered += Other.PageFaultsRecovered;
+    FalseSharingFaults += Other.FalseSharingFaults;
+    HtmLivelockFallbacks += Other.HtmLivelockFallbacks;
+  }
+};
+
+/// One guest hardware thread.
+struct VCpu {
+  uint64_t Regs[guest::NumGuestRegs] = {};
+  uint64_t Pc = 0;
+  bool Halted = false;
+
+  unsigned Tid = 0;
+  MachineContext *Ctx = nullptr;
+
+  ExclusiveMonitor Monitor;
+  CpuCounters Counters;
+
+  CpuProfile Profile;
+  bool ProfilingEnabled = false;
+
+  /// Scratch area for simulateQemuHelperCall (AtomicScheme.h).
+  uint64_t HelperSpill[guest::NumGuestRegs] = {};
+
+  /// True while this vCPU's host thread is inside the engine run loop
+  /// (passed to ExclusiveContext as SelfRunning).
+  bool InRunLoop = false;
+
+  /// True between PICO-HTM's LL and SC: the engine charges interpreter
+  /// footprint to the open transaction while set.
+  bool InLongTx = false;
+
+  CpuProfile *profileOrNull() {
+    return ProfilingEnabled ? &Profile : nullptr;
+  }
+
+  /// Resets execution state (not configuration) for a fresh run.
+  void resetForRun(uint64_t EntryPc) {
+    for (auto &Reg : Regs)
+      Reg = 0;
+    Pc = EntryPc;
+    Halted = false;
+    Monitor.clear();
+    Counters = CpuCounters();
+    Profile.reset();
+    InLongTx = false;
+  }
+};
+
+} // namespace llsc
+
+#endif // LLSC_RUNTIME_VCPU_H

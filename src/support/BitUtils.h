@@ -1,0 +1,72 @@
+//===- support/BitUtils.h - Bit twiddling helpers ---------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit manipulation helpers: power-of-two checks, alignment, sign extension
+/// and field extraction used by the guest instruction encoder/decoder and the
+/// HST hash function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_BITUTILS_H
+#define LLSC_SUPPORT_BITUTILS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace llsc {
+
+/// \returns true if \p Value is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// \returns floor(log2(Value)); \p Value must be non-zero.
+constexpr unsigned log2Floor(uint64_t Value) {
+  return 63 - static_cast<unsigned>(__builtin_clzll(Value));
+}
+
+/// \returns \p Value rounded up to the next multiple of \p Align.
+/// \p Align must be a power of two.
+constexpr uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// \returns \p Value rounded down to a multiple of \p Align (power of two).
+constexpr uint64_t alignDown(uint64_t Value, uint64_t Align) {
+  return Value & ~(Align - 1);
+}
+
+/// \returns true if \p Value is a multiple of the power-of-two \p Align.
+constexpr bool isAligned(uint64_t Value, uint64_t Align) {
+  return (Value & (Align - 1)) == 0;
+}
+
+/// Sign-extends the low \p Bits bits of \p Value to 64 bits.
+constexpr int64_t signExtend(uint64_t Value, unsigned Bits) {
+  return static_cast<int64_t>(Value << (64 - Bits)) >> (64 - Bits);
+}
+
+/// Extracts bits [Lo, Lo+Len) of \p Value.
+constexpr uint64_t extractBits(uint64_t Value, unsigned Lo, unsigned Len) {
+  return (Value >> Lo) & ((Len == 64) ? ~0ULL : ((1ULL << Len) - 1));
+}
+
+/// \returns true if \p Value fits in \p Bits bits as a signed integer.
+constexpr bool fitsSigned(int64_t Value, unsigned Bits) {
+  int64_t Lo = -(1LL << (Bits - 1));
+  int64_t Hi = (1LL << (Bits - 1)) - 1;
+  return Value >= Lo && Value <= Hi;
+}
+
+/// \returns true if \p Value fits in \p Bits bits as an unsigned integer.
+constexpr bool fitsUnsigned(uint64_t Value, unsigned Bits) {
+  return Bits >= 64 || Value < (1ULL << Bits);
+}
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_BITUTILS_H

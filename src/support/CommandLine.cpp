@@ -1,0 +1,145 @@
+//===- support/CommandLine.cpp - Tiny flag parser --------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace llsc;
+
+ArgParser::ArgParser(std::string ProgramDescription)
+    : ProgramDescription(std::move(ProgramDescription)) {}
+
+int64_t *ArgParser::addInt(const std::string &Name, int64_t Default,
+                           const std::string &Help) {
+  IntValues.push_back(std::make_unique<int64_t>(Default));
+  Flags.push_back({Name, Help, FlagKind::Int, IntValues.size() - 1});
+  return IntValues.back().get();
+}
+
+std::string *ArgParser::addString(const std::string &Name,
+                                  const std::string &Default,
+                                  const std::string &Help) {
+  StringValues.push_back(std::make_unique<std::string>(Default));
+  Flags.push_back({Name, Help, FlagKind::String, StringValues.size() - 1});
+  return StringValues.back().get();
+}
+
+bool *ArgParser::addBool(const std::string &Name, bool Default,
+                         const std::string &Help) {
+  BoolValues.push_back(std::make_unique<bool>(Default));
+  Flags.push_back({Name, Help, FlagKind::Bool, BoolValues.size() - 1});
+  return BoolValues.back().get();
+}
+
+ArgParser::Flag *ArgParser::findFlag(const std::string &Name) {
+  for (Flag &F : Flags)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+std::string ArgParser::usage() const {
+  std::string Out = ProgramDescription + "\n\nFlags:\n";
+  for (const Flag &F : Flags) {
+    std::string Default;
+    switch (F.Kind) {
+    case FlagKind::Int:
+      Default = std::to_string(*IntValues[F.Index]);
+      break;
+    case FlagKind::String:
+      Default = *StringValues[F.Index];
+      break;
+    case FlagKind::Bool:
+      Default = *BoolValues[F.Index] ? "true" : "false";
+      break;
+    }
+    Out += formatString("  --%-24s %s (default: %s)\n", F.Name.c_str(),
+                        F.Help.c_str(), Default.c_str());
+  }
+  Out += "  --help                     show this message\n";
+  return Out;
+}
+
+void ArgParser::parse(int Argc, char **Argv) {
+  ProgramName = Argc > 0 ? Argv[0] : "program";
+
+  auto Fail = [&](const std::string &Message) {
+    std::fprintf(stderr, "%s: %s\n\n%s", ProgramName.c_str(), Message.c_str(),
+                 usage().c_str());
+    std::exit(2);
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (!startsWith(Arg, "--")) {
+      Positionals.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    if (Body == "help") {
+      std::printf("%s", usage().c_str());
+      std::exit(0);
+    }
+
+    std::string Name = Body;
+    std::string Value;
+    bool HasValue = false;
+    if (size_t Eq = Body.find('='); Eq != std::string::npos) {
+      Name = Body.substr(0, Eq);
+      Value = Body.substr(Eq + 1);
+      HasValue = true;
+    }
+
+    Flag *F = findFlag(Name);
+    // Support --no-<bool flag>.
+    if (!F && startsWith(Name, "no-")) {
+      Flag *Inverted = findFlag(Name.substr(3));
+      if (Inverted && Inverted->Kind == FlagKind::Bool) {
+        if (HasValue)
+          Fail("--no-" + Inverted->Name + " does not take a value");
+        *BoolValues[Inverted->Index] = false;
+        continue;
+      }
+    }
+    if (!F)
+      Fail("unknown flag --" + Name);
+
+    if (F->Kind == FlagKind::Bool) {
+      if (!HasValue) {
+        *BoolValues[F->Index] = true;
+        continue;
+      }
+      if (equalsLower(Value, "true") || Value == "1") {
+        *BoolValues[F->Index] = true;
+        continue;
+      }
+      if (equalsLower(Value, "false") || Value == "0") {
+        *BoolValues[F->Index] = false;
+        continue;
+      }
+      Fail("bad boolean value for --" + Name + ": " + Value);
+    }
+
+    if (!HasValue) {
+      if (I + 1 >= Argc)
+        Fail("flag --" + Name + " expects a value");
+      Value = Argv[++I];
+    }
+
+    if (F->Kind == FlagKind::Int) {
+      auto Parsed = parseInteger(Value);
+      if (!Parsed)
+        Fail("bad integer value for --" + Name + ": " + Value);
+      *IntValues[F->Index] = *Parsed;
+    } else {
+      *StringValues[F->Index] = Value;
+    }
+  }
+}

@@ -1,0 +1,74 @@
+//===- support/CommandLine.h - Tiny flag parser -----------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small declarative command-line parser for the benchmark and example
+/// binaries: register flags, call parse(), read values. Supports
+/// --name=value, --name value, and boolean --name / --no-name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_COMMANDLINE_H
+#define LLSC_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llsc {
+
+/// Declarative flag registry + parser.
+class ArgParser {
+public:
+  explicit ArgParser(std::string ProgramDescription);
+
+  /// Registers an int64 flag with a default; returns a stable value pointer.
+  int64_t *addInt(const std::string &Name, int64_t Default,
+                  const std::string &Help);
+
+  /// Registers a string flag.
+  std::string *addString(const std::string &Name, const std::string &Default,
+                         const std::string &Help);
+
+  /// Registers a boolean flag (--name sets true, --no-name sets false).
+  bool *addBool(const std::string &Name, bool Default,
+                const std::string &Help);
+
+  /// Parses argv. On --help prints usage and exits(0). On malformed input
+  /// prints a diagnostic and usage and exits(2). Non-flag positional
+  /// arguments are collected into positionals().
+  void parse(int Argc, char **Argv);
+
+  const std::vector<std::string> &positionals() const { return Positionals; }
+
+  /// Renders the usage text.
+  std::string usage() const;
+
+private:
+  enum class FlagKind { Int, String, Bool };
+  struct Flag {
+    std::string Name;
+    std::string Help;
+    FlagKind Kind;
+    size_t Index; // Index into the matching value store.
+  };
+
+  Flag *findFlag(const std::string &Name);
+
+  std::string ProgramDescription;
+  std::string ProgramName;
+  std::vector<Flag> Flags;
+  // Deques-by-index so returned pointers stay stable.
+  std::vector<std::unique_ptr<int64_t>> IntValues;
+  std::vector<std::unique_ptr<std::string>> StringValues;
+  std::vector<std::unique_ptr<bool>> BoolValues;
+  std::vector<std::string> Positionals;
+};
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_COMMANDLINE_H

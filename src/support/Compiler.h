@@ -1,0 +1,34 @@
+//===- support/Compiler.h - Compiler abstraction macros ---------*- C++-*-===//
+//
+// Part of the llsc-dbt project: a reproduction of "Enhancing Atomic
+// Instruction Emulation for Cross-ISA Dynamic Binary Translation" (CGO'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small set of compiler abstraction macros used throughout the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_COMPILER_H
+#define LLSC_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+#define LLSC_LIKELY(X) __builtin_expect(!!(X), 1)
+#define LLSC_UNLIKELY(X) __builtin_expect(!!(X), 0)
+
+#define LLSC_NOINLINE __attribute__((noinline))
+#define LLSC_ALWAYS_INLINE inline __attribute__((always_inline))
+
+/// Marks a point in the code that must never be reached. Prints the message
+/// and aborts; in optimized builds it still aborts (never UB).
+#define llsc_unreachable(MSG)                                                  \
+  do {                                                                         \
+    std::fprintf(stderr, "UNREACHABLE at %s:%d: %s\n", __FILE__, __LINE__,     \
+                 (MSG));                                                       \
+    std::abort();                                                              \
+  } while (false)
+
+#endif // LLSC_SUPPORT_COMPILER_H

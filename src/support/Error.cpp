@@ -1,0 +1,38 @@
+//===- support/Error.cpp - Lightweight recoverable errors ----------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace llsc;
+
+std::string Error::render() const {
+  if (Line < 0)
+    return Message;
+  return "line " + std::to_string(Line) + ": " + Message;
+}
+
+Error llsc::makeError(const char *Fmt, ...) {
+  char Buffer[1024];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buffer, sizeof(Buffer), Fmt, Args);
+  va_end(Args);
+  return Error(Buffer);
+}
+
+void llsc::reportFatalError(const Error &Err) {
+  std::fprintf(stderr, "fatal error: %s\n", Err.render().c_str());
+  std::abort();
+}
+
+void llsc::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "fatal error: %s\n", Message.c_str());
+  std::abort();
+}

@@ -1,0 +1,87 @@
+//===- support/Error.h - Lightweight recoverable errors ---------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error-handling scheme in the spirit of llvm::Error/Expected but
+/// without exceptions or RTTI: an error is a message string (possibly with a
+/// source location), and \c ErrorOr<T> carries either a value or an error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_ERROR_H
+#define LLSC_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace llsc {
+
+/// A recoverable error: a human-readable message plus an optional source
+/// line (used by the assembler to point at the offending input line).
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message, int Line = -1)
+      : Message(std::move(Message)), Line(Line) {}
+
+  const std::string &message() const { return Message; }
+  int line() const { return Line; }
+
+  /// Renders "line N: message" or just "message" when no line is attached.
+  std::string render() const;
+
+private:
+  std::string Message;
+  int Line = -1;
+};
+
+/// Creates an error with a printf-style formatted message.
+Error makeError(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Either a value of type \p T or an \c Error. Check with \c operator bool
+/// before dereferencing.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+  ErrorOr(Error Err) : Storage(std::move(Err)) {}
+
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  T &operator*() {
+    assert(*this && "dereferencing an error value");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing an error value");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  const Error &error() const {
+    assert(!*this && "no error present");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out; must hold a value.
+  T take() {
+    assert(*this && "taking from an error value");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Prints the error to stderr and aborts. For tool code that cannot recover.
+[[noreturn]] void reportFatalError(const Error &Err);
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_ERROR_H

@@ -1,0 +1,76 @@
+//===- support/Logging.cpp - Leveled logging ------------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+using namespace llsc;
+
+std::atomic<int> detail::CurrentLogLevel{static_cast<int>(LogLevel::Warn)};
+
+namespace {
+std::mutex LogMutex;
+
+const char *levelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Quiet:
+    return "quiet";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Trace:
+    return "trace";
+  }
+  return "?";
+}
+} // namespace
+
+void llsc::setLogLevel(LogLevel Level) {
+  detail::CurrentLogLevel.store(static_cast<int>(Level),
+                                std::memory_order_relaxed);
+}
+
+LogLevel llsc::getLogLevel() {
+  return static_cast<LogLevel>(
+      detail::CurrentLogLevel.load(std::memory_order_relaxed));
+}
+
+void llsc::initLogLevelFromEnv() {
+  const char *Env = std::getenv("LLSC_LOG");
+  if (!Env)
+    return;
+  if (Env[0] >= '0' && Env[0] <= '5' && Env[1] == '\0') {
+    setLogLevel(static_cast<LogLevel>(Env[0] - '0'));
+    return;
+  }
+  for (int I = 0; I <= 5; ++I) {
+    if (std::strcmp(Env, levelName(static_cast<LogLevel>(I))) == 0) {
+      setLogLevel(static_cast<LogLevel>(I));
+      return;
+    }
+  }
+}
+
+void detail::logImpl(LogLevel Level, const char *Fmt, ...) {
+  char Buffer[2048];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buffer, sizeof(Buffer), Fmt, Args);
+  va_end(Args);
+
+  std::lock_guard<std::mutex> Lock(LogMutex);
+  std::fprintf(stderr, "[llsc:%s] %s\n", levelName(Level), Buffer);
+}

@@ -1,0 +1,67 @@
+//===- support/Logging.h - Leveled logging ----------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-safe leveled logging to stderr. Verbosity is a process-global knob
+/// (set from LLSC_LOG or via setLogLevel); the hot paths compile down to a
+/// single relaxed load and branch when logging is off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_LOGGING_H
+#define LLSC_SUPPORT_LOGGING_H
+
+#include <atomic>
+
+namespace llsc {
+
+enum class LogLevel : int {
+  Quiet = 0,
+  Error = 1,
+  Warn = 2,
+  Info = 3,
+  Debug = 4,
+  Trace = 5,
+};
+
+namespace detail {
+extern std::atomic<int> CurrentLogLevel;
+void logImpl(LogLevel Level, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+} // namespace detail
+
+/// Sets the global verbosity threshold.
+void setLogLevel(LogLevel Level);
+
+/// Reads the global verbosity threshold.
+LogLevel getLogLevel();
+
+/// Initializes the log level from the LLSC_LOG environment variable
+/// (accepts 0..5 or quiet/error/warn/info/debug/trace). Safe to call often.
+void initLogLevelFromEnv();
+
+/// \returns true if messages at \p Level would currently be emitted.
+inline bool logEnabled(LogLevel Level) {
+  return static_cast<int>(Level) <=
+         detail::CurrentLogLevel.load(std::memory_order_relaxed);
+}
+
+} // namespace llsc
+
+/// Logging macros: evaluate arguments only when the level is enabled.
+#define LLSC_LOG(LEVEL, ...)                                                   \
+  do {                                                                         \
+    if (::llsc::logEnabled(LEVEL))                                             \
+      ::llsc::detail::logImpl(LEVEL, __VA_ARGS__);                             \
+  } while (false)
+
+#define LLSC_ERROR(...) LLSC_LOG(::llsc::LogLevel::Error, __VA_ARGS__)
+#define LLSC_WARN(...) LLSC_LOG(::llsc::LogLevel::Warn, __VA_ARGS__)
+#define LLSC_INFO(...) LLSC_LOG(::llsc::LogLevel::Info, __VA_ARGS__)
+#define LLSC_DEBUG(...) LLSC_LOG(::llsc::LogLevel::Debug, __VA_ARGS__)
+#define LLSC_TRACE(...) LLSC_LOG(::llsc::LogLevel::Trace, __VA_ARGS__)
+
+#endif // LLSC_SUPPORT_LOGGING_H

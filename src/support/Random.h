@@ -1,0 +1,88 @@
+//===- support/Random.h - Deterministic PRNG --------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable xoshiro256** PRNG. Deterministic across
+/// platforms, unlike std::mt19937 seeded via std::random_device; used by the
+/// workload generators and property-based tests so runs are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_RANDOM_H
+#define LLSC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace llsc {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed using splitmix64 expansion.
+  void reseed(uint64_t Seed) {
+    for (auto &Word : State) {
+      Seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// \returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// \returns a uniform value in [0, Bound). \p Bound must be non-zero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be non-zero");
+    // Rejection-free multiply-shift (Lemire); slight bias is irrelevant for
+    // workload generation and property tests.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// \returns a uniform value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// \returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+  uint64_t State[4];
+};
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_RANDOM_H

@@ -1,0 +1,80 @@
+//===- support/Stats.cpp - Statistics helpers -----------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace llsc;
+
+double llsc::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double llsc::arithmeticMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double llsc::minOf(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double llsc::maxOf(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  return *std::max_element(Values.begin(), Values.end());
+}
+
+double llsc::percentile(std::vector<double> Values, double Pct) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  double Rank = (Pct / 100.0) * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] + (Values[Hi] - Values[Lo]) * Frac;
+}
+
+CounterRegistry &CounterRegistry::instance() {
+  static CounterRegistry Registry;
+  return Registry;
+}
+
+std::atomic<uint64_t> *CounterRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return &Counters[Name];
+}
+
+std::map<std::string, uint64_t> CounterRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<std::string, uint64_t> Result;
+  for (const auto &[Name, Value] : Counters)
+    Result[Name] = Value.load(std::memory_order_relaxed);
+  return Result;
+}
+
+void CounterRegistry::resetAll() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, Value] : Counters)
+    Value.store(0, std::memory_order_relaxed);
+}

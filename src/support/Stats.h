@@ -1,0 +1,70 @@
+//===- support/Stats.h - Statistics helpers ---------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregate statistics helpers (geometric mean, min/max, percentiles) used
+/// by the benchmark harness to report the paper's headline numbers (e.g.
+/// "min 1.25x / max 3.21x / geomean 2.03x speedup"), plus a small
+/// thread-safe named-counter registry for engine-internal event counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_STATS_H
+#define LLSC_SUPPORT_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace llsc {
+
+/// \returns the geometric mean of \p Values; 0 for an empty vector.
+double geometricMean(const std::vector<double> &Values);
+
+/// \returns the arithmetic mean of \p Values; 0 for an empty vector.
+double arithmeticMean(const std::vector<double> &Values);
+
+/// \returns min of \p Values; 0 for empty input.
+double minOf(const std::vector<double> &Values);
+
+/// \returns max of \p Values; 0 for empty input.
+double maxOf(const std::vector<double> &Values);
+
+/// \returns the \p Pct percentile (0..100) using linear interpolation.
+double percentile(std::vector<double> Values, double Pct);
+
+/// A process-wide registry of named monotonically increasing counters.
+/// Counting is lock-free (per-counter atomic); lookup takes a mutex and
+/// should be done once per hot path (cache the returned pointer).
+class CounterRegistry {
+public:
+  /// \returns the singleton registry.
+  static CounterRegistry &instance();
+
+  /// \returns a stable pointer to the counter named \p Name, creating it on
+  /// first use.
+  std::atomic<uint64_t> *counter(const std::string &Name);
+
+  /// Snapshots all counters (name -> value).
+  std::map<std::string, uint64_t> snapshot() const;
+
+  /// Resets every counter to zero (for test isolation).
+  void resetAll();
+
+private:
+  CounterRegistry() = default;
+
+  mutable std::mutex Mutex;
+  // std::map gives stable element addresses across inserts.
+  std::map<std::string, std::atomic<uint64_t>> Counters;
+};
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_STATS_H

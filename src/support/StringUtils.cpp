@@ -1,0 +1,138 @@
+//===- support/StringUtils.cpp - String helpers ---------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace llsc;
+
+std::string_view llsc::trim(std::string_view Str) {
+  size_t Begin = 0;
+  while (Begin < Str.size() &&
+         std::isspace(static_cast<unsigned char>(Str[Begin])))
+    ++Begin;
+  size_t End = Str.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(Str[End - 1])))
+    --End;
+  return Str.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> llsc::split(std::string_view Str, char Sep) {
+  std::vector<std::string_view> Pieces;
+  size_t Pos = 0;
+  while (true) {
+    size_t Next = Str.find(Sep, Pos);
+    if (Next == std::string_view::npos) {
+      Pieces.push_back(trim(Str.substr(Pos)));
+      return Pieces;
+    }
+    Pieces.push_back(trim(Str.substr(Pos, Next - Pos)));
+    Pos = Next + 1;
+  }
+}
+
+std::vector<std::string_view> llsc::splitWhitespace(std::string_view Str) {
+  std::vector<std::string_view> Tokens;
+  size_t Pos = 0;
+  while (Pos < Str.size()) {
+    while (Pos < Str.size() &&
+           std::isspace(static_cast<unsigned char>(Str[Pos])))
+      ++Pos;
+    size_t Begin = Pos;
+    while (Pos < Str.size() &&
+           !std::isspace(static_cast<unsigned char>(Str[Pos])))
+      ++Pos;
+    if (Pos > Begin)
+      Tokens.push_back(Str.substr(Begin, Pos - Begin));
+  }
+  return Tokens;
+}
+
+std::optional<int64_t> llsc::parseInteger(std::string_view Str) {
+  Str = trim(Str);
+  if (Str.empty())
+    return std::nullopt;
+
+  bool Negative = false;
+  if (Str[0] == '+' || Str[0] == '-') {
+    Negative = Str[0] == '-';
+    Str.remove_prefix(1);
+    if (Str.empty())
+      return std::nullopt;
+  }
+
+  int Base = 10;
+  if (Str.size() > 2 && Str[0] == '0' && (Str[1] == 'x' || Str[1] == 'X')) {
+    Base = 16;
+    Str.remove_prefix(2);
+  } else if (Str.size() > 2 && Str[0] == '0' &&
+             (Str[1] == 'b' || Str[1] == 'B')) {
+    Base = 2;
+    Str.remove_prefix(2);
+  }
+
+  uint64_t Value = 0;
+  for (char C : Str) {
+    int Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else if (C >= 'A' && C <= 'F')
+      Digit = C - 'A' + 10;
+    else if (C == '_') // Allow 1_000_000 style separators.
+      continue;
+    else
+      return std::nullopt;
+    if (Digit >= Base)
+      return std::nullopt;
+    uint64_t Next = Value * Base + static_cast<uint64_t>(Digit);
+    if (Next < Value) // Overflow.
+      return std::nullopt;
+    Value = Next;
+  }
+
+  if (Negative)
+    return -static_cast<int64_t>(Value);
+  return static_cast<int64_t>(Value);
+}
+
+bool llsc::equalsLower(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+std::string llsc::toLower(std::string_view Str) {
+  std::string Result(Str);
+  for (char &C : Result)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Result;
+}
+
+bool llsc::startsWith(std::string_view Str, std::string_view Prefix) {
+  return Str.size() >= Prefix.size() && Str.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string llsc::formatString(const char *Fmt, ...) {
+  char Buffer[2048];
+  va_list Args;
+  va_start(Args, Fmt);
+  int Len = std::vsnprintf(Buffer, sizeof(Buffer), Fmt, Args);
+  va_end(Args);
+  if (Len < 0)
+    return std::string();
+  return std::string(Buffer, std::min<size_t>(static_cast<size_t>(Len),
+                                              sizeof(Buffer) - 1));
+}

@@ -1,0 +1,52 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String splitting/trimming/parsing helpers used by the assembler and the
+/// command-line parser. Kept deliberately allocation-light.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_STRINGUTILS_H
+#define LLSC_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llsc {
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view Str);
+
+/// Splits \p Str on \p Sep, trimming each piece; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view Str, char Sep);
+
+/// Splits \p Str into non-empty whitespace-separated tokens.
+std::vector<std::string_view> splitWhitespace(std::string_view Str);
+
+/// Parses a signed integer with optional 0x/0b prefix and +/- sign.
+/// \returns std::nullopt on malformed input or overflow.
+std::optional<int64_t> parseInteger(std::string_view Str);
+
+/// Case-insensitive string equality for ASCII.
+bool equalsLower(std::string_view A, std::string_view B);
+
+/// Lowercases ASCII characters.
+std::string toLower(std::string_view Str);
+
+/// \returns true if \p Str starts with \p Prefix.
+bool startsWith(std::string_view Str, std::string_view Prefix);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,88 @@
+//===- support/Table.cpp - ASCII table rendering --------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace llsc;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+void Table::addRow(const std::string &Label, const std::vector<double> &Values,
+                   int Precision) {
+  std::vector<std::string> Row;
+  Row.reserve(Values.size() + 1);
+  Row.push_back(Label);
+  for (double V : Values)
+    Row.push_back(formatString("%.*f", Precision, V));
+  addRow(std::move(Row));
+}
+
+std::string Table::renderAscii() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line = "|";
+    for (size_t C = 0; C < Row.size(); ++C) {
+      Line += ' ';
+      size_t Pad = Widths[C] - Row[C].size();
+      // Left-align the first column (labels), right-align the rest.
+      if (C == 0) {
+        Line += Row[C];
+        Line.append(Pad, ' ');
+      } else {
+        Line.append(Pad, ' ');
+        Line += Row[C];
+      }
+      Line += " |";
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Rule = "+";
+  for (size_t W : Widths) {
+    Rule.append(W + 2, '-');
+    Rule += '+';
+  }
+  Rule += '\n';
+
+  std::string Out = Rule + RenderRow(Header) + Rule;
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  Out += Rule;
+  return Out;
+}
+
+std::string Table::renderCsv() const {
+  std::string Out;
+  auto AppendRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      if (C)
+        Out += ',';
+      Out += Row[C];
+    }
+    Out += '\n';
+  };
+  AppendRow(Header);
+  for (const auto &Row : Rows)
+    AppendRow(Row);
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- support/Table.h - ASCII table rendering ------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned ASCII tables and CSV for the benchmark harness, which
+/// reprints the paper's tables and figure series as rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_TABLE_H
+#define LLSC_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace llsc {
+
+/// A simple row/column table with a header row, rendered right-aligned for
+/// numeric-looking cells and left-aligned otherwise.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: formats each double with \p Precision digits.
+  void addRow(const std::string &Label, const std::vector<double> &Values,
+              int Precision = 3);
+
+  /// Renders the table with column separators and a header rule.
+  std::string renderAscii() const;
+
+  /// Renders the table as CSV (no quoting; cells must not contain commas).
+  std::string renderCsv() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_TABLE_H

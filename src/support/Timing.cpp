@@ -1,0 +1,21 @@
+//===- support/Timing.cpp - Monotonic timers ------------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timing.h"
+
+#include <cassert>
+
+using namespace llsc;
+
+double llsc::measureAverageNanos(unsigned Iterations, void (*Fn)(void *),
+                                 void *Context) {
+  assert(Iterations > 0 && "need at least one iteration");
+  uint64_t Start = monotonicNanos();
+  for (unsigned I = 0; I < Iterations; ++I)
+    Fn(Context);
+  uint64_t End = monotonicNanos();
+  return static_cast<double>(End - Start) / Iterations;
+}

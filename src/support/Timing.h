@@ -1,0 +1,68 @@
+//===- support/Timing.h - Monotonic timers ----------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin wrappers around CLOCK_MONOTONIC used by the runtime profiler that
+/// attributes execution time to the native / exclusive / instrument /
+/// mprotect buckets of the paper's Fig. 12.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_TIMING_H
+#define LLSC_SUPPORT_TIMING_H
+
+#include <cstdint>
+#include <ctime>
+
+namespace llsc {
+
+/// \returns the current CLOCK_MONOTONIC time in nanoseconds.
+inline uint64_t monotonicNanos() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ULL +
+         static_cast<uint64_t>(Ts.tv_nsec);
+}
+
+/// A simple start/stop stopwatch accumulating elapsed nanoseconds.
+class Stopwatch {
+public:
+  void start() { StartNs = monotonicNanos(); }
+  void stop() { AccumNs += monotonicNanos() - StartNs; }
+  void reset() { AccumNs = 0; }
+
+  uint64_t elapsedNanos() const { return AccumNs; }
+  double elapsedSeconds() const { return static_cast<double>(AccumNs) * 1e-9; }
+
+private:
+  uint64_t StartNs = 0;
+  uint64_t AccumNs = 0;
+};
+
+/// RAII timer adding the scoped duration to an accumulator (in nanoseconds).
+class ScopedTimer {
+public:
+  explicit ScopedTimer(uint64_t &Accumulator)
+      : Accumulator(Accumulator), StartNs(monotonicNanos()) {}
+  ~ScopedTimer() { Accumulator += monotonicNanos() - StartNs; }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  uint64_t &Accumulator;
+  uint64_t StartNs;
+};
+
+/// Measures the average cost in nanoseconds of one call to \p Fn by running
+/// it \p Iterations times. Used to calibrate inline-instrumentation cost
+/// attribution in the profiler.
+double measureAverageNanos(unsigned Iterations, void (*Fn)(void *),
+                           void *Context);
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_TIMING_H

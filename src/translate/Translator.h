@@ -1,0 +1,85 @@
+//===- translate/Translator.h - Guest to IR translation ---------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates GRV guest basic blocks to IR, applying the active atomic
+/// scheme's instrumentation hooks (ir::TranslationHooks) and, optionally,
+/// the rule-based atomic-idiom pass of the paper's Section VI, which
+/// recognizes compiler-generated LL/SC retry loops (atomic_add style) and
+/// lowers the whole loop to one host atomic read-modify-write — both fast
+/// and ABA-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_TRANSLATE_TRANSLATOR_H
+#define LLSC_TRANSLATE_TRANSLATOR_H
+
+#include "ir/IR.h"
+#include "ir/TranslationHooks.h"
+
+#include "support/Error.h"
+
+namespace llsc {
+
+class GuestMemory;
+
+/// Translator tunables.
+struct TranslatorConfig {
+  /// Run the IR optimizer (constant folding, copy-prop, DCE) per block.
+  bool Optimize = true;
+  /// Enable the Section VI rule-based LL/SC idiom translation.
+  bool RuleBasedAtomics = false;
+  /// Guest instructions per translation block before a forced cut.
+  unsigned MaxGuestInstsPerBlock = 64;
+  /// Verify every produced block (cheap; always on in tests).
+  bool Verify = true;
+};
+
+/// Statistics across all translations of one Translator.
+struct TranslatorStats {
+  uint64_t BlocksTranslated = 0;
+  uint64_t GuestInstsTranslated = 0;
+  uint64_t IROpsEmitted = 0;
+  uint64_t IROpsAfterOpt = 0;
+  uint64_t AtomicIdiomsMatched = 0; ///< Rule-based pass hits.
+};
+
+/// Translates guest code reachable from arbitrary PCs, one block at a
+/// time. Thread-safe for concurrent translateBlock calls (stats are
+/// approximate under contention, by design).
+class Translator {
+public:
+  /// \p Hooks may be null (no instrumentation). \p Mem provides code
+  /// bytes; fetches go through the shadow mapping so PST page protection
+  /// never blocks code fetch.
+  Translator(GuestMemory &Mem, ir::TranslationHooks *Hooks,
+             const TranslatorConfig &Config);
+
+  /// Translates the block starting at \p Pc.
+  /// \returns the block, or an error for undecodable instructions or an
+  /// out-of-range pc.
+  ErrorOr<ir::IRBlock> translateBlock(uint64_t Pc);
+
+  const TranslatorStats &stats() const { return Stats; }
+
+private:
+  /// Attempts to match the atomic_add LL/SC idiom at \p Pc; on success
+  /// emits the AtomicAddG lowering and returns the number of guest
+  /// instructions consumed (0 if no match).
+  unsigned tryAtomicIdiom(ir::IRBuilder &Builder, uint64_t Pc);
+
+  /// Fetches and decodes one instruction.
+  ErrorOr<guest::Inst> fetch(uint64_t Pc);
+
+  GuestMemory &Mem;
+  ir::TranslationHooks *Hooks;
+  TranslatorConfig Config;
+  TranslatorStats Stats;
+};
+
+} // namespace llsc
+
+#endif // LLSC_TRANSLATE_TRANSLATOR_H

@@ -1,0 +1,111 @@
+//===- workloads/GuestRuntime.cpp - Guest-side runtime library -----------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/GuestRuntime.h"
+
+using namespace llsc;
+
+std::string workloads::guestRuntimeAsm() {
+  return R"(
+; ---- llsc guest runtime ------------------------------------------------
+        b       _start
+
+; rt_mutex_lock: r1 = &lock (4 bytes). Clobbers r2, r3.
+rt_mutex_lock:
+rt_ml_retry:
+        ldxr.w  r2, [r1]
+        cbnz    r2, rt_ml_wait
+        movz    r2, #1
+        stxr.w  r3, r2, [r1]
+        cbnz    r3, rt_ml_retry
+        dmb
+        ret
+rt_ml_wait:
+        yield
+        b       rt_ml_retry
+
+; rt_mutex_unlock: r1 = &lock. Clobbers r2.
+; Plain release store: only the lock owner writes the lock word here,
+; the pattern HST-WEAK's weak atomicity depends on (Section III-C).
+rt_mutex_unlock:
+        dmb
+        movz    r2, #0
+        stw     r2, [r1]
+        ret
+
+; rt_barrier_wait: r1 = &{count:4, generation:4}. Clobbers r2, r3, r5, r6.
+rt_barrier_wait:
+        ldw     r5, [r1, #4]          ; my generation
+rt_bw_retry:
+        ldxr.w  r2, [r1]
+        addi    r2, r2, #1
+        stxr.w  r3, r2, [r1]
+        cbnz    r3, rt_bw_retry
+        sys     r6, #2                ; r6 = number of guest threads
+        beq     r2, r6, rt_bw_last
+rt_bw_spin:
+        ldw     r2, [r1, #4]
+        beq     r2, r5, rt_bw_pause
+        dmb
+        ret
+rt_bw_pause:
+        yield
+        b       rt_bw_spin
+rt_bw_last:
+        movz    r2, #0
+        stw     r2, [r1]              ; reset count (plain store)
+        addi    r5, r5, #1
+        stw     r5, [r1, #4]          ; publish next generation (plain store)
+        dmb
+        ret
+
+; rt_atomic_add_w: r1 = &word, r2 = delta -> r3 = old value.
+; Clobbers r5, r6. Matches the compiler idiom the rule-based pass
+; (Section VI) recognizes: ldxr/add/stxr/cbnz.
+rt_atomic_add_w:
+        ldxr.w  r3, [r1]
+        add     r5, r3, r2
+        stxr.w  r6, r5, [r1]
+        cbnz    r6, rt_atomic_add_w
+        ret
+
+; rt_atomic_add_d: 8-byte variant.
+rt_atomic_add_d:
+        ldxr.d  r3, [r1]
+        add     r5, r3, r2
+        stxr.d  r6, r5, [r1]
+        cbnz    r6, rt_atomic_add_d
+        ret
+
+; rt_ticket_lock: r1 = &{next:4, serving:4}. FIFO-fair lock built on the
+; fetch-add idiom (the release is the owner's plain store, like glibc).
+; Clobbers r2, r3, r5, r6.
+rt_ticket_lock:
+        movz    r2, #1
+rt_tl_take:                        ; r3 = my ticket (fetch-add idiom)
+        ldxr.w  r3, [r1]
+        add     r5, r3, r2
+        stxr.w  r6, r5, [r1]
+        cbnz    r6, rt_tl_take
+rt_tl_spin:
+        ldw     r5, [r1, #4]
+        beq     r5, r3, rt_tl_got
+        yield
+        b       rt_tl_spin
+rt_tl_got:
+        dmb
+        ret
+
+; rt_ticket_unlock: r1 = &{next:4, serving:4}. Clobbers r2.
+rt_ticket_unlock:
+        dmb
+        ldw     r2, [r1, #4]
+        addi    r2, r2, #1
+        stw     r2, [r1, #4]       ; plain store by the owner
+        ret
+; ---- end runtime ---------------------------------------------------------
+)";
+}

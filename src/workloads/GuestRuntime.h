@@ -1,0 +1,52 @@
+//===- workloads/GuestRuntime.h - Guest-side runtime library ----*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reusable GRV assembly routines shared by the workloads: an LL/SC spin
+/// mutex, a sense-reversing barrier, and atomic fetch-add — the same
+/// synchronization idioms PARSEC binaries exercise through libc/pthreads
+/// on real ARM (Section II-A: "often used in system libraries for critical
+/// sections and functions such as atomic_add and mutex_lock").
+///
+/// Note the deliberate use of *plain* stores for mutex_unlock and the
+/// barrier generation bump: the paper's code analysis found shared data is
+/// updated by normal stores only by the lock owner, which is exactly the
+/// property HST-WEAK relies on (Section III-C).
+///
+/// Calling convention: `bl` sets lr; routines clobber only the registers
+/// documented per routine; arguments in r1..r3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_WORKLOADS_GUESTRUNTIME_H
+#define LLSC_WORKLOADS_GUESTRUNTIME_H
+
+#include <string>
+
+namespace llsc {
+namespace workloads {
+
+/// \returns the runtime's assembly text. Prepend it to a program and jump
+/// over it (it starts with a branch to `_start`, which the caller defines
+/// after the runtime).
+///
+/// Provided routines:
+///   rt_mutex_lock    r1 = &lock        clobbers r2, r3
+///   rt_mutex_unlock  r1 = &lock        clobbers r2
+///   rt_barrier_wait  r1 = &barrier     clobbers r2, r3, r5, r6
+///                    (barrier: 4-byte count then 4-byte generation)
+///   rt_atomic_add_w  r1 = &word, r2 = delta; returns old value in r3;
+///                    clobbers r5, r6
+///   rt_atomic_add_d  like rt_atomic_add_w for 8-byte values
+///   rt_ticket_lock   r1 = &{next:4, serving:4}; FIFO-fair lock;
+///                    clobbers r2, r3, r5, r6
+///   rt_ticket_unlock r1 = &{next:4, serving:4}; clobbers r2
+std::string guestRuntimeAsm();
+
+} // namespace workloads
+} // namespace llsc
+
+#endif // LLSC_WORKLOADS_GUESTRUNTIME_H

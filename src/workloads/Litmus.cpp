@@ -1,0 +1,161 @@
+//===- workloads/Litmus.cpp - Atomicity litmus sequences ------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Litmus.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+
+using namespace llsc;
+using namespace llsc::workloads;
+
+// Fragment program: each event is one tiny block ending in HALT. The
+// shared variable address is passed in r10, the store/SC value in r11;
+// LL's result lands in r1, SC's status in r2.
+static const char *FragmentProgram = R"(
+_start:
+        halt                    ; never used as an entry
+
+frag_ll:
+        ldxr.w  r1, [r10]
+        halt
+
+frag_sc:
+        stxr.w  r2, r11, [r10]
+        halt
+
+frag_store:
+        stw     r11, [r10]
+        halt
+
+        .align  4096
+shared_var:
+        .word   0
+)";
+
+ErrorOr<LitmusDriver> LitmusDriver::create(Machine &M) {
+  if (M.numThreads() < 2)
+    return makeError("litmus sequences need at least 2 threads");
+  auto LoadedOrErr = M.loadAssembly(FragmentProgram);
+  if (!LoadedOrErr)
+    return LoadedOrErr.error();
+
+  LitmusDriver Driver(M);
+  Driver.LlPc = M.program().requiredSymbol("frag_ll");
+  Driver.ScPc = M.program().requiredSymbol("frag_sc");
+  Driver.StorePc = M.program().requiredSymbol("frag_store");
+  Driver.VarAddr = M.program().requiredSymbol("shared_var");
+  M.prepareRun();
+  return Driver;
+}
+
+void LitmusDriver::resetVar(uint32_t Value) {
+  M.prepareRun(); // Clears monitors, tables, page protection.
+  M.mem().shadowStore(VarAddr, Value, 4);
+}
+
+void LitmusDriver::runFragment(unsigned Tid, uint64_t Pc) {
+  VCpu &Cpu = M.cpu(Tid);
+  Cpu.Halted = false;
+  Cpu.Pc = Pc;
+  Cpu.Regs[10] = VarAddr;
+  // A fragment is at most a handful of blocks (LL retry loops never occur
+  // here since fragments are straight-line).
+  auto Status = M.engine().stepBlocks(Cpu, /*MaxBlocks=*/16);
+  if (!Status)
+    reportFatalError(Status.error());
+  assert(*Status == RunStatus::Halted && "fragment did not halt");
+}
+
+uint32_t LitmusDriver::loadLink(unsigned Tid) {
+  runFragment(Tid, LlPc);
+  return static_cast<uint32_t>(M.cpu(Tid).Regs[1]);
+}
+
+bool LitmusDriver::storeCond(unsigned Tid, uint32_t Value) {
+  M.cpu(Tid).Regs[11] = Value;
+  runFragment(Tid, ScPc);
+  return M.cpu(Tid).Regs[2] == 0;
+}
+
+void LitmusDriver::plainStore(unsigned Tid, uint32_t Value) {
+  M.cpu(Tid).Regs[11] = Value;
+  runFragment(Tid, StorePc);
+}
+
+uint32_t LitmusDriver::varValue() {
+  return static_cast<uint32_t>(M.mem().shadowLoad(VarAddr, 4));
+}
+
+LitmusOutcome workloads::runLitmusSequence(LitmusDriver &Driver, int SeqNo) {
+  constexpr uint32_t C = 100, D = 200;
+  constexpr unsigned A = 0, B = 1;
+  Driver.resetVar(C);
+
+  switch (SeqNo) {
+  case 1:
+    // LLa(x(c)) -> Sb(x,d) -> Sb(x,c) -> SCa.
+    Driver.loadLink(A);
+    Driver.plainStore(B, D);
+    Driver.plainStore(B, C);
+    break;
+  case 2:
+    // LLa -> LLb -> SCb(c,d) -> LLb -> SCb(d,c) -> SCa.
+    Driver.loadLink(A);
+    Driver.loadLink(B);
+    Driver.storeCond(B, D);
+    Driver.loadLink(B);
+    Driver.storeCond(B, C);
+    break;
+  case 3:
+    // LLa -> LLb -> SCb(c,d) -> Sb(x,c) -> SCa.
+    Driver.loadLink(A);
+    Driver.loadLink(B);
+    Driver.storeCond(B, D);
+    Driver.plainStore(B, C);
+    break;
+  case 4:
+    // LLa -> Sb(x,d) -> LLb -> SCb(d,c) -> SCa.
+    Driver.loadLink(A);
+    Driver.plainStore(B, D);
+    Driver.loadLink(B);
+    Driver.storeCond(B, C);
+    break;
+  default:
+    llsc_unreachable("sequence number must be 1..4");
+  }
+
+  LitmusOutcome Outcome;
+  Outcome.ScaFailed = !Driver.storeCond(A, 999);
+  Outcome.FinalValue = Driver.varValue();
+  return Outcome;
+}
+
+MeasuredAtomicity workloads::classifyScheme(LitmusDriver &Driver) {
+  bool Seq1Caught = runLitmusSequence(Driver, 1).ScaFailed;
+  bool LaterCaught = true;
+  for (int Seq = 2; Seq <= 4; ++Seq)
+    LaterCaught &= runLitmusSequence(Driver, Seq).ScaFailed;
+
+  if (Seq1Caught && LaterCaught)
+    return MeasuredAtomicity::Strong;
+  if (LaterCaught)
+    return MeasuredAtomicity::Weak;
+  return MeasuredAtomicity::Incorrect;
+}
+
+const char *workloads::measuredAtomicityName(MeasuredAtomicity Class) {
+  switch (Class) {
+  case MeasuredAtomicity::Incorrect:
+    return "incorrect";
+  case MeasuredAtomicity::Weak:
+    return "weak";
+  case MeasuredAtomicity::Strong:
+    return "strong";
+  }
+  llsc_unreachable("invalid classification");
+}

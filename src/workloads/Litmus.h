@@ -1,0 +1,97 @@
+//===- workloads/Litmus.h - Atomicity litmus sequences ----------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic replay of the paper's Section IV-A event sequences:
+///
+///   Seq1: LLa(x(c)) -> Sb(x,d) -> Sb(x,c)              -> SCa(x(c,#))
+///   Seq2: LLa(x(c)) -> LLb -> SCb(c,d) -> LLb -> SCb(d,c) -> SCa
+///   Seq3: LLa(x(c)) -> LLb -> SCb(c,d) -> Sb(x,c)      -> SCa
+///   Seq4: LLa(x(c)) -> Sb(x,d) -> LLb -> SCb(d,c)      -> SCa
+///
+/// Under the architectural LL/SC semantics every final SCa must FAIL.
+/// A scheme that lets SCa succeed on Seq1 only is *weak*; on any of
+/// Seq2–Seq4 it is *incorrect* (this is how Table II's atomicity column
+/// is derived).
+///
+/// Events are executed through the real pipeline: each LL/SC/store is a
+/// tiny translated guest fragment run on the owning vCPU, so scheme
+/// instrumentation (inline IR, helpers, mprotect, HTM) is exercised
+/// exactly as in full runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_WORKLOADS_LITMUS_H
+#define LLSC_WORKLOADS_LITMUS_H
+
+#include "core/Machine.h"
+
+#include <array>
+#include <string>
+
+namespace llsc {
+namespace workloads {
+
+/// Executes single guest operations (LL, SC, plain store) on chosen vCPUs
+/// of a machine, through the translator and engine.
+class LitmusDriver {
+public:
+  /// Prepares \p M with the fragment program. The machine must have been
+  /// created with at least 2 threads; existing program state is replaced.
+  static ErrorOr<LitmusDriver> create(Machine &M);
+
+  /// Resets the shared variable to \p Value and clears scheme state.
+  void resetVar(uint32_t Value);
+
+  /// Performs an LL of the shared variable on thread \p Tid; \returns the
+  /// loaded value.
+  uint32_t loadLink(unsigned Tid);
+
+  /// Performs an SC of \p Value on thread \p Tid. \returns true on success.
+  bool storeCond(unsigned Tid, uint32_t Value);
+
+  /// Performs a plain store of \p Value on thread \p Tid.
+  void plainStore(unsigned Tid, uint32_t Value);
+
+  /// Current value of the shared variable.
+  uint32_t varValue();
+
+  Machine &machine() { return M; }
+
+private:
+  explicit LitmusDriver(Machine &M) : M(M) {}
+
+  void runFragment(unsigned Tid, uint64_t Pc);
+
+  Machine &M;
+  uint64_t LlPc = 0;
+  uint64_t ScPc = 0;
+  uint64_t StorePc = 0;
+  uint64_t VarAddr = 0;
+};
+
+/// One Section IV-A sequence applied to a scheme.
+struct LitmusOutcome {
+  bool ScaFailed = false;  ///< Architecturally required: true.
+  uint32_t FinalValue = 0; ///< Value of x after the sequence.
+};
+
+/// Runs sequence \p SeqNo (1..4) and reports whether the final SCa failed.
+LitmusOutcome runLitmusSequence(LitmusDriver &Driver, int SeqNo);
+
+/// Classification derived from the four sequences.
+enum class MeasuredAtomicity { Incorrect, Weak, Strong };
+
+/// Runs all four sequences and classifies the scheme (Table II column).
+MeasuredAtomicity classifyScheme(LitmusDriver &Driver);
+
+/// Human-readable name for a classification.
+const char *measuredAtomicityName(MeasuredAtomicity Class);
+
+} // namespace workloads
+} // namespace llsc
+
+#endif // LLSC_WORKLOADS_LITMUS_H

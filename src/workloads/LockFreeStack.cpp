@@ -1,0 +1,355 @@
+//===- workloads/LockFreeStack.cpp - ABA micro-benchmark -----------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/LockFreeStack.h"
+
+#include "guest/Assembler.h"
+#include "mem/GuestMemory.h"
+#include "support/BitUtils.h"
+#include "support/StringUtils.h"
+
+#include <set>
+
+using namespace llsc;
+using namespace llsc::workloads;
+
+ErrorOr<guest::Program>
+workloads::buildLockFreeStack(const LockFreeStackParams &Params) {
+  if (Params.YieldEveryNPops && !isPowerOf2(Params.YieldEveryNPops))
+    return makeError("YieldEveryNPops must be 0 or a power of two");
+  if (Params.HoldYieldEveryN && !isPowerOf2(Params.HoldYieldEveryN))
+    return makeError("HoldYieldEveryN must be 0 or a power of two");
+  if (Params.BatchDepth < 1 || Params.BatchDepth > 2)
+    return makeError("BatchDepth must be 1 or 2");
+
+  // Register plan: r10 = &stack_top, r9 = iteration countdown,
+  // r8/r11/r12 = per-thread LCG for pseudo-random yield points,
+  // r5/r6 = held nodes, r1..r4 = pop/push scratch, lr = call linkage.
+  std::string Asm;
+  Asm += "; lock-free stack ABA micro-benchmark (paper Figures 2/3)\n";
+  Asm += "_start:\n";
+  Asm += "        la      r10, stack_top\n";
+  Asm += formatString("        li      r9, #%llu\n",
+                      static_cast<unsigned long long>(
+                          Params.IterationsPerThread));
+  // Yield decisions come from a per-thread LCG: deterministic counters
+  // make all threads rotate in lockstep, where the pop/push involution
+  // restores the stack at every switch point and the A-B-A interleaving
+  // never forms. Tid-seeded pseudo-random yields decorrelate the threads
+  // the way true parallel overlap does on the paper's 52-core host.
+  if (Params.YieldEveryNPops || Params.HoldYieldEveryN) {
+    Asm += "        li      r11, #0x5851f42d4c957f2d ; LCG multiplier\n";
+    Asm += "        li      r12, #0x14057b7ef767814f ; LCG increment\n";
+    Asm += "        addi    r8, r0, #1\n";
+    Asm += "        li      r2, #0x9e3779b97f4a7c15\n";
+    Asm += "        mul     r8, r8, r2          ; seed from tid\n";
+  }
+  Asm += R"(main_loop:
+        cbz     r9, done
+        bl      stack_pop           ; r1 = node (0 if empty)
+        cbz     r1, iter_next
+        mov     r5, r1
+)";
+  if (Params.BatchDepth == 2) {
+    Asm += "        bl      stack_pop           ; r6 = second node (may be 0)\n";
+    Asm += "        mov     r6, r1\n";
+  }
+  if (Params.HoldYieldEveryN) {
+    // Park while holding popped node(s) on a pseudo-random 1-in-N of
+    // iterations (distinct LCG bits from the pop-window yield).
+    Asm += "        lsri    r4, r8, #45\n";
+    Asm += formatString("        andi    r4, r4, #%u\n",
+                        Params.HoldYieldEveryN - 1);
+    Asm += "        cbnz    r4, no_hold_yield\n";
+    Asm += "        yield                        ; hold node(s) across a slice\n";
+    Asm += "no_hold_yield:\n";
+  }
+  Asm += "        mov     r1, r5\n";
+  Asm += "        bl      stack_push\n";
+  if (Params.BatchDepth == 2) {
+    Asm += "        cbz     r6, iter_next\n";
+    Asm += "        mov     r1, r6\n";
+    Asm += "        bl      stack_push\n";
+  }
+  Asm += R"(iter_next:
+        addi    r9, r9, #-1
+        b       main_loop
+done:
+        halt
+
+; --- stack_pop: r1 = popped node or 0; clobbers r2, r3, r4 -----------
+stack_pop:
+)";
+  if (Params.YieldEveryNPops || Params.HoldYieldEveryN) {
+    Asm += "        mul     r8, r8, r11         ; advance the LCG\n";
+    Asm += "        add     r8, r8, r12\n";
+  }
+  Asm += R"(        ldxr.d  r1, [r10]           ; LL(top)
+        cbz     r1, pop_fail
+        ldd     r2, [r1]            ; new_top = top->next (plain load)
+)";
+  if (Params.YieldEveryNPops) {
+    // Widen the A-B-A window on a pseudo-random 1-in-N of attempts.
+    Asm += "        lsri    r4, r8, #33\n";
+    Asm += formatString("        andi    r4, r4, #%u\n",
+                        Params.YieldEveryNPops - 1);
+    Asm += "        cbnz    r4, no_window_yield\n";
+    Asm += "        yield                        ; widen the A-B-A window\n";
+    Asm += "no_window_yield:\n";
+  }
+  Asm += R"(        stxr.d  r3, r2, [r10]       ; SC(top = new_top)
+        cbnz    r3, stack_pop
+        ret
+pop_fail:
+        clrex
+        movz    r1, #0
+        ret
+
+; --- stack_push: pushes r1; clobbers r2, r3 ----------------------------
+stack_push:
+        ldxr.d  r2, [r10]           ; LL(top)
+        std     r2, [r1]            ; node->next = top (plain store)
+        stxr.d  r3, r1, [r10]       ; SC(top = node)
+        cbnz    r3, stack_push
+        ret
+
+; --- data: the top pointer lives on its own page (PST page granularity) --
+        .align  4096
+stack_top:
+)";
+  Asm += "        .quad   nodes\n";
+  Asm += "        .align  4096\n";
+  Asm += "nodes:\n";
+  for (unsigned Node = 0; Node < Params.NumNodes; ++Node) {
+    if (Node + 1 < Params.NumNodes)
+      Asm += formatString("        .quad   nodes+%u\n", (Node + 1) * 16);
+    else
+      Asm += "        .quad   0\n";
+    Asm += formatString("        .quad   %u\n", Node + 1); // Payload.
+  }
+
+  return guest::assemble(Asm);
+}
+
+StackCheckResult
+workloads::checkLockFreeStack(GuestMemory &Mem, const guest::Program &Prog,
+                              const LockFreeStackParams &Params) {
+  StackCheckResult Result;
+  uint64_t TopAddr = Prog.requiredSymbol("stack_top");
+  uint64_t NodesBase = Prog.requiredSymbol("nodes");
+  uint64_t NodesEnd = NodesBase + Params.NumNodes * 16ULL;
+
+  auto IsNode = [&](uint64_t Addr) {
+    return Addr >= NodesBase && Addr < NodesEnd && (Addr - NodesBase) % 16 == 0;
+  };
+
+  // The paper's tell-tale: entries whose next pointer is themselves.
+  for (unsigned Node = 0; Node < Params.NumNodes; ++Node) {
+    uint64_t Addr = NodesBase + Node * 16ULL;
+    if (Mem.shadowLoad(Addr, 8) == Addr)
+      Result.SelfLoops++;
+  }
+  Result.SelfLoopPct =
+      100.0 * static_cast<double>(Result.SelfLoops) / Params.NumNodes;
+
+  // Walk the final list.
+  std::set<uint64_t> Visited;
+  uint64_t Cursor = Mem.shadowLoad(TopAddr, 8);
+  while (Cursor != 0) {
+    if (!IsNode(Cursor)) {
+      Result.BadPointer = true;
+      break;
+    }
+    if (!Visited.insert(Cursor).second) {
+      Result.CycleDetected = true;
+      break;
+    }
+    Cursor = Mem.shadowLoad(Cursor, 8);
+  }
+  Result.NodesReachable = Visited.size();
+  if (!Result.CycleDetected && !Result.BadPointer &&
+      Result.NodesReachable <= Params.NumNodes)
+    Result.NodesLost = Params.NumNodes - Result.NodesReachable;
+
+  Result.Corrupted = Result.SelfLoops > 0 || Result.CycleDetected ||
+                     Result.BadPointer || Result.NodesLost > 0;
+  return Result;
+}
+
+ErrorOr<guest::Program>
+workloads::buildTaggedLockFreeStack(const LockFreeStackParams &Params) {
+  if (Params.YieldEveryNPops && !isPowerOf2(Params.YieldEveryNPops))
+    return makeError("YieldEveryNPops must be 0 or a power of two");
+  if (Params.HoldYieldEveryN && !isPowerOf2(Params.HoldYieldEveryN))
+    return makeError("HoldYieldEveryN must be 0 or a power of two");
+  if (Params.BatchDepth < 1 || Params.BatchDepth > 2)
+    return makeError("BatchDepth must be 1 or 2");
+
+  // Register plan: r10 = &top, r9 = iteration countdown, r8/r11/r12 LCG,
+  // r7 = nodes base, r6 = 0xffffffff mask, r5 = first held index,
+  // r15 = SC status / second held index, r1..r4 scratch.
+  //
+  // top packs {tag:32, index+1:32}; index 0 means empty. A node is 16
+  // bytes: {next index:4, pad:4, payload:8}.
+  std::string Asm;
+  Asm += "; tagged lock-free stack: the version-number ABA defense [13]\n";
+  Asm += "_start:\n";
+  Asm += "        la      r10, stack_top\n";
+  Asm += "        la      r7, nodes\n";
+  Asm += "        li      r6, #0xffffffff\n";
+  Asm += formatString("        li      r9, #%llu\n",
+                      static_cast<unsigned long long>(
+                          Params.IterationsPerThread));
+  if (Params.YieldEveryNPops || Params.HoldYieldEveryN) {
+    Asm += "        li      r11, #0x5851f42d4c957f2d ; LCG multiplier\n";
+    Asm += "        li      r12, #0x14057b7ef767814f ; LCG increment\n";
+    Asm += "        addi    r8, r0, #1\n";
+    Asm += "        li      r2, #0x9e3779b97f4a7c15\n";
+    Asm += "        mul     r8, r8, r2          ; seed from tid\n";
+  }
+  Asm += R"(main_loop:
+        cbz     r9, done
+        bl      tstack_pop          ; r1 = popped index (0 if empty)
+        cbz     r1, iter_next
+        mov     r5, r1
+)";
+  if (Params.BatchDepth == 2) {
+    Asm += "        bl      tstack_pop\n";
+    Asm += "        mov     r15, r1             ; second held index\n";
+  }
+  if (Params.HoldYieldEveryN) {
+    Asm += "        lsri    r4, r8, #45\n";
+    Asm += formatString("        andi    r4, r4, #%u\n",
+                        Params.HoldYieldEveryN - 1);
+    Asm += "        cbnz    r4, no_hold_yield\n";
+    Asm += "        yield\n";
+    Asm += "no_hold_yield:\n";
+  }
+  Asm += "        mov     r1, r5\n";
+  Asm += "        bl      tstack_push\n";
+  if (Params.BatchDepth == 2) {
+    Asm += "        cbz     r15, iter_next\n";
+    Asm += "        mov     r1, r15\n";
+    Asm += "        bl      tstack_push\n";
+  }
+  Asm += R"(iter_next:
+        addi    r9, r9, #-1
+        b       main_loop
+done:
+        halt
+
+; --- tstack_pop: r1 = popped index or 0; clobbers r2, r3, r4 ----------
+tstack_pop:
+)";
+  if (Params.YieldEveryNPops || Params.HoldYieldEveryN) {
+    Asm += "        mul     r8, r8, r11\n";
+    Asm += "        add     r8, r8, r12\n";
+  }
+  Asm += R"(        ldxr.d  r1, [r10]           ; LL({tag, index})
+        and     r2, r1, r6          ; index
+        cbz     r2, tpop_fail
+        addi    r3, r2, #-1
+        lsli    r3, r3, #4
+        add     r3, r3, r7          ; &node
+        ldw     r4, [r3]            ; next index (plain load)
+)";
+  if (Params.YieldEveryNPops) {
+    Asm += "        lsri    r3, r8, #33\n";
+    Asm += formatString("        andi    r3, r3, #%u\n",
+                        Params.YieldEveryNPops - 1);
+    Asm += "        cbnz    r3, tpop_no_yield\n";
+    Asm += "        yield                        ; widen the A-B-A window\n";
+    Asm += "tpop_no_yield:\n";
+  }
+  Asm += R"(        lsri    r3, r1, #32          ; tag
+        addi    r3, r3, #1
+        lsli    r3, r3, #32
+        orr     r3, r3, r4          ; new top = {tag+1, next}
+        mov     r1, r2              ; stash popped index
+        stxr.d  r4, r3, [r10]       ; SC
+        cbnz    r4, tstack_pop
+        ret
+tpop_fail:
+        clrex
+        movz    r1, #0
+        ret
+
+; --- tstack_push: pushes index r1; clobbers r2, r3, r4 ------------------
+tstack_push:
+        addi    r3, r1, #-1
+        lsli    r3, r3, #4
+        add     r3, r3, r7          ; &node
+tpush_retry:
+        ldxr.d  r2, [r10]           ; LL({tag, index})
+        and     r4, r2, r6          ; current index
+        stw     r4, [r3]            ; node.next = current (plain store)
+        lsri    r2, r2, #32
+        addi    r2, r2, #1
+        lsli    r2, r2, #32
+        orr     r2, r2, r1          ; new top = {tag+1, this index}
+        stxr.d  r4, r2, [r10]
+        cbnz    r4, tpush_retry
+        ret
+
+; --- data ----------------------------------------------------------------
+        .align  4096
+stack_top:
+)";
+  // Initial top: tag 0, index 1 (first node).
+  Asm += "        .quad   1\n";
+  Asm += "        .align  4096\n";
+  Asm += "nodes:\n";
+  for (unsigned Node = 0; Node < Params.NumNodes; ++Node) {
+    // next index: Node+2, or 0 for the last. Stored as a 4-byte field
+    // followed by 4 bytes of padding and an 8-byte payload.
+    unsigned Next = Node + 1 < Params.NumNodes ? Node + 2 : 0;
+    Asm += formatString("        .word   %u\n", Next);
+    Asm += "        .word   0\n";
+    Asm += formatString("        .quad   %u\n", Node + 1);
+  }
+
+  return guest::assemble(Asm);
+}
+
+StackCheckResult
+workloads::checkTaggedLockFreeStack(GuestMemory &Mem,
+                                    const guest::Program &Prog,
+                                    const LockFreeStackParams &Params) {
+  StackCheckResult Result;
+  uint64_t TopAddr = Prog.requiredSymbol("stack_top");
+  uint64_t NodesBase = Prog.requiredSymbol("nodes");
+
+  // Self-loop scan: node whose next index points at itself.
+  for (unsigned Node = 0; Node < Params.NumNodes; ++Node) {
+    uint64_t NextIdx = Mem.shadowLoad(NodesBase + Node * 16ULL, 4);
+    if (NextIdx == Node + 1)
+      Result.SelfLoops++;
+  }
+  Result.SelfLoopPct =
+      100.0 * static_cast<double>(Result.SelfLoops) / Params.NumNodes;
+
+  std::set<uint64_t> Visited;
+  uint64_t Index = Mem.shadowLoad(TopAddr, 8) & 0xffffffffULL;
+  while (Index != 0) {
+    if (Index > Params.NumNodes) {
+      Result.BadPointer = true;
+      break;
+    }
+    if (!Visited.insert(Index).second) {
+      Result.CycleDetected = true;
+      break;
+    }
+    Index = Mem.shadowLoad(NodesBase + (Index - 1) * 16ULL, 4);
+  }
+  Result.NodesReachable = Visited.size();
+  if (!Result.CycleDetected && !Result.BadPointer &&
+      Result.NodesReachable <= Params.NumNodes)
+    Result.NodesLost = Params.NumNodes - Result.NodesReachable;
+
+  Result.Corrupted = Result.SelfLoops > 0 || Result.CycleDetected ||
+                     Result.BadPointer || Result.NodesLost > 0;
+  return Result;
+}

@@ -1,0 +1,101 @@
+//===- workloads/LockFreeStack.h - ABA micro-benchmark ----------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's correctness micro-benchmark (Section IV-A, Figures 2/3): a
+/// lock-free stack implemented with LDXR/STXR in guest assembly. N threads
+/// repeatedly pop a node and push it back. On a correct LL/SC emulation
+/// the stack's node set is conserved; under PICO-CAS the ABA interleaving
+/// corrupts the list — the paper's tell-tale being entries whose `next`
+/// pointer points to themselves.
+///
+/// After the run, check() walks the list from the host side and reports
+/// self-loops, cycles, lost and duplicated nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_WORKLOADS_LOCKFREESTACK_H
+#define LLSC_WORKLOADS_LOCKFREESTACK_H
+
+#include "guest/Program.h"
+
+#include "support/Error.h"
+
+#include <cstdint>
+
+namespace llsc {
+
+class GuestMemory;
+
+namespace workloads {
+
+/// Build parameters for the stack micro-benchmark.
+struct LockFreeStackParams {
+  unsigned NumNodes = 64;
+  uint64_t IterationsPerThread = 1 << 14;
+  /// Insert a YIELD between the pop's LL and SC on every Nth pop attempt
+  /// (0 = never). On the paper's 52-core host the A-B-A interleaving
+  /// arises from true parallel overlap; on a single-core host this widens
+  /// the preemption window to an equivalent degree (documented in
+  /// EXPERIMENTS.md). Kept periodic rather than unconditional so correct
+  /// schemes see occasional SC failures and retries instead of a
+  /// ping-pong livelock.
+  unsigned YieldEveryNPops = 0;
+
+  /// Additionally yield between a successful pop and the push-back on
+  /// every Nth iteration (0 = never; power of two). This parks threads
+  /// *while they hold a popped node*, which is what lets Figure 2's
+  /// three-thread A-B-A interleaving (T2 pops A, T3 pops B, T2 pushes A)
+  /// arise on a time-sliced single core.
+  unsigned HoldYieldEveryN = 0;
+
+  /// Nodes popped per iteration before they are pushed back (1 or 2).
+  /// Depth 2 means every thread regularly *holds* a popped node while
+  /// operating on the stack — the ingredient of Figure 2's interleaving
+  /// (T2 pops A, T3 pops B, T2 pushes A) that immediate push-back lacks.
+  unsigned BatchDepth = 1;
+};
+
+/// Result of the host-side consistency walk.
+struct StackCheckResult {
+  bool Corrupted = false;
+  uint64_t SelfLoops = 0;       ///< Nodes with next == self (paper's metric).
+  uint64_t NodesReachable = 0;  ///< Distinct nodes on the final stack.
+  uint64_t NodesLost = 0;       ///< NumNodes - reachable (when walk is sane).
+  bool CycleDetected = false;
+  bool BadPointer = false;      ///< next outside the node array.
+  double SelfLoopPct = 0.0;     ///< SelfLoops / NumNodes * 100.
+};
+
+/// Builds the guest program. Symbols: `stack_top` (8-byte top pointer on
+/// its own page) and `nodes` (16-byte nodes: next, value).
+ErrorOr<guest::Program> buildLockFreeStack(const LockFreeStackParams &Params);
+
+/// Walks the final stack in \p Mem and classifies corruption.
+StackCheckResult checkLockFreeStack(GuestMemory &Mem,
+                                    const guest::Program &Prog,
+                                    const LockFreeStackParams &Params);
+
+/// Builds the *tagged* variant: the classic version-number ABA defense the
+/// paper cites ([13], Section II-C related work). The top-of-stack word
+/// packs {tag:32, node index:32}; every successful pop or push increments
+/// the tag, so a value-comparing CAS can never confuse "same index" with
+/// "nothing happened" — even PICO-CAS emulates this stack correctly. The
+/// price is guest-side: packing/unpacking on every operation and indices
+/// instead of pointers. Same parameters and checker contract as the plain
+/// stack (YieldEveryNPops/HoldYieldEveryN apply; BatchDepth is supported).
+ErrorOr<guest::Program>
+buildTaggedLockFreeStack(const LockFreeStackParams &Params);
+
+/// Walks the final tagged stack and classifies corruption.
+StackCheckResult
+checkTaggedLockFreeStack(GuestMemory &Mem, const guest::Program &Prog,
+                         const LockFreeStackParams &Params);
+
+} // namespace workloads
+} // namespace llsc
+
+#endif // LLSC_WORKLOADS_LOCKFREESTACK_H

@@ -1,0 +1,71 @@
+//===- workloads/ParsecKernels.h - PARSEC-like guest kernels ----*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic guest kernels standing in for the eight PARSEC 3.0 programs
+/// of the paper's evaluation (simlarge inputs on ARM). The real benchmarks
+/// cannot be cross-compiled into GRV; what drives every result in Figures
+/// 10–12 and Table I is the *mix* of plain stores vs LL/SC operations,
+/// lock contention, and barrier cadence — so each kernel reproduces its
+/// benchmark's published character:
+///
+///   - store:LL/SC ratios spanning the paper's 88x..3000x range (Table I),
+///   - blackscholes/x264: embarrassingly parallel, almost no atomics;
+///   - bodytrack/facesim: barrier-phased ("U"-shaped scaling, §IV-B2);
+///   - fluidanimate: very frequent fine-grained (striped) locks;
+///   - freqmine/swaptions: contended atomic counters;
+///   - canneal: a serial section bounding parallelism (~30%, §IV).
+///
+/// The substitution is documented in DESIGN.md §5; Table I is regenerated
+/// from the engine's *measured* instruction-mix counters, not from these
+/// parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_WORKLOADS_PARSECKERNELS_H
+#define LLSC_WORKLOADS_PARSECKERNELS_H
+
+#include "guest/Program.h"
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llsc {
+namespace workloads {
+
+/// Shape of one synthetic kernel (per guest thread).
+struct KernelParams {
+  std::string Name;
+  uint64_t OuterIters;       ///< Outer iterations per thread (at Scale=1).
+  unsigned ComputeOps;       ///< ALU ops per iteration.
+  unsigned PrivateStores;    ///< Plain stores to thread-private memory.
+  unsigned SharedAtomicAdds; ///< rt_atomic_add_w calls per iteration.
+  unsigned LockedSections;   ///< Mutex acquire/release pairs per iteration.
+  unsigned LockedStores;     ///< Plain stores inside each critical section.
+  unsigned NumLocks;         ///< Lock striping (1 = fully contended).
+  unsigned BarrierEvery;     ///< Barrier each N iterations (0 = never).
+  bool SerialSection;        ///< canneal-style serialized portion.
+};
+
+/// \returns the eight kernels in the paper's benchmark order.
+const std::vector<KernelParams> &parsecKernels();
+
+/// Finds a kernel by name (case-insensitive). \returns nullptr if unknown.
+const KernelParams *findKernel(std::string_view Name);
+
+/// Builds the guest program for \p Params; \p Scale multiplies OuterIters.
+/// The program uses the guest runtime (GuestRuntime.h) and the standard
+/// entry conventions (r0 = tid).
+ErrorOr<guest::Program> buildKernel(const KernelParams &Params,
+                                    double Scale = 1.0);
+
+} // namespace workloads
+} // namespace llsc
+
+#endif // LLSC_WORKLOADS_PARSECKERNELS_H

@@ -1,0 +1,208 @@
+//===- tests/AtomicityLitmusTest.cpp - Section IV-A classification -------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Replays the paper's Seq1–Seq4 interleavings under every scheme and
+/// checks that each scheme lands in exactly the atomicity class Table II
+/// assigns it: PICO-CAS/PICO-HTM incorrect, HST-WEAK weak, the rest strong.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Litmus.h"
+
+#include <gtest/gtest.h>
+
+using namespace llsc;
+using namespace llsc::workloads;
+
+namespace {
+
+std::unique_ptr<Machine> makeMachine(SchemeKind Scheme) {
+  MachineConfig Config;
+  Config.Scheme = Scheme;
+  Config.NumThreads = 2;
+  Config.MemBytes = 8ULL << 20;
+  Config.ForceSoftHtm = true;
+  auto MachineOrErr = Machine::create(Config);
+  EXPECT_TRUE(bool(MachineOrErr)) << MachineOrErr.error().render();
+  return MachineOrErr.take();
+}
+
+class LitmusTest : public ::testing::TestWithParam<SchemeKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, LitmusTest, ::testing::ValuesIn(allSchemeKinds()),
+    [](const ::testing::TestParamInfo<SchemeKind> &Info) {
+      std::string Name = schemeTraits(Info.param).Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace
+
+/// Basic sanity: LL then SC with no interference succeeds and stores.
+TEST_P(LitmusTest, UncontestedLlScSucceeds) {
+  auto M = makeMachine(GetParam());
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  LitmusDriver &Driver = *DriverOrErr;
+
+  Driver.resetVar(7);
+  EXPECT_EQ(Driver.loadLink(0), 7u);
+  EXPECT_TRUE(Driver.storeCond(0, 8));
+  EXPECT_EQ(Driver.varValue(), 8u);
+}
+
+/// SC without a matching LL must fail.
+TEST_P(LitmusTest, ScWithoutLlFails) {
+  auto M = makeMachine(GetParam());
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  LitmusDriver &Driver = *DriverOrErr;
+
+  Driver.resetVar(7);
+  EXPECT_FALSE(Driver.storeCond(0, 8));
+  EXPECT_EQ(Driver.varValue(), 7u);
+}
+
+/// An SC consumes the monitor: a second SC must fail.
+TEST_P(LitmusTest, ScConsumesMonitor) {
+  auto M = makeMachine(GetParam());
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  LitmusDriver &Driver = *DriverOrErr;
+
+  Driver.resetVar(7);
+  Driver.loadLink(0);
+  EXPECT_TRUE(Driver.storeCond(0, 8));
+  EXPECT_FALSE(Driver.storeCond(0, 9));
+  EXPECT_EQ(Driver.varValue(), 8u);
+}
+
+/// A same-thread plain store must NOT break the thread's own monitor
+/// (Section II-A), except under page-granular PST where the paper accepts
+/// monitor loss only for *other* threads — our PST implementations also
+/// preserve the own-thread case (the fault handler excludes the storing
+/// thread).
+TEST_P(LitmusTest, OwnStoreKeepsMonitor) {
+  auto M = makeMachine(GetParam());
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  LitmusDriver &Driver = *DriverOrErr;
+
+  // PICO-HTM cannot run a plain store of the same thread inside its open
+  // transaction meaningfully; skip it there (Table II has it incorrect
+  // anyway).
+  if (GetParam() == SchemeKind::PicoHtm)
+    GTEST_SKIP();
+
+  Driver.resetVar(7);
+  Driver.loadLink(0);
+  Driver.plainStore(0, 7); // Same thread, same value.
+  EXPECT_TRUE(Driver.storeCond(0, 8));
+}
+
+/// Competing SC from another thread breaks the monitor (weak atomicity
+/// floor — every scheme except PICO-CAS/PICO-HTM catches this; Seq2).
+TEST_P(LitmusTest, Seq2LlScInterference) {
+  auto M = makeMachine(GetParam());
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  LitmusOutcome Outcome = runLitmusSequence(*DriverOrErr, 2);
+
+  AtomicityClass Expected = schemeTraits(GetParam()).Atomicity;
+  if (Expected == AtomicityClass::Incorrect)
+    EXPECT_FALSE(Outcome.ScaFailed)
+        << "incorrect schemes are expected to miss Seq2 (the ABA bug)";
+  else
+    EXPECT_TRUE(Outcome.ScaFailed);
+}
+
+/// Seq1: plain-store ABA — only strong schemes catch it.
+TEST_P(LitmusTest, Seq1PlainStoreAba) {
+  auto M = makeMachine(GetParam());
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  LitmusOutcome Outcome = runLitmusSequence(*DriverOrErr, 1);
+
+  switch (schemeTraits(GetParam()).Atomicity) {
+  case AtomicityClass::Strong:
+    EXPECT_TRUE(Outcome.ScaFailed);
+    break;
+  case AtomicityClass::Weak:
+    EXPECT_FALSE(Outcome.ScaFailed)
+        << "HST-WEAK by design does not observe plain stores";
+    break;
+  case AtomicityClass::Incorrect:
+    // PICO-CAS misses; PICO-HTM's conflict detection may catch it.
+    if (GetParam() == SchemeKind::PicoCas) {
+      EXPECT_FALSE(Outcome.ScaFailed);
+    }
+    break;
+  }
+}
+
+/// Full classification must match Table II.
+TEST_P(LitmusTest, ClassificationMatchesTableII) {
+  auto M = makeMachine(GetParam());
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  MeasuredAtomicity Measured = classifyScheme(*DriverOrErr);
+
+  switch (schemeTraits(GetParam()).Atomicity) {
+  case AtomicityClass::Strong:
+    EXPECT_EQ(Measured, MeasuredAtomicity::Strong);
+    break;
+  case AtomicityClass::Weak:
+    EXPECT_EQ(Measured, MeasuredAtomicity::Weak);
+    break;
+  case AtomicityClass::Incorrect:
+    EXPECT_EQ(Measured, MeasuredAtomicity::Incorrect);
+    break;
+  }
+}
+
+/// Seq3 and Seq4 must fail under every weak-or-better scheme.
+TEST_P(LitmusTest, Seq3Seq4) {
+  auto M = makeMachine(GetParam());
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+
+  for (int Seq : {3, 4}) {
+    LitmusOutcome Outcome = runLitmusSequence(*DriverOrErr, Seq);
+    if (GetParam() == SchemeKind::PicoCas) {
+      EXPECT_FALSE(Outcome.ScaFailed) << "Seq" << Seq;
+    } else if (schemeTraits(GetParam()).Atomicity !=
+               AtomicityClass::Incorrect) {
+      EXPECT_TRUE(Outcome.ScaFailed) << "Seq" << Seq;
+    }
+  }
+}
+
+/// Monitors are per-thread: thread b's LL on a different variable does not
+/// disturb thread a's monitor... but LL/SC to the SAME address from two
+/// threads where only one commits: the other must fail.
+TEST_P(LitmusTest, CompetingScOnlyOneWins) {
+  auto M = makeMachine(GetParam());
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  LitmusDriver &Driver = *DriverOrErr;
+
+  if (GetParam() == SchemeKind::PicoHtm)
+    GTEST_SKIP(); // Both LLs open transactions; soft HTM serializes them.
+
+  Driver.resetVar(1);
+  Driver.loadLink(0);
+  Driver.loadLink(1);
+  bool BWins = Driver.storeCond(1, 2);
+  bool AWins = Driver.storeCond(0, 3);
+  EXPECT_TRUE(BWins);
+  // PICO-CAS wrongly lets A win too (value changed 1 -> 2, mismatch, so
+  // actually the CAS fails here: expected=1, current=2). Everyone fails A.
+  EXPECT_FALSE(AWins);
+  EXPECT_EQ(Driver.varValue(), 2u);
+}

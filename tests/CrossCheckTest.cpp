@@ -1,0 +1,482 @@
+//===- tests/CrossCheckTest.cpp - differential testing vs a reference ISS --------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property-based differential testing: random guest programs are run
+/// both through the full pipeline (translator -> IR optimizer -> engine)
+/// and through an *independent* instruction-set simulator implemented
+/// directly over decoded instructions. Final register files and the
+/// guest data region must match bit-for-bit.
+///
+/// Programs use ALU ops, wide moves, loads/stores into a scratch region,
+/// forward-only conditional branches (guaranteed termination), and
+/// uncontended LL/SC pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "guest/Assembler.h"
+#include "guest/Disassembler.h"
+#include "guest/Encoding.h"
+
+#include "support/Random.h"
+
+#include <array>
+#include <gtest/gtest.h>
+
+using namespace llsc;
+using namespace llsc::guest;
+
+namespace {
+
+constexpr uint64_t ScratchBase = 0x10000; // Data region for memory ops.
+constexpr uint64_t ScratchSize = 0x1000;
+
+/// A minimal reference ISS over decoded instructions. Written directly
+/// against the ISA definition in guest/Isa.h (not via the IR layer), so
+/// translator/optimizer/engine bugs cannot cancel out.
+struct ReferenceIss {
+  std::array<uint64_t, NumGuestRegs> Regs{};
+  std::vector<uint8_t> Memory;
+  uint64_t Pc = 0;
+  bool Halted = false;
+  // Uncontended monitor (single-threaded reference).
+  bool MonitorValid = false;
+  uint64_t MonitorAddr = 0;
+
+  explicit ReferenceIss(uint64_t MemSize) : Memory(MemSize, 0) {}
+
+  uint64_t load(uint64_t Addr, unsigned Bytes) const {
+    uint64_t Value = 0;
+    for (unsigned B = 0; B < Bytes; ++B)
+      Value |= static_cast<uint64_t>(Memory[Addr + B]) << (8 * B);
+    return Value;
+  }
+  void store(uint64_t Addr, uint64_t Value, unsigned Bytes) {
+    for (unsigned B = 0; B < Bytes; ++B)
+      Memory[Addr + B] = static_cast<uint8_t>(Value >> (8 * B));
+  }
+
+  void step() {
+    uint32_t Word = static_cast<uint32_t>(load(Pc, 4));
+    auto InstOrErr = decode(Word);
+    ASSERT_TRUE(bool(InstOrErr)) << "reference decode failed";
+    const Inst I = *InstOrErr;
+    uint64_t Next = Pc + 4;
+    auto S = [&](unsigned R) -> int64_t {
+      return static_cast<int64_t>(Regs[R]);
+    };
+
+    switch (I.Op) {
+    case Opcode::ADD:
+      Regs[I.Rd] = Regs[I.Rs1] + Regs[I.Rs2];
+      break;
+    case Opcode::SUB:
+      Regs[I.Rd] = Regs[I.Rs1] - Regs[I.Rs2];
+      break;
+    case Opcode::MUL:
+      Regs[I.Rd] = Regs[I.Rs1] * Regs[I.Rs2];
+      break;
+    case Opcode::UDIV:
+      Regs[I.Rd] = Regs[I.Rs2] ? Regs[I.Rs1] / Regs[I.Rs2] : 0;
+      break;
+    case Opcode::SDIV:
+      Regs[I.Rd] = (Regs[I.Rs2] == 0 ||
+                    (S(I.Rs1) == INT64_MIN && S(I.Rs2) == -1))
+                       ? 0
+                       : static_cast<uint64_t>(S(I.Rs1) / S(I.Rs2));
+      break;
+    case Opcode::UREM:
+      Regs[I.Rd] = Regs[I.Rs2] ? Regs[I.Rs1] % Regs[I.Rs2] : 0;
+      break;
+    case Opcode::SREM:
+      Regs[I.Rd] = (Regs[I.Rs2] == 0 ||
+                    (S(I.Rs1) == INT64_MIN && S(I.Rs2) == -1))
+                       ? 0
+                       : static_cast<uint64_t>(S(I.Rs1) % S(I.Rs2));
+      break;
+    case Opcode::AND:
+      Regs[I.Rd] = Regs[I.Rs1] & Regs[I.Rs2];
+      break;
+    case Opcode::ORR:
+      Regs[I.Rd] = Regs[I.Rs1] | Regs[I.Rs2];
+      break;
+    case Opcode::EOR:
+      Regs[I.Rd] = Regs[I.Rs1] ^ Regs[I.Rs2];
+      break;
+    case Opcode::LSL:
+      Regs[I.Rd] = Regs[I.Rs1] << (Regs[I.Rs2] & 63);
+      break;
+    case Opcode::LSR:
+      Regs[I.Rd] = Regs[I.Rs1] >> (Regs[I.Rs2] & 63);
+      break;
+    case Opcode::ASR:
+      Regs[I.Rd] = static_cast<uint64_t>(S(I.Rs1) >> (Regs[I.Rs2] & 63));
+      break;
+    case Opcode::SLT:
+      Regs[I.Rd] = S(I.Rs1) < S(I.Rs2) ? 1 : 0;
+      break;
+    case Opcode::SLTU:
+      Regs[I.Rd] = Regs[I.Rs1] < Regs[I.Rs2] ? 1 : 0;
+      break;
+    case Opcode::ADDI:
+      Regs[I.Rd] = Regs[I.Rs1] + static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::ANDI:
+      Regs[I.Rd] = Regs[I.Rs1] & static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::ORRI:
+      Regs[I.Rd] = Regs[I.Rs1] | static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::EORI:
+      Regs[I.Rd] = Regs[I.Rs1] ^ static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::LSLI:
+      Regs[I.Rd] = Regs[I.Rs1] << (I.Imm & 63);
+      break;
+    case Opcode::LSRI:
+      Regs[I.Rd] = Regs[I.Rs1] >> (I.Imm & 63);
+      break;
+    case Opcode::ASRI:
+      Regs[I.Rd] = static_cast<uint64_t>(S(I.Rs1) >> (I.Imm & 63));
+      break;
+    case Opcode::SLTI:
+      Regs[I.Rd] = S(I.Rs1) < I.Imm ? 1 : 0;
+      break;
+    case Opcode::SLTUI:
+      Regs[I.Rd] = Regs[I.Rs1] < static_cast<uint64_t>(I.Imm) ? 1 : 0;
+      break;
+    case Opcode::MOVZ:
+      Regs[I.Rd] = static_cast<uint64_t>(I.Imm) << (I.Hw * 16);
+      break;
+    case Opcode::MOVK:
+      Regs[I.Rd] = (Regs[I.Rd] & ~(0xffffULL << (I.Hw * 16))) |
+                   (static_cast<uint64_t>(I.Imm) << (I.Hw * 16));
+      break;
+    case Opcode::LDB:
+      Regs[I.Rd] = load(Regs[I.Rs1] + I.Imm, 1);
+      break;
+    case Opcode::LDH:
+      Regs[I.Rd] = load(Regs[I.Rs1] + I.Imm, 2);
+      break;
+    case Opcode::LDW:
+      Regs[I.Rd] = load(Regs[I.Rs1] + I.Imm, 4);
+      break;
+    case Opcode::LDD:
+      Regs[I.Rd] = load(Regs[I.Rs1] + I.Imm, 8);
+      break;
+    case Opcode::LDSB:
+      Regs[I.Rd] = static_cast<uint64_t>(
+          signExtend(load(Regs[I.Rs1] + I.Imm, 1), 8));
+      break;
+    case Opcode::LDSH:
+      Regs[I.Rd] = static_cast<uint64_t>(
+          signExtend(load(Regs[I.Rs1] + I.Imm, 2), 16));
+      break;
+    case Opcode::LDSW:
+      Regs[I.Rd] = static_cast<uint64_t>(
+          signExtend(load(Regs[I.Rs1] + I.Imm, 4), 32));
+      break;
+    case Opcode::STB:
+      store(Regs[I.Rs1] + I.Imm, Regs[I.Rd], 1);
+      break;
+    case Opcode::STH:
+      store(Regs[I.Rs1] + I.Imm, Regs[I.Rd], 2);
+      break;
+    case Opcode::STW:
+      store(Regs[I.Rs1] + I.Imm, Regs[I.Rd], 4);
+      break;
+    case Opcode::STD:
+      store(Regs[I.Rs1] + I.Imm, Regs[I.Rd], 8);
+      break;
+    case Opcode::LDXRW:
+      Regs[I.Rd] = load(Regs[I.Rs1], 4);
+      MonitorValid = true;
+      MonitorAddr = Regs[I.Rs1];
+      break;
+    case Opcode::LDXRD:
+      Regs[I.Rd] = load(Regs[I.Rs1], 8);
+      MonitorValid = true;
+      MonitorAddr = Regs[I.Rs1];
+      break;
+    case Opcode::STXRW:
+      if (MonitorValid && MonitorAddr == Regs[I.Rs1]) {
+        store(Regs[I.Rs1], Regs[I.Rs2], 4);
+        Regs[I.Rd] = 0;
+      } else {
+        Regs[I.Rd] = 1;
+      }
+      MonitorValid = false;
+      break;
+    case Opcode::STXRD:
+      if (MonitorValid && MonitorAddr == Regs[I.Rs1]) {
+        store(Regs[I.Rs1], Regs[I.Rs2], 8);
+        Regs[I.Rd] = 0;
+      } else {
+        Regs[I.Rd] = 1;
+      }
+      MonitorValid = false;
+      break;
+    case Opcode::CLREX:
+      MonitorValid = false;
+      break;
+    case Opcode::BEQ:
+      if (Regs[I.Rs1] == Regs[I.Rs2])
+        Next = Pc + I.Imm * 4;
+      break;
+    case Opcode::BNE:
+      if (Regs[I.Rs1] != Regs[I.Rs2])
+        Next = Pc + I.Imm * 4;
+      break;
+    case Opcode::BLT:
+      if (S(I.Rs1) < S(I.Rs2))
+        Next = Pc + I.Imm * 4;
+      break;
+    case Opcode::BLTU:
+      if (Regs[I.Rs1] < Regs[I.Rs2])
+        Next = Pc + I.Imm * 4;
+      break;
+    case Opcode::BGE:
+      if (S(I.Rs1) >= S(I.Rs2))
+        Next = Pc + I.Imm * 4;
+      break;
+    case Opcode::BGEU:
+      if (Regs[I.Rs1] >= Regs[I.Rs2])
+        Next = Pc + I.Imm * 4;
+      break;
+    case Opcode::CBZ:
+      if (Regs[I.Rs1] == 0)
+        Next = Pc + I.Imm * 4;
+      break;
+    case Opcode::CBNZ:
+      if (Regs[I.Rs1] != 0)
+        Next = Pc + I.Imm * 4;
+      break;
+    case Opcode::B:
+      Next = Pc + I.Imm * 4;
+      break;
+    case Opcode::BL:
+      Regs[RegLr] = Pc + 4;
+      Next = Pc + I.Imm * 4;
+      break;
+    case Opcode::BR:
+      Next = Regs[I.Rs1];
+      break;
+    case Opcode::NOP:
+    case Opcode::YIELD:
+    case Opcode::DMB:
+      break;
+    case Opcode::TID:
+      Regs[I.Rd] = 0;
+      break;
+    case Opcode::HALT:
+      Halted = true;
+      break;
+    case Opcode::SYS:
+    case Opcode::NumOpcodes:
+      FAIL() << "unexpected opcode in generated program";
+    }
+    Pc = Next;
+  }
+};
+
+/// Generates a random terminating program: straight-line ops with
+/// forward-only branches, ending in HALT.
+std::vector<Inst> generateProgram(Rng &R, unsigned Length) {
+  std::vector<Inst> Program;
+  // Prologue: point r10 at the scratch region, keep r11 as a mask helper.
+  for (const Inst &I : expandLoadImmediate(10, ScratchBase))
+    Program.push_back(I);
+
+  const Opcode AluR[] = {Opcode::ADD,  Opcode::SUB,  Opcode::MUL,
+                         Opcode::UDIV, Opcode::SDIV, Opcode::UREM,
+                         Opcode::SREM, Opcode::AND,  Opcode::ORR,
+                         Opcode::EOR,  Opcode::LSL,  Opcode::LSR,
+                         Opcode::ASR,  Opcode::SLT,  Opcode::SLTU};
+  const Opcode AluI[] = {Opcode::ADDI, Opcode::ANDI, Opcode::ORRI,
+                         Opcode::EORI, Opcode::LSLI, Opcode::LSRI,
+                         Opcode::ASRI, Opcode::SLTI, Opcode::SLTUI};
+  const Opcode Loads[] = {Opcode::LDB,  Opcode::LDH,  Opcode::LDW,
+                          Opcode::LDD,  Opcode::LDSB, Opcode::LDSH,
+                          Opcode::LDSW};
+  const Opcode Stores[] = {Opcode::STB, Opcode::STH, Opcode::STW,
+                           Opcode::STD};
+  const Opcode Branches[] = {Opcode::BEQ, Opcode::BNE,  Opcode::BLT,
+                             Opcode::BLTU, Opcode::BGE, Opcode::BGEU,
+                             Opcode::CBZ, Opcode::CBNZ};
+
+  // Registers r1..r9 are playground; r10 is the scratch base (preserved),
+  // r12..r15 also playground.
+  auto RandReg = [&]() -> uint8_t {
+    static const uint8_t Pool[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 15};
+    return Pool[R.nextBelow(std::size(Pool))];
+  };
+
+  for (unsigned N = 0; N < Length; ++N) {
+    Inst I;
+    switch (R.nextBelow(10)) {
+    case 0:
+    case 1:
+    case 2: // Reg-reg ALU.
+      I.Op = AluR[R.nextBelow(std::size(AluR))];
+      I.Rd = RandReg();
+      I.Rs1 = RandReg();
+      I.Rs2 = RandReg();
+      break;
+    case 3:
+    case 4: // Reg-imm ALU.
+      I.Op = AluI[R.nextBelow(std::size(AluI))];
+      I.Rd = RandReg();
+      I.Rs1 = RandReg();
+      I.Imm = static_cast<int64_t>(R.nextInRange(0, 16383)) - 8192;
+      break;
+    case 5: // Wide move.
+      I.Op = R.nextBool(0.5) ? Opcode::MOVZ : Opcode::MOVK;
+      I.Rd = RandReg();
+      I.Hw = static_cast<uint8_t>(R.nextBelow(4));
+      I.Imm = static_cast<int64_t>(R.nextBelow(0x10000));
+      break;
+    case 6: { // Load from scratch (aligned, in range).
+      I.Op = Loads[R.nextBelow(std::size(Loads))];
+      I.Rd = RandReg();
+      I.Rs1 = 10;
+      unsigned Bytes = memAccessBytes(I.Op);
+      I.Imm = static_cast<int64_t>(
+          alignDown(R.nextBelow(ScratchSize - 8), Bytes));
+      break;
+    }
+    case 7: { // Store to scratch.
+      I.Op = Stores[R.nextBelow(std::size(Stores))];
+      I.Rd = RandReg();
+      I.Rs1 = 10;
+      unsigned Bytes = memAccessBytes(I.Op);
+      I.Imm = static_cast<int64_t>(
+          alignDown(R.nextBelow(ScratchSize - 8), Bytes));
+      break;
+    }
+    case 8: { // Uncontended LL/SC pair on a scratch word.
+      Inst Ll;
+      Ll.Op = R.nextBool(0.5) ? Opcode::LDXRW : Opcode::LDXRD;
+      Ll.Rd = RandReg();
+      Ll.Rs1 = 10; // Base is ScratchBase (8-aligned).
+      Program.push_back(Ll);
+      I.Op = Ll.Op == Opcode::LDXRW ? Opcode::STXRW : Opcode::STXRD;
+      I.Rd = RandReg();
+      I.Rs2 = RandReg();
+      I.Rs1 = 10;
+      if (I.Rd == I.Rs1) // Status must not clobber the base.
+        I.Rd = 1;
+      break;
+    }
+    case 9: { // Forward-only conditional branch (skip 1..4 insts).
+      I.Op = Branches[R.nextBelow(std::size(Branches))];
+      I.Rs1 = RandReg();
+      I.Rs2 = RandReg();
+      I.Imm = static_cast<int64_t>(R.nextInRange(2, 5)); // Forward.
+      break;
+    }
+    }
+    // Never clobber the scratch base register.
+    if (getOpcodeInfo(I.Op).WritesRd && I.Rd == 10)
+      I.Rd = 9;
+    Program.push_back(I);
+  }
+
+  // Pad generously so forward branches land on NOPs, then halt.
+  for (int Pad = 0; Pad < 8; ++Pad)
+    Program.push_back(Inst{Opcode::NOP, 0, 0, 0, 0, 0});
+  Program.push_back(Inst{Opcode::HALT, 0, 0, 0, 0, 0});
+  return Program;
+}
+
+std::vector<uint8_t> encodeProgram(const std::vector<Inst> &Program) {
+  std::vector<uint8_t> Image;
+  for (const Inst &I : Program) {
+    auto WordOrErr = encode(I);
+    EXPECT_TRUE(bool(WordOrErr)) << disassemble(I);
+    uint32_t Word = *WordOrErr;
+    for (int B = 0; B < 4; ++B)
+      Image.push_back(static_cast<uint8_t>(Word >> (8 * B)));
+  }
+  return Image;
+}
+
+} // namespace
+
+class CrossCheckTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossCheckTest, ::testing::Range(0, 24));
+
+TEST_P(CrossCheckTest, PipelineMatchesReferenceIss) {
+  Rng R(0xabc0 + static_cast<uint64_t>(GetParam()));
+  std::vector<Inst> Insts = generateProgram(R, 120);
+  std::vector<uint8_t> Image = encodeProgram(Insts);
+  guest::Program Prog(Image, /*BaseAddr=*/0x1000, /*EntryAddr=*/0x1000, {});
+
+  // Full pipeline.
+  MachineConfig Config;
+  Config.Scheme = SchemeKind::Hst; // Exercises inline instrumentation too.
+  Config.NumThreads = 1;
+  Config.MemBytes = 1ULL << 20;
+  auto M = Machine::create(Config).take();
+  ASSERT_TRUE(bool(M->loadProgram(Prog)));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  ASSERT_TRUE(Result->AllHalted);
+
+  // Reference ISS.
+  ReferenceIss Iss(1ULL << 20);
+  std::copy(Image.begin(), Image.end(), Iss.Memory.begin() + 0x1000);
+  Iss.Pc = 0x1000;
+  // Match the machine's entry conventions.
+  Iss.Regs[0] = 0;
+  Iss.Regs[RegSp] = alignDown((1ULL << 20) - 16, 16);
+  for (unsigned Step = 0; Step < 100000 && !Iss.Halted; ++Step) {
+    Iss.step();
+    if (HasFatalFailure())
+      return;
+  }
+  ASSERT_TRUE(Iss.Halted) << "reference ISS did not terminate";
+
+  // Compare architectural state.
+  for (unsigned Reg = 0; Reg < NumGuestRegs; ++Reg)
+    EXPECT_EQ(M->cpu(0).Regs[Reg], Iss.Regs[Reg])
+        << "r" << Reg << " mismatch (seed " << GetParam() << ")";
+  for (uint64_t Addr = ScratchBase; Addr < ScratchBase + ScratchSize;
+       ++Addr)
+    ASSERT_EQ(M->mem().shadowLoad(Addr, 1), Iss.load(Addr, 1))
+        << "memory mismatch at 0x" << std::hex << Addr << " (seed "
+        << GetParam() << ")";
+}
+
+/// The optimizer and the rule-based pass must not change results either.
+TEST_P(CrossCheckTest, OptimizerVariantsAgree) {
+  Rng R(0xdef0 + static_cast<uint64_t>(GetParam()));
+  std::vector<Inst> Insts = generateProgram(R, 100);
+  std::vector<uint8_t> Image = encodeProgram(Insts);
+  guest::Program Prog(Image, 0x1000, 0x1000, {});
+
+  auto RunWith = [&](bool Optimize, bool RuleBased) {
+    MachineConfig Config;
+    Config.Scheme = SchemeKind::PicoCas;
+    Config.NumThreads = 1;
+    Config.MemBytes = 1ULL << 20;
+    Config.Translation.Optimize = Optimize;
+    Config.Translation.RuleBasedAtomics = RuleBased;
+    auto M = Machine::create(Config).take();
+    EXPECT_TRUE(bool(M->loadProgram(Prog)));
+    auto Result = M->run();
+    EXPECT_TRUE(bool(Result));
+    std::array<uint64_t, NumGuestRegs> Regs;
+    std::copy(std::begin(M->cpu(0).Regs), std::end(M->cpu(0).Regs),
+              Regs.begin());
+    return Regs;
+  };
+
+  auto Baseline = RunWith(false, false);
+  EXPECT_EQ(RunWith(true, false), Baseline) << "optimizer changed results";
+  EXPECT_EQ(RunWith(true, true), Baseline) << "rule-based pass changed "
+                                              "results";
+}

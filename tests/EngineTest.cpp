@@ -1,0 +1,287 @@
+//===- tests/EngineTest.cpp - engine/TB-cache behavioral tests -------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "engine/TbCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace llsc;
+
+namespace {
+
+std::unique_ptr<Machine> makeMachine(unsigned Threads = 1,
+                                     uint64_t MaxBlocks = 0) {
+  MachineConfig Config;
+  Config.Scheme = SchemeKind::PicoCas;
+  Config.NumThreads = Threads;
+  Config.MemBytes = 8ULL << 20;
+  Config.MaxBlocksPerCpu = MaxBlocks;
+  auto MachineOrErr = Machine::create(Config);
+  EXPECT_TRUE(bool(MachineOrErr)) << MachineOrErr.error().render();
+  return MachineOrErr.take();
+}
+
+} // namespace
+
+TEST(TbCache, TranslatesOncePerPc) {
+  auto M = makeMachine();
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: li  r2, #100
+loop:   cbz r2, done
+        addi r2, r2, #-1
+        b   loop
+done:   halt
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  // The loop body executes 100 times but translates once; the program has
+  // a handful of distinct blocks.
+  EXPECT_LE(M->cache().size(), 6u);
+  EXPECT_GE(M->cache().misses(), 2u);
+  EXPECT_GT(M->cache().lookups(), 0u);
+}
+
+TEST(TbCache, ChainingAvoidsLookups) {
+  auto M = makeMachine();
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: li  r2, #10000
+loop:   cbz r2, done
+        addi r2, r2, #-1
+        b   loop
+done:   halt
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  // With direct chaining, cache lookups stay near the block count rather
+  // than the dynamic block execution count (~20k here).
+  EXPECT_LT(M->cache().lookups(), 100u)
+      << "chaining should bypass the hash lookup on hot edges";
+}
+
+TEST(TbCache, FlushRetranslates) {
+  auto M = makeMachine();
+  ASSERT_TRUE(bool(M->loadAssembly("_start: halt\n")));
+  ASSERT_TRUE(bool(M->run()));
+  size_t MissesBefore = M->cache().misses();
+  M->cache().flush();
+  EXPECT_EQ(M->cache().size(), 0u);
+  ASSERT_TRUE(bool(M->run()));
+  EXPECT_GT(M->cache().misses(), MissesBefore);
+}
+
+TEST(Engine, IndirectBranchesViaBlAndRet) {
+  auto M = makeMachine();
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+; call the same function through two call sites (indirect returns)
+_start: bl   inc
+        bl   inc
+        la   r2, out
+        std  r1, [r2]
+        halt
+inc:    addi r1, r1, #1
+        ret
+out:    .quad 0
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("out"), 8), 2u);
+}
+
+TEST(Engine, BlockBudgetStopsRunawayGuest) {
+  auto M = makeMachine(1, /*MaxBlocks=*/1000);
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: b _start      ; infinite loop
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_FALSE(Result->AllHalted);
+  EXPECT_LE(Result->Total.ExecutedBlocks, 1001u);
+}
+
+TEST(Engine, OutOfRangeAccessHaltsWithError) {
+  auto M = makeMachine();
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: li  r1, #0x40000000     ; far beyond the 8 MiB guest memory
+        ldd r2, [r1]
+        halt
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  // The cpu halts (with a logged error) instead of crashing the host.
+  EXPECT_TRUE(Result->AllHalted);
+}
+
+TEST(Engine, FenceAndYieldExecute) {
+  auto M = makeMachine();
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: dmb
+        yield
+        dmb
+        halt
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_EQ(Result->Total.Yields, 1u);
+}
+
+TEST(Engine, CooperativeDeterminism) {
+  // The same cooperative schedule must give bit-identical executions.
+  auto RunOnce = [](uint64_t Slice) {
+    auto M = makeMachine(3);
+    auto Loaded = M->loadAssembly(R"(
+_start: tid     r1
+        la      r2, data
+        li      r4, #50
+loop:   cbz     r4, done
+        ldw     r3, [r2]
+        add     r3, r3, r1
+        addi    r3, r3, #1
+        stw     r3, [r2]
+        addi    r4, r4, #-1
+        b       loop
+done:   halt
+        .align 64
+data:   .word 0
+)");
+    EXPECT_TRUE(bool(Loaded));
+    auto Result = M->runCooperative(Slice);
+    EXPECT_TRUE(bool(Result));
+    return M->mem().shadowLoad(M->program().requiredSymbol("data"), 4);
+  };
+  EXPECT_EQ(RunOnce(2), RunOnce(2));
+  EXPECT_EQ(RunOnce(5), RunOnce(5));
+}
+
+TEST(Engine, RuleBasedTranslationEndToEnd) {
+  // The atomic_add idiom must produce identical architectural results
+  // with and without the Section VI rule-based pass, and the pass must
+  // actually fire.
+  for (bool RuleBased : {false, true}) {
+    MachineConfig Config;
+    Config.Scheme = SchemeKind::Hst;
+    Config.NumThreads = 4;
+    Config.MemBytes = 8ULL << 20;
+    Config.Translation.RuleBasedAtomics = RuleBased;
+    auto M = Machine::create(Config).take();
+    ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: la      r1, counter
+        movz    r2, #1
+        li      r9, #1000
+loop:   cbz     r9, done
+retry:  ldxr.w  r3, [r1]
+        add     r5, r3, r2
+        stxr.w  r6, r5, [r1]
+        cbnz    r6, retry
+        addi    r9, r9, #-1
+        b       loop
+done:   halt
+        .align 4096
+counter: .word 0
+)")));
+    auto Result = M->run();
+    ASSERT_TRUE(bool(Result)) << Result.error().render();
+    EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
+              4000u)
+        << "rule-based=" << RuleBased;
+    if (RuleBased) {
+      EXPECT_GT(M->translator().stats().AtomicIdiomsMatched, 0u);
+      EXPECT_EQ(Result->Total.LoadLinks, 0u)
+          << "the idiom should lower to a host RMW, not LL/SC";
+    } else {
+      EXPECT_GT(Result->Total.LoadLinks, 0u);
+    }
+  }
+}
+
+TEST(Engine, ProfilingCountsInstrumentOps) {
+  MachineConfig Config;
+  Config.Scheme = SchemeKind::Hst;
+  Config.NumThreads = 1;
+  Config.MemBytes = 8ULL << 20;
+  Config.Profile = true;
+  auto M = Machine::create(Config).take();
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: la  r1, data
+        li  r4, #100
+loop:   cbz r4, done
+        std r4, [r1]
+        addi r4, r4, #-1
+        b   loop
+done:   halt
+        .align 64
+data:   .quad 0
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  // 100 instrumented stores, one fused instrumentation op each.
+  EXPECT_GE(Result->Profile.InlineInstrumentOps, 100u);
+  EXPECT_GT(Result->Profile.WallNs, 0u);
+}
+
+TEST(Engine, CustomSchemeIntegration) {
+  // setCustomScheme rewires translation and execution.
+  struct CountingScheme final : AtomicScheme {
+    uint64_t Lls = 0, Scs = 0, Stores = 0;
+    const SchemeTraits &traits() const override {
+      return schemeTraits(SchemeKind::PicoCas);
+    }
+    bool storesViaHelper() const override { return true; }
+    uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr,
+                             unsigned Size) override {
+      ++Lls;
+      uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
+      Cpu.Monitor.arm(Addr, Value, Size);
+      return Value;
+    }
+    bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                          unsigned Size) override {
+      ++Scs;
+      Ctx->Mem->shadowStore(Addr, Value, Size);
+      Cpu.Monitor.clear();
+      return true;
+    }
+    void storeHook(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                   unsigned Size) override {
+      ++Stores;
+      Ctx->Mem->shadowStore(Addr, Value, Size);
+    }
+  };
+
+  auto M = makeMachine();
+  CountingScheme Counting;
+  M->setCustomScheme(Counting);
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: la      r1, data
+        ldxr.w  r2, [r1]
+        stxr.w  r3, r2, [r1]
+        stw     r2, [r1, #4]
+        halt
+        .align 64
+data:   .quad 0
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_EQ(Counting.Lls, 1u);
+  EXPECT_EQ(Counting.Scs, 1u);
+  EXPECT_EQ(Counting.Stores, 1u);
+}
+
+TEST(Engine, WallBudgetStopsRunawayGuest) {
+  MachineConfig Config;
+  Config.Scheme = SchemeKind::PicoCas;
+  Config.NumThreads = 1;
+  Config.MemBytes = 8ULL << 20;
+  Config.MaxSecondsPerCpu = 0.05;
+  auto M = Machine::create(Config).take();
+  ASSERT_TRUE(bool(M->loadAssembly("_start: b _start\n")));
+  uint64_t Start = monotonicNanos();
+  auto Result = M->run();
+  uint64_t ElapsedNs = monotonicNanos() - Start;
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_FALSE(Result->AllHalted);
+  EXPECT_LT(ElapsedNs, 2'000'000'000ull) << "wall budget must bound the run";
+}

@@ -1,0 +1,173 @@
+//===- tests/MemoryTest.cpp - guest memory and fault guard tests ---------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/FaultGuard.h"
+#include "mem/GuestMemory.h"
+
+#include "guest/Assembler.h"
+
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+
+using namespace llsc;
+
+namespace {
+
+std::unique_ptr<GuestMemory> makeMem(uint64_t Size = 1 << 20) {
+  auto MemOrErr = GuestMemory::create(Size);
+  EXPECT_TRUE(bool(MemOrErr)) << MemOrErr.error().render();
+  return MemOrErr.take();
+}
+
+} // namespace
+
+TEST(GuestMemory, SizeRoundedToPages) {
+  auto Mem = makeMem(5000);
+  EXPECT_EQ(Mem->size() % hostPageSize(), 0u);
+  EXPECT_GE(Mem->size(), 5000u);
+}
+
+TEST(GuestMemory, LoadStoreAllSizes) {
+  auto Mem = makeMem();
+  Mem->store(0x100, 0x1122334455667788ULL, 8);
+  EXPECT_EQ(Mem->load(0x100, 8), 0x1122334455667788ULL);
+  EXPECT_EQ(Mem->load(0x100, 4), 0x55667788ULL);
+  EXPECT_EQ(Mem->load(0x100, 2), 0x7788ULL);
+  EXPECT_EQ(Mem->load(0x100, 1), 0x88ULL);
+  Mem->store(0x104, 0xaa, 1);
+  EXPECT_EQ(Mem->load(0x100, 8), 0x112233aa55667788ULL);
+}
+
+TEST(GuestMemory, UnalignedAccess) {
+  auto Mem = makeMem();
+  Mem->store(0x101, 0xdeadbeef, 4);
+  EXPECT_EQ(Mem->load(0x101, 4), 0xdeadbeefULL);
+}
+
+TEST(GuestMemory, ShadowAliasesPrimary) {
+  auto Mem = makeMem();
+  Mem->store(0x200, 42, 8);
+  EXPECT_EQ(Mem->shadowLoad(0x200, 8), 42u);
+  Mem->shadowStore(0x208, 43, 8);
+  EXPECT_EQ(Mem->load(0x208, 8), 43u);
+}
+
+TEST(GuestMemory, CompareExchange) {
+  auto Mem = makeMem();
+  Mem->store(0x300, 10, 4);
+  uint64_t Expected = 10;
+  EXPECT_TRUE(Mem->compareExchange(0x300, Expected, 20, 4));
+  EXPECT_EQ(Mem->load(0x300, 4), 20u);
+  Expected = 10; // Stale.
+  EXPECT_FALSE(Mem->compareExchange(0x300, Expected, 30, 4));
+  EXPECT_EQ(Expected, 20u) << "failed CAS reports the current value";
+
+  Mem->store(0x308, 100, 8);
+  Expected = 100;
+  EXPECT_TRUE(Mem->compareExchange(0x308, Expected, 200, 8));
+  EXPECT_EQ(Mem->load(0x308, 8), 200u);
+}
+
+TEST(GuestMemory, FetchAdd) {
+  auto Mem = makeMem();
+  Mem->store(0x400, 5, 4);
+  EXPECT_EQ(Mem->fetchAdd(0x400, 3, 4), 5u);
+  EXPECT_EQ(Mem->load(0x400, 4), 8u);
+  Mem->store(0x408, 5, 8);
+  EXPECT_EQ(Mem->fetchAdd(0x408, static_cast<uint64_t>(-1), 8), 5u);
+  EXPECT_EQ(Mem->load(0x408, 8), 4u);
+}
+
+TEST(GuestMemory, PrimaryToGuest) {
+  auto Mem = makeMem();
+  uint64_t GuestAddr = 0;
+  EXPECT_TRUE(Mem->primaryToGuest(Mem->primaryPtr(0x1234), GuestAddr));
+  EXPECT_EQ(GuestAddr, 0x1234u);
+  int Local;
+  EXPECT_FALSE(Mem->primaryToGuest(&Local, GuestAddr));
+}
+
+TEST(GuestMemory, LoadProgram) {
+  auto Mem = makeMem();
+  auto ProgOrErr = guest::assemble("_start: halt\n", 0x1000);
+  ASSERT_TRUE(bool(ProgOrErr));
+  ASSERT_TRUE(bool(Mem->loadProgram(*ProgOrErr)));
+  EXPECT_NE(Mem->load(0x1000, 4), 0u);
+
+  // A program that does not fit is rejected.
+  auto SmallMem = makeMem(4096);
+  auto BigOrErr = guest::assemble("_start: halt\n.space 8192\n", 0x0);
+  ASSERT_TRUE(bool(BigOrErr));
+  EXPECT_FALSE(bool(SmallMem->loadProgram(*BigOrErr)));
+}
+
+TEST(FaultGuard, StoreToReadOnlyPageRecovers) {
+  auto Mem = makeMem();
+  uint64_t Page = 4; // Page index.
+  uint64_t Addr = Page * Mem->pageSize() + 24;
+  Mem->store(Addr, 1, 8);
+
+  ASSERT_TRUE(Mem->protectPage(Page, PROT_READ));
+  uint64_t FaultsBefore = FaultGuard::recoveredFaultCount();
+  FaultResult Result = FaultGuard::tryStore(*Mem, Addr, 99, 8);
+  EXPECT_TRUE(Result.Faulted);
+  EXPECT_EQ(FaultGuard::recoveredFaultCount(), FaultsBefore + 1);
+  EXPECT_EQ(Mem->load(Addr, 8), 1u) << "faulted store must not happen";
+  // Reads still work on a read-only page.
+  FaultResult Load = FaultGuard::tryLoad(*Mem, Addr, 8);
+  EXPECT_FALSE(Load.Faulted);
+  EXPECT_EQ(Load.LoadedValue, 1u);
+
+  ASSERT_TRUE(Mem->protectPage(Page, PROT_READ | PROT_WRITE));
+  Result = FaultGuard::tryStore(*Mem, Addr, 99, 8);
+  EXPECT_FALSE(Result.Faulted);
+  EXPECT_EQ(Mem->load(Addr, 8), 99u);
+}
+
+TEST(FaultGuard, RemappedPageFaultsOnLoadAndStore) {
+  auto Mem = makeMem();
+  uint64_t Page = 7;
+  uint64_t Addr = Page * Mem->pageSize();
+  Mem->store(Addr, 1234, 8);
+
+  ASSERT_TRUE(Mem->remapPageAway(Page));
+  EXPECT_TRUE(FaultGuard::tryLoad(*Mem, Addr, 8).Faulted);
+  EXPECT_TRUE(FaultGuard::tryStore(*Mem, Addr, 1, 8).Faulted);
+  // The shadow mapping still reads and writes the real data.
+  EXPECT_EQ(Mem->shadowLoad(Addr, 8), 1234u);
+  Mem->shadowStore(Addr, 5678, 8);
+
+  ASSERT_TRUE(Mem->remapPageBack(Page, /*Writable=*/true));
+  FaultResult Load = FaultGuard::tryLoad(*Mem, Addr, 8);
+  EXPECT_FALSE(Load.Faulted);
+  EXPECT_EQ(Load.LoadedValue, 5678u) << "data survives the remap cycle";
+}
+
+TEST(FaultGuard, RemapBackReadOnly) {
+  auto Mem = makeMem();
+  uint64_t Page = 9;
+  uint64_t Addr = Page * Mem->pageSize();
+  ASSERT_TRUE(Mem->remapPageAway(Page));
+  ASSERT_TRUE(Mem->remapPageBack(Page, /*Writable=*/false));
+  EXPECT_FALSE(FaultGuard::tryLoad(*Mem, Addr, 8).Faulted);
+  EXPECT_TRUE(FaultGuard::tryStore(*Mem, Addr, 1, 8).Faulted)
+      << "read-only protection is applied atomically with the remap";
+  ASSERT_TRUE(Mem->protectPage(Page, PROT_READ | PROT_WRITE));
+}
+
+TEST(FaultGuard, FaultAddressReported) {
+  auto Mem = makeMem();
+  uint64_t Page = 11;
+  uint64_t Addr = Page * Mem->pageSize() + 128;
+  ASSERT_TRUE(Mem->protectPage(Page, PROT_READ));
+  FaultResult Result = FaultGuard::tryStore(*Mem, Addr, 7, 4);
+  ASSERT_TRUE(Result.Faulted);
+  uint64_t GuestAddr = 0;
+  EXPECT_TRUE(Mem->primaryToGuest(
+      reinterpret_cast<void *>(Result.FaultHostAddr), GuestAddr));
+  EXPECT_EQ(GuestAddr, Addr);
+  ASSERT_TRUE(Mem->protectPage(Page, PROT_READ | PROT_WRITE));
+}

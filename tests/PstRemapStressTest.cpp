@@ -1,0 +1,191 @@
+//===- tests/PstRemapStressTest.cpp - PST-REMAP concurrency stress ---------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// PST-REMAP is the scheme with the trickiest concurrency: SC remaps the
+/// page away mid-flight while other threads' plain loads AND stores fault
+/// and must wait on the page lock. These tests hammer exactly those
+/// windows: readers and writers racing against a thread doing back-to-back
+/// LL/SC on the same page, with full data-integrity checks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace llsc;
+
+namespace {
+
+std::unique_ptr<Machine> makeMachine(unsigned Threads) {
+  MachineConfig Config;
+  Config.Scheme = SchemeKind::PstRemap;
+  Config.NumThreads = Threads;
+  Config.MemBytes = 16ULL << 20;
+  Config.MaxBlocksPerCpu = 200'000'000;
+  auto MachineOrErr = Machine::create(Config);
+  EXPECT_TRUE(bool(MachineOrErr)) << MachineOrErr.error().render();
+  return MachineOrErr.take();
+}
+
+} // namespace
+
+/// Thread 0 performs LL/SC increments on a word; the other threads read a
+/// *different* word on the same page (their loads fault whenever the page
+/// is remapped away) and copy it to private slots. Every observed value
+/// must be one of the two values ever stored there.
+TEST(PstRemapStress, ReadersSurviveRemapWindows) {
+  constexpr unsigned Threads = 4;
+  auto M = makeMachine(Threads);
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: tid     r7
+        la      r10, hot_page
+        cbnz    r7, reader
+
+; thread 0: LL/SC increments + flip the witness word between 2 values
+        li      r4, #3000
+writer: cbz     r4, done
+retry:  ldxr.w  r2, [r10]
+        addi    r2, r2, #1
+        stxr.w  r3, r2, [r10]
+        cbnz    r3, retry
+        andi    r2, r4, #1
+        movz    r3, #0xaaaa
+        cbz     r2, flip_b
+        stw     r3, [r10, #64]      ; witness = 0xaaaa
+        b       next
+flip_b: movz    r3, #0xbbbb
+        stw     r3, [r10, #64]      ; witness = 0xbbbb
+next:   addi    r4, r4, #-1
+        b       writer
+
+reader: li      r4, #3000
+        movz    r6, #0              ; bad observation counter
+rloop:  cbz     r4, emit
+        ldw     r2, [r10, #64]      ; may fault against a remap window
+        movz    r3, #0xaaaa
+        beq     r2, r3, rok
+        movz    r3, #0xbbbb
+        beq     r2, r3, rok
+        cbz     r2, rok             ; initial zero
+        addi    r6, r6, #1          ; torn/invalid value!
+rok:    addi    r4, r4, #-1
+        b       rloop
+emit:   la      r2, bad
+        lsli    r3, r7, #3
+        add     r2, r2, r3
+        std     r6, [r2]
+done:   halt
+
+        .align  4096
+hot_page:
+        .word   0                   ; LL/SC target
+        .space  60
+        .word   0                   ; witness at +64
+        .align  4096
+bad:    .space  64
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  ASSERT_TRUE(Result->AllHalted);
+
+  uint64_t Hot = M->program().requiredSymbol("hot_page");
+  EXPECT_EQ(M->mem().shadowLoad(Hot, 4), 3000u);
+  uint64_t Bad = M->program().requiredSymbol("bad");
+  for (unsigned Tid = 1; Tid < Threads; ++Tid)
+    EXPECT_EQ(M->mem().shadowLoad(Bad + Tid * 8, 8), 0u)
+        << "reader " << Tid << " observed invalid values";
+  // PST-REMAP must not have used any stop-the-world section.
+  EXPECT_EQ(Result->ExclusiveSections, 0u);
+}
+
+/// All threads do LL/SC increments on words of the SAME page (different
+/// words): heavy remap contention, exact total required.
+TEST(PstRemapStress, ConcurrentScOnSamePage) {
+  constexpr unsigned Threads = 4;
+  constexpr unsigned Iters = 1500;
+  auto M = makeMachine(Threads);
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: tid     r7
+        la      r10, hot_page
+        lsli    r1, r7, #6          ; 64-byte stride per thread
+        add     r10, r10, r1
+        li      r4, #1500
+loop:   cbz     r4, done
+retry:  ldxr.w  r2, [r10]
+        addi    r2, r2, #1
+        stxr.w  r3, r2, [r10]
+        cbnz    r3, retry
+        addi    r4, r4, #-1
+        b       loop
+done:   halt
+        .align  4096
+hot_page:
+        .space  4096
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  ASSERT_TRUE(Result->AllHalted);
+  uint64_t Hot = M->program().requiredSymbol("hot_page");
+  for (unsigned Tid = 0; Tid < Threads; ++Tid)
+    EXPECT_EQ(M->mem().shadowLoad(Hot + Tid * 64, 4), Iters)
+        << "thread " << Tid;
+}
+
+/// Writers storing plain data race the SC remaps; no update may be lost
+/// (each thread owns distinct addresses, so any loss is a scheme bug).
+TEST(PstRemapStress, PlainWritersRaceScRemaps) {
+  constexpr unsigned Threads = 4;
+  auto M = makeMachine(Threads);
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: tid     r7
+        la      r10, hot_page
+        cbnz    r7, writer
+
+; thread 0: hammer LL/SC on the page head
+        li      r4, #2500
+sc:     cbz     r4, done
+retry:  ldxr.w  r2, [r10]
+        addi    r2, r2, #1
+        stxr.w  r3, r2, [r10]
+        cbnz    r3, retry
+        addi    r4, r4, #-1
+        b       sc
+
+; others: plain stores to private words of the hot page
+writer: lsli    r1, r7, #7          ; 128-byte stride
+        add     r10, r10, r1
+        li      r4, #2500
+wloop:  cbz     r4, done
+        stw     r4, [r10, #4]       ; plain store; faults while remapped
+        ldw     r2, [r10, #4]
+        bne     r2, r4, corrupt
+        addi    r4, r4, #-1
+        b       wloop
+corrupt:
+        movz    r5, #1
+        la      r2, corrupted
+        stw     r5, [r2]
+done:   halt
+        .align  4096
+hot_page:
+        .space  4096
+        .align  64
+corrupted:
+        .word 0
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  ASSERT_TRUE(Result->AllHalted);
+  uint64_t Hot = M->program().requiredSymbol("hot_page");
+  EXPECT_EQ(M->mem().shadowLoad(Hot, 4), 2500u);
+  EXPECT_EQ(
+      M->mem().shadowLoad(M->program().requiredSymbol("corrupted"), 4), 0u)
+      << "a plain writer lost an update across a remap window";
+  // The writers' last store is value 1 (countdown reached 1).
+  for (unsigned Tid = 1; Tid < Threads; ++Tid)
+    EXPECT_EQ(M->mem().shadowLoad(Hot + Tid * 128 + 4, 4), 1u);
+}

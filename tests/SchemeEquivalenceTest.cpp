@@ -1,0 +1,158 @@
+//===- tests/SchemeEquivalenceTest.cpp - schemes agree on program results --------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property: for single-threaded programs (no contention), every scheme —
+/// including the incorrect ones — must produce identical architectural
+/// results; the schemes differ only in how they *detect conflicts*, never
+/// in uncontended semantics. Also: multi-threaded programs whose shared
+/// state is only touched through LL/SC retry loops must produce identical
+/// final shared state under every correct scheme.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <array>
+#include <gtest/gtest.h>
+
+using namespace llsc;
+
+namespace {
+
+std::string randomSingleThreadProgram(Rng &R) {
+  // A small program mixing ALU work, memory traffic, and LL/SC pairs.
+  std::string Asm = "_start:\n        la r10, scratch\n";
+  unsigned Ops = 40 + static_cast<unsigned>(R.nextBelow(40));
+  for (unsigned N = 0; N < Ops; ++N) {
+    switch (R.nextBelow(6)) {
+    case 0:
+      Asm += formatString("        addi r%u, r%u, #%lld\n",
+                          1 + (unsigned)R.nextBelow(8),
+                          1 + (unsigned)R.nextBelow(8),
+                          (long long)R.nextInRange(0, 200) - 100);
+      break;
+    case 1:
+      Asm += formatString("        mul r%u, r%u, r%u\n",
+                          1 + (unsigned)R.nextBelow(8),
+                          1 + (unsigned)R.nextBelow(8),
+                          1 + (unsigned)R.nextBelow(8));
+      break;
+    case 2:
+      Asm += formatString("        std r%u, [r10, #%u]\n",
+                          1 + (unsigned)R.nextBelow(8),
+                          8 * (unsigned)R.nextBelow(16));
+      break;
+    case 3:
+      Asm += formatString("        ldd r%u, [r10, #%u]\n",
+                          1 + (unsigned)R.nextBelow(8),
+                          8 * (unsigned)R.nextBelow(16));
+      break;
+    case 4:
+      Asm += formatString("        eori r%u, r%u, #%llu\n",
+                          1 + (unsigned)R.nextBelow(8),
+                          1 + (unsigned)R.nextBelow(8),
+                          (unsigned long long)R.nextBelow(8191));
+      break;
+    case 5: {
+      unsigned Val = 1 + (unsigned)R.nextBelow(8);
+      Asm += formatString(R"(        ldxr.w  r%u, [r10]
+        addi    r%u, r%u, #1
+        stxr.w  r9, r%u, [r10]
+)",
+                          Val, Val, Val, Val);
+      break;
+    }
+    }
+  }
+  Asm += "        halt\n        .align 4096\nscratch: .space 256\n";
+  return Asm;
+}
+
+} // namespace
+
+TEST(SchemeEquivalence, SingleThreadedProgramsAgreeAcrossAllSchemes) {
+  Rng R(777);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    std::string Asm = randomSingleThreadProgram(R);
+
+    std::array<uint64_t, guest::NumGuestRegs> BaselineRegs{};
+    std::vector<uint8_t> BaselineScratch;
+    bool HaveBaseline = false;
+
+    for (SchemeKind Kind : allSchemeKinds()) {
+      MachineConfig Config;
+      Config.Scheme = Kind;
+      Config.NumThreads = 1;
+      Config.MemBytes = 4ULL << 20;
+      Config.ForceSoftHtm = true;
+      auto M = Machine::create(Config).take();
+      ASSERT_TRUE(bool(M->loadAssembly(Asm)));
+      auto Result = M->run();
+      ASSERT_TRUE(bool(Result))
+          << schemeTraits(Kind).Name << ": " << Result.error().render();
+      ASSERT_TRUE(Result->AllHalted) << schemeTraits(Kind).Name;
+
+      std::array<uint64_t, guest::NumGuestRegs> Regs;
+      std::copy(std::begin(M->cpu(0).Regs), std::end(M->cpu(0).Regs),
+                Regs.begin());
+      uint64_t Scratch = M->program().requiredSymbol("scratch");
+      std::vector<uint8_t> Data(256);
+      for (unsigned B = 0; B < 256; ++B)
+        Data[B] = static_cast<uint8_t>(M->mem().shadowLoad(Scratch + B, 1));
+
+      if (!HaveBaseline) {
+        BaselineRegs = Regs;
+        BaselineScratch = Data;
+        HaveBaseline = true;
+        continue;
+      }
+      EXPECT_EQ(Regs, BaselineRegs)
+          << "trial " << Trial << ": " << schemeTraits(Kind).Name
+          << " diverges from pico-cas on an uncontended program";
+      EXPECT_EQ(Data, BaselineScratch)
+          << "trial " << Trial << ": " << schemeTraits(Kind).Name;
+    }
+  }
+}
+
+TEST(SchemeEquivalence, ContendedCounterAgreesAcrossCorrectSchemes) {
+  // Multi-threaded LL/SC counter: exact final value under every
+  // weak-or-stronger scheme (and PICO-CAS, for which a counter is safe).
+  constexpr unsigned Threads = 6;
+  constexpr unsigned Iters = 400;
+  for (SchemeKind Kind : allSchemeKinds()) {
+    MachineConfig Config;
+    Config.Scheme = Kind;
+    Config.NumThreads = Threads;
+    Config.MemBytes = 8ULL << 20;
+    Config.ForceSoftHtm = true;
+    Config.MaxBlocksPerCpu = 100'000'000;
+    auto M = Machine::create(Config).take();
+    ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: la      r1, counter
+        li      r4, #400
+loop:   cbz     r4, done
+retry:  ldxr.d  r2, [r1]
+        addi    r2, r2, #1
+        stxr.d  r3, r2, [r1]
+        cbnz    r3, retry
+        addi    r4, r4, #-1
+        b       loop
+done:   halt
+        .align 4096
+counter: .quad 0
+)")));
+    auto Result = M->run();
+    ASSERT_TRUE(bool(Result))
+        << schemeTraits(Kind).Name << ": " << Result.error().render();
+    EXPECT_TRUE(Result->AllHalted) << schemeTraits(Kind).Name;
+    EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 8),
+              static_cast<uint64_t>(Threads) * Iters)
+        << schemeTraits(Kind).Name;
+  }
+}

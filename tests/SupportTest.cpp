@@ -1,0 +1,240 @@
+//===- tests/SupportTest.cpp - support library unit tests ---------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitUtils.h"
+#include "support/CommandLine.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include "support/Error.h"
+#include "support/Logging.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace llsc;
+
+TEST(BitUtils, PowerOfTwo) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(1ULL << 40));
+  EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(BitUtils, AlignTo) {
+  EXPECT_EQ(alignTo(0, 8), 0u);
+  EXPECT_EQ(alignTo(1, 8), 8u);
+  EXPECT_EQ(alignTo(8, 8), 8u);
+  EXPECT_EQ(alignTo(4097, 4096), 8192u);
+  EXPECT_EQ(alignDown(4097, 4096), 4096u);
+}
+
+TEST(BitUtils, SignExtend) {
+  EXPECT_EQ(signExtend(0x1fff, 14), 0x1fff);
+  EXPECT_EQ(signExtend(0x2000, 14), -8192);
+  EXPECT_EQ(signExtend(0x3fff, 14), -1);
+  EXPECT_EQ(signExtend(0xff, 8), -1);
+  EXPECT_EQ(signExtend(0x7f, 8), 127);
+}
+
+TEST(BitUtils, Fits) {
+  EXPECT_TRUE(fitsSigned(8191, 14));
+  EXPECT_FALSE(fitsSigned(8192, 14));
+  EXPECT_TRUE(fitsSigned(-8192, 14));
+  EXPECT_FALSE(fitsSigned(-8193, 14));
+  EXPECT_TRUE(fitsUnsigned(0xffff, 16));
+  EXPECT_FALSE(fitsUnsigned(0x10000, 16));
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+}
+
+TEST(StringUtils, Split) {
+  auto Pieces = split("a, b , c", ',');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[1], "b");
+  EXPECT_EQ(Pieces[2], "c");
+}
+
+TEST(StringUtils, SplitWhitespace) {
+  auto Tokens = splitWhitespace("  ldr   r1,  [r2] ");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0], "ldr");
+}
+
+TEST(StringUtils, ParseInteger) {
+  EXPECT_EQ(parseInteger("42").value(), 42);
+  EXPECT_EQ(parseInteger("-42").value(), -42);
+  EXPECT_EQ(parseInteger("0x10").value(), 16);
+  EXPECT_EQ(parseInteger("0b101").value(), 5);
+  EXPECT_EQ(parseInteger("1_000").value(), 1000);
+  EXPECT_FALSE(parseInteger("").has_value());
+  EXPECT_FALSE(parseInteger("4x2").has_value());
+  EXPECT_FALSE(parseInteger("0xg").has_value());
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+  EXPECT_NEAR(geometricMean({1.25, 3.21}), 2.0032, 0.01);
+}
+
+TEST(Stats, MinMaxPercentile) {
+  std::vector<double> Values = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(minOf(Values), 1.0);
+  EXPECT_DOUBLE_EQ(maxOf(Values), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(Values, 50), 2.0);
+}
+
+TEST(Stats, CounterRegistry) {
+  auto *Counter = CounterRegistry::instance().counter("test.counter");
+  Counter->fetch_add(3);
+  EXPECT_GE(CounterRegistry::instance().snapshot()["test.counter"], 3u);
+  CounterRegistry::instance().resetAll();
+  EXPECT_EQ(CounterRegistry::instance().snapshot()["test.counter"], 0u);
+}
+
+TEST(Random, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, Bounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.nextInRange(5, 10);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 10u);
+  }
+}
+
+TEST(Table, RendersAlignedAscii) {
+  Table T({"bench", "1", "2"});
+  T.addRow({"blackscholes", "1.00", "1.95"});
+  std::string Out = T.renderAscii();
+  EXPECT_NE(Out.find("blackscholes"), std::string::npos);
+  EXPECT_NE(Out.find("| bench"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 1u);
+}
+
+TEST(Table, RendersCsv) {
+  Table T({"a", "b"});
+  T.addRow({"x", "1"});
+  EXPECT_EQ(T.renderCsv(), "a,b\nx,1\n");
+}
+
+TEST(CommandLine, ParsesFlags) {
+  ArgParser Parser("test");
+  int64_t *Threads = Parser.addInt("threads", 4, "thread count");
+  std::string *Scheme = Parser.addString("scheme", "hst", "scheme");
+  bool *Verbose = Parser.addBool("verbose", false, "verbosity");
+
+  const char *Argv[] = {"prog", "--threads=16", "--scheme", "pst",
+                        "--verbose"};
+  Parser.parse(5, const_cast<char **>(Argv));
+  EXPECT_EQ(*Threads, 16);
+  EXPECT_EQ(*Scheme, "pst");
+  EXPECT_TRUE(*Verbose);
+}
+
+TEST(CommandLine, BoolNegation) {
+  ArgParser Parser("test");
+  bool *Flag = Parser.addBool("opt", true, "optimize");
+  const char *Argv[] = {"prog", "--no-opt"};
+  Parser.parse(2, const_cast<char **>(Argv));
+  EXPECT_FALSE(*Flag);
+}
+
+TEST(Error, RenderWithLine) {
+  Error Plain("bad things");
+  EXPECT_EQ(Plain.render(), "bad things");
+  Error WithLine("bad things", 12);
+  EXPECT_EQ(WithLine.render(), "line 12: bad things");
+}
+
+TEST(Error, MakeErrorFormats) {
+  Error Err = makeError("value %d out of range [%s]", 42, "x");
+  EXPECT_EQ(Err.message(), "value 42 out of range [x]");
+}
+
+TEST(ErrorOr, ValueAndErrorPaths) {
+  ErrorOr<int> Good(7);
+  ASSERT_TRUE(bool(Good));
+  EXPECT_EQ(*Good, 7);
+  EXPECT_EQ(Good.take(), 7);
+
+  ErrorOr<int> Bad(Error("nope"));
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_EQ(Bad.error().message(), "nope");
+}
+
+TEST(ErrorOr, MoveOnlyPayload) {
+  ErrorOr<std::unique_ptr<int>> Ptr(std::make_unique<int>(5));
+  ASSERT_TRUE(bool(Ptr));
+  std::unique_ptr<int> Owned = Ptr.take();
+  EXPECT_EQ(*Owned, 5);
+}
+
+TEST(Logging, LevelGating) {
+  LogLevel Saved = getLogLevel();
+  setLogLevel(LogLevel::Error);
+  EXPECT_TRUE(logEnabled(LogLevel::Error));
+  EXPECT_FALSE(logEnabled(LogLevel::Debug));
+  setLogLevel(LogLevel::Trace);
+  EXPECT_TRUE(logEnabled(LogLevel::Trace));
+  setLogLevel(Saved);
+}
+
+TEST(Timing, MonotonicAndStopwatch) {
+  uint64_t A = monotonicNanos();
+  uint64_t B = monotonicNanos();
+  EXPECT_GE(B, A);
+
+  Stopwatch Watch;
+  Watch.start();
+  for (int Spin = 0; Spin < 10000; ++Spin)
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+  Watch.stop();
+  EXPECT_GT(Watch.elapsedNanos(), 0u);
+  double Seconds = Watch.elapsedSeconds();
+  EXPECT_GT(Seconds, 0.0);
+  Watch.reset();
+  EXPECT_EQ(Watch.elapsedNanos(), 0u);
+}
+
+TEST(Timing, ScopedTimerAccumulates) {
+  uint64_t Accumulator = 0;
+  {
+    ScopedTimer Timer(Accumulator);
+    for (int Spin = 0; Spin < 1000; ++Spin)
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+  }
+  EXPECT_GT(Accumulator, 0u);
+}
+
+TEST(StringUtils, FormatString) {
+  EXPECT_EQ(formatString("%s-%d", "a", 3), "a-3");
+  EXPECT_EQ(formatString("%%"), "%");
+}
+
+TEST(StringUtils, StartsWithAndLower) {
+  EXPECT_TRUE(startsWith("pico-cas", "pico"));
+  EXPECT_FALSE(startsWith("pico", "pico-cas"));
+  EXPECT_EQ(toLower("HST-Weak"), "hst-weak");
+  EXPECT_TRUE(equalsLower("ABA", "aba"));
+  EXPECT_FALSE(equalsLower("aba", "ab"));
+}

@@ -1,0 +1,249 @@
+//===- tests/TranslatorTest.cpp - guest->IR translation tests -------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/Translator.h"
+
+#include "guest/Assembler.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+#include "mem/GuestMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace llsc;
+using namespace llsc::ir;
+
+namespace {
+
+struct Setup {
+  std::unique_ptr<GuestMemory> Mem;
+  std::unique_ptr<Translator> Trans;
+};
+
+Setup makeTranslator(const std::string &Asm, TranslationHooks *Hooks = nullptr,
+                     TranslatorConfig Config = TranslatorConfig()) {
+  Setup S;
+  S.Mem = GuestMemory::create(1 << 20).take();
+  auto Prog = guest::assemble(Asm);
+  EXPECT_TRUE(bool(Prog)) << Prog.error().render();
+  EXPECT_TRUE(bool(S.Mem->loadProgram(*Prog)));
+  S.Trans = std::make_unique<Translator>(*S.Mem, Hooks, Config);
+  return S;
+}
+
+unsigned countOps(const IRBlock &Block, IROp Op) {
+  unsigned Count = 0;
+  for (const IRInst &I : Block.Insts)
+    if (I.Op == Op)
+      ++Count;
+  return Count;
+}
+
+/// Hook that records store-prologue invocations and optionally routes
+/// stores/loads through helpers.
+struct RecordingHooks : TranslationHooks {
+  unsigned Prologues = 0;
+  bool StoreHelper = false;
+  bool LoadHelper = false;
+
+  void emitStorePrologue(IRBuilder &B, ValueId Addr, int64_t Offset,
+                         ValueId Value, unsigned Size) override {
+    ++Prologues;
+    B.setInstrumentMode(true);
+    ValueId T = B.emitBinImm(IROp::AddImm, Addr, Offset);
+    B.emitStoreHost(T, 0x7f000000, T, 4); // Arbitrary marker op.
+    B.setInstrumentMode(false);
+  }
+  bool storesViaHelper() const override { return StoreHelper; }
+  bool loadsViaHelper() const override { return LoadHelper; }
+};
+
+} // namespace
+
+TEST(Translator, StraightLineBlock) {
+  auto S = makeTranslator(R"(
+_start: addi r1, r1, #1
+        add  r2, r1, r1
+        halt
+)");
+  auto Block = S.Trans->translateBlock(0x1000);
+  ASSERT_TRUE(bool(Block)) << Block.error().render();
+  EXPECT_EQ(Block->GuestInstCount, 3u);
+  EXPECT_EQ(Block->Insts.back().Op, IROp::Halt);
+  EXPECT_TRUE(bool(verify(*Block)));
+}
+
+TEST(Translator, BranchEndsBlock) {
+  auto S = makeTranslator(R"(
+_start: addi r1, r1, #1
+        beq  r1, r2, _start
+        addi r3, r3, #1
+        halt
+)");
+  auto Block = S.Trans->translateBlock(0x1000);
+  ASSERT_TRUE(bool(Block)) << Block.error().render();
+  EXPECT_EQ(Block->GuestInstCount, 2u);
+  EXPECT_EQ(countOps(*Block, IROp::BrCond), 1u);
+  // Fallthrough terminator targets 0x1008.
+  EXPECT_EQ(Block->Insts.back().Op, IROp::SetPcImm);
+  EXPECT_EQ(Block->Insts.back().Imm, 0x1008);
+  // Taken target is the block start.
+  for (const IRInst &I : Block->Insts)
+    if (I.Op == IROp::BrCond) {
+      EXPECT_EQ(I.Imm, 0x1000);
+    }
+}
+
+TEST(Translator, MaxBlockLengthCut) {
+  std::string Asm = "_start:\n";
+  for (int I = 0; I < 100; ++I)
+    Asm += "        addi r1, r1, #1\n";
+  Asm += "        halt\n";
+  TranslatorConfig Config;
+  Config.MaxGuestInstsPerBlock = 16;
+  auto S = makeTranslator(Asm, nullptr, Config);
+  auto Block = S.Trans->translateBlock(0x1000);
+  ASSERT_TRUE(bool(Block)) << Block.error().render();
+  EXPECT_EQ(Block->GuestInstCount, 16u);
+  EXPECT_EQ(Block->Insts.back().Op, IROp::SetPcImm);
+  EXPECT_EQ(Block->Insts.back().Imm, 0x1000 + 16 * 4);
+}
+
+TEST(Translator, LlScLowering) {
+  auto S = makeTranslator(R"(
+_start: ldxr.w r1, [r2]
+        stxr.w r3, r1, [r2]
+        clrex
+        dmb
+        halt
+)");
+  auto Block = S.Trans->translateBlock(0x1000);
+  ASSERT_TRUE(bool(Block)) << Block.error().render();
+  EXPECT_EQ(countOps(*Block, IROp::LoadLink), 1u);
+  EXPECT_EQ(countOps(*Block, IROp::StoreCond), 1u);
+  EXPECT_EQ(countOps(*Block, IROp::ClearExcl), 1u);
+  EXPECT_EQ(countOps(*Block, IROp::Fence), 1u);
+}
+
+TEST(Translator, StorePrologueHookInvoked) {
+  RecordingHooks Hooks;
+  auto S = makeTranslator(R"(
+_start: stw r1, [r2]
+        std r3, [r4, #8]
+        halt
+)",
+                          &Hooks);
+  auto Block = S.Trans->translateBlock(0x1000);
+  ASSERT_TRUE(bool(Block)) << Block.error().render();
+  EXPECT_EQ(Hooks.Prologues, 2u);
+  EXPECT_EQ(countOps(*Block, IROp::StoreG), 2u);
+  EXPECT_EQ(countOps(*Block, IROp::StoreHost), 2u);
+  EXPECT_GT(Block->InstrumentOpCount, 0u);
+}
+
+TEST(Translator, HelperRouting) {
+  RecordingHooks Hooks;
+  Hooks.StoreHelper = true;
+  Hooks.LoadHelper = true;
+  auto S = makeTranslator(R"(
+_start: stw r1, [r2]
+        ldw r3, [r4]
+        ldsw r5, [r6]
+        halt
+)",
+                          &Hooks);
+  auto Block = S.Trans->translateBlock(0x1000);
+  ASSERT_TRUE(bool(Block)) << Block.error().render();
+  EXPECT_EQ(countOps(*Block, IROp::StoreG), 0u);
+  EXPECT_EQ(countOps(*Block, IROp::HelperStore), 1u);
+  EXPECT_EQ(countOps(*Block, IROp::LoadG), 0u);
+  EXPECT_EQ(countOps(*Block, IROp::HelperLoad), 2u);
+  // Sign extension flag travels to the helper load.
+  bool FoundSext = false;
+  for (const IRInst &I : Block->Insts)
+    if (I.Op == IROp::HelperLoad && (I.Flags & IRFlagSignExtend))
+      FoundSext = true;
+  EXPECT_TRUE(FoundSext);
+}
+
+TEST(Translator, RejectsBadPc) {
+  auto S = makeTranslator("_start: halt\n");
+  EXPECT_FALSE(bool(S.Trans->translateBlock(2)));        // Misaligned.
+  EXPECT_FALSE(bool(S.Trans->translateBlock(1 << 21))); // Out of range.
+}
+
+TEST(Translator, RejectsUndecodableWord) {
+  auto S = makeTranslator("_start: halt\n");
+  // 0x3f << 26 is an undefined opcode; plant it at 0x2000.
+  S.Mem->shadowStore(0x2000, 0x3fu << 26, 4);
+  EXPECT_FALSE(bool(S.Trans->translateBlock(0x2000)));
+}
+
+TEST(Translator, OptimizerIntegration) {
+  TranslatorConfig NoOpt;
+  NoOpt.Optimize = false;
+  auto S1 = makeTranslator("_start: li r1, #0x123456789abc\n        halt\n",
+                           nullptr, NoOpt);
+  auto Unoptimized = S1.Trans->translateBlock(0x1000);
+  ASSERT_TRUE(bool(Unoptimized));
+
+  auto S2 = makeTranslator("_start: li r1, #0x123456789abc\n        halt\n");
+  auto Optimized = S2.Trans->translateBlock(0x1000);
+  ASSERT_TRUE(bool(Optimized));
+  EXPECT_LT(Optimized->Insts.size(), Unoptimized->Insts.size())
+      << "movz/movk chain must fold";
+}
+
+TEST(Translator, RuleBasedAtomicIdiom) {
+  TranslatorConfig Config;
+  Config.RuleBasedAtomics = true;
+  auto S = makeTranslator(R"(
+_start:
+retry:  ldxr.w  r3, [r1]
+        add     r5, r3, r2
+        stxr.w  r6, r5, [r1]
+        cbnz    r6, retry
+        halt
+)",
+                          nullptr, Config);
+  auto Block = S.Trans->translateBlock(0x1000);
+  ASSERT_TRUE(bool(Block)) << Block.error().render();
+  EXPECT_EQ(countOps(*Block, IROp::AtomicAddG), 1u)
+      << printBlock(*Block);
+  EXPECT_EQ(countOps(*Block, IROp::LoadLink), 0u);
+  EXPECT_EQ(countOps(*Block, IROp::StoreCond), 0u);
+  EXPECT_EQ(S.Trans->stats().AtomicIdiomsMatched, 1u);
+}
+
+TEST(Translator, RuleBasedPassIgnoresNonIdioms) {
+  TranslatorConfig Config;
+  Config.RuleBasedAtomics = true;
+  // Same shape but the branch target is NOT the ldxr: no match.
+  auto S = makeTranslator(R"(
+_start: nop
+retry:  ldxr.w  r3, [r1]
+        add     r5, r3, r2
+        stxr.w  r6, r5, [r1]
+        cbnz    r6, _start
+        halt
+)",
+                          nullptr, Config);
+  auto Block = S.Trans->translateBlock(0x1004);
+  ASSERT_TRUE(bool(Block)) << Block.error().render();
+  EXPECT_EQ(countOps(*Block, IROp::AtomicAddG), 0u);
+  EXPECT_EQ(countOps(*Block, IROp::LoadLink), 1u);
+}
+
+TEST(Translator, StatsAccumulate) {
+  auto S = makeTranslator(R"(
+_start: addi r1, r1, #1
+        halt
+)");
+  ASSERT_TRUE(bool(S.Trans->translateBlock(0x1000)));
+  EXPECT_EQ(S.Trans->stats().BlocksTranslated, 1u);
+  EXPECT_EQ(S.Trans->stats().GuestInstsTranslated, 2u);
+  EXPECT_GT(S.Trans->stats().IROpsEmitted, 0u);
+}

@@ -1,0 +1,368 @@
+//===- tests/WorkloadsTest.cpp - guest workload tests ----------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/GuestRuntime.h"
+#include "workloads/LockFreeStack.h"
+#include "workloads/ParsecKernels.h"
+
+#include "core/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace llsc;
+using namespace llsc::workloads;
+
+namespace {
+
+std::unique_ptr<Machine> makeMachine(SchemeKind Scheme, unsigned Threads,
+                                     uint64_t MaxBlocks = 100'000'000) {
+  MachineConfig Config;
+  Config.Scheme = Scheme;
+  Config.NumThreads = Threads;
+  Config.MemBytes = 64ULL << 20;
+  Config.ForceSoftHtm = true;
+  Config.MaxBlocksPerCpu = MaxBlocks;
+  auto MachineOrErr = Machine::create(Config);
+  EXPECT_TRUE(bool(MachineOrErr)) << MachineOrErr.error().render();
+  return MachineOrErr.take();
+}
+
+} // namespace
+
+TEST(GuestRuntime, MutexProvidesExclusion) {
+  auto M = makeMachine(SchemeKind::Hst, 4);
+  std::string Asm = guestRuntimeAsm() + R"(
+; counter protected by a mutex: non-atomic RMW inside the critical section
+_start:
+        li      r8, #200
+        la      r9, lock
+        la      r10, counter
+loop:   cbz     r8, done
+        mov     r1, r9
+        bl      rt_mutex_lock
+        ldw     r2, [r10]
+        addi    r2, r2, #1
+        stw     r2, [r10]
+        mov     r1, r9
+        bl      rt_mutex_unlock
+        addi    r8, r8, #-1
+        b       loop
+done:   halt
+        .align 4096
+lock:   .word 0
+        .align 64
+counter: .word 0
+)";
+  ASSERT_TRUE(bool(M->loadAssembly(Asm)));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  ASSERT_TRUE(Result->AllHalted);
+  EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
+            4u * 200u);
+  EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("lock"), 4), 0u);
+}
+
+TEST(GuestRuntime, BarrierSynchronizesPhases) {
+  // Each thread writes its tid into slot[tid], barriers, then sums the
+  // other threads' slots. Any barrier violation yields a wrong sum.
+  auto M = makeMachine(SchemeKind::Hst, 4);
+  std::string Asm = guestRuntimeAsm() + R"(
+_start:
+        tid     r7
+        la      r9, slots
+        lsli    r8, r7, #3
+        add     r8, r8, r9
+        addi    r2, r7, #1
+        std     r2, [r8]          ; slots[tid] = tid + 1
+        la      r1, barrier
+        bl      rt_barrier_wait
+        ; sum all slots
+        movz    r4, #0
+        movz    r5, #0            ; index
+        sys     r6, #2            ; nthreads
+sum:    beq     r5, r6, emit
+        lsli    r2, r5, #3
+        add     r2, r2, r9
+        ldd     r2, [r2]
+        add     r4, r4, r2
+        addi    r5, r5, #1
+        b       sum
+emit:   la      r2, sums
+        lsli    r3, r7, #3
+        add     r2, r2, r3
+        std     r4, [r2]
+        halt
+        .align 4096
+barrier: .word 0
+         .word 0
+        .align 64
+slots:  .space 64
+sums:   .space 64
+)";
+  ASSERT_TRUE(bool(M->loadAssembly(Asm)));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  ASSERT_TRUE(Result->AllHalted);
+  uint64_t Sums = M->program().requiredSymbol("sums");
+  for (unsigned Tid = 0; Tid < 4; ++Tid)
+    EXPECT_EQ(M->mem().shadowLoad(Sums + Tid * 8, 8), 1u + 2 + 3 + 4)
+        << "thread " << Tid << " raced past the barrier";
+}
+
+TEST(GuestRuntime, AtomicAddReturnsOldValue) {
+  auto M = makeMachine(SchemeKind::Hst, 1);
+  std::string Asm = guestRuntimeAsm() + R"(
+_start:
+        la      r1, counter
+        movz    r2, #5
+        bl      rt_atomic_add_w
+        la      r4, out
+        std     r3, [r4]          ; old value (0)
+        la      r1, counter
+        movz    r2, #3
+        bl      rt_atomic_add_w
+        std     r3, [r4, #8]      ; old value (5)
+        halt
+        .align 4096
+counter: .word 0
+        .align 8
+out:    .space 16
+)";
+  ASSERT_TRUE(bool(M->loadAssembly(Asm)));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  uint64_t Out = M->program().requiredSymbol("out");
+  EXPECT_EQ(M->mem().shadowLoad(Out, 8), 0u);
+  EXPECT_EQ(M->mem().shadowLoad(Out + 8, 8), 5u);
+  EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
+            8u);
+}
+
+class StackSchemeTest : public ::testing::TestWithParam<SchemeKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    CorrectSchemes, StackSchemeTest,
+    ::testing::Values(SchemeKind::PicoSt, SchemeKind::Hst,
+                      SchemeKind::HstWeak, SchemeKind::HstHtm,
+                      SchemeKind::HstHelper, SchemeKind::Pst,
+                      SchemeKind::PstRemap),
+    [](const ::testing::TestParamInfo<SchemeKind> &Info) {
+      std::string Name = schemeTraits(Info.param).Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+/// The paper's §IV-A result, positive side: every proposed scheme keeps
+/// the lock-free stack intact (no self-loops, no lost nodes).
+TEST_P(StackSchemeTest, StackConservedUnderCorrectSchemes) {
+  LockFreeStackParams Params;
+  Params.NumNodes = 32;
+  Params.IterationsPerThread = 300;
+  Params.YieldEveryNPops = 8; // Stress the window; must stay correct.
+
+  auto M = makeMachine(GetParam(), 4);
+  auto ProgOrErr = buildLockFreeStack(Params);
+  ASSERT_TRUE(bool(ProgOrErr)) << ProgOrErr.error().render();
+  ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  ASSERT_TRUE(Result->AllHalted);
+
+  StackCheckResult Check =
+      checkLockFreeStack(M->mem(), M->program(), Params);
+  EXPECT_FALSE(Check.Corrupted)
+      << "self-loops=" << Check.SelfLoops << " lost=" << Check.NodesLost
+      << " cycle=" << Check.CycleDetected;
+  EXPECT_EQ(Check.NodesReachable, Params.NumNodes);
+}
+
+/// The stack workload's checker recognizes a healthy untouched stack.
+TEST(LockFreeStack, CheckerOnFreshProgram) {
+  LockFreeStackParams Params;
+  Params.NumNodes = 8;
+  auto M = makeMachine(SchemeKind::Hst, 1);
+  auto ProgOrErr = buildLockFreeStack(Params);
+  ASSERT_TRUE(bool(ProgOrErr)) << ProgOrErr.error().render();
+  ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
+  M->prepareRun(); // Load only; no run.
+  StackCheckResult Check =
+      checkLockFreeStack(M->mem(), M->program(), Params);
+  EXPECT_FALSE(Check.Corrupted);
+  EXPECT_EQ(Check.NodesReachable, 8u);
+}
+
+/// The checker detects a planted self-loop (the paper's corruption
+/// signature).
+TEST(LockFreeStack, CheckerDetectsSelfLoop) {
+  LockFreeStackParams Params;
+  Params.NumNodes = 8;
+  auto M = makeMachine(SchemeKind::Hst, 1);
+  auto ProgOrErr = buildLockFreeStack(Params);
+  ASSERT_TRUE(bool(ProgOrErr)) << ProgOrErr.error().render();
+  ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
+  M->prepareRun();
+  uint64_t Nodes = M->program().requiredSymbol("nodes");
+  M->mem().shadowStore(Nodes + 2 * 16, Nodes + 2 * 16, 8); // next = self.
+  StackCheckResult Check =
+      checkLockFreeStack(M->mem(), M->program(), Params);
+  EXPECT_TRUE(Check.Corrupted);
+  EXPECT_EQ(Check.SelfLoops, 1u);
+  EXPECT_TRUE(Check.CycleDetected);
+}
+
+TEST(ParsecKernels, AllEightDefined) {
+  EXPECT_EQ(parsecKernels().size(), 8u);
+  EXPECT_NE(findKernel("blackscholes"), nullptr);
+  EXPECT_NE(findKernel("X264"), nullptr);
+  EXPECT_EQ(findKernel("doesnotexist"), nullptr);
+}
+
+TEST(ParsecKernels, AllKernelsAssemble) {
+  for (const KernelParams &Params : parsecKernels()) {
+    auto ProgOrErr = buildKernel(Params, /*Scale=*/0.01);
+    EXPECT_TRUE(bool(ProgOrErr))
+        << Params.Name << ": " << ProgOrErr.error().render();
+  }
+}
+
+/// Every kernel terminates under every thread count and produces a
+/// store:LL/SC mix in the paper's Table I range (stores far outnumber
+/// LL/SC).
+TEST(ParsecKernels, KernelsRunAndCountInstructionMix) {
+  for (const KernelParams &Params : parsecKernels()) {
+    auto M = makeMachine(SchemeKind::Hst, 2);
+    auto ProgOrErr = buildKernel(Params, /*Scale=*/0.05);
+    ASSERT_TRUE(bool(ProgOrErr)) << Params.Name;
+    ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
+    auto Result = M->run();
+    ASSERT_TRUE(bool(Result))
+        << Params.Name << ": " << Result.error().render();
+    EXPECT_TRUE(Result->AllHalted) << Params.Name;
+    EXPECT_GT(Result->Total.Stores, 0u) << Params.Name;
+    EXPECT_GT(Result->Total.LoadLinks, 0u) << Params.Name;
+    double Ratio = static_cast<double>(Result->Total.Stores) /
+                   static_cast<double>(Result->Total.LoadLinks);
+    EXPECT_GT(Ratio, 2.0) << Params.Name
+                          << ": stores must dominate LL/SC (Table I)";
+  }
+}
+
+/// Kernels behave identically (same halt state) under a strong and the
+/// baseline scheme — counters-based workloads have scheme-independent
+/// results.
+TEST(ParsecKernels, SchemeIndependentTermination) {
+  const KernelParams *Params = findKernel("freqmine");
+  ASSERT_NE(Params, nullptr);
+  for (SchemeKind Kind : {SchemeKind::PicoCas, SchemeKind::Pst}) {
+    auto M = makeMachine(Kind, 3);
+    auto ProgOrErr = buildKernel(*Params, /*Scale=*/0.03);
+    ASSERT_TRUE(bool(ProgOrErr));
+    ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
+    auto Result = M->run();
+    ASSERT_TRUE(bool(Result)) << Result.error().render();
+    EXPECT_TRUE(Result->AllHalted) << schemeTraits(Kind).Name;
+  }
+}
+
+/// The ticket lock provides mutual exclusion and (being FIFO) forward
+/// progress for every thread; with the rule-based pass its take-a-ticket
+/// loop lowers to a host fetch-add.
+TEST(GuestRuntime, TicketLockProvidesExclusion) {
+  for (bool RuleBased : {false, true}) {
+    MachineConfig Config;
+    Config.Scheme = SchemeKind::Hst;
+    Config.NumThreads = 4;
+    Config.MemBytes = 64ULL << 20;
+    Config.Translation.RuleBasedAtomics = RuleBased;
+    Config.MaxBlocksPerCpu = 100'000'000;
+    auto M = Machine::create(Config).take();
+    std::string Asm = guestRuntimeAsm() + R"(
+_start:
+        li      r8, #250
+        la      r9, tlock
+        la      r10, counter
+loop:   cbz     r8, done
+        mov     r1, r9
+        bl      rt_ticket_lock
+        ldw     r2, [r10]
+        addi    r2, r2, #1
+        stw     r2, [r10]
+        mov     r1, r9
+        bl      rt_ticket_unlock
+        addi    r8, r8, #-1
+        b       loop
+done:   halt
+        .align 4096
+tlock:  .word 0
+        .word 0
+        .align 64
+counter: .word 0
+)";
+    ASSERT_TRUE(bool(M->loadAssembly(Asm)));
+    auto Result = M->run();
+    ASSERT_TRUE(bool(Result)) << Result.error().render();
+    ASSERT_TRUE(Result->AllHalted) << "rule-based=" << RuleBased;
+    EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
+              4u * 250u)
+        << "rule-based=" << RuleBased;
+    if (RuleBased) {
+      EXPECT_GT(M->translator().stats().AtomicIdiomsMatched, 0u);
+    }
+  }
+}
+
+/// The tagged stack (version-number ABA defense, related work [13]) must
+/// stay intact under EVERY scheme — including PICO-CAS with the same
+/// adversarial interleaving that smashes the plain stack.
+TEST(TaggedLockFreeStack, SurvivesPicoCas) {
+  LockFreeStackParams Params;
+  Params.NumNodes = 32;
+  Params.IterationsPerThread = 2000;
+  Params.YieldEveryNPops = 4;
+  Params.HoldYieldEveryN = 4;
+  Params.BatchDepth = 2;
+
+  for (SchemeKind Kind : {SchemeKind::PicoCas, SchemeKind::Hst}) {
+    auto M = makeMachine(Kind, 8);
+    auto ProgOrErr = buildTaggedLockFreeStack(Params);
+    ASSERT_TRUE(bool(ProgOrErr)) << ProgOrErr.error().render();
+    ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
+    auto Result = M->run();
+    ASSERT_TRUE(bool(Result)) << Result.error().render();
+    ASSERT_TRUE(Result->AllHalted);
+    StackCheckResult Check =
+        checkTaggedLockFreeStack(M->mem(), M->program(), Params);
+    EXPECT_FALSE(Check.Corrupted)
+        << schemeTraits(Kind).Name << ": reachable="
+        << Check.NodesReachable << " lost=" << Check.NodesLost
+        << " cycle=" << Check.CycleDetected;
+    EXPECT_EQ(Check.NodesReachable, Params.NumNodes)
+        << schemeTraits(Kind).Name;
+  }
+}
+
+/// Sanity: the tagged checker sees a fresh image as intact and detects a
+/// planted cycle.
+TEST(TaggedLockFreeStack, CheckerBasics) {
+  LockFreeStackParams Params;
+  Params.NumNodes = 8;
+  auto M = makeMachine(SchemeKind::Hst, 1);
+  auto ProgOrErr = buildTaggedLockFreeStack(Params);
+  ASSERT_TRUE(bool(ProgOrErr)) << ProgOrErr.error().render();
+  ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
+  M->prepareRun();
+  EXPECT_FALSE(
+      checkTaggedLockFreeStack(M->mem(), M->program(), Params).Corrupted);
+
+  uint64_t Nodes = M->program().requiredSymbol("nodes");
+  M->mem().shadowStore(Nodes + 2 * 16, 3, 4); // node3.next = node3.
+  StackCheckResult Check =
+      checkTaggedLockFreeStack(M->mem(), M->program(), Params);
+  EXPECT_TRUE(Check.Corrupted);
+  EXPECT_TRUE(Check.CycleDetected);
+}

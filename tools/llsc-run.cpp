@@ -1,0 +1,211 @@
+//===- tools/llsc-run.cpp - run a GRV assembly file under the DBT ----------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// A qemu-user-style command line driver: assemble a GRV .s file and run
+/// it multi-threaded under any atomic-emulation scheme.
+///
+///   llsc-run prog.s                                # hst, 1 thread
+///   llsc-run --scheme pico-cas --threads 16 prog.s
+///   llsc-run --dump-symbols --dump sym=shared,len=64 prog.s
+///   llsc-run --disassemble prog.s                  # print and exit
+///   llsc-run --trace prog.s                        # log executed blocks
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "guest/Assembler.h"
+#include "guest/Disassembler.h"
+#include "guest/Encoding.h"
+#include "support/CommandLine.h"
+#include "support/Logging.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace llsc;
+
+namespace {
+
+int disassembleProgram(const guest::Program &Prog) {
+  const auto &Image = Prog.image();
+  // Invert the symbol table for labeling.
+  std::map<uint64_t, std::string> Labels;
+  for (const auto &[Name, Addr] : Prog.symbols())
+    Labels[Addr] = Name;
+
+  for (uint64_t Offset = 0; Offset + 4 <= Image.size(); Offset += 4) {
+    uint64_t Addr = Prog.baseAddr() + Offset;
+    if (auto It = Labels.find(Addr); It != Labels.end())
+      std::printf("%s:\n", It->second.c_str());
+    uint32_t Word = static_cast<uint32_t>(Image[Offset]) |
+                    static_cast<uint32_t>(Image[Offset + 1]) << 8 |
+                    static_cast<uint32_t>(Image[Offset + 2]) << 16 |
+                    static_cast<uint32_t>(Image[Offset + 3]) << 24;
+    std::printf("  %08llx:  %08x  %s\n",
+                static_cast<unsigned long long>(Addr), Word,
+                guest::disassembleWord(Word, Addr).c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  initLogLevelFromEnv();
+  ArgParser Args("llsc-run: assemble and execute a GRV guest program");
+  std::string *SchemeName = Args.addString("scheme", "hst", "atomic scheme");
+  int64_t *Threads = Args.addInt("threads", 1, "guest threads");
+  int64_t *MemMb = Args.addInt("mem-mb", 64, "guest memory (MiB)");
+  int64_t *Base = Args.addInt("base", 0x1000, "image load address");
+  int64_t *MaxBlocks =
+      Args.addInt("max-blocks", 0, "per-thread block budget (0 = none)");
+  bool *Disassemble =
+      Args.addBool("disassemble", false, "print the assembled program");
+  bool *DumpSymbols = Args.addBool("dump-symbols", false, "list symbols");
+  bool *Stats = Args.addBool("stats", true, "print execution statistics");
+  bool *Profile = Args.addBool("profile", false,
+                               "attribute time to Fig.12 buckets");
+  bool *RuleBased = Args.addBool("rule-based", false,
+                                 "enable the Section VI idiom pass");
+  bool *Coop = Args.addBool("cooperative", false,
+                            "deterministic round-robin execution");
+  std::string *Dump = Args.addString(
+      "dump", "", "after the run, hex-dump guest memory: sym=NAME,len=N "
+                  "or addr=0xA,len=N");
+  bool *Trace = Args.addBool("trace", false,
+                             "log every executed block (very verbose)");
+  Args.parse(Argc, Argv);
+  if (*Trace)
+    setLogLevel(LogLevel::Trace);
+
+  if (Args.positionals().size() != 1) {
+    std::fprintf(stderr, "usage: llsc-run [flags] program.s\n%s",
+                 Args.usage().c_str());
+    return 2;
+  }
+
+  std::ifstream In(Args.positionals()[0]);
+  if (!In) {
+    std::fprintf(stderr, "cannot open %s\n", Args.positionals()[0].c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  auto Kind = parseSchemeName(*SchemeName);
+  if (!Kind) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", SchemeName->c_str());
+    return 1;
+  }
+
+  auto ProgOrErr =
+      guest::assemble(Buffer.str(), static_cast<uint64_t>(*Base));
+  if (!ProgOrErr) {
+    std::fprintf(stderr, "%s: %s\n", Args.positionals()[0].c_str(),
+                 ProgOrErr.error().render().c_str());
+    return 1;
+  }
+
+  if (*Disassemble)
+    return disassembleProgram(*ProgOrErr);
+  if (*DumpSymbols) {
+    for (const auto &[Name, Addr] : ProgOrErr->symbols())
+      std::printf("%016llx  %s\n", static_cast<unsigned long long>(Addr),
+                  Name.c_str());
+    return 0;
+  }
+
+  MachineConfig Config;
+  Config.Scheme = *Kind;
+  Config.NumThreads = static_cast<unsigned>(*Threads);
+  Config.MemBytes = static_cast<uint64_t>(*MemMb) << 20;
+  Config.Profile = *Profile;
+  Config.MaxBlocksPerCpu = static_cast<uint64_t>(*MaxBlocks);
+  Config.Translation.RuleBasedAtomics = *RuleBased;
+  auto MachineOrErr = Machine::create(Config);
+  if (!MachineOrErr) {
+    std::fprintf(stderr, "%s\n", MachineOrErr.error().render().c_str());
+    return 1;
+  }
+  Machine &M = **MachineOrErr;
+  if (auto Loaded = M.loadProgram(ProgOrErr.take()); !Loaded) {
+    std::fprintf(stderr, "%s\n", Loaded.error().render().c_str());
+    return 1;
+  }
+
+  auto Result = *Coop ? M.runCooperative() : M.run();
+  if (!Result) {
+    std::fprintf(stderr, "%s\n", Result.error().render().c_str());
+    return 1;
+  }
+
+  if (*Stats) {
+    const CpuCounters &Counters = Result->Total;
+    std::fprintf(stderr,
+                 "wall %.4fs | %llu insts (%.1f M/s) | loads %llu | "
+                 "stores %llu | ll/sc %llu/%llu (%llu failed) | "
+                 "yields %llu | faults %llu | excl %llu%s\n",
+                 Result->WallSeconds,
+                 static_cast<unsigned long long>(Counters.ExecutedInsts),
+                 static_cast<double>(Counters.ExecutedInsts) /
+                     (Result->WallSeconds > 0 ? Result->WallSeconds : 1) *
+                     1e-6,
+                 static_cast<unsigned long long>(Counters.Loads),
+                 static_cast<unsigned long long>(Counters.Stores),
+                 static_cast<unsigned long long>(Counters.LoadLinks),
+                 static_cast<unsigned long long>(Counters.StoreConds),
+                 static_cast<unsigned long long>(
+                     Counters.StoreCondFailures),
+                 static_cast<unsigned long long>(Counters.Yields),
+                 static_cast<unsigned long long>(
+                     Counters.PageFaultsRecovered),
+                 static_cast<unsigned long long>(
+                     Result->ExclusiveSections),
+                 Result->AllHalted ? "" : " | BLOCK BUDGET HIT");
+    if (*Profile) {
+      const CpuProfile &Prof = Result->Profile;
+      std::fprintf(
+          stderr,
+          "profile: exclusive %.3fs | instrument %.3fs (+%llu inline ops) "
+          "| mprotect %.3fs\n",
+          Prof.bucketNs(ProfileBucket::Exclusive) * 1e-9,
+          Prof.bucketNs(ProfileBucket::Instrument) * 1e-9,
+          static_cast<unsigned long long>(Prof.InlineInstrumentOps),
+          Prof.bucketNs(ProfileBucket::Mprotect) * 1e-9);
+    }
+  }
+
+  if (!Dump->empty()) {
+    uint64_t Addr = 0, Len = 64;
+    for (std::string_view Piece : split(*Dump, ',')) {
+      if (startsWith(Piece, "sym=")) {
+        auto Sym = M.program().symbol(std::string(Piece.substr(4)));
+        if (!Sym) {
+          std::fprintf(stderr, "unknown symbol in --dump\n");
+          return 1;
+        }
+        Addr = *Sym;
+      } else if (startsWith(Piece, "addr=")) {
+        if (auto V = parseInteger(Piece.substr(5)))
+          Addr = static_cast<uint64_t>(*V);
+      } else if (startsWith(Piece, "len=")) {
+        if (auto V = parseInteger(Piece.substr(4)))
+          Len = static_cast<uint64_t>(*V);
+      }
+    }
+    for (uint64_t Row = 0; Row < Len; Row += 16) {
+      std::printf("%08llx: ",
+                  static_cast<unsigned long long>(Addr + Row));
+      for (unsigned Col = 0; Col < 16 && Row + Col < Len; ++Col)
+        std::printf("%02x ", static_cast<unsigned>(
+                                 M.mem().shadowLoad(Addr + Row + Col, 1)));
+      std::printf("\n");
+    }
+  }
+  return Result->AllHalted ? 0 : 3;
+}

@@ -18,6 +18,7 @@
 
 #include "bench/BenchCommon.h"
 
+#include "core/StatsReport.h"
 #include "htm/Htm.h"
 #include "workloads/LockFreeStack.h"
 #include "workloads/ParsecKernels.h"
@@ -59,9 +60,12 @@ int main(int Argc, char **Argv) {
               hardwareHtmUsable() ? "yes" : "no",
               *HwHtm ? "hardware when usable" : "the software model");
 
+  // The excl-wait and SC-failure columns come from the event-counter
+  // stats surface (core/StatsReport.h; see docs/OBSERVABILITY.md): the
+  // fallback serialization cost is exactly what makes the Fig. 11 cliff.
   Table Results({"scheme", "threads", "wall (s)", "tx begins", "commits",
                  "conflict aborts", "capacity aborts", "livelock fallbacks",
-                 "commit %"});
+                 "commit %", "excl wait (ms)", "sc failed"});
 
   for (SchemeKind Kind : {SchemeKind::PicoHtm, SchemeKind::HstHtm}) {
     for (unsigned Threads = 1;
@@ -84,6 +88,7 @@ int main(int Argc, char **Argv) {
           Htm.Begins ? 100.0 * static_cast<double>(Htm.Commits) /
                            static_cast<double>(Htm.Begins)
                      : 0.0;
+      StatsReport Stats(*Result);
       Results.addRow(
           {schemeTraits(Kind).Name, std::to_string(Threads),
            formatString(Result->AllHalted ? "%.3f" : ">%.0f (livelock)",
@@ -92,7 +97,11 @@ int main(int Argc, char **Argv) {
            std::to_string(Htm.ConflictAborts),
            std::to_string(Htm.CapacityAborts),
            std::to_string(Result->Total.HtmLivelockFallbacks),
-           formatString("%.1f", CommitPct)});
+           formatString("%.1f", CommitPct),
+           formatString("%.1f",
+                        static_cast<double>(Stats.metric("excl.wait_ns")) *
+                            1e-6),
+           std::to_string(Stats.metric("sc.failed"))});
       std::fprintf(stderr, "  %s t=%u: %.3fs (%llu fallbacks)\n",
                    schemeTraits(Kind).Name, Threads, Result->WallSeconds,
                    static_cast<unsigned long long>(

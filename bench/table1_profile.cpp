@@ -15,6 +15,7 @@
 
 #include "bench/BenchCommon.h"
 
+#include "core/StatsReport.h"
 #include "workloads/ParsecKernels.h"
 
 using namespace llsc;
@@ -27,9 +28,13 @@ int main(int Argc, char **Argv) {
   int64_t *ScalePct = Args.addInt("scale-pct", 100, "workload scale %");
   Args.parse(Argc, Argv);
 
+  // The SC-failure split and mprotect column come from the event-counter
+  // stats surface (core/StatsReport.h) — the same names `llsc-run
+  // --stats=json` prints; docs/OBSERVABILITY.md catalogues them.
   Table Results({"benchmark", "guest insts", "loads", "stores",
                  "ll/sc pairs", "stores per ll/sc", "sc fail %",
-                 "pst faults", "false sharing %"});
+                 "sc lost", "sc conflict", "pst faults",
+                 "false sharing %", "pst mprotects"});
 
   for (const KernelParams &Kernel : parsecKernels()) {
     auto Prog = buildKernel(Kernel, *ScalePct / 100.0);
@@ -71,14 +76,19 @@ int main(int Argc, char **Argv) {
                   static_cast<double>(PstResult->Total.PageFaultsRecovered)
             : 0.0;
 
+    StatsReport HstStats(*Result);
+    StatsReport PstStats(*PstResult);
     Results.addRow({Kernel.Name, std::to_string(Counters.ExecutedInsts),
                     std::to_string(Counters.Loads),
                     std::to_string(Counters.Stores),
                     std::to_string(Counters.LoadLinks),
                     formatString("%.0f", Ratio),
                     formatString("%.2f", ScFailPct),
+                    std::to_string(HstStats.metric("sc.fail.monitor_lost")),
+                    std::to_string(HstStats.metric("sc.fail.hash_conflict")),
                     std::to_string(PstResult->Total.PageFaultsRecovered),
-                    formatString("%.1f", FalseSharePct)});
+                    formatString("%.1f", FalseSharePct),
+                    std::to_string(PstStats.metric("sys.mprotect_calls"))});
   }
 
   emitTable("E6 / Table I: instruction profile "

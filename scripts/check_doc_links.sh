@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Doc lint: fail on dead intra-repo links in the Markdown docs.
+#
+# Checks every [text](target) and every `path/like/this.ext` reference in
+# README.md, EXPERIMENTS.md and docs/*.md, and fails if a target that
+# looks repo-relative does not exist. External URLs and pure anchors are
+# ignored. Run from anywhere; operates on the repo root.
+set -u
+
+Root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$Root" || exit 1
+
+Fail=0
+Files=(README.md EXPERIMENTS.md docs/*.md)
+
+check_target() {
+  local File="$1" Target="$2"
+  # Strip a trailing #anchor; an empty remainder is a same-file anchor.
+  local Path="${Target%%#*}"
+  [ -z "$Path" ] && return 0
+  case "$Path" in
+    http://*|https://*|mailto:*|/*) return 0 ;; # external or absolute
+  esac
+  # Resolve relative to the referencing file's directory, then the root,
+  # then src/ (code docs cite include-style paths like core/Machine.h).
+  local Dir
+  Dir="$(dirname "$File")"
+  if [ ! -e "$Dir/$Path" ] && [ ! -e "$Path" ] && [ ! -e "src/$Path" ]; then
+    echo "DEAD LINK: $File -> $Target"
+    Fail=1
+  fi
+}
+
+for File in "${Files[@]}"; do
+  [ -f "$File" ] || continue
+
+  # Markdown links: [text](target)
+  while IFS= read -r Target; do
+    check_target "$File" "$Target"
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$File" | sed 's/.*(\(.*\))/\1/')
+
+  # Backticked intra-repo file references: `dir/file.ext` (require a
+  # slash and an extension so identifiers and flags do not match).
+  while IFS= read -r Ref; do
+    Ref="${Ref#\`}"
+    Ref="${Ref%\`}"
+    case "$Ref" in
+      -*|*\ *|*\(*|*:*) continue ;; # flags, prose, file:line cites
+    esac
+    check_target "$File" "$Ref"
+  done < <(grep -o '`[A-Za-z0-9_./-]*/[A-Za-z0-9_.-]*\.[a-z]\{1,4\}`' "$File")
+done
+
+if [ "$Fail" -ne 0 ]; then
+  echo "doc lint failed: fix the dead links above" >&2
+  exit 1
+fi
+echo "doc lint: all intra-repo links resolve"

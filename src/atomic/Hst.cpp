@@ -32,6 +32,7 @@
 
 #include "mem/GuestMemory.h"
 #include "runtime/Exclusive.h"
+#include "runtime/Observe.h"
 #include "support/BitUtils.h"
 #include "support/Timing.h"
 
@@ -89,13 +90,14 @@ public:
     ExclusiveMonitor &Mon = Cpu.Monitor;
     if (!Mon.valid() || Mon.Addr != Addr || Mon.Size != Size) {
       Mon.clear();
+      Cpu.Events.ScFailMonitorLost++;
       return false;
     }
 
     bool Ok;
     {
       BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Exclusive);
-      Ctx->Excl->startExclusive(Cpu.InRunLoop);
+      ExclusiveSection Excl(Cpu, Cpu.InRunLoop);
       // Figure 5 SC: Htable_check — the entry must still carry our tag.
       Ok = Table[entryIndex(Addr)].load(std::memory_order_relaxed) ==
            tagFor(Cpu.Tid);
@@ -103,8 +105,15 @@ public:
         // The SC store leaves our tag in the entry, which is what breaks
         // every other thread's monitor of this location.
         Ctx->Mem->shadowStore(Addr, Value, Size);
+      } else if (Ctx->Mem->shadowLoad(Addr, Size) != Mon.Value) {
+        // The monitored value changed: a real conflict broke the monitor.
+        Cpu.Events.ScFailMonitorLost++;
+      } else {
+        // Value unchanged: another address stole the hash slot (spurious
+        // failure) — or an ABA cycle restored the value, which is
+        // indistinguishable here (docs/OBSERVABILITY.md discusses this).
+        Cpu.Events.ScFailHashConflict++;
       }
-      Ctx->Excl->endExclusive(Cpu.InRunLoop);
     }
     Mon.clear();
     return Ok;

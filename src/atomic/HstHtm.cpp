@@ -23,6 +23,7 @@
 #include "htm/Htm.h"
 #include "mem/GuestMemory.h"
 #include "runtime/Exclusive.h"
+#include "runtime/Observe.h"
 #include "support/BitUtils.h"
 #include "support/Timing.h"
 
@@ -74,6 +75,7 @@ public:
     ExclusiveMonitor &Mon = Cpu.Monitor;
     if (!Mon.valid() || Mon.Addr != Addr || Mon.Size != Size) {
       Mon.clear();
+      Cpu.Events.ScFailMonitorLost++;
       return false;
     }
     assert(Ctx->Htm && "HST-HTM requires an HTM runtime");
@@ -81,21 +83,31 @@ public:
     bool Ok = false;
     bool Done = false;
     for (unsigned Attempt = 0; Attempt < MaxRetries && !Done; ++Attempt) {
+      Cpu.Events.HtmBegins++;
       TxStatus Status = Ctx->Htm->begin(Cpu.Tid, Addr);
-      if (Status != TxStatus::Started)
+      if (Status != TxStatus::Started) {
+        if (Status == TxStatus::AbortCapacity)
+          Cpu.Events.HtmAbortsCapacity++;
+        else
+          Cpu.Events.HtmAbortsConflict++;
+        if (TraceRecorder *Trace = TraceRecorder::active())
+          Trace->instant(Cpu.Tid, "htm-abort", "htm");
         continue; // Conflict: retry the tiny transaction.
+      }
       // Figure 6: HTM_xbegin; Htable_check; store; HTM_xend.
       bool CheckOk = Table[entryIndex(Addr)].load(
                          std::memory_order_relaxed) == tagFor(Cpu.Tid);
       if (CheckOk)
         Ctx->Mem->shadowStore(Addr, Value, Size);
       if (Ctx->Htm->commit(Cpu.Tid)) {
+        Cpu.Events.HtmCommits++;
         Ok = CheckOk;
         Done = true;
       }
       // A doomed commit means a plain store hit our watch address while
       // the transaction ran; the SC must fail and the guest retries.
       else {
+        Cpu.Events.HtmAbortsConflict++;
         Ok = false;
         Done = true;
       }
@@ -104,13 +116,23 @@ public:
     if (!Done) {
       // Forward-progress fallback: the HST exclusive-section path.
       Cpu.Counters.HtmLivelockFallbacks++;
+      Cpu.Events.HtmFallbacks++;
       BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Exclusive);
-      Ctx->Excl->startExclusive(Cpu.InRunLoop);
+      ExclusiveSection Excl(Cpu, Cpu.InRunLoop);
       Ok = Table[entryIndex(Addr)].load(std::memory_order_relaxed) ==
            tagFor(Cpu.Tid);
       if (Ok)
         Ctx->Mem->shadowStore(Addr, Value, Size);
-      Ctx->Excl->endExclusive(Cpu.InRunLoop);
+    }
+
+    if (!Ok) {
+      // Same classification as HST: an unchanged value means the failure
+      // was a hash-slot conflict or a doomed commit, not a lost monitor
+      // (ABA cases are indistinguishable — see docs/OBSERVABILITY.md).
+      if (Ctx->Mem->shadowLoad(Addr, Size) != Mon.Value)
+        Cpu.Events.ScFailMonitorLost++;
+      else
+        Cpu.Events.ScFailHashConflict++;
     }
 
     Mon.clear();

@@ -41,10 +41,16 @@ public:
     ExclusiveMonitor &Mon = Cpu.Monitor;
     if (!Mon.valid() || Mon.Addr != Addr || Mon.Size != Size) {
       Mon.clear();
+      Cpu.Events.ScFailMonitorLost++;
       return false;
     }
     uint64_t Expected = Mon.Value;
     bool Ok = Ctx->Mem->compareExchange(Addr, Expected, Value, Size);
+    // A CAS failure means the value differs — by construction PICO-CAS
+    // only ever fails for a (seemingly) lost monitor; the ABA cases it
+    // wrongly *succeeds* on are what the litmus tests expose.
+    if (!Ok)
+      Cpu.Events.ScFailMonitorLost++;
     Mon.clear();
     return Ok;
   }

@@ -26,6 +26,7 @@
 #include "htm/Htm.h"
 #include "mem/GuestMemory.h"
 #include "runtime/Exclusive.h"
+#include "runtime/Observe.h"
 #include "support/Timing.h"
 
 #include <cassert>
@@ -63,20 +64,32 @@ public:
     abandonOpenTransaction(Cpu);
 
     for (unsigned Attempt = 0; Attempt < MaxRetries; ++Attempt) {
-      if (Ctx->Htm->begin(Cpu.Tid, Addr) == TxStatus::Started) {
+      Cpu.Events.HtmBegins++;
+      TxStatus Status = Ctx->Htm->begin(Cpu.Tid, Addr);
+      if (Status == TxStatus::Started) {
         uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
         Cpu.Monitor.arm(Addr, Value, Size);
         Cpu.InLongTx = true; // Engine now charges footprint to the tx.
         return Value;
       }
+      if (Status == TxStatus::AbortCapacity)
+        Cpu.Events.HtmAbortsCapacity++;
+      else
+        Cpu.Events.HtmAbortsConflict++;
+      if (TraceRecorder *Trace = TraceRecorder::active())
+        Trace->instant(Cpu.Tid, "htm-abort", "htm");
     }
 
     // Retry budget exhausted: the paper's PICO-HTM livelocks/crashes here.
     // We record the event and serialize via a stop-the-world fallback so
     // the measurement can continue (EXPERIMENTS.md discusses this).
     Cpu.Counters.HtmLivelockFallbacks++;
+    Cpu.Events.HtmFallbacks++;
     BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Exclusive);
-    Ctx->Excl->startExclusive(Cpu.InRunLoop);
+    // The section spans LL..SC (closed in emulateStoreCond or
+    // abandonOpenTransaction), so the free-function form is used instead
+    // of the RAII ExclusiveSection.
+    observeStartExclusive(Cpu, Cpu.InRunLoop);
     InExclFallback[Cpu.Tid] = true;
     uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
     Cpu.Monitor.arm(Addr, Value, Size);
@@ -92,19 +105,25 @@ public:
       // Serialized fallback: the world is stopped, the store is safe.
       if (AddrOk)
         Ctx->Mem->shadowStore(Addr, Value, Size);
+      else
+        Cpu.Events.ScFailMonitorLost++;
       InExclFallback[Cpu.Tid] = false;
-      Ctx->Excl->endExclusive(Cpu.InRunLoop);
+      observeEndExclusive(Cpu, Cpu.InRunLoop);
       Mon.clear();
       return AddrOk;
     }
 
     if (!Ctx->Htm->inTransaction(Cpu.Tid)) {
+      // The transaction aborted between LL and SC: a conflicting access
+      // doomed the monitored window.
+      Cpu.Events.ScFailMonitorLost++;
       Mon.clear();
       return false;
     }
     if (!AddrOk) {
       Ctx->Htm->abort(Cpu.Tid);
       Cpu.InLongTx = false;
+      Cpu.Events.ScFailMonitorLost++;
       Mon.clear();
       return false;
     }
@@ -112,6 +131,15 @@ public:
     Ctx->Mem->shadowStore(Addr, Value, Size);
     bool Committed = Ctx->Htm->commit(Cpu.Tid);
     Cpu.InLongTx = false;
+    if (Committed) {
+      Cpu.Events.HtmCommits++;
+    } else {
+      // A doomed commit: footprint overflow or a conflicting plain store
+      // hit the watch set while the transaction spanned LL..SC. The
+      // backend's htm.raw.* counters record the precise cause.
+      Cpu.Events.HtmAbortsConflict++;
+      Cpu.Events.ScFailMonitorLost++;
+    }
     Mon.clear();
     return Committed;
   }
@@ -145,7 +173,7 @@ private:
     }
     if (InExclFallback[Cpu.Tid]) {
       InExclFallback[Cpu.Tid] = false;
-      Ctx->Excl->endExclusive(Cpu.InRunLoop);
+      observeEndExclusive(Cpu, Cpu.InRunLoop);
     }
   }
 

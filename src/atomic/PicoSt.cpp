@@ -85,6 +85,10 @@ public:
         if (Monitors[Tid].overlaps(Addr, Size))
           Monitors[Tid].Valid = false;
       Ctx->Mem->shadowStore(Addr, Value, Size);
+    } else {
+      // PICO-ST monitors exact address ranges — every failure is a
+      // genuinely broken (or never-armed) monitor, never a spurious one.
+      Cpu.Events.ScFailMonitorLost++;
     }
     Own.Valid = false;
     Cpu.Monitor.clear();

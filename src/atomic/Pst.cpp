@@ -21,6 +21,7 @@
 
 #include "mem/FaultGuard.h"
 #include "runtime/Exclusive.h"
+#include "runtime/Observe.h"
 #include "support/Timing.h"
 
 #include <sys/mman.h>
@@ -36,11 +37,10 @@ public:
   }
 
   uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
-    CpuProfile *Profile = Cpu.profileOrNull();
     {
       std::lock_guard<std::mutex> Lock(Mutex);
-      releaseMonitorLocked(Cpu.Tid, Profile);
-      armMonitorLocked(Cpu.Tid, Addr, Size, Profile);
+      releaseMonitorLocked(Cpu.Tid, &Cpu);
+      armMonitorLocked(Cpu.Tid, Addr, Size, &Cpu);
     }
     uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
     Cpu.Monitor.arm(Addr, Value, Size);
@@ -56,7 +56,7 @@ public:
     bool Ok = false;
     {
       BucketTimer ExclTimer(Profile, ProfileBucket::Exclusive);
-      Ctx->Excl->startExclusive(Cpu.InRunLoop);
+      ExclusiveSection Excl(Cpu, Cpu.InRunLoop);
       {
         // The scheme mutex must be released before endExclusive:
         // endExclusive(SelfRunning) can block behind a queued exclusive
@@ -70,24 +70,27 @@ public:
           // Figure 8: RO -> RW, store through the primary mapping, back
           // to RO if other monitors remain on the page.
           {
-            BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+            SyscallTimer Timer(&Cpu, ProtSyscall::Mprotect);
             Ctx->Mem->protectPage(PageIdx, PROT_READ | PROT_WRITE);
           }
           Ctx->Mem->store(Addr, Value, Size);
           // The SC is a store: break every monitor of this location
           // (including our own, releasing its page count).
           breakOverlappingLocked(Addr, Size,
-                                 /*ExcludeTid=*/Monitors.size(), Profile,
+                                 /*ExcludeTid=*/Monitors.size(), &Cpu,
                                  /*AdjustProtection=*/false);
           if (pageMonitorCountLocked(PageIdx) > 0) {
-            BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+            SyscallTimer Timer(&Cpu, ProtSyscall::Mprotect);
             Ctx->Mem->protectPage(PageIdx, PROT_READ);
           }
         } else {
-          releaseMonitorLocked(Cpu.Tid, Profile);
+          // PST page monitors track exact ranges: a failed SC always
+          // means the monitor was broken by a real store (or never
+          // armed), never a spurious conflict.
+          Cpu.Events.ScFailMonitorLost++;
+          releaseMonitorLocked(Cpu.Tid, &Cpu);
         }
       }
-      Ctx->Excl->endExclusive(Cpu.InRunLoop);
     }
     Cpu.Monitor.clear();
     return Ok;
@@ -95,7 +98,7 @@ public:
 
   void clearExclusive(VCpu &Cpu) override {
     std::lock_guard<std::mutex> Lock(Mutex);
-    releaseMonitorLocked(Cpu.Tid, Cpu.profileOrNull());
+    releaseMonitorLocked(Cpu.Tid, &Cpu);
     Cpu.Monitor.clear();
   }
 
@@ -111,12 +114,16 @@ public:
     // Slow path: the page is monitored. Break matching monitors; a
     // non-matching fault is false sharing (Section IV-B2's false alarms).
     Cpu.Counters.PageFaultsRecovered++;
+    Cpu.Events.FaultsRecovered++;
+    if (TraceRecorder *Trace = TraceRecorder::active())
+      Trace->instant(Cpu.Tid, "fault", "mem");
     BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Mprotect);
     std::lock_guard<std::mutex> Lock(Mutex);
-    bool Broke = breakOverlappingLocked(Addr, Size, Cpu.Tid,
-                                        Cpu.profileOrNull());
-    if (!Broke)
+    bool Broke = breakOverlappingLocked(Addr, Size, Cpu.Tid, &Cpu);
+    if (!Broke) {
       Cpu.Counters.FalseSharingFaults++;
+      Cpu.Events.FalseSharingFaults++;
+    }
     Ctx->Mem->shadowStore(Addr, Value, Size);
   }
 };

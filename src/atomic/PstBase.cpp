@@ -6,6 +6,8 @@
 
 #include "atomic/PstBase.h"
 
+#include "runtime/Observe.h"
+
 #include <cassert>
 #include <sys/mman.h>
 
@@ -20,21 +22,21 @@ void PstBase::attach(MachineContext &Ctx) {
 void PstBase::reset() {
   std::lock_guard<std::mutex> Lock(Mutex);
   for (unsigned Tid = 0; Tid < Monitors.size(); ++Tid)
-    releaseMonitorLocked(Tid, /*Profile=*/nullptr);
+    releaseMonitorLocked(Tid, /*Cpu=*/nullptr);
 }
 
 void PstBase::armMonitorLocked(unsigned Tid, uint64_t Addr, unsigned Size,
-                               CpuProfile *Profile) {
+                               VCpu *Cpu) {
   assert(!Monitors[Tid].Valid && "previous monitor must be released first");
   Monitors[Tid] = {true, Addr, Size};
   uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
   if (PageCount[PageIdx]++ == 0) {
-    BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+    SyscallTimer Timer(Cpu, ProtSyscall::Mprotect);
     Ctx->Mem->protectPage(PageIdx, PROT_READ);
   }
 }
 
-void PstBase::releaseMonitorLocked(unsigned Tid, CpuProfile *Profile,
+void PstBase::releaseMonitorLocked(unsigned Tid, VCpu *Cpu,
                                    bool AdjustProtection) {
   PageMonitor &Mon = Monitors[Tid];
   if (!Mon.Valid)
@@ -43,20 +45,20 @@ void PstBase::releaseMonitorLocked(unsigned Tid, CpuProfile *Profile,
   uint64_t PageIdx = Ctx->Mem->pageIndex(Mon.Addr);
   assert(PageCount[PageIdx] > 0 && "page count underflow");
   if (--PageCount[PageIdx] == 0 && AdjustProtection) {
-    BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+    SyscallTimer Timer(Cpu, ProtSyscall::Mprotect);
     Ctx->Mem->protectPage(PageIdx, PROT_READ | PROT_WRITE);
   }
 }
 
 bool PstBase::breakOverlappingLocked(uint64_t Addr, unsigned Size,
-                                     unsigned ExcludeTid, CpuProfile *Profile,
+                                     unsigned ExcludeTid, VCpu *Cpu,
                                      bool AdjustProtection) {
   bool AnyBroken = false;
   for (unsigned Tid = 0; Tid < Monitors.size(); ++Tid) {
     if (Tid == ExcludeTid)
       continue;
     if (Monitors[Tid].overlaps(Addr, Size)) {
-      releaseMonitorLocked(Tid, Profile, AdjustProtection);
+      releaseMonitorLocked(Tid, Cpu, AdjustProtection);
       AnyBroken = true;
     }
   }

@@ -49,21 +49,23 @@ protected:
 
   /// Arms \p Tid's monitor on [Addr, Addr+Size), protecting the page when
   /// it acquires its first monitor. Any previous monitor of \p Tid must
-  /// already have been released. \p Profile may be null.
+  /// already have been released. \p Cpu is the vCPU charged for the
+  /// mprotect syscall (profiler bucket + sys.mprotect_calls); may be null
+  /// on paths with no executing vCPU (reset).
   void armMonitorLocked(unsigned Tid, uint64_t Addr, unsigned Size,
-                        CpuProfile *Profile);
+                        VCpu *Cpu);
 
   /// Releases \p Tid's monitor if valid. When \p AdjustProtection, a page
   /// whose count drops to zero is made writable again (callers doing their
   /// own remap/protect sequencing pass false).
-  void releaseMonitorLocked(unsigned Tid, CpuProfile *Profile,
+  void releaseMonitorLocked(unsigned Tid, VCpu *Cpu,
                             bool AdjustProtection = true);
 
   /// Invalidates every monitor overlapping [Addr, Addr+Size) except
   /// \p ExcludeTid (pass NumThreads to exclude none).
   /// \returns true if at least one monitor was broken.
   bool breakOverlappingLocked(uint64_t Addr, unsigned Size,
-                              unsigned ExcludeTid, CpuProfile *Profile,
+                              unsigned ExcludeTid, VCpu *Cpu,
                               bool AdjustProtection = true);
 
   /// \returns the number of live monitors on \p PageIdx.

@@ -29,6 +29,7 @@
 #include "atomic/Schemes.h"
 
 #include "mem/GuestMemory.h"
+#include "runtime/Observe.h"
 #include "support/Timing.h"
 
 #include <array>
@@ -100,6 +101,9 @@ public:
           if (Tid != Cpu.Tid && Monitors[Tid].overlaps(Addr, Size))
             releaseLocked(Monitors[Tid]);
         Ctx->Mem->shadowStore(Addr, Value, Size);
+      } else {
+        // Exact-range monitors (like PST): failures are never spurious.
+        Cpu.Events.ScFailMonitorLost++;
       }
       releaseLocked(Own);
     }
@@ -124,6 +128,9 @@ public:
     // Slow path: some monitor is armed on this key (maybe for an
     // unrelated page — the 15-key false sharing the paper warns about).
     Cpu.Counters.PageFaultsRecovered++;
+    Cpu.Events.FaultsRecovered++;
+    if (TraceRecorder *Trace = TraceRecorder::active())
+      Trace->instant(Cpu.Tid, "key-conflict", "mem");
     BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Instrument);
     std::lock_guard<std::mutex> Lock(Mutex);
     bool Broke = false;
@@ -135,8 +142,10 @@ public:
         Broke = true;
       }
     }
-    if (!Broke)
+    if (!Broke) {
       Cpu.Counters.FalseSharingFaults++;
+      Cpu.Events.FalseSharingFaults++;
+    }
     Ctx->Mem->shadowStore(Addr, Value, Size);
   }
 

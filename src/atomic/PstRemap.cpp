@@ -23,6 +23,7 @@
 #include "atomic/Schemes.h"
 
 #include "mem/FaultGuard.h"
+#include "runtime/Observe.h"
 #include "support/Timing.h"
 
 #include <memory>
@@ -47,15 +48,13 @@ public:
   bool loadsViaHelper() const override { return true; }
 
   uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
-    CpuProfile *Profile = Cpu.profileOrNull();
-
     // Release any previous monitor first (its page lock, then ours, are
     // taken in separate critical sections to keep lock ordering simple).
     if (Monitors[Cpu.Tid].Valid) {
       uint64_t OldPage = Ctx->Mem->pageIndex(Monitors[Cpu.Tid].Addr);
       std::lock_guard<std::mutex> PageLock(PageLocks[OldPage]);
       std::lock_guard<std::mutex> Lock(Mutex);
-      releaseMonitorLocked(Cpu.Tid, Profile);
+      releaseMonitorLocked(Cpu.Tid, &Cpu);
     }
 
     uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
@@ -63,7 +62,7 @@ public:
     {
       std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
       std::lock_guard<std::mutex> Lock(Mutex);
-      armMonitorLocked(Cpu.Tid, Addr, Size, Profile);
+      armMonitorLocked(Cpu.Tid, Addr, Size, &Cpu);
       Value = Ctx->Mem->shadowLoad(Addr, Size);
     }
     Cpu.Monitor.arm(Addr, Value, Size);
@@ -72,7 +71,6 @@ public:
 
   bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
                         unsigned Size) override {
-    CpuProfile *Profile = Cpu.profileOrNull();
     bool AddrOk = Cpu.Monitor.valid() && Cpu.Monitor.Addr == Addr &&
                   Cpu.Monitor.Size == Size;
     uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
@@ -83,7 +81,7 @@ public:
       // Figure 9: remap page x away; every access to x by other threads
       // now faults and blocks on the page lock.
       {
-        BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+        SyscallTimer Timer(&Cpu, ProtSyscall::Remap);
         Ctx->Mem->remapPageAway(PageIdx);
       }
 
@@ -96,9 +94,12 @@ public:
           // The check-and-store goes through the writable alias (z).
           Ctx->Mem->shadowStore(Addr, Value, Size);
           breakOverlappingLocked(Addr, Size, /*ExcludeTid=*/Monitors.size(),
-                                 Profile, /*AdjustProtection=*/false);
+                                 &Cpu, /*AdjustProtection=*/false);
         } else {
-          releaseMonitorLocked(Cpu.Tid, Profile,
+          // Exact-range monitors: every failure is a genuinely lost (or
+          // never-armed) monitor, as in PST.
+          Cpu.Events.ScFailMonitorLost++;
+          releaseMonitorLocked(Cpu.Tid, &Cpu,
                                /*AdjustProtection=*/false);
         }
         RemainingMonitors = pageMonitorCountLocked(PageIdx);
@@ -107,7 +108,7 @@ public:
       // Remap x back; protection is set in the same mmap call so there is
       // no window where other monitors go unenforced.
       {
-        BucketTimer Timer(Profile, ProfileBucket::Mprotect);
+        SyscallTimer Timer(&Cpu, ProtSyscall::Remap);
         Ctx->Mem->remapPageBack(PageIdx, /*Writable=*/RemainingMonitors == 0);
       }
     }
@@ -120,7 +121,7 @@ public:
       uint64_t PageIdx = Ctx->Mem->pageIndex(Monitors[Cpu.Tid].Addr);
       std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
       std::lock_guard<std::mutex> Lock(Mutex);
-      releaseMonitorLocked(Cpu.Tid, Cpu.profileOrNull());
+      releaseMonitorLocked(Cpu.Tid, &Cpu);
     }
     Cpu.Monitor.clear();
   }
@@ -135,14 +136,18 @@ public:
     // is the paper's "pagefault handler simply waits ... by locking and
     // unlocking".
     Cpu.Counters.PageFaultsRecovered++;
+    Cpu.Events.FaultsRecovered++;
+    if (TraceRecorder *Trace = TraceRecorder::active())
+      Trace->instant(Cpu.Tid, "fault", "mem");
     BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Mprotect);
     uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
     std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
     std::lock_guard<std::mutex> Lock(Mutex);
-    bool Broke = breakOverlappingLocked(Addr, Size, Cpu.Tid,
-                                        Cpu.profileOrNull());
-    if (!Broke)
+    bool Broke = breakOverlappingLocked(Addr, Size, Cpu.Tid, &Cpu);
+    if (!Broke) {
       Cpu.Counters.FalseSharingFaults++;
+      Cpu.Events.FalseSharingFaults++;
+    }
     Ctx->Mem->shadowStore(Addr, Value, Size);
   }
 
@@ -153,6 +158,9 @@ public:
 
     // The page is remapped away by an in-flight SC: wait for it.
     Cpu.Counters.PageFaultsRecovered++;
+    Cpu.Events.FaultsRecovered++;
+    if (TraceRecorder *Trace = TraceRecorder::active())
+      Trace->instant(Cpu.Tid, "fault", "mem");
     uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
     std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
     return Ctx->Mem->shadowLoad(Addr, Size);

@@ -133,11 +133,16 @@ RunResult Machine::collectResult(bool AllHalted,
     Result.Total.merge(Cpu.Counters);
     Result.Profile.merge(Cpu.Profile);
     Result.PerCpu.push_back(Cpu.Counters);
+    Result.Events.merge(Cpu.Events);
+    Result.PerCpuEvents.push_back(Cpu.Events);
   }
   if (Htm)
     Result.Htm = Htm->stats();
   Result.ExclusiveSections = Excl.exclusiveCount();
   Result.RecoveredFaults = FaultGuard::recoveredFaultCount() - FaultsBefore;
+  // Make the run visible process-wide: tools and long-lived embedders read
+  // the aggregated events from CounterRegistry::snapshot().
+  Result.Events.flushToRegistry();
   return Result;
 }
 

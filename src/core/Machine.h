@@ -71,6 +71,10 @@ struct RunResult {
   CpuCounters Total;
   CpuProfile Profile;
   std::vector<CpuCounters> PerCpu;
+  /// Atomic-emulation event counters summed over all vCPUs (also flushed
+  /// into the process-wide CounterRegistry; see runtime/EventCounters.h).
+  EventCounters Events;
+  std::vector<EventCounters> PerCpuEvents;
   HtmStats Htm;
   uint64_t ExclusiveSections = 0;
   uint64_t RecoveredFaults = 0; ///< Process-wide delta during the run.

@@ -1,0 +1,99 @@
+//===- core/StatsReport.cpp - Machine-readable run statistics -----------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StatsReport.h"
+
+#include "core/Machine.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace llsc;
+
+StatsReport::StatsReport(const RunResult &Result)
+    : WallSeconds(Result.WallSeconds), AllHalted(Result.AllHalted) {
+  auto Add = [this](const char *Name, uint64_t Value) {
+    Metrics.push_back({Name, Value});
+  };
+
+  const CpuCounters &C = Result.Total;
+  Add("exec.insts", C.ExecutedInsts);
+  Add("exec.blocks", C.ExecutedBlocks);
+  Add("exec.loads", C.Loads);
+  Add("exec.stores", C.Stores);
+  Add("exec.yields", C.Yields);
+
+  Result.Events.forEach(
+      [this](const char *Name, uint64_t Value) { Metrics.push_back({Name, Value}); });
+
+  // Process-level views kept for continuity with the pre-event-counter
+  // stats line (excl.entries/fault.recovered are the per-vCPU views).
+  Add("excl.sections", Result.ExclusiveSections);
+  Add("fault.process_recovered", Result.RecoveredFaults);
+
+  const HtmStats &H = Result.Htm;
+  Add("htm.raw.begins", H.Begins);
+  Add("htm.raw.commits", H.Commits);
+  Add("htm.raw.aborts.conflict", H.ConflictAborts);
+  Add("htm.raw.aborts.capacity", H.CapacityAborts);
+  Add("htm.raw.store_dooms", H.StoreDooms);
+
+  const CpuProfile &P = Result.Profile;
+  Add("prof.exclusive_ns", P.bucketNs(ProfileBucket::Exclusive));
+  Add("prof.instrument_ns", P.bucketNs(ProfileBucket::Instrument));
+  Add("prof.mprotect_ns", P.bucketNs(ProfileBucket::Mprotect));
+  Add("prof.inline_ops", P.InlineInstrumentOps);
+
+  PerCpuEvents.reserve(Result.PerCpuEvents.size());
+  for (const EventCounters &Events : Result.PerCpuEvents) {
+    std::vector<StatMetric> Row;
+    Events.forEach([&Row](const char *Name, uint64_t Value) {
+      Row.push_back({Name, Value});
+    });
+    PerCpuEvents.push_back(std::move(Row));
+  }
+}
+
+uint64_t StatsReport::metric(std::string_view Name) const {
+  for (const StatMetric &M : Metrics)
+    if (M.Name == Name)
+      return M.Value;
+  return 0;
+}
+
+std::string StatsReport::renderJson() const {
+  std::string Out;
+  Out.reserve(4096);
+  char Buf[160];
+
+  std::snprintf(Buf, sizeof(Buf),
+                "{\n\"wall_seconds\": %.9f,\n\"all_halted\": %s,\n",
+                WallSeconds, AllHalted ? "true" : "false");
+  Out += Buf;
+
+  Out += "\"metrics\": {";
+  for (size_t I = 0; I < Metrics.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%s\n  \"%s\": %" PRIu64,
+                  I ? "," : "", Metrics[I].Name.c_str(), Metrics[I].Value);
+    Out += Buf;
+  }
+  Out += "\n},\n";
+
+  Out += "\"per_cpu\": [";
+  for (size_t Tid = 0; Tid < PerCpuEvents.size(); ++Tid) {
+    std::snprintf(Buf, sizeof(Buf), "%s\n  {\"tid\": %zu", Tid ? "," : "",
+                  Tid);
+    Out += Buf;
+    for (const StatMetric &M : PerCpuEvents[Tid]) {
+      std::snprintf(Buf, sizeof(Buf), ", \"%s\": %" PRIu64, M.Name.c_str(),
+                    M.Value);
+      Out += Buf;
+    }
+    Out += "}";
+  }
+  Out += "\n]\n}\n";
+  return Out;
+}

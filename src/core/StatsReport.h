@@ -1,0 +1,75 @@
+//===- core/StatsReport.h - Machine-readable run statistics -----*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flattens a RunResult into a stable, ordered list of named integer
+/// metrics — the single machine-readable stats surface shared by
+/// `llsc-run --stats=json` and the bench/ CSV writers. The metric names
+/// form the documented contract (docs/OBSERVABILITY.md lists every one);
+/// consumers key on the dotted name, never on list position.
+///
+/// Namespaces:
+///   exec.*      instruction-mix totals (CpuCounters)
+///   ll./sc./excl./sys./htm./helper./instr./fault.*
+///               atomic-emulation events (runtime/EventCounters.h)
+///   htm.raw.*   backend-level HTM truth for this run (HtmStats)
+///   prof.*      Fig. 12 bucket nanoseconds (zero unless --profile)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_CORE_STATSREPORT_H
+#define LLSC_CORE_STATSREPORT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llsc {
+
+struct RunResult;
+
+/// One named integer metric.
+struct StatMetric {
+  std::string Name;
+  uint64_t Value = 0;
+};
+
+/// A flattened snapshot of one RunResult. Cheap to build (one pass over
+/// the result); safe to keep after the RunResult is gone.
+class StatsReport {
+public:
+  explicit StatsReport(const RunResult &Result);
+
+  /// All metrics, in stable catalogue order.
+  const std::vector<StatMetric> &metrics() const { return Metrics; }
+
+  /// Looks up one metric by dotted name; 0 if absent (so CSV writers can
+  /// ask for scheme-specific counters unconditionally).
+  uint64_t metric(std::string_view Name) const;
+
+  double wallSeconds() const { return WallSeconds; }
+  bool allHalted() const { return AllHalted; }
+
+  /// Renders the whole report as a JSON object:
+  ///   {"wall_seconds": ..., "all_halted": ..., "metrics": {...},
+  ///    "per_cpu": [{"tid": 0, ...events...}, ...]}
+  /// Metric keys inside "metrics" are the same dotted names metrics()
+  /// reports. Ends with a newline.
+  std::string renderJson() const;
+
+private:
+  double WallSeconds = 0;
+  bool AllHalted = true;
+  std::vector<StatMetric> Metrics;
+  /// Per-vCPU event rows for the JSON "per_cpu" array: one vector of
+  /// (name, value) per tid, EventCounters names only.
+  std::vector<std::vector<StatMetric>> PerCpuEvents;
+};
+
+} // namespace llsc
+
+#endif // LLSC_CORE_STATSREPORT_H

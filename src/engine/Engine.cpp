@@ -13,6 +13,7 @@
 #include "support/BitUtils.h"
 #include "support/Compiler.h"
 #include "support/Logging.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <cassert>
@@ -94,8 +95,16 @@ Engine::BlockExit Engine::execBlock(VCpu &Cpu, const CachedBlock &Block,
   AtomicScheme &Scheme = *Ctx.Scheme;
 
   for (const IRInst &I : IR.Insts) {
-    if (Profiling && (I.Flags & IRFlagInstrument))
-      Cpu.Profile.InlineInstrumentOps++;
+    if (I.Flags & IRFlagInstrument) {
+      if (Profiling)
+        Cpu.Profile.InlineInstrumentOps++;
+      // Helper-routed ops are counted as helper calls below; only the
+      // truly inline injected ops land in instr.inline_ops, keeping the
+      // helper-vs-inline split meaningful (hst vs hst-helper).
+      if (I.Op != IROp::HelperStore && I.Op != IROp::HelperLoad &&
+          I.Op != IROp::Helper)
+        Cpu.Events.InlineInstrumentOps++;
+    }
 
     switch (I.Op) {
     // --- ALU (shared constant-folder semantics) ---------------------------
@@ -171,13 +180,23 @@ Engine::BlockExit Engine::execBlock(VCpu &Cpu, const CachedBlock &Block,
     case IROp::LoadLink:
       SetV(I.Dst, Scheme.emulateLoadLink(Cpu, V(I.A), I.Size));
       Cpu.Counters.LoadLinks++;
+      Cpu.Events.LlIssued++;
+      if (TraceRecorder *Trace = TraceRecorder::active())
+        Trace->instant(Cpu.Tid, "ll", "atomic");
       break;
     case IROp::StoreCond: {
       bool Ok = Scheme.emulateStoreCond(Cpu, V(I.A), V(I.B), I.Size);
       SetV(I.Dst, Ok ? 0 : 1);
       Cpu.Counters.StoreConds++;
-      if (!Ok)
+      Cpu.Events.ScAttempted++;
+      if (Ok) {
+        Cpu.Events.ScSucceeded++;
+      } else {
         Cpu.Counters.StoreCondFailures++;
+        Cpu.Events.ScFailed++;
+      }
+      if (TraceRecorder *Trace = TraceRecorder::active())
+        Trace->instant(Cpu.Tid, Ok ? "sc" : "sc-fail", "atomic");
       break;
     }
     case IROp::ClearExcl:
@@ -192,6 +211,7 @@ Engine::BlockExit Engine::execBlock(VCpu &Cpu, const CachedBlock &Block,
       Scheme.storeHook(Cpu, V(I.A) + static_cast<uint64_t>(I.Imm), V(I.B),
                        I.Size);
       Cpu.Counters.Stores++;
+      Cpu.Events.HelperStoreCalls++;
       break;
     case IROp::HelperLoad: {
       uint64_t Value =
@@ -200,11 +220,13 @@ Engine::BlockExit Engine::execBlock(VCpu &Cpu, const CachedBlock &Block,
         Value = static_cast<uint64_t>(signExtend(Value, I.Size * 8));
       SetV(I.Dst, Value);
       Cpu.Counters.Loads++;
+      Cpu.Events.HelperLoadCalls++;
       break;
     }
     case IROp::Helper: {
       const HelperFn &Fn = IR.Helpers[static_cast<size_t>(I.Imm)];
       SetV(I.Dst, Fn.Fn(Fn.Ctx, &Cpu, V(I.A), V(I.B)));
+      Cpu.Events.SchemeHelperCalls++;
       break;
     }
 
@@ -314,8 +336,8 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
 
   uint64_t Executed = 0;
   while (true) {
-    if (Registered)
-      Excl.safepoint();
+    if (Registered && Excl.safepoint())
+      Cpu.Events.SafepointParks++;
 
     if (LLSC_UNLIKELY(logEnabled(LogLevel::Trace)))
       LLSC_TRACE("tid %u exec block 0x%" PRIx64 " (%u insts)", Cpu.Tid,

@@ -12,6 +12,7 @@
 #include "htm/Htm.h"
 
 #include "support/Logging.h"
+#include "support/Stats.h"
 
 #include <cassert>
 #include <vector>
@@ -48,7 +49,12 @@ public:
 
   TxStatus begin(unsigned Tid, uint64_t WatchAddr) override {
     (void)WatchAddr; // Hardware tracks the read/write set itself.
+    const HtmRegistryCounters &Reg = HtmRegistryCounters::get();
     Begins.fetch_add(1, std::memory_order_relaxed);
+    Reg.Begins->fetch_add(1, std::memory_order_relaxed);
+    // The registry increments must stay outside the transaction: a
+    // counter touched between _xbegin and an abort would be rolled back
+    // (and would widen the write set).
     unsigned Status = _xbegin();
     if (Status == _XBEGIN_STARTED) {
       InTx[Tid].store(true, std::memory_order_relaxed);
@@ -56,13 +62,16 @@ public:
     }
     if (Status & _XABORT_CONFLICT) {
       ConflictAborts.fetch_add(1, std::memory_order_relaxed);
+      Reg.ConflictAborts->fetch_add(1, std::memory_order_relaxed);
       return TxStatus::AbortConflict;
     }
     if (Status & _XABORT_CAPACITY) {
       CapacityAborts.fetch_add(1, std::memory_order_relaxed);
+      Reg.CapacityAborts->fetch_add(1, std::memory_order_relaxed);
       return TxStatus::AbortCapacity;
     }
     ConflictAborts.fetch_add(1, std::memory_order_relaxed);
+    Reg.ConflictAborts->fetch_add(1, std::memory_order_relaxed);
     return TxStatus::AbortOther;
   }
 
@@ -74,6 +83,8 @@ public:
       _xend();
       InTx[Tid].store(false, std::memory_order_relaxed);
       Commits.fetch_add(1, std::memory_order_relaxed);
+      HtmRegistryCounters::get().Commits->fetch_add(1,
+                                                    std::memory_order_relaxed);
       return true;
     }
     InTx[Tid].store(false, std::memory_order_relaxed);
@@ -151,6 +162,20 @@ std::unique_ptr<HtmRuntime> llsc::createHardwareHtm(unsigned MaxThreads) {
 }
 
 #endif // LLSC_RTM_COMPILED
+
+const HtmRegistryCounters &HtmRegistryCounters::get() {
+  static const HtmRegistryCounters Counters = [] {
+    CounterRegistry &R = CounterRegistry::instance();
+    return HtmRegistryCounters{
+        R.counter("htm.raw.begins"),
+        R.counter("htm.raw.commits"),
+        R.counter("htm.raw.aborts.conflict"),
+        R.counter("htm.raw.aborts.capacity"),
+        R.counter("htm.raw.store_dooms"),
+    };
+  }();
+  return Counters;
+}
 
 std::unique_ptr<HtmRuntime>
 llsc::createBestHtm(const SoftHtmConfig &SoftConfig) {

@@ -50,6 +50,21 @@ struct HtmStats {
   uint64_t StoreDooms = 0; ///< Transactions doomed by plain stores (soft).
 };
 
+/// CounterRegistry pointers for backend-level HTM events, resolved once
+/// (the cache-the-pointer contract of support/Stats.h). These mirror the
+/// backends' own atomics under "htm.raw.*" names — the backend-level
+/// truth, as opposed to the per-vCPU, scheme-attributed "htm.*" counters
+/// in runtime/EventCounters.h (see docs/OBSERVABILITY.md).
+struct HtmRegistryCounters {
+  std::atomic<uint64_t> *Begins;
+  std::atomic<uint64_t> *Commits;
+  std::atomic<uint64_t> *ConflictAborts;
+  std::atomic<uint64_t> *CapacityAborts;
+  std::atomic<uint64_t> *StoreDooms;
+
+  static const HtmRegistryCounters &get();
+};
+
 /// Abstract HTM backend. Thread ids index per-thread transaction slots and
 /// must be < the MaxThreads the backend was created with.
 class HtmRuntime {

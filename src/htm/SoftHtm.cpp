@@ -36,7 +36,9 @@ public:
     assert(!Slot.Active.load(std::memory_order_relaxed) &&
            "nested transactions are not supported");
 
+    const HtmRegistryCounters &Reg = HtmRegistryCounters::get();
     Begins.fetch_add(1, std::memory_order_relaxed);
+    Reg.Begins->fetch_add(1, std::memory_order_relaxed);
 
     // Bounded spin on the global commit lock; giving up is a conflict
     // abort, so the abort rate grows with contention like real HTM.
@@ -48,6 +50,7 @@ public:
       Expected = false;
       if (++Spins >= Config.BeginSpinLimit) {
         ConflictAborts.fetch_add(1, std::memory_order_relaxed);
+        Reg.ConflictAborts->fetch_add(1, std::memory_order_relaxed);
         return TxStatus::AbortConflict;
       }
 #if defined(__x86_64__) || defined(__i386__)
@@ -73,6 +76,8 @@ public:
     if (Doomed)
       return false;
     Commits.fetch_add(1, std::memory_order_relaxed);
+    HtmRegistryCounters::get().Commits->fetch_add(1,
+                                                  std::memory_order_relaxed);
     return true;
   }
 
@@ -95,6 +100,8 @@ public:
     if (Slot.Footprint > Config.CapacityLimit) {
       Slot.Doomed.store(true, std::memory_order_release);
       CapacityAborts.fetch_add(1, std::memory_order_relaxed);
+      HtmRegistryCounters::get().CapacityAborts->fetch_add(
+          1, std::memory_order_relaxed);
     }
   }
 
@@ -109,6 +116,8 @@ public:
       if (Slot.WatchGranuleAddr.load(std::memory_order_relaxed) == Granule) {
         Slot.Doomed.store(true, std::memory_order_release);
         StoreDooms.fetch_add(1, std::memory_order_relaxed);
+        HtmRegistryCounters::get().StoreDooms->fetch_add(
+            1, std::memory_order_relaxed);
       }
     }
   }

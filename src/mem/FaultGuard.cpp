@@ -8,6 +8,7 @@
 
 #include "mem/GuestMemory.h"
 #include "support/Compiler.h"
+#include "support/Stats.h"
 
 #include <atomic>
 #include <csetjmp>
@@ -31,11 +32,19 @@ thread_local ThreadFrame Frame;
 
 std::atomic<uint64_t> RecoveredFaults{0};
 
+/// Registry counter for signal-level recoveries ("fault.signals").
+/// Resolved once in ensureInstalled() — the CounterRegistry mutex must
+/// never be taken from the handler; a fetch_add through the cached
+/// pointer is async-signal-safe (lock-free atomic on a live object).
+std::atomic<uint64_t> *SignalFaultCounter = nullptr;
+
 void segvHandler(int Signo, siginfo_t *Info, void *Context) {
   if (Frame.Armed) {
     Frame.Armed = 0;
     Frame.FaultAddr = reinterpret_cast<uintptr_t>(Info->si_addr);
     RecoveredFaults.fetch_add(1, std::memory_order_relaxed);
+    if (SignalFaultCounter)
+      SignalFaultCounter->fetch_add(1, std::memory_order_relaxed);
     // Jump back into the guarded accessor. Safe: the guarded region
     // performs only a single memory access, so no cleanup is skipped.
     siglongjmp(Frame.JumpBuf, 1);
@@ -52,6 +61,7 @@ std::once_flag InstallOnce;
 
 void FaultGuard::ensureInstalled() {
   std::call_once(InstallOnce, [] {
+    SignalFaultCounter = CounterRegistry::instance().counter("fault.signals");
     struct sigaction Action;
     std::memset(&Action, 0, sizeof(Action));
     Action.sa_sigaction = segvHandler;

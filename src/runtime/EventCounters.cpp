@@ -1,0 +1,121 @@
+//===- runtime/EventCounters.cpp - Per-vCPU event counters ----------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/EventCounters.h"
+
+#include "support/Stats.h"
+
+using namespace llsc;
+
+void EventCounters::merge(const EventCounters &Other) {
+  LlIssued += Other.LlIssued;
+  ScAttempted += Other.ScAttempted;
+  ScSucceeded += Other.ScSucceeded;
+  ScFailed += Other.ScFailed;
+  ScFailMonitorLost += Other.ScFailMonitorLost;
+  ScFailHashConflict += Other.ScFailHashConflict;
+  ExclEntries += Other.ExclEntries;
+  ExclWaitNs += Other.ExclWaitNs;
+  SafepointParks += Other.SafepointParks;
+  MprotectCalls += Other.MprotectCalls;
+  RemapCalls += Other.RemapCalls;
+  HtmBegins += Other.HtmBegins;
+  HtmCommits += Other.HtmCommits;
+  HtmAbortsConflict += Other.HtmAbortsConflict;
+  HtmAbortsCapacity += Other.HtmAbortsCapacity;
+  HtmFallbacks += Other.HtmFallbacks;
+  HelperStoreCalls += Other.HelperStoreCalls;
+  HelperLoadCalls += Other.HelperLoadCalls;
+  SchemeHelperCalls += Other.SchemeHelperCalls;
+  InlineInstrumentOps += Other.InlineInstrumentOps;
+  FaultsRecovered += Other.FaultsRecovered;
+  FalseSharingFaults += Other.FalseSharingFaults;
+}
+
+void EventCounters::reset() { *this = EventCounters(); }
+
+void EventCounters::flushToRegistry() const {
+  // One registry lookup per counter for the whole process lifetime; the
+  // cached pointers honor the cache-the-pointer contract in Stats.h.
+  struct Cached {
+    std::atomic<uint64_t> *LlIssued;
+    std::atomic<uint64_t> *ScAttempted;
+    std::atomic<uint64_t> *ScSucceeded;
+    std::atomic<uint64_t> *ScFailed;
+    std::atomic<uint64_t> *ScFailMonitorLost;
+    std::atomic<uint64_t> *ScFailHashConflict;
+    std::atomic<uint64_t> *ExclEntries;
+    std::atomic<uint64_t> *ExclWaitNs;
+    std::atomic<uint64_t> *SafepointParks;
+    std::atomic<uint64_t> *MprotectCalls;
+    std::atomic<uint64_t> *RemapCalls;
+    std::atomic<uint64_t> *HtmBegins;
+    std::atomic<uint64_t> *HtmCommits;
+    std::atomic<uint64_t> *HtmAbortsConflict;
+    std::atomic<uint64_t> *HtmAbortsCapacity;
+    std::atomic<uint64_t> *HtmFallbacks;
+    std::atomic<uint64_t> *HelperStoreCalls;
+    std::atomic<uint64_t> *HelperLoadCalls;
+    std::atomic<uint64_t> *SchemeHelperCalls;
+    std::atomic<uint64_t> *InlineInstrumentOps;
+    std::atomic<uint64_t> *FaultsRecovered;
+    std::atomic<uint64_t> *FalseSharingFaults;
+  };
+  static const Cached C = [] {
+    CounterRegistry &R = CounterRegistry::instance();
+    return Cached{
+        R.counter("ll.issued"),
+        R.counter("sc.attempted"),
+        R.counter("sc.succeeded"),
+        R.counter("sc.failed"),
+        R.counter("sc.fail.monitor_lost"),
+        R.counter("sc.fail.hash_conflict"),
+        R.counter("excl.entries"),
+        R.counter("excl.wait_ns"),
+        R.counter("excl.safepoint_parks"),
+        R.counter("sys.mprotect_calls"),
+        R.counter("sys.remap_calls"),
+        R.counter("htm.begins"),
+        R.counter("htm.commits"),
+        R.counter("htm.aborts.conflict"),
+        R.counter("htm.aborts.capacity"),
+        R.counter("htm.fallbacks"),
+        R.counter("helper.store_calls"),
+        R.counter("helper.load_calls"),
+        R.counter("helper.scheme_calls"),
+        R.counter("instr.inline_ops"),
+        R.counter("fault.recovered"),
+        R.counter("fault.false_sharing"),
+    };
+  }();
+
+  auto Add = [](std::atomic<uint64_t> *Counter, uint64_t Value) {
+    if (Value)
+      Counter->fetch_add(Value, std::memory_order_relaxed);
+  };
+  Add(C.LlIssued, LlIssued);
+  Add(C.ScAttempted, ScAttempted);
+  Add(C.ScSucceeded, ScSucceeded);
+  Add(C.ScFailed, ScFailed);
+  Add(C.ScFailMonitorLost, ScFailMonitorLost);
+  Add(C.ScFailHashConflict, ScFailHashConflict);
+  Add(C.ExclEntries, ExclEntries);
+  Add(C.ExclWaitNs, ExclWaitNs);
+  Add(C.SafepointParks, SafepointParks);
+  Add(C.MprotectCalls, MprotectCalls);
+  Add(C.RemapCalls, RemapCalls);
+  Add(C.HtmBegins, HtmBegins);
+  Add(C.HtmCommits, HtmCommits);
+  Add(C.HtmAbortsConflict, HtmAbortsConflict);
+  Add(C.HtmAbortsCapacity, HtmAbortsCapacity);
+  Add(C.HtmFallbacks, HtmFallbacks);
+  Add(C.HelperStoreCalls, HelperStoreCalls);
+  Add(C.HelperLoadCalls, HelperLoadCalls);
+  Add(C.SchemeHelperCalls, SchemeHelperCalls);
+  Add(C.InlineInstrumentOps, InlineInstrumentOps);
+  Add(C.FaultsRecovered, FaultsRecovered);
+  Add(C.FalseSharingFaults, FalseSharingFaults);
+}

@@ -1,0 +1,120 @@
+//===- runtime/EventCounters.h - Per-vCPU event counters --------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-vCPU atomic-emulation event counters. Where the Fig. 12 profiler
+/// (runtime/Profiler.h) answers "where does the time go" in four coarse
+/// buckets, these counters answer "how often does each event fire":
+/// Table 1's SC failure rates, Fig. 11's HTM abort mix, and the
+/// helper-vs-inline instrumentation split all come from here.
+///
+/// Each vCPU owns one EventCounters block and bumps plain (non-atomic)
+/// fields — exactly one host thread executes a given vCPU, and the
+/// cooperative runner is single-threaded, so no synchronization is
+/// needed on the increment path. Aggregation happens after the run:
+/// Machine::collectResult merges the blocks and flushToRegistry() adds
+/// the totals lock-free into the process-wide CounterRegistry.
+///
+/// Full per-counter semantics (including the monitor-lost vs.
+/// hash-conflict SC failure split and per-scheme applicability) are
+/// catalogued in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_RUNTIME_EVENTCOUNTERS_H
+#define LLSC_RUNTIME_EVENTCOUNTERS_H
+
+#include <cstdint>
+
+namespace llsc {
+
+/// Event counts for one vCPU (or, after merge(), a whole run).
+struct EventCounters {
+  // --- LL/SC core -----------------------------------------------------------
+  uint64_t LlIssued = 0;     ///< Load-link (LDAXR-class) ops executed.
+  uint64_t ScAttempted = 0;  ///< Store-conditional ops executed.
+  uint64_t ScSucceeded = 0;  ///< SCs that stored and returned 0.
+  uint64_t ScFailed = 0;     ///< SCs that returned 1 (= attempted - succeeded).
+  /// SC failures where the monitored value had genuinely changed (another
+  /// CPU wrote the line, or the monitor was cleared). Always a correct
+  /// failure — the guest retry loop is doing real work.
+  uint64_t ScFailMonitorLost = 0;
+  /// SC failures where the monitored value was unchanged at failure time:
+  /// hash-table conflicts in HST (two addresses sharing a slot) and other
+  /// spurious rejections. ABA cases are indistinguishable from spurious
+  /// ones and land here too — see docs/OBSERVABILITY.md.
+  uint64_t ScFailHashConflict = 0;
+
+  // --- Exclusive sections ---------------------------------------------------
+  uint64_t ExclEntries = 0; ///< startExclusive() calls that won the section.
+  uint64_t ExclWaitNs = 0;  ///< ns spent waiting to enter + draining peers.
+  uint64_t SafepointParks = 0; ///< Times this vCPU parked at a safepoint.
+
+  // --- Memory-protection syscalls (PST family) ------------------------------
+  uint64_t MprotectCalls = 0; ///< mprotect() syscalls issued by the scheme.
+  uint64_t RemapCalls = 0;    ///< mremap/mmap remap syscalls (pst-remap).
+
+  // --- HTM (pico-htm / hst-htm) ---------------------------------------------
+  uint64_t HtmBegins = 0;         ///< Transactions started.
+  uint64_t HtmCommits = 0;        ///< Transactions committed.
+  uint64_t HtmAbortsConflict = 0; ///< Aborts: data conflict with a peer.
+  uint64_t HtmAbortsCapacity = 0; ///< Aborts: footprint/capacity overflow.
+  uint64_t HtmFallbacks = 0;      ///< Livelock fallbacks to exclusive mode.
+
+  // --- Instrumentation shape ------------------------------------------------
+  uint64_t HelperStoreCalls = 0;  ///< HelperStore micro-ops (store hooks).
+  uint64_t HelperLoadCalls = 0;   ///< HelperLoad micro-ops (load hooks).
+  uint64_t SchemeHelperCalls = 0; ///< Generic Helper micro-ops (hst-helper).
+  /// Instrument-flagged non-helper micro-ops: the inline tag checks and
+  /// address computations schemes inject into translated code.
+  uint64_t InlineInstrumentOps = 0;
+
+  // --- Faults ---------------------------------------------------------------
+  uint64_t FaultsRecovered = 0;    ///< SIGSEGV/SIGBUS recovered via FaultGuard.
+  uint64_t FalseSharingFaults = 0; ///< Faults on pages shared, not raced.
+
+  /// Accumulates \p Other into this block (for cross-vCPU aggregation).
+  void merge(const EventCounters &Other);
+
+  /// Zeroes every counter.
+  void reset();
+
+  /// Invokes \p Fn(Name, Value) for every counter, in catalogue order.
+  /// Names match the CounterRegistry keys ("sc.attempted", ...).
+  template <typename FnT> void forEach(FnT &&Fn) const {
+    Fn("ll.issued", LlIssued);
+    Fn("sc.attempted", ScAttempted);
+    Fn("sc.succeeded", ScSucceeded);
+    Fn("sc.failed", ScFailed);
+    Fn("sc.fail.monitor_lost", ScFailMonitorLost);
+    Fn("sc.fail.hash_conflict", ScFailHashConflict);
+    Fn("excl.entries", ExclEntries);
+    Fn("excl.wait_ns", ExclWaitNs);
+    Fn("excl.safepoint_parks", SafepointParks);
+    Fn("sys.mprotect_calls", MprotectCalls);
+    Fn("sys.remap_calls", RemapCalls);
+    Fn("htm.begins", HtmBegins);
+    Fn("htm.commits", HtmCommits);
+    Fn("htm.aborts.conflict", HtmAbortsConflict);
+    Fn("htm.aborts.capacity", HtmAbortsCapacity);
+    Fn("htm.fallbacks", HtmFallbacks);
+    Fn("helper.store_calls", HelperStoreCalls);
+    Fn("helper.load_calls", HelperLoadCalls);
+    Fn("helper.scheme_calls", SchemeHelperCalls);
+    Fn("instr.inline_ops", InlineInstrumentOps);
+    Fn("fault.recovered", FaultsRecovered);
+    Fn("fault.false_sharing", FalseSharingFaults);
+  }
+
+  /// Adds every counter into the process-wide CounterRegistry under the
+  /// forEach() names. Lock-free after the first call (registry pointers
+  /// are resolved once and cached).
+  void flushToRegistry() const;
+};
+
+} // namespace llsc
+
+#endif // LLSC_RUNTIME_EVENTCOUNTERS_H

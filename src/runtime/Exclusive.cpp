@@ -29,19 +29,20 @@ void ExclusiveContext::execEnd() {
   Cond.notify_all();
 }
 
-void ExclusiveContext::safepointSlow() {
+bool ExclusiveContext::safepointSlow() {
   std::unique_lock<std::mutex> Lock(Mutex);
   if (ExclRequests == 0)
-    return;
+    return false;
   // The floor holder must never park itself.
   if (ExclActive && HolderId == std::this_thread::get_id())
-    return;
+    return false;
   assert(Running > 0 && "safepoint outside an exec region");
   --Running;
   Cond.notify_all();
   while (ExclRequests > 0)
     Cond.wait(Lock);
   ++Running;
+  return true;
 }
 
 void ExclusiveContext::startExclusive(bool SelfRunning) {

@@ -47,9 +47,12 @@ public:
 
   /// Safepoint poll; call at every block boundary. Parks the calling
   /// thread for the duration of any pending exclusive section.
-  void safepoint() {
+  /// \returns true when the thread actually parked (so callers can count
+  /// safepoint parks per vCPU); false on the fast path.
+  bool safepoint() {
     if (__builtin_expect(ExclPending.load(std::memory_order_acquire), 0))
-      safepointSlow();
+      return safepointSlow();
+    return false;
   }
 
   /// Enters an exclusive section: returns once every other running thread
@@ -78,7 +81,7 @@ public:
   DebugState debugState();
 
 private:
-  void safepointSlow();
+  bool safepointSlow();
 
   std::mutex Mutex;
   std::condition_variable Cond;

@@ -1,0 +1,113 @@
+//===- runtime/Observe.h - Scheme observation helpers -----------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared instrumentation helpers the atomic schemes use to feed the
+/// EventCounters block and the trace-event recorder without duplicating
+/// the measurement logic eight times:
+///
+///  - observeStartExclusive()/observeEndExclusive() wrap the
+///    ExclusiveContext calls, timing the entry wait (excl.wait_ns),
+///    counting entries, and opening/closing a per-thread "exclusive"
+///    trace slice. PICO-HTM's serialized fallback spans the LL→SC window
+///    across two scheme calls, so these are free functions, not only RAII.
+///  - ExclusiveSection is the RAII form for schemes whose critical region
+///    is a single scope (HST, PST, and the HTM fallbacks).
+///  - SyscallTimer times an mprotect/mremap region: syscall-scale cost
+///    makes the always-on timestamp read noise, unlike per-micro-op paths.
+///
+/// All helpers take the vCPU whose counters should be charged; trace
+/// emission is guarded by TraceRecorder::active() (one relaxed load).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_RUNTIME_OBSERVE_H
+#define LLSC_RUNTIME_OBSERVE_H
+
+#include "runtime/Exclusive.h"
+#include "runtime/VCpu.h"
+#include "support/Timing.h"
+#include "support/Trace.h"
+
+namespace llsc {
+
+/// Enters the stop-the-world exclusive section on behalf of \p Cpu,
+/// charging the entry wait to excl.wait_ns and opening a trace slice.
+inline void observeStartExclusive(VCpu &Cpu, bool SelfRunning) {
+  uint64_t Start = monotonicNanos();
+  Cpu.Ctx->Excl->startExclusive(SelfRunning);
+  Cpu.Events.ExclEntries++;
+  Cpu.Events.ExclWaitNs += monotonicNanos() - Start;
+  if (TraceRecorder *Trace = TraceRecorder::active())
+    Trace->begin(Cpu.Tid, "exclusive", "excl");
+}
+
+/// Leaves the exclusive section and closes the trace slice opened by
+/// observeStartExclusive().
+inline void observeEndExclusive(VCpu &Cpu, bool SelfRunning) {
+  if (TraceRecorder *Trace = TraceRecorder::active())
+    Trace->end(Cpu.Tid, "exclusive", "excl");
+  Cpu.Ctx->Excl->endExclusive(SelfRunning);
+}
+
+/// RAII exclusive section charged to one vCPU (scoped schemes: HST/PST).
+class ExclusiveSection {
+public:
+  ExclusiveSection(VCpu &Cpu, bool SelfRunning)
+      : Cpu(Cpu), SelfRunning(SelfRunning) {
+    observeStartExclusive(Cpu, SelfRunning);
+  }
+  ~ExclusiveSection() { observeEndExclusive(Cpu, SelfRunning); }
+
+  ExclusiveSection(const ExclusiveSection &) = delete;
+  ExclusiveSection &operator=(const ExclusiveSection &) = delete;
+
+private:
+  VCpu &Cpu;
+  bool SelfRunning;
+};
+
+/// Which memory-protection syscall a SyscallTimer scope issues.
+enum class ProtSyscall { Mprotect, Remap };
+
+/// RAII timer for a protection-syscall region: counts the call, attributes
+/// the time to the Fig. 12 Mprotect bucket when profiling, and records a
+/// trace slice. \p Cpu may be null (scheme attach/reset paths that run
+/// before vCPUs exist) — then only the trace event is emitted.
+class SyscallTimer {
+public:
+  SyscallTimer(VCpu *Cpu, ProtSyscall Kind)
+      : Cpu(Cpu), Kind(Kind), StartNs(monotonicNanos()) {}
+
+  ~SyscallTimer() {
+    uint64_t DurNs = monotonicNanos() - StartNs;
+    if (Cpu) {
+      if (Kind == ProtSyscall::Mprotect)
+        Cpu->Events.MprotectCalls++;
+      else
+        Cpu->Events.RemapCalls++;
+      if (CpuProfile *Profile = Cpu->profileOrNull())
+        Profile->BucketNs[static_cast<unsigned>(ProfileBucket::Mprotect)] +=
+            DurNs;
+    }
+    if (TraceRecorder *Trace = TraceRecorder::active())
+      Trace->complete(Cpu ? Cpu->Tid : 0,
+                      Kind == ProtSyscall::Mprotect ? "mprotect" : "remap",
+                      "sys", Trace->toTraceNs(StartNs), DurNs);
+  }
+
+  SyscallTimer(const SyscallTimer &) = delete;
+  SyscallTimer &operator=(const SyscallTimer &) = delete;
+
+private:
+  VCpu *Cpu;
+  ProtSyscall Kind;
+  uint64_t StartNs;
+};
+
+} // namespace llsc
+
+#endif // LLSC_RUNTIME_OBSERVE_H

@@ -16,8 +16,13 @@
 /// Helper-based costs are measured with monotonic timers around the slow
 /// paths; inline IR instrumentation is far too fine-grained to time per op,
 /// so the engine counts executed instrumentation ops and the profiler
-/// multiplies by a startup-calibrated per-op cost (documented in
-/// EXPERIMENTS.md).
+/// multiplies by a startup-calibrated per-op cost
+/// (calibratedInstrumentOpNanos below; EXPERIMENTS.md E5 explains the
+/// calibration).
+///
+/// Buckets attribute *time* and only run under --profile; the always-on
+/// *occurrence* counts live in runtime/EventCounters.h. The distinction
+/// and the full counter catalogue are in docs/OBSERVABILITY.md.
 ///
 //===----------------------------------------------------------------------===//
 

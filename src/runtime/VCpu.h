@@ -15,6 +15,7 @@
 #define LLSC_RUNTIME_VCPU_H
 
 #include "guest/Isa.h"
+#include "runtime/EventCounters.h"
 #include "runtime/Profiler.h"
 
 #include <atomic>
@@ -105,6 +106,10 @@ struct VCpu {
 
   ExclusiveMonitor Monitor;
   CpuCounters Counters;
+  /// Atomic-emulation event counts (plain fields: one host thread per
+  /// vCPU). Merged into RunResult::Events and the CounterRegistry after
+  /// the run; see runtime/EventCounters.h.
+  EventCounters Events;
 
   CpuProfile Profile;
   bool ProfilingEnabled = false;
@@ -132,6 +137,7 @@ struct VCpu {
     Halted = false;
     Monitor.clear();
     Counters = CpuCounters();
+    Events.reset();
     Profile.reset();
     InLongTx = false;
   }

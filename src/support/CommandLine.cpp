@@ -19,7 +19,7 @@ ArgParser::ArgParser(std::string ProgramDescription)
 int64_t *ArgParser::addInt(const std::string &Name, int64_t Default,
                            const std::string &Help) {
   IntValues.push_back(std::make_unique<int64_t>(Default));
-  Flags.push_back({Name, Help, FlagKind::Int, IntValues.size() - 1});
+  Flags.push_back({Name, Help, FlagKind::Int, IntValues.size() - 1, ""});
   return IntValues.back().get();
 }
 
@@ -27,15 +27,26 @@ std::string *ArgParser::addString(const std::string &Name,
                                   const std::string &Default,
                                   const std::string &Help) {
   StringValues.push_back(std::make_unique<std::string>(Default));
-  Flags.push_back({Name, Help, FlagKind::String, StringValues.size() - 1});
+  Flags.push_back(
+      {Name, Help, FlagKind::String, StringValues.size() - 1, ""});
   return StringValues.back().get();
 }
 
 bool *ArgParser::addBool(const std::string &Name, bool Default,
                          const std::string &Help) {
   BoolValues.push_back(std::make_unique<bool>(Default));
-  Flags.push_back({Name, Help, FlagKind::Bool, BoolValues.size() - 1});
+  Flags.push_back({Name, Help, FlagKind::Bool, BoolValues.size() - 1, ""});
   return BoolValues.back().get();
+}
+
+std::string *ArgParser::addOptString(const std::string &Name,
+                                     const std::string &Default,
+                                     const std::string &Implicit,
+                                     const std::string &Help) {
+  StringValues.push_back(std::make_unique<std::string>(Default));
+  Flags.push_back(
+      {Name, Help, FlagKind::OptString, StringValues.size() - 1, Implicit});
+  return StringValues.back().get();
 }
 
 ArgParser::Flag *ArgParser::findFlag(const std::string &Name) {
@@ -54,6 +65,7 @@ std::string ArgParser::usage() const {
       Default = std::to_string(*IntValues[F.Index]);
       break;
     case FlagKind::String:
+    case FlagKind::OptString:
       Default = *StringValues[F.Index];
       break;
     case FlagKind::Bool:
@@ -98,7 +110,7 @@ void ArgParser::parse(int Argc, char **Argv) {
     }
 
     Flag *F = findFlag(Name);
-    // Support --no-<bool flag>.
+    // Support --no-<bool flag> and --no-<opt-string flag>.
     if (!F && startsWith(Name, "no-")) {
       Flag *Inverted = findFlag(Name.substr(3));
       if (Inverted && Inverted->Kind == FlagKind::Bool) {
@@ -107,9 +119,20 @@ void ArgParser::parse(int Argc, char **Argv) {
         *BoolValues[Inverted->Index] = false;
         continue;
       }
+      if (Inverted && Inverted->Kind == FlagKind::OptString) {
+        if (HasValue)
+          Fail("--no-" + Inverted->Name + " does not take a value");
+        StringValues[Inverted->Index]->clear();
+        continue;
+      }
     }
     if (!F)
       Fail("unknown flag --" + Name);
+
+    if (F->Kind == FlagKind::OptString) {
+      *StringValues[F->Index] = HasValue ? Value : F->Implicit;
+      continue;
+    }
 
     if (F->Kind == FlagKind::Bool) {
       if (!HasValue) {

@@ -38,6 +38,14 @@ public:
   bool *addBool(const std::string &Name, bool Default,
                 const std::string &Help);
 
+  /// Registers a string flag with an optional value: bare `--name` stores
+  /// \p Implicit, `--name=value` stores the value, and `--no-name` stores
+  /// the empty string. Unlike String flags it never consumes the next
+  /// argv element, so `--stats prog.s` keeps `prog.s` positional.
+  std::string *addOptString(const std::string &Name, const std::string &Default,
+                            const std::string &Implicit,
+                            const std::string &Help);
+
   /// Parses argv. On --help prints usage and exits(0). On malformed input
   /// prints a diagnostic and usage and exits(2). Non-flag positional
   /// arguments are collected into positionals().
@@ -49,12 +57,13 @@ public:
   std::string usage() const;
 
 private:
-  enum class FlagKind { Int, String, Bool };
+  enum class FlagKind { Int, String, Bool, OptString };
   struct Flag {
     std::string Name;
     std::string Help;
     FlagKind Kind;
-    size_t Index; // Index into the matching value store.
+    size_t Index;         // Index into the matching value store.
+    std::string Implicit; // Value stored by a bare --name (OptString only).
   };
 
   Flag *findFlag(const std::string &Name);

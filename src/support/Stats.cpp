@@ -60,9 +60,11 @@ CounterRegistry &CounterRegistry::instance() {
   return Registry;
 }
 
-std::atomic<uint64_t> *CounterRegistry::counter(const std::string &Name) {
+std::atomic<uint64_t> *CounterRegistry::counter(std::string_view Name) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return &Counters[Name];
+  if (auto It = Counters.find(Name); It != Counters.end())
+    return &It->second;
+  return &Counters.try_emplace(std::string(Name)).first->second;
 }
 
 std::map<std::string, uint64_t> CounterRegistry::snapshot() const {

@@ -20,6 +20,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace llsc {
@@ -48,8 +49,10 @@ public:
   static CounterRegistry &instance();
 
   /// \returns a stable pointer to the counter named \p Name, creating it on
-  /// first use.
-  std::atomic<uint64_t> *counter(const std::string &Name);
+  /// first use. Lookup allocates only on first use of a name; hot paths
+  /// must still call this once and cache the returned pointer — every new
+  /// call site doing per-event lookups reintroduces the mutex.
+  std::atomic<uint64_t> *counter(std::string_view Name);
 
   /// Snapshots all counters (name -> value).
   std::map<std::string, uint64_t> snapshot() const;
@@ -61,8 +64,9 @@ private:
   CounterRegistry() = default;
 
   mutable std::mutex Mutex;
-  // std::map gives stable element addresses across inserts.
-  std::map<std::string, std::atomic<uint64_t>> Counters;
+  // std::map gives stable element addresses across inserts; transparent
+  // comparator so string_view lookups do not materialize a std::string.
+  std::map<std::string, std::atomic<uint64_t>, std::less<>> Counters;
 };
 
 } // namespace llsc

@@ -1,0 +1,122 @@
+//===- support/Trace.cpp - Chrome trace_event recorder --------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+using namespace llsc;
+
+std::atomic<TraceRecorder *> TraceRecorder::ActiveRecorder{nullptr};
+std::unique_ptr<TraceRecorder> TraceRecorder::Installed;
+
+TraceRecorder::TraceRecorder(unsigned MaxTids, size_t MaxEventsPerTid)
+    : EpochNs(monotonicNanos()), MaxEventsPerTid(MaxEventsPerTid),
+      Buffers(MaxTids) {
+  // Reserving up front keeps the record path free of reallocation (and of
+  // the latency spikes a growing vector would add to traced sections).
+  for (TidBuffer &Buffer : Buffers)
+    Buffer.Events.reserve(MaxEventsPerTid);
+}
+
+void TraceRecorder::install(std::unique_ptr<TraceRecorder> Recorder) {
+  Installed = std::move(Recorder);
+  ActiveRecorder.store(Installed.get(), std::memory_order_release);
+}
+
+std::unique_ptr<TraceRecorder> TraceRecorder::uninstall() {
+  ActiveRecorder.store(nullptr, std::memory_order_release);
+  return std::move(Installed);
+}
+
+size_t TraceRecorder::eventCount() const {
+  size_t Count = 0;
+  for (const TidBuffer &Buffer : Buffers)
+    Count += Buffer.Events.size();
+  return Count;
+}
+
+namespace {
+
+/// Appends one trace_event object line. Chrome's ts/dur are microseconds;
+/// fractional µs keep full ns resolution.
+void appendEvent(std::string &Out, const TraceEvent &Event) {
+  char Buf[256];
+  double TsUs = static_cast<double>(Event.TsNs) / 1000.0;
+  int Len = std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"pid\":1,\"tid\":%u,"
+      "\"ts\":%.3f",
+      Event.Name, Event.Cat, Event.Phase, Event.Tid, TsUs);
+  Out.append(Buf, static_cast<size_t>(Len));
+  if (Event.Phase == 'X') {
+    Len = std::snprintf(Buf, sizeof(Buf), ",\"dur\":%.3f",
+                        static_cast<double>(Event.DurNs) / 1000.0);
+    Out.append(Buf, static_cast<size_t>(Len));
+  }
+  if (Event.Phase == 'i')
+    Out += ",\"s\":\"t\"";
+  if (Event.ArgKey) {
+    Len = std::snprintf(Buf, sizeof(Buf), ",\"args\":{\"%s\":%" PRIu64 "}",
+                        Event.ArgKey, Event.ArgVal);
+    Out.append(Buf, static_cast<size_t>(Len));
+  }
+  Out += "}";
+}
+
+void appendThreadNameMetadata(std::string &Out, unsigned Tid) {
+  char Buf[128];
+  int Len = std::snprintf(Buf, sizeof(Buf),
+                          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                          "\"tid\":%u,\"args\":{\"name\":\"vcpu-%u\"}}",
+                          Tid, Tid);
+  Out.append(Buf, static_cast<size_t>(Len));
+}
+
+} // namespace
+
+std::string TraceRecorder::renderJson() const {
+  std::string Out;
+  Out.reserve(eventCount() * 96 + 256);
+  Out += "{\"displayTimeUnit\":\"ms\",\n";
+  char Buf[96];
+  int Len = std::snprintf(Buf, sizeof(Buf), "\"droppedEvents\":%" PRIu64 ",\n",
+                          droppedEvents());
+  Out.append(Buf, static_cast<size_t>(Len));
+  Out += "\"traceEvents\":[\n";
+  bool First = true;
+  auto Comma = [&] {
+    if (!First)
+      Out += ",\n";
+    First = false;
+  };
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"llsc-run\"}}";
+  First = false;
+  for (unsigned Tid = 0; Tid < Buffers.size(); ++Tid) {
+    if (Buffers[Tid].Events.empty())
+      continue;
+    Comma();
+    appendThreadNameMetadata(Out, Tid);
+    for (const TraceEvent &Event : Buffers[Tid].Events) {
+      Comma();
+      appendEvent(Out, Event);
+    }
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool TraceRecorder::writeJson(const std::string &Path) const {
+  std::ofstream Stream(Path, std::ios::binary);
+  if (!Stream)
+    return false;
+  std::string Json = renderJson();
+  Stream.write(Json.data(), static_cast<std::streamsize>(Json.size()));
+  return static_cast<bool>(Stream);
+}

@@ -1,0 +1,164 @@
+//===- support/Trace.h - Chrome trace_event recorder ------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-global recorder for Chrome `trace_event` JSON timelines
+/// (loadable in chrome://tracing and Perfetto; format documented in
+/// docs/OBSERVABILITY.md). Event producers are the engine and the atomic
+/// schemes: per-thread slices for exclusive sections and LL/SC emulation,
+/// instants for faults and HTM aborts.
+///
+/// Design constraints, in order:
+///  - zero cost when disabled: every producer guards with
+///    `TraceRecorder::active()`, a single relaxed atomic load that returns
+///    null unless a recorder was installed;
+///  - no locks on the record path: storage is one pre-sized buffer per
+///    guest tid, and exactly one host thread executes a given vCPU at a
+///    time (Machine::run assigns one host thread per tid; the cooperative
+///    runner is single-threaded), so buffer writes are unsynchronized by
+///    construction;
+///  - bounded memory: a full buffer drops events and counts the drops —
+///    droppedEvents() is reported in the JSON metadata so a truncated
+///    timeline is never mistaken for a complete one.
+///
+/// Event names/categories must be string literals (the recorder stores
+/// the pointers, not copies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_TRACE_H
+#define LLSC_SUPPORT_TRACE_H
+
+#include "support/Timing.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llsc {
+
+/// One recorded trace event (Chrome trace_event "phases": X = complete
+/// slice with duration, B/E = begin/end slice pair, i = instant).
+struct TraceEvent {
+  const char *Name;   ///< Static string; becomes the slice label.
+  const char *Cat;    ///< Static string; Perfetto category.
+  char Phase;         ///< 'X', 'B', 'E', or 'i'.
+  uint32_t Tid;       ///< Guest thread id (trace "tid" field).
+  uint64_t TsNs;      ///< Start timestamp, ns since recorder creation.
+  uint64_t DurNs;     ///< Duration for 'X' events; 0 otherwise.
+  const char *ArgKey; ///< Optional single numeric argument (null = none).
+  uint64_t ArgVal;
+};
+
+/// Records trace events into per-tid buffers and renders trace_event JSON.
+class TraceRecorder {
+public:
+  /// \p MaxTids buffers are allocated up front; events for tids >= MaxTids
+  /// are dropped (and counted). \p MaxEventsPerTid bounds memory.
+  explicit TraceRecorder(unsigned MaxTids, size_t MaxEventsPerTid = 1 << 18);
+
+  // --- Global installation --------------------------------------------------
+
+  /// \returns the installed recorder, or null when tracing is off. One
+  /// relaxed load; this is the fast-path guard for every producer.
+  static TraceRecorder *active() {
+    return ActiveRecorder.load(std::memory_order_relaxed);
+  }
+
+  /// Installs \p Recorder as the process-global recorder. Call before
+  /// starting engine threads; producers pick it up via active().
+  static void install(std::unique_ptr<TraceRecorder> Recorder);
+
+  /// Uninstalls and returns the global recorder (null if none). Call after
+  /// engine threads have joined.
+  static std::unique_ptr<TraceRecorder> uninstall();
+
+  // --- Recording ------------------------------------------------------------
+
+  /// \returns the current timestamp in ns relative to the recorder epoch.
+  uint64_t nowNs() const { return monotonicNanos() - EpochNs; }
+
+  /// Converts an absolute monotonicNanos() reading to an epoch-relative
+  /// timestamp (for complete() callers that timestamped before checking
+  /// whether tracing is active).
+  uint64_t toTraceNs(uint64_t AbsoluteNs) const {
+    return AbsoluteNs >= EpochNs ? AbsoluteNs - EpochNs : 0;
+  }
+
+  /// Records a complete slice that started at \p StartNs (from nowNs()).
+  void complete(unsigned Tid, const char *Name, const char *Cat,
+                uint64_t StartNs, uint64_t DurNs,
+                const char *ArgKey = nullptr, uint64_t ArgVal = 0) {
+    push(Tid, {Name, Cat, 'X', Tid, StartNs, DurNs, ArgKey, ArgVal});
+  }
+
+  /// Opens a slice; must be matched by end() with the same tid. Slices on
+  /// one tid must nest (close in reverse order of opening).
+  void begin(unsigned Tid, const char *Name, const char *Cat,
+             const char *ArgKey = nullptr, uint64_t ArgVal = 0) {
+    push(Tid, {Name, Cat, 'B', Tid, nowNs(), 0, ArgKey, ArgVal});
+  }
+
+  /// Closes the most recently opened slice on \p Tid.
+  void end(unsigned Tid, const char *Name, const char *Cat) {
+    push(Tid, {Name, Cat, 'E', Tid, nowNs(), 0, nullptr, 0});
+  }
+
+  /// Records a zero-duration instant marker.
+  void instant(unsigned Tid, const char *Name, const char *Cat,
+               const char *ArgKey = nullptr, uint64_t ArgVal = 0) {
+    push(Tid, {Name, Cat, 'i', Tid, nowNs(), 0, ArgKey, ArgVal});
+  }
+
+  // --- Output ---------------------------------------------------------------
+
+  /// Renders the Chrome trace_event JSON document (one event per line,
+  /// stable key order — the golden test in tests/StatsTest.cpp relies on
+  /// this shape).
+  std::string renderJson() const;
+
+  /// Writes renderJson() to \p Path. \returns false on I/O failure.
+  bool writeJson(const std::string &Path) const;
+
+  size_t eventCount() const;
+  uint64_t droppedEvents() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// Per-tid buffer, cache-line padded: adjacent vCPUs append concurrently.
+  struct alignas(64) TidBuffer {
+    std::vector<TraceEvent> Events;
+  };
+
+  void push(unsigned Tid, const TraceEvent &Event) {
+    if (Tid >= Buffers.size()) {
+      Dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<TraceEvent> &Events = Buffers[Tid].Events;
+    if (Events.size() >= MaxEventsPerTid) {
+      Dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Events.push_back(Event);
+  }
+
+  static std::atomic<TraceRecorder *> ActiveRecorder;
+
+  uint64_t EpochNs;
+  size_t MaxEventsPerTid;
+  std::vector<TidBuffer> Buffers;
+  std::atomic<uint64_t> Dropped{0};
+  /// Keeps the installed recorder alive while producers hold raw pointers.
+  static std::unique_ptr<TraceRecorder> Installed;
+};
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_TRACE_H

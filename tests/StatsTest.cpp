@@ -1,0 +1,270 @@
+//===- tests/StatsTest.cpp - Observability layer tests ------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Covers the observability layer end to end: cross-thread event-counter
+/// aggregation into RunResult/CounterRegistry, resetAll() isolation
+/// between runs, the StatsReport JSON surface, and the Chrome trace_event
+/// exporter (document shape, timestamp monotonicity, B/E nesting).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "core/StatsReport.h"
+#include "runtime/EventCounters.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace llsc;
+
+namespace {
+
+/// A contended spinlock-increment kernel: every thread takes an LL/SC
+/// lock, bumps a shared counter, releases. Guarantees SC attempts on
+/// every thread and exclusive-section traffic under HST.
+constexpr const char *SpinlockSource = R"(
+_start: la      r10, lock
+        la      r11, counter
+        li      r9, #200
+loop:   cbz     r9, done
+acq:    ldxr.w  r1, [r10]
+        cbnz    r1, wait
+        movz    r1, #1
+        stxr.w  r2, r1, [r10]
+        cbnz    r2, acq
+        dmb
+        ldd     r3, [r11]
+        addi    r3, r3, #1
+        std     r3, [r11]
+        dmb
+        movz    r1, #0
+        stw     r1, [r10]
+        addi    r9, r9, #-1
+        b       loop
+wait:   yield
+        b       acq
+done:   halt
+        .align  4096
+lock:   .word   0
+        .align  64
+counter: .quad  0
+)";
+
+ErrorOr<RunResult> runSpinlock(SchemeKind Kind, unsigned Threads) {
+  MachineConfig Config;
+  Config.Scheme = Kind;
+  Config.NumThreads = Threads;
+  Config.ForceSoftHtm = true;
+  auto MachineOrErr = Machine::create(Config);
+  if (!MachineOrErr)
+    return MachineOrErr.error();
+  Machine &M = **MachineOrErr;
+  if (auto Loaded = M.loadAssembly(SpinlockSource); !Loaded)
+    return Loaded.error();
+  return M.run();
+}
+
+// --- EventCounters unit behavior -------------------------------------------
+
+TEST(EventCountersTest, MergeAddsEveryField) {
+  EventCounters A, B;
+  A.LlIssued = 3;
+  A.ScAttempted = 5;
+  A.ScFailMonitorLost = 7;
+  A.ExclWaitNs = 11;
+  A.HtmBegins = 13;
+  B.LlIssued = 100;
+  B.ScAttempted = 200;
+  B.ScFailMonitorLost = 300;
+  B.ExclWaitNs = 400;
+  B.HtmBegins = 500;
+  A.merge(B);
+  EXPECT_EQ(A.LlIssued, 103u);
+  EXPECT_EQ(A.ScAttempted, 205u);
+  EXPECT_EQ(A.ScFailMonitorLost, 307u);
+  EXPECT_EQ(A.ExclWaitNs, 411u);
+  EXPECT_EQ(A.HtmBegins, 513u);
+  A.reset();
+  A.forEach([](const char *Name, uint64_t Value) {
+    EXPECT_EQ(Value, 0u) << Name;
+  });
+}
+
+TEST(EventCountersTest, FlushToRegistryIsCumulative) {
+  CounterRegistry &Registry = CounterRegistry::instance();
+  Registry.resetAll();
+  EventCounters Events;
+  Events.ScAttempted = 17;
+  Events.MprotectCalls = 4;
+  Events.flushToRegistry();
+  Events.flushToRegistry();
+  auto Snapshot = Registry.snapshot();
+  EXPECT_EQ(Snapshot["sc.attempted"], 34u);
+  EXPECT_EQ(Snapshot["sys.mprotect_calls"], 8u);
+  Registry.resetAll();
+}
+
+// --- Cross-thread aggregation through a real run ---------------------------
+
+TEST(StatsAggregationTest, CountersSumAcrossThreads) {
+  constexpr unsigned Threads = 4;
+  CounterRegistry::instance().resetAll();
+  auto Result = runSpinlock(SchemeKind::Hst, Threads);
+  ASSERT_TRUE(static_cast<bool>(Result)) << Result.error().render();
+  ASSERT_TRUE(Result->AllHalted);
+
+  // Every thread runs 200 acquire/release pairs; each acquire issues at
+  // least one LL and one successful SC.
+  EXPECT_GE(Result->Events.LlIssued, 200u * Threads);
+  EXPECT_GE(Result->Events.ScSucceeded, 200u * Threads);
+  EXPECT_EQ(Result->Events.ScAttempted,
+            Result->Events.ScSucceeded + Result->Events.ScFailed);
+  EXPECT_EQ(Result->Events.ScFailed, Result->Events.ScFailMonitorLost +
+                                         Result->Events.ScFailHashConflict);
+  // HST enters an exclusive section per SC attempt.
+  EXPECT_GE(Result->Events.ExclEntries, Result->Events.ScAttempted);
+
+  // The run aggregate equals the per-vCPU sum.
+  ASSERT_EQ(Result->PerCpuEvents.size(), Threads);
+  EventCounters Summed;
+  for (const EventCounters &PerCpu : Result->PerCpuEvents)
+    Summed.merge(PerCpu);
+  EXPECT_EQ(Summed.ScAttempted, Result->Events.ScAttempted);
+  EXPECT_EQ(Summed.LlIssued, Result->Events.LlIssued);
+  // Each vCPU did its own 200 iterations.
+  for (const EventCounters &PerCpu : Result->PerCpuEvents)
+    EXPECT_GE(PerCpu.ScSucceeded, 200u);
+
+  // collectResult flushed the same totals into the process registry.
+  auto Snapshot = CounterRegistry::instance().snapshot();
+  EXPECT_EQ(Snapshot["sc.attempted"], Result->Events.ScAttempted);
+  EXPECT_EQ(Snapshot["ll.issued"], Result->Events.LlIssued);
+}
+
+TEST(StatsAggregationTest, ResetAllIsolatesRuns) {
+  CounterRegistry &Registry = CounterRegistry::instance();
+  auto First = runSpinlock(SchemeKind::PicoCas, 2);
+  ASSERT_TRUE(static_cast<bool>(First)) << First.error().render();
+  Registry.resetAll();
+  auto Second = runSpinlock(SchemeKind::PicoCas, 2);
+  ASSERT_TRUE(static_cast<bool>(Second)) << Second.error().render();
+  // After a reset, the registry holds only the second run's events, not
+  // the cross-run accumulation.
+  auto Snapshot = Registry.snapshot();
+  EXPECT_EQ(Snapshot["sc.attempted"], Second->Events.ScAttempted);
+  Registry.resetAll();
+}
+
+// --- StatsReport surface ----------------------------------------------------
+
+TEST(StatsReportTest, MetricsMatchResultAndJsonParses) {
+  auto Result = runSpinlock(SchemeKind::Hst, 2);
+  ASSERT_TRUE(static_cast<bool>(Result)) << Result.error().render();
+  StatsReport Report(*Result);
+
+  EXPECT_EQ(Report.metric("sc.attempted"), Result->Events.ScAttempted);
+  EXPECT_EQ(Report.metric("exec.insts"), Result->Total.ExecutedInsts);
+  EXPECT_EQ(Report.metric("excl.sections"), Result->ExclusiveSections);
+  EXPECT_EQ(Report.metric("no.such.metric"), 0u);
+
+  std::string Json = Report.renderJson();
+  // Shape, not a full parser: every catalogue name must appear as a key.
+  Result->Events.forEach([&Json](const char *Name, uint64_t) {
+    EXPECT_NE(Json.find("\"" + std::string(Name) + "\":"),
+              std::string::npos)
+        << Name;
+  });
+  EXPECT_NE(Json.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(Json.find("\"per_cpu\""), std::string::npos);
+  EXPECT_NE(Json.find("{\"tid\": 1"), std::string::npos);
+}
+
+// --- Trace recorder ---------------------------------------------------------
+
+TEST(TraceTest, GoldenDocumentShape) {
+  TraceRecorder Recorder(/*MaxTids=*/2, /*MaxEventsPerTid=*/16);
+  Recorder.begin(0, "exclusive", "excl");
+  Recorder.instant(0, "sc-fail", "sc", "addr", 4096);
+  Recorder.end(0, "exclusive", "excl");
+  Recorder.complete(1, "mprotect", "sys", /*StartNs=*/1000, /*DurNs=*/500);
+  std::string Json = Recorder.renderJson();
+
+  // Golden fragments the exporter contract guarantees (stable key order;
+  // docs/OBSERVABILITY.md documents this shape).
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"droppedEvents\":0"), std::string::npos);
+  EXPECT_NE(Json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"exclusive\",\"cat\":\"excl\",\"ph\":\"B\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(Json.find("\"args\":{\"addr\":4096}"), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\":0.500"), std::string::npos);
+  // ts/dur are microseconds: StartNs=1000 renders as 1.000.
+  EXPECT_NE(Json.find("\"ts\":1.000"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(Json.find("thread_name"), std::string::npos);
+  EXPECT_EQ(Recorder.eventCount(), 4u);
+}
+
+TEST(TraceTest, DropsWhenFullOrOutOfRange) {
+  TraceRecorder Recorder(/*MaxTids=*/1, /*MaxEventsPerTid=*/2);
+  Recorder.instant(0, "a", "c");
+  Recorder.instant(0, "b", "c");
+  Recorder.instant(0, "c", "c"); // Buffer full.
+  Recorder.instant(7, "d", "c"); // Tid out of range.
+  EXPECT_EQ(Recorder.eventCount(), 2u);
+  EXPECT_EQ(Recorder.droppedEvents(), 2u);
+  EXPECT_NE(Recorder.renderJson().find("\"droppedEvents\":2"),
+            std::string::npos);
+}
+
+TEST(TraceTest, LiveRunProducesNestedBalancedSlices) {
+  constexpr unsigned Threads = 4;
+  TraceRecorder::install(std::make_unique<TraceRecorder>(Threads));
+  auto Result = runSpinlock(SchemeKind::Hst, Threads);
+  std::unique_ptr<TraceRecorder> Recorder = TraceRecorder::uninstall();
+  ASSERT_TRUE(static_cast<bool>(Result)) << Result.error().render();
+  ASSERT_NE(Recorder, nullptr);
+  EXPECT_GT(Recorder->eventCount(), 0u);
+  EXPECT_EQ(Recorder->droppedEvents(), 0u);
+
+  // Validate per-tid B/E nesting and timestamp monotonicity by walking
+  // the JSON line by line (one event per line by contract).
+  std::string Json = Recorder->renderJson();
+  std::vector<int> Depth(Threads, 0);
+  size_t Slices = 0;
+  size_t Pos = 0;
+  while ((Pos = Json.find("\"ph\":\"", Pos)) != std::string::npos) {
+    char Phase = Json[Pos + 6];
+    size_t TidPos = Json.find("\"tid\":", Pos);
+    ASSERT_NE(TidPos, std::string::npos);
+    unsigned Tid = std::stoul(Json.substr(TidPos + 6));
+    Pos += 6;
+    if (Phase == 'M')
+      continue;
+    ASSERT_LT(Tid, Threads);
+    if (Phase == 'B') {
+      Depth[Tid]++;
+      Slices++;
+    } else if (Phase == 'E') {
+      ASSERT_GT(Depth[Tid], 0) << "E without matching B on tid " << Tid;
+      Depth[Tid]--;
+    }
+  }
+  for (unsigned Tid = 0; Tid < Threads; ++Tid)
+    EXPECT_EQ(Depth[Tid], 0) << "unbalanced slices on tid " << Tid;
+  // HST's SC runs inside an exclusive section: slices must exist.
+  EXPECT_GT(Slices, 0u);
+}
+
+} // namespace

@@ -11,17 +11,26 @@
 ///   llsc-run --scheme pico-cas --threads 16 prog.s
 ///   llsc-run --dump-symbols --dump sym=shared,len=64 prog.s
 ///   llsc-run --disassemble prog.s                  # print and exit
-///   llsc-run --trace prog.s                        # log executed blocks
+///   llsc-run --stats=json prog.s                   # machine-readable stats
+///   llsc-run --trace-out=out.json prog.s           # Chrome trace_event JSON
+///   llsc-run --trace prog.s                        # text log of executed
+///                                                  # blocks (not the event
+///                                                  # timeline; see
+///                                                  # docs/OBSERVABILITY.md)
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Machine.h"
+#include "core/StatsReport.h"
 #include "guest/Assembler.h"
 #include "guest/Disassembler.h"
 #include "guest/Encoding.h"
 #include "support/CommandLine.h"
 #include "support/Logging.h"
 #include "support/StringUtils.h"
+#include "support/Trace.h"
+
+#include <memory>
 
 #include <cstdio>
 #include <fstream>
@@ -67,7 +76,13 @@ int main(int Argc, char **Argv) {
   bool *Disassemble =
       Args.addBool("disassemble", false, "print the assembled program");
   bool *DumpSymbols = Args.addBool("dump-symbols", false, "list symbols");
-  bool *Stats = Args.addBool("stats", true, "print execution statistics");
+  std::string *StatsMode = Args.addOptString(
+      "stats", "text", "text",
+      "execution statistics: --stats[=text] or --stats=json "
+      "(--no-stats to silence)");
+  std::string *TraceOut = Args.addString(
+      "trace-out", "", "write a Chrome trace_event JSON timeline "
+                       "(chrome://tracing / Perfetto) to FILE");
   bool *Profile = Args.addBool("profile", false,
                                "attribute time to Fig.12 buckets");
   bool *RuleBased = Args.addBool("rule-based", false,
@@ -138,13 +153,41 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  if (!StatsMode->empty() && *StatsMode != "text" && *StatsMode != "json") {
+    std::fprintf(stderr, "unknown --stats mode '%s' (text|json)\n",
+                 StatsMode->c_str());
+    return 2;
+  }
+
+  // Event timeline: a recorder installed around the run captures
+  // per-thread begin/end/instant events from the schemes and the
+  // exclusive machinery (inactive ⇒ one relaxed load per event site).
+  if (!TraceOut->empty())
+    TraceRecorder::install(
+        std::make_unique<TraceRecorder>(Config.NumThreads));
+
   auto Result = *Coop ? M.runCooperative() : M.run();
   if (!Result) {
     std::fprintf(stderr, "%s\n", Result.error().render().c_str());
     return 1;
   }
 
-  if (*Stats) {
+  if (!TraceOut->empty()) {
+    TraceRecorder *Trace = TraceRecorder::active();
+    if (!Trace->writeJson(*TraceOut)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", TraceOut->c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %zu events (%llu dropped) -> %s\n",
+                 Trace->eventCount(),
+                 static_cast<unsigned long long>(Trace->droppedEvents()),
+                 TraceOut->c_str());
+    TraceRecorder::uninstall();
+  }
+
+  if (*StatsMode == "json") {
+    std::fputs(StatsReport(*Result).renderJson().c_str(), stdout);
+  } else if (*StatsMode == "text") {
     const CpuCounters &Counters = Result->Total;
     std::fprintf(stderr,
                  "wall %.4fs | %llu insts (%.1f M/s) | loads %llu | "
@@ -167,6 +210,24 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(
                      Result->ExclusiveSections),
                  Result->AllHalted ? "" : " | BLOCK BUDGET HIT");
+    const EventCounters &Events = Result->Events;
+    std::fprintf(stderr,
+                 "events: sc-fail lost/conflict %llu/%llu | excl wait "
+                 "%.3fms | mprotect %llu remap %llu | htm %llu/%llu "
+                 "(%llu fb) | helper %llu inline %llu\n",
+                 static_cast<unsigned long long>(Events.ScFailMonitorLost),
+                 static_cast<unsigned long long>(Events.ScFailHashConflict),
+                 static_cast<double>(Events.ExclWaitNs) * 1e-6,
+                 static_cast<unsigned long long>(Events.MprotectCalls),
+                 static_cast<unsigned long long>(Events.RemapCalls),
+                 static_cast<unsigned long long>(Events.HtmCommits),
+                 static_cast<unsigned long long>(Events.HtmBegins),
+                 static_cast<unsigned long long>(Events.HtmFallbacks),
+                 static_cast<unsigned long long>(Events.HelperStoreCalls +
+                                                 Events.HelperLoadCalls +
+                                                 Events.SchemeHelperCalls),
+                 static_cast<unsigned long long>(
+                     Events.InlineInstrumentOps));
     if (*Profile) {
       const CpuProfile &Prof = Result->Profile;
       std::fprintf(

@@ -1,0 +1,199 @@
+//===- bench/micro_dispatch.cpp - engine hot-path dispatch throughput -----------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the engine's block-execution hot path in isolation: an
+/// indirect-branch-heavy guest loop (four `bl`/`ret` call sites per
+/// iteration, so half the executed blocks end in an indirect `SetPc`)
+/// plus a straight-line ALU/memory loop, swept over thread counts.
+///
+/// Every indirect branch exercises the per-vCPU jump cache and, on a
+/// miss, the sharded TB cache; the loop body exercises threaded dispatch
+/// and the guest-memory fast path. Reported blocks/s is the engine
+/// metric the PR-2 acceptance gate tracks (docs/ENGINE.md); the jump
+/// cache hit rate comes from the `engine.jmpcache.*` counters
+/// (docs/OBSERVABILITY.md) and reads as 0 on engines that predate them.
+///
+/// `--json FILE` emits a machine-readable point list consumed by
+/// scripts/run_bench.sh to build BENCH_engine.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/StatsReport.h"
+
+using namespace llsc;
+using namespace llsc::bench;
+
+namespace {
+
+/// Guest loop with four call/return pairs per iteration: `ret` is an
+/// indirect branch (SetPc), so the block mix is ~half indirect exits.
+std::string indirectLoop(uint64_t Iters) {
+  return formatString(R"(
+_start: tid     r1
+        la      r2, data
+        li      r4, #%llu
+loop:   cbz     r4, done
+        bl      f1
+        bl      f2
+        bl      f3
+        bl      f4
+        addi    r4, r4, #-1
+        b       loop
+done:   halt
+f1:     addi    r3, r3, #1
+        ret
+f2:     ldd     r5, [r2]
+        ret
+f3:     add     r3, r3, r5
+        ret
+f4:     std     r3, [r2, #8]
+        ret
+        .align 64
+data:   .quad 7
+        .quad 0
+)",
+                      static_cast<unsigned long long>(Iters));
+}
+
+/// Straight-line dispatch loop: ALU + load/store, no calls, so block
+/// chaining covers every edge and the per-op dispatch cost dominates.
+std::string straightLoop(uint64_t Iters) {
+  return formatString(R"(
+_start: tid     r1
+        la      r2, data
+        li      r4, #%llu
+loop:   cbz     r4, done
+        ldd     r3, [r2]
+        addi    r3, r3, #3
+        eori    r3, r3, #0x55
+        std     r3, [r2, #8]
+        lsri    r3, r3, #1
+        addi    r4, r4, #-1
+        b       loop
+done:   halt
+        .align 64
+data:   .quad 9
+        .quad 0
+)",
+                      static_cast<unsigned long long>(Iters));
+}
+
+struct Point {
+  std::string Workload;
+  std::string Scheme;
+  unsigned Threads = 0;
+  double Seconds = 0;
+  double BlocksPerSec = 0;
+  double InstsPerSec = 0;
+  double JmpCacheHitRate = 0;
+  double FastMemHitRate = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("engine dispatch/lookup hot-path throughput");
+  std::string *SchemeName = Args.addString("scheme", "hst", "atomic scheme");
+  std::string *ThreadList =
+      Args.addString("threads", "1,4,16", "comma-separated thread counts");
+  int64_t *Iters = Args.addInt("iters", 200000, "guest loop iterations");
+  int64_t *Repeats = Args.addInt("repeats", 3, "runs per point");
+  std::string *JsonOut =
+      Args.addString("json", "", "write machine-readable points to FILE");
+  Args.parse(Argc, Argv);
+
+  auto Kind = parseSchemeName(*SchemeName);
+  if (!Kind)
+    reportFatalError("unknown scheme '" + *SchemeName + "'");
+
+  std::vector<unsigned> Threads;
+  for (std::string_view Tok : split(*ThreadList, ','))
+    Threads.push_back(static_cast<unsigned>(
+        std::strtoul(std::string(Tok).c_str(), nullptr, 10)));
+
+  struct Workload {
+    const char *Name;
+    std::string Source;
+  } Workloads[] = {
+      {"indirect", indirectLoop(static_cast<uint64_t>(*Iters))},
+      {"straight", straightLoop(static_cast<uint64_t>(*Iters))},
+  };
+
+  Table Results({"workload", "scheme", "threads", "seconds", "Mblocks/s",
+                 "Minsts/s", "jmpcache-hit%", "fastmem-hit%"});
+  std::vector<Point> Points;
+
+  for (const Workload &W : Workloads) {
+    for (unsigned T : Threads) {
+      double SumSeconds = 0, SumBlocks = 0, SumInsts = 0;
+      double SumJmpHit = 0, SumJmpAll = 0, SumFastHit = 0, SumFastAll = 0;
+      for (int64_t Rep = 0; Rep < *Repeats; ++Rep) {
+        auto M = makeBenchMachine(*Kind, T);
+        if (auto Loaded = M->loadAssembly(W.Source); !Loaded)
+          reportFatalError(Loaded.error());
+        auto Result = M->run();
+        if (!Result)
+          reportFatalError(Result.error());
+        StatsReport Report(*Result);
+        SumSeconds += Result->WallSeconds;
+        SumBlocks += static_cast<double>(Result->Total.ExecutedBlocks);
+        SumInsts += static_cast<double>(Result->Total.ExecutedInsts);
+        SumJmpHit += static_cast<double>(Report.metric("engine.jmpcache.hit"));
+        SumJmpAll += static_cast<double>(Report.metric("engine.jmpcache.hit") +
+                                         Report.metric("engine.jmpcache.miss"));
+        SumFastHit += static_cast<double>(Report.metric("engine.fastmem.hit"));
+        SumFastAll += static_cast<double>(Report.metric("engine.fastmem.hit") +
+                                          Report.metric("engine.fastmem.slow"));
+      }
+      Point P;
+      P.Workload = W.Name;
+      P.Scheme = schemeTraits(*Kind).Name;
+      P.Threads = T;
+      P.Seconds = SumSeconds / static_cast<double>(*Repeats);
+      P.BlocksPerSec = SumSeconds > 0 ? SumBlocks / SumSeconds : 0;
+      P.InstsPerSec = SumSeconds > 0 ? SumInsts / SumSeconds : 0;
+      P.JmpCacheHitRate = SumJmpAll > 0 ? SumJmpHit / SumJmpAll : 0;
+      P.FastMemHitRate = SumFastAll > 0 ? SumFastHit / SumFastAll : 0;
+      Points.push_back(P);
+
+      Results.addRow({P.Workload, P.Scheme, formatString("%u", T),
+                      formatString("%.4f", P.Seconds),
+                      formatString("%.3f", P.BlocksPerSec / 1e6),
+                      formatString("%.3f", P.InstsPerSec / 1e6),
+                      formatString("%.2f", P.JmpCacheHitRate * 100),
+                      formatString("%.2f", P.FastMemHitRate * 100)});
+      std::fprintf(stderr, "  %s/%s t=%u: %.3f Mblocks/s\n",
+                   P.Workload.c_str(), P.Scheme.c_str(), T,
+                   P.BlocksPerSec / 1e6);
+    }
+  }
+
+  emitTable("engine dispatch throughput", Results, "micro_dispatch.csv");
+
+  if (!JsonOut->empty()) {
+    FILE *Out = std::fopen(JsonOut->c_str(), "w");
+    if (!Out)
+      reportFatalError("cannot open " + *JsonOut);
+    std::fprintf(Out, "{\n\"bench\": \"micro_dispatch\",\n\"points\": [");
+    for (size_t I = 0; I < Points.size(); ++I) {
+      const Point &P = Points[I];
+      std::fprintf(Out,
+                   "%s\n  {\"workload\": \"%s\", \"scheme\": \"%s\", "
+                   "\"threads\": %u, \"seconds\": %.6f, "
+                   "\"blocks_per_sec\": %.1f, \"insts_per_sec\": %.1f, "
+                   "\"jmpcache_hit_rate\": %.4f, \"fastmem_hit_rate\": %.4f}",
+                   I ? "," : "", P.Workload.c_str(), P.Scheme.c_str(),
+                   P.Threads, P.Seconds, P.BlocksPerSec, P.InstsPerSec,
+                   P.JmpCacheHitRate, P.FastMemHitRate);
+    }
+    std::fprintf(Out, "\n]\n}\n");
+    std::fclose(Out);
+    std::printf("(json written to %s)\n", JsonOut->c_str());
+  }
+  return 0;
+}

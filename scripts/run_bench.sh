@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Engine hot-path benchmark driver: runs bench/micro_dispatch (jump cache,
+# sharded TB lookup, threaded dispatch, guest-memory fast path) plus the
+# micro_ops google-benchmark suite, and merges both into one machine-
+# readable artifact, $OUT/BENCH_engine.json (uploaded by the CI perf-smoke
+# job; thresholds are documented in docs/ENGINE.md).
+#
+# Usage: scripts/run_bench.sh [--quick]
+#   BUILD=<dir>  build tree to run from (default: build)
+#   OUT=<dir>    output directory (default: results)
+set -eu
+BUILD=${BUILD:-build}
+OUT=${OUT:-results}
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+mkdir -p "$OUT"
+BUILD=$(cd "$BUILD" && pwd) # Absolute, so we can run from inside $OUT.
+cd "$OUT"                   # Benchmarks drop their CSVs into the cwd.
+
+DISPATCH_ARGS=(--scheme hst --threads 1,4,16 --json micro_dispatch.json)
+MICRO_ARGS=(--benchmark_min_time=0.2 --benchmark_out=micro_ops.json
+            --benchmark_out_format=json)
+if [ "$QUICK" = 1 ]; then
+  DISPATCH_ARGS+=(--iters 20000 --repeats 1)
+  MICRO_ARGS=(--benchmark_min_time=0.05 --benchmark_out=micro_ops.json
+              --benchmark_out_format=json)
+fi
+
+echo "==== micro_dispatch ===="
+"$BUILD/bench/micro_dispatch" "${DISPATCH_ARGS[@]}" 2>&1 | tee micro_dispatch.txt
+
+echo "==== micro_ops ===="
+"$BUILD/bench/micro_ops" "${MICRO_ARGS[@]}" 2>&1 | tee micro_ops.txt
+
+echo "==== merge -> $OUT/BENCH_engine.json ===="
+python3 - . <<'EOF'
+import json, sys, os
+out = sys.argv[1]
+with open(os.path.join(out, "micro_dispatch.json")) as f:
+    dispatch = json.load(f)
+with open(os.path.join(out, "micro_ops.json")) as f:
+    micro = json.load(f)
+merged = {
+    "artifact": "BENCH_engine",
+    "dispatch": dispatch,
+    "micro_ops": {
+        "context": micro.get("context", {}),
+        "benchmarks": [
+            {k: b.get(k) for k in
+             ("name", "real_time", "cpu_time", "time_unit", "iterations")}
+            for b in micro.get("benchmarks", [])
+        ],
+    },
+}
+path = os.path.join(out, "BENCH_engine.json")
+with open(path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print("wrote", path)
+EOF
+echo "done; outputs in $OUT/"

@@ -10,6 +10,7 @@
 #include "mem/FaultGuard.h"
 #include "support/BitUtils.h"
 #include "support/Logging.h"
+#include "support/Stats.h"
 #include "support/Timing.h"
 
 #include <algorithm>
@@ -125,8 +126,8 @@ void Machine::prepareRun() {
   }
 }
 
-RunResult Machine::collectResult(bool AllHalted,
-                                 uint64_t FaultsBefore) const {
+RunResult Machine::collectResult(bool AllHalted, uint64_t FaultsBefore,
+                                 uint64_t LockWaitsBefore) const {
   RunResult Result;
   Result.AllHalted = AllHalted;
   for (const VCpu &Cpu : Cpus) {
@@ -140,15 +141,22 @@ RunResult Machine::collectResult(bool AllHalted,
     Result.Htm = Htm->stats();
   Result.ExclusiveSections = Excl.exclusiveCount();
   Result.RecoveredFaults = FaultGuard::recoveredFaultCount() - FaultsBefore;
+  Result.TbLockWaits = Cache->lockWaits() - LockWaitsBefore;
   // Make the run visible process-wide: tools and long-lived embedders read
   // the aggregated events from CounterRegistry::snapshot().
   Result.Events.flushToRegistry();
+  if (Result.TbLockWaits) {
+    static std::atomic<uint64_t> *const ShardLockWaits =
+        CounterRegistry::instance().counter("engine.shard.lock_waits");
+    ShardLockWaits->fetch_add(Result.TbLockWaits, std::memory_order_relaxed);
+  }
   return Result;
 }
 
 ErrorOr<RunResult> Machine::run() {
   prepareRun();
   uint64_t FaultsBefore = FaultGuard::recoveredFaultCount();
+  uint64_t LockWaitsBefore = Cache->lockWaits();
 
   std::vector<std::thread> Threads;
   std::vector<ErrorOr<RunStatus>> Statuses(Config.NumThreads,
@@ -183,7 +191,7 @@ ErrorOr<RunResult> Machine::run() {
       AllHalted = false;
   }
 
-  RunResult Result = collectResult(AllHalted, FaultsBefore);
+  RunResult Result = collectResult(AllHalted, FaultsBefore, LockWaitsBefore);
   Result.WallSeconds = static_cast<double>(WallEnd - WallStart) * 1e-9;
   return Result;
 }
@@ -192,6 +200,7 @@ ErrorOr<RunResult> Machine::runCooperative(uint64_t BlocksPerSlice) {
   assert(BlocksPerSlice > 0 && "slice must be positive");
   prepareRun();
   uint64_t FaultsBefore = FaultGuard::recoveredFaultCount();
+  uint64_t LockWaitsBefore = Cache->lockWaits();
 
   uint64_t WallStart = monotonicNanos();
   bool AllHalted = true;
@@ -224,7 +233,7 @@ ErrorOr<RunResult> Machine::runCooperative(uint64_t BlocksPerSlice) {
   }
   uint64_t WallEnd = monotonicNanos();
 
-  RunResult Result = collectResult(AllHalted, FaultsBefore);
+  RunResult Result = collectResult(AllHalted, FaultsBefore, LockWaitsBefore);
   Result.WallSeconds = static_cast<double>(WallEnd - WallStart) * 1e-9;
   return Result;
 }

@@ -78,6 +78,9 @@ struct RunResult {
   HtmStats Htm;
   uint64_t ExclusiveSections = 0;
   uint64_t RecoveredFaults = 0; ///< Process-wide delta during the run.
+  /// TbCache shard-mutex contention events during the run (delta of
+  /// TbCache::lockWaits(), reported as engine.shard.lock_waits).
+  uint64_t TbLockWaits = 0;
 };
 
 /// The emulator facade.
@@ -137,8 +140,10 @@ private:
   explicit Machine(const MachineConfig &Config);
 
   /// Collects counters/profiles into a RunResult (wall time filled by the
-  /// caller).
-  RunResult collectResult(bool AllHalted, uint64_t FaultsBefore) const;
+  /// caller). \p FaultsBefore / \p LockWaitsBefore are the process- and
+  /// cache-wide totals sampled at run start, so the result reports deltas.
+  RunResult collectResult(bool AllHalted, uint64_t FaultsBefore,
+                          uint64_t LockWaitsBefore) const;
 
   MachineConfig Config;
   std::unique_ptr<GuestMemory> Mem;

@@ -33,6 +33,7 @@ StatsReport::StatsReport(const RunResult &Result)
   // stats line (excl.entries/fault.recovered are the per-vCPU views).
   Add("excl.sections", Result.ExclusiveSections);
   Add("fault.process_recovered", Result.RecoveredFaults);
+  Add("engine.shard.lock_waits", Result.TbLockWaits);
 
   const HtmStats &H = Result.Htm;
   Add("htm.raw.begins", H.Begins);

@@ -1,0 +1,45 @@
+//===- engine/Decoded.cpp - Pre-decoded micro-ops for dispatch --------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Decoded.h"
+
+using namespace llsc;
+using namespace llsc::engine;
+
+static_assert(static_cast<uint8_t>(DecodedFlagSignExtend) ==
+                  static_cast<uint8_t>(ir::IRFlagSignExtend),
+              "decode copies IR flag bits through");
+static_assert(static_cast<uint8_t>(DecodedFlagInstrument) ==
+                  static_cast<uint8_t>(ir::IRFlagInstrument),
+              "decode copies IR flag bits through");
+
+static uint8_t bankOf(ir::ValueId Id) {
+  return Id < ir::FirstTempId ? BankRegs : BankTemps;
+}
+
+std::vector<DecodedInst> engine::decodeBlock(const ir::IRBlock &IR) {
+  std::vector<DecodedInst> Out;
+  Out.reserve(IR.Insts.size());
+  for (const ir::IRInst &I : IR.Insts) {
+    DecodedInst D;
+    D.Op = I.Op;
+    D.Size = I.Size;
+    D.Flags = I.Flags & (DecodedFlagSignExtend | DecodedFlagInstrument);
+    if ((I.Flags & ir::IRFlagInstrument) && I.Op != ir::IROp::Helper &&
+        I.Op != ir::IROp::HelperLoad && I.Op != ir::IROp::HelperStore)
+      D.Flags |= DecodedFlagCountInline;
+    D.Cc = I.Cc;
+    D.Dst = I.Dst;
+    D.A = I.A;
+    D.B = I.B;
+    D.DstBank = bankOf(I.Dst);
+    D.ABank = bankOf(I.A);
+    D.BBank = bankOf(I.B);
+    D.Imm = I.Imm;
+    Out.push_back(D);
+  }
+  return Out;
+}

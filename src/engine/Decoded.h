@@ -1,0 +1,70 @@
+//===- engine/Decoded.h - Pre-decoded micro-ops for dispatch ----*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The threaded interpreter's flat instruction form. At translation time
+/// every IRInst is resolved into a DecodedInst: the opcode doubles as the
+/// handler index into the computed-goto jump table, and each operand's
+/// register-vs-temp decision (the `Id < FirstTempId` branch the generic
+/// accessors paid per op) is pre-resolved into a bank selector so the
+/// execution loop reads operands with one indexed load.
+///
+/// Decoding is pure and per-block; TbCache performs it once under the
+/// shard lock when a block is translated, so execution never sees a
+/// CachedBlock without its decoded form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_ENGINE_DECODED_H
+#define LLSC_ENGINE_DECODED_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace llsc {
+namespace engine {
+
+/// DecodedInst::Flags bits. SignExtend and Instrument keep the IRFlag bit
+/// positions so decoding copies them through; CountInline is derived (the
+/// instrument-counting predicate hoisted out of the hot loop).
+enum : uint8_t {
+  DecodedFlagSignExtend = 1 << 0, ///< == IRFlagSignExtend.
+  DecodedFlagInstrument = 1 << 1, ///< == IRFlagInstrument.
+  /// Instrumented op that executes inline (not via a Helper* op), i.e. it
+  /// increments Events.InlineInstrumentOps when executed.
+  DecodedFlagCountInline = 1 << 2,
+};
+
+/// Operand bank selectors: index 0 is the guest register file, index 1 the
+/// block-local temp array. Both banks are indexed with the original
+/// ValueId (the temp array is sized IRBlock::NumValues, so temp ids index
+/// it directly and the first FirstTempId slots are simply unused).
+enum : uint8_t { BankRegs = 0, BankTemps = 1 };
+
+/// One pre-decoded micro-op (24 bytes; a cache line holds ~2.6).
+struct DecodedInst {
+  ir::IROp Op = ir::IROp::MovImm; ///< Handler index for dispatch.
+  uint8_t Size = 0;               ///< Access size in bytes for memory ops.
+  uint8_t Flags = 0;              ///< DecodedFlag* bits.
+  ir::CondCode Cc = ir::CondCode::Eq;
+  uint8_t DstBank = BankRegs;
+  uint8_t ABank = BankRegs;
+  uint8_t BBank = BankRegs;
+  ir::ValueId Dst = 0;
+  ir::ValueId A = 0;
+  ir::ValueId B = 0;
+  int64_t Imm = 0;
+};
+
+/// Decodes \p IR into the flat executable form. Pure; no IR state is
+/// retained beyond what DecodedInst copies.
+std::vector<DecodedInst> decodeBlock(const ir::IRBlock &IR);
+
+} // namespace engine
+} // namespace llsc
+
+#endif // LLSC_ENGINE_DECODED_H

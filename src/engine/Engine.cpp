@@ -3,6 +3,14 @@
 // Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// Threaded-dispatch interpreter over the pre-decoded micro-op form
+// (engine/Decoded.h). Handler bodies are written once with the OP/NEXT
+// macros and compiled either as computed-goto labels (GCC/Clang) or as a
+// switch in a dispatch loop (LLSC_FORCE_SWITCH_DISPATCH or other
+// compilers) — identical semantics, different dispatch cost.
+//
+//===----------------------------------------------------------------------===//
 
 #include "engine/Engine.h"
 
@@ -24,6 +32,7 @@
 
 using namespace llsc;
 using namespace llsc::ir;
+using namespace llsc::engine;
 
 namespace {
 
@@ -79,248 +88,435 @@ Engine::BlockExit Engine::execBlock(VCpu &Cpu, const CachedBlock &Block,
   if (Temps.size() < static_cast<size_t>(IR.NumValues))
     Temps.resize(IR.NumValues);
 
-  // Value accessors: ids below FirstTempId alias the guest registers.
-  auto V = [&](ValueId Id) -> uint64_t {
-    return Id < FirstTempId ? Cpu.Regs[Id] : Temps[Id];
-  };
-  auto SetV = [&](ValueId Id, uint64_t Value) {
-    if (Id < FirstTempId)
-      Cpu.Regs[Id] = Value;
-    else
-      Temps[Id] = Value;
-  };
+  // Operand banks: decode resolved every ValueId into {bank, index}, so
+  // the per-op register-vs-temp branch becomes one indexed load. Temps
+  // are indexed with the absolute id (the first FirstTempId slots of the
+  // vector are unused).
+  uint64_t *const Banks[2] = {Cpu.Regs, Temps.data()};
 
   const bool Profiling = Cpu.ProfilingEnabled;
   GuestMemory &Mem = *Ctx.Mem;
   AtomicScheme &Scheme = *Ctx.Scheme;
 
-  for (const IRInst &I : IR.Insts) {
-    if (I.Flags & IRFlagInstrument) {
-      if (Profiling)
-        Cpu.Profile.InlineInstrumentOps++;
-      // Helper-routed ops are counted as helper calls below; only the
-      // truly inline injected ops land in instr.inline_ops, keeping the
-      // helper-vs-inline split meaningful (hst vs hst-helper).
-      if (I.Op != IROp::HelperStore && I.Op != IROp::HelperLoad &&
-          I.Op != IROp::Helper)
-        Cpu.Events.InlineInstrumentOps++;
-    }
+  // Fast-path window, revalidated by runLoop() before each block.
+  uint8_t *const FastBase = Cpu.FastMemBase;
+  const uint64_t FastLimit = Cpu.FastMemLimit;
 
-    switch (I.Op) {
-    // --- ALU (shared constant-folder semantics) ---------------------------
-    case IROp::MovImm:
-    case IROp::Mov:
-    case IROp::Add:
-    case IROp::Sub:
-    case IROp::Mul:
-    case IROp::UDiv:
-    case IROp::SDiv:
-    case IROp::URem:
-    case IROp::SRem:
-    case IROp::And:
-    case IROp::Or:
-    case IROp::Xor:
-    case IROp::Shl:
-    case IROp::Shr:
-    case IROp::Sar:
-    case IROp::SltS:
-    case IROp::SltU:
-    case IROp::AddImm:
-    case IROp::AndImm:
-    case IROp::OrImm:
-    case IROp::XorImm:
-    case IROp::ShlImm:
-    case IROp::ShrImm:
-    case IROp::SarImm:
-    case IROp::SltSImm:
-    case IROp::SltUImm:
-      SetV(I.Dst, evalAluOp(I.Op, V(I.A), V(I.B), I.Imm));
-      break;
+  const DecodedInst *D = Block.Decoded.data();
 
-    // --- Guest memory -----------------------------------------------------
-    case IROp::LoadG: {
-      uint64_t Addr = V(I.A) + static_cast<uint64_t>(I.Imm);
-      if (LLSC_UNLIKELY(Addr + I.Size > Mem.size())) {
-        LLSC_ERROR("tid %u: guest load out of range at pc-block 0x%" PRIx64
-                   " addr 0x%" PRIx64,
-                   Cpu.Tid, IR.GuestPc, Addr);
-        Cpu.Halted = true;
-        return {BlockExit::Halted, 0};
-      }
-      uint64_t Value = Mem.load(Addr, I.Size);
-      if (I.Flags & IRFlagSignExtend)
-        Value = static_cast<uint64_t>(signExtend(Value, I.Size * 8));
-      SetV(I.Dst, Value);
+// Operand access. A/B reads and the Dst write are single indexed loads
+// and stores; every handler uses these only.
+#define VAL_A() (Banks[D->ABank][D->A])
+#define VAL_B() (Banks[D->BBank][D->B])
+#define SET_DST(Value) (Banks[D->DstBank][D->Dst] = (Value))
+
+// Bookkeeping for scheme-injected ops, hoisted behind one flag test per
+// dispatch (the flags byte is already in the decoded form's cache line).
+#define INSTRUMENT_CHECK()                                                     \
+  do {                                                                         \
+    if (LLSC_UNLIKELY(D->Flags & DecodedFlagInstrument)) {                     \
+      if (Profiling)                                                           \
+        Cpu.Profile.InlineInstrumentOps++;                                     \
+      if (D->Flags & DecodedFlagCountInline)                                   \
+        Cpu.Events.InlineInstrumentOps++;                                      \
+    }                                                                          \
+  } while (false)
+
+#if LLSC_HAS_COMPUTED_GOTO
+
+  // Handler table indexed by IROp; the opcode byte is the handler index.
+  static const void *const JumpTable[] = {
+      &&H_MovImm,  &&H_Mov,      &&H_Add,     &&H_Sub,      &&H_Mul,
+      &&H_UDiv,    &&H_SDiv,     &&H_URem,    &&H_SRem,     &&H_And,
+      &&H_Or,      &&H_Xor,      &&H_Shl,     &&H_Shr,      &&H_Sar,
+      &&H_SltS,    &&H_SltU,     &&H_AddImm,  &&H_AndImm,   &&H_OrImm,
+      &&H_XorImm,  &&H_ShlImm,   &&H_ShrImm,  &&H_SarImm,   &&H_SltSImm,
+      &&H_SltUImm, &&H_LoadG,    &&H_StoreG,  &&H_LoadHost, &&H_StoreHost,
+      &&H_LoadLink, &&H_StoreCond, &&H_ClearExcl, &&H_Fence,
+      &&H_HelperStore, &&H_HelperLoad, &&H_Helper, &&H_AtomicAddG,
+      &&H_HstStoreTag, &&H_ReadSpecial, &&H_SysCall, &&H_Yield,
+      &&H_SetPcImm, &&H_SetPc,   &&H_BrCond,  &&H_Halt,
+  };
+  static_assert(sizeof(JumpTable) / sizeof(JumpTable[0]) ==
+                    static_cast<size_t>(IROp::NumOps),
+                "jump table must cover every opcode in enum order");
+
+#define OP(Name) H_##Name:
+#define DISPATCH()                                                             \
+  do {                                                                         \
+    INSTRUMENT_CHECK();                                                        \
+    goto *JumpTable[static_cast<unsigned>(D->Op)];                             \
+  } while (false)
+#define NEXT()                                                                 \
+  do {                                                                         \
+    ++D;                                                                       \
+    DISPATCH();                                                                \
+  } while (false)
+
+  DISPATCH();
+
+#else // !LLSC_HAS_COMPUTED_GOTO
+
+#define OP(Name) case IROp::Name:
+#define NEXT()                                                                 \
+  do {                                                                         \
+    ++D;                                                                       \
+    goto DispatchTop;                                                          \
+  } while (false)
+
+DispatchTop:
+  INSTRUMENT_CHECK();
+  switch (D->Op) {
+
+#endif // LLSC_HAS_COMPUTED_GOTO
+
+  // --- ALU (constant-folder semantics, one handler per op) ----------------
+  OP(MovImm) {
+    SET_DST(static_cast<uint64_t>(D->Imm));
+    NEXT();
+  }
+  OP(Mov) {
+    SET_DST(VAL_A());
+    NEXT();
+  }
+  OP(Add) {
+    SET_DST(VAL_A() + VAL_B());
+    NEXT();
+  }
+  OP(Sub) {
+    SET_DST(VAL_A() - VAL_B());
+    NEXT();
+  }
+  OP(Mul) {
+    SET_DST(VAL_A() * VAL_B());
+    NEXT();
+  }
+  OP(UDiv) {
+    uint64_t B = VAL_B();
+    SET_DST(B == 0 ? 0 : VAL_A() / B);
+    NEXT();
+  }
+  OP(SDiv) {
+    int64_t A = static_cast<int64_t>(VAL_A());
+    int64_t B = static_cast<int64_t>(VAL_B());
+    SET_DST(B == 0 || (A == INT64_MIN && B == -1)
+                ? 0
+                : static_cast<uint64_t>(A / B));
+    NEXT();
+  }
+  OP(URem) {
+    uint64_t B = VAL_B();
+    SET_DST(B == 0 ? 0 : VAL_A() % B);
+    NEXT();
+  }
+  OP(SRem) {
+    int64_t A = static_cast<int64_t>(VAL_A());
+    int64_t B = static_cast<int64_t>(VAL_B());
+    SET_DST(B == 0 || (A == INT64_MIN && B == -1)
+                ? 0
+                : static_cast<uint64_t>(A % B));
+    NEXT();
+  }
+  OP(And) {
+    SET_DST(VAL_A() & VAL_B());
+    NEXT();
+  }
+  OP(Or) {
+    SET_DST(VAL_A() | VAL_B());
+    NEXT();
+  }
+  OP(Xor) {
+    SET_DST(VAL_A() ^ VAL_B());
+    NEXT();
+  }
+  OP(Shl) {
+    SET_DST(VAL_A() << (VAL_B() & 63));
+    NEXT();
+  }
+  OP(Shr) {
+    SET_DST(VAL_A() >> (VAL_B() & 63));
+    NEXT();
+  }
+  OP(Sar) {
+    SET_DST(static_cast<uint64_t>(static_cast<int64_t>(VAL_A()) >>
+                                  (VAL_B() & 63)));
+    NEXT();
+  }
+  OP(SltS) {
+    SET_DST(static_cast<int64_t>(VAL_A()) < static_cast<int64_t>(VAL_B())
+                ? 1
+                : 0);
+    NEXT();
+  }
+  OP(SltU) {
+    SET_DST(VAL_A() < VAL_B() ? 1 : 0);
+    NEXT();
+  }
+  OP(AddImm) {
+    SET_DST(VAL_A() + static_cast<uint64_t>(D->Imm));
+    NEXT();
+  }
+  OP(AndImm) {
+    SET_DST(VAL_A() & static_cast<uint64_t>(D->Imm));
+    NEXT();
+  }
+  OP(OrImm) {
+    SET_DST(VAL_A() | static_cast<uint64_t>(D->Imm));
+    NEXT();
+  }
+  OP(XorImm) {
+    SET_DST(VAL_A() ^ static_cast<uint64_t>(D->Imm));
+    NEXT();
+  }
+  OP(ShlImm) {
+    SET_DST(VAL_A() << (static_cast<uint64_t>(D->Imm) & 63));
+    NEXT();
+  }
+  OP(ShrImm) {
+    SET_DST(VAL_A() >> (static_cast<uint64_t>(D->Imm) & 63));
+    NEXT();
+  }
+  OP(SarImm) {
+    SET_DST(static_cast<uint64_t>(static_cast<int64_t>(VAL_A()) >>
+                                  (static_cast<uint64_t>(D->Imm) & 63)));
+    NEXT();
+  }
+  OP(SltSImm) {
+    SET_DST(static_cast<int64_t>(VAL_A()) < D->Imm ? 1 : 0);
+    NEXT();
+  }
+  OP(SltUImm) {
+    SET_DST(VAL_A() < static_cast<uint64_t>(D->Imm) ? 1 : 0);
+    NEXT();
+  }
+
+  // --- Guest memory -------------------------------------------------------
+  OP(LoadG) {
+    uint64_t Addr = VAL_A() + static_cast<uint64_t>(D->Imm);
+    // Fast path: window valid (no restricted pages), access in bounds,
+    // and the op is not scheme-injected — direct relaxed read through
+    // the primary mapping, no accessor call.
+    if (LLSC_LIKELY(!(D->Flags & DecodedFlagInstrument) &&
+                    Addr < FastLimit && D->Size <= FastLimit - Addr)) {
+      uint64_t Value = GuestMemory::loadRelaxed(FastBase + Addr, D->Size);
+      if (D->Flags & DecodedFlagSignExtend)
+        Value = static_cast<uint64_t>(signExtend(Value, D->Size * 8));
+      SET_DST(Value);
       Cpu.Counters.Loads++;
-      break;
+      Cpu.Events.FastMemHits++;
+      NEXT();
     }
-    case IROp::StoreG: {
-      uint64_t Addr = V(I.A) + static_cast<uint64_t>(I.Imm);
-      if (LLSC_UNLIKELY(Addr + I.Size > Mem.size())) {
-        LLSC_ERROR("tid %u: guest store out of range at pc-block 0x%" PRIx64
-                   " addr 0x%" PRIx64,
-                   Cpu.Tid, IR.GuestPc, Addr);
-        Cpu.Halted = true;
-        return {BlockExit::Halted, 0};
-      }
-      Mem.store(Addr, V(I.B), I.Size);
-      Cpu.Counters.Stores++;
-      break;
-    }
-
-    // --- Host memory (scheme tables) ---------------------------------------
-    case IROp::LoadHost:
-      SetV(I.Dst, hostLoad(V(I.A) + static_cast<uint64_t>(I.Imm), I.Size));
-      break;
-    case IROp::StoreHost:
-      hostStore(V(I.A) + static_cast<uint64_t>(I.Imm), V(I.B), I.Size);
-      break;
-
-    // --- Atomics ------------------------------------------------------------
-    case IROp::LoadLink:
-      SetV(I.Dst, Scheme.emulateLoadLink(Cpu, V(I.A), I.Size));
-      Cpu.Counters.LoadLinks++;
-      Cpu.Events.LlIssued++;
-      if (TraceRecorder *Trace = TraceRecorder::active())
-        Trace->instant(Cpu.Tid, "ll", "atomic");
-      break;
-    case IROp::StoreCond: {
-      bool Ok = Scheme.emulateStoreCond(Cpu, V(I.A), V(I.B), I.Size);
-      SetV(I.Dst, Ok ? 0 : 1);
-      Cpu.Counters.StoreConds++;
-      Cpu.Events.ScAttempted++;
-      if (Ok) {
-        Cpu.Events.ScSucceeded++;
-      } else {
-        Cpu.Counters.StoreCondFailures++;
-        Cpu.Events.ScFailed++;
-      }
-      if (TraceRecorder *Trace = TraceRecorder::active())
-        Trace->instant(Cpu.Tid, Ok ? "sc" : "sc-fail", "atomic");
-      break;
-    }
-    case IROp::ClearExcl:
-      Scheme.clearExclusive(Cpu);
-      break;
-    case IROp::Fence:
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      break;
-
-    // --- Helper-routed memory ------------------------------------------------
-    case IROp::HelperStore:
-      Scheme.storeHook(Cpu, V(I.A) + static_cast<uint64_t>(I.Imm), V(I.B),
-                       I.Size);
-      Cpu.Counters.Stores++;
-      Cpu.Events.HelperStoreCalls++;
-      break;
-    case IROp::HelperLoad: {
-      uint64_t Value =
-          Scheme.loadHook(Cpu, V(I.A) + static_cast<uint64_t>(I.Imm), I.Size);
-      if (I.Flags & IRFlagSignExtend)
-        Value = static_cast<uint64_t>(signExtend(Value, I.Size * 8));
-      SetV(I.Dst, Value);
-      Cpu.Counters.Loads++;
-      Cpu.Events.HelperLoadCalls++;
-      break;
-    }
-    case IROp::Helper: {
-      const HelperFn &Fn = IR.Helpers[static_cast<size_t>(I.Imm)];
-      SetV(I.Dst, Fn.Fn(Fn.Ctx, &Cpu, V(I.A), V(I.B)));
-      Cpu.Events.SchemeHelperCalls++;
-      break;
-    }
-
-    case IROp::HstStoreTag: {
-      // Fused HST instrumentation (Figure 5's 4-instruction inline
-      // sequence): one dispatch, no scheme call. Guarded in case a
-      // custom scheme emits the op without publishing a table.
-      if (LLSC_LIKELY(Ctx.HstTable != nullptr)) {
-        uint64_t Addr = V(I.A) + static_cast<uint64_t>(I.Imm);
-        Ctx.HstTable[(Addr >> 2) & Ctx.HstMask].store(
-            Cpu.Tid + 1, std::memory_order_relaxed);
-      }
-      break;
-    }
-
-    case IROp::AtomicAddG: {
-      uint64_t Addr = V(I.A);
-      if (LLSC_UNLIKELY(Addr + I.Size > Mem.size())) {
-        LLSC_ERROR("tid %u: atomic rmw out of range addr 0x%" PRIx64,
-                   Cpu.Tid, Addr);
-        Cpu.Halted = true;
-        return {BlockExit::Halted, 0};
-      }
-      SetV(I.Dst, Mem.fetchAdd(Addr, V(I.B), I.Size));
-      break;
-    }
-
-    // --- Specials --------------------------------------------------------------
-    case IROp::ReadSpecial:
-      switch (static_cast<SpecialValue>(I.Imm)) {
-      case SpecialValue::Tid:
-        SetV(I.Dst, Cpu.Tid);
-        break;
-      case SpecialValue::NumThreads:
-        SetV(I.Dst, Ctx.NumThreads);
-        break;
-      case SpecialValue::ClockNanos:
-        SetV(I.Dst, monotonicNanos());
-        break;
-      }
-      break;
-    case IROp::SysCall:
-      if (static_cast<guest::SysCall>(I.Imm) == guest::SysCall::PrintReg) {
-        std::fprintf(stderr, "[guest tid %u] 0x%016" PRIx64 " (%" PRId64 ")\n",
-                     Cpu.Tid, V(I.A), static_cast<int64_t>(V(I.A)));
-        SetV(I.Dst, V(I.A));
-      } else {
-        LLSC_WARN("unknown SYS selector %lld", static_cast<long long>(I.Imm));
-        SetV(I.Dst, 0);
-      }
-      break;
-    case IROp::Yield: {
-      Cpu.Counters.Yields++;
-      // Mostly a scheduler yield; occasionally a short random sleep.
-      // sched_yield() alone produces near-perfect FIFO rotation on a
-      // single-core host, a schedule so structured that cross-thread
-      // interleavings (the ABA ingredient) cannot form; the sleep models
-      // the timer-interrupt descheduling a loaded multicore shows.
-      thread_local uint64_t YieldLcg = 0x9e3779b97f4a7c15ULL ^
-                                       (uint64_t)(uintptr_t)&YieldLcg;
-      YieldLcg = YieldLcg * 6364136223846793005ULL + 1442695040888963407ULL;
-      if ((YieldLcg >> 60) == 0) {
-        timespec Ts{0, static_cast<long>(20000 + ((YieldLcg >> 20) %
-                                                  100000))};
-        nanosleep(&Ts, nullptr);
-      } else {
-        sched_yield();
-      }
-      break;
-    }
-
-    // --- Terminators --------------------------------------------------------------
-    case IROp::BrCond:
-      if (evalCondCode(I.Cc, V(I.A), V(I.B)))
-        return {BlockExit::TakenBranch, static_cast<uint64_t>(I.Imm)};
-      break;
-    case IROp::SetPcImm:
-      return {BlockExit::FallThrough, static_cast<uint64_t>(I.Imm)};
-    case IROp::SetPc:
-      return {BlockExit::Indirect, V(I.A)};
-    case IROp::Halt:
+    Cpu.Events.FastMemSlow++;
+    if (LLSC_UNLIKELY(Addr >= Mem.size() || Mem.size() - Addr < D->Size)) {
+      LLSC_ERROR("tid %u: guest load out of range at pc-block 0x%" PRIx64
+                 " addr 0x%" PRIx64,
+                 Cpu.Tid, IR.GuestPc, Addr);
       Cpu.Halted = true;
       return {BlockExit::Halted, 0};
-
-    case IROp::NumOps:
-      llsc_unreachable("invalid opcode reached the interpreter");
     }
+    uint64_t Value = Mem.load(Addr, D->Size);
+    if (D->Flags & DecodedFlagSignExtend)
+      Value = static_cast<uint64_t>(signExtend(Value, D->Size * 8));
+    SET_DST(Value);
+    Cpu.Counters.Loads++;
+    NEXT();
   }
-  llsc_unreachable("block fell off the end without a terminator");
+  OP(StoreG) {
+    uint64_t Addr = VAL_A() + static_cast<uint64_t>(D->Imm);
+    if (LLSC_LIKELY(!(D->Flags & DecodedFlagInstrument) &&
+                    Addr < FastLimit && D->Size <= FastLimit - Addr)) {
+      GuestMemory::storeRelaxed(FastBase + Addr, VAL_B(), D->Size);
+      Cpu.Counters.Stores++;
+      Cpu.Events.FastMemHits++;
+      NEXT();
+    }
+    Cpu.Events.FastMemSlow++;
+    if (LLSC_UNLIKELY(Addr >= Mem.size() || Mem.size() - Addr < D->Size)) {
+      LLSC_ERROR("tid %u: guest store out of range at pc-block 0x%" PRIx64
+                 " addr 0x%" PRIx64,
+                 Cpu.Tid, IR.GuestPc, Addr);
+      Cpu.Halted = true;
+      return {BlockExit::Halted, 0};
+    }
+    Mem.store(Addr, VAL_B(), D->Size);
+    Cpu.Counters.Stores++;
+    NEXT();
+  }
+
+  // --- Host memory (scheme tables) ----------------------------------------
+  OP(LoadHost) {
+    SET_DST(hostLoad(VAL_A() + static_cast<uint64_t>(D->Imm), D->Size));
+    NEXT();
+  }
+  OP(StoreHost) {
+    hostStore(VAL_A() + static_cast<uint64_t>(D->Imm), VAL_B(), D->Size);
+    NEXT();
+  }
+
+  // --- Atomics --------------------------------------------------------------
+  OP(LoadLink) {
+    SET_DST(Scheme.emulateLoadLink(Cpu, VAL_A(), D->Size));
+    Cpu.Counters.LoadLinks++;
+    Cpu.Events.LlIssued++;
+    if (TraceRecorder *Trace = TraceRecorder::active())
+      Trace->instant(Cpu.Tid, "ll", "atomic");
+    NEXT();
+  }
+  OP(StoreCond) {
+    bool Ok = Scheme.emulateStoreCond(Cpu, VAL_A(), VAL_B(), D->Size);
+    SET_DST(Ok ? 0 : 1);
+    Cpu.Counters.StoreConds++;
+    Cpu.Events.ScAttempted++;
+    if (Ok) {
+      Cpu.Events.ScSucceeded++;
+    } else {
+      Cpu.Counters.StoreCondFailures++;
+      Cpu.Events.ScFailed++;
+    }
+    if (TraceRecorder *Trace = TraceRecorder::active())
+      Trace->instant(Cpu.Tid, Ok ? "sc" : "sc-fail", "atomic");
+    NEXT();
+  }
+  OP(ClearExcl) {
+    Scheme.clearExclusive(Cpu);
+    NEXT();
+  }
+  OP(Fence) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    NEXT();
+  }
+
+  // --- Helper-routed memory -------------------------------------------------
+  OP(HelperStore) {
+    Scheme.storeHook(Cpu, VAL_A() + static_cast<uint64_t>(D->Imm), VAL_B(),
+                     D->Size);
+    Cpu.Counters.Stores++;
+    Cpu.Events.HelperStoreCalls++;
+    NEXT();
+  }
+  OP(HelperLoad) {
+    uint64_t Value =
+        Scheme.loadHook(Cpu, VAL_A() + static_cast<uint64_t>(D->Imm), D->Size);
+    if (D->Flags & DecodedFlagSignExtend)
+      Value = static_cast<uint64_t>(signExtend(Value, D->Size * 8));
+    SET_DST(Value);
+    Cpu.Counters.Loads++;
+    Cpu.Events.HelperLoadCalls++;
+    NEXT();
+  }
+  OP(Helper) {
+    const HelperFn &Fn = IR.Helpers[static_cast<size_t>(D->Imm)];
+    SET_DST(Fn.Fn(Fn.Ctx, &Cpu, VAL_A(), VAL_B()));
+    Cpu.Events.SchemeHelperCalls++;
+    NEXT();
+  }
+
+  OP(HstStoreTag) {
+    // Fused HST instrumentation (Figure 5's 4-instruction inline
+    // sequence): one dispatch, no scheme call. Guarded in case a
+    // custom scheme emits the op without publishing a table.
+    if (LLSC_LIKELY(Ctx.HstTable != nullptr)) {
+      uint64_t Addr = VAL_A() + static_cast<uint64_t>(D->Imm);
+      Ctx.HstTable[(Addr >> 2) & Ctx.HstMask].store(
+          Cpu.Tid + 1, std::memory_order_relaxed);
+    }
+    NEXT();
+  }
+
+  OP(AtomicAddG) {
+    uint64_t Addr = VAL_A();
+    if (LLSC_UNLIKELY(Addr >= Mem.size() || Mem.size() - Addr < D->Size)) {
+      LLSC_ERROR("tid %u: atomic rmw out of range addr 0x%" PRIx64, Cpu.Tid,
+                 Addr);
+      Cpu.Halted = true;
+      return {BlockExit::Halted, 0};
+    }
+    SET_DST(Mem.fetchAdd(Addr, VAL_B(), D->Size));
+    NEXT();
+  }
+
+  // --- Specials ---------------------------------------------------------------
+  OP(ReadSpecial) {
+    switch (static_cast<SpecialValue>(D->Imm)) {
+    case SpecialValue::Tid:
+      SET_DST(Cpu.Tid);
+      break;
+    case SpecialValue::NumThreads:
+      SET_DST(Ctx.NumThreads);
+      break;
+    case SpecialValue::ClockNanos:
+      SET_DST(monotonicNanos());
+      break;
+    }
+    NEXT();
+  }
+  OP(SysCall) {
+    if (static_cast<guest::SysCall>(D->Imm) == guest::SysCall::PrintReg) {
+      std::fprintf(stderr, "[guest tid %u] 0x%016" PRIx64 " (%" PRId64 ")\n",
+                   Cpu.Tid, VAL_A(), static_cast<int64_t>(VAL_A()));
+      SET_DST(VAL_A());
+    } else {
+      LLSC_WARN("unknown SYS selector %lld", static_cast<long long>(D->Imm));
+      SET_DST(0);
+    }
+    NEXT();
+  }
+  OP(Yield) {
+    Cpu.Counters.Yields++;
+    // Mostly a scheduler yield; occasionally a short random sleep.
+    // sched_yield() alone produces near-perfect FIFO rotation on a
+    // single-core host, a schedule so structured that cross-thread
+    // interleavings (the ABA ingredient) cannot form; the sleep models
+    // the timer-interrupt descheduling a loaded multicore shows.
+    thread_local uint64_t YieldLcg =
+        0x9e3779b97f4a7c15ULL ^ (uint64_t)(uintptr_t)&YieldLcg;
+    YieldLcg = YieldLcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((YieldLcg >> 60) == 0) {
+      timespec Ts{0, static_cast<long>(20000 + ((YieldLcg >> 20) % 100000))};
+      nanosleep(&Ts, nullptr);
+    } else {
+      sched_yield();
+    }
+    NEXT();
+  }
+
+  // --- Terminators --------------------------------------------------------------
+  OP(BrCond) {
+    if (evalCondCode(D->Cc, VAL_A(), VAL_B()))
+      return {BlockExit::TakenBranch, static_cast<uint64_t>(D->Imm)};
+    NEXT();
+  }
+  OP(SetPcImm) {
+    return {BlockExit::FallThrough, static_cast<uint64_t>(D->Imm)};
+  }
+  OP(SetPc) {
+    return {BlockExit::Indirect, VAL_A()};
+  }
+  OP(Halt) {
+    Cpu.Halted = true;
+    return {BlockExit::Halted, 0};
+  }
+
+#if !LLSC_HAS_COMPUTED_GOTO
+  case IROp::NumOps:
+    break;
+  }
+#endif
+  llsc_unreachable("invalid opcode reached the interpreter");
+
+#undef OP
+#undef NEXT
+#undef DISPATCH
+#undef INSTRUMENT_CHECK
+#undef VAL_A
+#undef VAL_B
+#undef SET_DST
 }
 
 ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
                                    bool Registered) {
   ExclusiveContext &Excl = *Ctx.Excl;
+  GuestMemory &Mem = *Ctx.Mem;
   std::vector<uint64_t> Temps;
 
   uint64_t WallStart = monotonicNanos();
@@ -329,15 +525,49 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
     return Status;
   };
 
-  auto BlockOrErr = Cache.lookup(Cpu.Pc);
+  // First-level block lookup for indirect control flow: the per-vCPU
+  // direct-mapped jump cache, dropped wholesale when the TbCache
+  // generation moves (flush), filled lock-free from lookups.
+  auto LookupJmpCached = [&](uint64_t Pc) -> ErrorOr<CachedBlock *> {
+    uint64_t Gen = Cache.generation();
+    if (LLSC_UNLIKELY(Gen != Cpu.JmpCache.Generation)) {
+      Cpu.JmpCache.clear();
+      Cpu.JmpCache.Generation = Gen;
+    }
+    if (CachedBlock *Hit = Cpu.JmpCache.probe(Pc)) {
+      Cpu.Events.JmpCacheHits++;
+      return Hit;
+    }
+    Cpu.Events.JmpCacheMisses++;
+    auto BlockOrErr = Cache.lookup(Pc);
+    if (!BlockOrErr)
+      return BlockOrErr.error();
+    Cpu.JmpCache.insert(Pc, *BlockOrErr);
+    return *BlockOrErr;
+  };
+
+  auto BlockOrErr = LookupJmpCached(Cpu.Pc);
   if (!BlockOrErr)
     return BlockOrErr.error();
   CachedBlock *Block = *BlockOrErr;
+
+  // Wall-budget bookkeeping: the clock is read every WallCheckLeft blocks
+  // (see below), starting with an immediate read.
+  uint64_t WallCheckLeft = 0;
 
   uint64_t Executed = 0;
   while (true) {
     if (Registered && Excl.safepoint())
       Cpu.Events.SafepointParks++;
+
+    // Re-validate the guest-memory fast-path window. One counter load +
+    // compare per block; transitions (PST's mprotect/remap) are rare.
+    uint64_t MemEpoch = Mem.fastPathEpoch();
+    if (LLSC_UNLIKELY(MemEpoch != Cpu.FastMemEpoch)) {
+      Cpu.FastMemEpoch = MemEpoch;
+      Cpu.FastMemBase = Mem.primaryBase();
+      Cpu.FastMemLimit = Mem.fastPathAllowed() ? Mem.size() : 0;
+    }
 
     if (LLSC_UNLIKELY(logEnabled(LogLevel::Trace)))
       LLSC_TRACE("tid %u exec block 0x%" PRIx64 " (%u insts)", Cpu.Tid,
@@ -362,15 +592,32 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
     if (Config.MaxBlocksPerCpu &&
         Cpu.Counters.ExecutedBlocks >= Config.MaxBlocksPerCpu)
       return Finish(RunStatus::TimedOut);
-    // Checked every block: under scheme livelock a thread may spend
-    // nearly all wall time parked or asleep and execute blocks only
-    // rarely, so a sampled check would never fire.
-    if (Config.MaxWallNanosPerCpu &&
-        monotonicNanos() - WallStart > Config.MaxWallNanosPerCpu)
-      return Finish(RunStatus::TimedOut);
 
-    // Next block: direct chain for the two static successors, full lookup
-    // for indirect branches.
+    // Wall-clock budget with an adaptive stride. Under scheme livelock a
+    // thread may spend nearly all wall time parked or asleep and execute
+    // blocks only rarely, so a fixed sampling stride would detect the
+    // timeout arbitrarily late; instead the next check distance is sized
+    // from the measured per-block cost so slow (parked) blocks re-check
+    // every block while tight loops pay one clock read per 64 blocks,
+    // and the deadline can never be overshot by more than ~half the
+    // remaining budget.
+    if (Config.MaxWallNanosPerCpu) {
+      if (WallCheckLeft == 0) {
+        uint64_t Elapsed = monotonicNanos() - WallStart;
+        if (Elapsed > Config.MaxWallNanosPerCpu)
+          return Finish(RunStatus::TimedOut);
+        uint64_t Remaining = Config.MaxWallNanosPerCpu - Elapsed;
+        uint64_t AvgBlockNs =
+            Executed ? (Elapsed / Executed) + 1 : 1;
+        uint64_t Stride = Remaining / (2 * AvgBlockNs);
+        WallCheckLeft = Stride > 64 ? 64 : Stride;
+      } else {
+        --WallCheckLeft;
+      }
+    }
+
+    // Next block: direct chain for the two static successors, jump-cached
+    // lookup for indirect branches.
     ErrorOr<CachedBlock *> NextOrErr = [&]() -> ErrorOr<CachedBlock *> {
       switch (Exit.ExitKind) {
       case BlockExit::TakenBranch:
@@ -378,7 +625,7 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
       case BlockExit::FallThrough:
         return Cache.chain(*Block, 1, Exit.NextPc);
       case BlockExit::Indirect:
-        return Cache.lookup(Exit.NextPc);
+        return LookupJmpCached(Exit.NextPc);
       case BlockExit::Halted:
         break;
       }

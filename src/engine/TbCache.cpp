@@ -14,55 +14,81 @@ using namespace llsc;
 
 ErrorOr<CachedBlock *> TbCache::lookup(uint64_t Pc) {
   Lookups.fetch_add(1, std::memory_order_relaxed);
+  Shard &S = Shards[shardIndex(Pc)];
   {
-    std::shared_lock<std::shared_mutex> ReadLock(Mutex);
-    auto It = Blocks.find(Pc);
-    if (It != Blocks.end())
+    std::shared_lock<std::shared_mutex> ReadLock(S.Mutex);
+    auto It = S.Blocks.find(Pc);
+    if (It != S.Blocks.end())
       return It->second.get();
   }
 
-  std::unique_lock<std::shared_mutex> WriteLock(Mutex);
+  std::unique_lock<std::shared_mutex> WriteLock(S.Mutex, std::try_to_lock);
+  if (!WriteLock.owns_lock()) {
+    // Contended shard: another vCPU is translating (possibly this very
+    // pc). Count the wait, then block.
+    LockWaits.fetch_add(1, std::memory_order_relaxed);
+    WriteLock.lock();
+  }
   // Another thread may have translated it while we upgraded.
-  auto It = Blocks.find(Pc);
-  if (It != Blocks.end())
+  auto It = S.Blocks.find(Pc);
+  if (It != S.Blocks.end())
     return It->second.get();
 
   Misses.fetch_add(1, std::memory_order_relaxed);
-  // Translation runs under the writer lock, which also serializes the
-  // Translator's statistics.
+  // Translation runs under the shard writer lock; the Translator is
+  // thread-safe for concurrent translateBlock calls from other shards.
   auto BlockOrErr = Trans.translateBlock(Pc);
   if (!BlockOrErr)
     return BlockOrErr.error();
 
   auto Cached = std::make_unique<CachedBlock>();
   Cached->IR = BlockOrErr.take();
+  Cached->Decoded = engine::decodeBlock(Cached->IR);
   CachedBlock *Raw = Cached.get();
-  Blocks.emplace(Pc, std::move(Cached));
+  S.Blocks.emplace(Pc, std::move(Cached));
   return Raw;
 }
 
 ErrorOr<CachedBlock *> TbCache::chain(CachedBlock &Block, unsigned Slot,
                                       uint64_t TargetPc) {
+  // Acquire on the pointer pairs with the release store below, so the pc
+  // read afterwards is the one stored for this (or a later, identical)
+  // resolution. Both cells are atomic; racing writers store the same
+  // values because a block's branch targets are immutable.
   if (CachedBlock *Cached = Block.Chain[Slot].load(std::memory_order_acquire))
-    if (Block.ChainPc[Slot] == TargetPc)
+    if (Block.ChainPc[Slot].load(std::memory_order_relaxed) == TargetPc)
       return Cached;
 
   auto TargetOrErr = lookup(TargetPc);
   if (!TargetOrErr)
     return TargetOrErr.error();
-  // Benign race: several threads may resolve the same slot to the same
-  // value. ChainPc is written before the pointer is published.
-  Block.ChainPc[Slot] = TargetPc;
+  Block.ChainPc[Slot].store(TargetPc, std::memory_order_relaxed);
   Block.Chain[Slot].store(*TargetOrErr, std::memory_order_release);
   return *TargetOrErr;
 }
 
 void TbCache::flush() {
-  std::unique_lock<std::shared_mutex> WriteLock(Mutex);
-  Blocks.clear();
+  for (Shard &S : Shards) {
+    std::unique_lock<std::shared_mutex> WriteLock(S.Mutex);
+    for (auto &Entry : S.Blocks) {
+      // Sever stale chains: a retired block must not keep feeding its
+      // successors to a vCPU that still holds it.
+      Entry.second->Chain[0].store(nullptr, std::memory_order_release);
+      Entry.second->Chain[1].store(nullptr, std::memory_order_release);
+      S.Retired.push_back(std::move(Entry.second));
+    }
+    S.Blocks.clear();
+  }
+  // Publish the new generation last: a vCPU that observes it sees empty
+  // shards and drops its jump-cache contents.
+  Generation.fetch_add(1, std::memory_order_release);
 }
 
 size_t TbCache::size() const {
-  std::shared_lock<std::shared_mutex> ReadLock(Mutex);
-  return Blocks.size();
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::shared_lock<std::shared_mutex> ReadLock(S.Mutex);
+    Total += S.Blocks.size();
+  }
+  return Total;
 }

@@ -7,14 +7,24 @@
 /// \file
 /// The shared translation-block cache: guest pc -> translated block, with
 /// QEMU-style direct block chaining so the hot path (loops) avoids the
-/// hash lookup. Blocks are translated once under the writer lock and are
-/// immutable afterwards; chain pointers are published with atomics.
+/// hash lookup. The map is striped into mutex-guarded shards keyed by a
+/// PC hash, so cold misses from many vCPUs translate concurrently instead
+/// of serializing on one writer lock; each vCPU additionally keeps a
+/// lock-free direct-mapped jump cache (runtime/VCpu.h) consulted before
+/// any shard is touched.
+///
+/// Blocks are translated and decoded once under their shard's writer lock
+/// and are immutable afterwards; chain slots are published with atomics.
+/// flush() retires blocks instead of destroying them (vCPUs may still
+/// hold pointers) and bumps a generation counter that invalidates every
+/// per-vCPU jump cache.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLSC_ENGINE_TBCACHE_H
 #define LLSC_ENGINE_TBCACHE_H
 
+#include "engine/Decoded.h"
 #include "ir/IR.h"
 
 #include "support/Error.h"
@@ -23,6 +33,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace llsc {
 
@@ -32,13 +43,19 @@ class Translator;
 struct CachedBlock {
   ir::IRBlock IR;
 
+  /// Flat pre-decoded form executed by the engine (engine/Decoded.h);
+  /// built once at insertion, same length as IR.Insts.
+  std::vector<engine::DecodedInst> Decoded;
+
   /// Direct-chain successors: slot 0 = BrCond taken target, slot 1 =
-  /// final SetPcImm target. Resolved lazily; nullptr until then.
+  /// final SetPcImm target. Resolved lazily; nullptr until then. The
+  /// target pc is stored first (relaxed), then the pointer published with
+  /// release, so a reader that acquires the pointer sees a matching pc.
   std::atomic<CachedBlock *> Chain[2] = {nullptr, nullptr};
-  uint64_t ChainPc[2] = {~0ULL, ~0ULL};
+  std::atomic<uint64_t> ChainPc[2] = {~0ULL, ~0ULL};
 };
 
-/// Thread-safe pc -> block cache.
+/// Thread-safe pc -> block cache, mutex-striped into shards.
 class TbCache {
 public:
   explicit TbCache(Translator &Translator) : Trans(Translator) {}
@@ -53,6 +70,9 @@ public:
                                uint64_t TargetPc);
 
   /// Drops every cached block (e.g. between runs with different hooks).
+  /// Old blocks are retired, not freed, so concurrently executing vCPUs
+  /// holding a CachedBlock* stay valid; the generation bump makes every
+  /// jump cache and chain slot re-resolve through lookup().
   void flush();
 
   size_t size() const;
@@ -60,12 +80,42 @@ public:
   uint64_t lookups() const { return Lookups.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
 
+  /// Times a lookup found its shard's mutex contended (blocked acquire).
+  uint64_t lockWaits() const {
+    return LockWaits.load(std::memory_order_relaxed);
+  }
+
+  /// Cache generation; starts at 1 and increments on every flush().
+  /// Per-vCPU jump caches compare this against their stamped generation.
+  uint64_t generation() const {
+    return Generation.load(std::memory_order_acquire);
+  }
+
 private:
+  static constexpr unsigned ShardBits = 4;
+  static constexpr unsigned NumShards = 1u << ShardBits;
+
+  /// Fibonacci-hash the pc down to a shard index. Consecutive block pcs
+  /// land in different shards, so a phase-local working set spreads.
+  static unsigned shardIndex(uint64_t Pc) {
+    return static_cast<unsigned>((Pc * 0x9E3779B97F4A7C15ULL) >>
+                                 (64 - ShardBits));
+  }
+
+  struct alignas(64) Shard {
+    mutable std::shared_mutex Mutex;
+    std::unordered_map<uint64_t, std::unique_ptr<CachedBlock>> Blocks;
+    /// Blocks removed by flush() but possibly still referenced by a
+    /// running vCPU; freed with the cache.
+    std::vector<std::unique_ptr<CachedBlock>> Retired;
+  };
+
   Translator &Trans;
-  mutable std::shared_mutex Mutex;
-  std::unordered_map<uint64_t, std::unique_ptr<CachedBlock>> Blocks;
+  Shard Shards[NumShards];
   std::atomic<uint64_t> Lookups{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> LockWaits{0};
+  std::atomic<uint64_t> Generation{1};
 };
 
 } // namespace llsc

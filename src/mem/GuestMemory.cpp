@@ -61,6 +61,10 @@ ErrorOr<std::unique_ptr<GuestMemory>> GuestMemory::create(uint64_t Size) {
   Mem->ShadowBase = static_cast<uint8_t *>(Shadow);
   Mem->Size = Size;
   Mem->PageSize = PageSize;
+  Mem->PageRestricted =
+      std::make_unique<std::atomic<uint8_t>[]>(Size / PageSize);
+  for (uint64_t P = 0; P < Size / PageSize; ++P)
+    Mem->PageRestricted[P].store(0, std::memory_order_relaxed);
   return Mem;
 }
 
@@ -83,58 +87,11 @@ bool GuestMemory::primaryToGuest(const void *HostAddr,
 }
 
 uint64_t GuestMemory::loadFrom(const uint8_t *Ptr, unsigned Bytes) {
-  uintptr_t Raw = reinterpret_cast<uintptr_t>(Ptr);
-  if (LLSC_LIKELY(isAligned(Raw, Bytes))) {
-    switch (Bytes) {
-    case 1:
-      return __atomic_load_n(Ptr, __ATOMIC_RELAXED);
-    case 2:
-      return __atomic_load_n(reinterpret_cast<const uint16_t *>(Ptr),
-                             __ATOMIC_RELAXED);
-    case 4:
-      return __atomic_load_n(reinterpret_cast<const uint32_t *>(Ptr),
-                             __ATOMIC_RELAXED);
-    case 8:
-      return __atomic_load_n(reinterpret_cast<const uint64_t *>(Ptr),
-                             __ATOMIC_RELAXED);
-    default:
-      llsc_unreachable("bad access size");
-    }
-  }
-  // Unaligned: byte-wise (not single-copy atomic, like real hardware).
-  uint64_t Value = 0;
-  for (unsigned B = 0; B < Bytes; ++B)
-    Value |= static_cast<uint64_t>(__atomic_load_n(Ptr + B, __ATOMIC_RELAXED))
-             << (8 * B);
-  return Value;
+  return loadRelaxed(Ptr, Bytes);
 }
 
 void GuestMemory::storeTo(uint8_t *Ptr, uint64_t Value, unsigned Bytes) {
-  uintptr_t Raw = reinterpret_cast<uintptr_t>(Ptr);
-  if (LLSC_LIKELY(isAligned(Raw, Bytes))) {
-    switch (Bytes) {
-    case 1:
-      __atomic_store_n(Ptr, static_cast<uint8_t>(Value), __ATOMIC_RELAXED);
-      return;
-    case 2:
-      __atomic_store_n(reinterpret_cast<uint16_t *>(Ptr),
-                       static_cast<uint16_t>(Value), __ATOMIC_RELAXED);
-      return;
-    case 4:
-      __atomic_store_n(reinterpret_cast<uint32_t *>(Ptr),
-                       static_cast<uint32_t>(Value), __ATOMIC_RELAXED);
-      return;
-    case 8:
-      __atomic_store_n(reinterpret_cast<uint64_t *>(Ptr), Value,
-                       __ATOMIC_RELAXED);
-      return;
-    default:
-      llsc_unreachable("bad access size");
-    }
-  }
-  for (unsigned B = 0; B < Bytes; ++B)
-    __atomic_store_n(Ptr + B, static_cast<uint8_t>(Value >> (8 * B)),
-                     __ATOMIC_RELAXED);
+  storeRelaxed(Ptr, Value, Bytes);
 }
 
 bool GuestMemory::compareExchange(uint64_t Addr, uint64_t &Expected,
@@ -165,19 +122,43 @@ uint64_t GuestMemory::fetchAdd(uint64_t Addr, uint64_t Delta, unsigned Bytes) {
                             Delta, __ATOMIC_SEQ_CST);
 }
 
+void GuestMemory::setPageRestricted(uint64_t PageIdx, bool Restricted) {
+  uint8_t Prev = PageRestricted[PageIdx].exchange(Restricted ? 1 : 0,
+                                                 std::memory_order_relaxed);
+  if (Prev == (Restricted ? 1 : 0))
+    return;
+  if (Restricted) {
+    // Publish the restriction before any vCPU could re-validate its window:
+    // count first, then bump the epoch with release so a reader that sees
+    // the new epoch also sees RestrictedPages != 0.
+    RestrictedPages.fetch_add(1, std::memory_order_release);
+  } else {
+    RestrictedPages.fetch_sub(1, std::memory_order_release);
+  }
+  FastPathEpoch.fetch_add(1, std::memory_order_release);
+}
+
 bool GuestMemory::protectPage(uint64_t PageIdx, int Prot) {
   assert(PageIdx < numPages() && "page index out of range");
+  // Mark the page restricted *before* dropping permissions so no fast-path
+  // window revalidated mid-transition believes the whole space is RW.
+  bool Restricted = Prot != (PROT_READ | PROT_WRITE);
+  if (Restricted)
+    setPageRestricted(PageIdx, true);
   if (mprotect(PrimaryBase + PageIdx * PageSize, PageSize, Prot) != 0) {
     LLSC_ERROR("mprotect(page %llu, %d) failed: %s",
                static_cast<unsigned long long>(PageIdx), Prot,
                std::strerror(errno));
     return false;
   }
+  if (!Restricted)
+    setPageRestricted(PageIdx, false);
   return true;
 }
 
 bool GuestMemory::remapPageAway(uint64_t PageIdx) {
   assert(PageIdx < numPages() && "page index out of range");
+  setPageRestricted(PageIdx, true);
   void *Target = PrimaryBase + PageIdx * PageSize;
   // Replace the memfd-backed page with an inaccessible anonymous page; the
   // data stays in the memfd (shared with the shadow mapping).
@@ -205,6 +186,7 @@ bool GuestMemory::remapPageBack(uint64_t PageIdx, bool Writable) {
                std::strerror(errno));
     return false;
   }
+  setPageRestricted(PageIdx, !Writable);
   return true;
 }
 

@@ -25,8 +25,10 @@
 #define LLSC_MEM_GUESTMEMORY_H
 
 #include "support/BitUtils.h"
+#include "support/Compiler.h"
 #include "support/Error.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -76,6 +78,96 @@ public:
   /// \p GuestAddr to the corresponding guest address. Used by the fault
   /// handler to map a faulting host address back to guest space.
   bool primaryToGuest(const void *HostAddr, uint64_t &GuestAddr) const;
+
+  // --- Fast-path window (engine hot loop) ---------------------------------
+  //
+  // The engine caches {primaryBase(), size()} per vCPU and performs
+  // in-bounds raw loads/stores directly, skipping the accessor calls. The
+  // cache is valid only while no page of the primary mapping is in a
+  // restricted (non-read-write) state; the page-protection entry points
+  // below bump fastPathEpoch() on every transition so cached windows are
+  // re-validated at block granularity. See docs/ENGINE.md for the
+  // invalidation contract with the PST-family schemes.
+
+  /// Base of the primary mapping (stable for the lifetime of the memory;
+  /// remap operations replace pages in place, never move the base).
+  uint8_t *primaryBase() { return PrimaryBase; }
+
+  /// Monotonic counter of page-protection transitions (mprotect/remap).
+  /// Cheap relaxed load; compare against a cached value to re-validate a
+  /// fast-path window.
+  uint64_t fastPathEpoch() const {
+    return FastPathEpoch.load(std::memory_order_acquire);
+  }
+
+  /// \returns true when every primary page is mapped read-write, i.e. a
+  /// raw in-bounds access through primaryBase() cannot fault.
+  bool fastPathAllowed() const {
+    return RestrictedPages.load(std::memory_order_acquire) == 0;
+  }
+
+  // --- Raw relaxed host accessors -----------------------------------------
+
+  /// Loads \p Bytes (1/2/4/8) from \p Ptr with relaxed host atomics,
+  /// zero-extended; unaligned accesses fall back to byte-wise assembly
+  /// (not single-copy atomic, like real hardware). Public so the engine's
+  /// fast path performs the identical access the accessors below do.
+  static uint64_t loadRelaxed(const uint8_t *Ptr, unsigned Bytes) {
+    uintptr_t Raw = reinterpret_cast<uintptr_t>(Ptr);
+    if (LLSC_LIKELY(isAligned(Raw, Bytes))) {
+      switch (Bytes) {
+      case 1:
+        return __atomic_load_n(Ptr, __ATOMIC_RELAXED);
+      case 2:
+        return __atomic_load_n(reinterpret_cast<const uint16_t *>(Ptr),
+                               __ATOMIC_RELAXED);
+      case 4:
+        return __atomic_load_n(reinterpret_cast<const uint32_t *>(Ptr),
+                               __ATOMIC_RELAXED);
+      case 8:
+        return __atomic_load_n(reinterpret_cast<const uint64_t *>(Ptr),
+                               __ATOMIC_RELAXED);
+      default:
+        llsc_unreachable("bad access size");
+      }
+    }
+    uint64_t Value = 0;
+    for (unsigned B = 0; B < Bytes; ++B)
+      Value |= static_cast<uint64_t>(
+                   __atomic_load_n(Ptr + B, __ATOMIC_RELAXED))
+               << (8 * B);
+    return Value;
+  }
+
+  /// Stores the low \p Bytes of \p Value to \p Ptr with relaxed host
+  /// atomics (byte-wise when unaligned). Counterpart of loadRelaxed().
+  static void storeRelaxed(uint8_t *Ptr, uint64_t Value, unsigned Bytes) {
+    uintptr_t Raw = reinterpret_cast<uintptr_t>(Ptr);
+    if (LLSC_LIKELY(isAligned(Raw, Bytes))) {
+      switch (Bytes) {
+      case 1:
+        __atomic_store_n(Ptr, static_cast<uint8_t>(Value), __ATOMIC_RELAXED);
+        return;
+      case 2:
+        __atomic_store_n(reinterpret_cast<uint16_t *>(Ptr),
+                         static_cast<uint16_t>(Value), __ATOMIC_RELAXED);
+        return;
+      case 4:
+        __atomic_store_n(reinterpret_cast<uint32_t *>(Ptr),
+                         static_cast<uint32_t>(Value), __ATOMIC_RELAXED);
+        return;
+      case 8:
+        __atomic_store_n(reinterpret_cast<uint64_t *>(Ptr), Value,
+                         __ATOMIC_RELAXED);
+        return;
+      default:
+        llsc_unreachable("bad access size");
+      }
+    }
+    for (unsigned B = 0; B < Bytes; ++B)
+      __atomic_store_n(Ptr + B, static_cast<uint8_t>(Value >> (8 * B)),
+                       __ATOMIC_RELAXED);
+  }
 
   // --- Typed accessors (primary mapping; relaxed host atomics) -----------
 
@@ -139,11 +231,23 @@ private:
   static uint64_t loadFrom(const uint8_t *Ptr, unsigned Bytes);
   static void storeTo(uint8_t *Ptr, uint64_t Value, unsigned Bytes);
 
+  /// Marks page \p PageIdx restricted (non-read-write) or unrestricted,
+  /// updating RestrictedPages and publishing a new fast-path epoch.
+  void setPageRestricted(uint64_t PageIdx, bool Restricted);
+
   int MemFd = -1;
   uint8_t *PrimaryBase = nullptr;
   uint8_t *ShadowBase = nullptr;
   uint64_t Size = 0;
   unsigned PageSize = 4096;
+
+  /// Per-page restriction state of the primary mapping (1 = the page is
+  /// not PROT_READ|PROT_WRITE, so a raw access may fault). Drives the
+  /// fast-path window: RestrictedPages counts set bits, FastPathEpoch
+  /// increments on every transition.
+  std::unique_ptr<std::atomic<uint8_t>[]> PageRestricted;
+  std::atomic<uint64_t> RestrictedPages{0};
+  std::atomic<uint64_t> FastPathEpoch{1};
 };
 
 } // namespace llsc

@@ -33,6 +33,10 @@ void EventCounters::merge(const EventCounters &Other) {
   InlineInstrumentOps += Other.InlineInstrumentOps;
   FaultsRecovered += Other.FaultsRecovered;
   FalseSharingFaults += Other.FalseSharingFaults;
+  JmpCacheHits += Other.JmpCacheHits;
+  JmpCacheMisses += Other.JmpCacheMisses;
+  FastMemHits += Other.FastMemHits;
+  FastMemSlow += Other.FastMemSlow;
 }
 
 void EventCounters::reset() { *this = EventCounters(); }
@@ -63,6 +67,10 @@ void EventCounters::flushToRegistry() const {
     std::atomic<uint64_t> *InlineInstrumentOps;
     std::atomic<uint64_t> *FaultsRecovered;
     std::atomic<uint64_t> *FalseSharingFaults;
+    std::atomic<uint64_t> *JmpCacheHits;
+    std::atomic<uint64_t> *JmpCacheMisses;
+    std::atomic<uint64_t> *FastMemHits;
+    std::atomic<uint64_t> *FastMemSlow;
   };
   static const Cached C = [] {
     CounterRegistry &R = CounterRegistry::instance();
@@ -89,6 +97,10 @@ void EventCounters::flushToRegistry() const {
         R.counter("instr.inline_ops"),
         R.counter("fault.recovered"),
         R.counter("fault.false_sharing"),
+        R.counter("engine.jmpcache.hit"),
+        R.counter("engine.jmpcache.miss"),
+        R.counter("engine.fastmem.hit"),
+        R.counter("engine.fastmem.slow"),
     };
   }();
 
@@ -118,4 +130,8 @@ void EventCounters::flushToRegistry() const {
   Add(C.InlineInstrumentOps, InlineInstrumentOps);
   Add(C.FaultsRecovered, FaultsRecovered);
   Add(C.FalseSharingFaults, FalseSharingFaults);
+  Add(C.JmpCacheHits, JmpCacheHits);
+  Add(C.JmpCacheMisses, JmpCacheMisses);
+  Add(C.FastMemHits, FastMemHits);
+  Add(C.FastMemSlow, FastMemSlow);
 }

@@ -76,6 +76,12 @@ struct EventCounters {
   uint64_t FaultsRecovered = 0;    ///< SIGSEGV/SIGBUS recovered via FaultGuard.
   uint64_t FalseSharingFaults = 0; ///< Faults on pages shared, not raced.
 
+  // --- Engine hot path ------------------------------------------------------
+  uint64_t JmpCacheHits = 0;   ///< Indirect branches resolved lock-free.
+  uint64_t JmpCacheMisses = 0; ///< Indirect branches that hit the TB cache.
+  uint64_t FastMemHits = 0;    ///< LoadG/StoreG via the fast-path window.
+  uint64_t FastMemSlow = 0;    ///< LoadG/StoreG via the GuestMemory accessors.
+
   /// Accumulates \p Other into this block (for cross-vCPU aggregation).
   void merge(const EventCounters &Other);
 
@@ -107,6 +113,10 @@ struct EventCounters {
     Fn("instr.inline_ops", InlineInstrumentOps);
     Fn("fault.recovered", FaultsRecovered);
     Fn("fault.false_sharing", FalseSharingFaults);
+    Fn("engine.jmpcache.hit", JmpCacheHits);
+    Fn("engine.jmpcache.miss", JmpCacheMisses);
+    Fn("engine.fastmem.hit", FastMemHits);
+    Fn("engine.fastmem.slow", FastMemSlow);
   }
 
   /// Adds every counter into the process-wide CounterRegistry under the

@@ -27,6 +27,7 @@ class GuestMemory;
 class ExclusiveContext;
 class HtmRuntime;
 class AtomicScheme;
+struct CachedBlock;
 
 /// Shared services a Machine hands to its vCPUs and scheme.
 struct MachineContext {
@@ -95,6 +96,46 @@ struct CpuCounters {
   }
 };
 
+/// Per-vCPU direct-mapped jump cache (QEMU's tb_jmp_cache): the lock-free
+/// first level in front of the sharded TbCache, consulted on every
+/// indirect branch. Entries hold opaque CachedBlock pointers the engine
+/// stamps; validity is Block != nullptr plus a matching Pc. The whole
+/// cache is invalidated by comparing Generation against
+/// TbCache::generation() (bumped on flush) — one relaxed-ish load per
+/// probe instead of a flush broadcast.
+struct JumpCache {
+  static constexpr unsigned Bits = 10;
+  static constexpr unsigned Entries = 1u << Bits;
+
+  struct Entry {
+    uint64_t Pc = 0;
+    CachedBlock *Block = nullptr;
+  };
+
+  Entry Slots[Entries];
+  /// TbCache generation the contents were filled under; 0 = never filled.
+  uint64_t Generation = 0;
+
+  /// Instructions are 4-byte aligned, so drop the low bits before hashing.
+  static unsigned slotIndex(uint64_t Pc) {
+    return static_cast<unsigned>((Pc >> 2) & (Entries - 1));
+  }
+
+  CachedBlock *probe(uint64_t Pc) const {
+    const Entry &E = Slots[slotIndex(Pc)];
+    return E.Pc == Pc ? E.Block : nullptr;
+  }
+
+  void insert(uint64_t Pc, CachedBlock *Block) {
+    Slots[slotIndex(Pc)] = {Pc, Block};
+  }
+
+  void clear() {
+    for (Entry &E : Slots)
+      E = Entry();
+  }
+};
+
 /// One guest hardware thread.
 struct VCpu {
   uint64_t Regs[guest::NumGuestRegs] = {};
@@ -125,6 +166,18 @@ struct VCpu {
   /// footprint to the open transaction while set.
   bool InLongTx = false;
 
+  /// Lock-free first-level block lookup for indirect branches.
+  JumpCache JmpCache;
+
+  /// Guest-memory fast-path window: when FastMemLimit != 0, an access
+  /// with Addr + Size <= FastMemLimit may go straight through FastMemBase
+  /// (the primary mapping) without the GuestMemory accessors. The window
+  /// is collapsed to zero whenever any page is restricted; the engine
+  /// re-validates it against GuestMemory::fastPathEpoch() per block.
+  uint8_t *FastMemBase = nullptr;
+  uint64_t FastMemLimit = 0;
+  uint64_t FastMemEpoch = 0; ///< Epoch the window was computed under.
+
   CpuProfile *profileOrNull() {
     return ProfilingEnabled ? &Profile : nullptr;
   }
@@ -140,6 +193,11 @@ struct VCpu {
     Events.reset();
     Profile.reset();
     InLongTx = false;
+    JmpCache.clear();
+    JmpCache.Generation = 0;
+    FastMemBase = nullptr;
+    FastMemLimit = 0;
+    FastMemEpoch = 0;
   }
 };
 

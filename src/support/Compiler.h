@@ -22,6 +22,18 @@
 #define LLSC_NOINLINE __attribute__((noinline))
 #define LLSC_ALWAYS_INLINE inline __attribute__((always_inline))
 
+/// Computed-goto ("labels as values") support for the threaded-dispatch
+/// interpreter. GCC and Clang both implement the extension; other
+/// compilers fall back to a switch-based dispatch loop with identical
+/// semantics (engine/Engine.cpp). Define LLSC_FORCE_SWITCH_DISPATCH to
+/// exercise the fallback on a GNU compiler (the CI matrix does).
+#if (defined(__GNUC__) || defined(__clang__)) &&                               \
+    !defined(LLSC_FORCE_SWITCH_DISPATCH)
+#define LLSC_HAS_COMPUTED_GOTO 1
+#else
+#define LLSC_HAS_COMPUTED_GOTO 0
+#endif
+
 /// Marks a point in the code that must never be reached. Prints the message
 /// and aborts; in optimized builds it still aborts (never UB).
 #define llsc_unreachable(MSG)                                                  \

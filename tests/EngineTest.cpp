@@ -8,6 +8,7 @@
 #include "engine/TbCache.h"
 
 #include <gtest/gtest.h>
+#include <sys/mman.h>
 
 using namespace llsc;
 
@@ -268,6 +269,134 @@ data:   .quad 0
   EXPECT_EQ(Counting.Lls, 1u);
   EXPECT_EQ(Counting.Scs, 1u);
   EXPECT_EQ(Counting.Stores, 1u);
+}
+
+namespace {
+
+// Contended LL/SC counter: NumThreads x Iters increments of one word.
+// Exercises the guest-memory fast path (plain loads/stores around the
+// atomic sequence) while the page-protection schemes restrict and
+// restore pages underneath it.
+constexpr const char *ContendedCounterSource = R"(
+_start: la      r1, counter
+        la      r8, scratch
+        li      r9, #200
+loop:   cbz     r9, done
+retry:  ldxr.w  r3, [r1]
+        addi    r5, r3, #1
+        stxr.w  r6, r5, [r1]
+        cbnz    r6, retry
+        ldd     r7, [r8]        ; plain load on the fastmem path
+        addi    r7, r7, #1
+        std     r7, [r8, #8]    ; plain store on the fastmem path
+        addi    r9, r9, #-1
+        b       loop
+done:   halt
+        .align 4096
+counter: .word 0
+        .align 64
+scratch: .quad 0
+        .quad 0
+)";
+
+} // namespace
+
+TEST(Engine, PstFaultsCorrectlyWithFastMem) {
+  // PST restricts pages with mprotect during exclusive sections. The raw
+  // fastmem path must never let a plain access slip past the protection:
+  // the final count proves no increment was lost to a missed fault.
+  MachineConfig Config;
+  Config.Scheme = SchemeKind::Pst;
+  Config.NumThreads = 4;
+  Config.MemBytes = 8ULL << 20;
+  auto M = Machine::create(Config).take();
+  ASSERT_TRUE(bool(M->loadAssembly(ContendedCounterSource)));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_TRUE(Result->AllHalted);
+  EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
+            800u)
+      << "a lost increment means a plain store bypassed the PST fault";
+  EXPECT_GT(Result->Events.MprotectCalls, 0u)
+      << "the scheme must actually have protected pages during the run";
+}
+
+TEST(Engine, PstRemapFaultsCorrectlyWithFastMem) {
+  MachineConfig Config;
+  Config.Scheme = SchemeKind::PstRemap;
+  Config.NumThreads = 4;
+  Config.MemBytes = 8ULL << 20;
+  auto M = Machine::create(Config).take();
+  ASSERT_TRUE(bool(M->loadAssembly(ContendedCounterSource)));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_TRUE(Result->AllHalted);
+  EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
+            800u)
+      << "a lost increment means a plain access bypassed the remap fault";
+  EXPECT_GT(Result->Events.RemapCalls, 0u);
+}
+
+TEST(Engine, FastMemDisabledWhilePagesRestricted) {
+  // Force a page restriction around a run: the per-vCPU fast-path window
+  // must close (all accesses take the slow checked path) and reopen once
+  // the restriction clears.
+  auto M = makeMachine();
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: la  r1, data
+        li  r4, #100
+loop:   cbz r4, done
+        ldd r2, [r1]
+        addi r2, r2, #1
+        std r2, [r1]
+        addi r4, r4, #-1
+        b   loop
+done:   halt
+        .align 64
+data:   .quad 0
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_GT(Result->Events.FastMemHits, 0u);
+  EXPECT_EQ(Result->Events.FastMemSlow, 0u);
+
+  // Restrict an unrelated page: the window collapses machine-wide.
+  ASSERT_TRUE(M->mem().protectPage(1000, PROT_READ));
+  EXPECT_FALSE(M->mem().fastPathAllowed());
+  auto Restricted = M->run();
+  ASSERT_TRUE(bool(Restricted)) << Restricted.error().render();
+  EXPECT_EQ(Restricted->Events.FastMemHits, 0u)
+      << "no raw access may happen while any page is restricted";
+  EXPECT_GT(Restricted->Events.FastMemSlow, 0u);
+
+  ASSERT_TRUE(M->mem().protectPage(1000, PROT_READ | PROT_WRITE));
+  auto Reopened = M->run();
+  ASSERT_TRUE(bool(Reopened)) << Reopened.error().render();
+  EXPECT_GT(Reopened->Events.FastMemHits, 0u);
+}
+
+TEST(Engine, JumpCacheCountersOnIndirectWorkload) {
+  auto M = makeMachine();
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: li   r2, #1000
+loop:   cbz  r2, done
+        bl   callee
+        addi r2, r2, #-1
+        b    loop
+done:   halt
+callee: addi r3, r3, #1
+        ret
+)")));
+  auto Result = M->run();
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_EQ(M->cpu(0).Regs[3], 1000u);
+  // Every `ret` is an indirect branch; after the cold misses the jump
+  // cache must serve nearly all of them.
+  uint64_t Hits = Result->Events.JmpCacheHits;
+  uint64_t Misses = Result->Events.JmpCacheMisses;
+  EXPECT_GT(Hits + Misses, 900u);
+  EXPECT_GE(Hits * 100, (Hits + Misses) * 95)
+      << "jump-cache hit rate below 95% on a two-target indirect loop";
 }
 
 TEST(Engine, WallBudgetStopsRunawayGuest) {

@@ -55,6 +55,64 @@ TEST(GuestMemory, ShadowAliasesPrimary) {
   EXPECT_EQ(Mem->load(0x208, 8), 43u);
 }
 
+TEST(GuestMemory, FastPathWindowTracksPageProtection) {
+  auto Mem = makeMem();
+  EXPECT_TRUE(Mem->fastPathAllowed());
+  uint64_t Epoch0 = Mem->fastPathEpoch();
+
+  // Restricting any page collapses the window and moves the epoch.
+  ASSERT_TRUE(Mem->protectPage(3, PROT_READ));
+  EXPECT_FALSE(Mem->fastPathAllowed());
+  uint64_t Epoch1 = Mem->fastPathEpoch();
+  EXPECT_GT(Epoch1, Epoch0);
+
+  // Re-protecting an already-restricted page is not a transition.
+  ASSERT_TRUE(Mem->protectPage(3, PROT_NONE));
+  EXPECT_EQ(Mem->fastPathEpoch(), Epoch1);
+
+  // Restoring read-write re-opens the window under a fresh epoch.
+  ASSERT_TRUE(Mem->protectPage(3, PROT_READ | PROT_WRITE));
+  EXPECT_TRUE(Mem->fastPathAllowed());
+  EXPECT_GT(Mem->fastPathEpoch(), Epoch1);
+}
+
+TEST(GuestMemory, FastPathWindowTracksRemap) {
+  auto Mem = makeMem();
+  uint64_t Epoch0 = Mem->fastPathEpoch();
+
+  ASSERT_TRUE(Mem->remapPageAway(2));
+  EXPECT_FALSE(Mem->fastPathAllowed());
+
+  // Remap back read-only: still restricted (a raw store would fault).
+  ASSERT_TRUE(Mem->remapPageBack(2, /*Writable=*/false));
+  EXPECT_FALSE(Mem->fastPathAllowed());
+
+  ASSERT_TRUE(Mem->protectPage(2, PROT_READ | PROT_WRITE));
+  EXPECT_TRUE(Mem->fastPathAllowed());
+  EXPECT_GT(Mem->fastPathEpoch(), Epoch0);
+
+  // Two restricted pages: both must clear before the window re-opens.
+  ASSERT_TRUE(Mem->remapPageAway(4));
+  ASSERT_TRUE(Mem->protectPage(5, PROT_READ));
+  EXPECT_FALSE(Mem->fastPathAllowed());
+  ASSERT_TRUE(Mem->remapPageBack(4, /*Writable=*/true));
+  EXPECT_FALSE(Mem->fastPathAllowed());
+  ASSERT_TRUE(Mem->protectPage(5, PROT_READ | PROT_WRITE));
+  EXPECT_TRUE(Mem->fastPathAllowed());
+}
+
+TEST(GuestMemory, RelaxedAccessorsMatchAccessorPath) {
+  auto Mem = makeMem();
+  Mem->store(0x400, 0x0123456789abcdefULL, 8);
+  EXPECT_EQ(GuestMemory::loadRelaxed(Mem->primaryBase() + 0x400, 8),
+            0x0123456789abcdefULL);
+  GuestMemory::storeRelaxed(Mem->primaryBase() + 0x404, 0xfeed, 2);
+  EXPECT_EQ(Mem->load(0x404, 2), 0xfeedULL);
+  // Unaligned byte-assembly path.
+  GuestMemory::storeRelaxed(Mem->primaryBase() + 0x409, 0xcafebabe, 4);
+  EXPECT_EQ(Mem->load(0x409, 4), 0xcafebabeULL);
+}
+
 TEST(GuestMemory, CompareExchange) {
   auto Mem = makeMem();
   Mem->store(0x300, 10, 4);

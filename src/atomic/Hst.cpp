@@ -34,6 +34,7 @@
 #include "runtime/Exclusive.h"
 #include "runtime/Observe.h"
 #include "support/BitUtils.h"
+#include "support/Compiler.h"
 #include "support/Timing.h"
 
 #include <atomic>
@@ -77,9 +78,37 @@ public:
   /// Entries hold tid+1 so 0 means "never touched".
   static uint32_t tagFor(unsigned Tid) { return Tid + 1; }
 
+  /// Tags every 4-byte granule covered by [Addr, Addr + Size). The table
+  /// is granule-indexed, so an access wider than 4 bytes (or one that
+  /// straddles a granule boundary) owns several entries; tagging only the
+  /// first would let a store to the uncovered granules slip past an armed
+  /// monitor. Aligned accesses of <= 4 bytes cover exactly one granule —
+  /// the common fast path stays a single plain store.
+  void tagGranules(uint64_t Addr, unsigned Size, uint32_t Tag) {
+    uint64_t First = Addr >> 2;
+    uint64_t Last = (Addr + Size - 1) >> 2;
+    Table[First & Mask].store(Tag, std::memory_order_relaxed);
+    while (LLSC_UNLIKELY(First != Last)) {
+      ++First;
+      Table[First & Mask].store(Tag, std::memory_order_relaxed);
+    }
+  }
+
+  /// \returns true if every granule covered by [Addr, Addr + Size) still
+  /// carries \p Tag (the SC-side dual of tagGranules).
+  bool granulesCarry(uint64_t Addr, unsigned Size, uint32_t Tag) const {
+    uint64_t First = Addr >> 2;
+    uint64_t Last = (Addr + Size - 1) >> 2;
+    for (; First <= Last; ++First)
+      if (Table[First & Mask].load(std::memory_order_relaxed) != Tag)
+        return false;
+    return true;
+  }
+
   uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
-    // Figure 5 LL: Htable_set(addr, tid), then the load.
-    Table[entryIndex(Addr)].store(tagFor(Cpu.Tid), std::memory_order_relaxed);
+    // Figure 5 LL: Htable_set(addr, tid) for every covered granule, then
+    // the load.
+    tagGranules(Addr, Size, tagFor(Cpu.Tid));
     uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
     Cpu.Monitor.arm(Addr, Value, Size);
     return Value;
@@ -98,9 +127,9 @@ public:
     {
       BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Exclusive);
       ExclusiveSection Excl(Cpu, Cpu.InRunLoop);
-      // Figure 5 SC: Htable_check — the entry must still carry our tag.
-      Ok = Table[entryIndex(Addr)].load(std::memory_order_relaxed) ==
-           tagFor(Cpu.Tid);
+      // Figure 5 SC: Htable_check — every covered granule must still
+      // carry our tag.
+      Ok = granulesCarry(Addr, Size, tagFor(Cpu.Tid));
       if (Ok) {
         // The SC store leaves our tag in the entry, which is what breaks
         // every other thread's monitor of this location.
@@ -130,9 +159,11 @@ public:
     ValueId EffAddr =
         Offset ? B.emitBinImm(IROp::AddImm, Addr, Offset) : Addr;
     if (Variant == SchemeKind::HstHelper) {
-      // Ablation: same table update through a helper call.
+      // Ablation: same table update through a helper call. The access size
+      // is a translation-time constant, so it is baked into the thunk
+      // instead of being marshalled as a runtime argument.
       HelperFn Fn;
-      Fn.Fn = &hstStoreHelperThunk;
+      Fn.Fn = helperThunkForSize(Size);
       Fn.Ctx = this;
       Fn.Name = "hst_store_helper";
       B.emitHelper(Fn, EffAddr, EffAddr);
@@ -141,21 +172,36 @@ public:
       // this is ~4 host instructions emitted into the TB; the fused
       // micro-op models that as a single interpreter dispatch so the
       // inline-vs-helper cost ratio survives interpretation.
-      B.emitHstStoreTag(EffAddr, 0);
+      B.emitHstStoreTag(EffAddr, 0, Size);
     }
     B.setInstrumentMode(false);
   }
 
 protected:
+  template <unsigned Size>
   static uint64_t hstStoreHelperThunk(void *SchemeCtx, void *CpuPtr,
                                       uint64_t Addr, uint64_t /*B*/) {
     auto *Self = static_cast<Hst *>(SchemeCtx);
     auto *Cpu = static_cast<VCpu *>(CpuPtr);
     simulateQemuHelperCall(*Cpu);
     BucketTimer Timer(Cpu->profileOrNull(), ProfileBucket::Instrument);
-    Self->Table[Self->entryIndex(Addr)].store(tagFor(Cpu->Tid),
-                                              std::memory_order_relaxed);
+    Self->tagGranules(Addr, Size, tagFor(Cpu->Tid));
     return 0;
+  }
+
+  static HelperFnPtr helperThunkForSize(unsigned Size) {
+    switch (Size) {
+    case 1:
+      return &hstStoreHelperThunk<1>;
+    case 2:
+      return &hstStoreHelperThunk<2>;
+    case 4:
+      return &hstStoreHelperThunk<4>;
+    case 8:
+      return &hstStoreHelperThunk<8>;
+    }
+    assert(false && "unsupported store size");
+    return &hstStoreHelperThunk<4>;
   }
 
   SchemeKind Variant;

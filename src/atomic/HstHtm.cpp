@@ -25,6 +25,7 @@
 #include "runtime/Exclusive.h"
 #include "runtime/Observe.h"
 #include "support/BitUtils.h"
+#include "support/Compiler.h"
 #include "support/Timing.h"
 
 #include <atomic>
@@ -63,8 +64,30 @@ public:
   uint64_t entryIndex(uint64_t Addr) const { return (Addr >> 2) & Mask; }
   static uint32_t tagFor(unsigned Tid) { return Tid + 1; }
 
+  /// Multi-granule tag/check, same rationale as Hst::tagGranules: the
+  /// table is 4-byte-granule indexed, so a wide or straddling access owns
+  /// every covered entry, not just the first.
+  void tagGranules(uint64_t Addr, unsigned Size, uint32_t Tag) {
+    uint64_t First = Addr >> 2;
+    uint64_t Last = (Addr + Size - 1) >> 2;
+    Table[First & Mask].store(Tag, std::memory_order_relaxed);
+    while (LLSC_UNLIKELY(First != Last)) {
+      ++First;
+      Table[First & Mask].store(Tag, std::memory_order_relaxed);
+    }
+  }
+
+  bool granulesCarry(uint64_t Addr, unsigned Size, uint32_t Tag) const {
+    uint64_t First = Addr >> 2;
+    uint64_t Last = (Addr + Size - 1) >> 2;
+    for (; First <= Last; ++First)
+      if (Table[First & Mask].load(std::memory_order_relaxed) != Tag)
+        return false;
+    return true;
+  }
+
   uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
-    Table[entryIndex(Addr)].store(tagFor(Cpu.Tid), std::memory_order_relaxed);
+    tagGranules(Addr, Size, tagFor(Cpu.Tid));
     uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
     Cpu.Monitor.arm(Addr, Value, Size);
     return Value;
@@ -94,9 +117,9 @@ public:
           Trace->instant(Cpu.Tid, "htm-abort", "htm");
         continue; // Conflict: retry the tiny transaction.
       }
-      // Figure 6: HTM_xbegin; Htable_check; store; HTM_xend.
-      bool CheckOk = Table[entryIndex(Addr)].load(
-                         std::memory_order_relaxed) == tagFor(Cpu.Tid);
+      // Figure 6: HTM_xbegin; Htable_check; store; HTM_xend. The check
+      // covers every granule the SC touches.
+      bool CheckOk = granulesCarry(Addr, Size, tagFor(Cpu.Tid));
       if (CheckOk)
         Ctx->Mem->shadowStore(Addr, Value, Size);
       if (Ctx->Htm->commit(Cpu.Tid)) {
@@ -119,8 +142,7 @@ public:
       Cpu.Events.HtmFallbacks++;
       BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Exclusive);
       ExclusiveSection Excl(Cpu, Cpu.InRunLoop);
-      Ok = Table[entryIndex(Addr)].load(std::memory_order_relaxed) ==
-           tagFor(Cpu.Tid);
+      Ok = granulesCarry(Addr, Size, tagFor(Cpu.Tid));
       if (Ok)
         Ctx->Mem->shadowStore(Addr, Value, Size);
     }
@@ -146,7 +168,7 @@ public:
     B.setInstrumentMode(true);
     ValueId EffAddr =
         Offset ? B.emitBinImm(IROp::AddImm, Addr, Offset) : Addr;
-    B.emitHstStoreTag(EffAddr, 0);
+    B.emitHstStoreTag(EffAddr, 0, Size);
     B.setInstrumentMode(false);
   }
 

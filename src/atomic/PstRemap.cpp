@@ -47,11 +47,23 @@ public:
 
   bool loadsViaHelper() const override { return true; }
 
+  /// Snapshots this thread's scheme-level monitor under the Mutex.
+  /// Monitors[Tid].Valid is written by *other* threads
+  /// (breakOverlappingLocked under Mutex), so reading it unlocked is a
+  /// data race; the snapshot may go stale the moment the Mutex drops, but
+  /// only towards "released" — no thread but the owner ever arms it — and
+  /// releaseMonitorLocked rechecks Valid under the lock before acting.
+  PageMonitor monitorSnapshot(unsigned Tid) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Monitors[Tid];
+  }
+
   uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
     // Release any previous monitor first (its page lock, then ours, are
     // taken in separate critical sections to keep lock ordering simple).
-    if (Monitors[Cpu.Tid].Valid) {
-      uint64_t OldPage = Ctx->Mem->pageIndex(Monitors[Cpu.Tid].Addr);
+    PageMonitor Prev = monitorSnapshot(Cpu.Tid);
+    if (Prev.Valid) {
+      uint64_t OldPage = Ctx->Mem->pageIndex(Prev.Addr);
       std::lock_guard<std::mutex> PageLock(PageLocks[OldPage]);
       std::lock_guard<std::mutex> Lock(Mutex);
       releaseMonitorLocked(Cpu.Tid, &Cpu);
@@ -75,6 +87,21 @@ public:
                   Cpu.Monitor.Size == Size;
     uint64_t PageIdx = Ctx->Mem->pageIndex(Addr);
 
+    // A stale monitor from an earlier LL can live on a *different* page
+    // than this SC. The failure path below releases with
+    // AdjustProtection=false — correct for this SC's page, whose
+    // protection the trailing remapPageBack re-establishes, but it would
+    // strand the stale monitor's page read-only forever (every later
+    // plain store to it would fault). Release such a monitor up front,
+    // under its own page lock, with normal protection handling.
+    PageMonitor Prev = monitorSnapshot(Cpu.Tid);
+    if (Prev.Valid && Ctx->Mem->pageIndex(Prev.Addr) != PageIdx) {
+      uint64_t OldPage = Ctx->Mem->pageIndex(Prev.Addr);
+      std::lock_guard<std::mutex> PageLock(PageLocks[OldPage]);
+      std::lock_guard<std::mutex> Lock(Mutex);
+      releaseMonitorLocked(Cpu.Tid, &Cpu);
+    }
+
     bool Ok = false;
     {
       std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
@@ -97,7 +124,10 @@ public:
                                  &Cpu, /*AdjustProtection=*/false);
         } else {
           // Exact-range monitors: every failure is a genuinely lost (or
-          // never-armed) monitor, as in PST.
+          // never-armed) monitor, as in PST. Any surviving monitor of
+          // ours is on this page (foreign-page ones were released
+          // above), so skipping protection here is safe: remapPageBack
+          // re-derives this page's protection from the live count.
           Cpu.Events.ScFailMonitorLost++;
           releaseMonitorLocked(Cpu.Tid, &Cpu,
                                /*AdjustProtection=*/false);
@@ -117,8 +147,9 @@ public:
   }
 
   void clearExclusive(VCpu &Cpu) override {
-    if (Monitors[Cpu.Tid].Valid) {
-      uint64_t PageIdx = Ctx->Mem->pageIndex(Monitors[Cpu.Tid].Addr);
+    PageMonitor Prev = monitorSnapshot(Cpu.Tid);
+    if (Prev.Valid) {
+      uint64_t PageIdx = Ctx->Mem->pageIndex(Prev.Addr);
       std::lock_guard<std::mutex> PageLock(PageLocks[PageIdx]);
       std::lock_guard<std::mutex> Lock(Mutex);
       releaseMonitorLocked(Cpu.Tid, &Cpu);

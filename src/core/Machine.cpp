@@ -197,41 +197,60 @@ ErrorOr<RunResult> Machine::run() {
 }
 
 ErrorOr<RunResult> Machine::runCooperative(uint64_t BlocksPerSlice) {
+  RoundRobinSchedule Sched;
+  return runScheduled(Sched, BlocksPerSlice);
+}
+
+ErrorOr<RunResult> Machine::runScheduled(ScheduleController &Sched,
+                                         uint64_t BlocksPerSlice,
+                                         SliceObserver *Observer) {
   assert(BlocksPerSlice > 0 && "slice must be positive");
   prepareRun();
   uint64_t FaultsBefore = FaultGuard::recoveredFaultCount();
   uint64_t LockWaitsBefore = Cache->lockWaits();
+  Sched.begin(Config.NumThreads);
+
+  // A vCPU leaves the runnable set when it halts or exhausts its block /
+  // time budget (TimedOut); the run ends when the set empties or either
+  // the controller or the observer stops it.
+  std::vector<bool> TimedOut(Config.NumThreads, false);
+  std::vector<unsigned> Runnable;
+  uint64_t StepIndex = 0;
 
   uint64_t WallStart = monotonicNanos();
-  bool AllHalted = true;
-  bool Progress = true;
-  while (Progress) {
-    Progress = false;
-    AllHalted = true;
-    for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
-      VCpu &Cpu = Cpus[Tid];
-      if (Cpu.Halted)
-        continue;
-      auto StatusOrErr = Exec->stepBlocks(Cpu, BlocksPerSlice);
-      if (!StatusOrErr)
-        return StatusOrErr.error();
-      switch (*StatusOrErr) {
-      case RunStatus::Halted:
-        Progress = true;
-        break;
-      case RunStatus::Running:
-        Progress = true;
-        AllHalted = false;
-        break;
-      case RunStatus::TimedOut:
-        AllHalted = false;
-        break;
-      }
-    }
-    if (AllHalted)
+  while (true) {
+    Runnable.clear();
+    for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid)
+      if (!Cpus[Tid].Halted && !TimedOut[Tid])
+        Runnable.push_back(Tid);
+    if (Runnable.empty())
+      break;
+
+    int Choice = Sched.pickNext(Runnable);
+    if (Choice < 0)
+      break;
+    assert(static_cast<unsigned>(Choice) < Config.NumThreads &&
+           !Cpus[Choice].Halted && !TimedOut[Choice] &&
+           "controller picked a non-runnable tid");
+
+    auto StatusOrErr = Exec->stepBlocks(Cpus[Choice], BlocksPerSlice);
+    if (!StatusOrErr)
+      return StatusOrErr.error();
+    if (*StatusOrErr == RunStatus::TimedOut)
+      TimedOut[Choice] = true;
+
+    bool Continue =
+        !Observer ||
+        Observer->onSlice(static_cast<unsigned>(Choice), StepIndex);
+    ++StepIndex;
+    if (!Continue)
       break;
   }
   uint64_t WallEnd = monotonicNanos();
+
+  bool AllHalted = true;
+  for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid)
+    AllHalted = AllHalted && Cpus[Tid].Halted;
 
   RunResult Result = collectResult(AllHalted, FaultsBefore, LockWaitsBefore);
   Result.WallSeconds = static_cast<double>(WallEnd - WallStart) * 1e-9;

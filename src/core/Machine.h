@@ -35,6 +35,7 @@
 #include "htm/Htm.h"
 #include "mem/GuestMemory.h"
 #include "runtime/Exclusive.h"
+#include "runtime/Schedule.h"
 #include "translate/Translator.h"
 
 #include <memory>
@@ -108,6 +109,18 @@ public:
   /// Deterministic single-host-thread mode: executes vCPUs round-robin,
   /// \p BlocksPerSlice blocks at a time, in tid order.
   ErrorOr<RunResult> runCooperative(uint64_t BlocksPerSlice = 1);
+
+  /// Deterministic single-host-thread mode under external schedule
+  /// control: every slice, \p Sched picks which runnable vCPU executes
+  /// the next \p BlocksPerSlice blocks, and \p Observer (optional) is
+  /// called after the slice with full access to machine state. Either
+  /// side can end the run early (Sched by returning a negative tid,
+  /// Observer by returning false); RunResult.AllHalted then reflects the
+  /// actual vCPU states. This is the execution substrate of the
+  /// concurrency fuzzer (docs/FUZZING.md).
+  ErrorOr<RunResult> runScheduled(ScheduleController &Sched,
+                                  uint64_t BlocksPerSlice = 1,
+                                  SliceObserver *Observer = nullptr);
 
   // --- Component access (benchmarks, tests, litmus drivers) ----------------
 

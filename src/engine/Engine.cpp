@@ -414,11 +414,22 @@ DispatchTop:
   OP(HstStoreTag) {
     // Fused HST instrumentation (Figure 5's 4-instruction inline
     // sequence): one dispatch, no scheme call. Guarded in case a
-    // custom scheme emits the op without publishing a table.
+    // custom scheme emits the op without publishing a table. Every
+    // 4-byte granule the store touches must be tagged, or a wider or
+    // misaligned store could slip past a monitor armed on a granule the
+    // first entry does not cover; aligned stores of <= 4 bytes cover one
+    // granule and keep the single-store fast path.
     if (LLSC_LIKELY(Ctx.HstTable != nullptr)) {
       uint64_t Addr = VAL_A() + static_cast<uint64_t>(D->Imm);
-      Ctx.HstTable[(Addr >> 2) & Ctx.HstMask].store(
-          Cpu.Tid + 1, std::memory_order_relaxed);
+      uint64_t First = Addr >> 2;
+      uint64_t Last = (Addr + D->Size - 1) >> 2;
+      Ctx.HstTable[First & Ctx.HstMask].store(Cpu.Tid + 1,
+                                              std::memory_order_relaxed);
+      while (LLSC_UNLIKELY(First != Last)) {
+        ++First;
+        Ctx.HstTable[First & Ctx.HstMask].store(Cpu.Tid + 1,
+                                                std::memory_order_relaxed);
+      }
     }
     NEXT();
   }

@@ -1,0 +1,334 @@
+//===- fuzz/Fuzz.h - Differential LL/SC concurrency fuzzer ------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential concurrency fuzzer behind tools/llsc-fuzz
+/// (docs/FUZZING.md). It closes the gap the fixed litmus sequences left
+/// open: those only exercise one 4-byte variable, so the HST family's
+/// multi-granule monitor misses (8-byte LL vs 4-byte interfering store)
+/// survived every tier-1 test.
+///
+/// Pipeline:
+///  1. generateCase: a small multi-threaded guest program of overlapping,
+///     mixed-size, mixed-alignment LL/SC and plain-store events over one
+///     shared 16-byte window.
+///  2. CaseRunner: assembles the case into a GRV program (one event per
+///     translation block) and executes it slice-by-slice under
+///     Machine::runScheduled, exhaustively enumerating interleavings for
+///     tiny cases and sampling PCT schedules beyond.
+///  3. Oracle: a scheme-aware reference model classifying every observed
+///     SC outcome as required-fail / allowed-either / forbidden-success
+///     and diffing guest memory against shadow state after every slice.
+///  4. shrinkFailure: greedy event/thread deletion preserving the
+///     violation, emitting a standalone `.grv` repro whose embedded
+///     schedule trace replays deterministically (llsc-fuzz --replay).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_FUZZ_FUZZ_H
+#define LLSC_FUZZ_FUZZ_H
+
+#include "atomic/AtomicScheme.h"
+#include "core/Machine.h"
+#include "support/Random.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llsc {
+namespace fuzz {
+
+// --- Cases -----------------------------------------------------------------
+
+enum class EventKind : uint8_t {
+  LoadLink,   ///< ldxr.{w,d} -> r1
+  StoreCond,  ///< stxr.{w,d} status -> r2
+  PlainStore, ///< st{b,h,w,d}
+  ClearExcl,  ///< clrex
+};
+
+/// One guest event; the program builder turns each into exactly one
+/// translation block, so the schedule controller interleaves at event
+/// granularity.
+struct Event {
+  EventKind Kind = EventKind::LoadLink;
+  uint8_t Offset = 0;  ///< Byte offset into the shared window.
+  uint8_t Size = 4;    ///< 4/8 for LL/SC; 1/2/4/8 for plain stores.
+  uint8_t Value = 0;   ///< SC / store value (small pool provokes ABA).
+};
+
+/// A generated multi-threaded guest program in event form.
+struct FuzzCase {
+  std::vector<std::vector<Event>> Threads; ///< Events per tid.
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+  unsigned totalEvents() const;
+};
+
+/// Bytes of the shared window events may touch (offsets < this).
+constexpr unsigned SharedWindowBytes = 16;
+/// Bytes of the shared region checked for divergence (window + red zone).
+constexpr unsigned SharedRegionBytes = 32;
+
+/// Knobs for generateCase.
+struct GenConfig {
+  unsigned MinThreads = 2;
+  unsigned MaxThreads = 3;
+  unsigned MinEventsPerThread = 1;
+  unsigned MaxEventsPerThread = 4;
+  /// false => LL/SC/CLREX only. Used by --stress under TSAN, where the
+  /// PST family must never reach the SIGSEGV-recovery path (FaultGuard
+  /// and TSAN cannot coexist), which plain stores to monitored pages do.
+  bool AllowPlainStores = true;
+  /// Allow 1/2-byte plain stores (sub-granule conflicts).
+  bool AllowSubWordStores = true;
+  bool AllowClearExcl = true;
+};
+
+FuzzCase generateCase(Rng &R, const GenConfig &Config);
+
+/// Renders the case as a standalone GRV assembly program: tid-dispatch
+/// preamble (2 blocks per thread), one block per event, a halt block per
+/// thread, and a page-aligned `shared:` data window.
+std::string buildProgramAsm(const FuzzCase &Case);
+
+/// Like buildProgramAsm but wraps each thread's events in a countdown
+/// loop of \p Iterations — the free-threaded stress shape (--stress).
+std::string buildStressAsm(const FuzzCase &Case, uint64_t Iterations);
+
+// --- Oracle ----------------------------------------------------------------
+
+/// What the oracle may assume about a scheme.
+struct OracleModel {
+  AtomicityClass Class = AtomicityClass::Strong;
+  /// HST-family semantics: a thread's own plain store re-tags the 4-byte
+  /// granules it covers, so an SC whose monitor was broken can still
+  /// succeed if the thread itself stored over the stolen granules in
+  /// between. Outcomes in that window are unspecified (Masked), matching
+  /// ARM's IMPLEMENTATION DEFINED own-store behavior.
+  bool GranuleMasking = false;
+
+  static OracleModel forScheme(SchemeKind Kind);
+};
+
+/// Reference model for one case execution. Feed it the observed events in
+/// schedule order; every hook returns an empty string, or a description
+/// of the soundness violation it detected.
+class Oracle {
+public:
+  Oracle(const OracleModel &Model, unsigned NumThreads);
+
+  std::string onLoadLink(unsigned Tid, unsigned Off, unsigned Size,
+                         uint64_t Observed);
+  std::string onStoreCond(unsigned Tid, unsigned Off, unsigned Size,
+                          uint64_t Value, bool Success);
+  void onPlainStore(unsigned Tid, unsigned Off, unsigned Size,
+                    uint64_t Value);
+  void onClearExcl(unsigned Tid);
+
+  /// Diffs \p Actual (SharedRegionBytes bytes of guest memory) against
+  /// the shadow model.
+  std::string checkMemory(const uint8_t *Actual) const;
+
+  /// Diffs one 8-byte little-endian word of guest memory at window offset
+  /// \p Off against the shadow (for drivers that read word-wise).
+  std::string checkMemoryWord(unsigned Off, uint64_t Actual) const;
+
+  /// SC successes pico-cas shouldn't architecturally have had (ABA);
+  /// expected non-zero for AtomicityClass::Incorrect, a bug elsewhere.
+  uint64_t abaSuccesses() const { return Aba; }
+  /// SC failures the model would have allowed to succeed (hash
+  /// conflicts, false sharing, ...). Always legal; tracked for stats.
+  uint64_t spuriousFails() const { return Spurious; }
+
+private:
+  struct Mon {
+    enum class St : uint8_t { None, Armed, Broken, Masked } S = St::None;
+    uint8_t Off = 0;
+    uint8_t Size = 0;
+    std::array<uint8_t, 8> Snapshot{}; ///< Window bytes at LL time.
+  };
+
+  bool bytesMatchSnapshot(const Mon &M) const;
+  void breakOthersOnStore(unsigned Tid, unsigned Off, unsigned Size,
+                          bool Instrumented);
+
+  OracleModel Model;
+  std::vector<Mon> Mons;
+  std::array<uint8_t, SharedRegionBytes> Shadow{};
+  uint64_t Spurious = 0;
+  uint64_t Aba = 0;
+};
+
+// --- Execution -------------------------------------------------------------
+
+/// One detected soundness violation.
+struct Violation {
+  std::string What;  ///< Human-readable description.
+  unsigned Tid = 0;  ///< Thread whose slice surfaced it.
+  int EventIdx = -1; ///< Event index within the thread, -1 if none.
+};
+
+/// Outcome of running one case under one schedule.
+struct CaseResult {
+  std::vector<Violation> Violations;
+  /// Executed tid per slice — replayable via FixedSchedule.
+  std::vector<unsigned> ExecTrace;
+  uint64_t AbaSuccesses = 0;
+  uint64_t SpuriousFails = 0;
+  bool AllHalted = true;
+};
+
+/// Executes cases against one scheme, reusing one Machine per thread
+/// count (scheme state is reset between cases by prepareRun).
+class CaseRunner {
+public:
+  struct Config {
+    SchemeKind Scheme = SchemeKind::Hst;
+    /// Swap in the deliberately faulty single-granule HST (the pre-fix
+    /// behavior) — the fuzzer's detection fixture / negative control.
+    bool BuggySingleGranuleHst = false;
+    /// Small table so per-case reset stays cheap across 10k cases.
+    unsigned HstTableLog2 = 12;
+    uint64_t MemBytes = 1ULL << 20;
+  };
+
+  explicit CaseRunner(const Config &C) : Cfg(C) {}
+
+  /// The oracle model matching this runner's scheme.
+  OracleModel model() const;
+
+  /// Assembles and loads \p Case (cached machine per thread count).
+  ErrorOr<bool> prepare(const FuzzCase &Case);
+
+  /// Runs the prepared case under \p Sched. \p Case must be the one last
+  /// passed to prepare().
+  ErrorOr<CaseResult> runPrepared(const FuzzCase &Case,
+                                  ScheduleController &Sched);
+
+  ErrorOr<CaseResult> run(const FuzzCase &Case, ScheduleController &Sched);
+
+  /// Free-threaded execution of the stress shape (real host threads, no
+  /// oracle): TSAN coverage for the scheme's cross-thread paths.
+  ErrorOr<bool> runStress(const FuzzCase &Case, uint64_t Iterations);
+
+private:
+  struct Entry {
+    std::unique_ptr<Machine> M;
+    std::unique_ptr<AtomicScheme> Custom;
+  };
+  ErrorOr<Machine *> machineFor(unsigned NumThreads);
+
+  Config Cfg;
+  std::map<unsigned, Entry> Machines;
+  Machine *Prepared = nullptr;
+  uint64_t PreparedShared = 0; ///< Guest address of the `shared:` window.
+};
+
+/// The pre-fix HST: tags/checks only the first 4-byte granule of every
+/// access. Kept as a permanent negative control proving the fuzzer can
+/// see the bug this PR fixed.
+std::unique_ptr<AtomicScheme> createSingleGranuleHst(unsigned TableLog2);
+
+// --- Schedules -------------------------------------------------------------
+
+/// Enumerates every distinct interleaving of the case's event slices
+/// (preamble slices pinned first; halt slices drained round-robin).
+/// \returns the traces, or an empty vector when the multinomial count
+/// exceeds \p Limit — callers then sample PCT schedules instead.
+std::vector<std::vector<unsigned>>
+enumerateEventTraces(const FuzzCase &Case, uint64_t Limit);
+
+/// Total slices a full run of \p Case takes (PCT's step horizon).
+uint64_t totalSlices(const FuzzCase &Case);
+
+// --- Fuzz loop -------------------------------------------------------------
+
+struct FuzzOptions {
+  std::vector<SchemeKind> Schemes;
+  uint64_t Seed = 1;
+  uint64_t NumCases = 100;
+  /// PCT schedules sampled per case when exhaustive enumeration is out
+  /// of reach.
+  unsigned SchedulesPerCase = 8;
+  /// Exhaustively enumerate when the interleaving count is <= this.
+  uint64_t ExhaustiveLimit = 64;
+  unsigned PctDepth = 3;
+  GenConfig Gen;
+  /// Directory for minimized .grv repros ("" = don't write).
+  std::string ReproDir;
+  /// Stop a scheme's loop after this many distinct failures.
+  unsigned MaxFailuresPerScheme = 3;
+  /// Use the single-granule HST fixture instead of the real scheme
+  /// (applies to SchemeKind::Hst entries only).
+  bool BuggyHst = false;
+  bool Verbose = false;
+};
+
+struct FailureRecord {
+  SchemeKind Scheme;
+  FuzzCase Shrunk;
+  std::vector<unsigned> Trace;
+  Violation First;
+  std::string ReproPath; ///< Empty if not written.
+  uint64_t CaseSeed = 0;
+};
+
+struct FuzzReport {
+  uint64_t CasesRun = 0;
+  uint64_t SchedulesRun = 0;
+  uint64_t AbaSuccesses = 0;
+  uint64_t SpuriousFails = 0;
+  std::vector<FailureRecord> Failures;
+
+  /// Failures excluding expected pico-cas ABA (those are reported as
+  /// AbaSuccesses, never as Failures, so any Failure is fatal).
+  bool clean() const { return Failures.empty(); }
+};
+
+ErrorOr<FuzzReport> runFuzz(const FuzzOptions &Opts);
+
+/// Free-threaded stress sweep (see CaseRunner::runStress).
+ErrorOr<FuzzReport> runStress(const FuzzOptions &Opts, uint64_t Iterations);
+
+// --- Shrinking and repro files ---------------------------------------------
+
+/// Greedily deletes threads and events while the violation reproduces
+/// under the correspondingly reduced trace. \returns the minimized case
+/// and updates \p Trace in place.
+FuzzCase shrinkFailure(CaseRunner &Runner, FuzzCase Case,
+                       std::vector<unsigned> &Trace);
+
+/// Serializes a failing case + schedule as a standalone `.grv` file:
+/// `;;`-prefixed metadata (scheme, events, trace) followed by the
+/// generated assembly, so the file is both machine-replayable
+/// (llsc-fuzz --replay) and human-readable / runnable under llsc-run.
+std::string renderRepro(SchemeKind Scheme, const FuzzCase &Case,
+                        const std::vector<unsigned> &Trace,
+                        const std::string &Note);
+
+struct Repro {
+  SchemeKind Scheme = SchemeKind::Hst;
+  FuzzCase Case;
+  std::vector<unsigned> Trace;
+};
+
+ErrorOr<Repro> parseRepro(const std::string &Text);
+
+/// Replays a repro file's case under its recorded trace. \returns the
+/// result of the run (violations present = still reproduces).
+ErrorOr<CaseResult> replayRepro(const Repro &R, bool BuggyHst);
+
+} // namespace fuzz
+} // namespace llsc
+
+#endif // LLSC_FUZZ_FUZZ_H

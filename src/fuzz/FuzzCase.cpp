@@ -1,0 +1,248 @@
+//===- fuzz/FuzzCase.cpp - Case generation and program building ---------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace llsc;
+using namespace llsc::fuzz;
+
+unsigned FuzzCase::totalEvents() const {
+  unsigned N = 0;
+  for (const auto &Events : Threads)
+    N += static_cast<unsigned>(Events.size());
+  return N;
+}
+
+FuzzCase fuzz::generateCase(Rng &R, const GenConfig &Config) {
+  FuzzCase Case;
+  unsigned NumThreads = static_cast<unsigned>(
+      R.nextInRange(Config.MinThreads, Config.MaxThreads));
+  Case.Threads.resize(NumThreads);
+
+  // A deliberately tiny value pool: values repeat across events, so
+  // pico-cas's value-compare SC sees genuine ABA patterns instead of
+  // always-distinct writes.
+  static constexpr uint8_t ValuePool[] = {0, 1, 2, 3};
+
+  for (auto &Events : Case.Threads) {
+    unsigned Count = static_cast<unsigned>(
+        R.nextInRange(Config.MinEventsPerThread, Config.MaxEventsPerThread));
+    Events.reserve(Count);
+    for (unsigned I = 0; I < Count; ++I) {
+      Event E;
+      // Weight LL/SC heavily; a case without an LL-SC pair can only
+      // exercise the no-monitor check.
+      uint64_t Roll = R.nextBelow(10);
+      if (Roll < 3)
+        E.Kind = EventKind::LoadLink;
+      else if (Roll < 6)
+        E.Kind = EventKind::StoreCond;
+      else if (Roll < 9 && Config.AllowPlainStores)
+        E.Kind = EventKind::PlainStore;
+      else if (Config.AllowClearExcl)
+        E.Kind = EventKind::ClearExcl;
+      else
+        E.Kind = R.nextBool(0.5) ? EventKind::LoadLink
+                                 : EventKind::StoreCond;
+
+      if (E.Kind == EventKind::ClearExcl) {
+        E.Offset = 0;
+        E.Size = 0;
+        E.Value = 0;
+      } else if (E.Kind == EventKind::PlainStore) {
+        static constexpr uint8_t StoreSizes[] = {1, 2, 4, 8};
+        unsigned MaxSizeIdx = Config.AllowSubWordStores ? 3 : 3;
+        unsigned MinSizeIdx = Config.AllowSubWordStores ? 0 : 2;
+        E.Size = StoreSizes[R.nextInRange(MinSizeIdx, MaxSizeIdx)];
+        // Naturally aligned within the window.
+        E.Offset = static_cast<uint8_t>(
+            R.nextBelow(SharedWindowBytes / E.Size) * E.Size);
+        E.Value = ValuePool[R.nextBelow(sizeof(ValuePool))];
+      } else {
+        // LL/SC: 4 or 8 bytes at any 4-byte-aligned offset that fits —
+        // an 8-byte access at offset 4 or 12 straddles two granules
+        // while staying 4-byte aligned (the HST-family killer shape).
+        E.Size = R.nextBool(0.5) ? 8 : 4;
+        unsigned Slots = (SharedWindowBytes - E.Size) / 4 + 1;
+        E.Offset = static_cast<uint8_t>(R.nextBelow(Slots) * 4);
+        E.Value = ValuePool[R.nextBelow(sizeof(ValuePool))];
+      }
+      Events.push_back(E);
+    }
+  }
+  return Case;
+}
+
+namespace {
+
+/// Emits the body of one event (address setup + operation), without the
+/// trailing branch.
+void emitEventBody(std::string &Out, const Event &E) {
+  switch (E.Kind) {
+  case EventKind::ClearExcl:
+    Out += "        clrex\n";
+    return;
+  case EventKind::LoadLink:
+    Out += "        la      r10, shared\n";
+    if (E.Offset)
+      Out += formatString("        addi    r10, r10, #%u\n",
+                          static_cast<unsigned>(E.Offset));
+    Out += formatString("        ldxr.%s  r1, [r10]\n",
+                        E.Size == 8 ? "d" : "w");
+    return;
+  case EventKind::StoreCond:
+    Out += "        la      r10, shared\n";
+    if (E.Offset)
+      Out += formatString("        addi    r10, r10, #%u\n",
+                          static_cast<unsigned>(E.Offset));
+    Out += formatString("        li      r11, #%u\n",
+                        static_cast<unsigned>(E.Value));
+    Out += formatString("        stxr.%s  r2, r11, [r10]\n",
+                        E.Size == 8 ? "d" : "w");
+    return;
+  case EventKind::PlainStore: {
+    const char *Mn = E.Size == 8   ? "std"
+                     : E.Size == 4 ? "stw"
+                     : E.Size == 2 ? "sth"
+                                   : "stb";
+    Out += "        la      r10, shared\n";
+    Out += formatString("        li      r11, #%u\n",
+                        static_cast<unsigned>(E.Value));
+    Out += formatString("        %s     r11, [r10, #%u]\n", Mn,
+                        static_cast<unsigned>(E.Offset));
+    return;
+  }
+  }
+}
+
+/// Shared by the scheduled and stress shapes: the tid dispatch preamble.
+/// Every thread takes exactly two slices to reach its first event block
+/// (the `_start` dispatch block, then its one-instruction trampoline),
+/// which keeps the slice -> event mapping uniform across tids.
+void emitDispatch(std::string &Out, const FuzzCase &Case,
+                  const char *FirstLabelFmt) {
+  Out += "_start:\n"
+         "        lsli    r3, r0, #2\n"
+         "        la      r4, jumptab\n"
+         "        add     r4, r4, r3\n"
+         "        br      r4\n"
+         "jumptab:\n";
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid)
+    Out += formatString(FirstLabelFmt, Tid);
+}
+
+void emitSharedRegion(std::string &Out) {
+  Out += formatString("\n        .align  4096\n"
+                      "shared: .space  %u\n",
+                      SharedRegionBytes);
+}
+
+} // namespace
+
+std::string fuzz::buildProgramAsm(const FuzzCase &Case) {
+  std::string Out = "; generated by llsc-fuzz (docs/FUZZING.md)\n";
+  emitDispatch(Out, Case, "        b       t%u_e0\n");
+
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid) {
+    const auto &Events = Case.Threads[Tid];
+    for (unsigned I = 0; I < Events.size(); ++I) {
+      Out += formatString("t%u_e%u:\n", Tid, I);
+      emitEventBody(Out, Events[I]);
+      if (I + 1 < Events.size())
+        Out += formatString("        b       t%u_e%u\n", Tid, I + 1);
+      else
+        Out += formatString("        b       t%u_done\n", Tid);
+    }
+    // A thread with no events still needs its t?_e0 trampoline target.
+    if (Events.empty())
+      Out += formatString("t%u_e0:\n", Tid);
+    Out += formatString("t%u_done:\n        halt\n", Tid);
+  }
+
+  emitSharedRegion(Out);
+  return Out;
+}
+
+std::string fuzz::buildStressAsm(const FuzzCase &Case, uint64_t Iterations) {
+  std::string Out = "; generated by llsc-fuzz --stress\n";
+  emitDispatch(Out, Case, "        b       t%u_init\n");
+
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid) {
+    const auto &Events = Case.Threads[Tid];
+    Out += formatString("t%u_init:\n        li      r9, #%llu\n", Tid,
+                        static_cast<unsigned long long>(Iterations));
+    for (unsigned I = 0; I < Events.size(); ++I) {
+      Out += formatString("t%u_e%u:\n", Tid, I);
+      emitEventBody(Out, Events[I]);
+      if (I + 1 < Events.size())
+        Out += formatString("        b       t%u_e%u\n", Tid, I + 1);
+    }
+    if (Events.empty())
+      Out += formatString("t%u_e0:\n", Tid);
+    Out += formatString("t%u_tail:\n"
+                        "        addi    r9, r9, #-1\n"
+                        "        cbnz    r9, t%u_e0\n"
+                        "        halt\n",
+                        Tid, Tid);
+  }
+
+  emitSharedRegion(Out);
+  return Out;
+}
+
+uint64_t fuzz::totalSlices(const FuzzCase &Case) {
+  // Per thread: dispatch + trampoline + events + halt.
+  uint64_t Total = 0;
+  for (const auto &Events : Case.Threads)
+    Total += 3 + Events.size();
+  return Total;
+}
+
+std::vector<std::vector<unsigned>>
+fuzz::enumerateEventTraces(const FuzzCase &Case, uint64_t Limit) {
+  // Count distinct merges first: multinomial(sum n_t; n_0, n_1, ...).
+  uint64_t Count = 1;
+  uint64_t Placed = 0;
+  for (const auto &Events : Case.Threads) {
+    // Multiply C(Placed + n_t, n_t) in, bailing out past Limit.
+    for (uint64_t I = 1; I <= Events.size(); ++I) {
+      Count = Count * (Placed + I) / I; // Exact: product of consecutive.
+      if (Count > Limit)
+        return {};
+    }
+    Placed += Events.size();
+  }
+
+  // Preamble prefix: both preamble slices of every thread, in tid order.
+  // Preamble blocks touch no shared state, so pinning them loses no
+  // interesting interleavings and shrinks the enumeration space to the
+  // event slices alone. Halt slices are drained by FixedSchedule.
+  std::vector<unsigned> Prefix;
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid) {
+    Prefix.push_back(Tid);
+    Prefix.push_back(Tid);
+  }
+
+  std::vector<unsigned> Merge;
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid)
+    Merge.insert(Merge.end(), Case.Threads[Tid].size(), Tid);
+  std::sort(Merge.begin(), Merge.end());
+
+  std::vector<std::vector<unsigned>> Traces;
+  Traces.reserve(Count);
+  do {
+    std::vector<unsigned> Trace = Prefix;
+    Trace.insert(Trace.end(), Merge.begin(), Merge.end());
+    Traces.push_back(std::move(Trace));
+  } while (std::next_permutation(Merge.begin(), Merge.end()));
+  assert(Traces.size() == Count && "multinomial miscount");
+  return Traces;
+}

@@ -1,0 +1,408 @@
+//===- fuzz/Fuzzer.cpp - Fuzz loop, shrinker and repro files ------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The top-level loops behind tools/llsc-fuzz:
+///
+///  - runFuzz: per scheme, generate cases from a per-case derived seed,
+///    then either exhaustively enumerate event interleavings (tiny cases)
+///    or sample PCT schedules. Any oracle violation is shrunk and, when a
+///    repro directory is configured, written out as a standalone `.grv`.
+///  - runStress: free-threaded execution of the looped case shape — no
+///    oracle, real host threads, intended for TSAN builds.
+///  - shrinkFailure: greedy deletion of whole threads, then single
+///    events, keeping the recorded trace consistent at every step.
+///  - renderRepro/parseRepro/replayRepro: the `;;`-metadata `.grv` format;
+///    the assembly half runs under plain llsc-run, the metadata half
+///    replays the exact failing schedule under llsc-fuzz --replay.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sys/stat.h>
+
+using namespace llsc;
+using namespace llsc::fuzz;
+
+// --- Shrinking --------------------------------------------------------------
+
+namespace {
+
+/// Does \p Case still produce a violation when driven by \p Trace?
+bool stillFails(CaseRunner &Runner, const FuzzCase &Case,
+                const std::vector<unsigned> &Trace) {
+  FixedSchedule Sched(Trace);
+  auto Res = Runner.run(Case, Sched);
+  return Res && !Res->Violations.empty();
+}
+
+/// Removes thread \p Tid: drops its trace entries and renumbers the rest.
+std::vector<unsigned> traceWithoutThread(const std::vector<unsigned> &Trace,
+                                         unsigned Tid) {
+  std::vector<unsigned> Out;
+  Out.reserve(Trace.size());
+  for (unsigned T : Trace) {
+    if (T == Tid)
+      continue;
+    Out.push_back(T > Tid ? T - 1 : T);
+  }
+  return Out;
+}
+
+FuzzCase caseWithoutThread(const FuzzCase &Case, unsigned Tid) {
+  FuzzCase Out = Case;
+  Out.Threads.erase(Out.Threads.begin() + Tid);
+  return Out;
+}
+
+/// Removes event \p EventIdx of thread \p Tid from the trace: the event
+/// occupied that thread's (2 + EventIdx)-th slice, so the matching trace
+/// entry is its (2 + EventIdx)-th occurrence. Later occurrences shift
+/// down an event, which is exactly what deleting the event does to the
+/// program, so the remaining entries stay aligned. If the run stopped
+/// before the slice ever executed, the trace has nothing to remove.
+std::vector<unsigned> traceWithoutEvent(const std::vector<unsigned> &Trace,
+                                        unsigned Tid, unsigned EventIdx) {
+  std::vector<unsigned> Out;
+  Out.reserve(Trace.size());
+  unsigned Seen = 0;
+  bool Removed = false;
+  for (unsigned T : Trace) {
+    if (!Removed && T == Tid && Seen++ == 2 + EventIdx) {
+      Removed = true;
+      continue;
+    }
+    Out.push_back(T);
+  }
+  return Out;
+}
+
+FuzzCase caseWithoutEvent(const FuzzCase &Case, unsigned Tid,
+                          unsigned EventIdx) {
+  FuzzCase Out = Case;
+  Out.Threads[Tid].erase(Out.Threads[Tid].begin() + EventIdx);
+  return Out;
+}
+
+} // namespace
+
+FuzzCase fuzz::shrinkFailure(CaseRunner &Runner, FuzzCase Case,
+                             std::vector<unsigned> &Trace) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // Whole threads first — the biggest single reduction.
+    for (unsigned Tid = 0; Case.numThreads() > 1 && Tid < Case.numThreads();
+         ++Tid) {
+      FuzzCase Cand = caseWithoutThread(Case, Tid);
+      std::vector<unsigned> CandTrace = traceWithoutThread(Trace, Tid);
+      if (stillFails(Runner, Cand, CandTrace)) {
+        Case = std::move(Cand);
+        Trace = std::move(CandTrace);
+        Changed = true;
+        break;
+      }
+    }
+    if (Changed)
+      continue;
+
+    // Then single events.
+    for (unsigned Tid = 0; Tid < Case.numThreads() && !Changed; ++Tid) {
+      for (unsigned I = 0; I < Case.Threads[Tid].size(); ++I) {
+        FuzzCase Cand = caseWithoutEvent(Case, Tid, I);
+        std::vector<unsigned> CandTrace = traceWithoutEvent(Trace, Tid, I);
+        if (stillFails(Runner, Cand, CandTrace)) {
+          Case = std::move(Cand);
+          Trace = std::move(CandTrace);
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return Case;
+}
+
+// --- Repro files ------------------------------------------------------------
+
+namespace {
+
+const char *eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::LoadLink:
+    return "ll";
+  case EventKind::StoreCond:
+    return "sc";
+  case EventKind::PlainStore:
+    return "store";
+  case EventKind::ClearExcl:
+    return "clrex";
+  }
+  return "?";
+}
+
+std::optional<EventKind> eventKindFromName(std::string_view Name) {
+  if (Name == "ll")
+    return EventKind::LoadLink;
+  if (Name == "sc")
+    return EventKind::StoreCond;
+  if (Name == "store")
+    return EventKind::PlainStore;
+  if (Name == "clrex")
+    return EventKind::ClearExcl;
+  return std::nullopt;
+}
+
+} // namespace
+
+std::string fuzz::renderRepro(SchemeKind Scheme, const FuzzCase &Case,
+                              const std::vector<unsigned> &Trace,
+                              const std::string &Note) {
+  std::string Out;
+  Out += ";; llsc-fuzz repro v1\n";
+  Out += formatString(";; scheme: %s\n", schemeTraits(Scheme).Name);
+  if (!Note.empty())
+    Out += formatString(";; note: %s\n", Note.c_str());
+  Out += formatString(";; threads: %u\n", Case.numThreads());
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid)
+    for (const Event &E : Case.Threads[Tid])
+      Out += formatString(";; event: %u %s off=%u size=%u value=%u\n", Tid,
+                          eventKindName(E.Kind),
+                          static_cast<unsigned>(E.Offset),
+                          static_cast<unsigned>(E.Size),
+                          static_cast<unsigned>(E.Value));
+  Out += ";; trace:";
+  for (unsigned T : Trace)
+    Out += formatString(" %u", T);
+  Out += "\n";
+  Out += buildProgramAsm(Case);
+  return Out;
+}
+
+ErrorOr<Repro> fuzz::parseRepro(const std::string &Text) {
+  Repro R;
+  bool SawScheme = false, SawThreads = false;
+
+  for (std::string_view Line : split(Text, '\n')) {
+    if (!startsWith(Line, ";;"))
+      continue; // Assembly / comments: regenerated from the events.
+    std::string_view Body = trim(Line.substr(2));
+
+    if (startsWith(Body, "scheme:")) {
+      std::string_view Name = trim(Body.substr(7));
+      auto Kind = parseSchemeName(std::string(Name));
+      if (!Kind)
+        return makeError("repro: unknown scheme '%.*s'",
+                         static_cast<int>(Name.size()), Name.data());
+      R.Scheme = *Kind;
+      SawScheme = true;
+    } else if (startsWith(Body, "threads:")) {
+      auto N = parseInteger(trim(Body.substr(8)));
+      if (!N || *N < 1 || *N > 64)
+        return makeError("repro: bad thread count");
+      R.Case.Threads.resize(static_cast<std::size_t>(*N));
+      SawThreads = true;
+    } else if (startsWith(Body, "event:")) {
+      auto Tok = splitWhitespace(Body.substr(6));
+      if (Tok.size() != 5)
+        return makeError("repro: malformed event line");
+      auto Tid = parseInteger(Tok[0]);
+      auto Kind = eventKindFromName(Tok[1]);
+      if (!Tid || !Kind || !SawThreads ||
+          static_cast<std::size_t>(*Tid) >= R.Case.Threads.size())
+        return makeError("repro: bad event tid or kind");
+      Event E;
+      E.Kind = *Kind;
+      for (unsigned I = 2; I < 5; ++I) {
+        auto KV = split(Tok[I], '=');
+        if (KV.size() != 2)
+          return makeError("repro: malformed event field");
+        auto Val = parseInteger(KV[1]);
+        if (!Val || *Val < 0 || *Val > 255)
+          return makeError("repro: bad event field value");
+        auto Byte = static_cast<uint8_t>(*Val);
+        if (KV[0] == "off")
+          E.Offset = Byte;
+        else if (KV[0] == "size")
+          E.Size = Byte;
+        else if (KV[0] == "value")
+          E.Value = Byte;
+        else
+          return makeError("repro: unknown event field");
+      }
+      R.Case.Threads[static_cast<std::size_t>(*Tid)].push_back(E);
+    } else if (startsWith(Body, "trace:")) {
+      for (std::string_view Tok : splitWhitespace(Body.substr(6))) {
+        auto Tid = parseInteger(Tok);
+        if (!Tid || *Tid < 0)
+          return makeError("repro: bad trace entry");
+        R.Trace.push_back(static_cast<unsigned>(*Tid));
+      }
+    }
+  }
+
+  if (!SawScheme || !SawThreads)
+    return makeError("repro: missing scheme/threads metadata");
+  return R;
+}
+
+ErrorOr<CaseResult> fuzz::replayRepro(const Repro &R, bool BuggyHst) {
+  CaseRunner::Config RC;
+  RC.Scheme = R.Scheme;
+  RC.BuggySingleGranuleHst = BuggyHst && R.Scheme == SchemeKind::Hst;
+  CaseRunner Runner(RC);
+  FixedSchedule Sched(R.Trace);
+  return Runner.run(R.Case, Sched);
+}
+
+// --- Fuzz loops -------------------------------------------------------------
+
+namespace {
+
+/// splitmix64: decorrelates the per-case seed from (base seed, scheme,
+/// case number) so neighboring cases don't share Rng streams.
+uint64_t mixSeed(uint64_t A, uint64_t B, uint64_t C) {
+  uint64_t X = A + 0x9e3779b97f4a7c15ULL * (B + 1) + 0x2545f4914f6cdd1dULL * C;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Shrinks, serializes and records one failing (case, trace) pair.
+ErrorOr<bool> recordFailure(const FuzzOptions &Opts, CaseRunner &Runner,
+                            SchemeKind Scheme, FuzzCase Case,
+                            CaseResult &Res, uint64_t CaseSeed,
+                            FuzzReport &Report) {
+  FailureRecord Rec;
+  Rec.Scheme = Scheme;
+  Rec.First = Res.Violations.front();
+  Rec.CaseSeed = CaseSeed;
+  Rec.Trace = Res.ExecTrace;
+  Rec.Shrunk = shrinkFailure(Runner, std::move(Case), Rec.Trace);
+
+  if (!Opts.ReproDir.empty()) {
+    ::mkdir(Opts.ReproDir.c_str(), 0755); // One level; EEXIST is fine.
+    Rec.ReproPath =
+        formatString("%s/%s-seed%llu.grv", Opts.ReproDir.c_str(),
+                     schemeTraits(Scheme).Name,
+                     static_cast<unsigned long long>(CaseSeed));
+    std::ofstream Out(Rec.ReproPath);
+    if (!Out)
+      return makeError("cannot write repro file %s", Rec.ReproPath.c_str());
+    Out << renderRepro(Scheme, Rec.Shrunk, Rec.Trace, Rec.First.What);
+  }
+
+  if (Opts.Verbose)
+    std::fprintf(stderr, "llsc-fuzz: [%s] seed=%llu VIOLATION: %s\n",
+                 schemeTraits(Scheme).Name,
+                 static_cast<unsigned long long>(CaseSeed),
+                 Rec.First.What.c_str());
+  Report.Failures.push_back(std::move(Rec));
+  return true;
+}
+
+} // namespace
+
+ErrorOr<FuzzReport> fuzz::runFuzz(const FuzzOptions &Opts) {
+  FuzzReport Report;
+
+  for (SchemeKind Scheme : Opts.Schemes) {
+    CaseRunner::Config RC;
+    RC.Scheme = Scheme;
+    RC.BuggySingleGranuleHst = Opts.BuggyHst && Scheme == SchemeKind::Hst;
+    CaseRunner Runner(RC);
+
+    unsigned Failures = 0;
+    for (uint64_t CaseNo = 0;
+         CaseNo < Opts.NumCases && Failures < Opts.MaxFailuresPerScheme;
+         ++CaseNo) {
+      uint64_t CaseSeed =
+          mixSeed(Opts.Seed, static_cast<uint64_t>(Scheme), CaseNo);
+      Rng R(CaseSeed);
+      FuzzCase Case = generateCase(R, Opts.Gen);
+      ++Report.CasesRun;
+
+      auto Prep = Runner.prepare(Case);
+      if (!Prep)
+        return Prep.error();
+
+      // Exhaust tiny interleaving spaces; sample PCT beyond.
+      auto Traces = enumerateEventTraces(Case, Opts.ExhaustiveLimit);
+      uint64_t NumSchedules =
+          Traces.empty() ? Opts.SchedulesPerCase : Traces.size();
+
+      bool CaseFailed = false;
+      for (uint64_t S = 0; S < NumSchedules && !CaseFailed; ++S) {
+        ErrorOr<CaseResult> Res = [&]() -> ErrorOr<CaseResult> {
+          if (!Traces.empty()) {
+            FixedSchedule Sched(Traces[S]);
+            return Runner.runPrepared(Case, Sched);
+          }
+          PctSchedule Sched(mixSeed(CaseSeed, 0, S), Opts.PctDepth,
+                            totalSlices(Case));
+          return Runner.runPrepared(Case, Sched);
+        }();
+        if (!Res)
+          return Res.error();
+        ++Report.SchedulesRun;
+        Report.AbaSuccesses += Res->AbaSuccesses;
+        Report.SpuriousFails += Res->SpuriousFails;
+        if (!Res->Violations.empty()) {
+          CaseFailed = true;
+          ++Failures;
+          auto Rec = recordFailure(Opts, Runner, Scheme, Case, *Res,
+                                   CaseSeed, Report);
+          if (!Rec)
+            return Rec.error();
+        }
+      }
+
+      if (Opts.Verbose && (CaseNo + 1) % 500 == 0)
+        std::fprintf(stderr, "llsc-fuzz: [%s] %llu/%llu cases\n",
+                     schemeTraits(Scheme).Name,
+                     static_cast<unsigned long long>(CaseNo + 1),
+                     static_cast<unsigned long long>(Opts.NumCases));
+    }
+  }
+  return Report;
+}
+
+ErrorOr<FuzzReport> fuzz::runStress(const FuzzOptions &Opts,
+                                    uint64_t Iterations) {
+  FuzzReport Report;
+  for (SchemeKind Scheme : Opts.Schemes) {
+    CaseRunner::Config RC;
+    RC.Scheme = Scheme;
+    RC.BuggySingleGranuleHst = Opts.BuggyHst && Scheme == SchemeKind::Hst;
+    CaseRunner Runner(RC);
+
+    for (uint64_t CaseNo = 0; CaseNo < Opts.NumCases; ++CaseNo) {
+      uint64_t CaseSeed =
+          mixSeed(Opts.Seed, static_cast<uint64_t>(Scheme), CaseNo);
+      Rng R(CaseSeed);
+      FuzzCase Case = generateCase(R, Opts.Gen);
+      ++Report.CasesRun;
+      auto Res = Runner.runStress(Case, Iterations);
+      if (!Res)
+        return Res.error();
+      if (!*Res) {
+        FailureRecord Rec;
+        Rec.Scheme = Scheme;
+        Rec.Shrunk = std::move(Case);
+        Rec.First = {"stress run did not halt (budget exhausted)", 0, -1};
+        Rec.CaseSeed = CaseSeed;
+        Report.Failures.push_back(std::move(Rec));
+      }
+    }
+  }
+  return Report;
+}

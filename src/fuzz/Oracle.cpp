@@ -1,0 +1,210 @@
+//===- fuzz/Oracle.cpp - Scheme-aware LL/SC reference model -------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Per-thread monitor state machine over the shared window, parameterized
+/// by the scheme's atomicity class (Section II-D):
+///
+///   None   -> SC success is forbidden (no monitor, or range mismatch).
+///   Armed  -> success and failure both allowed (failures are spurious:
+///             hash conflicts, false sharing, remap windows).
+///   Broken -> success is forbidden; this is the headline check. What
+///             breaks a monitor depends on the class: Strong = any other
+///             thread's store (plain or SC), Weak = only instrumented
+///             (SC) stores, Incorrect = tracked for ABA accounting only.
+///   Masked -> broken, but the owner has since plain-stored over the
+///             monitored granules; HST-family tag resurrection makes the
+///             outcome unspecified (GranuleMasking schemes only).
+///
+/// Orthogonally, a byte-accurate shadow of the shared region is kept and
+/// diffed after every slice, so an SC that reports failure but stores
+/// anyway (or any stray write) is caught as memory divergence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace llsc;
+using namespace llsc::fuzz;
+
+OracleModel OracleModel::forScheme(SchemeKind Kind) {
+  OracleModel Model;
+  Model.Class = schemeTraits(Kind).Atomicity;
+  switch (Kind) {
+  case SchemeKind::Hst:
+  case SchemeKind::HstHelper:
+  case SchemeKind::HstHtm:
+    Model.GranuleMasking = true;
+    break;
+  default:
+    // hst-weak doesn't instrument plain stores, so its own stores cannot
+    // re-tag anything; the PST family and pico-st track byte/page ranges,
+    // not granule tags.
+    Model.GranuleMasking = false;
+    break;
+  }
+  return Model;
+}
+
+Oracle::Oracle(const OracleModel &Model, unsigned NumThreads)
+    : Model(Model), Mons(NumThreads) {}
+
+static bool rangesOverlap(unsigned OffA, unsigned SizeA, unsigned OffB,
+                          unsigned SizeB) {
+  return OffA < OffB + SizeB && OffB < OffA + SizeA;
+}
+
+/// Overlap after expanding both ranges to whole 4-byte granules — the
+/// resolution of the HST hash table.
+static bool granulesOverlap(unsigned OffA, unsigned SizeA, unsigned OffB,
+                            unsigned SizeB) {
+  unsigned FirstA = OffA / 4, LastA = (OffA + SizeA - 1) / 4;
+  unsigned FirstB = OffB / 4, LastB = (OffB + SizeB - 1) / 4;
+  return FirstA <= LastB && FirstB <= LastA;
+}
+
+bool Oracle::bytesMatchSnapshot(const Mon &M) const {
+  return std::memcmp(Shadow.data() + M.Off, M.Snapshot.data(), M.Size) == 0;
+}
+
+std::string Oracle::onLoadLink(unsigned Tid, unsigned Off, unsigned Size,
+                               uint64_t Observed) {
+  assert(Off + Size <= SharedWindowBytes && "event outside window");
+  uint64_t Expected = 0;
+  std::memcpy(&Expected, Shadow.data() + Off, Size); // Little-endian host.
+
+  Mon &M = Mons[Tid];
+  M.S = Mon::St::Armed; // A second LL replaces the monitor (no nesting).
+  M.Off = static_cast<uint8_t>(Off);
+  M.Size = static_cast<uint8_t>(Size);
+  std::memcpy(M.Snapshot.data(), Shadow.data() + Off, Size);
+
+  if (Observed != Expected)
+    return formatString(
+        "LL read 0x%llx, memory holds 0x%llx (off=%u size=%u)",
+        static_cast<unsigned long long>(Observed),
+        static_cast<unsigned long long>(Expected), Off, Size);
+  return {};
+}
+
+void Oracle::breakOthersOnStore(unsigned Tid, unsigned Off, unsigned Size,
+                                bool Instrumented) {
+  for (unsigned T = 0; T < Mons.size(); ++T) {
+    if (T == Tid)
+      continue;
+    Mon &M = Mons[T];
+    if (M.S != Mon::St::Armed || !rangesOverlap(Off, Size, M.Off, M.Size))
+      continue;
+    // Weak atomicity only guarantees detection of instrumented stores
+    // (LL/SC); plain stores sail past it by design — success stays
+    // allowed, so the monitor must stay Armed in the model.
+    if (Model.Class == AtomicityClass::Weak && !Instrumented)
+      continue;
+    M.S = Mon::St::Broken;
+    // Masked monitors stay Masked: outcomes are already unspecified.
+  }
+}
+
+std::string Oracle::onStoreCond(unsigned Tid, unsigned Off, unsigned Size,
+                                uint64_t Value, bool Success) {
+  assert(Off + Size <= SharedWindowBytes && "event outside window");
+  Mon &M = Mons[Tid];
+  std::string What;
+
+  bool RangeMatch =
+      M.S != Mon::St::None && M.Off == Off && M.Size == Size;
+  if (!RangeMatch) {
+    if (Success)
+      What = formatString(
+          "SC succeeded without a matching monitor (off=%u size=%u)", Off,
+          Size);
+  } else if (Model.Class == AtomicityClass::Incorrect) {
+    // pico-cas semantics: the SC is a value compare. Success with a
+    // changed value is impossible even for it; success after a
+    // break-and-restore is the scheme's documented ABA unsoundness —
+    // counted, not flagged, when running the negative control.
+    bool ValueIntact = bytesMatchSnapshot(M);
+    if (Success && !ValueIntact)
+      What = formatString(
+          "value-compare SC succeeded over a changed value (off=%u "
+          "size=%u)",
+          Off, Size);
+    else if (Success && M.S == Mon::St::Broken)
+      ++Aba;
+    else if (!Success)
+      ++Spurious;
+  } else {
+    switch (M.S) {
+    case Mon::St::Armed:
+      if (!Success)
+        ++Spurious;
+      break;
+    case Mon::St::Broken:
+      if (Success)
+        What = formatString(
+            "SC succeeded after a conflicting store broke the monitor "
+            "(off=%u size=%u) — forbidden for %s atomicity",
+            Off, Size,
+            Model.Class == AtomicityClass::Strong ? "strong" : "weak");
+      break;
+    case Mon::St::Masked:
+      break; // Own-store tag resurrection: either outcome is legal.
+    case Mon::St::None:
+      break; // Unreachable: RangeMatch above.
+    }
+  }
+
+  // Any SC consumes the monitor (ARM semantics; every scheme clears).
+  M.S = Mon::St::None;
+
+  if (Success) {
+    std::memcpy(Shadow.data() + Off, &Value, Size);
+    breakOthersOnStore(Tid, Off, Size, /*Instrumented=*/true);
+  }
+  return What;
+}
+
+void Oracle::onPlainStore(unsigned Tid, unsigned Off, unsigned Size,
+                          uint64_t Value) {
+  assert(Off + Size <= SharedWindowBytes && "event outside window");
+  std::memcpy(Shadow.data() + Off, &Value, Size);
+  breakOthersOnStore(Tid, Off, Size, /*Instrumented=*/false);
+
+  // Own monitor: an own store never breaks it (every scheme keeps it; see
+  // the OwnStoreKeepsMonitor litmus). Under granule masking it can also
+  // *resurrect* a broken one by re-tagging the stolen granules.
+  Mon &M = Mons[Tid];
+  if (Model.GranuleMasking && M.S == Mon::St::Broken &&
+      granulesOverlap(Off, Size, M.Off, M.Size))
+    M.S = Mon::St::Masked;
+}
+
+void Oracle::onClearExcl(unsigned Tid) { Mons[Tid].S = Mon::St::None; }
+
+std::string Oracle::checkMemoryWord(unsigned Off, uint64_t Actual) const {
+  assert(Off + 8 <= SharedRegionBytes);
+  uint64_t Expected = 0;
+  std::memcpy(&Expected, Shadow.data() + Off, 8); // Little-endian host.
+  if (Actual != Expected)
+    return formatString(
+        "memory diverged from shadow at shared+%u: 0x%llx != 0x%llx", Off,
+        static_cast<unsigned long long>(Actual),
+        static_cast<unsigned long long>(Expected));
+  return {};
+}
+
+std::string Oracle::checkMemory(const uint8_t *Actual) const {
+  for (unsigned I = 0; I < SharedRegionBytes; ++I)
+    if (Actual[I] != Shadow[I])
+      return formatString(
+          "memory diverged from shadow at shared+%u: 0x%02x != 0x%02x", I,
+          Actual[I], Shadow[I]);
+  return {};
+}

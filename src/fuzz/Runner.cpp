@@ -1,0 +1,299 @@
+//===- fuzz/Runner.cpp - Case execution under schedule control ----------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// CaseRunner drives one generated case through Machine::runScheduled at
+/// one-block slices. Because the program builder emits exactly one
+/// translation block per event (and a uniform two-block dispatch
+/// preamble), per-tid slice number K maps to:
+///
+///   K == 0, 1            dispatch / trampoline (no shared-state effects)
+///   K == 2 + i           event i of that thread
+///   K == 2 + numEvents   the halt block
+///
+/// The slice observer reads the architectural results out of the vCPU
+/// (r1 = LL value, r2 = SC status), feeds the oracle, and diffs the
+/// shared region against the oracle's shadow after every slice. The first
+/// violation stops the run, so the recorded trace ends at the offending
+/// slice — exactly what the shrinker and the repro replay need.
+///
+/// This file also hosts the single-granule HST fixture: the pre-fix
+/// behavior (tag/check only the first granule of an access), preserved as
+/// a negative control so tests can prove the fuzzer detects the bug this
+/// PR fixed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "mem/GuestMemory.h"
+#include "runtime/Observe.h"
+
+#include <atomic>
+#include <cassert>
+
+using namespace llsc;
+using namespace llsc::ir;
+using namespace llsc::fuzz;
+
+// --- Single-granule HST fixture (the pre-fix bug, preserved) ---------------
+
+namespace {
+
+/// HST as it behaved before the multi-granule fix: every LL, SC check and
+/// plain-store instrumentation touches only the granule of the access's
+/// *first* byte. An 8-byte LL at offset 4 owns granule 1 but not granule
+/// 2, so a conflicting 4-byte store to offset 8 is invisible to the SC —
+/// the forbidden-success the fuzzer must find.
+class SingleGranuleHst final : public AtomicScheme {
+public:
+  explicit SingleGranuleHst(unsigned TableLog2)
+      : NumEntries(1ULL << TableLog2), Mask(NumEntries - 1),
+        Table(std::make_unique<std::atomic<uint32_t>[]>(NumEntries)) {
+    reset();
+  }
+
+  const SchemeTraits &traits() const override {
+    // Claims strong atomicity — that claim being false is the point.
+    return schemeTraits(SchemeKind::Hst);
+  }
+
+  void reset() override {
+    for (uint64_t Index = 0; Index < NumEntries; ++Index)
+      Table[Index].store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t entryIndex(uint64_t Addr) const { return (Addr >> 2) & Mask; }
+  static uint32_t tagFor(unsigned Tid) { return Tid + 1; }
+
+  uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    Table[entryIndex(Addr)].store(tagFor(Cpu.Tid), std::memory_order_relaxed);
+    uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
+    Cpu.Monitor.arm(Addr, Value, Size);
+    return Value;
+  }
+
+  bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                        unsigned Size) override {
+    ExclusiveMonitor &Mon = Cpu.Monitor;
+    if (!Mon.valid() || Mon.Addr != Addr || Mon.Size != Size) {
+      Mon.clear();
+      Cpu.Events.ScFailMonitorLost++;
+      return false;
+    }
+    bool Ok;
+    {
+      ExclusiveSection Excl(Cpu, Cpu.InRunLoop);
+      Ok = Table[entryIndex(Addr)].load(std::memory_order_relaxed) ==
+           tagFor(Cpu.Tid);
+      if (Ok)
+        Ctx->Mem->shadowStore(Addr, Value, Size);
+      else
+        Cpu.Events.ScFailMonitorLost++;
+    }
+    Mon.clear();
+    return Ok;
+  }
+
+  void emitStorePrologue(IRBuilder &B, ValueId Addr, int64_t Offset,
+                         ValueId Value, unsigned Size) override {
+    // Route through a helper (instead of the fused HstStoreTag micro-op,
+    // which is multi-granule now) so the fixture controls exactly which
+    // entries a plain store tags.
+    B.setInstrumentMode(true);
+    ValueId EffAddr = Offset ? B.emitBinImm(IROp::AddImm, Addr, Offset) : Addr;
+    HelperFn Fn;
+    Fn.Fn = &storeTagThunk;
+    Fn.Ctx = this;
+    Fn.Name = "single_granule_hst_tag";
+    B.emitHelper(Fn, EffAddr, EffAddr);
+    B.setInstrumentMode(false);
+  }
+
+private:
+  static uint64_t storeTagThunk(void *SchemeCtx, void *CpuPtr, uint64_t Addr,
+                                uint64_t /*B*/) {
+    auto *Self = static_cast<SingleGranuleHst *>(SchemeCtx);
+    auto *Cpu = static_cast<VCpu *>(CpuPtr);
+    Self->Table[Self->entryIndex(Addr)].store(tagFor(Cpu->Tid),
+                                              std::memory_order_relaxed);
+    return 0;
+  }
+
+  uint64_t NumEntries;
+  uint64_t Mask;
+  std::unique_ptr<std::atomic<uint32_t>[]> Table;
+};
+
+} // namespace
+
+std::unique_ptr<AtomicScheme>
+llsc::fuzz::createSingleGranuleHst(unsigned TableLog2) {
+  return std::make_unique<SingleGranuleHst>(TableLog2);
+}
+
+// --- CaseRunner -------------------------------------------------------------
+
+OracleModel CaseRunner::model() const {
+  // The buggy fixture pretends to be HST; the oracle judges it by HST's
+  // contract, which is exactly how the bug becomes a reported violation.
+  return OracleModel::forScheme(Cfg.Scheme);
+}
+
+ErrorOr<Machine *> CaseRunner::machineFor(unsigned NumThreads) {
+  Entry &E = Machines[NumThreads];
+  if (!E.M) {
+    MachineConfig MC;
+    MC.Scheme = Cfg.Scheme;
+    MC.NumThreads = NumThreads;
+    MC.MemBytes = Cfg.MemBytes;
+    // Fuzz programs barely touch the stack; small stacks keep the
+    // per-thread carve-out well inside the 1 MiB guest image.
+    MC.StackBytes = 16 * 1024;
+    // Deterministic slices require the software HTM model (hardware RTM
+    // aborts on the engine's bookkeeping between slices).
+    MC.ForceSoftHtm = true;
+    MC.SchemeTuning.HstTableLog2 = Cfg.HstTableLog2;
+    auto MOrErr = Machine::create(MC);
+    if (!MOrErr)
+      return MOrErr.error();
+    E.M = MOrErr.take();
+    if (Cfg.BuggySingleGranuleHst) {
+      E.Custom = createSingleGranuleHst(Cfg.HstTableLog2);
+      E.M->setCustomScheme(*E.Custom);
+    }
+  }
+  return E.M.get();
+}
+
+ErrorOr<bool> CaseRunner::prepare(const FuzzCase &Case) {
+  Prepared = nullptr;
+  auto MOrErr = machineFor(Case.numThreads());
+  if (!MOrErr)
+    return MOrErr.error();
+  Machine *M = *MOrErr;
+  auto Loaded = M->loadAssembly(buildProgramAsm(Case));
+  if (!Loaded)
+    return Loaded.error();
+  auto Shared = M->program().symbol("shared");
+  if (!Shared)
+    return makeError("fuzz program has no 'shared' symbol");
+  Prepared = M;
+  PreparedShared = *Shared;
+  return true;
+}
+
+namespace {
+
+/// Maps slices to events, feeds the oracle and diffs memory.
+class OracleObserver final : public SliceObserver {
+public:
+  OracleObserver(Machine &M, const FuzzCase &Case, const OracleModel &Model,
+                 uint64_t SharedAddr, CaseResult &Out)
+      : M(M), Case(Case), Or(Model, Case.numThreads()), SharedAddr(SharedAddr),
+        Out(Out), SliceCount(Case.numThreads(), 0) {}
+
+  bool onSlice(unsigned Tid, uint64_t /*StepIndex*/) override {
+    Out.ExecTrace.push_back(Tid);
+    unsigned K = SliceCount[Tid]++;
+    int EventIdx = -1;
+    std::string What;
+    if (K >= 2 && K - 2 < Case.Threads[Tid].size()) {
+      EventIdx = static_cast<int>(K - 2);
+      const Event &E = Case.Threads[Tid][EventIdx];
+      VCpu &Cpu = M.cpu(Tid);
+      switch (E.Kind) {
+      case EventKind::LoadLink:
+        What = Or.onLoadLink(Tid, E.Offset, E.Size, Cpu.Regs[1]);
+        break;
+      case EventKind::StoreCond:
+        What = Or.onStoreCond(Tid, E.Offset, E.Size, E.Value,
+                              /*Success=*/Cpu.Regs[2] == 0);
+        break;
+      case EventKind::PlainStore:
+        Or.onPlainStore(Tid, E.Offset, E.Size, E.Value);
+        break;
+      case EventKind::ClearExcl:
+        Or.onClearExcl(Tid);
+        break;
+      }
+    }
+    if (What.empty()) {
+      uint8_t Region[SharedRegionBytes];
+      for (unsigned I = 0; I < SharedRegionBytes; ++I)
+        Region[I] =
+            static_cast<uint8_t>(M.mem().shadowLoad(SharedAddr + I, 1));
+      What = Or.checkMemory(Region);
+    }
+    if (!What.empty()) {
+      Out.Violations.push_back({std::move(What), Tid, EventIdx});
+      return false; // Stop at the first violation: the trace ends here.
+    }
+    return true;
+  }
+
+  void finish() {
+    Out.AbaSuccesses = Or.abaSuccesses();
+    Out.SpuriousFails = Or.spuriousFails();
+  }
+
+private:
+  Machine &M;
+  const FuzzCase &Case;
+  Oracle Or;
+  uint64_t SharedAddr;
+  CaseResult &Out;
+  std::vector<unsigned> SliceCount; ///< Slices run so far, per tid.
+};
+
+} // namespace
+
+ErrorOr<CaseResult> CaseRunner::runPrepared(const FuzzCase &Case,
+                                            ScheduleController &Sched) {
+  assert(Prepared && "runPrepared without a successful prepare");
+  Machine &M = *Prepared;
+
+  // Re-zero the shared region: the image is loaded once per prepare() but
+  // a case runs under many schedules, and each run must start from the
+  // all-zero state the oracle's shadow assumes. The shadow mapping is
+  // always writable, so this cannot fault even while PST has a page
+  // read-only from the previous run (prepareRun releases those monitors
+  // before any slice executes).
+  for (unsigned I = 0; I < SharedRegionBytes; I += 8)
+    M.mem().shadowStore(PreparedShared + I, 0, 8);
+
+  CaseResult Out;
+  OracleObserver Obs(M, Case, model(), PreparedShared, Out);
+  auto RunOrErr = M.runScheduled(Sched, /*BlocksPerSlice=*/1, &Obs);
+  if (!RunOrErr)
+    return RunOrErr.error();
+  Obs.finish();
+  Out.AllHalted = RunOrErr->AllHalted;
+  return Out;
+}
+
+ErrorOr<CaseResult> CaseRunner::run(const FuzzCase &Case,
+                                    ScheduleController &Sched) {
+  auto Prep = prepare(Case);
+  if (!Prep)
+    return Prep.error();
+  return runPrepared(Case, Sched);
+}
+
+ErrorOr<bool> CaseRunner::runStress(const FuzzCase &Case,
+                                    uint64_t Iterations) {
+  auto MOrErr = machineFor(Case.numThreads());
+  if (!MOrErr)
+    return MOrErr.error();
+  Machine *M = *MOrErr;
+  auto Loaded = M->loadAssembly(buildStressAsm(Case, Iterations));
+  if (!Loaded)
+    return Loaded.error();
+  Prepared = nullptr; // The stress image replaced any prepared case.
+  auto RunOrErr = M->run();
+  if (!RunOrErr)
+    return RunOrErr.error();
+  return RunOrErr->AllHalted;
+}

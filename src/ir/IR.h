@@ -92,13 +92,15 @@ enum class IROp : uint8_t {
   // rule-based translation pass for recognized LL/SC idioms (Section VI).
   AtomicAddG, ///< dst = atomic_fetch_add(guest[A], B) (Size).
 
-  // Fused HST store instrumentation: one micro-op performing
-  // table[hash(A + Imm)] = tid + 1 against the hash table the active
-  // scheme published in MachineContext. In a JIT the instrumentation is
-  // ~4 inlined host instructions (Figure 5) — i.e. a fraction of one
-  // interpreter dispatch — so modeling it as a single micro-op preserves
-  // the paper's inline-vs-helper cost ratio under an interpreted engine.
-  HstStoreTag, ///< hst_table[((A+Imm)>>2) & mask] = tid + 1.
+  // Fused HST store instrumentation: one micro-op tagging every 4-byte
+  // granule covered by [A + Imm, A + Imm + Size) in the hash table the
+  // active scheme published in MachineContext (aligned accesses of <= 4
+  // bytes cover exactly one granule — the fast path). In a JIT the
+  // instrumentation is ~4 inlined host instructions (Figure 5) — i.e. a
+  // fraction of one interpreter dispatch — so modeling it as a single
+  // micro-op preserves the paper's inline-vs-helper cost ratio under an
+  // interpreted engine.
+  HstStoreTag, ///< hst_table[granule & mask] = tid + 1 for covered granules.
 
   // Special reads and services.
   ReadSpecial, ///< dst = special value selected by Imm (SpecialValue).

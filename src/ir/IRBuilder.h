@@ -157,8 +157,9 @@ public:
     return Dst;
   }
 
-  void emitHstStoreTag(ValueId Addr, int64_t Offset) {
-    append({IROp::HstStoreTag, 0, 0, CondCode::Eq, 0, Addr, 0, Offset});
+  void emitHstStoreTag(ValueId Addr, int64_t Offset, unsigned Size) {
+    append({IROp::HstStoreTag, static_cast<uint8_t>(Size), 0, CondCode::Eq, 0,
+            Addr, 0, Offset});
   }
 
   ValueId emitAtomicAddG(ValueId Addr, ValueId Delta, unsigned Size) {

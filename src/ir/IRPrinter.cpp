@@ -15,7 +15,9 @@ using namespace llsc::ir;
 std::string ir::printValue(ValueId Id) {
   if (Id < FirstTempId)
     return std::string(guest::regName(Id));
-  return "t" + std::to_string(Id);
+  // formatString rather than operator+: GCC 12's -O3 -Wrestrict trips a
+  // false positive on const char* + std::string&& (PR105651).
+  return formatString("t%u", static_cast<unsigned>(Id));
 }
 
 std::string ir::printInst(const IRInst &I) {
@@ -113,7 +115,7 @@ std::string ir::printInst(const IRInst &I) {
            V(I.A) + "], " + V(I.B);
     break;
   case IROp::HstStoreTag:
-    Text = "hst_tag [" + V(I.A) +
+    Text = "hst_tag." + std::to_string(I.Size) + " [" + V(I.A) +
            formatString("%+lld]", static_cast<long long>(I.Imm));
     break;
   case IROp::ReadSpecial:

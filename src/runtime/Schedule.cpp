@@ -1,0 +1,69 @@
+//===- runtime/Schedule.cpp - Cooperative schedule control --------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Schedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace llsc;
+
+int FixedSchedule::pickNext(const std::vector<unsigned> &Runnable) {
+  while (Next < Trace.size()) {
+    unsigned Want = Trace[Next++];
+    if (std::find(Runnable.begin(), Runnable.end(), Want) != Runnable.end())
+      return static_cast<int>(Want);
+    // Entry names a tid that already halted (or timed out): skip it, so
+    // traces stay replayable across code changes that shift halt points.
+  }
+  if (!DrainAfter)
+    return -1;
+  return Drain.pickNext(Runnable);
+}
+
+PctSchedule::PctSchedule(uint64_t Seed, unsigned Depth, uint64_t StepHorizon)
+    : Rand(Seed), Depth(std::max(Depth, 1U)),
+      StepHorizon(std::max<uint64_t>(StepHorizon, 1)) {}
+
+void PctSchedule::begin(unsigned NumThreads) {
+  // Initial priorities: a random permutation of [Depth, Depth + n), so
+  // they all sit above every demotion value the change points will hand
+  // out (Depth - 1 down to 1).
+  Priority.resize(NumThreads);
+  for (unsigned Tid = 0; Tid < NumThreads; ++Tid)
+    Priority[Tid] = Depth + Tid;
+  for (unsigned I = NumThreads; I > 1; --I)
+    std::swap(Priority[I - 1], Priority[Rand.nextBelow(I)]);
+
+  ChangePoints.clear();
+  for (unsigned I = 0; I + 1 < Depth; ++I)
+    ChangePoints.push_back(Rand.nextBelow(StepHorizon));
+  std::sort(ChangePoints.begin(), ChangePoints.end());
+  NextChange = 0;
+  NextFresh = Depth;
+  Step = 0;
+}
+
+int PctSchedule::pickNext(const std::vector<unsigned> &Runnable) {
+  assert(!Runnable.empty() && "pickNext needs a runnable thread");
+  auto HighestRunnable = [&]() {
+    unsigned Best = Runnable.front();
+    for (unsigned Tid : Runnable)
+      if (Priority[Tid] > Priority[Best])
+        Best = Tid;
+    return Best;
+  };
+
+  // Consume due change points: the thread that would run is demoted below
+  // every other priority, forcing a context switch exactly here. This is
+  // PCT's lever for reaching orderings of depth > 1.
+  while (NextChange < ChangePoints.size() && Step >= ChangePoints[NextChange]) {
+    Priority[HighestRunnable()] = --NextFresh;
+    ++NextChange;
+  }
+  ++Step;
+  return static_cast<int>(HighestRunnable());
+}

@@ -1,0 +1,131 @@
+//===- runtime/Schedule.h - Cooperative schedule control --------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable schedule control for Machine::runScheduled: a controller
+/// picks which runnable vCPU executes the next slice of the deterministic
+/// single-host-thread runner, and an observer inspects machine state after
+/// every slice. Built for the differential concurrency fuzzer
+/// (tools/llsc-fuzz, docs/FUZZING.md): exhaustive interleaving enumeration
+/// replays explicit slice traces via FixedSchedule, and the randomized
+/// search uses PctSchedule — the priority-based probabilistic concurrency
+/// testing sampler (Burckhardt et al., ASPLOS'10) — to hit deep orderings
+/// that round-robin never produces.
+///
+/// Every controller is deterministic: same construction arguments, same
+/// halting pattern => same schedule. That is what makes fuzzer repros
+/// replayable from a seed alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_RUNTIME_SCHEDULE_H
+#define LLSC_RUNTIME_SCHEDULE_H
+
+#include "support/Random.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace llsc {
+
+/// Picks which vCPU runs the next slice in Machine::runScheduled.
+class ScheduleController {
+public:
+  virtual ~ScheduleController() = default;
+
+  /// Called once when a run starts, before any slice executes.
+  virtual void begin(unsigned NumThreads) { (void)NumThreads; }
+
+  /// Picks the tid to run next. \p Runnable lists the not-yet-halted,
+  /// not-timed-out tids in ascending order and is never empty. \returns
+  /// one of them, or a negative value to end the run early.
+  virtual int pickNext(const std::vector<unsigned> &Runnable) = 0;
+};
+
+/// Observes machine state between slices (registers, guest memory, event
+/// counters). The fuzzer's oracle hooks in here.
+class SliceObserver {
+public:
+  virtual ~SliceObserver() = default;
+
+  /// Called after slice number \p StepIndex ran on \p Tid. \returns false
+  /// to end the run early.
+  virtual bool onSlice(unsigned Tid, uint64_t StepIndex) = 0;
+};
+
+/// Cycles through runnable tids in ascending order — the schedule
+/// Machine::runCooperative has always produced, now expressed as a
+/// controller.
+class RoundRobinSchedule final : public ScheduleController {
+public:
+  int pickNext(const std::vector<unsigned> &Runnable) override {
+    // The smallest runnable tid strictly greater than the last choice;
+    // wraps to the smallest runnable tid.
+    for (unsigned Tid : Runnable)
+      if (static_cast<int>(Tid) > Last)
+        return Last = static_cast<int>(Tid);
+    return Last = static_cast<int>(Runnable.front());
+  }
+
+private:
+  int Last = -1;
+};
+
+/// Replays an explicit slice trace (tid per slice), then optionally drains
+/// the remaining threads round-robin so the program can finish. Trace
+/// entries whose tid is no longer runnable are skipped — that keeps a
+/// trace recorded against one fix level replayable against another, where
+/// threads may halt earlier.
+class FixedSchedule final : public ScheduleController {
+public:
+  explicit FixedSchedule(std::vector<unsigned> Trace, bool DrainAfter = true)
+      : Trace(std::move(Trace)), DrainAfter(DrainAfter) {}
+
+  int pickNext(const std::vector<unsigned> &Runnable) override;
+
+  /// Index of the first unconsumed trace entry (for observers that want
+  /// to know whether the run is still inside the trace).
+  std::size_t position() const { return Next; }
+
+private:
+  std::vector<unsigned> Trace;
+  std::size_t Next = 0;
+  bool DrainAfter;
+  RoundRobinSchedule Drain;
+};
+
+/// Probabilistic concurrency testing: every thread gets a random distinct
+/// priority; the highest-priority runnable thread always runs; at \p Depth
+/// - 1 pre-sampled change points (slice indices in [0, StepHorizon)) the
+/// running thread's priority drops below everyone else's. With d-1 change
+/// points the schedule finds any bug of "depth" d with probability >=
+/// 1/(n * k^(d-1)) — far better than uniform random walk for ordering
+/// bugs, which is exactly what LL/SC monitor bugs are.
+class PctSchedule final : public ScheduleController {
+public:
+  /// \p StepHorizon is the expected slice-count scale used to place change
+  /// points (an over-estimate is fine; an under-estimate just means late
+  /// slices see no more changes).
+  PctSchedule(uint64_t Seed, unsigned Depth, uint64_t StepHorizon);
+
+  void begin(unsigned NumThreads) override;
+  int pickNext(const std::vector<unsigned> &Runnable) override;
+
+private:
+  Rng Rand;
+  unsigned Depth;
+  uint64_t StepHorizon;
+  uint64_t Step = 0;
+  uint64_t NextFresh = 0; ///< Priorities count down; lower = weaker.
+  std::vector<uint64_t> Priority;        ///< Indexed by tid.
+  std::vector<uint64_t> ChangePoints;    ///< Sorted ascending.
+  std::size_t NextChange = 0;
+};
+
+} // namespace llsc
+
+#endif // LLSC_RUNTIME_SCHEDULE_H

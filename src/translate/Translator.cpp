@@ -212,7 +212,7 @@ ErrorOr<IRBlock> Translator::translateBlock(uint64_t StartPc) {
       if (unsigned Consumed = tryAtomicIdiom(Builder, Pc)) {
         for (unsigned N = 0; N < Consumed; ++N)
           Builder.noteGuestInst();
-        Stats.AtomicIdiomsMatched++;
+        Stats.AtomicIdiomsMatched.fetch_add(1, std::memory_order_relaxed);
         Pc += Consumed * InstBytes;
         continue;
       }
@@ -423,13 +423,16 @@ ErrorOr<IRBlock> Translator::translateBlock(uint64_t StartPc) {
   }
 
   IRBlock Block = Builder.take();
-  Stats.BlocksTranslated++;
-  Stats.GuestInstsTranslated += Block.GuestInstCount;
-  Stats.IROpsEmitted += Block.Insts.size();
+  Stats.BlocksTranslated.fetch_add(1, std::memory_order_relaxed);
+  Stats.GuestInstsTranslated.fetch_add(Block.GuestInstCount,
+                                       std::memory_order_relaxed);
+  Stats.IROpsEmitted.fetch_add(Block.Insts.size(),
+                               std::memory_order_relaxed);
 
   if (Config.Optimize)
     ir::optimize(Block);
-  Stats.IROpsAfterOpt += Block.Insts.size();
+  Stats.IROpsAfterOpt.fetch_add(Block.Insts.size(),
+                                std::memory_order_relaxed);
 
   if (Config.Verify) {
     auto VerifyResult = ir::verify(Block);

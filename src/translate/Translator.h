@@ -22,6 +22,8 @@
 
 #include "support/Error.h"
 
+#include <atomic>
+
 namespace llsc {
 
 class GuestMemory;
@@ -38,18 +40,19 @@ struct TranslatorConfig {
   bool Verify = true;
 };
 
-/// Statistics across all translations of one Translator.
+/// Statistics across all translations of one Translator. Relaxed
+/// atomics: vCPUs translating concurrently on different TbCache shards
+/// bump these from their own threads.
 struct TranslatorStats {
-  uint64_t BlocksTranslated = 0;
-  uint64_t GuestInstsTranslated = 0;
-  uint64_t IROpsEmitted = 0;
-  uint64_t IROpsAfterOpt = 0;
-  uint64_t AtomicIdiomsMatched = 0; ///< Rule-based pass hits.
+  std::atomic<uint64_t> BlocksTranslated{0};
+  std::atomic<uint64_t> GuestInstsTranslated{0};
+  std::atomic<uint64_t> IROpsEmitted{0};
+  std::atomic<uint64_t> IROpsAfterOpt{0};
+  std::atomic<uint64_t> AtomicIdiomsMatched{0}; ///< Rule-based pass hits.
 };
 
 /// Translates guest code reachable from arbitrary PCs, one block at a
-/// time. Thread-safe for concurrent translateBlock calls (stats are
-/// approximate under contention, by design).
+/// time. Thread-safe for concurrent translateBlock calls.
 class Translator {
 public:
   /// \p Hooks may be null (no instrumentation). \p Mem provides code

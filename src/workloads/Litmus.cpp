@@ -32,9 +32,27 @@ frag_store:
         stw     r11, [r10]
         halt
 
+; Sized variants: 8-byte LL/SC/store and a 2-byte store, for the
+; multi-granule litmus shapes (r10 carries the already-offset address).
+frag_ll_d:
+        ldxr.d  r1, [r10]
+        halt
+
+frag_sc_d:
+        stxr.d  r2, r11, [r10]
+        halt
+
+frag_store_d:
+        std     r11, [r10]
+        halt
+
+frag_store_h:
+        sth     r11, [r10]
+        halt
+
         .align  4096
 shared_var:
-        .word   0
+        .space  16
 )";
 
 ErrorOr<LitmusDriver> LitmusDriver::create(Machine &M) {
@@ -48,6 +66,10 @@ ErrorOr<LitmusDriver> LitmusDriver::create(Machine &M) {
   Driver.LlPc = M.program().requiredSymbol("frag_ll");
   Driver.ScPc = M.program().requiredSymbol("frag_sc");
   Driver.StorePc = M.program().requiredSymbol("frag_store");
+  Driver.LlDPc = M.program().requiredSymbol("frag_ll_d");
+  Driver.ScDPc = M.program().requiredSymbol("frag_sc_d");
+  Driver.StoreDPc = M.program().requiredSymbol("frag_store_d");
+  Driver.StoreHPc = M.program().requiredSymbol("frag_store_h");
   Driver.VarAddr = M.program().requiredSymbol("shared_var");
   M.prepareRun();
   return Driver;
@@ -55,6 +77,8 @@ ErrorOr<LitmusDriver> LitmusDriver::create(Machine &M) {
 
 void LitmusDriver::resetVar(uint32_t Value) {
   M.prepareRun(); // Clears monitors, tables, page protection.
+  for (unsigned Offset = 0; Offset < WindowBytes; Offset += 8)
+    M.mem().shadowStore(VarAddr + Offset, 0, 8);
   M.mem().shadowStore(VarAddr, Value, 4);
 }
 
@@ -62,7 +86,6 @@ void LitmusDriver::runFragment(unsigned Tid, uint64_t Pc) {
   VCpu &Cpu = M.cpu(Tid);
   Cpu.Halted = false;
   Cpu.Pc = Pc;
-  Cpu.Regs[10] = VarAddr;
   // A fragment is at most a handful of blocks (LL retry loops never occur
   // here since fragments are straight-line).
   auto Status = M.engine().stepBlocks(Cpu, /*MaxBlocks=*/16);
@@ -72,23 +95,50 @@ void LitmusDriver::runFragment(unsigned Tid, uint64_t Pc) {
 }
 
 uint32_t LitmusDriver::loadLink(unsigned Tid) {
-  runFragment(Tid, LlPc);
-  return static_cast<uint32_t>(M.cpu(Tid).Regs[1]);
+  return static_cast<uint32_t>(loadLinkAt(Tid, 0, 4));
 }
 
 bool LitmusDriver::storeCond(unsigned Tid, uint32_t Value) {
-  M.cpu(Tid).Regs[11] = Value;
-  runFragment(Tid, ScPc);
-  return M.cpu(Tid).Regs[2] == 0;
+  return storeCondAt(Tid, Value, 0, 4);
 }
 
 void LitmusDriver::plainStore(unsigned Tid, uint32_t Value) {
+  plainStoreAt(Tid, Value, 0, 4);
+}
+
+uint64_t LitmusDriver::loadLinkAt(unsigned Tid, unsigned Offset,
+                                  unsigned Size) {
+  assert((Size == 4 || Size == 8) && Offset + Size <= WindowBytes);
+  M.cpu(Tid).Regs[10] = VarAddr + Offset;
+  runFragment(Tid, Size == 8 ? LlDPc : LlPc);
+  return M.cpu(Tid).Regs[1];
+}
+
+bool LitmusDriver::storeCondAt(unsigned Tid, uint64_t Value, unsigned Offset,
+                               unsigned Size) {
+  assert((Size == 4 || Size == 8) && Offset + Size <= WindowBytes);
+  M.cpu(Tid).Regs[10] = VarAddr + Offset;
   M.cpu(Tid).Regs[11] = Value;
-  runFragment(Tid, StorePc);
+  runFragment(Tid, Size == 8 ? ScDPc : ScPc);
+  return M.cpu(Tid).Regs[2] == 0;
+}
+
+void LitmusDriver::plainStoreAt(unsigned Tid, uint64_t Value, unsigned Offset,
+                                unsigned Size) {
+  assert((Size == 2 || Size == 4 || Size == 8) &&
+         Offset + Size <= WindowBytes);
+  M.cpu(Tid).Regs[10] = VarAddr + Offset;
+  M.cpu(Tid).Regs[11] = Value;
+  runFragment(Tid, Size == 8 ? StoreDPc : Size == 2 ? StoreHPc : StorePc);
 }
 
 uint32_t LitmusDriver::varValue() {
   return static_cast<uint32_t>(M.mem().shadowLoad(VarAddr, 4));
+}
+
+uint64_t LitmusDriver::varValueAt(unsigned Offset, unsigned Size) {
+  assert(Offset + Size <= WindowBytes);
+  return M.mem().shadowLoad(VarAddr + Offset, Size);
 }
 
 LitmusOutcome workloads::runLitmusSequence(LitmusDriver &Driver, int SeqNo) {

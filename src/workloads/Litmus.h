@@ -43,7 +43,11 @@ public:
   /// created with at least 2 threads; existing program state is replaced.
   static ErrorOr<LitmusDriver> create(Machine &M);
 
-  /// Resets the shared variable to \p Value and clears scheme state.
+  /// Bytes of the shared window sized operations may address.
+  static constexpr unsigned WindowBytes = 16;
+
+  /// Resets the shared window (zeroed, \p Value at offset 0) and clears
+  /// scheme state.
   void resetVar(uint32_t Value);
 
   /// Performs an LL of the shared variable on thread \p Tid; \returns the
@@ -56,8 +60,26 @@ public:
   /// Performs a plain store of \p Value on thread \p Tid.
   void plainStore(unsigned Tid, uint32_t Value);
 
+  // Sized/offset variants over the 16-byte shared window — the
+  // multi-granule surface the aliased 4-byte entry points cannot reach
+  // (8-byte accesses, granule-straddling offsets, sub-word stores).
+
+  /// LL of \p Size (4/8) bytes at window offset \p Offset.
+  uint64_t loadLinkAt(unsigned Tid, unsigned Offset, unsigned Size);
+
+  /// SC of \p Size (4/8) bytes at window offset \p Offset.
+  bool storeCondAt(unsigned Tid, uint64_t Value, unsigned Offset,
+                   unsigned Size);
+
+  /// Plain store of \p Size (2/4/8) bytes at window offset \p Offset.
+  void plainStoreAt(unsigned Tid, uint64_t Value, unsigned Offset,
+                    unsigned Size);
+
   /// Current value of the shared variable.
   uint32_t varValue();
+
+  /// \p Size bytes of the window at \p Offset.
+  uint64_t varValueAt(unsigned Offset, unsigned Size);
 
   Machine &machine() { return M; }
 
@@ -70,6 +92,10 @@ private:
   uint64_t LlPc = 0;
   uint64_t ScPc = 0;
   uint64_t StorePc = 0;
+  uint64_t LlDPc = 0;
+  uint64_t ScDPc = 0;
+  uint64_t StoreDPc = 0;
+  uint64_t StoreHPc = 0;
   uint64_t VarAddr = 0;
 };
 

@@ -1,0 +1,378 @@
+//===- tests/FuzzTest.cpp - the fuzzer's own test suite --------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests the differential concurrency fuzzer itself (docs/FUZZING.md):
+///
+///  - Detection power: against the preserved pre-fix single-granule HST
+///    fixture, a short fuzz run MUST report a forbidden SC success (the
+///    negative control that proves the fuzzer can see the bug this PR
+///    fixed) — and the same run against the real schemes must be clean.
+///  - The oracle's state machine, in isolation.
+///  - Shrinking: minimized cases still reproduce and are genuinely small.
+///  - Repro files: render -> parse round-trips, replay reproduces on the
+///    fixture and passes on the fixed scheme.
+///  - Schedule controllers: FixedSchedule replay semantics and PCT
+///    determinism.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include <gtest/gtest.h>
+
+using namespace llsc;
+using namespace llsc::fuzz;
+
+namespace {
+
+/// The canonical multi-granule killer: 8-byte LL/SC on thread 0, 4-byte
+/// store into the second granule on thread 1, interleaved store-between.
+FuzzCase canonicalCase() {
+  FuzzCase Case;
+  Case.Threads.resize(2);
+  Case.Threads[0] = {{EventKind::LoadLink, 0, 8, 0},
+                     {EventKind::StoreCond, 0, 8, 1}};
+  Case.Threads[1] = {{EventKind::PlainStore, 4, 4, 3}};
+  return Case;
+}
+
+/// Preamble (2 slices/thread in tid order) + the given event merge.
+std::vector<unsigned> traceFor(const FuzzCase &Case,
+                               std::initializer_list<unsigned> Events) {
+  std::vector<unsigned> Trace;
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid) {
+    Trace.push_back(Tid);
+    Trace.push_back(Tid);
+  }
+  Trace.insert(Trace.end(), Events);
+  return Trace;
+}
+
+} // namespace
+
+// --- Detection power --------------------------------------------------------
+
+TEST(FuzzDetection, SingleGranuleHstFailsCanonicalCase) {
+  CaseRunner::Config Config;
+  Config.Scheme = SchemeKind::Hst;
+  Config.BuggySingleGranuleHst = true;
+  CaseRunner Runner(Config);
+
+  FuzzCase Case = canonicalCase();
+  // LL(t0), store(t1), SC(t0): the store breaks the monitor's second
+  // granule, which single-granule HST cannot see.
+  FixedSchedule Sched(traceFor(Case, {0, 1, 0}));
+  auto Res = Runner.run(Case, Sched);
+  ASSERT_TRUE(bool(Res)) << Res.error().render();
+  ASSERT_FALSE(Res->Violations.empty())
+      << "the pre-fix fixture no longer exhibits the multi-granule bug";
+  EXPECT_NE(Res->Violations[0].What.find("forbidden"), std::string::npos)
+      << Res->Violations[0].What;
+}
+
+TEST(FuzzDetection, FixedHstPassesCanonicalCase) {
+  CaseRunner::Config Config;
+  Config.Scheme = SchemeKind::Hst;
+  CaseRunner Runner(Config);
+
+  FuzzCase Case = canonicalCase();
+  FixedSchedule Sched(traceFor(Case, {0, 1, 0}));
+  auto Res = Runner.run(Case, Sched);
+  ASSERT_TRUE(bool(Res)) << Res.error().render();
+  EXPECT_TRUE(Res->Violations.empty())
+      << "fixed HST still unsound: " << Res->Violations[0].What;
+  EXPECT_TRUE(Res->AllHalted);
+}
+
+TEST(FuzzDetection, FuzzLoopFindsTheBugInTheBuggyFixture) {
+  FuzzOptions Opts;
+  Opts.Schemes = {SchemeKind::Hst};
+  Opts.Seed = 3;
+  Opts.NumCases = 300;
+  Opts.BuggyHst = true;
+  Opts.MaxFailuresPerScheme = 1;
+  auto Report = runFuzz(Opts);
+  ASSERT_TRUE(bool(Report)) << Report.error().render();
+  ASSERT_FALSE(Report->Failures.empty())
+      << "the fuzzer lost its detection power over the single-granule bug";
+
+  // Shrinking keeps only what the violation needs: an LL/SC pair and one
+  // interfering event across two threads.
+  const FailureRecord &Rec = Report->Failures[0];
+  EXPECT_LE(Rec.Shrunk.numThreads(), 2u);
+  EXPECT_LE(Rec.Shrunk.totalEvents(), 4u);
+  EXPECT_NE(Rec.First.What.find("forbidden"), std::string::npos)
+      << Rec.First.What;
+}
+
+TEST(FuzzDetection, FuzzLoopCleanOnFixedSchemes) {
+  FuzzOptions Opts;
+  Opts.Schemes = {SchemeKind::Hst, SchemeKind::HstWeak, SchemeKind::Pst,
+                  SchemeKind::PstRemap, SchemeKind::PicoSt};
+  Opts.Seed = 3;
+  Opts.NumCases = 60;
+  auto Report = runFuzz(Opts);
+  ASSERT_TRUE(bool(Report)) << Report.error().render();
+  for (const FailureRecord &Rec : Report->Failures)
+    ADD_FAILURE() << schemeTraits(Rec.Scheme).Name << ": "
+                  << Rec.First.What;
+  EXPECT_GT(Report->SchedulesRun, Report->CasesRun);
+}
+
+TEST(FuzzDetection, PicoCasAbaIsCountedNotFlagged) {
+  // LL(t0 of 4 bytes), t1 SC's the value away and back (ABA), SC(t0):
+  // pico-cas's value compare succeeds; the oracle must classify it as an
+  // ABA success, not a soundness violation (negative control).
+  FuzzCase Case;
+  Case.Threads.resize(2);
+  Case.Threads[0] = {{EventKind::LoadLink, 0, 4, 0},
+                     {EventKind::StoreCond, 0, 4, 2}};
+  Case.Threads[1] = {{EventKind::LoadLink, 0, 4, 0},
+                     {EventKind::StoreCond, 0, 4, 1},
+                     {EventKind::LoadLink, 0, 4, 0},
+                     {EventKind::StoreCond, 0, 4, 0}};
+
+  CaseRunner::Config Config;
+  Config.Scheme = SchemeKind::PicoCas;
+  CaseRunner Runner(Config);
+  // t0 LL, then t1 runs its whole ABA cycle, then t0's SC.
+  FixedSchedule Sched(traceFor(Case, {0, 1, 1, 1, 1, 0}));
+  auto Res = Runner.run(Case, Sched);
+  ASSERT_TRUE(bool(Res)) << Res.error().render();
+  EXPECT_TRUE(Res->Violations.empty());
+  EXPECT_EQ(Res->AbaSuccesses, 1u)
+      << "pico-cas should have taken the ABA bait";
+
+  // The same schedule under HST must fail the SC instead.
+  CaseRunner::Config Strong;
+  Strong.Scheme = SchemeKind::Hst;
+  CaseRunner StrongRunner(Strong);
+  FixedSchedule Sched2(traceFor(Case, {0, 1, 1, 1, 1, 0}));
+  auto Res2 = StrongRunner.run(Case, Sched2);
+  ASSERT_TRUE(bool(Res2)) << Res2.error().render();
+  EXPECT_TRUE(Res2->Violations.empty());
+  EXPECT_EQ(Res2->AbaSuccesses, 0u);
+}
+
+// --- Oracle unit tests ------------------------------------------------------
+
+TEST(FuzzOracle, ForbidsSuccessAfterOverlappingStore) {
+  OracleModel Model;
+  Model.Class = AtomicityClass::Strong;
+  Oracle Or(Model, 2);
+  EXPECT_EQ(Or.onLoadLink(0, 0, 8, 0), "");
+  Or.onPlainStore(1, 4, 4, 3); // Second granule of the monitored range.
+  std::string What = Or.onStoreCond(0, 0, 8, 1, /*Success=*/true);
+  EXPECT_NE(What.find("forbidden"), std::string::npos) << What;
+}
+
+TEST(FuzzOracle, RequiresFailureWithoutMatchingMonitor) {
+  Oracle Or(OracleModel{}, 2);
+  // No LL at all (the flagged success still performs its write, so later
+  // observations see value 1).
+  EXPECT_NE(Or.onStoreCond(0, 0, 4, 1, true), "");
+  // Mismatched range: LL 4 bytes, SC 8.
+  EXPECT_EQ(Or.onLoadLink(0, 0, 4, 1), "");
+  EXPECT_NE(Or.onStoreCond(0, 0, 8, 1, true), "");
+  // Failure is always acceptable in both situations.
+  EXPECT_EQ(Or.onStoreCond(0, 0, 4, 1, false), "");
+}
+
+TEST(FuzzOracle, WeakClassIgnoresPlainStores) {
+  OracleModel Model;
+  Model.Class = AtomicityClass::Weak;
+  Oracle Or(Model, 2);
+  EXPECT_EQ(Or.onLoadLink(0, 0, 8, 0), "");
+  Or.onPlainStore(1, 4, 4, 3);
+  // Weak atomicity: the plain store may sail past the monitor.
+  EXPECT_EQ(Or.onStoreCond(0, 0, 8, 1, true), "");
+
+  // But an instrumented (SC) write into the monitored range must still
+  // break it (the SC above wrote 1 over bytes 0..7).
+  EXPECT_EQ(Or.onLoadLink(0, 0, 8, 1), "");
+  EXPECT_EQ(Or.onLoadLink(1, 4, 4, 0), "");
+  EXPECT_EQ(Or.onStoreCond(1, 4, 4, 2, true), "");
+  std::string What = Or.onStoreCond(0, 0, 8, 1, true);
+  EXPECT_NE(What.find("forbidden"), std::string::npos) << What;
+}
+
+TEST(FuzzOracle, OwnStoreMasksBrokenMonitorUnderGranuleTagging) {
+  OracleModel Model;
+  Model.Class = AtomicityClass::Strong;
+  Model.GranuleMasking = true;
+  Oracle Or(Model, 2);
+  EXPECT_EQ(Or.onLoadLink(0, 0, 4, 0), "");
+  Or.onPlainStore(1, 0, 4, 3); // Breaks the monitor...
+  Or.onPlainStore(0, 0, 4, 3); // ...owner re-tags the granule.
+  // HST-family tag resurrection: either outcome is now legal.
+  EXPECT_EQ(Or.onStoreCond(0, 0, 4, 1, true), "");
+  // Without masking the success stays forbidden.
+  Model.GranuleMasking = false;
+  Oracle Strict(Model, 2);
+  EXPECT_EQ(Strict.onLoadLink(0, 0, 4, 0), "");
+  Strict.onPlainStore(1, 0, 4, 3);
+  Strict.onPlainStore(0, 0, 4, 3);
+  EXPECT_NE(Strict.onStoreCond(0, 0, 4, 1, true), "");
+}
+
+TEST(FuzzOracle, TracksMemoryAndLlValues) {
+  Oracle Or(OracleModel{}, 2);
+  Or.onPlainStore(0, 0, 4, 0x7f);
+  EXPECT_EQ(Or.onLoadLink(1, 0, 4, 0x7f), "");
+  EXPECT_NE(Or.onLoadLink(1, 0, 4, 0x80), ""); // Wrong observed value.
+  uint8_t Region[SharedRegionBytes] = {};
+  Region[0] = 0x7f;
+  EXPECT_EQ(Or.checkMemory(Region), "");
+  Region[5] = 1;
+  EXPECT_NE(Or.checkMemory(Region), "");
+  EXPECT_EQ(Or.checkMemoryWord(0, 0x7f), "");
+  EXPECT_NE(Or.checkMemoryWord(8, 1), "");
+}
+
+// --- Shrinking and repro files ----------------------------------------------
+
+TEST(FuzzShrink, MinimizesToTheCanonicalShape) {
+  CaseRunner::Config Config;
+  Config.Scheme = SchemeKind::Hst;
+  Config.BuggySingleGranuleHst = true;
+  CaseRunner Runner(Config);
+
+  // The canonical case plus noise: an extra thread and extra events that
+  // are irrelevant to the violation.
+  FuzzCase Case = canonicalCase();
+  Case.Threads[1].push_back({EventKind::ClearExcl, 0, 0, 0});
+  Case.Threads.push_back({{EventKind::LoadLink, 12, 4, 0}});
+
+  FixedSchedule Sched(traceFor(Case, {2, 0, 1, 1, 0}));
+  auto Res = Runner.run(Case, Sched);
+  ASSERT_TRUE(bool(Res)) << Res.error().render();
+  ASSERT_FALSE(Res->Violations.empty());
+
+  std::vector<unsigned> Trace = Res->ExecTrace;
+  FuzzCase Shrunk = shrinkFailure(Runner, Case, Trace);
+  EXPECT_EQ(Shrunk.numThreads(), 2u);
+  EXPECT_EQ(Shrunk.totalEvents(), 3u);
+
+  // The shrunk case still fails under the shrunk trace.
+  FixedSchedule Replay(Trace);
+  auto Res2 = Runner.run(Shrunk, Replay);
+  ASSERT_TRUE(bool(Res2)) << Res2.error().render();
+  EXPECT_FALSE(Res2->Violations.empty());
+}
+
+TEST(FuzzRepro, RenderParseRoundTripsAndReplays) {
+  FuzzCase Case = canonicalCase();
+  std::vector<unsigned> Trace = traceFor(Case, {0, 1, 0});
+  std::string Text =
+      renderRepro(SchemeKind::Hst, Case, Trace, "unit-test note");
+
+  auto ReproOrErr = parseRepro(Text);
+  ASSERT_TRUE(bool(ReproOrErr)) << ReproOrErr.error().render();
+  const Repro &R = *ReproOrErr;
+  EXPECT_EQ(R.Scheme, SchemeKind::Hst);
+  ASSERT_EQ(R.Case.numThreads(), Case.numThreads());
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid) {
+    ASSERT_EQ(R.Case.Threads[Tid].size(), Case.Threads[Tid].size());
+    for (unsigned I = 0; I < Case.Threads[Tid].size(); ++I) {
+      EXPECT_EQ(R.Case.Threads[Tid][I].Kind, Case.Threads[Tid][I].Kind);
+      EXPECT_EQ(R.Case.Threads[Tid][I].Offset, Case.Threads[Tid][I].Offset);
+      EXPECT_EQ(R.Case.Threads[Tid][I].Size, Case.Threads[Tid][I].Size);
+      EXPECT_EQ(R.Case.Threads[Tid][I].Value, Case.Threads[Tid][I].Value);
+    }
+  }
+  EXPECT_EQ(R.Trace, Trace);
+
+  // Replays: violation on the buggy fixture, clean on the fixed scheme.
+  auto Buggy = replayRepro(R, /*BuggyHst=*/true);
+  ASSERT_TRUE(bool(Buggy)) << Buggy.error().render();
+  EXPECT_FALSE(Buggy->Violations.empty());
+  auto Fixed = replayRepro(R, /*BuggyHst=*/false);
+  ASSERT_TRUE(bool(Fixed)) << Fixed.error().render();
+  EXPECT_TRUE(Fixed->Violations.empty());
+}
+
+TEST(FuzzRepro, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(bool(parseRepro("no metadata at all\n")));
+  EXPECT_FALSE(bool(parseRepro(";; scheme: not-a-scheme\n;; threads: 2\n")));
+  EXPECT_FALSE(
+      bool(parseRepro(";; scheme: hst\n;; threads: 1\n"
+                      ";; event: 5 ll off=0 size=4 value=0\n")));
+}
+
+// --- Case generation and enumeration ----------------------------------------
+
+TEST(FuzzGen, GeneratedProgramsAssembleAndHalt) {
+  Rng R(99);
+  GenConfig Gen;
+  CaseRunner::Config Config;
+  Config.Scheme = SchemeKind::Hst;
+  CaseRunner Runner(Config);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    FuzzCase Case = generateCase(R, Gen);
+    RoundRobinSchedule Sched;
+    auto Res = Runner.run(Case, Sched);
+    ASSERT_TRUE(bool(Res)) << Res.error().render();
+    EXPECT_TRUE(Res->Violations.empty());
+    EXPECT_TRUE(Res->AllHalted);
+    EXPECT_EQ(Res->ExecTrace.size(), totalSlices(Case));
+  }
+}
+
+TEST(FuzzGen, EnumerationCountsEventMerges) {
+  FuzzCase Case = canonicalCase(); // 2 + 1 events: C(3,1) = 3 merges.
+  auto Traces = enumerateEventTraces(Case, 64);
+  ASSERT_EQ(Traces.size(), 3u);
+  for (const auto &Trace : Traces) {
+    // Preamble prefix, then 3 event entries.
+    ASSERT_EQ(Trace.size(), 4u + 3u);
+    EXPECT_EQ(std::count(Trace.begin() + 4, Trace.end(), 0u), 2);
+    EXPECT_EQ(std::count(Trace.begin() + 4, Trace.end(), 1u), 1);
+  }
+  // Over-limit spaces report "sample instead".
+  EXPECT_TRUE(enumerateEventTraces(Case, 2).empty());
+}
+
+// --- Schedule controllers ---------------------------------------------------
+
+TEST(FuzzSchedule, FixedScheduleSkipsHaltedAndDrains) {
+  FixedSchedule Sched({1, 1, 0, 7, 0}); // Tid 7 never exists.
+  Sched.begin(2);
+  std::vector<unsigned> Both = {0, 1}, OnlyZero = {0};
+  EXPECT_EQ(Sched.pickNext(Both), 1);
+  EXPECT_EQ(Sched.pickNext(OnlyZero), 0); // 1 not runnable: skipped to 0.
+  EXPECT_EQ(Sched.pickNext(Both), 0);     // 7 skipped too.
+  EXPECT_EQ(Sched.pickNext(Both), 0);
+  // Trace exhausted: round-robin drain.
+  EXPECT_EQ(Sched.pickNext(Both), 1);
+  EXPECT_EQ(Sched.pickNext(Both), 0);
+}
+
+TEST(FuzzSchedule, PctIsDeterministicPerSeed) {
+  std::vector<unsigned> Runnable = {0, 1, 2};
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    PctSchedule A(Seed, 3, 40), B(Seed, 3, 40);
+    A.begin(3);
+    B.begin(3);
+    for (int Step = 0; Step < 40; ++Step)
+      ASSERT_EQ(A.pickNext(Runnable), B.pickNext(Runnable)) << Seed;
+  }
+}
+
+TEST(FuzzSchedule, PctExploresDifferentInterleavings) {
+  // Across seeds, PCT must produce more than one distinct schedule
+  // prefix — otherwise it adds nothing over round-robin.
+  std::vector<unsigned> Runnable = {0, 1, 2};
+  std::set<std::vector<int>> Prefixes;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    PctSchedule Sched(Seed, 3, 12);
+    Sched.begin(3);
+    std::vector<int> Prefix;
+    for (int Step = 0; Step < 8; ++Step)
+      Prefix.push_back(Sched.pickNext(Runnable));
+    Prefixes.insert(Prefix);
+  }
+  EXPECT_GT(Prefixes.size(), 3u);
+}

@@ -189,3 +189,49 @@ corrupted:
   for (unsigned Tid = 1; Tid < Threads; ++Tid)
     EXPECT_EQ(M->mem().shadowLoad(Hot + Tid * 128 + 4, 4), 1u);
 }
+
+/// Regression: an SC on a *different page* than the armed monitor used to
+/// release the stale monitor with AdjustProtection=false, stranding the
+/// old page read-only forever — every later plain store to it would take
+/// the SIGSEGV slow path. After the fix the stale monitor is released
+/// with normal protection handling, so the trailing store must not fault.
+TEST(PstRemapStress, ScOnOtherPageRestoresStaleMonitorPage) {
+  for (SchemeKind Kind : {SchemeKind::Pst, SchemeKind::PstRemap}) {
+    MachineConfig Config;
+    Config.Scheme = Kind;
+    Config.NumThreads = 1;
+    Config.MemBytes = 16ULL << 20;
+    auto M = Machine::create(Config).take();
+    ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: la      r10, var_a
+        ldxr.w  r1, [r10]       ; arm a monitor on page A (A goes RO)
+        la      r11, var_b
+        li      r12, #7
+        stxr.w  r2, r12, [r11]  ; SC on page B: fails, must restore A
+        li      r12, #9
+        stw     r12, [r10]      ; plain store to A: must not fault
+        halt
+        .align  4096
+var_a:  .word   0
+        .align  4096
+var_b:  .word   0
+)"))) << schemeTraits(Kind).Name;
+    auto Result = M->run();
+    ASSERT_TRUE(bool(Result))
+        << schemeTraits(Kind).Name << ": " << Result.error().render();
+    ASSERT_TRUE(Result->AllHalted) << schemeTraits(Kind).Name;
+
+    EXPECT_NE(M->cpu(0).Regs[2], 0u)
+        << schemeTraits(Kind).Name << ": cross-page SC must fail";
+    EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("var_a"), 4),
+              9u)
+        << schemeTraits(Kind).Name;
+    // The store must have gone down the fast path: page A's protection
+    // was restored when the stale monitor was released.
+    EXPECT_EQ(Result->Total.PageFaultsRecovered, 0u)
+        << schemeTraits(Kind).Name
+        << ": stale monitor left its page read-only";
+    EXPECT_EQ(Result->Total.FalseSharingFaults, 0u)
+        << schemeTraits(Kind).Name;
+  }
+}

@@ -19,6 +19,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/Fuzz.h"
 #include "support/Random.h"
 #include "workloads/Litmus.h"
 
@@ -218,4 +219,71 @@ TEST_P(RandomLitmusTest, NoUnsoundScSuccessOnRandomTraces) {
   EXPECT_LT(static_cast<double>(TotalSpurious) / TotalOracleSuccesses, 0.6)
       << schemeTraits(GetParam().Kind).Name
       << " fails too many architecturally valid SCs";
+}
+
+// Mixed sizes and offsets over a 16-byte window: 8-byte LL/SC straddling
+// granule boundaries, 2/4/8-byte interfering stores. This is the surface
+// where the HST family's single-granule tagging was unsound (the headline
+// bug of the multi-granule fix); the single-variable trace above could
+// never reach it. Judged by the fuzzer's range-aware oracle.
+TEST_P(RandomLitmusTest, NoUnsoundScSuccessOnMixedSizeTraces) {
+  MachineConfig Config;
+  Config.Scheme = GetParam().Kind;
+  Config.NumThreads = 3;
+  Config.MemBytes = 8ULL << 20;
+  Config.ForceSoftHtm = true;
+  auto M = Machine::create(Config).take();
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  LitmusDriver &Driver = *DriverOrErr;
+
+  Rng R(0x517ed + static_cast<uint64_t>(GetParam().Kind));
+  fuzz::OracleModel Model = fuzz::OracleModel::forScheme(GetParam().Kind);
+
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Driver.resetVar(0); // The oracle's shadow starts all-zero too.
+    fuzz::Oracle Model2(Model, 3);
+    for (int Step = 0; Step < 24; ++Step) {
+      unsigned Tid = static_cast<unsigned>(R.nextBelow(3));
+      uint64_t Value = 1 + R.nextBelow(200);
+      std::string What;
+      switch (R.nextBelow(3)) {
+      case 0: {
+        unsigned Size = R.nextBool(0.5) ? 8 : 4;
+        unsigned Offset = static_cast<unsigned>(
+            R.nextBelow((LitmusDriver::WindowBytes - Size) / 4 + 1) * 4);
+        uint64_t Observed = Driver.loadLinkAt(Tid, Offset, Size);
+        What = Model2.onLoadLink(Tid, Offset, Size, Observed);
+        break;
+      }
+      case 1: {
+        unsigned Size = R.nextBool(0.5) ? 8 : 4;
+        unsigned Offset = static_cast<unsigned>(
+            R.nextBelow((LitmusDriver::WindowBytes - Size) / 4 + 1) * 4);
+        bool Ok = Driver.storeCondAt(Tid, Value, Offset, Size);
+        What = Model2.onStoreCond(Tid, Offset, Size, Value, Ok);
+        break;
+      }
+      default: {
+        static constexpr unsigned Sizes[] = {2, 4, 8};
+        unsigned Size = Sizes[R.nextBelow(3)];
+        unsigned Offset = static_cast<unsigned>(
+            R.nextBelow(LitmusDriver::WindowBytes / Size) * Size);
+        Driver.plainStoreAt(Tid, Value, Offset, Size);
+        Model2.onPlainStore(Tid, Offset, Size, Value);
+        break;
+      }
+      }
+      ASSERT_EQ(What, "") << schemeTraits(GetParam().Kind).Name
+                          << " trial " << Trial << " step " << Step;
+      // The window must track the oracle's shadow byte for byte.
+      for (unsigned Offset = 0; Offset < LitmusDriver::WindowBytes;
+           Offset += 8) {
+        uint64_t Have = Driver.varValueAt(Offset, 8);
+        ASSERT_EQ(Model2.checkMemoryWord(Offset, Have), "")
+            << schemeTraits(GetParam().Kind).Name << " trial " << Trial
+            << " step " << Step;
+      }
+    }
+  }
 }

@@ -16,6 +16,7 @@
 #include "core/Machine.h"
 #include "support/Random.h"
 #include "support/StringUtils.h"
+#include "workloads/Litmus.h"
 
 #include <array>
 #include <gtest/gtest.h>
@@ -116,6 +117,50 @@ TEST(SchemeEquivalence, SingleThreadedProgramsAgreeAcrossAllSchemes) {
           << " diverges from pico-cas on an uncontended program";
       EXPECT_EQ(Data, BaselineScratch)
           << "trial " << Trial << ": " << schemeTraits(Kind).Name;
+    }
+  }
+}
+
+// The headline multi-granule shape, pinned deterministically: an 8-byte
+// LL/SC spans two 4-byte granules, and a 4-byte plain store lands in the
+// *second* one. Every strong scheme must fail the SC; before the
+// multi-granule fix the HST family only tagged/checked the first granule
+// and let it succeed. Two placements: window-aligned (granules 0-1,
+// store in 1) and straddle-at-4 (granules 1-2, store in 2).
+TEST(SchemeEquivalence, WideScMustSeeNarrowStoreInSecondGranule) {
+  struct Shape {
+    unsigned LlOffset;    ///< 8-byte LL/SC offset.
+    unsigned StoreOffset; ///< 4-byte interfering store offset.
+  };
+  constexpr Shape Shapes[] = {{0, 4}, {4, 8}};
+
+  for (SchemeKind Kind : allSchemeKinds()) {
+    if (schemeTraits(Kind).Atomicity != AtomicityClass::Strong)
+      continue;
+    MachineConfig Config;
+    Config.Scheme = Kind;
+    Config.NumThreads = 2;
+    Config.MemBytes = 8ULL << 20;
+    Config.ForceSoftHtm = true;
+    auto M = Machine::create(Config).take();
+    auto DriverOrErr = workloads::LitmusDriver::create(*M);
+    ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+    workloads::LitmusDriver &Driver = *DriverOrErr;
+
+    for (const Shape &S : Shapes) {
+      Driver.resetVar(0);
+      Driver.loadLinkAt(0, S.LlOffset, 8);
+      Driver.plainStoreAt(1, 0xAB, S.StoreOffset, 4);
+      bool ScOk = Driver.storeCondAt(0, 0x1122334455667788ULL, S.LlOffset, 8);
+      EXPECT_FALSE(ScOk)
+          << schemeTraits(Kind).Name << ": 8-byte SC at offset "
+          << S.LlOffset << " ignored a 4-byte store at offset "
+          << S.StoreOffset;
+      // The interfering store, and only it, must be visible.
+      EXPECT_EQ(Driver.varValueAt(S.StoreOffset, 4), 0xABu)
+          << schemeTraits(Kind).Name;
+      EXPECT_EQ(Driver.varValueAt(S.LlOffset, 4), 0u)
+          << schemeTraits(Kind).Name;
     }
   }
 }

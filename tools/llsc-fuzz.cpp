@@ -1,0 +1,249 @@
+//===- tools/llsc-fuzz.cpp - differential LL/SC concurrency fuzzer ---------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fuzzes the atomic-emulation schemes against a scheme-aware LL/SC
+/// reference model (docs/FUZZING.md):
+///
+///   llsc-fuzz                                 # default sweep, 100 cases
+///   llsc-fuzz --cases 10000 --seed 7          # the PR's acceptance sweep
+///   llsc-fuzz --smoke                         # CI budget (~1 min)
+///   llsc-fuzz --schemes hst,pst-remap         # restrict schemes
+///   llsc-fuzz --buggy-hst --repro-dir out/    # negative control: the
+///                                             # pre-fix single-granule HST
+///                                             # must produce repros
+///   llsc-fuzz --replay out/hst-seed42.grv     # replay a minimized repro
+///   llsc-fuzz --stress --iterations 5000      # free-threaded (TSAN) sweep
+///
+/// Exit status: 0 = clean, 1 = soundness violations (or replay still
+/// failing), 2 = usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace llsc;
+using namespace llsc::fuzz;
+
+// FaultGuard's SIGSEGV recovery (the PST family's plain-store slow path)
+// cannot run under TSAN, so TSAN builds fuzz those schemes with LL/SC-only
+// programs, which never take the fault path.
+#if defined(__SANITIZE_THREAD__)
+#define LLSC_FUZZ_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LLSC_FUZZ_TSAN 1
+#endif
+#endif
+#ifndef LLSC_FUZZ_TSAN
+#define LLSC_FUZZ_TSAN 0
+#endif
+
+namespace {
+
+/// Schemes with a sound-by-design contract the oracle can enforce, plus
+/// pico-cas as the documented ABA negative control when asked for "all".
+const char *DefaultSchemes = "hst,hst-weak,pst,pst-remap,pico-st";
+const char *AllSchemes =
+    "hst,hst-weak,hst-helper,hst-htm,pst,pst-remap,pico-st,pico-cas";
+
+ErrorOr<std::vector<SchemeKind>> parseSchemes(const std::string &List) {
+  std::vector<SchemeKind> Kinds;
+  for (std::string_view Name : split(List, ',')) {
+    auto Kind = parseSchemeName(Name);
+    if (!Kind)
+      return makeError("unknown scheme '%.*s'",
+                       static_cast<int>(Name.size()), Name.data());
+    Kinds.push_back(*Kind);
+  }
+  if (Kinds.empty())
+    return makeError("empty scheme list");
+  return Kinds;
+}
+
+void printFailures(const FuzzReport &Report) {
+  for (const FailureRecord &Rec : Report.Failures) {
+    std::fprintf(stderr,
+                 "FAIL [%s] seed=%llu threads=%u events=%u: %s\n",
+                 schemeTraits(Rec.Scheme).Name,
+                 static_cast<unsigned long long>(Rec.CaseSeed),
+                 Rec.Shrunk.numThreads(), Rec.Shrunk.totalEvents(),
+                 Rec.First.What.c_str());
+    if (!Rec.ReproPath.empty())
+      std::fprintf(stderr, "     repro: %s\n", Rec.ReproPath.c_str());
+  }
+}
+
+void printSummary(const char *What, const FuzzReport &Report) {
+  std::fprintf(stderr,
+               "llsc-fuzz %s: %llu cases, %llu schedules, %zu violations "
+               "(aba=%llu spurious-fails=%llu)\n",
+               What, static_cast<unsigned long long>(Report.CasesRun),
+               static_cast<unsigned long long>(Report.SchedulesRun),
+               Report.Failures.size(),
+               static_cast<unsigned long long>(Report.AbaSuccesses),
+               static_cast<unsigned long long>(Report.SpuriousFails));
+}
+
+int replayFile(const std::string &Path, bool BuggyHst) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  auto ReproOrErr = parseRepro(Buffer.str());
+  if (!ReproOrErr) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(),
+                 ReproOrErr.error().render().c_str());
+    return 2;
+  }
+  auto Res = replayRepro(*ReproOrErr, BuggyHst);
+  if (!Res) {
+    std::fprintf(stderr, "%s\n", Res.error().render().c_str());
+    return 2;
+  }
+  if (Res->Violations.empty()) {
+    std::fprintf(stderr, "replay [%s%s]: no violation (fixed)\n",
+                 schemeTraits(ReproOrErr->Scheme).Name,
+                 BuggyHst ? ", buggy-hst fixture" : "");
+    return 0;
+  }
+  for (const Violation &V : Res->Violations)
+    std::fprintf(stderr, "replay [%s%s]: tid %u event %d: %s\n",
+                 schemeTraits(ReproOrErr->Scheme).Name,
+                 BuggyHst ? ", buggy-hst fixture" : "", V.Tid, V.EventIdx,
+                 V.What.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("llsc-fuzz: differential LL/SC concurrency fuzzer");
+  std::string *SchemeList = Args.addString(
+      "schemes", DefaultSchemes, "comma-separated schemes, or 'all'");
+  int64_t *Cases = Args.addInt("cases", 100, "cases per scheme");
+  int64_t *Seed = Args.addInt("seed", 1, "base seed");
+  int64_t *Schedules =
+      Args.addInt("schedules", 8, "PCT schedules per non-exhaustive case");
+  int64_t *ExhaustiveLimit = Args.addInt(
+      "exhaustive-limit", 64,
+      "enumerate all interleavings when their count is <= this");
+  int64_t *Depth = Args.addInt("depth", 3, "PCT depth (priority changes + 1)");
+  int64_t *MaxThreads = Args.addInt("max-threads", 3, "max guest threads");
+  int64_t *MaxEvents = Args.addInt("max-events", 4, "max events per thread");
+  std::string *ReproDir = Args.addString(
+      "repro-dir", "", "write minimized .grv repros to this directory");
+  bool *BuggyHst = Args.addBool(
+      "buggy-hst", false,
+      "swap hst for the pre-fix single-granule fixture (negative control)");
+  bool *Smoke = Args.addBool("smoke", false, "CI-sized run (~1 minute)");
+  bool *Stress = Args.addBool(
+      "stress", false, "free-threaded stress sweep (no oracle; TSAN target)");
+  int64_t *Iterations =
+      Args.addInt("iterations", 2000, "loop iterations per --stress thread");
+  std::string *Replay =
+      Args.addString("replay", "", "replay a .grv repro file and exit");
+  bool *Verbose = Args.addBool("verbose", false, "per-failure progress");
+  Args.parse(Argc, Argv);
+
+  if (!Args.positionals().empty()) {
+    std::fprintf(stderr, "usage: llsc-fuzz [flags]\n%s", Args.usage().c_str());
+    return 2;
+  }
+
+  if (!Replay->empty())
+    return replayFile(*Replay, *BuggyHst);
+
+  auto Kinds =
+      parseSchemes(*SchemeList == "all" ? AllSchemes : *SchemeList);
+  if (!Kinds) {
+    std::fprintf(stderr, "%s\n", Kinds.error().render().c_str());
+    return 2;
+  }
+
+  FuzzOptions Opts;
+  Opts.Schemes = Kinds.take();
+  Opts.Seed = static_cast<uint64_t>(*Seed);
+  Opts.NumCases = static_cast<uint64_t>(*Cases);
+  Opts.SchedulesPerCase = static_cast<unsigned>(*Schedules);
+  Opts.ExhaustiveLimit = static_cast<uint64_t>(*ExhaustiveLimit);
+  Opts.PctDepth = static_cast<unsigned>(*Depth);
+  Opts.Gen.MaxThreads = static_cast<unsigned>(*MaxThreads);
+  Opts.Gen.MaxEventsPerThread = static_cast<unsigned>(*MaxEvents);
+  Opts.ReproDir = *ReproDir;
+  Opts.BuggyHst = *BuggyHst;
+  Opts.Verbose = *Verbose;
+  if (*Smoke)
+    Opts.NumCases = 150;
+
+  if (*Stress)
+    Opts.Gen.AllowClearExcl = false; // Keep the loop body making progress.
+
+  // Under TSAN the PST schemes run with LL/SC-only programs (both modes):
+  // plain stores would take the real SIGSEGV slow path, which the
+  // sanitizer's signal interception cannot tolerate.
+  FuzzReport Combined;
+  auto Accumulate = [&](const FuzzReport &R) {
+    Combined.CasesRun += R.CasesRun;
+    Combined.SchedulesRun += R.SchedulesRun;
+    Combined.AbaSuccesses += R.AbaSuccesses;
+    Combined.SpuriousFails += R.SpuriousFails;
+    for (const FailureRecord &Rec : R.Failures)
+      Combined.Failures.push_back(Rec);
+  };
+
+  std::vector<SchemeKind> Plain = Opts.Schemes, Faulting;
+  if (LLSC_FUZZ_TSAN) {
+    Plain.clear();
+    for (SchemeKind Kind : Opts.Schemes) {
+      if (Kind == SchemeKind::Pst || Kind == SchemeKind::PstRemap ||
+          Kind == SchemeKind::PstMpk)
+        Faulting.push_back(Kind);
+      else
+        Plain.push_back(Kind);
+    }
+  }
+
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    FuzzOptions PassOpts = Opts;
+    PassOpts.Schemes = Pass == 0 ? Plain : Faulting;
+    if (Pass == 1)
+      PassOpts.Gen.AllowPlainStores = false;
+    if (PassOpts.Schemes.empty())
+      continue;
+    auto Report =
+        *Stress
+            ? fuzz::runStress(PassOpts, static_cast<uint64_t>(*Iterations))
+            : runFuzz(PassOpts);
+    if (!Report) {
+      std::fprintf(stderr, "%s\n", Report.error().render().c_str());
+      return 2;
+    }
+    Accumulate(*Report);
+  }
+
+  printFailures(Combined);
+  printSummary(*Stress         ? "stress"
+               : *BuggyHst     ? "(buggy-hst fixture)"
+                               : "fuzz",
+               Combined);
+  if (*BuggyHst && Combined.Failures.empty()) {
+    std::fprintf(stderr,
+                 "ERROR: the single-granule fixture produced no violation — "
+                 "the fuzzer lost its detection power\n");
+    return 1;
+  }
+  return Combined.clean() || *BuggyHst ? 0 : 1;
+}

@@ -38,13 +38,10 @@ int main(int Argc, char **Argv) {
   Args.parse(Argc, Argv);
   (void)Scale;
 
-  std::vector<SchemeKind> Schemes;
-  for (std::string_view Name : split(*OnlySchemes, ',')) {
-    auto Kind = parseSchemeName(Name);
-    if (!Kind)
-      reportFatalError("unknown scheme '" + std::string(Name) + "'");
-    Schemes.push_back(*Kind);
-  }
+  auto SchemesOrErr = parseSchemeList(*OnlySchemes);
+  if (!SchemesOrErr)
+    reportFatalError(SchemesOrErr.error());
+  std::vector<SchemeKind> Schemes = SchemesOrErr.take();
 
   std::vector<unsigned> ThreadCounts;
   for (unsigned T = 1; T <= static_cast<unsigned>(*MaxThreads); T *= 2)

@@ -37,13 +37,10 @@ int main(int Argc, char **Argv) {
       Args.addString("schemes", "pico-st,hst,pst,pst-remap", "schemes");
   Args.parse(Argc, Argv);
 
-  std::vector<SchemeKind> Schemes;
-  for (std::string_view Name : split(*OnlySchemes, ',')) {
-    auto Kind = parseSchemeName(Name);
-    if (!Kind)
-      reportFatalError("unknown scheme '" + std::string(Name) + "'");
-    Schemes.push_back(*Kind);
-  }
+  auto SchemesOrErr = parseSchemeList(*OnlySchemes);
+  if (!SchemesOrErr)
+    reportFatalError(SchemesOrErr.error());
+  std::vector<SchemeKind> Schemes = SchemesOrErr.take();
 
   Table Results({"kernel", "scheme", "threads", "wall (s)", "native %",
                  "exclusive %", "instrument %", "mprotect %"});

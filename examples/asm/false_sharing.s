@@ -1,0 +1,49 @@
+; false_sharing.s — the adaptive controller's showcase workload.
+;
+; Thread 0 runs an LL/SC fetch-add loop on `hot` (the first word of
+; `page`); every other thread hammers plain stores into its own cache
+; line of the SAME page. Under the PST family each plain store that
+; lands while the page is write-protected takes a full SIGSEGV recovery
+; round trip even though it never touches the monitored granule — the
+; paper's "false sharing" false alarms (Section IV-B2). HST is immune:
+; the stores hash to different table entries.
+;
+;   llsc-run --threads 16 --scheme pst      examples/asm/false_sharing.s
+;   llsc-run --threads 16 --scheme adaptive examples/asm/false_sharing.s
+;
+; With --scheme adaptive (which starts on PST) the controller sees the
+; fault rate and hot-swaps to HST within its cooldown; --stats then
+; reports adaptive.* samples/swaps and the final scheme.
+_start:
+        la      r10, page
+        cbz     r0, owner
+; Writer threads: plain stores to &page[tid * 64] — distinct cache
+; lines, one shared page.
+        li      r9, #90000
+        lsli    r1, r0, #6
+        add     r1, r10, r1
+        movz    r2, #1
+wloop:  cbz     r9, done
+        std     r2, [r1]
+        std     r2, [r1]
+        std     r2, [r1]
+        std     r2, [r1]
+        addi    r9, r9, #-1
+        b       wloop
+; Owner thread: LL, compute, SC — the lock-free read-compute-update
+; idiom. The page stays protected for the whole window, so writer
+; stores landing inside it fault under PST.
+owner:  li      r9, #15000
+oloop:  cbz     r9, done
+retry:  ldxr.w  r2, [r10]
+        li      r6, #200
+spin:   addi    r6, r6, #-1
+        cbnz    r6, spin
+        addi    r2, r2, #1
+        stxr.w  r3, r2, [r10]
+        cbnz    r3, retry
+        addi    r9, r9, #-1
+        b       oloop
+done:   halt
+        .align  4096
+page:   .word   0

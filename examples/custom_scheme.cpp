@@ -39,18 +39,23 @@ public:
     return Traits;
   }
 
-  void attach(MachineContext &Ctx) override {
-    AtomicScheme::attach(Ctx);
-    Monitors.assign(Ctx.NumThreads, Monitor());
+  bool storesViaHelper() const override { return true; }
+
+protected:
+  // Lifecycle hooks (docs/API.md): the non-virtual attach()/reset()/
+  // detach() entry points drive the state machine; subclasses override
+  // the on*() notifications. Ctx is already set when onAttach runs.
+  void onAttach() override {
+    Monitors.assign(Ctx->NumThreads, Monitor());
   }
 
-  void reset() override {
+  void onReset() override {
     std::lock_guard<std::mutex> Lock(Mutex);
     for (Monitor &Mon : Monitors)
       Mon.Valid = false;
   }
 
-  bool storesViaHelper() const override { return true; }
+public:
 
   uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -128,9 +133,9 @@ counter: .word 0
 
 int main() {
   // A Machine owns its scheme via the factory; to run a *custom* scheme
-  // we build a machine and swap the scheme interface the engine sees.
-  // The supported way is the MachineContext: schemes are attached to it,
-  // so we construct the machine pieces with the library API directly.
+  // we build a machine and hand it ours through Machine::setScheme, which
+  // quiesces, detaches the factory scheme, attaches the replacement and
+  // flushes the code cache (docs/API.md).
   MachineConfig Config;
   Config.Scheme = SchemeKind::Hst; // Placeholder; replaced below.
   Config.NumThreads = 4;
@@ -146,8 +151,7 @@ int main() {
 
   // Plug in the custom scheme: the engine dispatches LL/SC/stores to it
   // and the translator consults its TranslationHooks (storesViaHelper).
-  GlobalLockScheme Custom;
-  M.setCustomScheme(Custom);
+  M.setScheme(std::make_unique<GlobalLockScheme>());
 
   if (auto Loaded = M.loadAssembly(CounterProgram); !Loaded) {
     std::fprintf(stderr, "error: %s\n", Loaded.error().render().c_str());

@@ -16,6 +16,27 @@ using namespace llsc;
 
 AtomicScheme::~AtomicScheme() = default;
 
+void AtomicScheme::attach(MachineContext &Ctx) {
+  assert(State == SchemeState::Detached &&
+         "attach() on an already-attached scheme");
+  this->Ctx = &Ctx;
+  State = SchemeState::Attached;
+  onAttach();
+}
+
+void AtomicScheme::reset() {
+  assert(State == SchemeState::Attached && "reset() on a detached scheme");
+  onReset();
+}
+
+void AtomicScheme::detach() {
+  if (State == SchemeState::Detached)
+    return; // Idempotent: double-detach and detach-before-attach are no-ops.
+  onDetach();
+  Ctx = nullptr;
+  State = SchemeState::Detached;
+}
+
 void AtomicScheme::storeHook(VCpu &Cpu, uint64_t Addr, uint64_t Value,
                              unsigned Size) {
   // Default: a plain store straight to guest memory.
@@ -83,4 +104,18 @@ std::optional<SchemeKind> llsc::parseSchemeName(std::string_view Name) {
     if (Normalized == Traits.Name)
       return Traits.Kind;
   return std::nullopt;
+}
+
+ErrorOr<std::vector<SchemeKind>> llsc::parseSchemeList(std::string_view List) {
+  std::vector<SchemeKind> Kinds;
+  for (std::string_view Name : split(List, ',')) {
+    auto Kind = parseSchemeName(Name);
+    if (!Kind)
+      return makeError("unknown scheme '%.*s'", static_cast<int>(Name.size()),
+                       Name.data());
+    Kinds.push_back(*Kind);
+  }
+  if (Kinds.empty())
+    return makeError("empty scheme list");
+  return Kinds;
 }

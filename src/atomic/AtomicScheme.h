@@ -24,6 +24,19 @@
 ///  - run time, via emulateLoadLink/emulateStoreCond/storeHook/loadHook,
 ///    invoked by the engine for the corresponding micro-ops.
 ///
+/// A scheme's lifetime is an explicit state machine (docs/API.md):
+///
+///   Detached --attach()--> Attached --detach()--> Detached
+///                 (reset() only while Attached)
+///
+/// attach/reset/detach are non-virtual entry points that enforce the
+/// transitions; schemes customize them through the onAttach/onReset/
+/// onDetach extension points. detach() must return the machine to a
+/// scheme-neutral state (page protections restored, published tables
+/// unpublished, per-thread monitors dropped) so another scheme can be
+/// attached to the same MachineContext — the contract behind
+/// Machine::setScheme's runtime hot-swap.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLSC_ATOMIC_ATOMICSCHEME_H
@@ -31,6 +44,8 @@
 
 #include "ir/TranslationHooks.h"
 #include "runtime/VCpu.h"
+
+#include "support/Error.h"
 
 #include <atomic>
 #include <memory>
@@ -82,6 +97,12 @@ struct SchemeTraits {
   const char *Portability; ///< Table II qualitative label.
 };
 
+/// Lifecycle states of an AtomicScheme (docs/API.md).
+enum class SchemeState {
+  Detached, ///< Not bound to a machine; only attach() is legal.
+  Attached, ///< Bound; run/translate hooks, reset() and detach() are legal.
+};
+
 /// Abstract atomic-emulation scheme.
 class AtomicScheme : public ir::TranslationHooks {
 public:
@@ -89,12 +110,25 @@ public:
 
   virtual const SchemeTraits &traits() const = 0;
 
-  /// Binds the scheme to a machine's services. Called once before any
-  /// execution; \p Ctx outlives the scheme's use.
-  virtual void attach(MachineContext &Ctx) { this->Ctx = &Ctx; }
+  // --- Lifecycle (non-virtual; see the state machine above) ----------------
 
-  /// Clears scheme-internal state (monitors, tables) between runs.
-  virtual void reset() {}
+  /// Binds the scheme to a machine's services and transitions
+  /// Detached -> Attached. \p Ctx must outlive the scheme's use. Calling
+  /// attach() on an already-attached scheme is a programming error.
+  void attach(MachineContext &Ctx);
+
+  /// Clears scheme-internal cross-run state (monitors, tables) between
+  /// runs of the same machine. Legal only while Attached.
+  void reset();
+
+  /// Unbinds the scheme, transitioning Attached -> Detached: releases any
+  /// machine-visible state the scheme installed (page protections,
+  /// published lookup tables, armed monitors). Idempotent — detaching a
+  /// detached scheme is a no-op. The caller must quiesce every vCPU first
+  /// (Machine::setScheme's job: onCpuStopped + clearExclusive per vCPU).
+  void detach();
+
+  SchemeState state() const { return State; }
 
   // --- Runtime hooks --------------------------------------------------------
 
@@ -124,7 +158,25 @@ public:
   virtual void onCpuStopped(VCpu &Cpu) {}
 
 protected:
+  // --- Lifecycle extension points ------------------------------------------
+  //
+  // Called by the non-virtual attach()/reset()/detach() wrappers above with
+  // the state transition already validated; Ctx is set before onAttach()
+  // and cleared after onDetach().
+
+  /// Allocates/publishes per-machine state (sized by Ctx->NumThreads etc.).
+  virtual void onAttach() {}
+
+  /// Clears cross-run state; the default scheme has none.
+  virtual void onReset() {}
+
+  /// Releases machine-visible state. Runs at most once per attach().
+  virtual void onDetach() {}
+
   MachineContext *Ctx = nullptr;
+
+private:
+  SchemeState State = SchemeState::Detached;
 };
 
 /// Models the guest-context save/restore a QEMU-style JIT performs around
@@ -154,20 +206,20 @@ const std::vector<SchemeKind> &allSchemeKinds();
 /// Parses a scheme name ("hst", "pico-cas", "pst-remap", ...).
 std::optional<SchemeKind> parseSchemeName(std::string_view Name);
 
-/// Tunables shared by scheme constructors.
-struct SchemeConfig {
-  /// log2 of the HST hash table entry count (Figure 4's table).
-  unsigned HstTableLog2 = 20;
-  /// PICO-HTM retries before it falls back to blocking serialization
-  /// (the paper's PICO-HTM has no sound fallback and crashes; we record a
-  /// livelock-fallback event instead).
-  unsigned HtmMaxRetries = 64;
-};
+/// Parses a comma-separated scheme list ("hst,pst-remap").
+/// \returns an error naming the first unknown scheme, or on an empty list.
+ErrorOr<std::vector<SchemeKind>> parseSchemeList(std::string_view List);
 
-/// Creates a scheme instance. For the HTM-based kinds, \p Htm must be
-/// non-null (pass the machine's HtmRuntime).
+/// Creates a scheme instance in the Detached state. \p HstTableLog2 is
+/// the log2 entry count of the HST-family hash table (Figure 4);
+/// \p HtmMaxRetries is how often the HTM kinds retry before falling back
+/// to blocking serialization (the paper's PICO-HTM has no sound fallback
+/// and crashes; we record a livelock-fallback event instead). Kinds that
+/// do not use a tunable ignore it. Scheme tuning lives in MachineConfig
+/// (core/Machine.h); Machine::create forwards it here.
 std::unique_ptr<AtomicScheme> createScheme(SchemeKind Kind,
-                                           const SchemeConfig &Config);
+                                           unsigned HstTableLog2 = 20,
+                                           unsigned HtmMaxRetries = 64);
 
 } // namespace llsc
 

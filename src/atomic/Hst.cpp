@@ -48,26 +48,36 @@ namespace {
 
 class Hst : public AtomicScheme {
 public:
-  Hst(const SchemeConfig &Config, SchemeKind Variant)
-      : Variant(Variant), NumEntries(1ULL << Config.HstTableLog2),
-        Mask(NumEntries - 1),
+  Hst(unsigned TableLog2, SchemeKind Variant)
+      : Variant(Variant), NumEntries(1ULL << TableLog2), Mask(NumEntries - 1),
         Table(std::make_unique<std::atomic<uint32_t>[]>(NumEntries)) {
-    reset();
+    zeroTable();
   }
 
   const SchemeTraits &traits() const override { return schemeTraits(Variant); }
 
-  void attach(MachineContext &Ctx) override {
-    AtomicScheme::attach(Ctx);
+  void onAttach() override {
     if (Variant == SchemeKind::Hst) {
       // Publish the table so the engine can execute the fused
       // HstStoreTag micro-op directly (JIT-inlined instrumentation).
-      Ctx.HstTable = Table.get();
-      Ctx.HstMask = Mask;
+      Ctx->HstTable = Table.get();
+      Ctx->HstMask = Mask;
     }
   }
 
-  void reset() override {
+  void onReset() override { zeroTable(); }
+
+  void onDetach() override {
+    // Unpublish the fused-op table and drop every armed tag so the next
+    // scheme starts from a neutral machine.
+    if (Ctx->HstTable == Table.get()) {
+      Ctx->HstTable = nullptr;
+      Ctx->HstMask = 0;
+    }
+    zeroTable();
+  }
+
+  void zeroTable() {
     for (uint64_t Index = 0; Index < NumEntries; ++Index)
       Table[Index].store(0, std::memory_order_relaxed);
   }
@@ -212,10 +222,10 @@ protected:
 
 } // namespace
 
-std::unique_ptr<AtomicScheme> llsc::createHst(const SchemeConfig &Config,
+std::unique_ptr<AtomicScheme> llsc::createHst(unsigned HstTableLog2,
                                               SchemeKind Variant) {
   assert((Variant == SchemeKind::Hst || Variant == SchemeKind::HstWeak ||
           Variant == SchemeKind::HstHelper) &&
          "not an HST variant");
-  return std::make_unique<Hst>(Config, Variant);
+  return std::make_unique<Hst>(HstTableLog2, Variant);
 }

@@ -39,24 +39,33 @@ namespace {
 
 class HstHtm final : public AtomicScheme {
 public:
-  explicit HstHtm(const SchemeConfig &Config)
-      : NumEntries(1ULL << Config.HstTableLog2), Mask(NumEntries - 1),
-        MaxRetries(Config.HtmMaxRetries),
+  HstHtm(unsigned TableLog2, unsigned HtmMaxRetries)
+      : NumEntries(1ULL << TableLog2), Mask(NumEntries - 1),
+        MaxRetries(HtmMaxRetries),
         Table(std::make_unique<std::atomic<uint32_t>[]>(NumEntries)) {
-    reset();
+    zeroTable();
   }
 
   const SchemeTraits &traits() const override {
     return schemeTraits(SchemeKind::HstHtm);
   }
 
-  void attach(MachineContext &Ctx) override {
-    AtomicScheme::attach(Ctx);
-    Ctx.HstTable = Table.get();
-    Ctx.HstMask = Mask;
+  void onAttach() override {
+    Ctx->HstTable = Table.get();
+    Ctx->HstMask = Mask;
   }
 
-  void reset() override {
+  void onReset() override { zeroTable(); }
+
+  void onDetach() override {
+    if (Ctx->HstTable == Table.get()) {
+      Ctx->HstTable = nullptr;
+      Ctx->HstMask = 0;
+    }
+    zeroTable();
+  }
+
+  void zeroTable() {
     for (uint64_t Index = 0; Index < NumEntries; ++Index)
       Table[Index].store(0, std::memory_order_relaxed);
   }
@@ -181,6 +190,7 @@ private:
 
 } // namespace
 
-std::unique_ptr<AtomicScheme> llsc::createHstHtm(const SchemeConfig &Config) {
-  return std::make_unique<HstHtm>(Config);
+std::unique_ptr<AtomicScheme> llsc::createHstHtm(unsigned HstTableLog2,
+                                                 unsigned HtmMaxRetries) {
+  return std::make_unique<HstHtm>(HstTableLog2, HtmMaxRetries);
 }

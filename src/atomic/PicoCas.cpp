@@ -58,6 +58,6 @@ public:
 
 } // namespace
 
-std::unique_ptr<AtomicScheme> llsc::createPicoCas(const SchemeConfig &) {
+std::unique_ptr<AtomicScheme> llsc::createPicoCas() {
   return std::make_unique<PicoCas>();
 }

@@ -38,21 +38,23 @@ namespace {
 
 class PicoHtm final : public AtomicScheme {
 public:
-  explicit PicoHtm(const SchemeConfig &Config)
-      : MaxRetries(Config.HtmMaxRetries) {}
+  explicit PicoHtm(unsigned HtmMaxRetries) : MaxRetries(HtmMaxRetries) {}
 
   const SchemeTraits &traits() const override {
     return schemeTraits(SchemeKind::PicoHtm);
   }
 
-  void attach(MachineContext &Ctx) override {
-    AtomicScheme::attach(Ctx);
-    InExclFallback.assign(Ctx.NumThreads, false);
-  }
+  void onAttach() override { InExclFallback.assign(Ctx->NumThreads, false); }
 
-  void reset() override {
+  void onReset() override {
     for (auto &&Flag : InExclFallback)
       Flag = false;
+  }
+
+  void onDetach() override {
+    // Quiesce (onCpuStopped per vCPU) already released open transactions
+    // and any fallback floor; the flags are per-attach state.
+    InExclFallback.clear();
   }
 
   bool storesViaHelper() const override { return true; }
@@ -184,6 +186,6 @@ private:
 
 } // namespace
 
-std::unique_ptr<AtomicScheme> llsc::createPicoHtm(const SchemeConfig &Config) {
-  return std::make_unique<PicoHtm>(Config);
+std::unique_ptr<AtomicScheme> llsc::createPicoHtm(unsigned HtmMaxRetries) {
+  return std::make_unique<PicoHtm>(HtmMaxRetries);
 }

@@ -46,15 +46,17 @@ public:
     return schemeTraits(SchemeKind::PicoSt);
   }
 
-  void attach(MachineContext &Ctx) override {
-    AtomicScheme::attach(Ctx);
-    Monitors.assign(Ctx.NumThreads, SoftMonitor());
-  }
+  void onAttach() override { Monitors.assign(Ctx->NumThreads, SoftMonitor()); }
 
-  void reset() override {
+  void onReset() override {
     std::lock_guard<std::mutex> Lock(Mutex);
     for (SoftMonitor &Mon : Monitors)
       Mon.Valid = false;
+  }
+
+  void onDetach() override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Monitors.clear();
   }
 
   bool storesViaHelper() const override { return true; }
@@ -124,6 +126,6 @@ private:
 
 } // namespace
 
-std::unique_ptr<AtomicScheme> llsc::createPicoSt(const SchemeConfig &) {
+std::unique_ptr<AtomicScheme> llsc::createPicoSt() {
   return std::make_unique<PicoSt>();
 }

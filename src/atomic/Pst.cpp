@@ -130,6 +130,6 @@ public:
 
 } // namespace
 
-std::unique_ptr<AtomicScheme> llsc::createPst(const SchemeConfig &) {
+std::unique_ptr<AtomicScheme> llsc::createPst() {
   return std::make_unique<Pst>();
 }

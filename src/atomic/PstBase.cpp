@@ -13,16 +13,23 @@
 
 using namespace llsc;
 
-void PstBase::attach(MachineContext &Ctx) {
-  AtomicScheme::attach(Ctx);
-  Monitors.assign(Ctx.NumThreads, PageMonitor());
-  PageCount.assign(Ctx.Mem->numPages(), 0);
+void PstBase::onAttach() {
+  Monitors.assign(Ctx->NumThreads, PageMonitor());
+  PageCount.assign(Ctx->Mem->numPages(), 0);
 }
 
-void PstBase::reset() {
+void PstBase::onReset() {
   std::lock_guard<std::mutex> Lock(Mutex);
   for (unsigned Tid = 0; Tid < Monitors.size(); ++Tid)
     releaseMonitorLocked(Tid, /*Cpu=*/nullptr);
+}
+
+void PstBase::onDetach() {
+  // Same operation as reset — releasing the last monitor of each page
+  // restores PROT_READ|PROT_WRITE, so no protection outlives the scheme.
+  onReset();
+  Monitors.clear();
+  PageCount.clear();
 }
 
 void PstBase::armMonitorLocked(unsigned Tid, uint64_t Addr, unsigned Size,

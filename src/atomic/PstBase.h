@@ -31,12 +31,15 @@ namespace llsc {
 /// Base for the page-protection schemes.
 class PstBase : public AtomicScheme {
 public:
-  void attach(MachineContext &Ctx) override;
-  void reset() override;
-
   bool storesViaHelper() const override { return true; }
 
 protected:
+  void onAttach() override;
+  void onReset() override;
+  /// Releases every monitor, restoring the page protections the scheme
+  /// installed — the machine must be scheme-neutral after detach().
+  void onDetach() override;
+
   struct PageMonitor {
     bool Valid = false;
     uint64_t Addr = 0;

@@ -52,17 +52,23 @@ public:
     return schemeTraits(SchemeKind::PstMpk);
   }
 
-  void attach(MachineContext &Ctx) override {
-    AtomicScheme::attach(Ctx);
-    Monitors.assign(Ctx.NumThreads, Monitor());
+  void onAttach() override {
+    Monitors.assign(Ctx->NumThreads, Monitor());
     for (auto &Count : KeyMonitorCount)
       Count.store(0, std::memory_order_relaxed);
   }
 
-  void reset() override {
+  void onReset() override {
     std::lock_guard<std::mutex> Lock(Mutex);
     for (Monitor &Mon : Monitors)
       releaseLocked(Mon);
+  }
+
+  void onDetach() override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (Monitor &Mon : Monitors)
+      releaseLocked(Mon);
+    Monitors.clear();
   }
 
   bool storesViaHelper() const override { return true; }
@@ -177,6 +183,6 @@ private:
 
 } // namespace
 
-std::unique_ptr<AtomicScheme> llsc::createPstMpk(const SchemeConfig &) {
+std::unique_ptr<AtomicScheme> llsc::createPstMpk() {
   return std::make_unique<PstMpk>();
 }

@@ -39,9 +39,9 @@ public:
     return schemeTraits(SchemeKind::PstRemap);
   }
 
-  void attach(MachineContext &Ctx) override {
-    PstBase::attach(Ctx);
-    NumPages = Ctx.Mem->numPages();
+  void onAttach() override {
+    PstBase::onAttach();
+    NumPages = Ctx->Mem->numPages();
     PageLocks = std::make_unique<std::mutex[]>(NumPages);
   }
 
@@ -204,6 +204,6 @@ private:
 
 } // namespace
 
-std::unique_ptr<AtomicScheme> llsc::createPstRemap(const SchemeConfig &) {
+std::unique_ptr<AtomicScheme> llsc::createPstRemap() {
   return std::make_unique<PstRemap>();
 }

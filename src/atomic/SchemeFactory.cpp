@@ -11,26 +11,27 @@
 using namespace llsc;
 
 std::unique_ptr<AtomicScheme> llsc::createScheme(SchemeKind Kind,
-                                                 const SchemeConfig &Config) {
+                                                 unsigned HstTableLog2,
+                                                 unsigned HtmMaxRetries) {
   switch (Kind) {
   case SchemeKind::PicoCas:
-    return createPicoCas(Config);
+    return createPicoCas();
   case SchemeKind::PicoSt:
-    return createPicoSt(Config);
+    return createPicoSt();
   case SchemeKind::PicoHtm:
-    return createPicoHtm(Config);
+    return createPicoHtm(HtmMaxRetries);
   case SchemeKind::Hst:
   case SchemeKind::HstWeak:
   case SchemeKind::HstHelper:
-    return createHst(Config, Kind);
+    return createHst(HstTableLog2, Kind);
   case SchemeKind::HstHtm:
-    return createHstHtm(Config);
+    return createHstHtm(HstTableLog2, HtmMaxRetries);
   case SchemeKind::Pst:
-    return createPst(Config);
+    return createPst();
   case SchemeKind::PstRemap:
-    return createPstRemap(Config);
+    return createPstRemap();
   case SchemeKind::PstMpk:
-    return createPstMpk(Config);
+    return createPstMpk();
   }
   llsc_unreachable("unknown scheme kind");
 }

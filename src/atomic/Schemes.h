@@ -17,15 +17,16 @@
 
 namespace llsc {
 
-std::unique_ptr<AtomicScheme> createPicoCas(const SchemeConfig &Config);
-std::unique_ptr<AtomicScheme> createPicoSt(const SchemeConfig &Config);
-std::unique_ptr<AtomicScheme> createPicoHtm(const SchemeConfig &Config);
-std::unique_ptr<AtomicScheme> createHst(const SchemeConfig &Config,
+std::unique_ptr<AtomicScheme> createPicoCas();
+std::unique_ptr<AtomicScheme> createPicoSt();
+std::unique_ptr<AtomicScheme> createPicoHtm(unsigned HtmMaxRetries);
+std::unique_ptr<AtomicScheme> createHst(unsigned HstTableLog2,
                                         SchemeKind Variant);
-std::unique_ptr<AtomicScheme> createHstHtm(const SchemeConfig &Config);
-std::unique_ptr<AtomicScheme> createPst(const SchemeConfig &Config);
-std::unique_ptr<AtomicScheme> createPstRemap(const SchemeConfig &Config);
-std::unique_ptr<AtomicScheme> createPstMpk(const SchemeConfig &Config);
+std::unique_ptr<AtomicScheme> createHstHtm(unsigned HstTableLog2,
+                                           unsigned HtmMaxRetries);
+std::unique_ptr<AtomicScheme> createPst();
+std::unique_ptr<AtomicScheme> createPstRemap();
+std::unique_ptr<AtomicScheme> createPstMpk();
 
 } // namespace llsc
 

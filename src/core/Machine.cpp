@@ -12,17 +12,25 @@
 #include "support/Logging.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 using namespace llsc;
 
 Machine::Machine(const MachineConfig &Config) : Config(Config) {}
 
-Machine::~Machine() = default;
+Machine::~Machine() {
+  // Complete the lifecycle: the active scheme may hold machine-visible
+  // state (page protections, published tables). Retired schemes were
+  // detached when they were swapped out.
+  if (Scheme)
+    Scheme->detach();
+}
 
 ErrorOr<std::unique_ptr<Machine>> Machine::create(const MachineConfig &Config) {
   if (Config.NumThreads == 0)
@@ -48,7 +56,8 @@ ErrorOr<std::unique_ptr<Machine>> Machine::create(const MachineConfig &Config) {
                                  : createBestHtm(SoftConfig);
   }
 
-  M->Scheme = createScheme(Config.Scheme, Config.SchemeTuning);
+  M->Scheme =
+      createScheme(Config.Scheme, Config.HstTableLog2, Config.HtmMaxRetries);
 
   M->Ctx.Mem = M->Mem.get();
   M->Ctx.Excl = &M->Excl;
@@ -98,21 +107,78 @@ ErrorOr<bool> Machine::loadAssembly(std::string_view Source,
   return loadProgram(ProgOrErr.take());
 }
 
-void Machine::setCustomScheme(AtomicScheme &Custom) {
-  Ctx.Scheme = &Custom;
-  Custom.attach(Ctx);
-  Trans = std::make_unique<Translator>(*Mem, &Custom, Config.Translation);
-  Cache = std::make_unique<TbCache>(*Trans);
-  EngineConfig EngineCfg;
-  EngineCfg.Profile = Config.Profile;
-  EngineCfg.MaxBlocksPerCpu = Config.MaxBlocksPerCpu;
-  EngineCfg.MaxWallNanosPerCpu =
-      static_cast<uint64_t>(Config.MaxSecondsPerCpu * 1e9);
-  Exec = std::make_unique<Engine>(Ctx, *Cache, EngineCfg);
+void Machine::setScheme(std::unique_ptr<AtomicScheme> NewScheme) {
+  assert(NewScheme && "setScheme(nullptr)");
+  assert(NewScheme->state() == SchemeState::Detached &&
+         "setScheme requires a freshly created (Detached) scheme");
+  // Quiesce + drain. Holding the floor parks every vCPU at a TB boundary,
+  // but a vCPU may already be *queued* for its own SC exclusive section —
+  // and schemes capture monitor validity before queuing (Hst checks
+  // Cpu.Monitor, Pst snapshots AddrOk), so letting that SC resume against
+  // the new scheme's empty state could succeed on stale evidence: a false
+  // SC success, the one outcome the swap must never produce. Release and
+  // re-acquire until ours is the only section, so queued old-scheme SCs
+  // complete under old-scheme semantics first. This terminates: each
+  // queued SC section is finite, and new ones cannot arrive while we hold
+  // the floor (queuing requires the requester to be running).
+  for (;;) {
+    Excl.startExclusive(/*SelfRunning=*/false);
+    if (Excl.soleExclusive())
+      break;
+    Excl.endExclusive(/*SelfRunning=*/false);
+    std::this_thread::yield();
+  }
+  setSchemeLocked(std::move(NewScheme));
+  Excl.endExclusive(/*SelfRunning=*/false);
+}
+
+void Machine::setSchemeLocked(std::unique_ptr<AtomicScheme> NewScheme) {
+  // Blocks retired by the previous swap are now unreachable: every parked
+  // vCPU re-resolves its block by cache generation before touching it
+  // (engine/Engine.cpp), and the jump caches were invalidated by that
+  // flush. Free them, and with them the scheme whose helpers they called.
+  Cache->reapRetired();
+  RetiredSchemes.clear();
+
+  // Break cross-instruction state on every vCPU: open HTM transactions or
+  // exclusive-fallback floors (onCpuStopped), then the armed LL window
+  // (clearExclusive). An SC whose LL predates the swap will simply fail —
+  // the architecture permits spurious SC failure at any point.
+  for (VCpu &Cpu : Cpus) {
+    Scheme->onCpuStopped(Cpu);
+    Scheme->clearExclusive(Cpu);
+  }
+  // Detach returns the machine to scheme-neutral state: page protections
+  // restored, published tables unpublished (the AtomicScheme contract).
+  Scheme->detach();
+
+  // A swap may introduce the machine's first HTM-backed scheme.
+  if (NewScheme->traits().RequiresHtm && !Htm) {
+    SoftHtmConfig SoftConfig = Config.SoftHtm;
+    SoftConfig.MaxThreads = std::max(SoftConfig.MaxThreads, Config.NumThreads);
+    Htm = Config.ForceSoftHtm ? createSoftHtm(SoftConfig)
+                              : createBestHtm(SoftConfig);
+    Ctx.Htm = Htm.get();
+  }
+
+  Ctx.Scheme = NewScheme.get();
+  NewScheme->attach(Ctx);
+  Trans->setHooks(NewScheme.get());
+  RetiredSchemes.push_back(std::move(Scheme));
+  Scheme = std::move(NewScheme);
+
+  // Flush last, after the new hooks are in place: translated blocks embed
+  // scheme instrumentation (and helper pointers into the scheme object),
+  // so executing a stale block under the new scheme would be a
+  // correctness bug. Retired blocks stay allocated until the next swap —
+  // a resuming vCPU may still hold a pointer for one last generation
+  // check.
+  Cache->flush();
 }
 
 void Machine::prepareRun() {
   Ctx.Scheme->reset(); // The active scheme (may be a custom one).
+  AdaptiveEvents.reset();
   if (Htm)
     Htm->resetStats();
   for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
@@ -137,6 +203,8 @@ RunResult Machine::collectResult(bool AllHalted, uint64_t FaultsBefore,
     Result.Events.merge(Cpu.Events);
     Result.PerCpuEvents.push_back(Cpu.Events);
   }
+  Result.Events.merge(AdaptiveEvents);
+  Result.FinalSchemeKind = Scheme->traits().Kind;
   if (Htm)
     Result.Htm = Htm->stats();
   Result.ExclusiveSections = Excl.exclusiveCount();
@@ -177,11 +245,27 @@ ErrorOr<RunResult> Machine::run() {
     });
   while (Ready.load(std::memory_order_acquire) != Config.NumThreads)
     std::this_thread::yield();
+
+  // The adaptive controller is a plain host thread beside the vCPUs; it
+  // swaps schemes via the same quiesce/drain protocol as setScheme, so it
+  // must never itself be a vCPU (the floor holder cannot park).
+  std::atomic<bool> StopController{false};
+  std::thread Controller;
+  if (Config.Adaptive)
+    Controller = std::thread([this, &StopController] {
+      adaptiveLoop(StopController);
+    });
+
   uint64_t WallStart = monotonicNanos();
   Go.store(true, std::memory_order_release);
   for (std::thread &Thread : Threads)
     Thread.join();
   uint64_t WallEnd = monotonicNanos();
+
+  if (Controller.joinable()) {
+    StopController.store(true, std::memory_order_release);
+    Controller.join();
+  }
 
   bool AllHalted = true;
   for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
@@ -194,6 +278,69 @@ ErrorOr<RunResult> Machine::run() {
   RunResult Result = collectResult(AllHalted, FaultsBefore, LockWaitsBefore);
   Result.WallSeconds = static_cast<double>(WallEnd - WallStart) * 1e-9;
   return Result;
+}
+
+void Machine::adaptiveLoop(const std::atomic<bool> &Stop) {
+  AdaptiveController Controller(Scheme->traits().Kind, Config.AdaptiveTuning);
+  EventCounters Previous;
+  uint64_t PreviousNs = monotonicNanos();
+  const auto Interval =
+      std::chrono::milliseconds(Config.AdaptiveTuning.SampleIntervalMs);
+
+  while (!Stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(Interval);
+    if (Stop.load(std::memory_order_acquire))
+      break;
+
+    // Take the floor for the sample; if another exclusive section is
+    // queued behind us (a scheme SC), yield to it and retry next tick
+    // instead of spin-holding the world (the setScheme drain loop is only
+    // justified when a swap is actually happening).
+    Excl.startExclusive(/*SelfRunning=*/false);
+    if (!Excl.soleExclusive()) {
+      Excl.endExclusive(/*SelfRunning=*/false);
+      continue;
+    }
+
+    // The per-vCPU counters are plain non-atomic fields; reading them is
+    // legal only here, under the floor — parked and exited vCPUs alike
+    // synchronized with us through the ExclusiveContext mutex.
+    EventCounters Current;
+    for (const VCpu &Cpu : Cpus)
+      Current.merge(Cpu.Events);
+    uint64_t NowNs = monotonicNanos();
+
+    AdaptiveSample Delta;
+    Delta.WallNs = NowNs - PreviousNs;
+    Delta.ScAttempted = Current.ScAttempted - Previous.ScAttempted;
+    Delta.ScFailHashConflict =
+        Current.ScFailHashConflict - Previous.ScFailHashConflict;
+    Delta.FalseSharingFaults =
+        Current.FalseSharingFaults - Previous.FalseSharingFaults;
+    Delta.ExclWaitNs = Current.ExclWaitNs - Previous.ExclWaitNs;
+    Delta.HtmBegins = Current.HtmBegins - Previous.HtmBegins;
+    Delta.HtmFallbacks = Current.HtmFallbacks - Previous.HtmFallbacks;
+    Previous = Current;
+    PreviousNs = NowNs;
+
+    if (auto Want = Controller.onSample(Delta, NowNs)) {
+      setSchemeLocked(
+          createScheme(*Want, Config.HstTableLog2, Config.HtmMaxRetries));
+      Controller.onSwapComplete(*Want, NowNs);
+      if (TraceRecorder *Recorder = TraceRecorder::active())
+        // Tid 0's trace buffer normally belongs to vCPU 0, but that vCPU
+        // is parked under our floor — the write is ordered, not racing.
+        Recorder->instant(0, "adaptive.swap", "adaptive", "to_kind",
+                          static_cast<uint64_t>(*Want));
+    }
+    Excl.endExclusive(/*SelfRunning=*/false);
+  }
+
+  // Published after the vCPU join + controller join in run(), before
+  // collectResult reads it.
+  AdaptiveEvents.AdaptiveSamples = Controller.samples();
+  AdaptiveEvents.AdaptiveSwaps = Controller.swaps();
+  AdaptiveEvents.AdaptiveCooldownBlocked = Controller.cooldownBlocked();
 }
 
 ErrorOr<RunResult> Machine::runCooperative(uint64_t BlocksPerSlice) {

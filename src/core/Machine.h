@@ -34,10 +34,12 @@
 #include "guest/Program.h"
 #include "htm/Htm.h"
 #include "mem/GuestMemory.h"
+#include "runtime/AdaptiveController.h"
 #include "runtime/Exclusive.h"
 #include "runtime/Schedule.h"
 #include "translate/Translator.h"
 
+#include <atomic>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -60,7 +62,21 @@ struct MachineConfig {
   /// livelocks spent inside scheme spin loops (PICO-HTM).
   double MaxSecondsPerCpu = 0;
 
-  SchemeConfig SchemeTuning;
+  // --- Scheme tuning (forwarded to createScheme) ----------------------------
+  /// HST-family hash-table size, log2 of the entry count (Figure 4).
+  unsigned HstTableLog2 = 20;
+  /// HTM kinds: transaction retries before the livelock fallback.
+  unsigned HtmMaxRetries = 64;
+
+  // --- Adaptive scheme controller -------------------------------------------
+  /// Runs the adaptive controller thread during run(): it samples the
+  /// event counters every AdaptiveTuning.SampleIntervalMs under the
+  /// quiescence floor and hot-swaps the scheme (setScheme protocol) when
+  /// the workload is hostile to the current one. Scheme above is the
+  /// starting scheme. See runtime/AdaptiveController.h and docs/API.md.
+  bool Adaptive = false;
+  AdaptiveConfig AdaptiveTuning;
+
   TranslatorConfig Translation;
   SoftHtmConfig SoftHtm;
 };
@@ -82,6 +98,9 @@ struct RunResult {
   /// TbCache shard-mutex contention events during the run (delta of
   /// TbCache::lockWaits(), reported as engine.shard.lock_waits).
   uint64_t TbLockWaits = 0;
+  /// Kind the active scheme claimed (traits().Kind) when the run ended;
+  /// differs from MachineConfig::Scheme after an adaptive hot-swap.
+  SchemeKind FinalSchemeKind = SchemeKind::Hst;
 };
 
 /// The emulator facade.
@@ -143,14 +162,37 @@ public:
   /// hooks directly (atomicity litmus tests).
   void prepareRun();
 
-  /// Replaces the machine's atomic scheme with a caller-owned instance
-  /// (which must outlive the machine). Rebuilds the translator, engine
-  /// and code cache so the scheme's translate-time hooks take effect.
-  /// The machine's original scheme stays owned but unused.
-  void setCustomScheme(AtomicScheme &Custom);
+  /// Replaces the machine's atomic scheme at runtime, taking ownership of
+  /// \p NewScheme (which must be Detached). Safe between runs and — the
+  /// point of the design — while run() is in flight, from any thread that
+  /// is not itself a vCPU:
+  ///
+  ///  1. quiesce: enter a stop-the-world exclusive section and drain it
+  ///     until no scheme-owned SC section is queued behind it (a queued SC
+  ///     captured the *old* scheme's monitor state and must complete under
+  ///     old-scheme semantics first);
+  ///  2. break state: onCpuStopped + clearExclusive per vCPU, then detach
+  ///     the old scheme — armed LL windows are broken (their SC fails,
+  ///     which the architecture permits at any time) and machine-visible
+  ///     state (page protections, published tables) is released;
+  ///  3. attach the new scheme, repoint the translator hooks, and flush
+  ///     the code cache — blocks carry scheme instrumentation, so a stale
+  ///     block would be a correctness bug, not just a perf one.
+  ///
+  /// The previous scheme is retained until the *next* swap (retired code
+  /// blocks hold helper pointers into it), then freed. Protocol details
+  /// and the lifecycle state machine are documented in docs/API.md.
+  void setScheme(std::unique_ptr<AtomicScheme> NewScheme);
 
 private:
   explicit Machine(const MachineConfig &Config);
+
+  /// Swap body; requires the caller to hold the quiescence floor with no
+  /// other exclusive section queued (ExclusiveContext::soleExclusive()).
+  void setSchemeLocked(std::unique_ptr<AtomicScheme> NewScheme);
+
+  /// Body of the adaptive controller thread (Config.Adaptive).
+  void adaptiveLoop(const std::atomic<bool> &Stop);
 
   /// Collects counters/profiles into a RunResult (wall time filled by the
   /// caller). \p FaultsBefore / \p LockWaitsBefore are the process- and
@@ -163,6 +205,14 @@ private:
   ExclusiveContext Excl;
   std::unique_ptr<HtmRuntime> Htm;
   std::unique_ptr<AtomicScheme> Scheme;
+  /// Schemes replaced by setScheme, kept one swap deep: retired code
+  /// blocks (TbCache) embed helper pointers into the scheme that
+  /// translated them, so a scheme may be freed only after those blocks
+  /// are — which happens at the next swap (reapRetired, then clear).
+  std::vector<std::unique_ptr<AtomicScheme>> RetiredSchemes;
+  /// adaptive.* counters, charged by the controller thread and merged
+  /// into RunResult::Events alongside the per-vCPU blocks.
+  EventCounters AdaptiveEvents;
   std::unique_ptr<Translator> Trans;
   std::unique_ptr<TbCache> Cache;
   std::unique_ptr<Engine> Exec;

@@ -1,0 +1,49 @@
+//===- core/MachineOptions.cpp - Flags -> MachineConfig -----------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MachineOptions.h"
+
+using namespace llsc;
+
+ErrorOr<MachineConfig>
+llsc::machineConfigFromOptions(const MachineOptionValues &Values) {
+  MachineConfig Config;
+
+  if (*Values.Scheme == "adaptive") {
+    Config.Adaptive = true;
+    // PST is the paper's page-protection baseline and the scheme the
+    // controller most often wants to leave, which makes the demo honest:
+    // adaptive must earn its keep by swapping away from it.
+    std::string Start =
+        Values.AdaptiveStart ? *Values.AdaptiveStart : std::string("pst");
+    auto Kind = parseSchemeName(Start);
+    if (!Kind)
+      return makeError("unknown scheme '%s' in --adaptive-start",
+                       Start.c_str());
+    Config.Scheme = *Kind;
+  } else {
+    auto Kind = parseSchemeName(*Values.Scheme);
+    if (!Kind)
+      return makeError("unknown scheme '%s'", Values.Scheme->c_str());
+    Config.Scheme = *Kind;
+  }
+
+  if (Values.Threads)
+    Config.NumThreads = static_cast<unsigned>(*Values.Threads);
+  if (Values.MemMb)
+    Config.MemBytes = static_cast<uint64_t>(*Values.MemMb) << 20;
+  if (Values.HstTableLog2)
+    Config.HstTableLog2 = static_cast<unsigned>(*Values.HstTableLog2);
+  if (Values.HtmMaxRetries)
+    Config.HtmMaxRetries = static_cast<unsigned>(*Values.HtmMaxRetries);
+  if (Values.AdaptiveIntervalMs)
+    Config.AdaptiveTuning.SampleIntervalMs =
+        static_cast<uint64_t>(*Values.AdaptiveIntervalMs);
+  if (Values.AdaptiveCooldownMs)
+    Config.AdaptiveTuning.CooldownMs =
+        static_cast<uint64_t>(*Values.AdaptiveCooldownMs);
+  return Config;
+}

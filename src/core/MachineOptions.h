@@ -1,0 +1,33 @@
+//===- core/MachineOptions.h - Flags -> MachineConfig -----------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic half of the shared option table (support/MachineOptions.h):
+/// turns the registered flag values into a MachineConfig, resolving scheme
+/// names — including the "adaptive" pseudo-scheme, which enables the
+/// adaptive controller and starts from --adaptive-start — and the tuning
+/// knobs. Split from the registration half so support/ stays free of
+/// atomic/ and core/ dependencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_CORE_MACHINEOPTIONS_H
+#define LLSC_CORE_MACHINEOPTIONS_H
+
+#include "core/Machine.h"
+#include "support/MachineOptions.h"
+
+namespace llsc {
+
+/// Builds a MachineConfig from parsed flag values. Flags the tool opted
+/// out of (null pointers) keep the MachineConfig defaults. Fails on an
+/// unknown scheme name (in --scheme or --adaptive-start).
+ErrorOr<MachineConfig>
+machineConfigFromOptions(const MachineOptionValues &Values);
+
+} // namespace llsc
+
+#endif // LLSC_CORE_MACHINEOPTIONS_H

@@ -14,7 +14,8 @@
 using namespace llsc;
 
 StatsReport::StatsReport(const RunResult &Result)
-    : WallSeconds(Result.WallSeconds), AllHalted(Result.AllHalted) {
+    : WallSeconds(Result.WallSeconds), AllHalted(Result.AllHalted),
+      FinalScheme(schemeTraits(Result.FinalSchemeKind).Name) {
   auto Add = [this](const char *Name, uint64_t Value) {
     Metrics.push_back({Name, Value});
   };
@@ -71,8 +72,10 @@ std::string StatsReport::renderJson() const {
   char Buf[160];
 
   std::snprintf(Buf, sizeof(Buf),
-                "{\n\"wall_seconds\": %.9f,\n\"all_halted\": %s,\n",
-                WallSeconds, AllHalted ? "true" : "false");
+                "{\n\"schema_version\": %u,\n\"final_scheme\": \"%s\",\n"
+                "\"wall_seconds\": %.9f,\n\"all_halted\": %s,\n",
+                SchemaVersion, FinalScheme.c_str(), WallSeconds,
+                AllHalted ? "true" : "false");
   Out += Buf;
 
   Out += "\"metrics\": {";

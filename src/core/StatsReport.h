@@ -53,17 +53,31 @@ public:
 
   double wallSeconds() const { return WallSeconds; }
   bool allHalted() const { return AllHalted; }
+  /// Name of the scheme active when the run ended (differs from the
+  /// configured one after an adaptive hot-swap).
+  const std::string &finalScheme() const { return FinalScheme; }
+
+  /// The --stats=json schema version. Bumped when a top-level key is
+  /// added, removed, or reordered; adding a metric to "metrics" (a
+  /// keyed map) is not a schema change. History:
+  ///   1: {"wall_seconds", "all_halted", "metrics", "per_cpu"}
+  ///   2: + leading "schema_version", "final_scheme" keys
+  static constexpr unsigned SchemaVersion = 2;
 
   /// Renders the whole report as a JSON object:
-  ///   {"wall_seconds": ..., "all_halted": ..., "metrics": {...},
+  ///   {"schema_version": 2, "final_scheme": "...", "wall_seconds": ...,
+  ///    "all_halted": ..., "metrics": {...},
   ///    "per_cpu": [{"tid": 0, ...events...}, ...]}
-  /// Metric keys inside "metrics" are the same dotted names metrics()
-  /// reports. Ends with a newline.
+  /// Key order is deterministic: top-level keys exactly as above,
+  /// "metrics" in stable catalogue order (the metrics() order), per-cpu
+  /// rows in tid order. Metric keys inside "metrics" are the same dotted
+  /// names metrics() reports. Ends with a newline.
   std::string renderJson() const;
 
 private:
   double WallSeconds = 0;
   bool AllHalted = true;
+  std::string FinalScheme;
   std::vector<StatMetric> Metrics;
   /// Per-vCPU event rows for the JSON "per_cpu" array: one vector of
   /// (name, value) per tid, EventCounters names only.

@@ -568,8 +568,21 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
 
   uint64_t Executed = 0;
   while (true) {
-    if (Registered && Excl.safepoint())
+    if (Registered && Excl.safepoint()) {
       Cpu.Events.SafepointParks++;
+      // The exclusive section we parked for may have been a scheme
+      // hot-swap, which flushes the TB cache: the held Block would then
+      // be retired, carrying the *old* scheme's instrumentation (and
+      // possibly freed at the next swap). At the loop top Block's pc is
+      // Cpu.Pc, so re-resolve before touching it. Costs nothing on the
+      // non-parked fast path.
+      if (LLSC_UNLIKELY(Cache.generation() != Cpu.JmpCache.Generation)) {
+        BlockOrErr = LookupJmpCached(Cpu.Pc);
+        if (!BlockOrErr)
+          return BlockOrErr.error();
+        Block = *BlockOrErr;
+      }
+    }
 
     // Re-validate the guest-memory fast-path window. One counter load +
     // compare per block; transitions (PST's mprotect/remap) are rare.

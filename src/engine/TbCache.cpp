@@ -84,6 +84,13 @@ void TbCache::flush() {
   Generation.fetch_add(1, std::memory_order_release);
 }
 
+void TbCache::reapRetired() {
+  for (Shard &S : Shards) {
+    std::unique_lock<std::shared_mutex> WriteLock(S.Mutex);
+    S.Retired.clear();
+  }
+}
+
 size_t TbCache::size() const {
   size_t Total = 0;
   for (const Shard &S : Shards) {

@@ -75,6 +75,12 @@ public:
   /// jump cache and chain slot re-resolve through lookup().
   void flush();
 
+  /// Frees the blocks retired by earlier flush() calls. Only legal while
+  /// no vCPU can still hold a retired pointer — Machine::setScheme calls
+  /// this under the quiescence floor, where every parked vCPU re-resolves
+  /// its block by generation before touching it (engine/Engine.cpp).
+  void reapRetired();
+
   size_t size() const;
 
   uint64_t lookups() const { return Lookups.load(std::memory_order_relaxed); }

@@ -135,6 +135,12 @@ public:
                     uint64_t Value);
   void onClearExcl(unsigned Tid);
 
+  /// A Machine::setScheme hot-swap happened between slices. The swap
+  /// quiesces every vCPU and clears every monitor (the drain + detach
+  /// protocol), so each thread's next SC must fail — exactly a CLREX on
+  /// every thread — and subsequent events are judged by \p NewModel.
+  void onSchemeSwap(const OracleModel &NewModel);
+
   /// Diffs \p Actual (SharedRegionBytes bytes of guest memory) against
   /// the shadow model.
   std::string checkMemory(const uint8_t *Actual) const;
@@ -170,6 +176,16 @@ private:
 };
 
 // --- Execution -------------------------------------------------------------
+
+/// A mid-run scheme hot-swap to apply while a case executes: after the
+/// slice with global step index \p AfterSlice, the observer calls
+/// Machine::setScheme (the full quiesce/drain/flush protocol — trivially
+/// satisfied between cooperative slices, but the same code path the
+/// adaptive controller exercises under real threads) and tells the oracle.
+struct SwapPlan {
+  SchemeKind To = SchemeKind::Hst;
+  uint64_t AfterSlice = 0; ///< No swap if the run ends before this slice.
+};
 
 /// One detected soundness violation.
 struct Violation {
@@ -210,26 +226,29 @@ public:
   /// Assembles and loads \p Case (cached machine per thread count).
   ErrorOr<bool> prepare(const FuzzCase &Case);
 
-  /// Runs the prepared case under \p Sched. \p Case must be the one last
-  /// passed to prepare().
+  /// Runs the prepared case under \p Sched, applying \p Swap mid-run if
+  /// given (the base scheme is restored afterwards). \p Case must be the
+  /// one last passed to prepare().
   ErrorOr<CaseResult> runPrepared(const FuzzCase &Case,
-                                  ScheduleController &Sched);
+                                  ScheduleController &Sched,
+                                  const SwapPlan *Swap = nullptr);
 
-  ErrorOr<CaseResult> run(const FuzzCase &Case, ScheduleController &Sched);
+  ErrorOr<CaseResult> run(const FuzzCase &Case, ScheduleController &Sched,
+                          const SwapPlan *Swap = nullptr);
 
   /// Free-threaded execution of the stress shape (real host threads, no
   /// oracle): TSAN coverage for the scheme's cross-thread paths.
   ErrorOr<bool> runStress(const FuzzCase &Case, uint64_t Iterations);
 
 private:
-  struct Entry {
-    std::unique_ptr<Machine> M;
-    std::unique_ptr<AtomicScheme> Custom;
-  };
   ErrorOr<Machine *> machineFor(unsigned NumThreads);
 
+  /// Re-installs the configured base scheme (or the buggy fixture) after
+  /// a swapped run left a different scheme active.
+  void restoreBaseScheme(Machine &M);
+
   Config Cfg;
-  std::map<unsigned, Entry> Machines;
+  std::map<unsigned, std::unique_ptr<Machine>> Machines;
   Machine *Prepared = nullptr;
   uint64_t PreparedShared = 0; ///< Guest address of the `shared:` window.
 };
@@ -271,6 +290,16 @@ struct FuzzOptions {
   /// Use the single-granule HST fixture instead of the real scheme
   /// (applies to SchemeKind::Hst entries only).
   bool BuggyHst = false;
+  /// HST-family table size for the machines under test (--hst-table-log2;
+  /// small default keeps per-case reset cheap across 10k cases).
+  unsigned HstTableLog2 = 12;
+  /// Hot-swap the scheme mid-run on every schedule (--swap): the target
+  /// is SwapTo when set, otherwise the next entry in Schemes (cyclic,
+  /// self-swap when it is the only one); the swap slice is derived from
+  /// the schedule seed. Exercises the setScheme quiesce protocol and the
+  /// oracle's monitor-breaking model under fuzzed interleavings.
+  bool Swap = false;
+  std::optional<SchemeKind> SwapTo;
   bool Verbose = false;
 };
 
@@ -303,23 +332,28 @@ ErrorOr<FuzzReport> runStress(const FuzzOptions &Opts, uint64_t Iterations);
 // --- Shrinking and repro files ---------------------------------------------
 
 /// Greedily deletes threads and events while the violation reproduces
-/// under the correspondingly reduced trace. \returns the minimized case
-/// and updates \p Trace in place.
+/// under the correspondingly reduced trace (and the same \p Swap plan, if
+/// any — deleting slices before the swap point can lose the repro, in
+/// which case the larger case is kept). \returns the minimized case and
+/// updates \p Trace in place.
 FuzzCase shrinkFailure(CaseRunner &Runner, FuzzCase Case,
-                       std::vector<unsigned> &Trace);
+                       std::vector<unsigned> &Trace,
+                       const SwapPlan *Swap = nullptr);
 
 /// Serializes a failing case + schedule as a standalone `.grv` file:
-/// `;;`-prefixed metadata (scheme, events, trace) followed by the
-/// generated assembly, so the file is both machine-replayable
+/// `;;`-prefixed metadata (scheme, events, trace, optional swap) followed
+/// by the generated assembly, so the file is both machine-replayable
 /// (llsc-fuzz --replay) and human-readable / runnable under llsc-run.
 std::string renderRepro(SchemeKind Scheme, const FuzzCase &Case,
                         const std::vector<unsigned> &Trace,
-                        const std::string &Note);
+                        const std::string &Note,
+                        const SwapPlan *Swap = nullptr);
 
 struct Repro {
   SchemeKind Scheme = SchemeKind::Hst;
   FuzzCase Case;
   std::vector<unsigned> Trace;
+  std::optional<SwapPlan> Swap;
 };
 
 ErrorOr<Repro> parseRepro(const std::string &Text);

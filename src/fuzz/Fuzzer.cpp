@@ -38,9 +38,9 @@ namespace {
 
 /// Does \p Case still produce a violation when driven by \p Trace?
 bool stillFails(CaseRunner &Runner, const FuzzCase &Case,
-                const std::vector<unsigned> &Trace) {
+                const std::vector<unsigned> &Trace, const SwapPlan *Swap) {
   FixedSchedule Sched(Trace);
-  auto Res = Runner.run(Case, Sched);
+  auto Res = Runner.run(Case, Sched, Swap);
   return Res && !Res->Violations.empty();
 }
 
@@ -95,7 +95,8 @@ FuzzCase caseWithoutEvent(const FuzzCase &Case, unsigned Tid,
 } // namespace
 
 FuzzCase fuzz::shrinkFailure(CaseRunner &Runner, FuzzCase Case,
-                             std::vector<unsigned> &Trace) {
+                             std::vector<unsigned> &Trace,
+                             const SwapPlan *Swap) {
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -105,7 +106,7 @@ FuzzCase fuzz::shrinkFailure(CaseRunner &Runner, FuzzCase Case,
          ++Tid) {
       FuzzCase Cand = caseWithoutThread(Case, Tid);
       std::vector<unsigned> CandTrace = traceWithoutThread(Trace, Tid);
-      if (stillFails(Runner, Cand, CandTrace)) {
+      if (stillFails(Runner, Cand, CandTrace, Swap)) {
         Case = std::move(Cand);
         Trace = std::move(CandTrace);
         Changed = true;
@@ -120,7 +121,7 @@ FuzzCase fuzz::shrinkFailure(CaseRunner &Runner, FuzzCase Case,
       for (unsigned I = 0; I < Case.Threads[Tid].size(); ++I) {
         FuzzCase Cand = caseWithoutEvent(Case, Tid, I);
         std::vector<unsigned> CandTrace = traceWithoutEvent(Trace, Tid, I);
-        if (stillFails(Runner, Cand, CandTrace)) {
+        if (stillFails(Runner, Cand, CandTrace, Swap)) {
           Case = std::move(Cand);
           Trace = std::move(CandTrace);
           Changed = true;
@@ -166,10 +167,15 @@ std::optional<EventKind> eventKindFromName(std::string_view Name) {
 
 std::string fuzz::renderRepro(SchemeKind Scheme, const FuzzCase &Case,
                               const std::vector<unsigned> &Trace,
-                              const std::string &Note) {
+                              const std::string &Note,
+                              const SwapPlan *Swap) {
   std::string Out;
   Out += ";; llsc-fuzz repro v1\n";
   Out += formatString(";; scheme: %s\n", schemeTraits(Scheme).Name);
+  if (Swap)
+    Out += formatString(";; swap: %llu %s\n",
+                        static_cast<unsigned long long>(Swap->AfterSlice),
+                        schemeTraits(Swap->To).Name);
   if (!Note.empty())
     Out += formatString(";; note: %s\n", Note.c_str());
   Out += formatString(";; threads: %u\n", Case.numThreads());
@@ -205,6 +211,18 @@ ErrorOr<Repro> fuzz::parseRepro(const std::string &Text) {
                          static_cast<int>(Name.size()), Name.data());
       R.Scheme = *Kind;
       SawScheme = true;
+    } else if (startsWith(Body, "swap:")) {
+      auto Tok = splitWhitespace(Body.substr(5));
+      if (Tok.size() != 2)
+        return makeError("repro: malformed swap line");
+      auto Slice = parseInteger(Tok[0]);
+      auto Kind = parseSchemeName(std::string(Tok[1]));
+      if (!Slice || *Slice < 0 || !Kind)
+        return makeError("repro: bad swap slice or scheme");
+      SwapPlan Plan;
+      Plan.AfterSlice = static_cast<uint64_t>(*Slice);
+      Plan.To = *Kind;
+      R.Swap = Plan;
     } else if (startsWith(Body, "threads:")) {
       auto N = parseInteger(trim(Body.substr(8)));
       if (!N || *N < 1 || *N > 64)
@@ -261,7 +279,7 @@ ErrorOr<CaseResult> fuzz::replayRepro(const Repro &R, bool BuggyHst) {
   RC.BuggySingleGranuleHst = BuggyHst && R.Scheme == SchemeKind::Hst;
   CaseRunner Runner(RC);
   FixedSchedule Sched(R.Trace);
-  return Runner.run(R.Case, Sched);
+  return Runner.run(R.Case, Sched, R.Swap ? &*R.Swap : nullptr);
 }
 
 // --- Fuzz loops -------------------------------------------------------------
@@ -277,17 +295,26 @@ uint64_t mixSeed(uint64_t A, uint64_t B, uint64_t C) {
   return X ^ (X >> 31);
 }
 
+/// The swap target for \p Scheme: the explicit override, else the next
+/// entry of \p Schemes (cyclic). With a single-scheme sweep this degrades
+/// to a self-swap — still a full quiesce/teardown/reattach cycle.
+SchemeKind swapTargetFor(const FuzzOptions &Opts, size_t SchemeIdx) {
+  if (Opts.SwapTo)
+    return *Opts.SwapTo;
+  return Opts.Schemes[(SchemeIdx + 1) % Opts.Schemes.size()];
+}
+
 /// Shrinks, serializes and records one failing (case, trace) pair.
 ErrorOr<bool> recordFailure(const FuzzOptions &Opts, CaseRunner &Runner,
                             SchemeKind Scheme, FuzzCase Case,
                             CaseResult &Res, uint64_t CaseSeed,
-                            FuzzReport &Report) {
+                            const SwapPlan *Swap, FuzzReport &Report) {
   FailureRecord Rec;
   Rec.Scheme = Scheme;
   Rec.First = Res.Violations.front();
   Rec.CaseSeed = CaseSeed;
   Rec.Trace = Res.ExecTrace;
-  Rec.Shrunk = shrinkFailure(Runner, std::move(Case), Rec.Trace);
+  Rec.Shrunk = shrinkFailure(Runner, std::move(Case), Rec.Trace, Swap);
 
   if (!Opts.ReproDir.empty()) {
     ::mkdir(Opts.ReproDir.c_str(), 0755); // One level; EEXIST is fine.
@@ -298,7 +325,7 @@ ErrorOr<bool> recordFailure(const FuzzOptions &Opts, CaseRunner &Runner,
     std::ofstream Out(Rec.ReproPath);
     if (!Out)
       return makeError("cannot write repro file %s", Rec.ReproPath.c_str());
-    Out << renderRepro(Scheme, Rec.Shrunk, Rec.Trace, Rec.First.What);
+    Out << renderRepro(Scheme, Rec.Shrunk, Rec.Trace, Rec.First.What, Swap);
   }
 
   if (Opts.Verbose)
@@ -315,11 +342,14 @@ ErrorOr<bool> recordFailure(const FuzzOptions &Opts, CaseRunner &Runner,
 ErrorOr<FuzzReport> fuzz::runFuzz(const FuzzOptions &Opts) {
   FuzzReport Report;
 
-  for (SchemeKind Scheme : Opts.Schemes) {
+  for (size_t SchemeIdx = 0; SchemeIdx < Opts.Schemes.size(); ++SchemeIdx) {
+    SchemeKind Scheme = Opts.Schemes[SchemeIdx];
     CaseRunner::Config RC;
     RC.Scheme = Scheme;
     RC.BuggySingleGranuleHst = Opts.BuggyHst && Scheme == SchemeKind::Hst;
+    RC.HstTableLog2 = Opts.HstTableLog2;
     CaseRunner Runner(RC);
+    SchemeKind SwapTo = swapTargetFor(Opts, SchemeIdx);
 
     unsigned Failures = 0;
     for (uint64_t CaseNo = 0;
@@ -342,14 +372,24 @@ ErrorOr<FuzzReport> fuzz::runFuzz(const FuzzOptions &Opts) {
 
       bool CaseFailed = false;
       for (uint64_t S = 0; S < NumSchedules && !CaseFailed; ++S) {
+        // Mid-run swap (--swap): the slice index is seed-derived, so the
+        // swap lands anywhere in the run — before the first LL, between
+        // an LL and its SC (the interesting window), or after the last
+        // event (degenerating to a no-swap run).
+        SwapPlan Plan;
+        if (Opts.Swap) {
+          Plan.To = SwapTo;
+          Plan.AfterSlice = mixSeed(CaseSeed, 1, S) % totalSlices(Case);
+        }
+        const SwapPlan *Swap = Opts.Swap ? &Plan : nullptr;
         ErrorOr<CaseResult> Res = [&]() -> ErrorOr<CaseResult> {
           if (!Traces.empty()) {
             FixedSchedule Sched(Traces[S]);
-            return Runner.runPrepared(Case, Sched);
+            return Runner.runPrepared(Case, Sched, Swap);
           }
           PctSchedule Sched(mixSeed(CaseSeed, 0, S), Opts.PctDepth,
                             totalSlices(Case));
-          return Runner.runPrepared(Case, Sched);
+          return Runner.runPrepared(Case, Sched, Swap);
         }();
         if (!Res)
           return Res.error();
@@ -360,7 +400,7 @@ ErrorOr<FuzzReport> fuzz::runFuzz(const FuzzOptions &Opts) {
           CaseFailed = true;
           ++Failures;
           auto Rec = recordFailure(Opts, Runner, Scheme, Case, *Res,
-                                   CaseSeed, Report);
+                                   CaseSeed, Swap, Report);
           if (!Rec)
             return Rec.error();
         }
@@ -383,6 +423,7 @@ ErrorOr<FuzzReport> fuzz::runStress(const FuzzOptions &Opts,
     CaseRunner::Config RC;
     RC.Scheme = Scheme;
     RC.BuggySingleGranuleHst = Opts.BuggyHst && Scheme == SchemeKind::Hst;
+    RC.HstTableLog2 = Opts.HstTableLog2;
     CaseRunner Runner(RC);
 
     for (uint64_t CaseNo = 0; CaseNo < Opts.NumCases; ++CaseNo) {

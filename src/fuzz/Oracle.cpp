@@ -188,6 +188,19 @@ void Oracle::onPlainStore(unsigned Tid, unsigned Off, unsigned Size,
 
 void Oracle::onClearExcl(unsigned Tid) { Mons[Tid].S = Mon::St::None; }
 
+void Oracle::onSchemeSwap(const OracleModel &NewModel) {
+  Model = NewModel;
+  // setScheme's quiesce clears every vCPU's monitor (onCpuStopped +
+  // clearExclusive) before the old scheme detaches, so post-swap the
+  // machine state is as if every thread executed CLREX: any SC success is
+  // forbidden until a fresh LL. None (not Broken) is the precise state —
+  // in particular a Masked monitor must NOT stay Masked, since the
+  // own-store tag resurrection it models cannot survive the swap's table
+  // teardown; a post-swap success would be a real atomicity violation.
+  for (Mon &M : Mons)
+    M.S = Mon::St::None;
+}
+
 std::string Oracle::checkMemoryWord(unsigned Off, uint64_t Actual) const {
   assert(Off + 8 <= SharedRegionBytes);
   uint64_t Expected = 0;

@@ -52,17 +52,12 @@ public:
   explicit SingleGranuleHst(unsigned TableLog2)
       : NumEntries(1ULL << TableLog2), Mask(NumEntries - 1),
         Table(std::make_unique<std::atomic<uint32_t>[]>(NumEntries)) {
-    reset();
+    zeroTable();
   }
 
   const SchemeTraits &traits() const override {
     // Claims strong atomicity — that claim being false is the point.
     return schemeTraits(SchemeKind::Hst);
-  }
-
-  void reset() override {
-    for (uint64_t Index = 0; Index < NumEntries; ++Index)
-      Table[Index].store(0, std::memory_order_relaxed);
   }
 
   uint64_t entryIndex(uint64_t Addr) const { return (Addr >> 2) & Mask; }
@@ -112,7 +107,16 @@ public:
     B.setInstrumentMode(false);
   }
 
+protected:
+  void onReset() override { zeroTable(); }
+  void onDetach() override { zeroTable(); }
+
 private:
+  void zeroTable() {
+    for (uint64_t Index = 0; Index < NumEntries; ++Index)
+      Table[Index].store(0, std::memory_order_relaxed);
+  }
+
   static uint64_t storeTagThunk(void *SchemeCtx, void *CpuPtr, uint64_t Addr,
                                 uint64_t /*B*/) {
     auto *Self = static_cast<SingleGranuleHst *>(SchemeCtx);
@@ -143,8 +147,8 @@ OracleModel CaseRunner::model() const {
 }
 
 ErrorOr<Machine *> CaseRunner::machineFor(unsigned NumThreads) {
-  Entry &E = Machines[NumThreads];
-  if (!E.M) {
+  std::unique_ptr<Machine> &M = Machines[NumThreads];
+  if (!M) {
     MachineConfig MC;
     MC.Scheme = Cfg.Scheme;
     MC.NumThreads = NumThreads;
@@ -155,17 +159,22 @@ ErrorOr<Machine *> CaseRunner::machineFor(unsigned NumThreads) {
     // Deterministic slices require the software HTM model (hardware RTM
     // aborts on the engine's bookkeeping between slices).
     MC.ForceSoftHtm = true;
-    MC.SchemeTuning.HstTableLog2 = Cfg.HstTableLog2;
+    MC.HstTableLog2 = Cfg.HstTableLog2;
     auto MOrErr = Machine::create(MC);
     if (!MOrErr)
       return MOrErr.error();
-    E.M = MOrErr.take();
-    if (Cfg.BuggySingleGranuleHst) {
-      E.Custom = createSingleGranuleHst(Cfg.HstTableLog2);
-      E.M->setCustomScheme(*E.Custom);
-    }
+    M = MOrErr.take();
+    if (Cfg.BuggySingleGranuleHst)
+      M->setScheme(createSingleGranuleHst(Cfg.HstTableLog2));
   }
-  return E.M.get();
+  return M.get();
+}
+
+void CaseRunner::restoreBaseScheme(Machine &M) {
+  if (Cfg.BuggySingleGranuleHst)
+    M.setScheme(createSingleGranuleHst(Cfg.HstTableLog2));
+  else
+    M.setScheme(createScheme(Cfg.Scheme, Cfg.HstTableLog2));
 }
 
 ErrorOr<bool> CaseRunner::prepare(const FuzzCase &Case) {
@@ -191,11 +200,16 @@ namespace {
 class OracleObserver final : public SliceObserver {
 public:
   OracleObserver(Machine &M, const FuzzCase &Case, const OracleModel &Model,
-                 uint64_t SharedAddr, CaseResult &Out)
+                 uint64_t SharedAddr, CaseResult &Out,
+                 const SwapPlan *Swap, unsigned HstTableLog2)
       : M(M), Case(Case), Or(Model, Case.numThreads()), SharedAddr(SharedAddr),
-        Out(Out), SliceCount(Case.numThreads(), 0) {}
+        Out(Out), SliceCount(Case.numThreads(), 0), Swap(Swap),
+        HstTableLog2(HstTableLog2) {}
 
-  bool onSlice(unsigned Tid, uint64_t /*StepIndex*/) override {
+  /// Did the planned swap actually fire (the run reached its slice)?
+  bool swapped() const { return DidSwap; }
+
+  bool onSlice(unsigned Tid, uint64_t StepIndex) override {
     Out.ExecTrace.push_back(Tid);
     unsigned K = SliceCount[Tid]++;
     int EventIdx = -1;
@@ -231,6 +245,16 @@ public:
       Out.Violations.push_back({std::move(What), Tid, EventIdx});
       return false; // Stop at the first violation: the trace ends here.
     }
+    // The slice above ran (and was judged) under the pre-swap scheme; now,
+    // between slices, hot-swap and re-model. Between cooperative slices no
+    // vCPU is Running, so setScheme's drain trivially holds — the
+    // interesting coverage is the monitor breaking, state teardown and
+    // cache flush under every interleaving the fuzzer can reach.
+    if (Swap && !DidSwap && StepIndex == Swap->AfterSlice) {
+      M.setScheme(createScheme(Swap->To, HstTableLog2));
+      Or.onSchemeSwap(OracleModel::forScheme(Swap->To));
+      DidSwap = true;
+    }
     return true;
   }
 
@@ -246,12 +270,16 @@ private:
   uint64_t SharedAddr;
   CaseResult &Out;
   std::vector<unsigned> SliceCount; ///< Slices run so far, per tid.
+  const SwapPlan *Swap;             ///< Null = no mid-run swap.
+  unsigned HstTableLog2;
+  bool DidSwap = false;
 };
 
 } // namespace
 
 ErrorOr<CaseResult> CaseRunner::runPrepared(const FuzzCase &Case,
-                                            ScheduleController &Sched) {
+                                            ScheduleController &Sched,
+                                            const SwapPlan *Swap) {
   assert(Prepared && "runPrepared without a successful prepare");
   Machine &M = *Prepared;
 
@@ -265,8 +293,11 @@ ErrorOr<CaseResult> CaseRunner::runPrepared(const FuzzCase &Case,
     M.mem().shadowStore(PreparedShared + I, 0, 8);
 
   CaseResult Out;
-  OracleObserver Obs(M, Case, model(), PreparedShared, Out);
+  OracleObserver Obs(M, Case, model(), PreparedShared, Out, Swap,
+                     Cfg.HstTableLog2);
   auto RunOrErr = M.runScheduled(Sched, /*BlocksPerSlice=*/1, &Obs);
+  if (Obs.swapped())
+    restoreBaseScheme(M); // Before any error return: the machine is cached.
   if (!RunOrErr)
     return RunOrErr.error();
   Obs.finish();
@@ -275,11 +306,12 @@ ErrorOr<CaseResult> CaseRunner::runPrepared(const FuzzCase &Case,
 }
 
 ErrorOr<CaseResult> CaseRunner::run(const FuzzCase &Case,
-                                    ScheduleController &Sched) {
+                                    ScheduleController &Sched,
+                                    const SwapPlan *Swap) {
   auto Prep = prepare(Case);
   if (!Prep)
     return Prep.error();
-  return runPrepared(Case, Sched);
+  return runPrepared(Case, Sched, Swap);
 }
 
 ErrorOr<bool> CaseRunner::runStress(const FuzzCase &Case,

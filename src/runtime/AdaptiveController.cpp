@@ -1,0 +1,105 @@
+//===- runtime/AdaptiveController.cpp - Online scheme selection ----------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/AdaptiveController.h"
+
+using namespace llsc;
+
+namespace {
+
+bool isPstFamily(SchemeKind Kind) {
+  return Kind == SchemeKind::Pst || Kind == SchemeKind::PstRemap ||
+         Kind == SchemeKind::PstMpk;
+}
+
+bool isStrongHst(SchemeKind Kind) {
+  return Kind == SchemeKind::Hst || Kind == SchemeKind::HstHelper;
+}
+
+bool isHtmKind(SchemeKind Kind) {
+  return Kind == SchemeKind::PicoHtm || Kind == SchemeKind::HstHtm;
+}
+
+} // namespace
+
+SchemeKind AdaptiveController::desired(const AdaptiveSample &Delta) const {
+  if (Delta.WallNs == 0)
+    return Current;
+
+  if (isPstFamily(Current)) {
+    // PST monitors whole pages: unrelated stores to a monitored page fault,
+    // recover, and stall the faulting vCPU. A sustained false-sharing fault
+    // rate means the workload keeps hitting monitored pages from the side —
+    // HST's 4-byte granules do not have that failure mode.
+    double FaultsPerMs =
+        static_cast<double>(Delta.FalseSharingFaults) * 1e6 / Delta.WallNs;
+    if (FaultsPerMs >= Config.FalseSharingPerMs)
+      return SchemeKind::Hst;
+    return Current;
+  }
+
+  // The remaining rules are SC-failure ratios; idle intervals are noise.
+  if (Delta.ScAttempted < Config.MinScAttempted)
+    return Current;
+
+  if (isStrongHst(Current)) {
+    // Distinct monitored addresses hashing to one table slot make SCs fail
+    // with the monitored value unchanged. PST's exact page ranges do not
+    // alias (at the price of mprotect traffic, which its own rule watches).
+    double ConflictFrac = static_cast<double>(Delta.ScFailHashConflict) /
+                          static_cast<double>(Delta.ScAttempted);
+    if (ConflictFrac >= Config.HashConflictFrac)
+      return SchemeKind::Pst;
+    return Current;
+  }
+
+  if (isHtmKind(Current)) {
+    // Fig. 11's abort storm: once most SCs end in the serialized livelock
+    // fallback, the transactions only add retry latency.
+    double FallbackFrac = static_cast<double>(Delta.HtmFallbacks) /
+                          static_cast<double>(Delta.ScAttempted);
+    if (FallbackFrac >= Config.HtmFallbackFrac)
+      return SchemeKind::Hst;
+    return Current;
+  }
+
+  // PicoCas / PicoSt / HstWeak: no escape rule (PicoCas and HstWeak are
+  // kept only as ablation baselines; PicoSt has no counter signature that
+  // distinguishes "slow by design" from "workload-hostile").
+  return Current;
+}
+
+std::optional<SchemeKind> AdaptiveController::onSample(
+    const AdaptiveSample &Delta, uint64_t NowNs) {
+  ++Samples;
+  SchemeKind Want = desired(Delta);
+  if (Want == Current) {
+    Streak = 0;
+    return std::nullopt;
+  }
+  if (Want == StreakKind) {
+    ++Streak;
+  } else {
+    StreakKind = Want;
+    Streak = 1;
+  }
+  if (Streak < Config.HysteresisSamples)
+    return std::nullopt;
+  if (LastSwapNs != 0 &&
+      NowNs - LastSwapNs < Config.CooldownMs * 1000000ULL) {
+    ++CooldownBlocked;
+    return std::nullopt;
+  }
+  return Want;
+}
+
+void AdaptiveController::onSwapComplete(SchemeKind NewKind, uint64_t NowNs) {
+  Current = NewKind;
+  StreakKind = NewKind;
+  Streak = 0;
+  LastSwapNs = NowNs;
+  ++Swaps;
+}

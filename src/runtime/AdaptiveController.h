@@ -1,0 +1,108 @@
+//===- runtime/AdaptiveController.h - Online scheme selection ---*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive scheme controller: Table II shows no scheme dominates —
+/// HST degrades under hash conflicts, the PST family pays mprotect and
+/// false-sharing costs, the HTM variants livelock past ~8 threads — so
+/// `--scheme=adaptive` observes the per-scheme event counters online and
+/// hot-swaps the scheme (Machine::setScheme) when the running workload is
+/// hostile to the current one.
+///
+/// This class is pure policy: it consumes counter deltas sampled under the
+/// quiescence floor (the per-vCPU EventCounters fields are plain non-atomic
+/// loads, so they may only be read while every vCPU is parked) and decides
+/// whether to swap. Hysteresis (N consecutive over-threshold samples) and a
+/// cooldown window keep it from thrashing on bursty phases. The sampling
+/// thread itself lives in core/Machine.cpp; the swap protocol is documented
+/// in docs/API.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_RUNTIME_ADAPTIVECONTROLLER_H
+#define LLSC_RUNTIME_ADAPTIVECONTROLLER_H
+
+#include "atomic/AtomicScheme.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace llsc {
+
+/// Tunables for the adaptive controller (llsc-run --adaptive-* flags).
+struct AdaptiveConfig {
+  /// Sampling period of the controller thread.
+  uint64_t SampleIntervalMs = 10;
+  /// Minimum time between two swaps.
+  uint64_t CooldownMs = 50;
+  /// Consecutive over-threshold samples required before a swap fires.
+  unsigned HysteresisSamples = 2;
+  /// SC attempts an interval must contain before SC-ratio rules apply
+  /// (idle intervals carry no signal).
+  uint64_t MinScAttempted = 8;
+  /// PST family: false-sharing faults per millisecond that mark the
+  /// workload PST-hostile (Section IV-B2's false alarms) -> swap to HST.
+  double FalseSharingPerMs = 2.0;
+  /// HST family: fraction of SC attempts failing on hash conflicts that
+  /// marks the table overloaded -> swap to PST (exact-range monitors).
+  double HashConflictFrac = 0.25;
+  /// HTM kinds: fraction of SC attempts ending in the livelock fallback
+  /// that marks the abort storm -> swap to HST.
+  double HtmFallbackFrac = 0.25;
+};
+
+/// One interval's worth of counter deltas (summed over all vCPUs).
+struct AdaptiveSample {
+  uint64_t WallNs = 0;
+  uint64_t ScAttempted = 0;
+  uint64_t ScFailHashConflict = 0;
+  uint64_t FalseSharingFaults = 0;
+  uint64_t ExclWaitNs = 0;
+  uint64_t HtmBegins = 0;
+  uint64_t HtmFallbacks = 0;
+};
+
+/// Decides when to hot-swap the atomic scheme. Not thread-safe: owned and
+/// driven by the machine's single controller thread.
+class AdaptiveController {
+public:
+  AdaptiveController(SchemeKind Initial, const AdaptiveConfig &Config)
+      : Config(Config), Current(Initial) {}
+
+  /// Feeds one sample. \returns the scheme to swap to, or nullopt to stay.
+  /// On a swap decision the caller performs the swap and then reports it
+  /// via onSwapComplete().
+  std::optional<SchemeKind> onSample(const AdaptiveSample &Delta,
+                                     uint64_t NowNs);
+
+  /// Records a completed swap (resets hysteresis, starts the cooldown).
+  void onSwapComplete(SchemeKind NewKind, uint64_t NowNs);
+
+  SchemeKind current() const { return Current; }
+
+  // Mirrored into the adaptive.* event counters by the machine.
+  uint64_t samples() const { return Samples; }
+  uint64_t swaps() const { return Swaps; }
+  uint64_t cooldownBlocked() const { return CooldownBlocked; }
+
+private:
+  /// The rule table: which scheme does this sample argue for?
+  /// \returns Current when the sample carries no escape signal.
+  SchemeKind desired(const AdaptiveSample &Delta) const;
+
+  AdaptiveConfig Config;
+  SchemeKind Current;
+  SchemeKind StreakKind = SchemeKind::Hst;
+  unsigned Streak = 0;
+  uint64_t LastSwapNs = 0; ///< 0 = never swapped; no initial cooldown.
+  uint64_t Samples = 0;
+  uint64_t Swaps = 0;
+  uint64_t CooldownBlocked = 0;
+};
+
+} // namespace llsc
+
+#endif // LLSC_RUNTIME_ADAPTIVECONTROLLER_H

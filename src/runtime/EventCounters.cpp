@@ -37,6 +37,9 @@ void EventCounters::merge(const EventCounters &Other) {
   JmpCacheMisses += Other.JmpCacheMisses;
   FastMemHits += Other.FastMemHits;
   FastMemSlow += Other.FastMemSlow;
+  AdaptiveSamples += Other.AdaptiveSamples;
+  AdaptiveSwaps += Other.AdaptiveSwaps;
+  AdaptiveCooldownBlocked += Other.AdaptiveCooldownBlocked;
 }
 
 void EventCounters::reset() { *this = EventCounters(); }
@@ -71,6 +74,9 @@ void EventCounters::flushToRegistry() const {
     std::atomic<uint64_t> *JmpCacheMisses;
     std::atomic<uint64_t> *FastMemHits;
     std::atomic<uint64_t> *FastMemSlow;
+    std::atomic<uint64_t> *AdaptiveSamples;
+    std::atomic<uint64_t> *AdaptiveSwaps;
+    std::atomic<uint64_t> *AdaptiveCooldownBlocked;
   };
   static const Cached C = [] {
     CounterRegistry &R = CounterRegistry::instance();
@@ -101,6 +107,9 @@ void EventCounters::flushToRegistry() const {
         R.counter("engine.jmpcache.miss"),
         R.counter("engine.fastmem.hit"),
         R.counter("engine.fastmem.slow"),
+        R.counter("adaptive.samples"),
+        R.counter("adaptive.swaps"),
+        R.counter("adaptive.cooldown_blocked"),
     };
   }();
 
@@ -134,4 +143,7 @@ void EventCounters::flushToRegistry() const {
   Add(C.JmpCacheMisses, JmpCacheMisses);
   Add(C.FastMemHits, FastMemHits);
   Add(C.FastMemSlow, FastMemSlow);
+  Add(C.AdaptiveSamples, AdaptiveSamples);
+  Add(C.AdaptiveSwaps, AdaptiveSwaps);
+  Add(C.AdaptiveCooldownBlocked, AdaptiveCooldownBlocked);
 }

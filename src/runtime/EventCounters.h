@@ -82,6 +82,14 @@ struct EventCounters {
   uint64_t FastMemHits = 0;    ///< LoadG/StoreG via the fast-path window.
   uint64_t FastMemSlow = 0;    ///< LoadG/StoreG via the GuestMemory accessors.
 
+  // --- Adaptive controller --------------------------------------------------
+  // Machine-level, not per-vCPU: charged to the machine's AdaptiveEvents
+  // block and merged into the run total (runtime/AdaptiveController.h).
+  uint64_t AdaptiveSamples = 0; ///< Controller sampling intervals completed.
+  uint64_t AdaptiveSwaps = 0;   ///< Scheme hot-swaps performed.
+  /// Swap decisions that met hysteresis but were vetoed by the cooldown.
+  uint64_t AdaptiveCooldownBlocked = 0;
+
   /// Accumulates \p Other into this block (for cross-vCPU aggregation).
   void merge(const EventCounters &Other);
 
@@ -117,6 +125,9 @@ struct EventCounters {
     Fn("engine.jmpcache.miss", JmpCacheMisses);
     Fn("engine.fastmem.hit", FastMemHits);
     Fn("engine.fastmem.slow", FastMemSlow);
+    Fn("adaptive.samples", AdaptiveSamples);
+    Fn("adaptive.swaps", AdaptiveSwaps);
+    Fn("adaptive.cooldown_blocked", AdaptiveCooldownBlocked);
   }
 
   /// Adds every counter into the process-wide CounterRegistry under the

@@ -79,6 +79,13 @@ void ExclusiveContext::endExclusive(bool SelfRunning) {
   }
 }
 
+bool ExclusiveContext::soleExclusive() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  assert(ExclActive && HolderId == std::this_thread::get_id() &&
+         "soleExclusive outside an owned exclusive section");
+  return ExclRequests == 1;
+}
+
 int ExclusiveContext::runningForTest() {
   std::unique_lock<std::mutex> Lock(Mutex);
   return Running;

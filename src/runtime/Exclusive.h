@@ -63,6 +63,16 @@ public:
   /// Leaves the exclusive section and releases parked threads.
   void endExclusive(bool SelfRunning);
 
+  /// \returns true when the calling thread's exclusive section is the only
+  /// one queued or active. Call while holding the floor: every vCPU is
+  /// then parked at a safepoint or not running — none is blocked inside a
+  /// scheme's own queued SC section. Machine::setScheme requires that
+  /// (a queued SC belongs to the *old* scheme and must drain first), so it
+  /// releases and re-acquires the floor until this holds; the state cannot
+  /// change while the floor is held because queuing a new section requires
+  /// the requester to be running.
+  bool soleExclusive();
+
   /// Number of exclusive sections entered (for stats/tests).
   uint64_t exclusiveCount() const {
     return ExclusiveSections.load(std::memory_order_relaxed);

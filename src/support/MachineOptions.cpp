@@ -1,0 +1,39 @@
+//===- support/MachineOptions.cpp - Shared machine flag table -----------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MachineOptions.h"
+
+using namespace llsc;
+
+MachineOptionValues llsc::registerMachineOptions(ArgParser &Args,
+                                                 const MachineOptionSpec &Spec) {
+  MachineOptionValues V;
+  V.Scheme = Args.addString(Spec.SchemeFlag, Spec.SchemeDefault,
+                            Spec.SchemeHelp);
+  if (Spec.WithExecution) {
+    V.Threads = Args.addInt("threads", 1, "guest vCPU count");
+    V.MemMb = Args.addInt("mem-mb", 64, "guest memory size in MiB");
+  }
+  V.HstTableLog2 = Args.addInt(
+      "hst-table-log2", Spec.HstTableLog2Default,
+      "log2 of the HST hash-table entry count (Section IV-A)");
+  if (Spec.WithHtm)
+    V.HtmMaxRetries = Args.addInt(
+        "htm-max-retries", 64,
+        "HTM retry budget before the fallback path (Section IV-C)");
+  if (Spec.WithAdaptive) {
+    V.AdaptiveStart = Args.addString(
+        "adaptive-start", "pst",
+        "initial scheme when --scheme=adaptive");
+    V.AdaptiveIntervalMs = Args.addInt(
+        "adaptive-interval-ms", 10,
+        "adaptive controller sampling interval");
+    V.AdaptiveCooldownMs = Args.addInt(
+        "adaptive-cooldown-ms", 50,
+        "minimum time between adaptive scheme swaps");
+  }
+  return V;
+}

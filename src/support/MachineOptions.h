@@ -1,0 +1,67 @@
+//===- support/MachineOptions.h - Shared machine flag table -----*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one flag table both llsc-run and llsc-fuzz register for the options
+/// that configure a Machine (--scheme/--threads/--mem-mb/--hst-table-log2/
+/// --htm-max-retries and the adaptive-controller knobs), so the tools
+/// cannot drift apart in spelling, defaults, or help text. This layer only
+/// registers flags and hands back the ArgParser's stable value pointers;
+/// the semantic conversion into a MachineConfig (scheme-name parsing, the
+/// "adaptive" pseudo-scheme) lives in core/MachineOptions.h because it
+/// needs atomic/ and core/ types that support/ must not depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_MACHINEOPTIONS_H
+#define LLSC_SUPPORT_MACHINEOPTIONS_H
+
+#include "support/CommandLine.h"
+
+#include <cstdint>
+#include <string>
+
+namespace llsc {
+
+/// Per-tool customization of the shared table. Tools override the scheme
+/// flag's spelling/default/help (llsc-fuzz takes a comma-separated list
+/// under --schemes) and opt out of flags that make no sense for them; the
+/// flags a tool does register are guaranteed identical across tools.
+struct MachineOptionSpec {
+  const char *SchemeFlag = "scheme";
+  const char *SchemeDefault = "hst";
+  const char *SchemeHelp =
+      "atomic scheme (see docs/SCHEMES.md), or 'adaptive'";
+  /// Register --threads / --mem-mb (llsc-fuzz sizes these per case).
+  bool WithExecution = true;
+  /// llsc-fuzz defaults to a small table so per-case reset stays cheap.
+  int64_t HstTableLog2Default = 20;
+  /// Register --htm-max-retries (llsc-fuzz keeps the createScheme default).
+  bool WithHtm = true;
+  /// Register the --adaptive-* controller knobs (llsc-run only).
+  bool WithAdaptive = false;
+};
+
+/// Stable value pointers for the registered flags; entries a spec opted
+/// out of stay null.
+struct MachineOptionValues {
+  std::string *Scheme = nullptr;
+  int64_t *Threads = nullptr;
+  int64_t *MemMb = nullptr;
+  int64_t *HstTableLog2 = nullptr;
+  int64_t *HtmMaxRetries = nullptr;
+  std::string *AdaptiveStart = nullptr;
+  int64_t *AdaptiveIntervalMs = nullptr;
+  int64_t *AdaptiveCooldownMs = nullptr;
+};
+
+/// Registers the shared machine flags on \p Args.
+MachineOptionValues registerMachineOptions(ArgParser &Args,
+                                           const MachineOptionSpec &Spec = {});
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_MACHINEOPTIONS_H

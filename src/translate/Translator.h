@@ -66,6 +66,12 @@ public:
   /// out-of-range pc.
   ErrorOr<ir::IRBlock> translateBlock(uint64_t Pc);
 
+  /// Swaps the instrumentation hooks (may be null). Only legal while no
+  /// translateBlock call is in flight — Machine::setScheme calls this
+  /// under the stop-the-world quiescence floor, then flushes the TbCache
+  /// so no block translated with the old hooks survives.
+  void setHooks(ir::TranslationHooks *NewHooks) { Hooks = NewHooks; }
+
   const TranslatorStats &stats() const { return Stats; }
 
 private:

@@ -224,7 +224,7 @@ data:   .quad 0
 }
 
 TEST(Engine, CustomSchemeIntegration) {
-  // setCustomScheme rewires translation and execution.
+  // setScheme rewires translation and execution.
   struct CountingScheme final : AtomicScheme {
     uint64_t Lls = 0, Scs = 0, Stores = 0;
     const SchemeTraits &traits() const override {
@@ -253,8 +253,9 @@ TEST(Engine, CustomSchemeIntegration) {
   };
 
   auto M = makeMachine();
-  CountingScheme Counting;
-  M->setCustomScheme(Counting);
+  auto Owned = std::make_unique<CountingScheme>();
+  CountingScheme &Counting = *Owned;
+  M->setScheme(std::move(Owned));
   ASSERT_TRUE(bool(M->loadAssembly(R"(
 _start: la      r1, data
         ldxr.w  r2, [r1]

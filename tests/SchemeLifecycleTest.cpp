@@ -1,0 +1,210 @@
+//===- tests/SchemeLifecycleTest.cpp - lifecycle conformance suite --------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Conformance suite for the scheme lifecycle state machine (docs/API.md):
+/// every SchemeKind must honor the Detached -> Attached -> Detached
+/// transitions, release cross-instruction state on clearExclusive /
+/// onCpuStopped, return the machine to a scheme-neutral state on detach,
+/// and survive a Machine::setScheme hot-swap mid-litmus without ever
+/// letting a pre-swap LL's SC succeed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "mem/GuestMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace llsc;
+
+namespace {
+
+std::unique_ptr<Machine> makeMachine(SchemeKind Scheme, unsigned Threads = 2) {
+  MachineConfig Config;
+  Config.Scheme = Scheme;
+  Config.NumThreads = Threads;
+  Config.MemBytes = 8ULL << 20;
+  Config.ForceSoftHtm = true;
+  auto MachineOrErr = Machine::create(Config);
+  EXPECT_TRUE(bool(MachineOrErr)) << MachineOrErr.error().render();
+  return MachineOrErr.take();
+}
+
+/// A non-HTM swap partner that differs from the kind under test.
+SchemeKind swapPartner(SchemeKind Kind) {
+  return Kind == SchemeKind::Hst ? SchemeKind::PicoSt : SchemeKind::Hst;
+}
+
+class LifecycleTest : public ::testing::TestWithParam<SchemeKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, LifecycleTest, ::testing::ValuesIn(allSchemeKinds()),
+    [](const ::testing::TestParamInfo<SchemeKind> &Info) {
+      std::string Name = schemeTraits(Info.param).Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace
+
+/// createScheme returns a Detached scheme; detach() on a Detached scheme
+/// is an idempotent no-op; setScheme drives Detached -> Attached; the
+/// replaced scheme ends Detached and is retained one swap deep.
+TEST_P(LifecycleTest, StateMachineTransitions) {
+  auto Fresh = createScheme(GetParam(), /*HstTableLog2=*/12);
+  ASSERT_TRUE(Fresh);
+  EXPECT_EQ(Fresh->state(), SchemeState::Detached);
+  Fresh->detach(); // Idempotent on a never-attached scheme.
+  EXPECT_EQ(Fresh->state(), SchemeState::Detached);
+
+  auto M = makeMachine(swapPartner(GetParam()));
+  ASSERT_TRUE(bool(M->loadAssembly("_start: halt\n")));
+  AtomicScheme *Raw = Fresh.get();
+  M->setScheme(std::move(Fresh));
+  EXPECT_EQ(&M->scheme(), Raw);
+  EXPECT_EQ(Raw->state(), SchemeState::Attached);
+
+  // reset() (via prepareRun) is legal and repeatable while Attached.
+  M->prepareRun();
+  M->prepareRun();
+  EXPECT_EQ(Raw->state(), SchemeState::Attached);
+
+  // Swap away: the old scheme is detached but must stay alive until the
+  // *next* swap (retired code blocks reference it).
+  M->setScheme(createScheme(swapPartner(GetParam()), /*HstTableLog2=*/12));
+  EXPECT_EQ(Raw->state(), SchemeState::Detached);
+  EXPECT_NE(&M->scheme(), Raw);
+}
+
+/// CLREX releases the whole LL window — monitor, page protection claim,
+/// open transaction — and leaves the scheme able to run a fresh LL/SC.
+TEST_P(LifecycleTest, ClearExclusiveReleasesCrossInstructionState) {
+  auto M = makeMachine(GetParam());
+  ASSERT_TRUE(bool(M->loadAssembly("_start: halt\n")));
+  M->prepareRun();
+  AtomicScheme &Scheme = M->scheme();
+  VCpu &A = M->cpu(0);
+
+  Scheme.emulateLoadLink(A, 0xa000, 4);
+  Scheme.clearExclusive(A);
+  EXPECT_FALSE(A.InLongTx) << "clearExclusive must close an open long tx";
+  EXPECT_FALSE(Scheme.emulateStoreCond(A, 0xa000, 1, 4))
+      << schemeTraits(GetParam()).Name;
+
+  // The scheme must not be wedged: a fresh LL/SC pair succeeds.
+  Scheme.emulateLoadLink(A, 0xa000, 4);
+  EXPECT_TRUE(Scheme.emulateStoreCond(A, 0xa000, 2, 4))
+      << schemeTraits(GetParam()).Name;
+}
+
+/// A vCPU leaving the run loop must not strand scheme state that blocks
+/// its siblings (open PICO-HTM transaction, exclusive-fallback floor).
+TEST_P(LifecycleTest, OnCpuStoppedReleasesCrossInstructionState) {
+  auto M = makeMachine(GetParam());
+  ASSERT_TRUE(bool(M->loadAssembly("_start: halt\n")));
+  M->prepareRun();
+  AtomicScheme &Scheme = M->scheme();
+  VCpu &A = M->cpu(0);
+  VCpu &B = M->cpu(1);
+
+  Scheme.emulateLoadLink(A, 0xb000, 4);
+  Scheme.onCpuStopped(A);
+  EXPECT_FALSE(A.InLongTx) << "onCpuStopped must close an open long tx";
+
+  // Another thread must be able to run a complete LL/SC afterwards.
+  Scheme.emulateLoadLink(B, 0xc000, 4);
+  EXPECT_TRUE(Scheme.emulateStoreCond(B, 0xc000, 3, 4))
+      << schemeTraits(GetParam()).Name;
+}
+
+/// setScheme mid-LL-window: the quiesce protocol breaks the armed monitor
+/// (SC under the new scheme fails) and detach returns the machine to a
+/// scheme-neutral state (no page left restricted).
+TEST_P(LifecycleTest, SwapReleasesMachineState) {
+  auto M = makeMachine(GetParam());
+  ASSERT_TRUE(bool(M->loadAssembly("_start: halt\n")));
+  M->prepareRun();
+  VCpu &A = M->cpu(0);
+
+  M->scheme().emulateLoadLink(A, 0xd000, 4);
+  M->setScheme(createScheme(swapPartner(GetParam()), /*HstTableLog2=*/12));
+
+  EXPECT_TRUE(M->mem().fastPathAllowed())
+      << "detach left a page restricted";
+  EXPECT_FALSE(M->scheme().emulateStoreCond(A, 0xd000, 1, 4))
+      << "SC across a scheme swap must fail";
+
+  // The new scheme is fully operational.
+  M->scheme().emulateLoadLink(A, 0xd000, 4);
+  EXPECT_TRUE(M->scheme().emulateStoreCond(A, 0xd000, 2, 4));
+}
+
+namespace {
+
+/// Swaps the scheme the first time it sees the LL executed with the SC
+/// still pending — the adaptive controller's quiesce/swap path, driven
+/// deterministically between runScheduled slices.
+class SwapBetweenLlAndSc final : public SliceObserver {
+public:
+  SwapBetweenLlAndSc(Machine &M, SchemeKind To) : M(M), To(To) {}
+
+  bool onSlice(unsigned, uint64_t) override {
+    VCpu &Cpu = M.cpu(0);
+    if (!DidSwap && Cpu.Regs[2] == 7 && Cpu.Regs[3] == 99) {
+      M.setScheme(createScheme(To, /*HstTableLog2=*/12));
+      DidSwap = true;
+    }
+    return true;
+  }
+
+  bool swapped() const { return DidSwap; }
+
+private:
+  Machine &M;
+  SchemeKind To;
+  bool DidSwap = false;
+};
+
+} // namespace
+
+/// Hot-swap between a guest LL and its SC: the SC must fail under every
+/// kind — the quiesce cleared the monitor, and the architecture permits
+/// an SC to fail at any time; a success here would be a soundness bug.
+TEST_P(LifecycleTest, HotSwapMidLitmusScFails) {
+  auto M = makeMachine(GetParam(), /*Threads=*/1);
+  // Explicit branches split the LL and SC into separate translation
+  // blocks so the observer gets a slice boundary between them. r3 holds
+  // 99 until the SC overwrites it with its status (0 = success).
+  ASSERT_TRUE(bool(M->loadAssembly(R"(
+_start: la      r1, var
+        li      r3, #99
+        b       ll
+ll:     ldxr.w  r2, [r1]
+        b       sc
+sc:     stxr.w  r3, r2, [r1]
+        b       fin
+fin:    halt
+        .align 64
+var:    .word 7
+)")));
+
+  RoundRobinSchedule Sched;
+  SwapBetweenLlAndSc Obs(*M, swapPartner(GetParam()));
+  auto Result = M->runScheduled(Sched, /*BlocksPerSlice=*/1, &Obs);
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_TRUE(Result->AllHalted);
+  ASSERT_TRUE(Obs.swapped()) << "LL and SC were not split across slices";
+
+  uint64_t Status = M->cpu(0).Regs[3];
+  EXPECT_NE(Status, 99u) << "SC never executed";
+  EXPECT_NE(Status, 0u) << "SC succeeded across a scheme hot-swap — "
+                           "forbidden for every scheme kind";
+  EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("var"), 4), 7u)
+      << "a failed SC must not store";
+  EXPECT_EQ(Result->FinalSchemeKind, swapPartner(GetParam()));
+}

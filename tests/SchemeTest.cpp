@@ -22,13 +22,15 @@ using namespace llsc::workloads;
 namespace {
 
 std::unique_ptr<Machine> makeMachine(SchemeKind Scheme, unsigned Threads = 2,
-                                     SchemeConfig Tuning = SchemeConfig()) {
+                                     unsigned HstTableLog2 = 20,
+                                     unsigned HtmMaxRetries = 64) {
   MachineConfig Config;
   Config.Scheme = Scheme;
   Config.NumThreads = Threads;
   Config.MemBytes = 8ULL << 20;
   Config.ForceSoftHtm = true;
-  Config.SchemeTuning = Tuning;
+  Config.HstTableLog2 = HstTableLog2;
+  Config.HtmMaxRetries = HtmMaxRetries;
   auto MachineOrErr = Machine::create(Config);
   EXPECT_TRUE(bool(MachineOrErr)) << MachineOrErr.error().render();
   return MachineOrErr.take();
@@ -60,9 +62,8 @@ TEST(SchemeRegistry, TraitsMatchTableII) {
 /// table* (different address, same entry) causes a spurious SC failure —
 /// safe, per Section III-A ("conflicts don't affect correctness").
 TEST(Hst, HashConflictCausesSpuriousScFailure) {
-  SchemeConfig Tuning;
-  Tuning.HstTableLog2 = 4; // 16 entries: easy to collide.
-  auto M = makeMachine(SchemeKind::Hst, 2, Tuning);
+  auto M = makeMachine(SchemeKind::Hst, 2,
+                       /*HstTableLog2=*/4); // 16 entries: easy to collide.
   auto DriverOrErr = LitmusDriver::create(*M);
   ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
   LitmusDriver &Driver = *DriverOrErr;
@@ -86,18 +87,12 @@ TEST(Hst, HashConflictCausesSpuriousScFailure) {
 /// HST vs HST-WEAK vs HST-HELPER: instrumentation routing differs.
 TEST(Hst, InstrumentationRouting) {
   // HST inlines IR (no helper stores); PICO-ST and PST route stores.
-  EXPECT_FALSE(createScheme(SchemeKind::Hst, SchemeConfig())
-                   ->storesViaHelper());
-  EXPECT_FALSE(createScheme(SchemeKind::HstWeak, SchemeConfig())
-                   ->storesViaHelper());
-  EXPECT_TRUE(createScheme(SchemeKind::PicoSt, SchemeConfig())
-                  ->storesViaHelper());
-  EXPECT_TRUE(createScheme(SchemeKind::Pst, SchemeConfig())
-                  ->storesViaHelper());
-  EXPECT_TRUE(createScheme(SchemeKind::PstRemap, SchemeConfig())
-                  ->loadsViaHelper());
-  EXPECT_FALSE(createScheme(SchemeKind::Pst, SchemeConfig())
-                   ->loadsViaHelper());
+  EXPECT_FALSE(createScheme(SchemeKind::Hst)->storesViaHelper());
+  EXPECT_FALSE(createScheme(SchemeKind::HstWeak)->storesViaHelper());
+  EXPECT_TRUE(createScheme(SchemeKind::PicoSt)->storesViaHelper());
+  EXPECT_TRUE(createScheme(SchemeKind::Pst)->storesViaHelper());
+  EXPECT_TRUE(createScheme(SchemeKind::PstRemap)->loadsViaHelper());
+  EXPECT_FALSE(createScheme(SchemeKind::Pst)->loadsViaHelper());
 }
 
 /// HST inline instrumentation emits marked IR ops for stores; HST-WEAK
@@ -231,9 +226,8 @@ TEST(PstRemap, ConflictBreaksMonitorWithoutExclusive) {
 /// transaction (capacity abort), modeling the paper's emulator-inflated
 /// transactions.
 TEST(PicoHtm, FootprintCapacityDoomsLongTransaction) {
-  SchemeConfig Tuning;
-  Tuning.HtmMaxRetries = 4;
-  auto M = makeMachine(SchemeKind::PicoHtm, 2, Tuning);
+  auto M = makeMachine(SchemeKind::PicoHtm, 2, /*HstTableLog2=*/20,
+                       /*HtmMaxRetries=*/4);
   ASSERT_TRUE(bool(M->loadAssembly("_start: halt\n")));
   M->prepareRun();
   AtomicScheme &Scheme = M->scheme();
@@ -251,9 +245,8 @@ TEST(PicoHtm, FootprintCapacityDoomsLongTransaction) {
 /// PICO-HTM: when another thread holds the commit lock, the LL retry
 /// budget exhausts and the livelock fallback fires (counted).
 TEST(PicoHtm, LivelockFallbackCounted) {
-  SchemeConfig Tuning;
-  Tuning.HtmMaxRetries = 2;
-  auto M = makeMachine(SchemeKind::PicoHtm, 2, Tuning);
+  auto M = makeMachine(SchemeKind::PicoHtm, 2, /*HstTableLog2=*/20,
+                       /*HtmMaxRetries=*/2);
   ASSERT_TRUE(bool(M->loadAssembly("_start: halt\n")));
   M->prepareRun();
   AtomicScheme &Scheme = M->scheme();

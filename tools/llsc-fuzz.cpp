@@ -11,6 +11,8 @@
 ///   llsc-fuzz --cases 10000 --seed 7          # the PR's acceptance sweep
 ///   llsc-fuzz --smoke                         # CI budget (~1 min)
 ///   llsc-fuzz --schemes hst,pst-remap         # restrict schemes
+///   llsc-fuzz --swap                          # hot-swap schemes mid-run
+///                                             # (setScheme protocol fuzzing)
 ///   llsc-fuzz --buggy-hst --repro-dir out/    # negative control: the
 ///                                             # pre-fix single-granule HST
 ///                                             # must produce repros
@@ -24,6 +26,7 @@
 
 #include "fuzz/Fuzz.h"
 #include "support/CommandLine.h"
+#include "support/MachineOptions.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -54,20 +57,6 @@ namespace {
 const char *DefaultSchemes = "hst,hst-weak,pst,pst-remap,pico-st";
 const char *AllSchemes =
     "hst,hst-weak,hst-helper,hst-htm,pst,pst-remap,pico-st,pico-cas";
-
-ErrorOr<std::vector<SchemeKind>> parseSchemes(const std::string &List) {
-  std::vector<SchemeKind> Kinds;
-  for (std::string_view Name : split(List, ',')) {
-    auto Kind = parseSchemeName(Name);
-    if (!Kind)
-      return makeError("unknown scheme '%.*s'",
-                       static_cast<int>(Name.size()), Name.data());
-    Kinds.push_back(*Kind);
-  }
-  if (Kinds.empty())
-    return makeError("empty scheme list");
-  return Kinds;
-}
 
 void printFailures(const FuzzReport &Report) {
   for (const FailureRecord &Rec : Report.Failures) {
@@ -131,8 +120,15 @@ int replayFile(const std::string &Path, bool BuggyHst) {
 
 int main(int Argc, char **Argv) {
   ArgParser Args("llsc-fuzz: differential LL/SC concurrency fuzzer");
-  std::string *SchemeList = Args.addString(
-      "schemes", DefaultSchemes, "comma-separated schemes, or 'all'");
+  MachineOptionSpec Spec;
+  Spec.SchemeFlag = "schemes";
+  Spec.SchemeDefault = DefaultSchemes;
+  Spec.SchemeHelp = "comma-separated schemes, or 'all'";
+  Spec.WithExecution = false; // The case generator sizes threads/memory.
+  Spec.WithHtm = false;
+  Spec.HstTableLog2Default = 12;
+  MachineOptionValues MachineOpts = registerMachineOptions(Args, Spec);
+  std::string *SchemeList = MachineOpts.Scheme;
   int64_t *Cases = Args.addInt("cases", 100, "cases per scheme");
   int64_t *Seed = Args.addInt("seed", 1, "base seed");
   int64_t *Schedules =
@@ -148,6 +144,15 @@ int main(int Argc, char **Argv) {
   bool *BuggyHst = Args.addBool(
       "buggy-hst", false,
       "swap hst for the pre-fix single-granule fixture (negative control)");
+  bool *Swap = Args.addBool(
+      "swap", false,
+      "hot-swap the scheme mid-run on every schedule (setScheme protocol "
+      "coverage); target = --swap-to or the next scheme in the sweep");
+  std::string *SwapTo = Args.addString(
+      "swap-to", "",
+      "fixed swap target for --swap (note: under TSAN, swapping into a "
+      "PST-family scheme reaches the SIGSEGV recovery path TSAN cannot "
+      "tolerate — leave unset to stay within the per-pass scheme list)");
   bool *Smoke = Args.addBool("smoke", false, "CI-sized run (~1 minute)");
   bool *Stress = Args.addBool(
       "stress", false, "free-threaded stress sweep (no oracle; TSAN target)");
@@ -167,7 +172,7 @@ int main(int Argc, char **Argv) {
     return replayFile(*Replay, *BuggyHst);
 
   auto Kinds =
-      parseSchemes(*SchemeList == "all" ? AllSchemes : *SchemeList);
+      parseSchemeList(*SchemeList == "all" ? AllSchemes : *SchemeList);
   if (!Kinds) {
     std::fprintf(stderr, "%s\n", Kinds.error().render().c_str());
     return 2;
@@ -175,6 +180,18 @@ int main(int Argc, char **Argv) {
 
   FuzzOptions Opts;
   Opts.Schemes = Kinds.take();
+  Opts.HstTableLog2 = static_cast<unsigned>(*MachineOpts.HstTableLog2);
+  Opts.Swap = *Swap;
+  if (!SwapTo->empty()) {
+    auto To = parseSchemeName(*SwapTo);
+    if (!To) {
+      std::fprintf(stderr, "unknown scheme '%s' in --swap-to\n",
+                   SwapTo->c_str());
+      return 2;
+    }
+    Opts.SwapTo = *To;
+    Opts.Swap = true; // --swap-to implies --swap.
+  }
   Opts.Seed = static_cast<uint64_t>(*Seed);
   Opts.NumCases = static_cast<uint64_t>(*Cases);
   Opts.SchedulesPerCase = static_cast<unsigned>(*Schedules);

@@ -9,6 +9,9 @@
 ///
 ///   llsc-run prog.s                                # hst, 1 thread
 ///   llsc-run --scheme pico-cas --threads 16 prog.s
+///   llsc-run --scheme adaptive prog.s              # adaptive controller,
+///                                                  # starting scheme from
+///                                                  # --adaptive-start
 ///   llsc-run --dump-symbols --dump sym=shared,len=64 prog.s
 ///   llsc-run --disassemble prog.s                  # print and exit
 ///   llsc-run --stats=json prog.s                   # machine-readable stats
@@ -21,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Machine.h"
+#include "core/MachineOptions.h"
 #include "core/StatsReport.h"
 #include "guest/Assembler.h"
 #include "guest/Disassembler.h"
@@ -67,9 +71,9 @@ int disassembleProgram(const guest::Program &Prog) {
 int main(int Argc, char **Argv) {
   initLogLevelFromEnv();
   ArgParser Args("llsc-run: assemble and execute a GRV guest program");
-  std::string *SchemeName = Args.addString("scheme", "hst", "atomic scheme");
-  int64_t *Threads = Args.addInt("threads", 1, "guest threads");
-  int64_t *MemMb = Args.addInt("mem-mb", 64, "guest memory (MiB)");
+  MachineOptionSpec Spec;
+  Spec.WithAdaptive = true;
+  MachineOptionValues MachineOpts = registerMachineOptions(Args, Spec);
   int64_t *Base = Args.addInt("base", 0x1000, "image load address");
   int64_t *MaxBlocks =
       Args.addInt("max-blocks", 0, "per-thread block budget (0 = none)");
@@ -112,9 +116,9 @@ int main(int Argc, char **Argv) {
   std::stringstream Buffer;
   Buffer << In.rdbuf();
 
-  auto Kind = parseSchemeName(*SchemeName);
-  if (!Kind) {
-    std::fprintf(stderr, "unknown scheme '%s'\n", SchemeName->c_str());
+  auto ConfigOrErr = machineConfigFromOptions(MachineOpts);
+  if (!ConfigOrErr) {
+    std::fprintf(stderr, "%s\n", ConfigOrErr.error().render().c_str());
     return 1;
   }
 
@@ -135,10 +139,7 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  MachineConfig Config;
-  Config.Scheme = *Kind;
-  Config.NumThreads = static_cast<unsigned>(*Threads);
-  Config.MemBytes = static_cast<uint64_t>(*MemMb) << 20;
+  MachineConfig &Config = *ConfigOrErr;
   Config.Profile = *Profile;
   Config.MaxBlocksPerCpu = static_cast<uint64_t>(*MaxBlocks);
   Config.Translation.RuleBasedAtomics = *RuleBased;
@@ -228,6 +229,15 @@ int main(int Argc, char **Argv) {
                                                  Events.SchemeHelperCalls),
                  static_cast<unsigned long long>(
                      Events.InlineInstrumentOps));
+    if (Config.Adaptive)
+      std::fprintf(stderr,
+                   "adaptive: samples %llu | swaps %llu (cooldown-blocked "
+                   "%llu) | final scheme %s\n",
+                   static_cast<unsigned long long>(Events.AdaptiveSamples),
+                   static_cast<unsigned long long>(Events.AdaptiveSwaps),
+                   static_cast<unsigned long long>(
+                       Events.AdaptiveCooldownBlocked),
+                   schemeTraits(Result->FinalSchemeKind).Name);
     if (*Profile) {
       const CpuProfile &Prof = Result->Profile;
       std::fprintf(

@@ -1,0 +1,212 @@
+//===- bench/serve_throughput.cpp - pooled vs fresh batch throughput ------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures what the serve layer's Machine pooling buys: the same batch
+/// of short mixed-scheme jobs is pushed through BatchService twice per
+/// concurrency level — once with ReuseMachines (pool hands reset()
+/// Machines back out) and once without (a fresh Machine per job, the
+/// pre-serve baseline) — and the jobs/s ratio is the headline.
+///
+/// Short jobs are the honest case for pooling: construction (guest-memory
+/// mmap, scheme attach, translator + engine setup) is a fixed per-job tax
+/// the pool amortizes, so the win shrinks as job bodies grow. The PR-5
+/// acceptance gate tracks pooled/fresh >= 1.5 at 16 concurrent jobs
+/// (docs/SERVING.md).
+///
+/// `--json FILE` emits the point list scripts/run_bench.sh merges into
+/// BENCH_serve.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "guest/Assembler.h"
+#include "serve/BatchService.h"
+#include "support/Timing.h"
+
+using namespace llsc;
+using namespace llsc::bench;
+using namespace llsc::serve;
+
+namespace {
+
+/// A short LL/SC fetch-add kernel with a deliberately wide code footprint:
+/// the loop body is \p Units distinct fetch-add sequences, each on its own
+/// word. Short jobs with non-trivial code are the honest case for pooling —
+/// a fresh machine pays construction *and* full retranslation per job,
+/// while a pooled machine reloading the byte-identical image keeps its
+/// code cache warm (Machine::loadProgram hashes the image).
+std::string fetchAddProgram(uint64_t Iters, unsigned Units) {
+  std::string S = formatString("_start: li      r9, #%llu\n",
+                               static_cast<unsigned long long>(Iters));
+  S += "loop:   cbz     r9, done\n";
+  for (unsigned U = 0; U < Units; ++U)
+    S += formatString(R"(        la      r10, word%u
+try%u:  ldxr.d  r1, [r10]
+        addi    r1, r1, #1
+        stxr.d  r2, r1, [r10]
+        cbnz    r2, try%u
+)",
+                      U, U, U);
+  S += "        addi    r9, r9, #-1\n"
+       "        b       loop\n"
+       "done:   halt\n";
+  for (unsigned U = 0; U < Units; ++U)
+    S += formatString("        .align 64\nword%u: .quad 0\n", U);
+  return S;
+}
+
+struct Point {
+  unsigned Concurrency = 0;
+  bool Reuse = false;
+  unsigned Jobs = 0;
+  double Seconds = 0;
+  double JobsPerSec = 0;
+  uint64_t MachinesCreated = 0;
+  uint64_t MachinesReused = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("batch service throughput: pooled vs fresh machines");
+  std::string *WorkerList = Args.addString(
+      "workers", "1,4,16", "comma-separated concurrency levels");
+  int64_t *Jobs = Args.addInt("jobs", 256, "jobs per batch");
+  int64_t *Iters = Args.addInt("iters", 1, "guest loop iterations per job");
+  int64_t *Units = Args.addInt("units", 128, "fetch-add sites per loop body");
+  int64_t *Repeats = Args.addInt("repeats", 3, "batches per point");
+  std::string *JsonOut =
+      Args.addString("json", "", "write machine-readable points to FILE");
+  Args.parse(Argc, Argv);
+
+  std::vector<unsigned> Concurrencies;
+  for (std::string_view Tok : split(*WorkerList, ','))
+    Concurrencies.push_back(static_cast<unsigned>(
+        std::strtoul(std::string(Tok).c_str(), nullptr, 10)));
+
+  // Mixed shapes, as a real batch would have: jobs round-robin over the
+  // scheme x threads list, so the pool must keep several buckets warm.
+  struct Shape {
+    SchemeKind Scheme;
+    unsigned Threads;
+  } Shapes[] = {
+      {SchemeKind::Hst, 2},
+      {SchemeKind::PicoCas, 2},
+      {SchemeKind::Hst, 1},
+      {SchemeKind::Pst, 1},
+  };
+  // Pre-assembled once and shared by every job: batch submitters with a
+  // fixed program do this, and it keeps the assembler out of the
+  // measured loop (it costs the same in both modes).
+  auto ProgOrErr = guest::assemble(fetchAddProgram(
+      static_cast<uint64_t>(*Iters), static_cast<unsigned>(*Units)));
+  if (!ProgOrErr)
+    reportFatalError(ProgOrErr.error());
+  guest::Program Program = ProgOrErr.take();
+
+  Table Results({"workers", "mode", "jobs", "seconds", "jobs/s",
+                 "created", "reused"});
+  std::vector<Point> Points;
+
+  for (unsigned Workers : Concurrencies) {
+    double PooledRate = 0;
+    for (bool Reuse : {false, true}) {
+      double SumSeconds = 0;
+      uint64_t Created = 0, Reused = 0;
+      for (int64_t Rep = 0; Rep < *Repeats; ++Rep) {
+        BatchConfig Config;
+        Config.Workers = Workers;
+        Config.QueueCapacity = static_cast<size_t>(*Jobs);
+        Config.ReuseMachines = Reuse;
+        BatchService Service(Config);
+
+        uint64_t StartNs = monotonicNanos();
+        for (int64_t J = 0; J < *Jobs; ++J) {
+          const Shape &S = Shapes[J % (sizeof(Shapes) / sizeof(Shapes[0]))];
+          JobSpec Spec;
+          Spec.Name = formatString("job-%lld", static_cast<long long>(J));
+          Spec.Program = Program;
+          Spec.Machine.Scheme = S.Scheme;
+          Spec.Machine.NumThreads = S.Threads;
+          // Cooperative execution: the job runs inline on the service
+          // worker's thread. Short jobs in a batch are exactly where the
+          // per-job host-thread spawns of Threaded mode would otherwise
+          // drown the construction-vs-reset differential being measured.
+          Spec.Run.ExecMode = RunOptions::Mode::Cooperative;
+          Spec.Run.BlocksPerSlice = 16;
+          auto Handle = Service.submit(std::move(Spec));
+          if (!Handle)
+            reportFatalError(Handle.error());
+        }
+        Service.drain();
+        SumSeconds +=
+            static_cast<double>(monotonicNanos() - StartNs) * 1e-9;
+        FleetStats Fleet = Service.fleetStats();
+        if (Fleet.Failed)
+          reportFatalError(formatString(
+              "%llu jobs failed",
+              static_cast<unsigned long long>(Fleet.Failed)));
+        Created += Fleet.MachinesCreated;
+        Reused += Fleet.MachinesReused;
+      }
+      Point P;
+      P.Concurrency = Workers;
+      P.Reuse = Reuse;
+      P.Jobs = static_cast<unsigned>(*Jobs);
+      P.Seconds = SumSeconds / static_cast<double>(*Repeats);
+      P.JobsPerSec = P.Seconds > 0
+                         ? static_cast<double>(*Jobs) / P.Seconds
+                         : 0;
+      P.MachinesCreated = Created / static_cast<uint64_t>(*Repeats);
+      P.MachinesReused = Reused / static_cast<uint64_t>(*Repeats);
+      Points.push_back(P);
+      if (Reuse)
+        PooledRate = P.JobsPerSec;
+
+      Results.addRow({formatString("%u", Workers),
+                      Reuse ? "pooled" : "fresh",
+                      formatString("%u", P.Jobs),
+                      formatString("%.4f", P.Seconds),
+                      formatString("%.1f", P.JobsPerSec),
+                      formatString("%llu", static_cast<unsigned long long>(
+                                               P.MachinesCreated)),
+                      formatString("%llu", static_cast<unsigned long long>(
+                                               P.MachinesReused))});
+      std::fprintf(stderr, "  workers=%u %s: %.1f jobs/s\n", Workers,
+                   Reuse ? "pooled" : "fresh", P.JobsPerSec);
+    }
+    const Point &Fresh = Points[Points.size() - 2];
+    std::fprintf(stderr, "  workers=%u pooled/fresh = %.2fx\n", Workers,
+                 Fresh.JobsPerSec > 0 ? PooledRate / Fresh.JobsPerSec : 0);
+  }
+
+  emitTable("batch service throughput (pooled vs fresh)", Results,
+            "serve_throughput.csv");
+
+  if (!JsonOut->empty()) {
+    FILE *Out = std::fopen(JsonOut->c_str(), "w");
+    if (!Out)
+      reportFatalError("cannot open " + *JsonOut);
+    std::fprintf(Out, "{\n\"bench\": \"serve_throughput\",\n\"points\": [");
+    for (size_t I = 0; I < Points.size(); ++I) {
+      const Point &P = Points[I];
+      std::fprintf(Out,
+                   "%s\n  {\"workers\": %u, \"mode\": \"%s\", \"jobs\": %u, "
+                   "\"seconds\": %.6f, \"jobs_per_sec\": %.2f, "
+                   "\"machines_created\": %llu, \"machines_reused\": %llu}",
+                   I ? "," : "", P.Concurrency,
+                   P.Reuse ? "pooled" : "fresh", P.Jobs, P.Seconds,
+                   P.JobsPerSec,
+                   static_cast<unsigned long long>(P.MachinesCreated),
+                   static_cast<unsigned long long>(P.MachinesReused));
+    }
+    std::fprintf(Out, "\n]\n}\n");
+    std::fclose(Out);
+    std::printf("(json written to %s)\n", JsonOut->c_str());
+  }
+  return 0;
+}

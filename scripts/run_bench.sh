@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Engine hot-path benchmark driver: runs bench/micro_dispatch (jump cache,
-# sharded TB lookup, threaded dispatch, guest-memory fast path) plus the
-# micro_ops google-benchmark suite, and merges both into one machine-
-# readable artifact, $OUT/BENCH_engine.json (uploaded by the CI perf-smoke
-# job; thresholds are documented in docs/ENGINE.md).
+# Benchmark driver: runs bench/micro_dispatch (jump cache, sharded TB
+# lookup, threaded dispatch, guest-memory fast path) plus the micro_ops
+# google-benchmark suite and merges both into $OUT/BENCH_engine.json
+# (thresholds in docs/ENGINE.md), then runs bench/serve_throughput
+# (pooled vs fresh Machine batch throughput) into $OUT/BENCH_serve.json
+# (the PR-5 pooled/fresh >= 1.5x gate; docs/SERVING.md). Both artifacts
+# are uploaded by the CI perf-smoke job.
 #
 # Usage: scripts/run_bench.sh [--quick]
 #   BUILD=<dir>  build tree to run from (default: build)
@@ -20,10 +22,12 @@ cd "$OUT"                   # Benchmarks drop their CSVs into the cwd.
 DISPATCH_ARGS=(--scheme hst --threads 1,4,16 --json micro_dispatch.json)
 MICRO_ARGS=(--benchmark_min_time=0.2 --benchmark_out=micro_ops.json
             --benchmark_out_format=json)
+SERVE_ARGS=(--workers 1,4,16 --json serve_throughput.json)
 if [ "$QUICK" = 1 ]; then
   DISPATCH_ARGS+=(--iters 20000 --repeats 1)
   MICRO_ARGS=(--benchmark_min_time=0.05 --benchmark_out=micro_ops.json
               --benchmark_out_format=json)
+  SERVE_ARGS+=(--repeats 1)
 fi
 
 echo "==== micro_dispatch ===="
@@ -57,5 +61,34 @@ with open(path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
 print("wrote", path)
+EOF
+echo "==== serve_throughput ===="
+"$BUILD/bench/serve_throughput" "${SERVE_ARGS[@]}" 2>&1 | tee serve_throughput.txt
+
+echo "==== merge -> $OUT/BENCH_serve.json ===="
+python3 - . <<'EOF'
+import json, sys, os
+out = sys.argv[1]
+with open(os.path.join(out, "serve_throughput.json")) as f:
+    serve = json.load(f)
+points = serve.get("points", [])
+ratios = {}
+for p in points:
+    ratios.setdefault(p["workers"], {})[p["mode"]] = p["jobs_per_sec"]
+speedups = {
+    str(w): round(modes["pooled"] / modes["fresh"], 3)
+    for w, modes in sorted(ratios.items())
+    if modes.get("fresh") and modes.get("pooled")
+}
+merged = {
+    "artifact": "BENCH_serve",
+    "serve_throughput": serve,
+    "pooled_over_fresh": speedups,
+}
+path = os.path.join(out, "BENCH_serve.json")
+with open(path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print("wrote", path, "pooled/fresh:", speedups)
 EOF
 echo "done; outputs in $OUT/"

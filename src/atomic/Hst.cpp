@@ -35,6 +35,7 @@
 #include "runtime/Observe.h"
 #include "support/BitUtils.h"
 #include "support/Compiler.h"
+#include "support/LazyZeroArray.h"
 #include "support/Timing.h"
 
 #include <atomic>
@@ -50,9 +51,7 @@ class Hst : public AtomicScheme {
 public:
   Hst(unsigned TableLog2, SchemeKind Variant)
       : Variant(Variant), NumEntries(1ULL << TableLog2), Mask(NumEntries - 1),
-        Table(std::make_unique<std::atomic<uint32_t>[]>(NumEntries)) {
-    zeroTable();
-  }
+        Table(NumEntries) {}
 
   const SchemeTraits &traits() const override { return schemeTraits(Variant); }
 
@@ -60,7 +59,7 @@ public:
     if (Variant == SchemeKind::Hst) {
       // Publish the table so the engine can execute the fused
       // HstStoreTag micro-op directly (JIT-inlined instrumentation).
-      Ctx->HstTable = Table.get();
+      Ctx->HstTable = Table.data();
       Ctx->HstMask = Mask;
     }
   }
@@ -70,17 +69,18 @@ public:
   void onDetach() override {
     // Unpublish the fused-op table and drop every armed tag so the next
     // scheme starts from a neutral machine.
-    if (Ctx->HstTable == Table.get()) {
+    if (Ctx->HstTable == Table.data()) {
       Ctx->HstTable = nullptr;
       Ctx->HstMask = 0;
     }
     zeroTable();
   }
 
-  void zeroTable() {
-    for (uint64_t Index = 0; Index < NumEntries; ++Index)
-      Table[Index].store(0, std::memory_order_relaxed);
-  }
+  // Lazy table zeroing: dropping the dirty pages costs O(entries the
+  // last run touched), which is what keeps Machine::reset() cheap enough
+  // for per-job reuse in the serve layer (and scheme hot-swap detach
+  // cheap enough for the adaptive controller's cooldown window).
+  void zeroTable() { Table.zero(); }
 
   /// Figure 4's hash: drop the 2 alignment bits, mask to the table size.
   uint64_t entryIndex(uint64_t Addr) const { return (Addr >> 2) & Mask; }
@@ -217,7 +217,7 @@ protected:
   SchemeKind Variant;
   uint64_t NumEntries;
   uint64_t Mask;
-  std::unique_ptr<std::atomic<uint32_t>[]> Table;
+  LazyZeroArray<std::atomic<uint32_t>> Table;
 };
 
 } // namespace

@@ -26,6 +26,7 @@
 #include "runtime/Observe.h"
 #include "support/BitUtils.h"
 #include "support/Compiler.h"
+#include "support/LazyZeroArray.h"
 #include "support/Timing.h"
 
 #include <atomic>
@@ -42,33 +43,29 @@ public:
   HstHtm(unsigned TableLog2, unsigned HtmMaxRetries)
       : NumEntries(1ULL << TableLog2), Mask(NumEntries - 1),
         MaxRetries(HtmMaxRetries),
-        Table(std::make_unique<std::atomic<uint32_t>[]>(NumEntries)) {
-    zeroTable();
-  }
+        Table(NumEntries) {}
 
   const SchemeTraits &traits() const override {
     return schemeTraits(SchemeKind::HstHtm);
   }
 
   void onAttach() override {
-    Ctx->HstTable = Table.get();
+    Ctx->HstTable = Table.data();
     Ctx->HstMask = Mask;
   }
 
   void onReset() override { zeroTable(); }
 
   void onDetach() override {
-    if (Ctx->HstTable == Table.get()) {
+    if (Ctx->HstTable == Table.data()) {
       Ctx->HstTable = nullptr;
       Ctx->HstMask = 0;
     }
     zeroTable();
   }
 
-  void zeroTable() {
-    for (uint64_t Index = 0; Index < NumEntries; ++Index)
-      Table[Index].store(0, std::memory_order_relaxed);
-  }
+  // Lazy zeroing via page drop, same rationale as Hst::zeroTable.
+  void zeroTable() { Table.zero(); }
 
   uint64_t entryIndex(uint64_t Addr) const { return (Addr >> 2) & Mask; }
   static uint32_t tagFor(unsigned Tid) { return Tid + 1; }
@@ -185,7 +182,7 @@ private:
   uint64_t NumEntries;
   uint64_t Mask;
   unsigned MaxRetries;
-  std::unique_ptr<std::atomic<uint32_t>[]> Table;
+  LazyZeroArray<std::atomic<uint32_t>> Table;
 };
 
 } // namespace

@@ -9,6 +9,7 @@
 #include "guest/Assembler.h"
 #include "mem/FaultGuard.h"
 #include "support/BitUtils.h"
+#include "support/Compiler.h"
 #include "support/Logging.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
@@ -90,21 +91,84 @@ ErrorOr<std::unique_ptr<Machine>> Machine::create(const MachineConfig &Config) {
   return M;
 }
 
-ErrorOr<bool> Machine::loadProgram(guest::Program NewProg) {
+/// Identity of a program image as the translator sees it: the bytes and
+/// where they sit. Symbols are metadata; they never reach translation.
+static uint64_t programImageHash(const guest::Program &Prog) {
+  uint64_t Hash = 0xcbf29ce484222325ULL; // FNV-1a 64.
+  auto Mix = [&Hash](uint64_t V) {
+    for (unsigned I = 0; I < 8; ++I) {
+      Hash ^= (V >> (I * 8)) & 0xff;
+      Hash *= 0x100000001b3ULL;
+    }
+  };
+  Mix(Prog.baseAddr());
+  Mix(Prog.entryAddr());
+  Mix(Prog.image().size());
+  for (uint8_t Byte : Prog.image()) {
+    Hash ^= Byte;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+ErrorOr<void> Machine::loadProgram(guest::Program NewProg) {
   auto LoadedOrErr = Mem->loadProgram(NewProg);
   if (!LoadedOrErr)
     return LoadedOrErr.error();
+  // Translations are a pure function of the image bytes plus per-machine
+  // translator config and the attached scheme (whose change paths flush on
+  // their own), so a byte-identical reload — the pooled-reuse pattern in
+  // serve/MachinePool.h — keeps the previous job's code cache warm and
+  // skips retranslation entirely. Guest stores into the code region are
+  // not tracked (the engine assumes no self-modifying code), which is the
+  // same contract a single run already has.
+  uint64_t Hash = programImageHash(NewProg);
+  if (Hash != LoadedImageHash) {
+    Cache->flush();
+    LoadedImageHash = Hash;
+  }
   Prog = std::move(NewProg);
-  Cache->flush();
-  return true;
+  return {};
 }
 
-ErrorOr<bool> Machine::loadAssembly(std::string_view Source,
+ErrorOr<void> Machine::loadAssembly(std::string_view Source,
                                     uint64_t BaseAddr) {
   auto ProgOrErr = guest::assemble(Source, BaseAddr);
   if (!ProgOrErr)
     return ProgOrErr.error();
   return loadProgram(ProgOrErr.take());
+}
+
+void Machine::reset() {
+  // 1. Scheme state: releases monitors, restores PST page protections,
+  //    zeroes HST tables — the reset() half of the lifecycle contract.
+  Ctx.Scheme->reset();
+
+  // 2. Counter rollover. The previous job's numbers were merged into its
+  //    JobReport by collectResult when the run ended; zero the live
+  //    blocks so the next job starts clean.
+  for (VCpu &Cpu : Cpus)
+    Cpu.resetForRun(/*EntryPc=*/0);
+  AdaptiveEvents.reset();
+  if (Htm)
+    Htm->resetStats();
+
+  // 3. Code cache: live translations survive the reset — they depend only
+  //    on the image bytes, and loadProgram() flushes if the next image
+  //    differs — so a pooled machine re-running the same program (the
+  //    batch-service steady state) skips retranslation entirely. Blocks
+  //    retired by earlier hot-swap flushes, and the retired schemes their
+  //    helpers reference, are freed now: no vCPU runs between jobs, so
+  //    nothing can hold a stale pointer.
+  Cache->reapRetired();
+  RetiredSchemes.clear();
+
+  // 4. Guest memory and program. resetZero punches the backing pages out
+  //    of the memfd — O(1) RSS release instead of a 64 MiB memset — and
+  //    the next touch faults in a fresh zero page.
+  Mem->resetZero();
+  Prog = guest::Program();
+  ++Resets;
 }
 
 void Machine::setScheme(std::unique_ptr<AtomicScheme> NewScheme) {
@@ -192,8 +256,16 @@ void Machine::prepareRun() {
   }
 }
 
-RunResult Machine::collectResult(bool AllHalted, uint64_t FaultsBefore,
-                                 uint64_t LockWaitsBefore) const {
+Machine::RunBaseline Machine::sampleBaseline() const {
+  RunBaseline Base;
+  Base.Faults = FaultGuard::recoveredFaultCount();
+  Base.LockWaits = Cache->lockWaits();
+  Base.ExclSections = Excl.exclusiveCount();
+  return Base;
+}
+
+RunResult Machine::collectResult(bool AllHalted,
+                                 const RunBaseline &Base) const {
   RunResult Result;
   Result.AllHalted = AllHalted;
   for (const VCpu &Cpu : Cpus) {
@@ -207,9 +279,12 @@ RunResult Machine::collectResult(bool AllHalted, uint64_t FaultsBefore,
   Result.FinalSchemeKind = Scheme->traits().Kind;
   if (Htm)
     Result.Htm = Htm->stats();
-  Result.ExclusiveSections = Excl.exclusiveCount();
-  Result.RecoveredFaults = FaultGuard::recoveredFaultCount() - FaultsBefore;
-  Result.TbLockWaits = Cache->lockWaits() - LockWaitsBefore;
+  // Deltas, not absolutes: the underlying totals are monotonic across
+  // Machine reuse (reset() does not rewind them), so each job's report
+  // covers only its own run.
+  Result.ExclusiveSections = Excl.exclusiveCount() - Base.ExclSections;
+  Result.RecoveredFaults = FaultGuard::recoveredFaultCount() - Base.Faults;
+  Result.TbLockWaits = Cache->lockWaits() - Base.LockWaits;
   // Make the run visible process-wide: tools and long-lived embedders read
   // the aggregated events from CounterRegistry::snapshot().
   Result.Events.flushToRegistry();
@@ -221,10 +296,34 @@ RunResult Machine::collectResult(bool AllHalted, uint64_t FaultsBefore,
   return Result;
 }
 
-ErrorOr<RunResult> Machine::run() {
+ErrorOr<RunResult> Machine::run(const RunOptions &Opts) {
+  if (Prog.image().empty())
+    return makeError("no program loaded (run after create or reset "
+                     "requires loadProgram/loadAssembly first)");
+
+  // Per-run budget overrides (the serve layer's per-job deadlines and
+  // block budgets); the engine reads them at loop entry, so setting them
+  // here — before any vCPU starts — is race-free.
+  EngineBudgets Budgets;
+  Budgets.MaxBlocksPerCpu =
+      Opts.MaxBlocksPerCpu.value_or(Config.MaxBlocksPerCpu);
+  Budgets.MaxWallNanosPerCpu = static_cast<uint64_t>(
+      Opts.MaxSecondsPerCpu.value_or(Config.MaxSecondsPerCpu) * 1e9);
+  Exec->setBudgets(Budgets);
+
+  switch (Opts.ExecMode) {
+  case RunOptions::Mode::Threaded:
+    return runThreaded();
+  case RunOptions::Mode::Cooperative:
+  case RunOptions::Mode::Scheduled:
+    return runSliced(Opts);
+  }
+  llsc_unreachable("bad RunOptions::Mode");
+}
+
+ErrorOr<RunResult> Machine::runThreaded() {
   prepareRun();
-  uint64_t FaultsBefore = FaultGuard::recoveredFaultCount();
-  uint64_t LockWaitsBefore = Cache->lockWaits();
+  RunBaseline Base = sampleBaseline();
 
   std::vector<std::thread> Threads;
   std::vector<ErrorOr<RunStatus>> Statuses(Config.NumThreads,
@@ -275,7 +374,7 @@ ErrorOr<RunResult> Machine::run() {
       AllHalted = false;
   }
 
-  RunResult Result = collectResult(AllHalted, FaultsBefore, LockWaitsBefore);
+  RunResult Result = collectResult(AllHalted, Base);
   Result.WallSeconds = static_cast<double>(WallEnd - WallStart) * 1e-9;
   return Result;
 }
@@ -343,19 +442,21 @@ void Machine::adaptiveLoop(const std::atomic<bool> &Stop) {
   AdaptiveEvents.AdaptiveCooldownBlocked = Controller.cooldownBlocked();
 }
 
-ErrorOr<RunResult> Machine::runCooperative(uint64_t BlocksPerSlice) {
-  RoundRobinSchedule Sched;
-  return runScheduled(Sched, BlocksPerSlice);
-}
+ErrorOr<RunResult> Machine::runSliced(const RunOptions &Opts) {
+  assert(Opts.BlocksPerSlice > 0 && "slice must be positive");
+  // Cooperative mode is Scheduled mode with the canonical round-robin
+  // controller and no observer.
+  RoundRobinSchedule RoundRobin;
+  ScheduleController *Sched = Opts.Sched;
+  if (Opts.ExecMode == RunOptions::Mode::Cooperative)
+    Sched = &RoundRobin;
+  assert(Sched && "Scheduled mode requires RunOptions::Sched");
+  SliceObserver *Observer = Opts.Observer;
+  uint64_t BlocksPerSlice = Opts.BlocksPerSlice;
 
-ErrorOr<RunResult> Machine::runScheduled(ScheduleController &Sched,
-                                         uint64_t BlocksPerSlice,
-                                         SliceObserver *Observer) {
-  assert(BlocksPerSlice > 0 && "slice must be positive");
   prepareRun();
-  uint64_t FaultsBefore = FaultGuard::recoveredFaultCount();
-  uint64_t LockWaitsBefore = Cache->lockWaits();
-  Sched.begin(Config.NumThreads);
+  RunBaseline Base = sampleBaseline();
+  Sched->begin(Config.NumThreads);
 
   // A vCPU leaves the runnable set when it halts or exhausts its block /
   // time budget (TimedOut); the run ends when the set empties or either
@@ -373,7 +474,7 @@ ErrorOr<RunResult> Machine::runScheduled(ScheduleController &Sched,
     if (Runnable.empty())
       break;
 
-    int Choice = Sched.pickNext(Runnable);
+    int Choice = Sched->pickNext(Runnable);
     if (Choice < 0)
       break;
     assert(static_cast<unsigned>(Choice) < Config.NumThreads &&
@@ -399,7 +500,7 @@ ErrorOr<RunResult> Machine::runScheduled(ScheduleController &Sched,
   for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid)
     AllHalted = AllHalted && Cpus[Tid].Halted;
 
-  RunResult Result = collectResult(AllHalted, FaultsBefore, LockWaitsBefore);
+  RunResult Result = collectResult(AllHalted, Base);
   Result.WallSeconds = static_cast<double>(WallEnd - WallStart) * 1e-9;
   return Result;
 }

@@ -11,7 +11,11 @@
 /// QEMU user-mode in miniature, with the scheme swappable so the paper's
 /// design space can be measured side by side.
 ///
-/// Typical use:
+/// A Machine is a reusable *session*: create → load → run → reset →
+/// load → run → ... The serve layer (src/serve/) pools Machines per
+/// MachineConfig and streams jobs through them, amortizing construction
+/// cost (guest-memory mmap, scheme attach, translator/engine setup)
+/// across jobs. Typical one-shot use:
 /// \code
 ///   MachineConfig Config;
 ///   Config.Scheme = SchemeKind::Hst;
@@ -22,6 +26,7 @@
 ///   auto Result = M.run();            // one host thread per guest thread
 ///   printf("%f s, %llu SC failures\n", Result->WallSeconds,
 ///          Result->Total.StoreCondFailures);
+///   M.reset();                        // ready for the next job
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -41,6 +46,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -81,10 +87,42 @@ struct MachineConfig {
   SoftHtmConfig SoftHtm;
 };
 
-/// Aggregate outcome of one run().
-struct RunResult {
+/// How run(const RunOptions &) drives the vCPUs, and the per-run knobs
+/// that used to be spread across three run* entry points. A
+/// default-constructed RunOptions reproduces the classic run(): one host
+/// thread per vCPU, budgets from MachineConfig.
+struct RunOptions {
+  enum class Mode {
+    Threaded,    ///< One host thread per vCPU (production mode).
+    Cooperative, ///< Single host thread, round-robin in tid order.
+    Scheduled,   ///< Single host thread under an external controller.
+  };
+  Mode ExecMode = Mode::Threaded;
+
+  /// Cooperative/Scheduled: blocks one vCPU executes per slice.
+  uint64_t BlocksPerSlice = 1;
+  /// Scheduled only: picks the next vCPU each slice (required).
+  ScheduleController *Sched = nullptr;
+  /// Scheduled only: observes machine state after every slice (optional).
+  SliceObserver *Observer = nullptr;
+
+  // --- Per-run budget overrides (the serve layer's per-job deadlines) ------
+  // Unset = inherit the MachineConfig value; an explicit 0 = unlimited.
+
+  /// Stop each vCPU after this many blocks.
+  std::optional<uint64_t> MaxBlocksPerCpu;
+  /// Stop each vCPU after this much wall time (seconds).
+  std::optional<double> MaxSecondsPerCpu;
+};
+
+/// The reusable statistics payload of one run — one *job* in the serve
+/// layer (src/serve/), which aggregates JobReports across pooled
+/// Machines. Everything here is harvested by Machine::collectResult when
+/// a run ends and is self-contained: safe to keep after the Machine has
+/// been reset() and handed to the next job.
+struct JobReport {
   double WallSeconds = 0;
-  bool AllHalted = true; ///< False if any vCPU hit the block budget.
+  bool AllHalted = true; ///< False if any vCPU hit a block/time budget.
   CpuCounters Total;
   CpuProfile Profile;
   std::vector<CpuCounters> PerCpu;
@@ -93,8 +131,8 @@ struct RunResult {
   EventCounters Events;
   std::vector<EventCounters> PerCpuEvents;
   HtmStats Htm;
-  uint64_t ExclusiveSections = 0;
-  uint64_t RecoveredFaults = 0; ///< Process-wide delta during the run.
+  uint64_t ExclusiveSections = 0; ///< Machine-wide delta during the run.
+  uint64_t RecoveredFaults = 0;   ///< Process-wide delta during the run.
   /// TbCache shard-mutex contention events during the run (delta of
   /// TbCache::lockWaits(), reported as engine.shard.lock_waits).
   uint64_t TbLockWaits = 0;
@@ -102,6 +140,11 @@ struct RunResult {
   /// differs from MachineConfig::Scheme after an adaptive hot-swap.
   SchemeKind FinalSchemeKind = SchemeKind::Hst;
 };
+
+/// Aggregate outcome of one run(). The statistics live in the JobReport
+/// base so the serve layer can slice them off a result and file them per
+/// job; RunResult remains the name run() returns.
+struct RunResult : JobReport {};
 
 /// The emulator facade.
 class Machine {
@@ -114,32 +157,81 @@ public:
   Machine(const Machine &) = delete;
   Machine &operator=(const Machine &) = delete;
 
-  /// Loads an assembled program and flushes the code cache.
-  ErrorOr<bool> loadProgram(guest::Program Prog);
+  /// Loads an assembled program. The code cache is flushed only when the
+  /// image differs (by content hash) from the one the cached translations
+  /// were built from: reloading a byte-identical program — what a pooled
+  /// machine does between jobs — keeps the cache warm.
+  ErrorOr<void> loadProgram(guest::Program Prog);
 
   /// Assembles \p Source at \p BaseAddr and loads it.
-  ErrorOr<bool> loadAssembly(std::string_view Source,
+  ErrorOr<void> loadAssembly(std::string_view Source,
                              uint64_t BaseAddr = 0x1000);
 
+  /// Runs the loaded program to completion under \p Opts — the one run
+  /// entry point (docs/API.md "Session lifecycle & pooling"). Register
+  /// conventions at entry: r0 = tid, sp = top-of-stack. In Scheduled mode
+  /// either side can end the run early (Opts.Sched by returning a
+  /// negative tid, Opts.Observer by returning false); RunResult.AllHalted
+  /// then reflects the actual vCPU states.
+  ErrorOr<RunResult> run(const RunOptions &Opts);
+
+  // --- Legacy run spellings -------------------------------------------------
+  // Thin wrappers over run(RunOptions); kept so existing drivers and the
+  // examples keep compiling. Slated for [[deprecated]] in a future PR —
+  // see the follow-up note in docs/API.md.
+
   /// Runs every vCPU from the program entry to HALT, one host thread per
-  /// vCPU. Register conventions at entry: r0 = tid, sp = top-of-stack.
-  ErrorOr<RunResult> run();
+  /// vCPU. Equivalent to run(RunOptions{}).
+  ErrorOr<RunResult> run() { return run(RunOptions()); }
 
   /// Deterministic single-host-thread mode: executes vCPUs round-robin,
   /// \p BlocksPerSlice blocks at a time, in tid order.
-  ErrorOr<RunResult> runCooperative(uint64_t BlocksPerSlice = 1);
+  ErrorOr<RunResult> runCooperative(uint64_t BlocksPerSlice = 1) {
+    RunOptions Opts;
+    Opts.ExecMode = RunOptions::Mode::Cooperative;
+    Opts.BlocksPerSlice = BlocksPerSlice;
+    return run(Opts);
+  }
 
   /// Deterministic single-host-thread mode under external schedule
   /// control: every slice, \p Sched picks which runnable vCPU executes
   /// the next \p BlocksPerSlice blocks, and \p Observer (optional) is
-  /// called after the slice with full access to machine state. Either
-  /// side can end the run early (Sched by returning a negative tid,
-  /// Observer by returning false); RunResult.AllHalted then reflects the
-  /// actual vCPU states. This is the execution substrate of the
-  /// concurrency fuzzer (docs/FUZZING.md).
+  /// called after the slice with full access to machine state. This is
+  /// the execution substrate of the concurrency fuzzer (docs/FUZZING.md).
   ErrorOr<RunResult> runScheduled(ScheduleController &Sched,
                                   uint64_t BlocksPerSlice = 1,
-                                  SliceObserver *Observer = nullptr);
+                                  SliceObserver *Observer = nullptr) {
+    RunOptions Opts;
+    Opts.ExecMode = RunOptions::Mode::Scheduled;
+    Opts.BlocksPerSlice = BlocksPerSlice;
+    Opts.Sched = &Sched;
+    Opts.Observer = Observer;
+    return run(Opts);
+  }
+
+  /// Restores machine-neutral state so the same Machine can serve another
+  /// job without paying construction cost again (guest-memory mmap,
+  /// scheme attach, translator/engine setup are all kept). Must not be
+  /// called while a run is in flight. In order:
+  ///
+  ///  1. scheme reset() — monitors released, PST page protections
+  ///     restored, HST tables zeroed (the PR 4 lifecycle contract);
+  ///  2. counter rollover — per-vCPU counters/profiles (already merged
+  ///     into the previous run's JobReport by collectResult) are zeroed,
+  ///     HTM stats reset, so the next job starts from a clean slate;
+  ///  3. code-cache housekeeping — live translations are *retained*
+  ///     (loadProgram flushes if the next image differs, so they are only
+  ///     reused for a byte-identical reload); blocks retired by earlier
+  ///     hot-swap flushes are reaped, along with the retired schemes
+  ///     their helpers reference;
+  ///  4. guest memory re-zeroed via fallocate hole-punch (pages return
+  ///     to the kernel; faulted back as zero pages on next touch), and
+  ///     the loaded program dropped — load*() must be called again.
+  void reset();
+
+  /// Number of times reset() completed on this machine — jobs served
+  /// equals resets + 1 while the machine is in a pool.
+  uint64_t resetCount() const { return Resets; }
 
   // --- Component access (benchmarks, tests, litmus drivers) ----------------
 
@@ -194,11 +286,23 @@ private:
   /// Body of the adaptive controller thread (Config.Adaptive).
   void adaptiveLoop(const std::atomic<bool> &Stop);
 
+  /// run(RunOptions) bodies per mode.
+  ErrorOr<RunResult> runThreaded();
+  ErrorOr<RunResult> runSliced(const RunOptions &Opts);
+
+  /// Totals sampled at run start so collectResult can report deltas
+  /// (process-wide fault count, cache-wide lock waits, machine-wide
+  /// exclusive sections — all monotonic across Machine reuse).
+  struct RunBaseline {
+    uint64_t Faults = 0;
+    uint64_t LockWaits = 0;
+    uint64_t ExclSections = 0;
+  };
+  RunBaseline sampleBaseline() const;
+
   /// Collects counters/profiles into a RunResult (wall time filled by the
-  /// caller). \p FaultsBefore / \p LockWaitsBefore are the process- and
-  /// cache-wide totals sampled at run start, so the result reports deltas.
-  RunResult collectResult(bool AllHalted, uint64_t FaultsBefore,
-                          uint64_t LockWaitsBefore) const;
+  /// caller); \p Base turns the monotonic totals into per-run deltas.
+  RunResult collectResult(bool AllHalted, const RunBaseline &Base) const;
 
   MachineConfig Config;
   std::unique_ptr<GuestMemory> Mem;
@@ -219,6 +323,10 @@ private:
   MachineContext Ctx;
   std::vector<VCpu> Cpus;
   guest::Program Prog;
+  /// Content hash of the image the current cache contents were translated
+  /// from; loadProgram compares against it to decide whether to flush.
+  uint64_t LoadedImageHash = 0;
+  uint64_t Resets = 0;
 };
 
 } // namespace llsc

@@ -13,7 +13,7 @@
 
 using namespace llsc;
 
-StatsReport::StatsReport(const RunResult &Result)
+StatsReport::StatsReport(const JobReport &Result)
     : WallSeconds(Result.WallSeconds), AllHalted(Result.AllHalted),
       FinalScheme(schemeTraits(Result.FinalSchemeKind).Name) {
   auto Add = [this](const char *Name, uint64_t Value) {
@@ -66,38 +66,58 @@ uint64_t StatsReport::metric(std::string_view Name) const {
   return 0;
 }
 
-std::string StatsReport::renderJson() const {
+std::string StatsReport::renderBody(bool Compact) const {
+  // The pretty and compact forms share one emitter so the key order (the
+  // schema contract) cannot drift between them; Compact only changes the
+  // separators and drops the per_cpu array.
+  const char *Nl = Compact ? "" : "\n";
+  const char *Ind = Compact ? "" : "  ";
   std::string Out;
-  Out.reserve(4096);
-  char Buf[160];
+  Out.reserve(Compact ? 1024 : 4096);
+  char Buf[192];
 
   std::snprintf(Buf, sizeof(Buf),
-                "{\n\"schema_version\": %u,\n\"final_scheme\": \"%s\",\n"
-                "\"wall_seconds\": %.9f,\n\"all_halted\": %s,\n",
-                SchemaVersion, FinalScheme.c_str(), WallSeconds,
-                AllHalted ? "true" : "false");
+                "{%s\"schema_version\": %u,%s\"job_id\": %" PRIu64
+                ",%s\"reused_machine\": %s,%s\"final_scheme\": \"%s\",%s"
+                "\"wall_seconds\": %.9f,%s\"all_halted\": %s,%s",
+                Nl, SchemaVersion, Nl, JobId, Nl,
+                ReusedMachine ? "true" : "false", Nl, FinalScheme.c_str(),
+                Nl, WallSeconds, Nl, AllHalted ? "true" : "false", Nl);
   Out += Buf;
 
   Out += "\"metrics\": {";
   for (size_t I = 0; I < Metrics.size(); ++I) {
-    std::snprintf(Buf, sizeof(Buf), "%s\n  \"%s\": %" PRIu64,
-                  I ? "," : "", Metrics[I].Name.c_str(), Metrics[I].Value);
+    std::snprintf(Buf, sizeof(Buf), "%s%s%s\"%s\": %" PRIu64, I ? "," : "",
+                  Nl, Ind, Metrics[I].Name.c_str(), Metrics[I].Value);
     Out += Buf;
   }
-  Out += "\n},\n";
+  Out += Nl;
+  Out += "}";
 
-  Out += "\"per_cpu\": [";
-  for (size_t Tid = 0; Tid < PerCpuEvents.size(); ++Tid) {
-    std::snprintf(Buf, sizeof(Buf), "%s\n  {\"tid\": %zu", Tid ? "," : "",
-                  Tid);
-    Out += Buf;
-    for (const StatMetric &M : PerCpuEvents[Tid]) {
-      std::snprintf(Buf, sizeof(Buf), ", \"%s\": %" PRIu64, M.Name.c_str(),
-                    M.Value);
+  if (!Compact) {
+    Out += ",\n\"per_cpu\": [";
+    for (size_t Tid = 0; Tid < PerCpuEvents.size(); ++Tid) {
+      std::snprintf(Buf, sizeof(Buf), "%s\n  {\"tid\": %zu", Tid ? "," : "",
+                    Tid);
       Out += Buf;
+      for (const StatMetric &M : PerCpuEvents[Tid]) {
+        std::snprintf(Buf, sizeof(Buf), ", \"%s\": %" PRIu64,
+                      M.Name.c_str(), M.Value);
+        Out += Buf;
+      }
+      Out += "}";
     }
-    Out += "}";
+    Out += "\n]";
   }
-  Out += "\n]\n}\n";
+  Out += Nl;
+  Out += "}\n";
   return Out;
+}
+
+std::string StatsReport::renderJson() const {
+  return renderBody(/*Compact=*/false);
+}
+
+std::string StatsReport::renderJsonLine() const {
+  return renderBody(/*Compact=*/true);
 }

@@ -30,7 +30,7 @@
 
 namespace llsc {
 
-struct RunResult;
+struct JobReport;
 
 /// One named integer metric.
 struct StatMetric {
@@ -38,14 +38,29 @@ struct StatMetric {
   uint64_t Value = 0;
 };
 
-/// A flattened snapshot of one RunResult. Cheap to build (one pass over
-/// the result); safe to keep after the RunResult is gone.
+/// A flattened snapshot of one JobReport (a RunResult is-a JobReport, so
+/// both feed it). Cheap to build (one pass over the report); safe to keep
+/// after the report is gone.
 class StatsReport {
 public:
-  explicit StatsReport(const RunResult &Result);
+  explicit StatsReport(const JobReport &Result);
 
   /// All metrics, in stable catalogue order.
   const std::vector<StatMetric> &metrics() const { return Metrics; }
+
+  /// Appends an extra metric after the catalogue (the serve layer adds
+  /// its per-job serve.* counters here; docs/OBSERVABILITY.md). Call
+  /// before rendering; duplicate names are the caller's bug.
+  void addMetric(std::string Name, uint64_t Value) {
+    Metrics.push_back({std::move(Name), Value});
+  }
+
+  /// Stamps the job identity keys (schema v3). Outside the serve layer
+  /// they keep their defaults: job_id 0, reused_machine false.
+  void setJob(uint64_t Id, bool Reused) {
+    JobId = Id;
+    ReusedMachine = Reused;
+  }
 
   /// Looks up one metric by dotted name; 0 if absent (so CSV writers can
   /// ask for scheme-specific counters unconditionally).
@@ -62,21 +77,34 @@ public:
   /// keyed map) is not a schema change. History:
   ///   1: {"wall_seconds", "all_halted", "metrics", "per_cpu"}
   ///   2: + leading "schema_version", "final_scheme" keys
-  static constexpr unsigned SchemaVersion = 2;
+  ///   3: + "job_id", "reused_machine" keys after "schema_version"
+  ///      (serve-layer job identity; 0/false outside it), and the
+  ///      "metrics" map may carry appended serve.* per-job counters
+  static constexpr unsigned SchemaVersion = 3;
 
   /// Renders the whole report as a JSON object:
-  ///   {"schema_version": 2, "final_scheme": "...", "wall_seconds": ...,
-  ///    "all_halted": ..., "metrics": {...},
-  ///    "per_cpu": [{"tid": 0, ...events...}, ...]}
+  ///   {"schema_version": 3, "job_id": 0, "reused_machine": false,
+  ///    "final_scheme": "...", "wall_seconds": ..., "all_halted": ...,
+  ///    "metrics": {...}, "per_cpu": [{"tid": 0, ...events...}, ...]}
   /// Key order is deterministic: top-level keys exactly as above,
-  /// "metrics" in stable catalogue order (the metrics() order), per-cpu
-  /// rows in tid order. Metric keys inside "metrics" are the same dotted
-  /// names metrics() reports. Ends with a newline.
+  /// "metrics" in stable catalogue order (the metrics() order, plus any
+  /// addMetric() extras at the end), per-cpu rows in tid order. Metric
+  /// keys inside "metrics" are the same dotted names metrics() reports.
+  /// Ends with a newline.
   std::string renderJson() const;
 
+  /// renderJson() compressed to one line with the "per_cpu" array
+  /// omitted — the llsc-serve per-job JSON-lines shape (docs/SERVING.md).
+  /// Same schema version and key order otherwise. Ends with a newline.
+  std::string renderJsonLine() const;
+
 private:
+  std::string renderBody(bool Compact) const;
+
   double WallSeconds = 0;
   bool AllHalted = true;
+  uint64_t JobId = 0;
+  bool ReusedMachine = false;
   std::string FinalScheme;
   std::vector<StatMetric> Metrics;
   /// Per-vCPU event rows for the JSON "per_cpu" array: one vector of

@@ -42,6 +42,14 @@ struct EngineConfig {
   uint64_t MaxWallNanosPerCpu = 0;
 };
 
+/// Per-run execution budgets, settable between runs without rebuilding
+/// the Engine — how Machine::run(RunOptions) applies per-job deadlines
+/// and block budgets on a pooled, reused Machine (docs/SERVING.md).
+struct EngineBudgets {
+  uint64_t MaxBlocksPerCpu = 0;    ///< 0 = unlimited.
+  uint64_t MaxWallNanosPerCpu = 0; ///< 0 = unlimited.
+};
+
 /// Why execution of a vCPU stopped.
 enum class RunStatus {
   Halted,   ///< The guest executed HALT.
@@ -63,6 +71,14 @@ public:
   /// Runs at most \p MaxBlocks blocks of \p Cpu without registering as a
   /// running thread (single-threaded cooperative mode).
   ErrorOr<RunStatus> stepBlocks(VCpu &Cpu, uint64_t MaxBlocks);
+
+  /// Replaces the block/wall budgets for subsequent runs. Must not be
+  /// called while any vCPU is executing — Machine::run applies it before
+  /// starting the vCPU threads.
+  void setBudgets(const EngineBudgets &Budgets) {
+    Config.MaxBlocksPerCpu = Budgets.MaxBlocksPerCpu;
+    Config.MaxWallNanosPerCpu = Budgets.MaxWallNanosPerCpu;
+  }
 
 private:
   /// How a block handed control back.

@@ -12,6 +12,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <sys/mman.h>
 #include <unistd.h>
 
@@ -190,7 +191,7 @@ bool GuestMemory::remapPageBack(uint64_t PageIdx, bool Writable) {
   return true;
 }
 
-ErrorOr<bool> GuestMemory::loadProgram(const guest::Program &Prog) {
+ErrorOr<void> GuestMemory::loadProgram(const guest::Program &Prog) {
   if (Prog.baseAddr() + Prog.image().size() > Size)
     return makeError(
         "program image [0x%llx, 0x%llx) does not fit in guest memory of "
@@ -200,7 +201,27 @@ ErrorOr<bool> GuestMemory::loadProgram(const guest::Program &Prog) {
         static_cast<unsigned long long>(Size));
   std::memcpy(ShadowBase + Prog.baseAddr(), Prog.image().data(),
               Prog.image().size());
-  return true;
+  return {};
 }
 
 void GuestMemory::zeroAll() { std::memset(ShadowBase, 0, Size); }
+
+void GuestMemory::resetZero() {
+  // Punch the whole backing file out of the memfd: faulted-in pages are
+  // returned to the kernel and the next touch of any address faults in a
+  // fresh zero page. Cost scales with the pages the previous job actually
+  // dirtied, not with the configured memory size — the reuse win over
+  // zeroAll()'s full-size memset. Both mappings observe it (MAP_SHARED of
+  // the same file). Requires every primary page to be read-write, i.e.
+  // call only after the scheme released its protections.
+  assert(fastPathAllowed() &&
+         "resetZero with restricted pages (scheme not reset?)");
+  if (fallocate(MemFd, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE, 0,
+                static_cast<off_t>(Size)) == 0)
+    return;
+  // tmpfs without hole-punch support (ancient kernels): fall back to the
+  // full memset.
+  LLSC_WARN("fallocate(PUNCH_HOLE) failed (%s); falling back to memset",
+            std::strerror(errno));
+  zeroAll();
+}

@@ -220,10 +220,17 @@ public:
 
   /// Copies \p Prog's image into guest memory at its base address.
   /// \returns an error if the image does not fit.
-  ErrorOr<bool> loadProgram(const guest::Program &Prog);
+  ErrorOr<void> loadProgram(const guest::Program &Prog);
 
   /// Fills all of guest memory with zero (test isolation helper).
   void zeroAll();
+
+  /// Re-zeroes all of guest memory for machine reuse by punching the
+  /// backing pages out of the memfd (dirty pages are released to the
+  /// kernel; the next touch faults in a zero page). Every primary page
+  /// must be unrestricted — callers reset the scheme first. Falls back to
+  /// zeroAll() where hole-punching is unsupported.
+  void resetZero();
 
 private:
   GuestMemory() = default;

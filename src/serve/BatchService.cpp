@@ -1,0 +1,248 @@
+//===- serve/BatchService.cpp - Batch job service ----------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/BatchService.h"
+
+#include "support/Stats.h"
+#include "support/Timing.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+
+using namespace llsc;
+using namespace llsc::serve;
+
+const char *serve::jobStateName(JobState State) {
+  switch (State) {
+  case JobState::Queued:
+    return "queued";
+  case JobState::Running:
+    return "running";
+  case JobState::Done:
+    return "done";
+  case JobState::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+BatchService::BatchService(const BatchConfig &Config)
+    : Config(Config),
+      Pool(Config.MaxIdlePerKey ? Config.MaxIdlePerKey
+                                : std::max(1u, Config.Workers)),
+      Queue(std::max<size_t>(1, Config.QueueCapacity)) {
+  CounterRegistry &R = CounterRegistry::instance();
+  Counters.Submitted = R.counter("serve.jobs.submitted");
+  Counters.Completed = R.counter("serve.jobs.completed");
+  Counters.Failed = R.counter("serve.jobs.failed");
+  Counters.Retried = R.counter("serve.jobs.retried");
+  Counters.DeadlineExceeded = R.counter("serve.jobs.deadline_exceeded");
+  Counters.PoolCreated = R.counter("serve.pool.created");
+  Counters.PoolReused = R.counter("serve.pool.reused");
+
+  unsigned NumWorkers = std::max(1u, Config.Workers);
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+BatchService::~BatchService() { shutdown(); }
+
+ErrorOr<JobHandle> BatchService::submit(JobSpec Spec) {
+  if (ShutDown.load(std::memory_order_acquire))
+    return makeError("batch service is shut down");
+
+  PendingJob Job;
+  Job.Spec = std::move(Spec);
+  Job.JobId = NextJobId.fetch_add(1, std::memory_order_relaxed);
+  Job.SubmitNs = monotonicNanos();
+  Job.Ticket = std::make_shared<detail::JobTicket>();
+
+  JobHandle Handle(Job.JobId, Job.Ticket);
+
+  // Count the submission before the push so drain()'s "finished ==
+  // submitted" predicate can never observe a finished job that was not
+  // yet counted as submitted.
+  {
+    std::lock_guard<std::mutex> Lock(FleetMutex);
+    ++Fleet.Submitted;
+  }
+  Counters.Submitted->fetch_add(1, std::memory_order_relaxed);
+
+  if (!Queue.push(std::move(Job))) {
+    std::lock_guard<std::mutex> Lock(FleetMutex);
+    --Fleet.Submitted;
+    Counters.Submitted->fetch_sub(1, std::memory_order_relaxed);
+    return makeError("batch service is shut down");
+  }
+  return Handle;
+}
+
+void BatchService::workerLoop(unsigned WorkerIdx) {
+  while (std::optional<PendingJob> Job = Queue.pop()) {
+    JobResult Result;
+    Result.JobId = Job->JobId;
+    Result.Name = Job->Spec.Name;
+    Result.State = JobState::Running;
+
+    if (TraceRecorder *Tr = TraceRecorder::active())
+      Tr->instant(WorkerIdx, "serve.job.start", "serve", "job", Job->JobId);
+
+    runJob(*Job, Result);
+
+    if (TraceRecorder *Tr = TraceRecorder::active())
+      Tr->instant(WorkerIdx, "serve.job.done", "serve", "job", Job->JobId);
+
+    finishJob(*Job, std::move(Result));
+  }
+}
+
+void BatchService::runJob(PendingJob &Job, JobResult &Result) {
+  const JobSpec &Spec = Job.Spec;
+  uint64_t StartNs = monotonicNanos();
+  Result.QueueNs = StartNs - Job.SubmitNs;
+
+  unsigned MaxAttempts = std::max(1u, Spec.MaxAttempts);
+  for (unsigned Attempt = 1; Attempt <= MaxAttempts; ++Attempt) {
+    Result.Attempts = Attempt;
+
+    // Deadline check per attempt: a job whose deadline passed while it sat
+    // in the queue (or burned in failed attempts) never starts another.
+    double ElapsedSec =
+        static_cast<double>(monotonicNanos() - Job.SubmitNs) * 1e-9;
+    if (Spec.DeadlineSeconds > 0 && ElapsedSec >= Spec.DeadlineSeconds) {
+      Result.State = JobState::Failed;
+      Result.DeadlineExceeded = true;
+      Result.Error = Attempt == 1 ? "deadline expired while queued"
+                                  : "deadline expired between attempts";
+      break;
+    }
+
+    auto MachineOrErr = Pool.acquire(Spec.Machine);
+    if (!MachineOrErr) {
+      Result.State = JobState::Failed;
+      Result.Error = MachineOrErr.error().message();
+      break; // Construction failures are not transient; no retry.
+    }
+    std::unique_ptr<Machine> M = std::move(*MachineOrErr);
+    Result.ReusedMachine = M->resetCount() > 0;
+    (Result.ReusedMachine ? Counters.PoolReused : Counters.PoolCreated)
+        ->fetch_add(1, std::memory_order_relaxed);
+
+    ErrorOr<void> Loaded =
+        Spec.Program ? M->loadProgram(*Spec.Program)
+                     : M->loadAssembly(Spec.AssemblySource, Spec.BaseAddr);
+    if (!Loaded) {
+      // Assembler/loader errors are deterministic — retrying re-runs the
+      // same text through the same assembler. Fail immediately. The
+      // machine never ran, so it is still clean enough to pool.
+      Pool.release(std::move(M), /*Poisoned=*/!Config.ReuseMachines);
+      Result.State = JobState::Failed;
+      Result.Error = Loaded.error().message();
+      break;
+    }
+
+    RunOptions Opts = Spec.Run;
+    if (Spec.MaxBlocksPerCpu)
+      Opts.MaxBlocksPerCpu = Spec.MaxBlocksPerCpu;
+    if (Spec.DeadlineSeconds > 0) {
+      // Enforce the remainder of the deadline as the run's wall budget;
+      // the engine polls it per block, so a blown deadline stops the run
+      // instead of failing it (reported via DeadlineExceeded below).
+      double Remaining = Spec.DeadlineSeconds - ElapsedSec;
+      if (!Opts.MaxSecondsPerCpu || *Opts.MaxSecondsPerCpu <= 0 ||
+          Remaining < *Opts.MaxSecondsPerCpu)
+        Opts.MaxSecondsPerCpu = Remaining;
+    }
+
+    ErrorOr<RunResult> RunOrErr = M->run(Opts);
+    if (!RunOrErr) {
+      // The run faulted mid-flight; the machine's state is suspect, so it
+      // goes back poisoned regardless of the reuse policy.
+      Pool.release(std::move(M), /*Poisoned=*/true);
+      Result.Error = RunOrErr.error().message();
+      if (Attempt < MaxAttempts) {
+        Counters.Retried->fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> Lock(FleetMutex);
+        ++Fleet.Retried;
+        continue;
+      }
+      Result.State = JobState::Failed;
+      break;
+    }
+
+    Result.State = JobState::Done;
+    Result.Error.clear();
+    Result.Report = std::move(static_cast<JobReport &>(*RunOrErr));
+    if (Spec.DeadlineSeconds > 0 && !Result.Report.AllHalted) {
+      double EndSec =
+          static_cast<double>(monotonicNanos() - Job.SubmitNs) * 1e-9;
+      Result.DeadlineExceeded = EndSec >= Spec.DeadlineSeconds;
+    }
+    Pool.release(std::move(M), /*Poisoned=*/!Config.ReuseMachines);
+    break;
+  }
+
+  Result.RunNs = monotonicNanos() - StartNs;
+}
+
+void BatchService::finishJob(PendingJob &Job, JobResult &&Result) {
+  if (Result.State == JobState::Done)
+    Counters.Completed->fetch_add(1, std::memory_order_relaxed);
+  else
+    Counters.Failed->fetch_add(1, std::memory_order_relaxed);
+  if (Result.DeadlineExceeded)
+    Counters.DeadlineExceeded->fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> Lock(FleetMutex);
+    if (Result.State == JobState::Done) {
+      ++Fleet.Completed;
+      Fleet.Events.merge(Result.Report.Events);
+    } else {
+      ++Fleet.Failed;
+    }
+    if (Result.DeadlineExceeded)
+      ++Fleet.DeadlineExceeded;
+    Fleet.QueueNs += Result.QueueNs;
+    Fleet.RunNs += Result.RunNs;
+    ++FinishedJobs;
+  }
+  AllDoneCv.notify_all();
+
+  // Publish last: waiters on the handle must observe the fleet update too
+  // (fleetStats() after wait() reflects this job).
+  {
+    std::lock_guard<std::mutex> Lock(Job.Ticket->Mutex);
+    Job.Ticket->Result = std::move(Result);
+    Job.Ticket->Finished = true;
+  }
+  Job.Ticket->Cv.notify_all();
+}
+
+void BatchService::drain() {
+  std::unique_lock<std::mutex> Lock(FleetMutex);
+  AllDoneCv.wait(Lock, [this] { return FinishedJobs >= Fleet.Submitted; });
+}
+
+void BatchService::shutdown() {
+  if (ShutDown.exchange(true, std::memory_order_acq_rel))
+    return;
+  Queue.close(); // Workers drain the queue, then exit their loops.
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+  Pool.clear();
+}
+
+FleetStats BatchService::fleetStats() const {
+  MachinePool::Stats P = Pool.stats();
+  std::lock_guard<std::mutex> Lock(FleetMutex);
+  FleetStats S = Fleet;
+  S.MachinesCreated = P.Created;
+  S.MachinesReused = P.Reused;
+  return S;
+}

@@ -1,0 +1,136 @@
+//===- serve/BatchService.h - Batch job service -----------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch job service: N worker threads pull JobSpecs off a bounded
+/// MPMC queue and run each on a Machine checked out of a MachinePool,
+/// so machine construction is amortized across jobs of the same shape.
+/// Each job gets its own deadline, block budget and retry-on-fault
+/// policy; outcomes are delivered through future-style JobHandles and
+/// aggregated into fleet-wide statistics (plus the serve.* counters in
+/// the process-wide CounterRegistry and per-job trace instants).
+///
+/// This is the paper's measurement harness turned service: the bench
+/// matrix that used to construct a fresh Machine per (scheme, workload)
+/// cell now streams cells through a warm pool. docs/SERVING.md walks
+/// through the design; tools/llsc-serve is the CLI front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SERVE_BATCHSERVICE_H
+#define LLSC_SERVE_BATCHSERVICE_H
+
+#include "serve/Job.h"
+#include "serve/JobQueue.h"
+#include "serve/MachinePool.h"
+
+#include <atomic>
+#include <thread>
+
+namespace llsc {
+namespace serve {
+
+/// Service-wide knobs.
+struct BatchConfig {
+  /// Worker threads. Each runs one job at a time, and each job runs its
+  /// own vCPU host threads, so total host threads is roughly
+  /// Workers * (1 + max NumThreads over in-flight jobs).
+  unsigned Workers = 4;
+  /// submit() blocks once this many jobs are queued (backpressure).
+  size_t QueueCapacity = 64;
+  /// Check Machines back into the pool after each job. Off = construct a
+  /// fresh Machine per job (the baseline the pooled bench line beats).
+  bool ReuseMachines = true;
+  /// Idle machines each pool bucket may hold; 0 = one per worker.
+  unsigned MaxIdlePerKey = 0;
+};
+
+/// Fleet-wide aggregate over every job the service finished.
+struct FleetStats {
+  uint64_t Submitted = 0;
+  uint64_t Completed = 0;        ///< Reached Done (incl. deadline-exceeded).
+  uint64_t Failed = 0;           ///< Reached Failed.
+  uint64_t Retried = 0;          ///< Extra attempts beyond the first.
+  uint64_t DeadlineExceeded = 0; ///< Done jobs stopped by their deadline.
+  uint64_t MachinesCreated = 0;  ///< Pool constructions.
+  uint64_t MachinesReused = 0;   ///< Pool hits.
+  uint64_t QueueNs = 0;          ///< Sum of per-job queue wait.
+  uint64_t RunNs = 0;            ///< Sum of per-job run time.
+  /// Event counters summed over every completed job (the fleet view of
+  /// JobReport::Events).
+  EventCounters Events;
+};
+
+/// The service. Construct, submit jobs, wait on their handles (or
+/// drain()), then shutdown(). Destruction shuts down implicitly.
+class BatchService {
+public:
+  explicit BatchService(const BatchConfig &Config = BatchConfig());
+  ~BatchService();
+
+  BatchService(const BatchService &) = delete;
+  BatchService &operator=(const BatchService &) = delete;
+
+  /// Enqueues \p Spec. Blocks while the queue is full; fails after
+  /// shutdown(). The handle resolves when a worker finishes the job.
+  ErrorOr<JobHandle> submit(JobSpec Spec);
+
+  /// Blocks until every job submitted so far has finished.
+  void drain();
+
+  /// Stops accepting jobs, drains the queue, joins the workers. Safe to
+  /// call twice.
+  void shutdown();
+
+  /// Snapshot of the fleet aggregates (thread-safe, callable mid-run).
+  FleetStats fleetStats() const;
+
+  /// Pool-level stats (created/reused/idle machine counts).
+  MachinePool::Stats poolStats() const { return Pool.stats(); }
+
+private:
+  struct PendingJob {
+    JobSpec Spec;
+    uint64_t JobId = 0;
+    uint64_t SubmitNs = 0;
+    std::shared_ptr<detail::JobTicket> Ticket;
+  };
+
+  void workerLoop(unsigned WorkerIdx);
+  /// Runs one job start to finish (all attempts) and fills \p Result.
+  void runJob(PendingJob &Job, JobResult &Result);
+  void finishJob(PendingJob &Job, JobResult &&Result);
+
+  BatchConfig Config;
+  MachinePool Pool;
+  JobQueue<PendingJob> Queue;
+  std::vector<std::thread> Workers;
+  std::atomic<uint64_t> NextJobId{1};
+  std::atomic<bool> ShutDown{false};
+
+  mutable std::mutex FleetMutex;
+  std::condition_variable AllDoneCv; ///< Signalled as Finished catches Submitted.
+  uint64_t FinishedJobs = 0;         ///< Guarded by FleetMutex.
+  FleetStats Fleet;                  ///< Guarded by FleetMutex.
+
+  /// Cached CounterRegistry pointers for the serve.* counters
+  /// (docs/OBSERVABILITY.md catalogues them).
+  struct ServeCounters {
+    std::atomic<uint64_t> *Submitted;
+    std::atomic<uint64_t> *Completed;
+    std::atomic<uint64_t> *Failed;
+    std::atomic<uint64_t> *Retried;
+    std::atomic<uint64_t> *DeadlineExceeded;
+    std::atomic<uint64_t> *PoolCreated;
+    std::atomic<uint64_t> *PoolReused;
+  };
+  ServeCounters Counters;
+};
+
+} // namespace serve
+} // namespace llsc
+
+#endif // LLSC_SERVE_BATCHSERVICE_H

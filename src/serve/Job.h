@@ -1,0 +1,145 @@
+//===- serve/Job.h - Batch job descriptions and handles ---------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of work of the batch job service (serve/BatchService.h): a
+/// JobSpec describes one guest program plus the Machine shape and budgets
+/// it should run under; submitting one yields a future-style JobHandle
+/// whose wait() delivers the JobResult — job metadata wrapped around the
+/// core JobReport the Machine produced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SERVE_JOB_H
+#define LLSC_SERVE_JOB_H
+
+#include "core/Machine.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace llsc {
+namespace serve {
+
+/// Everything needed to run one guest program as a job.
+struct JobSpec {
+  /// Label carried through results, logs, and trace instants.
+  std::string Name;
+
+  /// Guest program: either pre-assembled, or GRV assembly source
+  /// assembled at dispatch time (Program wins when both are set).
+  std::optional<guest::Program> Program;
+  std::string AssemblySource;
+  uint64_t BaseAddr = 0x1000;
+
+  /// Machine shape this job needs. The pool hands out an idle Machine
+  /// with an identical shape (serve/MachinePool.h) or builds one.
+  MachineConfig Machine;
+
+  /// Execution mode and slice size (core/Machine.h). The budget fields
+  /// below override whatever the options or config say.
+  RunOptions Run;
+
+  /// Wall-clock deadline measured from *submission* (queue wait counts);
+  /// 0 = none. Enforced as the run's MaxSecondsPerCpu remainder, so a
+  /// deadline-blown job stops at the next engine poll, and jobs whose
+  /// deadline expires while still queued never run at all.
+  double DeadlineSeconds = 0;
+
+  /// Per-vCPU block budget for this job; 0 = unlimited.
+  uint64_t MaxBlocksPerCpu = 0;
+
+  /// Retry-on-fault policy: total attempts when run() itself faults
+  /// (translation error, engine error). The Machine is reset between
+  /// attempts. Budget exhaustion and deadline misses are reported, not
+  /// retried.
+  unsigned MaxAttempts = 1;
+};
+
+/// Where a job is in its life.
+enum class JobState {
+  Queued,  ///< Accepted, waiting for a worker.
+  Running, ///< A worker is executing it.
+  Done,    ///< Finished; JobResult::Report is valid.
+  Failed,  ///< Gave up; JobResult::Error says why.
+};
+
+/// \returns a stable lower-case name ("queued", "done", ...).
+const char *jobStateName(JobState State);
+
+/// Outcome of one job: service-level metadata around the core JobReport.
+struct JobResult {
+  uint64_t JobId = 0;
+  std::string Name;
+  JobState State = JobState::Queued;
+  std::string Error;    ///< Failure reason when State == Failed.
+  unsigned Attempts = 0;
+  bool ReusedMachine = false;    ///< Served by a pooled, reset Machine.
+  bool DeadlineExceeded = false; ///< Stopped by DeadlineSeconds.
+  uint64_t QueueNs = 0;          ///< Submission -> dispatch.
+  uint64_t RunNs = 0;            ///< Dispatch -> completion, all attempts.
+  JobReport Report;              ///< Valid when State == Done.
+};
+
+namespace detail {
+/// Shared completion slot between the service worker and any number of
+/// JobHandle waiters.
+struct JobTicket {
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool Finished = false;
+  JobResult Result;
+};
+} // namespace detail
+
+/// Future-style handle to a submitted job. Copyable; all copies observe
+/// the same completion. Outliving the BatchService is safe — the result
+/// slot is shared, not borrowed.
+class JobHandle {
+public:
+  JobHandle() = default;
+
+  bool valid() const { return Ticket != nullptr; }
+  uint64_t id() const { return JobId; }
+
+  /// Blocks until the job finishes; \returns the result (stable reference,
+  /// immutable once finished).
+  const JobResult &wait() const {
+    std::unique_lock<std::mutex> Lock(Ticket->Mutex);
+    Ticket->Cv.wait(Lock, [this] { return Ticket->Finished; });
+    return Ticket->Result;
+  }
+
+  /// Waits up to \p Seconds. \returns true when the job finished.
+  bool waitFor(double Seconds) const {
+    std::unique_lock<std::mutex> Lock(Ticket->Mutex);
+    return Ticket->Cv.wait_for(
+        Lock, std::chrono::duration<double>(Seconds),
+        [this] { return Ticket->Finished; });
+  }
+
+  /// Non-blocking completion probe.
+  bool done() const {
+    std::lock_guard<std::mutex> Lock(Ticket->Mutex);
+    return Ticket->Finished;
+  }
+
+private:
+  friend class BatchService;
+  JobHandle(uint64_t Id, std::shared_ptr<detail::JobTicket> Ticket)
+      : JobId(Id), Ticket(std::move(Ticket)) {}
+
+  uint64_t JobId = 0;
+  std::shared_ptr<detail::JobTicket> Ticket;
+};
+
+} // namespace serve
+} // namespace llsc
+
+#endif // LLSC_SERVE_JOB_H

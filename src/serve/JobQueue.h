@@ -1,0 +1,99 @@
+//===- serve/JobQueue.h - Bounded MPMC work queue ---------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer/multi-consumer FIFO used between
+/// BatchService::submit and its worker threads. Deliberately the simple
+/// mutex-plus-two-condvars design: the queue hands off whole jobs (each
+/// worth milliseconds of emulation), so a lock-free ring would buy
+/// nothing — contrast with the per-block TB lookup path, which is
+/// lock-free for a reason (docs/ENGINE.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SERVE_JOBQUEUE_H
+#define LLSC_SERVE_JOBQUEUE_H
+
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace llsc {
+namespace serve {
+
+/// Bounded blocking FIFO. push() blocks while full, pop() blocks while
+/// empty; close() wakes everyone and makes further pushes fail and pops
+/// drain the remaining items before returning nullopt.
+template <typename T> class JobQueue {
+public:
+  explicit JobQueue(size_t Capacity) : Capacity(Capacity) {
+    assert(Capacity > 0 && "queue capacity must be positive");
+  }
+
+  /// Blocks until there is room (or the queue is closed).
+  /// \returns false when the queue was closed before the item went in.
+  bool push(T Item) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotFull.wait(Lock, [this] { return Items.size() < Capacity || Closed; });
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    Lock.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; after close(), keeps returning the
+  /// remaining items and then nullopt forever (drain semantics).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait(Lock, [this] { return !Items.empty() || Closed; });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// Closes the queue: pending and future push()es fail, pop()s drain.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Closed = true;
+    }
+    NotFull.notify_all();
+    NotEmpty.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Items.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Closed;
+  }
+
+private:
+  const size_t Capacity;
+  mutable std::mutex Mutex;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace serve
+} // namespace llsc
+
+#endif // LLSC_SERVE_JOBQUEUE_H

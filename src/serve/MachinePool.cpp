@@ -1,0 +1,107 @@
+//===- serve/MachinePool.cpp - Reusable Machine pool -------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/MachinePool.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace llsc;
+using namespace llsc::serve;
+
+std::string serve::machineConfigKey(const MachineConfig &Config) {
+  // Every field of MachineConfig (and its nested configs) appears here —
+  // when a field is added there, the static_asserts in MachineReuseTest
+  // will not catch it, but a stale key silently merges distinct shapes
+  // into one bucket, so keep this exhaustive. Budget fields are included
+  // even though run(RunOptions) can override them per job: they are the
+  // *defaults* a job inherits when it does not override.
+  char Buf[512];
+  const AdaptiveConfig &A = Config.AdaptiveTuning;
+  const TranslatorConfig &T = Config.Translation;
+  const SoftHtmConfig &S = Config.SoftHtm;
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "scheme=%s;threads=%u;mem=%" PRIu64 ";stack=%" PRIu64
+      ";profile=%d;softhtm=%d;maxblocks=%" PRIu64
+      ";maxsecs=%.9g;hstlog2=%u;htmretries=%u;adaptive=%d"
+      ";ad=%" PRIu64 ",%" PRIu64 ",%u,%" PRIu64 ",%.9g,%.9g,%.9g"
+      ";tr=%d,%d,%u,%d;sh=%u,%u,%" PRIu64 ",%u",
+      schemeTraits(Config.Scheme).Name, Config.NumThreads, Config.MemBytes,
+      Config.StackBytes, Config.Profile ? 1 : 0, Config.ForceSoftHtm ? 1 : 0,
+      Config.MaxBlocksPerCpu, Config.MaxSecondsPerCpu, Config.HstTableLog2,
+      Config.HtmMaxRetries, Config.Adaptive ? 1 : 0, A.SampleIntervalMs,
+      A.CooldownMs, A.HysteresisSamples, A.MinScAttempted,
+      A.FalseSharingPerMs, A.HashConflictFrac, A.HtmFallbackFrac,
+      T.Optimize ? 1 : 0, T.RuleBasedAtomics ? 1 : 0,
+      T.MaxGuestInstsPerBlock, T.Verify ? 1 : 0, S.MaxThreads,
+      S.BeginSpinLimit, S.CapacityLimit, S.WatchGranule);
+  return Buf;
+}
+
+ErrorOr<std::unique_ptr<Machine>> MachinePool::acquire(
+    const MachineConfig &Config) {
+  std::string Key = machineConfigKey(Config);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Idle.find(Key);
+    if (It != Idle.end() && !It->second.empty()) {
+      std::unique_ptr<Machine> M = std::move(It->second.back());
+      It->second.pop_back();
+      ++Reused;
+      return M;
+    }
+  }
+  // Construct outside the lock — Machine::create mmaps guest memory and
+  // attaches the scheme, which can take milliseconds for large MemBytes.
+  auto MachineOrErr = Machine::create(Config);
+  if (!MachineOrErr)
+    return MachineOrErr.error();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Created;
+  }
+  return std::move(*MachineOrErr);
+}
+
+void MachinePool::release(std::unique_ptr<Machine> M, bool Poisoned) {
+  if (!M)
+    return;
+  if (Poisoned) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Destroyed;
+    return; // M destroyed on scope exit.
+  }
+  // Reset before parking (not at acquire) so dirtied guest pages are
+  // released to the kernel while the machine sits idle.
+  M->reset();
+  std::string Key = machineConfigKey(M->config());
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<std::unique_ptr<Machine>> &Bucket = Idle[Key];
+  if (MaxIdlePerKey && Bucket.size() >= MaxIdlePerKey) {
+    ++Destroyed;
+    return;
+  }
+  Bucket.push_back(std::move(M));
+}
+
+void MachinePool::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &Entry : Idle)
+    Destroyed += Entry.second.size();
+  Idle.clear();
+}
+
+MachinePool::Stats MachinePool::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats S;
+  S.Created = Created;
+  S.Reused = Reused;
+  S.Destroyed = Destroyed;
+  for (const auto &Entry : Idle)
+    S.Idle += Entry.second.size();
+  return S;
+}

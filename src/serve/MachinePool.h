@@ -1,0 +1,81 @@
+//===- serve/MachinePool.h - Reusable Machine pool --------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Keeps constructed Machines alive between jobs so the serve layer pays
+/// construction cost (guest-memory mmap, scheme attach, translator and
+/// engine setup) once per shape instead of once per job. Machines are
+/// bucketed by machineConfigKey() — an exact encoding of every
+/// MachineConfig field that changes construction — and reset() before
+/// they are parked, so acquire() always hands out a machine
+/// indistinguishable from a fresh one (tests/MachineReuseTest.cpp holds
+/// it to that).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SERVE_MACHINEPOOL_H
+#define LLSC_SERVE_MACHINEPOOL_H
+
+#include "core/Machine.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace llsc {
+namespace serve {
+
+/// \returns a string encoding every MachineConfig field that affects a
+/// constructed Machine, so two configs with equal keys are
+/// interchangeable for pooling. Pure function of the config.
+std::string machineConfigKey(const MachineConfig &Config);
+
+/// A bucketed free-list of idle Machines. Thread-safe; acquire/release
+/// may be called concurrently from any number of workers.
+class MachinePool {
+public:
+  /// \p MaxIdlePerKey bounds how many idle machines each bucket may park
+  /// (excess machines are destroyed on release); 0 = unbounded.
+  explicit MachinePool(unsigned MaxIdlePerKey = 0)
+      : MaxIdlePerKey(MaxIdlePerKey) {}
+
+  /// Pops an idle machine with \p Config's shape, or constructs one.
+  /// The caller owns the result; hand it back via release() to keep it
+  /// warm. \returns the construction error when a new machine is needed
+  /// and Machine::create fails.
+  ErrorOr<std::unique_ptr<Machine>> acquire(const MachineConfig &Config);
+
+  /// Resets \p M and parks it for the next acquire() of the same shape.
+  /// When the machine is in a state reset() cannot clean up (a previous
+  /// run errored mid-flight), pass \p Poisoned to destroy it instead.
+  void release(std::unique_ptr<Machine> M, bool Poisoned = false);
+
+  /// Destroys every idle machine (shutdown / test isolation).
+  void clear();
+
+  struct Stats {
+    uint64_t Created = 0;  ///< Machines constructed by acquire().
+    uint64_t Reused = 0;   ///< acquire() hits on a parked machine.
+    uint64_t Destroyed = 0;///< Poisoned or over-capacity releases.
+    uint64_t Idle = 0;     ///< Currently parked, all buckets.
+  };
+  Stats stats() const;
+
+private:
+  const unsigned MaxIdlePerKey;
+  mutable std::mutex Mutex;
+  std::map<std::string, std::vector<std::unique_ptr<Machine>>> Idle;
+  uint64_t Created = 0;
+  uint64_t Reused = 0;
+  uint64_t Destroyed = 0;
+};
+
+} // namespace serve
+} // namespace llsc
+
+#endif // LLSC_SERVE_MACHINEPOOL_H

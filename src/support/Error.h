@@ -78,6 +78,27 @@ private:
   std::variant<T, Error> Storage;
 };
 
+/// Success-or-error for operations with no payload: either "ok" or an
+/// \c Error. Mirrors the primary template's surface (bool conversion,
+/// error()) minus the value accessors, so `if (auto R = f(); !R)` call
+/// sites read identically whether or not f() produces a value.
+template <> class ErrorOr<void> {
+public:
+  ErrorOr() = default;
+  ErrorOr(Error Err) : Storage(std::move(Err)), Failed(true) {}
+
+  explicit operator bool() const { return !Failed; }
+
+  const Error &error() const {
+    assert(Failed && "no error present");
+    return Storage;
+  }
+
+private:
+  Error Storage;
+  bool Failed = false;
+};
+
 /// Prints the error to stderr and aborts. For tool code that cannot recover.
 [[noreturn]] void reportFatalError(const Error &Err);
 [[noreturn]] void reportFatalError(const std::string &Message);

@@ -1,0 +1,76 @@
+//===- support/LazyZeroArray.h - madvise-backed zeroable array --*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A large array whose zero() costs O(pages actually dirtied) instead of
+/// O(size): the storage is a private anonymous mapping, and zero() drops
+/// the dirty pages with madvise(MADV_DONTNEED) so the next touch faults
+/// in a fresh zero page. The HST-family monitor tables use this so
+/// Machine::reset() — which must neutralize the table between pooled
+/// jobs (serve/MachinePool.h) — scales with the previous job's working
+/// set, the same trick GuestMemory::resetZero() plays with its memfd
+/// hole punch. Falls back to memset when madvise is unavailable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SUPPORT_LAZYZEROARRAY_H
+#define LLSC_SUPPORT_LAZYZEROARRAY_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <cstring>
+#include <sys/mman.h>
+
+namespace llsc {
+
+/// Fixed-size array of trivially-copyable \p T backed by an anonymous
+/// mapping; all elements start zero and zero() restores that lazily.
+template <typename T> class LazyZeroArray {
+public:
+  explicit LazyZeroArray(size_t Count) : Count(Count), Bytes(Count * sizeof(T)) {
+    void *Mapping = mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    // A failed mapping for a table this size means the process is beyond
+    // saving; schemes construct infallibly, so fail loudly here.
+    if (Mapping == MAP_FAILED)
+      reportFatalError(makeError("LazyZeroArray: mmap of %zu bytes failed",
+                                 Count * sizeof(T)));
+    Base = static_cast<T *>(Mapping);
+  }
+
+  ~LazyZeroArray() {
+    if (Base)
+      munmap(Base, Bytes);
+  }
+
+  LazyZeroArray(const LazyZeroArray &) = delete;
+  LazyZeroArray &operator=(const LazyZeroArray &) = delete;
+
+  T *data() { return Base; }
+  const T *data() const { return Base; }
+  size_t size() const { return Count; }
+
+  T &operator[](size_t Index) { return Base[Index]; }
+  const T &operator[](size_t Index) const { return Base[Index]; }
+
+  /// Returns every element to zero. Dirty pages are released to the
+  /// kernel (RSS drops) and fault back in as zero pages on next touch,
+  /// so the cost is O(pages written since the last zero()).
+  void zero() {
+    if (madvise(Base, Bytes, MADV_DONTNEED) != 0)
+      std::memset(static_cast<void *>(Base), 0, Bytes);
+  }
+
+private:
+  size_t Count = 0;
+  size_t Bytes = 0;
+  T *Base = nullptr;
+};
+
+} // namespace llsc
+
+#endif // LLSC_SUPPORT_LAZYZEROARRAY_H

@@ -1,0 +1,354 @@
+//===- tests/MachineReuseTest.cpp - session reuse conformance ------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Holds Machine::reset() to the pool contract (serve/MachinePool.h): a
+/// recycled machine must be indistinguishable from a fresh one. Every
+/// scheme kind runs two programs back to back on one machine and is
+/// checked for state leaks (guest memory, monitors, counters), for an
+/// unchanged litmus classification, and for the code-cache retention rule
+/// (byte-identical reload keeps translations, a different image flushes).
+/// The serve-layer half stress-tests MachinePool bucketing and
+/// BatchService under concurrent submit/wait with deadlines and retry.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "guest/Assembler.h"
+#include "mem/GuestMemory.h"
+#include "serve/BatchService.h"
+#include "workloads/Litmus.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace llsc;
+using namespace llsc::serve;
+using namespace llsc::workloads;
+
+namespace {
+
+/// Program A: LL/SC fetch-add on one shared word (deterministic final
+/// value: 100 * threads) plus a plain-store sentinel.
+constexpr const char *ProgramA = R"(
+_start: la      r10, word
+        li      r9, #100
+loopA:  cbz     r9, stash
+tryA:   ldxr.d  r1, [r10]
+        addi    r1, r1, #1
+        stxr.d  r2, r1, [r10]
+        cbnz    r2, tryA
+        addi    r9, r9, #-1
+        b       loopA
+stash:  la      r11, mark
+        li      r3, #0xABCD
+        std     r3, [r11]
+        halt
+        .align 64
+word:   .quad 0
+        .align 64
+mark:   .quad 0
+)";
+
+/// Program B: straight arithmetic (fib(20) = 6765), no atomics — a shape
+/// change from A in both code and data footprint.
+constexpr const char *ProgramB = R"(
+_start: movz    r1, #0
+        movz    r2, #1
+        li      r3, #20
+loopB:  cbz     r3, doneB
+        add     r4, r1, r2
+        mov     r1, r2
+        mov     r2, r4
+        addi    r3, r3, #-1
+        b       loopB
+doneB:  la      r5, out
+        std     r1, [r5]
+        halt
+        .align 8
+out:    .quad 0
+)";
+
+std::unique_ptr<Machine> makeMachine(SchemeKind Scheme, unsigned Threads = 2) {
+  MachineConfig Config;
+  Config.Scheme = Scheme;
+  Config.NumThreads = Threads;
+  Config.MemBytes = 8ULL << 20;
+  Config.ForceSoftHtm = true;
+  auto MachineOrErr = Machine::create(Config);
+  EXPECT_TRUE(bool(MachineOrErr)) << MachineOrErr.error().render();
+  return MachineOrErr.take();
+}
+
+class ReuseTest : public ::testing::TestWithParam<SchemeKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ReuseTest, ::testing::ValuesIn(allSchemeKinds()),
+    [](const ::testing::TestParamInfo<SchemeKind> &Info) {
+      std::string Name = schemeTraits(Info.param).Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace
+
+/// Two different programs back to back on one machine: the first run's
+/// memory, monitors and counters must not leak into the second, and the
+/// second run must match a fresh machine's run of the same program.
+TEST_P(ReuseTest, BackToBackProgramsNoStateLeak) {
+  auto M = makeMachine(GetParam());
+  ASSERT_TRUE(bool(M->loadAssembly(ProgramA)));
+  uint64_t WordAddr = M->program().requiredSymbol("word");
+  uint64_t MarkAddr = M->program().requiredSymbol("mark");
+
+  auto RunA = M->run(RunOptions());
+  ASSERT_TRUE(bool(RunA)) << RunA.error().render();
+  EXPECT_TRUE(RunA->AllHalted);
+  EXPECT_EQ(M->mem().shadowLoad(WordAddr, 8), 100u * M->numThreads());
+  EXPECT_EQ(M->mem().shadowLoad(MarkAddr, 8), 0xABCDu);
+
+  M->reset();
+  EXPECT_EQ(M->resetCount(), 1u);
+  // Job A's footprint is gone: memory zeroed, monitors disarmed, per-vCPU
+  // counters rolled over.
+  EXPECT_EQ(M->mem().shadowLoad(WordAddr, 8), 0u);
+  EXPECT_EQ(M->mem().shadowLoad(MarkAddr, 8), 0u);
+  for (unsigned Tid = 0; Tid < M->numThreads(); ++Tid) {
+    EXPECT_FALSE(M->cpu(Tid).Monitor.valid()) << "tid " << Tid;
+    EXPECT_EQ(M->cpu(Tid).Counters.ExecutedInsts, 0u) << "tid " << Tid;
+    EXPECT_EQ(M->cpu(Tid).Counters.StoreConds, 0u) << "tid " << Tid;
+  }
+
+  ASSERT_TRUE(bool(M->loadAssembly(ProgramB)));
+  auto RunB = M->run(RunOptions());
+  ASSERT_TRUE(bool(RunB)) << RunB.error().render();
+  EXPECT_TRUE(RunB->AllHalted);
+  uint64_t OutAddr = M->program().requiredSymbol("out");
+  EXPECT_EQ(M->mem().shadowLoad(OutAddr, 8), 6765u);
+
+  // The reused run is indistinguishable from a fresh machine's.
+  auto Fresh = makeMachine(GetParam());
+  ASSERT_TRUE(bool(Fresh->loadAssembly(ProgramB)));
+  auto FreshB = Fresh->run(RunOptions());
+  ASSERT_TRUE(bool(FreshB)) << FreshB.error().render();
+  EXPECT_EQ(Fresh->mem().shadowLoad(OutAddr, 8), 6765u);
+  EXPECT_EQ(RunB->Total.ExecutedInsts, FreshB->Total.ExecutedInsts);
+  EXPECT_EQ(RunB->Total.StoreConds, FreshB->Total.StoreConds);
+}
+
+/// The Table II litmus classification is a property of the scheme, not of
+/// the machine's history: it must be identical before and after the
+/// machine has served an unrelated job and been reset.
+TEST_P(ReuseTest, LitmusClassificationSurvivesReuse) {
+  auto M = makeMachine(GetParam());
+  auto Driver1 = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(Driver1)) << Driver1.error().render();
+  MeasuredAtomicity FreshClass = classifyScheme(*Driver1);
+
+  M->reset();
+  ASSERT_TRUE(bool(M->loadAssembly(ProgramA)));
+  auto Run = M->run(RunOptions());
+  ASSERT_TRUE(bool(Run)) << Run.error().render();
+  M->reset();
+
+  auto Driver2 = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(Driver2)) << Driver2.error().render();
+  EXPECT_EQ(classifyScheme(*Driver2), FreshClass)
+      << "classification changed after reuse ("
+      << measuredAtomicityName(FreshClass) << " before)";
+}
+
+/// The code-cache retention rule behind pooled throughput: reloading a
+/// byte-identical image across reset() keeps translations (no flush, no
+/// new translation misses), while a different image flushes.
+TEST_P(ReuseTest, IdenticalReloadKeepsTranslations) {
+  auto M = makeMachine(GetParam(), /*Threads=*/1);
+  auto ProgOrErr = guest::assemble(ProgramA);
+  ASSERT_TRUE(bool(ProgOrErr)) << ProgOrErr.error().render();
+  guest::Program Prog = ProgOrErr.take();
+
+  ASSERT_TRUE(bool(M->loadProgram(Prog)));
+  ASSERT_TRUE(bool(M->run(RunOptions())));
+  uint64_t Gen = M->cache().generation();
+  uint64_t Misses = M->cache().misses();
+  EXPECT_GT(Misses, 0u);
+
+  M->reset();
+  ASSERT_TRUE(bool(M->loadProgram(Prog)));
+  ASSERT_TRUE(bool(M->run(RunOptions())));
+  EXPECT_EQ(M->cache().generation(), Gen) << "identical reload flushed";
+  EXPECT_EQ(M->cache().misses(), Misses) << "identical reload retranslated";
+  EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("word"), 8),
+            100u);
+
+  // A different image must flush: stale translations crossing programs
+  // would execute the wrong code.
+  M->reset();
+  ASSERT_TRUE(bool(M->loadAssembly(ProgramB)));
+  EXPECT_GT(M->cache().generation(), Gen);
+}
+
+TEST(MachinePoolTest, BucketsByConfigKey) {
+  MachinePool Pool;
+  MachineConfig HstCfg;
+  HstCfg.Scheme = SchemeKind::Hst;
+  HstCfg.NumThreads = 2;
+  MachineConfig CasCfg = HstCfg;
+  CasCfg.Scheme = SchemeKind::PicoCas;
+  EXPECT_NE(machineConfigKey(HstCfg), machineConfigKey(CasCfg));
+
+  auto M1 = Pool.acquire(HstCfg);
+  ASSERT_TRUE(bool(M1));
+  EXPECT_EQ(Pool.stats().Created, 1u);
+  Machine *Raw = M1->get();
+  Pool.release(M1.take());
+  EXPECT_EQ(Pool.stats().Idle, 1u);
+
+  // Same shape: the parked machine comes back, reset.
+  auto M2 = Pool.acquire(HstCfg);
+  ASSERT_TRUE(bool(M2));
+  EXPECT_EQ(M2->get(), Raw);
+  EXPECT_EQ((*M2)->resetCount(), 1u);
+  EXPECT_EQ(Pool.stats().Reused, 1u);
+
+  // Different shape: a parked HST machine is no use to a PICO-CAS job.
+  Pool.release(M2.take());
+  auto M3 = Pool.acquire(CasCfg);
+  ASSERT_TRUE(bool(M3));
+  EXPECT_NE(M3->get(), Raw);
+  EXPECT_EQ(Pool.stats().Created, 2u);
+
+  Pool.clear();
+  EXPECT_EQ(Pool.stats().Idle, 0u);
+}
+
+TEST(MachinePoolTest, PoisonedReleaseDestroys) {
+  MachinePool Pool;
+  MachineConfig Cfg;
+  Cfg.Scheme = SchemeKind::Hst;
+  Cfg.NumThreads = 1;
+
+  auto M1 = Pool.acquire(Cfg);
+  ASSERT_TRUE(bool(M1));
+  Pool.release(M1.take(), /*Poisoned=*/true);
+  EXPECT_EQ(Pool.stats().Destroyed, 1u);
+  EXPECT_EQ(Pool.stats().Idle, 0u);
+
+  // The next acquire builds a brand-new machine, never a poisoned one.
+  auto M2 = Pool.acquire(Cfg);
+  ASSERT_TRUE(bool(M2));
+  EXPECT_EQ((*M2)->resetCount(), 0u);
+  EXPECT_EQ(Pool.stats().Created, 2u);
+}
+
+/// Concurrent submitters racing the worker pool: every job completes,
+/// fleet arithmetic holds, and single-bucket traffic actually recycles.
+TEST(BatchServiceTest, ConcurrentSubmitWaitStress) {
+  BatchConfig Config;
+  Config.Workers = 8;
+  Config.QueueCapacity = 16; // Small on purpose: submitters must block.
+  BatchService Service(Config);
+
+  constexpr unsigned Submitters = 4;
+  constexpr unsigned JobsEach = 16;
+  std::vector<std::thread> Threads;
+  std::vector<int> DoneCounts(Submitters, 0);
+  for (unsigned S = 0; S < Submitters; ++S) {
+    Threads.emplace_back([&, S] {
+      std::vector<JobHandle> Handles;
+      for (unsigned J = 0; J < JobsEach; ++J) {
+        JobSpec Spec;
+        Spec.Name = "stress";
+        Spec.AssemblySource = ProgramA;
+        Spec.Machine.Scheme = SchemeKind::Hst;
+        Spec.Machine.NumThreads = 2;
+        Spec.Machine.MemBytes = 8ULL << 20;
+        auto Handle = Service.submit(std::move(Spec));
+        ASSERT_TRUE(bool(Handle)) << Handle.error().render();
+        Handles.push_back(*Handle);
+      }
+      for (const JobHandle &H : Handles) {
+        const JobResult &R = H.wait();
+        EXPECT_EQ(R.State, JobState::Done) << R.Error;
+        // 2 vCPUs x 100 LL/SC increments; failures retry, so >= 200.
+        EXPECT_GE(R.Report.Total.StoreConds, 200u);
+        if (R.State == JobState::Done)
+          ++DoneCounts[S];
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  FleetStats Fleet = Service.fleetStats();
+  EXPECT_EQ(Fleet.Submitted, Submitters * JobsEach);
+  EXPECT_EQ(Fleet.Completed, Submitters * JobsEach);
+  EXPECT_EQ(Fleet.Failed, 0u);
+  // One config bucket, 64 jobs, 8 workers: recycling is guaranteed.
+  EXPECT_GT(Fleet.MachinesReused, 0u);
+  for (unsigned S = 0; S < Submitters; ++S)
+    EXPECT_EQ(DoneCounts[S], static_cast<int>(JobsEach));
+}
+
+/// A deadline that expires while the job is still queued fails the job
+/// without ever running it.
+TEST(BatchServiceTest, DeadlineExpiresWhileQueued) {
+  BatchConfig Config;
+  Config.Workers = 1;
+  BatchService Service(Config);
+
+  // Occupy the lone worker long enough for the deadline job to age out.
+  JobSpec Long;
+  Long.Name = "long";
+  Long.AssemblySource = ProgramA;
+  Long.Machine.Scheme = SchemeKind::PicoCas;
+  Long.Machine.NumThreads = 2;
+  Long.Machine.MemBytes = 8ULL << 20;
+  auto LongHandle = Service.submit(std::move(Long));
+  ASSERT_TRUE(bool(LongHandle));
+
+  JobSpec Doomed;
+  Doomed.Name = "doomed";
+  Doomed.AssemblySource = ProgramA;
+  Doomed.Machine.Scheme = SchemeKind::PicoCas;
+  Doomed.Machine.NumThreads = 2;
+  Doomed.Machine.MemBytes = 8ULL << 20;
+  Doomed.DeadlineSeconds = 1e-9; // Expired before any worker can pop it.
+  auto DoomedHandle = Service.submit(std::move(Doomed));
+  ASSERT_TRUE(bool(DoomedHandle));
+
+  const JobResult &R = DoomedHandle->wait();
+  EXPECT_EQ(R.State, JobState::Failed);
+  EXPECT_TRUE(R.DeadlineExceeded);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_EQ(LongHandle->wait().State, JobState::Done);
+}
+
+/// Deterministic spec errors (un-assemblable source) are not retried:
+/// MaxAttempts is for machine faults, not for jobs that can never load.
+TEST(BatchServiceTest, LoadErrorFailsWithoutRetry) {
+  BatchConfig Config;
+  Config.Workers = 2;
+  BatchService Service(Config);
+
+  JobSpec Bad;
+  Bad.Name = "bad";
+  Bad.AssemblySource = "_start: not_an_instruction r1, r2\n";
+  Bad.Machine.Scheme = SchemeKind::Hst;
+  Bad.Machine.NumThreads = 1;
+  Bad.MaxAttempts = 3;
+  auto Handle = Service.submit(std::move(Bad));
+  ASSERT_TRUE(bool(Handle));
+
+  const JobResult &R = Handle->wait();
+  EXPECT_EQ(R.State, JobState::Failed);
+  EXPECT_EQ(R.Attempts, 1u);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_EQ(Service.fleetStats().Retried, 0u);
+}

@@ -1,0 +1,310 @@
+//===- tools/llsc-serve.cpp - batch job service front end ------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Streams a manifest of guest programs through the batch job service
+/// (src/serve/): a pool of worker threads runs every job on Machines
+/// checked out of a MachinePool, so machine construction is paid once
+/// per (scheme, threads, ...) shape instead of once per job.
+///
+///   llsc-serve jobs.manifest                  # 4 workers, pooled machines
+///   llsc-serve --workers 8 jobs.manifest
+///   llsc-serve --no-reuse jobs.manifest       # fresh Machine per job
+///   llsc-serve --repeat 8 jobs.manifest       # submit the manifest 8x
+///   llsc-serve --out jobs.jsonl jobs.manifest # JSON lines to a file
+///
+/// Manifest format (docs/SERVING.md): '#' comments; otherwise one job
+/// per line as whitespace-separated key=value tokens:
+///
+///   job name=histogram scheme=hst threads=4 file=atomic_histogram.s
+///   job name=spin scheme=pst threads=2 file=spinlock_counter.s deadline=5
+///   job name=soak scheme=hst threads=4 file=histo.s attempts=2 repeat=16
+///
+/// Keys: name, scheme (any Table II name, or "adaptive"), threads, file
+/// (relative to the manifest), deadline (seconds), max-blocks (per
+/// vCPU), attempts (retry-on-fault budget), repeat (submit N copies).
+///
+/// Output: one compact JSON line per job (schema_version 3, the
+/// StatsReport::renderJsonLine shape) in submission order on stdout (or
+/// --out), a human fleet summary on stderr, and with --summary=json a
+/// trailing fleet-summary JSON line on the job stream.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StatsReport.h"
+#include "guest/Assembler.h"
+#include "serve/BatchService.h"
+#include "support/CommandLine.h"
+#include "support/Logging.h"
+#include "support/StringUtils.h"
+#include "support/Timing.h"
+#include "support/Trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace llsc;
+using namespace llsc::serve;
+
+namespace {
+
+/// One manifest line, before expansion by its repeat count.
+struct ManifestEntry {
+  JobSpec Spec;
+  unsigned Repeat = 1;
+};
+
+std::string dirnameOf(const std::string &Path) {
+  size_t Slash = Path.rfind('/');
+  return Slash == std::string::npos ? std::string(".")
+                                    : Path.substr(0, Slash);
+}
+
+/// Parses the manifest at \p Path into job specs, assembling each
+/// referenced program once (shared by every job that names it).
+ErrorOr<std::vector<ManifestEntry>> parseManifest(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return makeError("cannot open manifest %s", Path.c_str());
+  std::string Dir = dirnameOf(Path);
+
+  std::map<std::string, guest::Program> Programs; // file -> assembled
+  std::vector<ManifestEntry> Entries;
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::istringstream Tokens(Line);
+    std::string Tok;
+    if (!(Tokens >> Tok) || Tok[0] == '#')
+      continue;
+    if (Tok != "job")
+      return makeError("%s:%u: expected 'job', got '%s'", Path.c_str(),
+                       LineNo, Tok.c_str());
+
+    ManifestEntry Entry;
+    std::string File;
+    while (Tokens >> Tok) {
+      size_t Eq = Tok.find('=');
+      if (Eq == std::string::npos)
+        return makeError("%s:%u: expected key=value, got '%s'",
+                         Path.c_str(), LineNo, Tok.c_str());
+      std::string Key = Tok.substr(0, Eq);
+      std::string Value = Tok.substr(Eq + 1);
+      if (Key == "name") {
+        Entry.Spec.Name = Value;
+      } else if (Key == "scheme") {
+        if (Value == "adaptive") {
+          Entry.Spec.Machine.Adaptive = true;
+        } else if (auto Kind = parseSchemeName(Value)) {
+          Entry.Spec.Machine.Scheme = *Kind;
+        } else {
+          return makeError("%s:%u: unknown scheme '%s'", Path.c_str(),
+                           LineNo, Value.c_str());
+        }
+      } else if (Key == "threads") {
+        Entry.Spec.Machine.NumThreads =
+            static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
+      } else if (Key == "file") {
+        File = Value;
+      } else if (Key == "deadline") {
+        Entry.Spec.DeadlineSeconds = std::strtod(Value.c_str(), nullptr);
+      } else if (Key == "max-blocks") {
+        Entry.Spec.MaxBlocksPerCpu = std::strtoull(Value.c_str(), nullptr, 0);
+      } else if (Key == "attempts") {
+        Entry.Spec.MaxAttempts =
+            static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
+      } else if (Key == "repeat") {
+        Entry.Repeat =
+            static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
+      } else {
+        return makeError("%s:%u: unknown key '%s'", Path.c_str(), LineNo,
+                         Key.c_str());
+      }
+    }
+    if (File.empty())
+      return makeError("%s:%u: job without file=", Path.c_str(), LineNo);
+    if (Entry.Spec.Name.empty())
+      Entry.Spec.Name = File;
+
+    std::string FullPath = File[0] == '/' ? File : Dir + "/" + File;
+    auto It = Programs.find(FullPath);
+    if (It == Programs.end()) {
+      std::ifstream Src(FullPath);
+      if (!Src)
+        return makeError("%s:%u: cannot open %s", Path.c_str(), LineNo,
+                         FullPath.c_str());
+      std::stringstream Buf;
+      Buf << Src.rdbuf();
+      auto ProgOrErr = guest::assemble(Buf.str(), Entry.Spec.BaseAddr);
+      if (!ProgOrErr)
+        return makeError("%s:%u: %s: %s", Path.c_str(), LineNo,
+                         FullPath.c_str(),
+                         ProgOrErr.error().render().c_str());
+      It = Programs.emplace(FullPath, ProgOrErr.take()).first;
+    }
+    Entry.Spec.Program = It->second;
+    Entries.push_back(std::move(Entry));
+  }
+  if (Entries.empty())
+    return makeError("%s: no jobs", Path.c_str());
+  return Entries;
+}
+
+/// Renders the per-job JSON line for a finished job (docs/SERVING.md).
+std::string renderJobLine(const JobResult &R) {
+  if (R.State != JobState::Done) {
+    // Failures have no JobReport to flatten; a minimal hand-built line
+    // with the same leading keys keeps the stream one-object-per-line.
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"schema_version\": %u,\"job_id\": %" PRIu64
+                  ",\"reused_machine\": %s,\"state\": \"%s\",\"error\": "
+                  "\"%s\"}\n",
+                  StatsReport::SchemaVersion, R.JobId,
+                  R.ReusedMachine ? "true" : "false", jobStateName(R.State),
+                  R.Error.c_str());
+    return Buf;
+  }
+  StatsReport Report(R.Report);
+  Report.setJob(R.JobId, R.ReusedMachine);
+  Report.addMetric("serve.queue_ns", R.QueueNs);
+  Report.addMetric("serve.run_ns", R.RunNs);
+  Report.addMetric("serve.attempts", R.Attempts);
+  Report.addMetric("serve.deadline_exceeded", R.DeadlineExceeded ? 1 : 0);
+  return Report.renderJsonLine();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  initLogLevelFromEnv();
+  ArgParser Args("llsc-serve: run a manifest of jobs through the batch "
+                 "service with Machine pooling");
+  int64_t *Workers = Args.addInt("workers", 4, "worker threads");
+  int64_t *QueueCap = Args.addInt("queue", 64, "job queue capacity");
+  bool *Reuse = Args.addBool(
+      "reuse", true,
+      "pool Machines across jobs (--no-reuse for a fresh one per job)");
+  int64_t *Repeat =
+      Args.addInt("repeat", 1, "submit the whole manifest this many times");
+  std::string *Out = Args.addString(
+      "out", "", "write per-job JSON lines to FILE instead of stdout");
+  std::string *Summary = Args.addOptString(
+      "summary", "text", "text",
+      "fleet summary: text (stderr) or json (appended to the job stream)");
+  std::string *TraceOut = Args.addString(
+      "trace-out", "", "write a Chrome trace_event JSON timeline with "
+                       "per-job instants to FILE");
+  Args.parse(Argc, Argv);
+
+  if (Args.positionals().size() != 1) {
+    std::fprintf(stderr, "usage: llsc-serve [flags] jobs.manifest\n%s",
+                 Args.usage().c_str());
+    return 2;
+  }
+  if (*Summary != "text" && *Summary != "json") {
+    std::fprintf(stderr, "unknown --summary mode '%s' (text|json)\n",
+                 Summary->c_str());
+    return 2;
+  }
+
+  auto EntriesOrErr = parseManifest(Args.positionals()[0]);
+  if (!EntriesOrErr) {
+    std::fprintf(stderr, "%s\n", EntriesOrErr.error().render().c_str());
+    return 1;
+  }
+
+  std::FILE *OutFile = stdout;
+  if (!Out->empty()) {
+    OutFile = std::fopen(Out->c_str(), "w");
+    if (!OutFile) {
+      std::fprintf(stderr, "cannot open %s\n", Out->c_str());
+      return 1;
+    }
+  }
+
+  if (!TraceOut->empty())
+    TraceRecorder::install(std::make_unique<TraceRecorder>(
+        static_cast<unsigned>(*Workers)));
+
+  BatchConfig Config;
+  Config.Workers = static_cast<unsigned>(*Workers);
+  Config.QueueCapacity = static_cast<size_t>(*QueueCap);
+  Config.ReuseMachines = *Reuse;
+  BatchService Service(Config);
+
+  uint64_t StartNs = monotonicNanos();
+  std::vector<JobHandle> Handles;
+  for (int64_t Round = 0; Round < *Repeat; ++Round) {
+    for (const ManifestEntry &Entry : *EntriesOrErr) {
+      for (unsigned Copy = 0; Copy < std::max(1u, Entry.Repeat); ++Copy) {
+        auto HandleOrErr = Service.submit(Entry.Spec);
+        if (!HandleOrErr) {
+          std::fprintf(stderr, "submit %s: %s\n", Entry.Spec.Name.c_str(),
+                       HandleOrErr.error().render().c_str());
+          return 1;
+        }
+        Handles.push_back(*HandleOrErr);
+      }
+    }
+  }
+
+  unsigned Failed = 0;
+  for (const JobHandle &Handle : Handles) {
+    const JobResult &R = Handle.wait();
+    if (R.State != JobState::Done)
+      ++Failed;
+    std::fputs(renderJobLine(R).c_str(), OutFile);
+  }
+  Service.drain();
+  double WallSec = static_cast<double>(monotonicNanos() - StartNs) * 1e-9;
+  FleetStats Fleet = Service.fleetStats();
+
+  if (!TraceOut->empty()) {
+    TraceRecorder *Trace = TraceRecorder::active();
+    if (!Trace->writeJson(*TraceOut))
+      std::fprintf(stderr, "cannot write trace to %s\n", TraceOut->c_str());
+    TraceRecorder::uninstall();
+  }
+
+  if (*Summary == "json") {
+    std::fprintf(
+        OutFile,
+        "{\"fleet\": true,\"schema_version\": %u,\"jobs\": %" PRIu64
+        ",\"completed\": %" PRIu64 ",\"failed\": %" PRIu64
+        ",\"retried\": %" PRIu64 ",\"deadline_exceeded\": %" PRIu64
+        ",\"machines_created\": %" PRIu64 ",\"machines_reused\": %" PRIu64
+        ",\"wall_seconds\": %.6f,\"jobs_per_second\": %.3f}\n",
+        StatsReport::SchemaVersion, Fleet.Submitted, Fleet.Completed,
+        Fleet.Failed, Fleet.Retried, Fleet.DeadlineExceeded,
+        Fleet.MachinesCreated, Fleet.MachinesReused, WallSec,
+        WallSec > 0 ? static_cast<double>(Fleet.Completed) / WallSec : 0);
+  }
+  std::fprintf(
+      stderr,
+      "fleet: %" PRIu64 " jobs in %.3fs (%.1f jobs/s) | completed %" PRIu64
+      " failed %" PRIu64 " retried %" PRIu64 " deadline-exceeded %" PRIu64
+      " | machines created %" PRIu64 " reused %" PRIu64
+      " | avg queue %.3fms run %.3fms\n",
+      Fleet.Submitted, WallSec,
+      WallSec > 0 ? static_cast<double>(Fleet.Completed) / WallSec : 0,
+      Fleet.Completed, Fleet.Failed, Fleet.Retried, Fleet.DeadlineExceeded,
+      Fleet.MachinesCreated, Fleet.MachinesReused,
+      Fleet.Submitted
+          ? static_cast<double>(Fleet.QueueNs) / Fleet.Submitted * 1e-6
+          : 0,
+      Fleet.Submitted
+          ? static_cast<double>(Fleet.RunNs) / Fleet.Submitted * 1e-6
+          : 0);
+
+  if (OutFile != stdout)
+    std::fclose(OutFile);
+  return Failed ? 1 : 0;
+}

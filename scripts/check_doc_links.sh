@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
-# Doc lint: fail on dead intra-repo links in the Markdown docs.
+# Doc lint: fail on dead intra-repo links in the Markdown docs, and on
+# docs/ pages that are unreachable from README.md.
 #
-# Checks every [text](target) and every `path/like/this.ext` reference in
-# README.md, EXPERIMENTS.md and docs/*.md, and fails if a target that
-# looks repo-relative does not exist. External URLs and pure anchors are
-# ignored. Run from anywhere; operates on the repo root.
+# Pass 1 checks every [text](target) and every `path/like/this.ext`
+# reference in README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md, and
+# fails if a target that looks repo-relative does not exist. External
+# URLs and pure anchors are ignored.
+#
+# Pass 2 walks the Markdown-link graph from README.md (both [](...)
+# links and `backticked` doc references count as edges) and fails if
+# any file under docs/ is not reachable — every doc page must be
+# discoverable starting from the front page.
+#
+# Run from anywhere; operates on the repo root.
 set -u
 
 Root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$Root" || exit 1
 
 Fail=0
-Files=(README.md EXPERIMENTS.md docs/*.md)
+Files=(README.md DESIGN.md EXPERIMENTS.md docs/*.md)
 
 check_target() {
   local File="$1" Target="$2"
@@ -20,6 +28,7 @@ check_target() {
   [ -z "$Path" ] && return 0
   case "$Path" in
     http://*|https://*|mailto:*|/*) return 0 ;; # external or absolute
+    results/*) return 0 ;; # generated bench artifacts (scripts/run_bench.sh)
   esac
   # Resolve relative to the referencing file's directory, then the root,
   # then src/ (code docs cite include-style paths like core/Machine.h).
@@ -51,8 +60,64 @@ for File in "${Files[@]}"; do
   done < <(grep -o '`[A-Za-z0-9_./-]*/[A-Za-z0-9_.-]*\.[a-z]\{1,4\}`' "$File")
 done
 
+# --- Pass 2: every docs/*.md page must be reachable from README.md ---------
+
+# Markdown files a given file links to, normalized to repo-relative
+# paths. Edges are [text](target.md) links plus `backticked` .md refs.
+md_links() {
+  local File="$1" Dir Target Path
+  Dir="$(dirname "$File")"
+  {
+    grep -o '\[[^]]*\]([^)]*)' "$File" 2>/dev/null | sed 's/.*(\(.*\))/\1/'
+    grep -o '`[A-Za-z0-9_./-]*\.md`' "$File" 2>/dev/null | tr -d '`'
+  } | while IFS= read -r Target; do
+    Path="${Target%%#*}"
+    [ -z "$Path" ] && continue
+    case "$Path" in
+      http://*|https://*|mailto:*|/*) continue ;;
+      *.md) ;;
+      *) continue ;;
+    esac
+    if [ -f "$Dir/$Path" ]; then
+      # Normalize docs/../README.md-style paths via the filesystem.
+      (cd "$Dir" && cd "$(dirname "$Path")" &&
+       printf '%s/%s\n' "$(pwd)" "$(basename "$Path")") |
+        sed "s|^$Root/||"
+    elif [ -f "$Path" ]; then
+      printf '%s\n' "$Path"
+    fi
+  done
+}
+
+Reachable=$'README.md'
+Frontier=(README.md)
+while [ "${#Frontier[@]}" -gt 0 ]; do
+  Next=()
+  for File in "${Frontier[@]}"; do
+    while IFS= read -r Link; do
+      [ -z "$Link" ] && continue
+      case "$Reachable" in
+        *"$Link"*) continue ;;
+      esac
+      Reachable="$Reachable"$'\n'"$Link"
+      Next+=("$Link")
+    done < <(md_links "$File")
+  done
+  Frontier=("${Next[@]+"${Next[@]}"}")
+done
+
+for Doc in docs/*.md; do
+  case "$Reachable" in
+    *"$Doc"*) ;;
+    *)
+      echo "UNREACHABLE: $Doc is not linked (directly or transitively) from README.md"
+      Fail=1
+      ;;
+  esac
+done
+
 if [ "$Fail" -ne 0 ]; then
-  echo "doc lint failed: fix the dead links above" >&2
+  echo "doc lint failed: fix the dead links / unreachable docs above" >&2
   exit 1
 fi
-echo "doc lint: all intra-repo links resolve"
+echo "doc lint: all intra-repo links resolve; all docs/ pages reachable from README.md"

@@ -4,7 +4,10 @@
 # google-benchmark suite and merges both into $OUT/BENCH_engine.json
 # (thresholds in docs/ENGINE.md), then runs bench/serve_throughput
 # (pooled vs fresh Machine batch throughput) into $OUT/BENCH_serve.json
-# (the PR-5 pooled/fresh >= 1.5x gate; docs/SERVING.md). Both artifacts
+# (the PR-5 pooled/fresh >= 1.5x gate; docs/SERVING.md), and finally
+# bench/micro_jit (tier-1 JIT vs tier-0 interpreter) into
+# $OUT/BENCH_jit.json, enforcing the >= 5x straight-line speedup gate
+# (docs/JIT.md) whenever tier-1 is available on the host. All artifacts
 # are uploaded by the CI perf-smoke job.
 #
 # Usage: scripts/run_bench.sh [--quick]
@@ -23,11 +26,16 @@ DISPATCH_ARGS=(--scheme hst --threads 1,4,16 --json micro_dispatch.json)
 MICRO_ARGS=(--benchmark_min_time=0.2 --benchmark_out=micro_ops.json
             --benchmark_out_format=json)
 SERVE_ARGS=(--workers 1,4,16 --json serve_throughput.json)
+JIT_ARGS=(--scheme hst --threads 1 --json micro_jit.json)
 if [ "$QUICK" = 1 ]; then
   DISPATCH_ARGS+=(--iters 20000 --repeats 1)
   MICRO_ARGS=(--benchmark_min_time=0.05 --benchmark_out=micro_ops.json
               --benchmark_out_format=json)
   SERVE_ARGS+=(--repeats 1)
+  # Keep the iteration count high enough that compile time, timer
+  # granularity, and frequency ramping cannot mask the steady-state
+  # speedup the gate measures.
+  JIT_ARGS+=(--iters 500000 --repeats 2)
 fi
 
 echo "==== micro_dispatch ===="
@@ -90,5 +98,34 @@ with open(path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
 print("wrote", path, "pooled/fresh:", speedups)
+EOF
+echo "==== micro_jit ===="
+"$BUILD/bench/micro_jit" "${JIT_ARGS[@]}" 2>&1 | tee micro_jit.txt
+
+echo "==== merge -> $OUT/BENCH_jit.json (gate: straight >= 5x) ===="
+python3 - . <<'EOF'
+import json, sys, os
+out = sys.argv[1]
+with open(os.path.join(out, "micro_jit.json")) as f:
+    jit = json.load(f)
+merged = {
+    "artifact": "BENCH_jit",
+    "micro_jit": jit,
+    "speedups": jit.get("speedups", {}),
+    "jit_available": jit.get("jit_available", False),
+}
+path = os.path.join(out, "BENCH_jit.json")
+with open(path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print("wrote", path, "speedups:", merged["speedups"])
+if merged["jit_available"]:
+    straight = merged["speedups"].get("straight", 0.0)
+    if straight < 5.0:
+        sys.exit("FAIL: straight-line tier-1 speedup %.2fx < 5x gate "
+                 "(docs/JIT.md)" % straight)
+    print("gate ok: straight-line %.2fx >= 5x" % straight)
+else:
+    print("tier-1 unavailable on this host; speedup gate skipped")
 EOF
 echo "done; outputs in $OUT/"

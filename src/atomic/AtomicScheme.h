@@ -97,6 +97,20 @@ struct SchemeTraits {
   const char *Portability; ///< Table II qualitative label.
 };
 
+/// What the tier-1 JIT may emit inline for a scheme (docs/JIT.md
+/// "Per-scheme inline sequences"). Everything here is a translation-time
+/// constant for one code-cache generation: Machine::setScheme flushes the
+/// TB cache — retiring the emitted code with it — before a different
+/// scheme can answer differently.
+struct JitInlineInfo {
+  /// Hash table the fused HstStoreTag micro-op updates inline (the HST
+  /// fast path: ~4 host instructions per tagged granule). Null when the
+  /// scheme keeps no such table; HstStoreTag then lowers to nothing,
+  /// matching the interpreter's null-table skip.
+  const std::atomic<uint32_t> *HstTable = nullptr;
+  uint64_t HstMask = 0;
+};
+
 /// Lifecycle states of an AtomicScheme (docs/API.md).
 enum class SchemeState {
   Detached, ///< Not bound to a machine; only attach() is legal.
@@ -156,6 +170,17 @@ public:
   /// open PICO-HTM transaction or exclusive-fallback floor — must release
   /// it here or parked sibling threads deadlock.
   virtual void onCpuStopped(VCpu &Cpu) {}
+
+  // --- Tier-1 JIT inline-emission hook --------------------------------------
+
+  /// Describes what the tier-1 JIT may inline for this scheme. The base
+  /// default is the empty contract: plain loads/stores still use the
+  /// fastmem window with epoch-checked deoptimization (which is how the
+  /// PST family's fault-driven protection transitions stay correct under
+  /// emitted code), and every scheme-routed micro-op (LL/SC, helpers)
+  /// calls out to the runtime thunks. Schemes that publish inlinable
+  /// state (HST's hash table) override. Legal only while Attached.
+  virtual JitInlineInfo jitInlineInfo() const { return {}; }
 
 protected:
   // --- Lifecycle extension points ------------------------------------------

@@ -6,6 +6,7 @@
 
 #include "core/Machine.h"
 
+#include "engine/jit/Jit.h"
 #include "guest/Assembler.h"
 #include "mem/FaultGuard.h"
 #include "support/BitUtils.h"
@@ -19,6 +20,7 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 using namespace llsc;
@@ -77,6 +79,20 @@ ErrorOr<std::unique_ptr<Machine>> Machine::create(const MachineConfig &Config) {
   EngineCfg.MaxWallNanosPerCpu =
       static_cast<uint64_t>(Config.MaxSecondsPerCpu * 1e9);
   M->Exec = std::make_unique<Engine>(M->Ctx, *M->Cache, EngineCfg);
+
+  // Tier-1 JIT, on supported hosts: region allocation failure or an
+  // explicit disable leaves TheJit null and the machine tier-0 only.
+  if (LLSC_JIT_SUPPORTED && Config.Jit && !std::getenv("LLSC_NO_JIT")) {
+    jit::JitConfig JitCfg;
+    JitCfg.HotThreshold =
+        std::getenv("LLSC_FORCE_JIT") ? 0 : Config.JitHotThreshold;
+    M->TheJit = jit::Jit::create(JitCfg, M->Excl.pendingFlagAddr(),
+                                 M->Mem->fastPathEpochAddr());
+    if (M->TheJit) {
+      M->Cache->setListener(M->TheJit.get());
+      M->Exec->setJit(M->TheJit.get());
+    }
+  }
 
   M->Cpus.resize(Config.NumThreads);
   for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {

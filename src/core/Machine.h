@@ -68,6 +68,16 @@ struct MachineConfig {
   /// livelocks spent inside scheme spin loops (PICO-HTM).
   double MaxSecondsPerCpu = 0;
 
+  // --- Tier-1 JIT -----------------------------------------------------------
+  /// Enable the tier-1 x86-64 JIT backend (docs/JIT.md). Effective only on
+  /// supported hosts (x86-64 Linux, non-TSAN builds) — elsewhere the
+  /// machine silently runs tier-0 only. The LLSC_NO_JIT environment
+  /// variable force-disables; LLSC_FORCE_JIT forces JitHotThreshold to 0.
+  bool Jit = true;
+  /// Tier-0 dispatches of a block before it compiles; 0 = compile on
+  /// first dispatch.
+  uint32_t JitHotThreshold = 16;
+
   // --- Scheme tuning (forwarded to createScheme) ----------------------------
   /// HST-family hash-table size, log2 of the entry count (Figure 4).
   unsigned HstTableLog2 = 20;
@@ -242,6 +252,8 @@ public:
   Translator &translator() { return *Trans; }
   TbCache &cache() { return *Cache; }
   Engine &engine() { return *Exec; }
+  /// The tier-1 JIT, or null when disabled/unsupported (tests, bench).
+  jit::Jit *jitBackend() { return TheJit.get(); }
   MachineContext &context() { return Ctx; }
   const MachineConfig &config() const { return Config; }
   const guest::Program &program() const { return Prog; }
@@ -320,6 +332,10 @@ private:
   std::unique_ptr<Translator> Trans;
   std::unique_ptr<TbCache> Cache;
   std::unique_ptr<Engine> Exec;
+  /// Tier-1 JIT; null when disabled or unsupported. Declared after Cache
+  /// so it is destroyed first, while the blocks referencing its code
+  /// regions still exist (nothing executes during destruction).
+  std::unique_ptr<jit::Jit> TheJit;
   MachineContext Ctx;
   std::vector<VCpu> Cpus;
   guest::Program Prog;

@@ -15,6 +15,7 @@
 #include "engine/Engine.h"
 
 #include "atomic/AtomicScheme.h"
+#include "engine/jit/Jit.h"
 #include "htm/Htm.h"
 #include "mem/GuestMemory.h"
 #include "runtime/Exclusive.h"
@@ -591,6 +592,78 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
       Cpu.FastMemEpoch = MemEpoch;
       Cpu.FastMemBase = Mem.primaryBase();
       Cpu.FastMemLimit = Mem.fastPathAllowed() ? Mem.size() : 0;
+    }
+
+    // --- Tier-1 dispatch ---------------------------------------------------
+    // Hand hot blocks to the JIT and let emitted code chain through its
+    // successors until an exit condition (docs/JIT.md). Stays tier-0 in
+    // cooperative mode (unregistered; the litmus replayer counts blocks
+    // one at a time), under profiling (bucket attribution is interpreter
+    // state), under HTM schemes (per-block footprint accounting), and
+    // while per-block trace logging is on.
+    if (TheJit && Registered && !Config.Profile && !Ctx.Htm &&
+        LLSC_LIKELY(!logEnabled(LogLevel::Trace))) {
+      if (const void *Code = TheJit->codeFor(*Block, Cpu)) {
+        // A previous tier-1 exit left an unchained site whose target is
+        // this very block; patch it now that the target has code so the
+        // next pass through the site never leaves emitted code.
+        if (Cpu.JitPendingPatch) {
+          TheJit->patchChain(Cpu.JitPendingPatch, Code, Cpu);
+          Cpu.JitPendingPatch = 0;
+        }
+
+        // Chained-execution budget: emitted prologues decrement it once
+        // per block and exit at zero, so the budget/wall checks below
+        // still run often enough. Unlimited runs re-enter every ~2^30
+        // blocks; wall-budgeted runs every 64 (the interpreter's maximum
+        // clock-check stride).
+        int64_t Budget = int64_t(1) << 30;
+        if (Config.MaxBlocksPerCpu) {
+          uint64_t Done = Cpu.Counters.ExecutedBlocks;
+          uint64_t Left =
+              Config.MaxBlocksPerCpu > Done ? Config.MaxBlocksPerCpu - Done : 1;
+          if (static_cast<uint64_t>(Budget) > Left)
+            Budget = static_cast<int64_t>(Left);
+        }
+        if (Config.MaxWallNanosPerCpu && Budget > 64)
+          Budget = 64;
+        Cpu.JitChainBudget = Budget;
+
+        uint64_t BlocksBefore = Cpu.Counters.ExecutedBlocks;
+        Cpu.Events.JitEnters++;
+        jit::JitExit JExit = TheJit->enter(Cpu, Code);
+        Executed += Cpu.Counters.ExecutedBlocks - BlocksBefore;
+
+        if (JExit.kind() == jit::ExitKind::Halted) {
+          Cpu.Pc = 0;
+          return Finish(RunStatus::Halted);
+        }
+        Cpu.Pc = JExit.NextPc;
+        if (JExit.kind() == jit::ExitKind::Deopt)
+          Cpu.Events.JitDeopts++;
+
+        if (MaxBlocks && Executed >= MaxBlocks)
+          return Finish(RunStatus::Running);
+        if (Config.MaxBlocksPerCpu &&
+            Cpu.Counters.ExecutedBlocks >= Config.MaxBlocksPerCpu)
+          return Finish(RunStatus::TimedOut);
+        if (Config.MaxWallNanosPerCpu) {
+          if (monotonicNanos() - WallStart > Config.MaxWallNanosPerCpu)
+            return Finish(RunStatus::TimedOut);
+          WallCheckLeft = 0; // Stride state is stale; re-read next block.
+        }
+
+        BlockOrErr = LookupJmpCached(Cpu.Pc);
+        if (!BlockOrErr)
+          return BlockOrErr.error();
+        Block = *BlockOrErr;
+        // Loop top re-runs the safepoint poll and window revalidation the
+        // emitted prologue may have exited for (Safepoint/Deopt kinds).
+        continue;
+      }
+      // The pending site's target stays tier-0 (cold or bailed): the site
+      // keeps its fall-through stub and re-reports on every pass.
+      Cpu.JitPendingPatch = 0;
     }
 
     if (LLSC_UNLIKELY(logEnabled(LogLevel::Trace)))

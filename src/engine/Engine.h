@@ -29,6 +29,10 @@
 
 namespace llsc {
 
+namespace jit {
+class Jit;
+} // namespace jit
+
 /// Engine tunables.
 struct EngineConfig {
   /// Attribute time/ops to profile buckets (Fig. 12 runs).
@@ -80,6 +84,10 @@ public:
     Config.MaxWallNanosPerCpu = Budgets.MaxWallNanosPerCpu;
   }
 
+  /// Wires the tier-1 JIT (null = tier-0 only). Set by Machine::create
+  /// before any vCPU runs; never changed while one executes.
+  void setJit(jit::Jit *J) { TheJit = J; }
+
 private:
   /// How a block handed control back.
   struct BlockExit {
@@ -104,6 +112,7 @@ private:
   MachineContext &Ctx;
   TbCache &Cache;
   EngineConfig Config;
+  jit::Jit *TheJit = nullptr;
 };
 
 } // namespace llsc

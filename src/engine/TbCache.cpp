@@ -82,6 +82,8 @@ void TbCache::flush() {
   // Publish the new generation last: a vCPU that observes it sees empty
   // shards and drops its jump-cache contents.
   Generation.fetch_add(1, std::memory_order_release);
+  if (Listener)
+    Listener->onTbFlush();
 }
 
 void TbCache::reapRetired() {
@@ -89,6 +91,8 @@ void TbCache::reapRetired() {
     std::unique_lock<std::shared_mutex> WriteLock(S.Mutex);
     S.Retired.clear();
   }
+  if (Listener)
+    Listener->onTbReapRetired();
 }
 
 size_t TbCache::size() const {

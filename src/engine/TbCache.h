@@ -39,6 +39,12 @@ namespace llsc {
 
 class Translator;
 
+/// Tier-up state of a block, stored in CachedBlock::Tier. Transitions:
+/// NotCompiled -> Compiling (CAS, one winner) -> Jitted | Bailed, plus
+/// Compiling -> NotCompiled when a flush raced the compilation and the
+/// result was discarded. Bailed is terminal: the block stays tier-0.
+enum class BlockTier : uint8_t { NotCompiled = 0, Compiling, Jitted, Bailed };
+
 /// A cached, immutable translated block plus its chain slots.
 struct CachedBlock {
   ir::IRBlock IR;
@@ -53,12 +59,49 @@ struct CachedBlock {
   /// release, so a reader that acquires the pointer sees a matching pc.
   std::atomic<CachedBlock *> Chain[2] = {nullptr, nullptr};
   std::atomic<uint64_t> ChainPc[2] = {~0ULL, ~0ULL};
+
+  // --- Tier-1 JIT state (engine/jit/Jit.h, docs/JIT.md) -------------------
+  // Blocks are retired wholesale on flush(), never recycled, so this state
+  // only ever moves forward for a given CachedBlock instance.
+
+  /// Times the dispatch loop entered this block at tier 0; drives the
+  /// hotness threshold.
+  std::atomic<uint32_t> HotCount{0};
+
+  /// BlockTier, widened for the atomic.
+  std::atomic<uint8_t> Tier{static_cast<uint8_t>(BlockTier::NotCompiled)};
+
+  /// Entry point of the compiled body in the executable code region, or
+  /// nullptr. Published with release after installation; read with acquire.
+  std::atomic<const void *> JitCode{nullptr};
+};
+
+/// Observer of TB-cache lifecycle events. Implemented by the tier-1 JIT
+/// (engine/jit/Jit.h) so executable code regions are retired and freed in
+/// lockstep with the blocks whose JitCode pointers target them: a flush
+/// retires the active region alongside the blocks, and reapRetired() frees
+/// both under the same quiescence guarantee.
+class TbCacheListener {
+public:
+  virtual ~TbCacheListener() = default;
+
+  /// Called at the end of flush(), after every block is retired and the
+  /// generation was bumped. Runs under the same caller-provided exclusion
+  /// as flush() itself (quiescence floor or no running vCPUs).
+  virtual void onTbFlush() = 0;
+
+  /// Called at the end of reapRetired(), when retired blocks were freed.
+  virtual void onTbReapRetired() = 0;
 };
 
 /// Thread-safe pc -> block cache, mutex-striped into shards.
 class TbCache {
 public:
   explicit TbCache(Translator &Translator) : Trans(Translator) {}
+
+  /// Registers \p L (nullptr to clear) for flush/reap notifications.
+  /// Not thread-safe; wire up before any vCPU runs.
+  void setListener(TbCacheListener *L) { Listener = L; }
 
   /// Looks up (translating on miss) the block at \p Pc.
   /// \returns the cached block, or an error from translation.
@@ -117,6 +160,7 @@ private:
   };
 
   Translator &Trans;
+  TbCacheListener *Listener = nullptr;
   Shard Shards[NumShards];
   std::atomic<uint64_t> Lookups{0};
   std::atomic<uint64_t> Misses{0};

@@ -1,0 +1,66 @@
+//===- engine/jit/JitCompiler.h - IR block -> x86-64 lowering ---*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-block TranslationContext: lowers one CachedBlock's pre-decoded
+/// micro-ops to x86-64 through the raw byte emitter, with linear-scan
+/// register allocation over IR temps (guest registers stay memory-resident
+/// in the VCpu frame, QEMU-style). See docs/JIT.md for the lowering map
+/// and the register contract; JitRuntime.h describes the exit protocol the
+/// emitted prologue and exit stubs implement.
+///
+/// compileBlock is pure with respect to the machine: it writes only into
+/// the caller's emitter/fixup buffers. Unsupported shapes (temp pressure
+/// beyond the spill area, use of an undefined temp) return false — the
+/// caller marks the block Bailed and tier-0 keeps executing it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_ENGINE_JIT_JITCOMPILER_H
+#define LLSC_ENGINE_JIT_JITCOMPILER_H
+
+#include "engine/jit/CodeCache.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace llsc {
+
+struct CachedBlock;
+
+namespace jit {
+
+class X86Emitter;
+
+/// Translation-time constants baked into emitted code. All of them are
+/// stable for one TbCache generation: Machine::setScheme flushes the
+/// cache (retiring this code) before any of them can change.
+struct CompileEnv {
+  /// &ExclusiveContext's pending flag, polled at every block entry.
+  const void *ExclPendingAddr = nullptr;
+  /// &GuestMemory's fast-path epoch, compared against the vCPU's cached
+  /// epoch at entry to blocks that use the inline fastmem window.
+  const void *FastEpochAddr = nullptr;
+  /// HST hash table published by the active scheme (null when the scheme
+  /// has none); HstStoreTag ops inline against it.
+  const std::atomic<uint32_t> *HstTable = nullptr;
+  uint64_t HstMask = 0;
+  /// ReadSpecial(NumThreads) constant.
+  uint32_t NumThreads = 1;
+};
+
+/// Lowers \p Block into \p Em, recording relocations in \p Fixups.
+/// \returns false to bail (block stays tier-0). On success the buffer is
+/// a complete block body: entry checks, counter bookkeeping, op bodies,
+/// and exit stubs, ready for CodeCache::install.
+bool compileBlock(const CachedBlock &Block, const CompileEnv &Env,
+                  X86Emitter &Em, std::vector<Fixup> &Fixups);
+
+} // namespace jit
+} // namespace llsc
+
+#endif // LLSC_ENGINE_JIT_JITCOMPILER_H

@@ -1,0 +1,172 @@
+//===- engine/jit/JitRuntime.cpp - Thunks called by emitted code ---------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Each thunk mirrors one interpreter handler from engine/Engine.cpp,
+// including every counter increment and trace instant, so a program run
+// under tier-1 produces byte-identical guest state *and* identical
+// RunResult counters (modulo the engine.jit.* tier counters themselves).
+// Any change to a handler's bookkeeping in Engine.cpp must be made here
+// too — tests/JitTest.cpp's differential suite enforces the pairing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/jit/JitRuntime.h"
+
+#include "atomic/AtomicScheme.h"
+#include "ir/IR.h"
+#include "mem/GuestMemory.h"
+#include "runtime/VCpu.h"
+#include "support/BitUtils.h"
+#include "support/Logging.h"
+#include "support/Timing.h"
+#include "support/Trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <sched.h>
+
+using namespace llsc;
+
+extern "C" {
+
+uint64_t llscJitLoadLink(VCpu *Cpu, uint64_t Addr, uint64_t Size) {
+  uint64_t Value = Cpu->Ctx->Scheme->emulateLoadLink(
+      *Cpu, Addr, static_cast<unsigned>(Size));
+  Cpu->Counters.LoadLinks++;
+  Cpu->Events.LlIssued++;
+  if (TraceRecorder *Trace = TraceRecorder::active())
+    Trace->instant(Cpu->Tid, "ll", "atomic");
+  return Value;
+}
+
+uint64_t llscJitStoreCond(VCpu *Cpu, uint64_t Addr, uint64_t Value,
+                          uint64_t Size) {
+  bool Ok = Cpu->Ctx->Scheme->emulateStoreCond(*Cpu, Addr, Value,
+                                               static_cast<unsigned>(Size));
+  Cpu->Counters.StoreConds++;
+  Cpu->Events.ScAttempted++;
+  if (Ok) {
+    Cpu->Events.ScSucceeded++;
+  } else {
+    Cpu->Counters.StoreCondFailures++;
+    Cpu->Events.ScFailed++;
+  }
+  if (TraceRecorder *Trace = TraceRecorder::active())
+    Trace->instant(Cpu->Tid, Ok ? "sc" : "sc-fail", "atomic");
+  return Ok ? 0 : 1;
+}
+
+void llscJitClearExcl(VCpu *Cpu) { Cpu->Ctx->Scheme->clearExclusive(*Cpu); }
+
+void llscJitHelperStore(VCpu *Cpu, uint64_t Addr, uint64_t Value,
+                        uint64_t Size) {
+  Cpu->Ctx->Scheme->storeHook(*Cpu, Addr, Value, static_cast<unsigned>(Size));
+  Cpu->Counters.Stores++;
+  Cpu->Events.HelperStoreCalls++;
+}
+
+uint64_t llscJitHelperLoad(VCpu *Cpu, uint64_t Addr, uint64_t Size,
+                           uint64_t SignExtend) {
+  uint64_t Value =
+      Cpu->Ctx->Scheme->loadHook(*Cpu, Addr, static_cast<unsigned>(Size));
+  if (SignExtend)
+    Value = static_cast<uint64_t>(
+        signExtend(Value, static_cast<unsigned>(Size) * 8));
+  Cpu->Counters.Loads++;
+  Cpu->Events.HelperLoadCalls++;
+  return Value;
+}
+
+uint64_t llscJitHelper(VCpu *Cpu, const void *Fn, uint64_t A, uint64_t B) {
+  const auto &Helper = *static_cast<const ir::HelperFn *>(Fn);
+  uint64_t Value = Helper.Fn(Helper.Ctx, Cpu, A, B);
+  Cpu->Events.SchemeHelperCalls++;
+  return Value;
+}
+
+uint64_t llscJitLoadSlow(VCpu *Cpu, uint64_t Addr, uint64_t SizeAndFlags,
+                         uint64_t BlockPc) {
+  unsigned Size = static_cast<unsigned>(SizeAndFlags & 0xff);
+  bool Sext = (SizeAndFlags & 0x100) != 0;
+  GuestMemory &Mem = *Cpu->Ctx->Mem;
+  Cpu->Events.FastMemSlow++;
+  if (LLSC_UNLIKELY(Addr >= Mem.size() || Mem.size() - Addr < Size)) {
+    LLSC_ERROR("tid %u: guest load out of range at pc-block 0x%" PRIx64
+               " addr 0x%" PRIx64,
+               Cpu->Tid, BlockPc, Addr);
+    Cpu->Halted = true;
+    return 0;
+  }
+  uint64_t Value = Mem.load(Addr, Size);
+  if (Sext)
+    Value = static_cast<uint64_t>(signExtend(Value, Size * 8));
+  Cpu->Counters.Loads++;
+  return Value;
+}
+
+void llscJitStoreSlow(VCpu *Cpu, uint64_t Addr, uint64_t Value, uint64_t Size,
+                      uint64_t BlockPc) {
+  GuestMemory &Mem = *Cpu->Ctx->Mem;
+  Cpu->Events.FastMemSlow++;
+  if (LLSC_UNLIKELY(Addr >= Mem.size() ||
+                    Mem.size() - Addr < static_cast<unsigned>(Size))) {
+    LLSC_ERROR("tid %u: guest store out of range at pc-block 0x%" PRIx64
+               " addr 0x%" PRIx64,
+               Cpu->Tid, BlockPc, Addr);
+    Cpu->Halted = true;
+    return;
+  }
+  Mem.store(Addr, Value, static_cast<unsigned>(Size));
+  Cpu->Counters.Stores++;
+}
+
+uint64_t llscJitAtomicAdd(VCpu *Cpu, uint64_t Addr, uint64_t Delta,
+                          uint64_t Size) {
+  GuestMemory &Mem = *Cpu->Ctx->Mem;
+  if (LLSC_UNLIKELY(Addr >= Mem.size() ||
+                    Mem.size() - Addr < static_cast<unsigned>(Size))) {
+    LLSC_ERROR("tid %u: atomic rmw out of range addr 0x%" PRIx64, Cpu->Tid,
+               Addr);
+    Cpu->Halted = true;
+    return 0;
+  }
+  return Mem.fetchAdd(Addr, Delta, static_cast<unsigned>(Size));
+}
+
+uint64_t llscJitSysCall(VCpu *Cpu, uint64_t A, uint64_t Selector) {
+  if (static_cast<guest::SysCall>(Selector) == guest::SysCall::PrintReg) {
+    std::fprintf(stderr, "[guest tid %u] 0x%016" PRIx64 " (%" PRId64 ")\n",
+                 Cpu->Tid, A, static_cast<int64_t>(A));
+    return A;
+  }
+  LLSC_WARN("unknown SYS selector %lld", static_cast<long long>(Selector));
+  return 0;
+}
+
+void llscJitYield(VCpu *Cpu) {
+  Cpu->Counters.Yields++;
+  // Same randomized yield/short-sleep mix as the interpreter's Yield
+  // handler (Engine.cpp) — the sleep models timer-interrupt descheduling
+  // so cross-thread interleavings can form on mostly-idle hosts.
+  thread_local uint64_t YieldLcg =
+      0x9e3779b97f4a7c15ULL ^ (uint64_t)(uintptr_t)&YieldLcg;
+  YieldLcg = YieldLcg * 6364136223846793005ULL + 1442695040888963407ULL;
+  if ((YieldLcg >> 60) == 0) {
+    timespec Ts{0, static_cast<long>(20000 + ((YieldLcg >> 20) % 100000))};
+    nanosleep(&Ts, nullptr);
+  } else {
+    sched_yield();
+  }
+}
+
+uint64_t llscJitClockNanos() { return monotonicNanos(); }
+
+uint64_t llscJitDivRem(uint64_t Op, uint64_t A, uint64_t B) {
+  return ir::evalAluOp(static_cast<ir::IROp>(Op), A, B, /*Imm=*/0);
+}
+
+} // extern "C"

@@ -1,0 +1,154 @@
+//===- engine/jit/JitRuntime.h - Emitted-code <-> runtime ABI ---*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract between tier-1 emitted code and the C++ runtime: the exit
+/// protocol a block uses to hand control back to Engine::runLoop, and the
+/// extern "C" thunks emitted code calls for everything that is not worth
+/// inlining (scheme LL/SC hooks, slow-path guest memory, helpers, yields).
+///
+/// ABI of emitted block bodies (docs/JIT.md "Register contract"):
+///  - rbx pins the executing VCpu* for the whole chained run;
+///  - rbp, r12-r15 hold register-allocated IR temps (callee-saved, so they
+///    survive thunk calls); spilled temps live in VCpu::JitSpill;
+///  - rax, rcx, rdx, rsi, rdi, r8-r11 are per-micro-op scratch — never
+///    live across a thunk call;
+///  - rsp is 16-byte aligned at every point a `call` may be emitted (the
+///    trampoline's `sub rsp, 8` establishes this), so thunks are entered
+///    in a valid SysV frame;
+///  - a block exits by loading {NextPc, Kind} into rax:rdx and jumping to
+///    the region's shared epilogue, which pops the callee-saved frame and
+///    returns the pair to enterJit()'s caller as a JitExit.
+///
+/// Every thunk replicates the interpreter handler's bookkeeping exactly
+/// (counter increments, trace instants, halt-on-out-of-range), which is
+/// what makes the tier-0-vs-tier-1 differential tests able to compare
+/// RunResult counters verbatim (tests/JitTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_ENGINE_JIT_JITRUNTIME_H
+#define LLSC_ENGINE_JIT_JITRUNTIME_H
+
+#include <cstdint>
+
+namespace llsc {
+
+struct VCpu;
+
+namespace jit {
+
+/// Why emitted code returned to the runtime. Values are baked as
+/// immediates into emitted exit stubs — append only.
+enum class ExitKind : uint64_t {
+  /// The guest executed HALT (or an out-of-range access halted the vCPU).
+  /// NextPc is meaningless; the runtime zeroes Cpu.Pc like the interpreter.
+  Halted = 0,
+  /// A static exit (SetPcImm / taken BrCond) whose chain site is not yet
+  /// patched. NextPc is the target; VCpu::JitPendingPatch holds the
+  /// executable-view address of the site's rel32 operand so the runtime
+  /// can chain it once the target is compiled.
+  Exit = 1,
+  /// An indirect exit (SetPc). NextPc came from a guest register.
+  Indirect = 2,
+  /// The block-entry safepoint poll saw a pending exclusive section.
+  /// NextPc is the pc of the *unexecuted* block; no side effects ran.
+  Safepoint = 3,
+  /// The chained-execution budget (VCpu::JitChainBudget) hit zero. NextPc
+  /// is the pc of the unexecuted block.
+  Budget = 4,
+  /// The block-entry fastmem check saw GuestMemory::fastPathEpoch() move
+  /// against the vCPU's cached epoch: the window the code would use is
+  /// stale (a PST-family protection transition happened while parked).
+  /// NextPc is the pc of the unexecuted block; the runtime revalidates the
+  /// window and may immediately re-enter tier-1.
+  Deopt = 5,
+};
+
+/// The {NextPc, Kind} pair a block run returns. Two eightbytes, returned
+/// in rax:rdx per the SysV ABI — the shared epilogue materializes it.
+struct JitExit {
+  uint64_t NextPc;
+  uint64_t Kind;
+
+  ExitKind kind() const { return static_cast<ExitKind>(Kind); }
+};
+
+/// Signature of the region trampoline (CodeCache emits it): saves the
+/// callee-saved frame, pins \p Cpu in rbx, aligns rsp, and jumps to
+/// \p Body (a block's code start).
+using EnterFn = JitExit (*)(VCpu *Cpu, const void *Body);
+
+// --- Thunks ----------------------------------------------------------------
+//
+// extern "C" with unmangled names so the emitter can reference them as
+// plain addresses. All take the VCpu* first (emitted code forwards rbx).
+
+extern "C" {
+
+/// LoadLink micro-op: counters + trace + scheme.emulateLoadLink.
+uint64_t llscJitLoadLink(VCpu *Cpu, uint64_t Addr, uint64_t Size);
+
+/// StoreCond micro-op. \returns the guest-visible result (0 ok, 1 fail).
+uint64_t llscJitStoreCond(VCpu *Cpu, uint64_t Addr, uint64_t Value,
+                          uint64_t Size);
+
+/// ClearExcl micro-op.
+void llscJitClearExcl(VCpu *Cpu);
+
+/// HelperStore micro-op: scheme.storeHook + counters.
+void llscJitHelperStore(VCpu *Cpu, uint64_t Addr, uint64_t Value,
+                        uint64_t Size);
+
+/// HelperLoad micro-op: scheme.loadHook + counters; \p SignExtend != 0
+/// extends from Size*8 bits.
+uint64_t llscJitHelperLoad(VCpu *Cpu, uint64_t Addr, uint64_t Size,
+                           uint64_t SignExtend);
+
+/// Helper micro-op: \p Fn is a baked ir::HelperFn* (owned by the
+/// CachedBlock, which outlives the code via retire-don't-free).
+uint64_t llscJitHelper(VCpu *Cpu, const void *Fn, uint64_t A, uint64_t B);
+
+/// LoadG slow path (fastmem window missed or instrumented op): exactly the
+/// interpreter's slow path including the out-of-range halt. When the vCPU
+/// is halted the return value is 0 and emitted code must test
+/// VCpu::Halted before using it.
+uint64_t llscJitLoadSlow(VCpu *Cpu, uint64_t Addr, uint64_t SizeAndFlags,
+                         uint64_t BlockPc);
+
+/// StoreG slow path; halts the vCPU on out-of-range like the interpreter.
+void llscJitStoreSlow(VCpu *Cpu, uint64_t Addr, uint64_t Value,
+                      uint64_t Size, uint64_t BlockPc);
+
+/// AtomicAddG micro-op (rule-based LL/SC idiom lowering); halts on
+/// out-of-range.
+uint64_t llscJitAtomicAdd(VCpu *Cpu, uint64_t Addr, uint64_t Delta,
+                          uint64_t Size);
+
+/// SysCall micro-op.
+uint64_t llscJitSysCall(VCpu *Cpu, uint64_t A, uint64_t Selector);
+
+/// Yield micro-op: counter + the interpreter's randomized yield/sleep.
+void llscJitYield(VCpu *Cpu);
+
+/// ReadSpecial(ClockNanos).
+uint64_t llscJitClockNanos();
+
+/// UDiv/SDiv/URem/SRem with the interpreter's divide-by-zero and
+/// INT64_MIN/-1 semantics. \p Op is the ir::IROp opcode value.
+uint64_t llscJitDivRem(uint64_t Op, uint64_t A, uint64_t B);
+
+} // extern "C"
+
+/// Runs \p Body (a block's emitted entry) on \p Cpu via \p Enter.
+inline JitExit enterJit(EnterFn Enter, VCpu &Cpu, const void *Body) {
+  return Enter(&Cpu, Body);
+}
+
+} // namespace jit
+} // namespace llsc
+
+#endif // LLSC_ENGINE_JIT_JITRUNTIME_H

@@ -100,6 +100,12 @@ public:
     return FastPathEpoch.load(std::memory_order_acquire);
   }
 
+  /// Stable address of the epoch counter for the tier-1 JIT: block
+  /// prologues compare it against the vCPU's cached epoch and deopt on
+  /// mismatch (docs/JIT.md "Fastmem and deoptimization"). Read-only for
+  /// the JIT.
+  const void *fastPathEpochAddr() const { return &FastPathEpoch; }
+
   /// \returns true when every primary page is mapped read-write, i.e. a
   /// raw in-bounds access through primaryBase() cannot fault.
   bool fastPathAllowed() const {

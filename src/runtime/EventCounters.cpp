@@ -37,6 +37,11 @@ void EventCounters::merge(const EventCounters &Other) {
   JmpCacheMisses += Other.JmpCacheMisses;
   FastMemHits += Other.FastMemHits;
   FastMemSlow += Other.FastMemSlow;
+  JitBlocksCompiled += Other.JitBlocksCompiled;
+  JitCompileBails += Other.JitCompileBails;
+  JitEnters += Other.JitEnters;
+  JitDeopts += Other.JitDeopts;
+  JitChainPatches += Other.JitChainPatches;
   AdaptiveSamples += Other.AdaptiveSamples;
   AdaptiveSwaps += Other.AdaptiveSwaps;
   AdaptiveCooldownBlocked += Other.AdaptiveCooldownBlocked;
@@ -74,6 +79,11 @@ void EventCounters::flushToRegistry() const {
     std::atomic<uint64_t> *JmpCacheMisses;
     std::atomic<uint64_t> *FastMemHits;
     std::atomic<uint64_t> *FastMemSlow;
+    std::atomic<uint64_t> *JitBlocksCompiled;
+    std::atomic<uint64_t> *JitCompileBails;
+    std::atomic<uint64_t> *JitEnters;
+    std::atomic<uint64_t> *JitDeopts;
+    std::atomic<uint64_t> *JitChainPatches;
     std::atomic<uint64_t> *AdaptiveSamples;
     std::atomic<uint64_t> *AdaptiveSwaps;
     std::atomic<uint64_t> *AdaptiveCooldownBlocked;
@@ -107,6 +117,11 @@ void EventCounters::flushToRegistry() const {
         R.counter("engine.jmpcache.miss"),
         R.counter("engine.fastmem.hit"),
         R.counter("engine.fastmem.slow"),
+        R.counter("engine.jit.compiled"),
+        R.counter("engine.jit.bails"),
+        R.counter("engine.jit.enters"),
+        R.counter("engine.jit.deopts"),
+        R.counter("engine.jit.chain_patches"),
         R.counter("adaptive.samples"),
         R.counter("adaptive.swaps"),
         R.counter("adaptive.cooldown_blocked"),
@@ -143,6 +158,11 @@ void EventCounters::flushToRegistry() const {
   Add(C.JmpCacheMisses, JmpCacheMisses);
   Add(C.FastMemHits, FastMemHits);
   Add(C.FastMemSlow, FastMemSlow);
+  Add(C.JitBlocksCompiled, JitBlocksCompiled);
+  Add(C.JitCompileBails, JitCompileBails);
+  Add(C.JitEnters, JitEnters);
+  Add(C.JitDeopts, JitDeopts);
+  Add(C.JitChainPatches, JitChainPatches);
   Add(C.AdaptiveSamples, AdaptiveSamples);
   Add(C.AdaptiveSwaps, AdaptiveSwaps);
   Add(C.AdaptiveCooldownBlocked, AdaptiveCooldownBlocked);

@@ -82,6 +82,13 @@ struct EventCounters {
   uint64_t FastMemHits = 0;    ///< LoadG/StoreG via the fast-path window.
   uint64_t FastMemSlow = 0;    ///< LoadG/StoreG via the GuestMemory accessors.
 
+  // --- Tier-1 JIT (engine/jit/, docs/JIT.md) --------------------------------
+  uint64_t JitBlocksCompiled = 0; ///< Blocks lowered and installed.
+  uint64_t JitCompileBails = 0;   ///< Compilations bailed (block stays tier-0).
+  uint64_t JitEnters = 0;         ///< Trampoline entries into emitted code.
+  uint64_t JitDeopts = 0;         ///< Deopt exits (stale fastmem window).
+  uint64_t JitChainPatches = 0;   ///< Chain sites patched to direct jumps.
+
   // --- Adaptive controller --------------------------------------------------
   // Machine-level, not per-vCPU: charged to the machine's AdaptiveEvents
   // block and merged into the run total (runtime/AdaptiveController.h).
@@ -125,6 +132,11 @@ struct EventCounters {
     Fn("engine.jmpcache.miss", JmpCacheMisses);
     Fn("engine.fastmem.hit", FastMemHits);
     Fn("engine.fastmem.slow", FastMemSlow);
+    Fn("engine.jit.compiled", JitBlocksCompiled);
+    Fn("engine.jit.bails", JitCompileBails);
+    Fn("engine.jit.enters", JitEnters);
+    Fn("engine.jit.deopts", JitDeopts);
+    Fn("engine.jit.chain_patches", JitChainPatches);
     Fn("adaptive.samples", AdaptiveSamples);
     Fn("adaptive.swaps", AdaptiveSwaps);
     Fn("adaptive.cooldown_blocked", AdaptiveCooldownBlocked);

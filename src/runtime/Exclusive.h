@@ -73,6 +73,12 @@ public:
   /// the requester to be running.
   bool soleExclusive();
 
+  /// Stable address of the pending flag for the tier-1 JIT: emitted block
+  /// prologues poll it with one byte compare (the inlined equivalent of
+  /// safepoint()'s fast path) and exit to the runtime — which calls
+  /// safepoint() properly — when it is set. Read-only for the JIT.
+  const void *pendingFlagAddr() const { return &ExclPending; }
+
   /// Number of exclusive sections entered (for stats/tests).
   uint64_t exclusiveCount() const {
     return ExclusiveSections.load(std::memory_order_relaxed);

@@ -178,6 +178,27 @@ struct VCpu {
   uint64_t FastMemLimit = 0;
   uint64_t FastMemEpoch = 0; ///< Epoch the window was computed under.
 
+  // --- Tier-1 JIT frame (engine/jit/) -------------------------------------
+  //
+  // Emitted code addresses these fields relative to the pinned VCpu*
+  // (rbx); see docs/JIT.md for the register and exit contracts.
+
+  /// Remaining blocks chained tier-1 code may execute before handing
+  /// control back to the runtime (ExitKind::Budget). Decremented by every
+  /// emitted block prologue; Engine::runLoop recomputes it from the
+  /// block/wall budgets before each tier-1 entry.
+  int64_t JitChainBudget = 0;
+
+  /// Executable-view address of the rel32 operand of the chain site a
+  /// block exited through (ExitKind::Exit), so the runtime can patch the
+  /// jump once the successor is compiled.
+  uint64_t JitPendingPatch = 0;
+
+  /// Spill slots for register-allocated IR temps that overflow the host
+  /// callee-saved pool. Scratch between blocks; never reset.
+  static constexpr unsigned NumJitSpillSlots = 256;
+  uint64_t JitSpill[NumJitSpillSlots] = {};
+
   CpuProfile *profileOrNull() {
     return ProfilingEnabled ? &Profile : nullptr;
   }
@@ -198,6 +219,8 @@ struct VCpu {
     FastMemBase = nullptr;
     FastMemLimit = 0;
     FastMemEpoch = 0;
+    JitChainBudget = 0;
+    JitPendingPatch = 0;
   }
 };
 

@@ -439,5 +439,18 @@ ErrorOr<IRBlock> Translator::translateBlock(uint64_t StartPc) {
     if (!VerifyResult)
       return VerifyResult.error();
   }
+
+  // Liveness metadata for the tier-1 JIT's linear scan, computed after
+  // optimization so it reflects the instruction stream that executes.
+  // One forward pass: the last instruction referencing a value — as an
+  // operand or as its (re)definition — wins.
+  Block.TempLastUse.assign(Block.NumValues, IRBlock::NoUse);
+  for (uint32_t I = 0; I < Block.Insts.size(); ++I) {
+    const IRInst &Inst = Block.Insts[I];
+    Block.TempLastUse[Inst.A] = I;
+    Block.TempLastUse[Inst.B] = I;
+    if (writesDst(Inst.Op))
+      Block.TempLastUse[Inst.Dst] = I;
+  }
   return Block;
 }

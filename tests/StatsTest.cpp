@@ -177,9 +177,10 @@ TEST(StatsReportTest, MetricsMatchResultAndJsonParses) {
   std::string Json = Report.renderJson();
   // Shape, not a full parser: every catalogue name must appear as a key.
   Result->Events.forEach([&Json](const char *Name, uint64_t) {
-    EXPECT_NE(Json.find("\"" + std::string(Name) + "\":"),
-              std::string::npos)
-        << Name;
+    std::string Key = "\"";
+    Key += Name;
+    Key += "\":";
+    EXPECT_NE(Json.find(Key), std::string::npos) << Name;
   });
   EXPECT_NE(Json.find("\"wall_seconds\""), std::string::npos);
   EXPECT_NE(Json.find("\"per_cpu\""), std::string::npos);

@@ -31,10 +31,15 @@ namespace {
 std::unique_ptr<Machine> makeManyBlockMachine(unsigned NumBlocks) {
   std::string Source = "_start:\n";
   for (unsigned I = 0; I < NumBlocks; ++I) {
-    Source += "L" + std::to_string(I) + ": addi r1, r1, #1\n";
-    Source += "        b L" + std::to_string(I + 1) + "\n";
+    Source += "L";
+    Source += std::to_string(I);
+    Source += ": addi r1, r1, #1\n        b L";
+    Source += std::to_string(I + 1);
+    Source += "\n";
   }
-  Source += "L" + std::to_string(NumBlocks) + ": halt\n";
+  Source += "L";
+  Source += std::to_string(NumBlocks);
+  Source += ": halt\n";
 
   MachineConfig Config;
   Config.Scheme = SchemeKind::PicoCas;

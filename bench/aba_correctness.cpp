@@ -78,7 +78,7 @@ int main(int Argc, char **Argv) {
       if (auto Loaded = M->loadProgram(*ProgOrErr); !Loaded)
         reportFatalError(Loaded.error());
 
-      auto Result = M->run();
+      auto Result = M->run({});
       if (!Result)
         reportFatalError(Result.error());
       StackCheckResult Check =
@@ -135,7 +135,7 @@ int main(int Argc, char **Argv) {
         reportFatalError(ProgOrErr.error());
       if (auto Loaded = M->loadProgram(*ProgOrErr); !Loaded)
         reportFatalError(Loaded.error());
-      auto Result = M->run();
+      auto Result = M->run({});
       if (!Result)
         reportFatalError(Result.error());
       Corrupted +=

@@ -68,7 +68,7 @@ int main(int Argc, char **Argv) {
               auto M = makeBenchMachine(Kind, Threads);
               if (auto Loaded = M->loadProgram(*Prog); !Loaded)
                 return Loaded.error();
-              return M->run();
+              return M->run({});
             });
         Seconds.push_back(Mean);
         std::fprintf(stderr, "  %s/%s t=%u: %.3fs\n", Kernel.Name.c_str(),

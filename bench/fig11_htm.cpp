@@ -79,7 +79,7 @@ int main(int Argc, char **Argv) {
                                 static_cast<double>(*WallCap));
       if (auto Loaded = M->loadProgram(*Prog); !Loaded)
         reportFatalError(Loaded.error());
-      auto Result = M->run();
+      auto Result = M->run({});
       if (!Result)
         reportFatalError(Result.error());
 

@@ -57,7 +57,7 @@ int main(int Argc, char **Argv) {
         auto M = makeBenchMachine(Kind, Threads, /*Profile=*/true);
         if (auto Loaded = M->loadProgram(*Prog); !Loaded)
           reportFatalError(Loaded.error());
-        auto Result = M->run();
+        auto Result = M->run({});
         if (!Result)
           reportFatalError(Result.error());
 

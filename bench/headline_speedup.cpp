@@ -43,7 +43,7 @@ double timeKernel(SchemeKind Kind, const KernelParams &Kernel,
     auto &M = **MachineOrErr;
     if (auto Loaded = M.loadProgram(*Prog); !Loaded)
       return Loaded.error();
-    return M.run();
+    return M.run({});
   });
 }
 

@@ -136,7 +136,7 @@ int main(int Argc, char **Argv) {
         auto M = makeBenchMachine(*Kind, T);
         if (auto Loaded = M->loadAssembly(W.Source); !Loaded)
           reportFatalError(Loaded.error());
-        auto Result = M->run();
+        auto Result = M->run({});
         if (!Result)
           reportFatalError(Result.error());
         StatsReport Report(*Result);

@@ -200,7 +200,7 @@ int main(int Argc, char **Argv) {
         auto M = makeTierMachine(*Kind, Threads, Tier == 1);
         if (auto Loaded = M->loadAssembly(W.Source); !Loaded)
           reportFatalError(Loaded.error());
-        auto Result = M->run();
+        auto Result = M->run({});
         if (!Result)
           reportFatalError(Result.error());
         SumSeconds += Result->WallSeconds;

@@ -157,7 +157,7 @@ done:   halt
     reportFatalError(Loaded.error());
   uint64_t Insts = 0;
   for (auto _ : State) {
-    auto Result = M->run();
+    auto Result = M->run({});
     if (!Result)
       reportFatalError(Result.error());
     Insts += Result->Total.ExecutedInsts;

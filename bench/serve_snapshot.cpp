@@ -1,0 +1,249 @@
+//===- bench/serve_snapshot.cpp - snapshot clone vs fresh load fan-out ----------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures what copy-on-write machine snapshots buy the serve tier: the
+/// same batch of short jobs is pushed through BatchService three ways per
+/// concurrency level —
+///
+///   fresh    a new Machine + loadProgram per job (no pooling at all),
+///   pooled   the PR-5 path: reset() Machines recycled, byte-identical
+///            reload keeps the code cache warm,
+///   snapshot clones of one warm donor snapshot: guest memory attaches
+///            MAP_PRIVATE CoW to the sealed snapshot memfd and the
+///            donor's tier-0 + tier-1 code is adopted, so a clone never
+///            loads, never translates, never compiles.
+///
+/// The headline is snapshot/fresh jobs/s at 16 workers — the acceptance
+/// gate holds it to >= 10x (docs/SERVING.md "Snapshot fan-out") — and the
+/// fleet-summed engine.jit.compiled counter proves the clone path ran
+/// zero tier-1 compiles. Machines run with JitHotThreshold=0 (the
+/// LLSC_FORCE_JIT serving configuration): every executed block tiers up,
+/// which is precisely where warm shared code matters most and where
+/// fresh-per-job pays the full compile bill every time.
+///
+/// `--json FILE` emits the point list scripts/run_bench.sh merges into
+/// BENCH_serve.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "guest/Assembler.h"
+#include "serve/BatchService.h"
+#include "support/Timing.h"
+
+using namespace llsc;
+using namespace llsc::bench;
+using namespace llsc::serve;
+
+namespace {
+
+/// A short job with a deliberately wide code footprint: \p Units distinct
+/// LL/SC fetch-add sequences per loop iteration, each on its own word.
+/// Wide code is the honest case for snapshots — the per-job cost a clone
+/// skips is dominated by translation and tier-1 compilation, both
+/// proportional to code size, not data size.
+std::string fetchAddProgram(uint64_t Iters, unsigned Units) {
+  std::string S = formatString("_start: li      r9, #%llu\n",
+                               static_cast<unsigned long long>(Iters));
+  S += "loop:   cbz     r9, done\n";
+  for (unsigned U = 0; U < Units; ++U)
+    S += formatString(R"(        la      r10, word%u
+try%u:  ldxr.d  r1, [r10]
+        addi    r1, r1, #1
+        stxr.d  r2, r1, [r10]
+        cbnz    r2, try%u
+)",
+                      U, U, U);
+  S += "        addi    r9, r9, #-1\n"
+       "        b       loop\n"
+       "done:   halt\n";
+  for (unsigned U = 0; U < Units; ++U)
+    S += formatString("        .align 64\nword%u: .quad 0\n", U);
+  return S;
+}
+
+enum class Mode { Fresh, Pooled, Snapshot };
+
+const char *modeName(Mode M) {
+  switch (M) {
+  case Mode::Fresh:
+    return "fresh";
+  case Mode::Pooled:
+    return "pooled";
+  case Mode::Snapshot:
+    return "snapshot";
+  }
+  return "?";
+}
+
+struct Point {
+  unsigned Concurrency = 0;
+  Mode RunMode = Mode::Fresh;
+  unsigned Jobs = 0;
+  double Seconds = 0;
+  double JobsPerSec = 0;
+  uint64_t JitCompiled = 0;      ///< Fleet-summed engine.jit.compiled.
+  uint64_t SnapshotReused = 0;   ///< Warm clone-bucket pops.
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("snapshot-clone vs fresh-load batch fan-out");
+  std::string *WorkerList = Args.addString(
+      "workers", "4,16", "comma-separated concurrency levels");
+  int64_t *Jobs = Args.addInt("jobs", 256, "jobs per batch");
+  int64_t *Iters = Args.addInt("iters", 1, "guest loop iterations per job");
+  int64_t *Units = Args.addInt("units", 256, "fetch-add sites per loop body");
+  int64_t *Repeats = Args.addInt("repeats", 3, "batches per point");
+  std::string *JsonOut =
+      Args.addString("json", "", "write machine-readable points to FILE");
+  Args.parse(Argc, Argv);
+
+  std::vector<unsigned> Concurrencies;
+  for (std::string_view Tok : split(*WorkerList, ','))
+    Concurrencies.push_back(static_cast<unsigned>(
+        std::strtoul(std::string(Tok).c_str(), nullptr, 10)));
+
+  auto ProgOrErr = guest::assemble(fetchAddProgram(
+      static_cast<uint64_t>(*Iters), static_cast<unsigned>(*Units)));
+  if (!ProgOrErr)
+    reportFatalError(ProgOrErr.error());
+  guest::Program Program = ProgOrErr.take();
+
+  MachineConfig Shape;
+  Shape.Scheme = SchemeKind::Hst;
+  Shape.NumThreads = 1;
+  Shape.JitHotThreshold = 0; // Tier up on first execution (see header).
+
+  // Tier-1 availability decides whether the zero-recompile claim is
+  // checkable on this host; the throughput ratio is measured either way.
+  bool JitAvailable = false;
+  {
+    auto ProbeOrErr = Machine::create(Shape);
+    if (!ProbeOrErr)
+      reportFatalError(ProbeOrErr.error());
+    JitAvailable = (*ProbeOrErr)->jitBackend() != nullptr;
+  }
+
+  Table Results({"workers", "mode", "jobs", "seconds", "jobs/s",
+                 "jit.compiled", "snap.reused"});
+  std::vector<Point> Points;
+
+  for (unsigned Workers : Concurrencies) {
+    double FreshRate = 0, SnapshotRate = 0;
+    for (Mode M : {Mode::Fresh, Mode::Pooled, Mode::Snapshot}) {
+      double SumSeconds = 0;
+      uint64_t JitCompiled = 0, SnapReused = 0;
+      for (int64_t Rep = 0; Rep < *Repeats; ++Rep) {
+        BatchConfig Config;
+        Config.Workers = Workers;
+        Config.QueueCapacity = static_cast<size_t>(*Jobs);
+        Config.ReuseMachines = M != Mode::Fresh;
+        BatchService Service(Config);
+
+        std::shared_ptr<const MachineSnapshot> Snap;
+        if (M == Mode::Snapshot) {
+          // Donor capture (load + warm-up run + image) happens once and
+          // is deliberately outside the measured window: it is the cost
+          // the whole fleet amortizes.
+          JobSpec DonorSpec;
+          DonorSpec.Name = "donor";
+          DonorSpec.Program = Program;
+          DonorSpec.Machine = Shape;
+          auto SnapOrErr = Service.captureSnapshot(DonorSpec);
+          if (!SnapOrErr)
+            reportFatalError(SnapOrErr.error());
+          Snap = *SnapOrErr;
+        }
+
+        uint64_t StartNs = monotonicNanos();
+        for (int64_t J = 0; J < *Jobs; ++J) {
+          JobSpec Spec;
+          Spec.Name = formatString("job-%lld", static_cast<long long>(J));
+          Spec.Machine = Shape;
+          if (M == Mode::Snapshot)
+            Spec.Snapshot = Snap;
+          else
+            Spec.Program = Program;
+          // Threaded execution (the default), not cooperative: tier-1
+          // dispatch is threaded-only, and the differential being
+          // measured — fresh jobs translating and compiling ~Units
+          // blocks that clones adopt warm — only exists on that path.
+          // The per-job vCPU thread spawn costs both modes the same.
+          auto Handle = Service.submit(std::move(Spec));
+          if (!Handle)
+            reportFatalError(Handle.error());
+        }
+        Service.drain();
+        SumSeconds +=
+            static_cast<double>(monotonicNanos() - StartNs) * 1e-9;
+        FleetStats Fleet = Service.fleetStats();
+        if (Fleet.Failed)
+          reportFatalError(formatString(
+              "%llu jobs failed",
+              static_cast<unsigned long long>(Fleet.Failed)));
+        JitCompiled += Fleet.Events.JitBlocksCompiled;
+        SnapReused += Service.poolStats().SnapshotReused;
+      }
+      Point P;
+      P.Concurrency = Workers;
+      P.RunMode = M;
+      P.Jobs = static_cast<unsigned>(*Jobs);
+      P.Seconds = SumSeconds / static_cast<double>(*Repeats);
+      P.JobsPerSec =
+          P.Seconds > 0 ? static_cast<double>(*Jobs) / P.Seconds : 0;
+      P.JitCompiled = JitCompiled / static_cast<uint64_t>(*Repeats);
+      P.SnapshotReused = SnapReused / static_cast<uint64_t>(*Repeats);
+      Points.push_back(P);
+      if (M == Mode::Fresh)
+        FreshRate = P.JobsPerSec;
+      if (M == Mode::Snapshot)
+        SnapshotRate = P.JobsPerSec;
+
+      Results.addRow({formatString("%u", Workers), modeName(M),
+                      formatString("%u", P.Jobs),
+                      formatString("%.4f", P.Seconds),
+                      formatString("%.1f", P.JobsPerSec),
+                      formatString("%llu", static_cast<unsigned long long>(
+                                               P.JitCompiled)),
+                      formatString("%llu", static_cast<unsigned long long>(
+                                               P.SnapshotReused))});
+      std::fprintf(stderr, "  workers=%u %s: %.1f jobs/s\n", Workers,
+                   modeName(M), P.JobsPerSec);
+    }
+    std::fprintf(stderr, "  workers=%u snapshot/fresh = %.2fx\n", Workers,
+                 FreshRate > 0 ? SnapshotRate / FreshRate : 0);
+  }
+
+  emitTable("snapshot clone vs fresh load fan-out", Results,
+            "serve_snapshot.csv");
+
+  if (!JsonOut->empty()) {
+    FILE *Out = std::fopen(JsonOut->c_str(), "w");
+    if (!Out)
+      reportFatalError("cannot open " + *JsonOut);
+    std::fprintf(Out,
+                 "{\n\"bench\": \"serve_snapshot\",\n\"jit_available\": %s,"
+                 "\n\"points\": [",
+                 JitAvailable ? "true" : "false");
+    for (size_t I = 0; I < Points.size(); ++I) {
+      const Point &P = Points[I];
+      std::fprintf(Out,
+                   "%s\n  {\"workers\": %u, \"mode\": \"%s\", \"jobs\": %u, "
+                   "\"seconds\": %.6f, \"jobs_per_sec\": %.2f, "
+                   "\"jit_compiled\": %llu, \"snapshot_reused\": %llu}",
+                   I ? "," : "", P.Concurrency, modeName(P.RunMode), P.Jobs,
+                   P.Seconds, P.JobsPerSec,
+                   static_cast<unsigned long long>(P.JitCompiled),
+                   static_cast<unsigned long long>(P.SnapshotReused));
+    }
+    std::fprintf(Out, "\n]\n}\n");
+    std::fclose(Out);
+  }
+  return 0;
+}

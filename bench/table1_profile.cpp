@@ -46,7 +46,7 @@ int main(int Argc, char **Argv) {
                               static_cast<unsigned>(*Threads));
     if (auto Loaded = M->loadProgram(*Prog); !Loaded)
       reportFatalError(Loaded.error());
-    auto Result = M->run();
+    auto Result = M->run({});
     if (!Result)
       reportFatalError(Result.error());
 
@@ -55,7 +55,7 @@ int main(int Argc, char **Argv) {
                                        static_cast<unsigned>(*Threads));
     if (auto Loaded = PstMachine->loadProgram(*Prog); !Loaded)
       reportFatalError(Loaded.error());
-    auto PstResult = PstMachine->run();
+    auto PstResult = PstMachine->run({});
     if (!PstResult)
       reportFatalError(PstResult.error());
 

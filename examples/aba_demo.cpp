@@ -71,7 +71,7 @@ int main(int Argc, char **Argv) {
   std::printf("running %lld threads x %lld pop/push pairs under %s...\n",
               static_cast<long long>(*Threads),
               static_cast<long long>(*Iters), schemeTraits(*Kind).Name);
-  auto Result = M.run();
+  auto Result = M.run({});
   if (!Result) {
     std::fprintf(stderr, "error: %s\n", Result.error().render().c_str());
     return 1;

@@ -35,7 +35,12 @@ public:
   const SchemeTraits &traits() const override {
     static SchemeTraits Traits = {SchemeKind::PicoSt, // Closest kind.
                                   "global-lock", AtomicityClass::Strong,
-                                  "slow", false, "portable"};
+                                  "slow", false, "portable",
+                                  /*UsesPageProtection=*/false,
+                                  // Stores go through helpers that bake
+                                  // this instance in, so translations are
+                                  // not shareable across machines.
+                                  /*NeutralTranslations=*/false};
     return Traits;
   }
 
@@ -158,7 +163,7 @@ int main() {
     return 1;
   }
 
-  auto Result = M.run();
+  auto Result = M.run({});
   if (!Result) {
     std::fprintf(stderr, "error: %s\n", Result.error().render().c_str());
     return 1;

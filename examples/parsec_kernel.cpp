@@ -80,7 +80,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  auto Result = M.run();
+  auto Result = M.run({});
   if (!Result) {
     std::fprintf(stderr, "error: %s\n", Result.error().render().c_str());
     return 1;

@@ -75,7 +75,7 @@ counter: .word 0
   }
 
   // 3. Run: one host thread per guest thread.
-  auto Result = M.run();
+  auto Result = M.run({});
   if (!Result) {
     std::fprintf(stderr, "run error: %s\n", Result.error().render().c_str());
     return 1;

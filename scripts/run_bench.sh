@@ -3,12 +3,14 @@
 # lookup, threaded dispatch, guest-memory fast path) plus the micro_ops
 # google-benchmark suite and merges both into $OUT/BENCH_engine.json
 # (thresholds in docs/ENGINE.md), then runs bench/serve_throughput
-# (pooled vs fresh Machine batch throughput) into $OUT/BENCH_serve.json
-# (the PR-5 pooled/fresh >= 1.5x gate; docs/SERVING.md), and finally
-# bench/micro_jit (tier-1 JIT vs tier-0 interpreter) into
-# $OUT/BENCH_jit.json, enforcing the >= 5x straight-line speedup gate
-# (docs/JIT.md) whenever tier-1 is available on the host. All artifacts
-# are uploaded by the CI perf-smoke job.
+# (pooled vs fresh Machine batch throughput) and bench/serve_snapshot
+# (snapshot-clone vs fresh-load fan-out) into $OUT/BENCH_serve.json,
+# enforcing the PR-5 pooled/fresh >= 1.5x gate and the snapshot/fresh
+# >= 10x gate at 16 workers with zero clone-side tier-1 compiles
+# (docs/SERVING.md), and finally bench/micro_jit (tier-1 JIT vs tier-0
+# interpreter) into $OUT/BENCH_jit.json, enforcing the >= 5x
+# straight-line speedup gate (docs/JIT.md) whenever tier-1 is available
+# on the host. All artifacts are uploaded by the CI perf-smoke job.
 #
 # Usage: scripts/run_bench.sh [--quick]
 #   BUILD=<dir>  build tree to run from (default: build)
@@ -26,12 +28,17 @@ DISPATCH_ARGS=(--scheme hst --threads 1,4,16 --json micro_dispatch.json)
 MICRO_ARGS=(--benchmark_min_time=0.2 --benchmark_out=micro_ops.json
             --benchmark_out_format=json)
 SERVE_ARGS=(--workers 1,4,16 --json serve_throughput.json)
+SNAPSHOT_ARGS=(--workers 4,16 --json serve_snapshot.json)
 JIT_ARGS=(--scheme hst --threads 1 --json micro_jit.json)
 if [ "$QUICK" = 1 ]; then
   DISPATCH_ARGS+=(--iters 20000 --repeats 1)
   MICRO_ARGS=(--benchmark_min_time=0.05 --benchmark_out=micro_ops.json
               --benchmark_out_format=json)
   SERVE_ARGS+=(--repeats 1)
+  # Enough jobs that the >= 10x clone/fresh ratio is out of the noise
+  # even single-repeat: the snapshot side's floor is per-job thread
+  # spawn, amortized the same in both modes.
+  SNAPSHOT_ARGS+=(--jobs 128 --repeats 1)
   # Keep the iteration count high enough that compile time, timer
   # granularity, and frequency ramping cannot mask the steady-state
   # speedup the gate measures.
@@ -73,12 +80,17 @@ EOF
 echo "==== serve_throughput ===="
 "$BUILD/bench/serve_throughput" "${SERVE_ARGS[@]}" 2>&1 | tee serve_throughput.txt
 
-echo "==== merge -> $OUT/BENCH_serve.json ===="
+echo "==== serve_snapshot ===="
+"$BUILD/bench/serve_snapshot" "${SNAPSHOT_ARGS[@]}" 2>&1 | tee serve_snapshot.txt
+
+echo "==== merge -> $OUT/BENCH_serve.json (gate: snapshot >= 10x @16) ===="
 python3 - . <<'EOF'
 import json, sys, os
 out = sys.argv[1]
 with open(os.path.join(out, "serve_throughput.json")) as f:
     serve = json.load(f)
+with open(os.path.join(out, "serve_snapshot.json")) as f:
+    snap = json.load(f)
 points = serve.get("points", [])
 ratios = {}
 for p in points:
@@ -88,16 +100,46 @@ speedups = {
     for w, modes in sorted(ratios.items())
     if modes.get("fresh") and modes.get("pooled")
 }
+snap_ratios = {}
+for p in snap.get("points", []):
+    snap_ratios.setdefault(p["workers"], {})[p["mode"]] = p
+snap_speedups = {
+    str(w): round(modes["snapshot"]["jobs_per_sec"] /
+                  modes["fresh"]["jobs_per_sec"], 3)
+    for w, modes in sorted(snap_ratios.items())
+    if modes.get("fresh") and modes.get("snapshot")
+    and modes["fresh"]["jobs_per_sec"] > 0
+}
 merged = {
     "artifact": "BENCH_serve",
     "serve_throughput": serve,
+    "serve_snapshot": snap,
     "pooled_over_fresh": speedups,
+    "snapshot_over_fresh": snap_speedups,
 }
 path = os.path.join(out, "BENCH_serve.json")
 with open(path, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
-print("wrote", path, "pooled/fresh:", speedups)
+print("wrote", path, "pooled/fresh:", speedups,
+      "snapshot/fresh:", snap_speedups)
+# Acceptance gate (docs/SERVING.md "Snapshot fan-out"): cloning a warm
+# snapshot must beat fresh per-job loads >= 10x at 16 workers, and the
+# clone path must run zero tier-1 compiles when the JIT is available
+# (clones adopt the donor's warm code; anything else is a regression in
+# the sharing path).
+at16 = snap_speedups.get("16", 0.0)
+if at16 < 10.0:
+    sys.exit("FAIL: snapshot/fresh %.2fx < 10x gate at 16 workers "
+             "(docs/SERVING.md)" % at16)
+print("gate ok: snapshot/fresh %.2fx >= 10x at 16 workers" % at16)
+if snap.get("jit_available"):
+    compiled = [p for p in snap.get("points", [])
+                if p["mode"] == "snapshot" and p["jit_compiled"] != 0]
+    if compiled:
+        sys.exit("FAIL: snapshot-mode clones compiled tier-1 blocks: %r"
+                 % compiled)
+    print("gate ok: zero tier-1 compiles across all snapshot-mode points")
 EOF
 echo "==== micro_jit ===="
 "$BUILD/bench/micro_jit" "${JIT_ARGS[@]}" 2>&1 | tee micro_jit.txt

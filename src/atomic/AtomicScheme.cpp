@@ -49,27 +49,29 @@ uint64_t AtomicScheme::loadHook(VCpu &Cpu, uint64_t Addr, unsigned Size) {
 
 namespace {
 
+// Trailing pair per row: UsesPageProtection, NeutralTranslations (the
+// snapshot sharing gates; see SchemeTraits).
 constexpr SchemeTraits TraitsTable[] = {
     {SchemeKind::PicoCas, "pico-cas", AtomicityClass::Incorrect, "fast",
-     false, "portable"},
+     false, "portable", false, true},
     {SchemeKind::PicoSt, "pico-st", AtomicityClass::Strong, "slow", false,
-     "portable"},
+     "portable", false, true},
     {SchemeKind::PicoHtm, "pico-htm", AtomicityClass::Incorrect, "fast",
-     true, "HTM"},
+     true, "HTM", false, true},
     {SchemeKind::Hst, "hst", AtomicityClass::Strong, "fast", false,
-     "portable"},
+     "portable", false, true},
     {SchemeKind::HstWeak, "hst-weak", AtomicityClass::Weak, "fast", false,
-     "portable"},
+     "portable", false, true},
     {SchemeKind::HstHtm, "hst-htm", AtomicityClass::Strong, "fast", true,
-     "HTM"},
+     "HTM", false, true},
     {SchemeKind::HstHelper, "hst-helper", AtomicityClass::Strong, "slow",
-     false, "portable"},
+     false, "portable", false, false},
     {SchemeKind::Pst, "pst", AtomicityClass::Strong, "slow", false,
-     "portable"},
+     "portable", true, true},
     {SchemeKind::PstRemap, "pst-remap", AtomicityClass::Strong, "varies",
-     false, "portable"},
+     false, "portable", true, true},
     {SchemeKind::PstMpk, "pst-mpk", AtomicityClass::Strong, "fast", false,
-     "portable (emulated MPK)"},
+     "portable (emulated MPK)", false, true},
 };
 
 } // namespace

@@ -87,7 +87,8 @@ enum class AtomicityClass {
   Strong,    ///< Catches conflicts from plain stores too.
 };
 
-/// Static description of a scheme (Table II row).
+/// Static description of a scheme (Table II row), extended with the two
+/// sharing properties the snapshot/clone machinery keys on.
 struct SchemeTraits {
   SchemeKind Kind;
   const char *Name;
@@ -95,20 +96,18 @@ struct SchemeTraits {
   const char *Speed;       ///< Table II qualitative label.
   bool RequiresHtm;
   const char *Portability; ///< Table II qualitative label.
-};
 
-/// What the tier-1 JIT may emit inline for a scheme (docs/JIT.md
-/// "Per-scheme inline sequences"). Everything here is a translation-time
-/// constant for one code-cache generation: Machine::setScheme flushes the
-/// TB cache — retiring the emitted code with it — before a different
-/// scheme can answer differently.
-struct JitInlineInfo {
-  /// Hash table the fused HstStoreTag micro-op updates inline (the HST
-  /// fast path: ~4 host instructions per tagged granule). Null when the
-  /// scheme keeps no such table; HstStoreTag then lowers to nothing,
-  /// matching the interpreter's null-table skip.
-  const std::atomic<uint32_t> *HstTable = nullptr;
-  uint64_t HstMask = 0;
+  /// True for schemes that mprotect/remap guest pages (PST, PST-REMAP).
+  /// Snapshot restore must deep-copy guest memory for these instead of
+  /// attaching a CoW view: their fault recovery remaps pages against the
+  /// machine's own memfd, which a MAP_PRIVATE snapshot view cannot honor.
+  bool UsesPageProtection;
+
+  /// True when the scheme's translations carry no machine-instance state,
+  /// so TB-cache + JIT code can be shared read-only between a snapshot
+  /// and its clones. False only for HST-HELPER, whose store prologue
+  /// bakes the scheme instance into helper records (ir::HelperFn::Ctx).
+  bool NeutralTranslations;
 };
 
 /// Lifecycle states of an AtomicScheme (docs/API.md).
@@ -170,17 +169,6 @@ public:
   /// open PICO-HTM transaction or exclusive-fallback floor — must release
   /// it here or parked sibling threads deadlock.
   virtual void onCpuStopped(VCpu &Cpu) {}
-
-  // --- Tier-1 JIT inline-emission hook --------------------------------------
-
-  /// Describes what the tier-1 JIT may inline for this scheme. The base
-  /// default is the empty contract: plain loads/stores still use the
-  /// fastmem window with epoch-checked deoptimization (which is how the
-  /// PST family's fault-driven protection transitions stay correct under
-  /// emitted code), and every scheme-routed micro-op (LL/SC, helpers)
-  /// calls out to the runtime thunks. Schemes that publish inlinable
-  /// state (HST's hash table) override. Legal only while Attached.
-  virtual JitInlineInfo jitInlineInfo() const { return {}; }
 
 protected:
   // --- Lifecycle extension points ------------------------------------------

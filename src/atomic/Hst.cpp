@@ -66,18 +66,6 @@ public:
 
   void onReset() override { zeroTable(); }
 
-  JitInlineInfo jitInlineInfo() const override {
-    // Same publication rule as onAttach: only plain HST hands the table
-    // to inline emission (HST-WEAK has no store instrumentation to
-    // inline; HST-HELPER deliberately routes through the helper).
-    JitInlineInfo Info;
-    if (Variant == SchemeKind::Hst) {
-      Info.HstTable = Table.data();
-      Info.HstMask = Mask;
-    }
-    return Info;
-  }
-
   void onDetach() override {
     // Unpublish the fused-op table and drop every armed tag so the next
     // scheme starts from a neutral machine.

@@ -56,15 +56,6 @@ public:
 
   void onReset() override { zeroTable(); }
 
-  JitInlineInfo jitInlineInfo() const override {
-    // Published for completeness; HTM machines currently stay tier-0
-    // (per-block footprint accounting lives in the interpreter loop).
-    JitInlineInfo Info;
-    Info.HstTable = Table.data();
-    Info.HstMask = Mask;
-    return Info;
-  }
-
   void onDetach() override {
     if (Ctx->HstTable == Table.data()) {
       Ctx->HstTable = nullptr;

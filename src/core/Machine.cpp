@@ -6,6 +6,7 @@
 
 #include "core/Machine.h"
 
+#include "core/Snapshot.h"
 #include "engine/jit/Jit.h"
 #include "guest/Assembler.h"
 #include "mem/FaultGuard.h"
@@ -67,18 +68,20 @@ ErrorOr<std::unique_ptr<Machine>> Machine::create(const MachineConfig &Config) {
   M->Ctx.Htm = M->Htm.get();
   M->Ctx.Scheme = M->Scheme.get();
   M->Ctx.NumThreads = Config.NumThreads;
+  M->Ctx.ExclPendingAddr = M->Excl.pendingFlagAddr();
+  M->Ctx.FastEpochAddr = M->Mem->fastPathEpochAddr();
   M->Scheme->attach(M->Ctx);
 
   M->Trans = std::make_unique<Translator>(*M->Mem, M->Scheme.get(),
                                           Config.Translation);
-  M->Cache = std::make_unique<TbCache>(*M->Trans);
+  M->Cache = std::make_shared<TbCache>();
 
   EngineConfig EngineCfg;
   EngineCfg.Profile = Config.Profile;
   EngineCfg.MaxBlocksPerCpu = Config.MaxBlocksPerCpu;
   EngineCfg.MaxWallNanosPerCpu =
       static_cast<uint64_t>(Config.MaxSecondsPerCpu * 1e9);
-  M->Exec = std::make_unique<Engine>(M->Ctx, *M->Cache, EngineCfg);
+  M->Exec = std::make_unique<Engine>(M->Ctx, *M->Cache, *M->Trans, EngineCfg);
 
   // Tier-1 JIT, on supported hosts: region allocation failure or an
   // explicit disable leaves TheJit null and the machine tier-0 only.
@@ -86,8 +89,7 @@ ErrorOr<std::unique_ptr<Machine>> Machine::create(const MachineConfig &Config) {
     jit::JitConfig JitCfg;
     JitCfg.HotThreshold =
         std::getenv("LLSC_FORCE_JIT") ? 0 : Config.JitHotThreshold;
-    M->TheJit = jit::Jit::create(JitCfg, M->Excl.pendingFlagAddr(),
-                                 M->Mem->fastPathEpochAddr());
+    M->TheJit = jit::Jit::create(JitCfg);
     if (M->TheJit) {
       M->Cache->setListener(M->TheJit.get());
       M->Exec->setJit(M->TheJit.get());
@@ -140,7 +142,12 @@ ErrorOr<void> Machine::loadProgram(guest::Program NewProg) {
   // same contract a single run already has.
   uint64_t Hash = programImageHash(NewProg);
   if (Hash != LoadedImageHash) {
-    Cache->flush();
+    // A shared cache holds translations siblings still execute; walk away
+    // to a fresh private cache instead of flushing under them.
+    if (CodeShared)
+      privatizeCode();
+    else
+      Cache->flush();
     LoadedImageHash = Hash;
   }
   Prog = std::move(NewProg);
@@ -175,32 +182,38 @@ void Machine::reset() {
   //    batch-service steady state) skips retranslation entirely. Blocks
   //    retired by earlier hot-swap flushes, and the retired schemes their
   //    helpers reference, are freed now: no vCPU runs between jobs, so
-  //    nothing can hold a stale pointer.
-  Cache->reapRetired();
-  RetiredSchemes.clear();
+  //    nothing can hold a stale pointer. A *shared* cache is left alone:
+  //    siblings execute out of it, and it holds no retired blocks by
+  //    construction (every flush path privatizes first).
+  if (!CodeShared) {
+    Cache->reapRetired();
+    RetiredSchemes.clear();
+  }
 
   // 4. Guest memory and program. resetZero punches the backing pages out
   //    of the memfd — O(1) RSS release instead of a 64 MiB memset — and
-  //    the next touch faults in a fresh zero page.
+  //    the next touch faults in a fresh zero page. An attached snapshot
+  //    is detached inside resetZero; drop our handle on it too.
   Mem->resetZero();
+  AttachedSnapshot.reset();
+  RestorePoint.reset();
+  PendingCpuRestore = false;
   Prog = guest::Program();
   ++Resets;
 }
 
-void Machine::setScheme(std::unique_ptr<AtomicScheme> NewScheme) {
-  assert(NewScheme && "setScheme(nullptr)");
-  assert(NewScheme->state() == SchemeState::Detached &&
-         "setScheme requires a freshly created (Detached) scheme");
+void Machine::acquireFloor() {
   // Quiesce + drain. Holding the floor parks every vCPU at a TB boundary,
   // but a vCPU may already be *queued* for its own SC exclusive section —
   // and schemes capture monitor validity before queuing (Hst checks
   // Cpu.Monitor, Pst snapshots AddrOk), so letting that SC resume against
-  // the new scheme's empty state could succeed on stale evidence: a false
-  // SC success, the one outcome the swap must never produce. Release and
-  // re-acquire until ours is the only section, so queued old-scheme SCs
-  // complete under old-scheme semantics first. This terminates: each
-  // queued SC section is finite, and new ones cannot arrive while we hold
-  // the floor (queuing requires the requester to be running).
+  // reset scheme state could succeed on stale evidence: a false SC
+  // success, the one outcome a swap or snapshot must never produce.
+  // Release and re-acquire until ours is the only section, so queued
+  // old-state SCs complete under their own semantics first. This
+  // terminates: each queued SC section is finite, and new ones cannot
+  // arrive while we hold the floor (queuing requires the requester to be
+  // running).
   for (;;) {
     Excl.startExclusive(/*SelfRunning=*/false);
     if (Excl.soleExclusive())
@@ -208,6 +221,13 @@ void Machine::setScheme(std::unique_ptr<AtomicScheme> NewScheme) {
     Excl.endExclusive(/*SelfRunning=*/false);
     std::this_thread::yield();
   }
+}
+
+void Machine::setScheme(std::unique_ptr<AtomicScheme> NewScheme) {
+  assert(NewScheme && "setScheme(nullptr)");
+  assert(NewScheme->state() == SchemeState::Detached &&
+         "setScheme requires a freshly created (Detached) scheme");
+  acquireFloor();
   setSchemeLocked(std::move(NewScheme));
   Excl.endExclusive(/*SelfRunning=*/false);
 }
@@ -217,8 +237,12 @@ void Machine::setSchemeLocked(std::unique_ptr<AtomicScheme> NewScheme) {
   // vCPU re-resolves its block by cache generation before touching it
   // (engine/Engine.cpp), and the jump caches were invalidated by that
   // flush. Free them, and with them the scheme whose helpers they called.
-  Cache->reapRetired();
-  RetiredSchemes.clear();
+  // A shared cache is exempt: siblings still run out of it, and it holds
+  // no retired blocks anyway (shared caches are never flushed).
+  if (!CodeShared) {
+    Cache->reapRetired();
+    RetiredSchemes.clear();
+  }
 
   // Break cross-instruction state on every vCPU: open HTM transactions or
   // exclusive-fallback floors (onCpuStopped), then the armed LL window
@@ -252,8 +276,193 @@ void Machine::setSchemeLocked(std::unique_ptr<AtomicScheme> NewScheme) {
   // so executing a stale block under the new scheme would be a
   // correctness bug. Retired blocks stay allocated until the next swap —
   // a resuming vCPU may still hold a pointer for one last generation
-  // check.
-  Cache->flush();
+  // check. When the cache is co-owned by a snapshot, flushing would yank
+  // warm translations out from under sibling clones — walk away to fresh
+  // private caches instead; the shared ones live on untouched.
+  if (CodeShared) {
+    privatizeCode();
+    // Page-protection schemes need own-memfd backing (their remap entry
+    // points restore memfd pages); fold the CoW view into own backing
+    // before the new scheme starts protecting.
+    if (Mem->snapshotAttached() && Scheme->traits().UsesPageProtection) {
+      if (auto R = Mem->privatizeFromSnapshot(); !R)
+        LLSC_ERROR("privatizing snapshot memory for scheme swap failed: %s",
+                   R.error().message().c_str());
+      AttachedSnapshot.reset();
+    }
+  } else {
+    Cache->flush();
+  }
+}
+
+void Machine::privatizeCode() {
+  Cache = std::make_shared<TbCache>();
+  if (TheJit) {
+    // A fresh JIT, not a shared one: compiled code lives in the old Jit's
+    // regions, co-owned by the snapshot. Same config resolution as
+    // create().
+    jit::JitConfig JitCfg;
+    JitCfg.HotThreshold =
+        std::getenv("LLSC_FORCE_JIT") ? 0 : Config.JitHotThreshold;
+    TheJit = jit::Jit::create(JitCfg);
+  }
+  if (TheJit)
+    Cache->setListener(TheJit.get());
+  Exec->setCache(Cache.get());
+  Exec->setJit(TheJit.get());
+  // Jump-cache entries point into the old shared cache's blocks; the
+  // generation trick cannot catch a cache *swap* (the fresh cache also
+  // starts at generation 1), so clear explicitly. Generation 0 never
+  // matches a live cache.
+  for (VCpu &Cpu : Cpus) {
+    Cpu.JmpCache.clear();
+    Cpu.JmpCache.Generation = 0;
+  }
+  CodeShared = false;
+}
+
+ErrorOr<std::shared_ptr<const MachineSnapshot>> Machine::snapshot() {
+  if (Prog.image().empty())
+    return makeError("snapshot requires a loaded program");
+  acquireFloor();
+
+  // Break cross-instruction state on every vCPU, then reset the scheme:
+  // the captured image must be exclusive-monitor neutral (no armed LL
+  // window — its SC simply fails, which the architecture permits), with
+  // page protections restored and published tables at their attach state,
+  // so any clone of any scheme kind can restore from it.
+  for (VCpu &Cpu : Cpus) {
+    Scheme->onCpuStopped(Cpu);
+    Scheme->clearExclusive(Cpu);
+  }
+  Scheme->reset();
+
+  auto Snap = std::make_shared<MachineSnapshot>();
+  Snap->Config = Config;
+  Snap->SchemeAtCapture = Scheme->traits().Kind;
+  Snap->Prog = Prog;
+  Snap->ImageHash = LoadedImageHash;
+
+  auto FdOrErr = Mem->snapshotTo();
+  if (!FdOrErr) {
+    Excl.endExclusive(/*SelfRunning=*/false);
+    return FdOrErr.error();
+  }
+  Snap->MemFd = FdOrErr.take();
+  Snap->MemBytes = Mem->size();
+
+  Snap->Cpus.resize(Config.NumThreads);
+  bool MidRun = false;
+  for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
+    const VCpu &Cpu = Cpus[Tid];
+    MachineSnapshot::CpuState &S = Snap->Cpus[Tid];
+    std::copy(std::begin(Cpu.Regs), std::end(Cpu.Regs), std::begin(S.Regs));
+    S.Pc = Cpu.Pc;
+    S.Halted = Cpu.Halted;
+    if (!Cpu.Halted && Cpu.Pc != 0)
+      MidRun = true;
+  }
+  Snap->MidRun = MidRun;
+
+  // Share the warm code when translations are machine-neutral — the
+  // serve-layer headline: clones start with warm tier-0 and tier-1 code
+  // and recompile nothing. HST-HELPER bakes a scheme-instance pointer
+  // into its helper records (SchemeTraits::NeutralTranslations is
+  // false), so its snapshots carry memory + registers only.
+  if (Scheme->traits().NeutralTranslations) {
+    if (!CodeShared) {
+      // Retired blocks reference retired schemes; free both now (we are
+      // quiesced) so the shared cache holds live blocks only.
+      Cache->reapRetired();
+      RetiredSchemes.clear();
+      CodeShared = true;
+    }
+    Snap->Cache = Cache;
+    Snap->Jit = TheJit;
+  }
+
+  Excl.endExclusive(/*SelfRunning=*/false);
+  return std::shared_ptr<const MachineSnapshot>(std::move(Snap));
+}
+
+ErrorOr<void> Machine::restoreFrom(std::shared_ptr<const MachineSnapshot> Snap) {
+  if (!Snap)
+    return makeError("restoreFrom(null snapshot)");
+  if (Snap->MemBytes != Mem->size() ||
+      Snap->Config.NumThreads != Config.NumThreads)
+    return makeError(
+        "snapshot shape mismatch: snapshot has %u threads / %llu mem bytes, "
+        "machine has %u / %llu",
+        Snap->Config.NumThreads,
+        static_cast<unsigned long long>(Snap->MemBytes), Config.NumThreads,
+        static_cast<unsigned long long>(Mem->size()));
+
+  // Fast path — this machine is already a clone of this very snapshot
+  // (the pool's restore-on-release steady state): revert CoW-dirty pages
+  // with one madvise and reset architectural state. O(pages dirtied by
+  // the last job), no syscalls proportional to memory size.
+  if (AttachedSnapshot == Snap) {
+    Scheme->reset();
+    Mem->resetToSnapshot();
+    for (VCpu &Cpu : Cpus)
+      Cpu.resetForRun(/*EntryPc=*/0);
+    AdaptiveEvents.reset();
+    if (Htm)
+      Htm->resetStats();
+    RestorePoint = Snap;
+    PendingCpuRestore = Snap->MidRun;
+    return {};
+  }
+
+  // Cold path — first restore on this machine (or a re-target to a
+  // different snapshot). Re-attach the capture-time scheme kind first:
+  // shared translations embed that kind's instrumentation.
+  if (Scheme->traits().Kind != Snap->SchemeAtCapture)
+    setScheme(createScheme(Snap->SchemeAtCapture, Config.HstTableLog2,
+                           Config.HtmMaxRetries));
+  Scheme->reset();
+
+  if (Scheme->traits().UsesPageProtection) {
+    // PST-family: remap entry points restore own-memfd backing, so a CoW
+    // attachment is off the table — deep-copy the image instead.
+    if (auto R = Mem->restoreCopyFrom(Snap->MemFd); !R)
+      return R.error();
+    AttachedSnapshot.reset();
+  } else {
+    if (auto R = Mem->attachSnapshotCow(Snap->MemFd); !R)
+      return R.error();
+    AttachedSnapshot = Snap;
+  }
+
+  if (Snap->Cache && Cache != Snap->Cache) {
+    // Adopt the shared warm code (our old private cache is simply
+    // dropped; nothing executes during restore). The snapshot's Jit is
+    // the cache's listener already — wired by the donor.
+    Cache = Snap->Cache;
+    TheJit = Snap->Jit;
+    Exec->setCache(Cache.get());
+    Exec->setJit(TheJit.get());
+    CodeShared = true;
+    LoadedImageHash = Snap->ImageHash;
+  } else if (!Snap->Cache && LoadedImageHash != Snap->ImageHash) {
+    // Memory/register-only snapshot over a different image: our cached
+    // translations are stale.
+    if (CodeShared)
+      privatizeCode();
+    else
+      Cache->flush();
+    LoadedImageHash = Snap->ImageHash;
+  }
+
+  Prog = Snap->Prog;
+  for (VCpu &Cpu : Cpus)
+    Cpu.resetForRun(/*EntryPc=*/0);
+  AdaptiveEvents.reset();
+  if (Htm)
+    Htm->resetStats();
+  RestorePoint = Snap;
+  PendingCpuRestore = Snap->MidRun;
+  return {};
 }
 
 void Machine::prepareRun() {
@@ -269,6 +478,21 @@ void Machine::prepareRun() {
     Cpu.Regs[0] = Tid;
     uint64_t StackTop = Config.MemBytes - Tid * Config.StackBytes;
     Cpu.Regs[guest::RegSp] = alignDown(StackTop - 16, 16);
+  }
+
+  // A mid-run snapshot restore replaces the fresh-entry conventions with
+  // the captured architectural state: the clone resumes where the donor
+  // was quiesced. One-shot — a later run on the same machine starts from
+  // the program entry again.
+  if (PendingCpuRestore && RestorePoint) {
+    for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
+      const MachineSnapshot::CpuState &S = RestorePoint->Cpus[Tid];
+      VCpu &Cpu = Cpus[Tid];
+      std::copy(std::begin(S.Regs), std::end(S.Regs), std::begin(Cpu.Regs));
+      Cpu.Pc = S.Pc;
+      Cpu.Halted = S.Halted;
+    }
+    PendingCpuRestore = false;
   }
 }
 

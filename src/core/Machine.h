@@ -52,6 +52,8 @@
 
 namespace llsc {
 
+struct MachineSnapshot;
+
 /// Everything configurable about a Machine.
 struct MachineConfig {
   SchemeKind Scheme = SchemeKind::Hst;
@@ -186,16 +188,21 @@ public:
   ErrorOr<RunResult> run(const RunOptions &Opts);
 
   // --- Legacy run spellings -------------------------------------------------
-  // Thin wrappers over run(RunOptions); kept so existing drivers and the
-  // examples keep compiling. Slated for [[deprecated]] in a future PR —
-  // see the follow-up note in docs/API.md.
+  // Thin wrappers over run(RunOptions); deprecated since PR 7 (the PR 5
+  // API redesign kept them for migration). Use run(RunOptions) — see
+  // docs/API.md "Session lifecycle & pooling".
 
   /// Runs every vCPU from the program entry to HALT, one host thread per
   /// vCPU. Equivalent to run(RunOptions{}).
-  ErrorOr<RunResult> run() { return run(RunOptions()); }
+  [[deprecated("use run(RunOptions) — a default-constructed RunOptions is "
+               "equivalent")]]
+  ErrorOr<RunResult> run() {
+    return run(RunOptions());
+  }
 
   /// Deterministic single-host-thread mode: executes vCPUs round-robin,
   /// \p BlocksPerSlice blocks at a time, in tid order.
+  [[deprecated("use run(RunOptions) with ExecMode = Mode::Cooperative")]]
   ErrorOr<RunResult> runCooperative(uint64_t BlocksPerSlice = 1) {
     RunOptions Opts;
     Opts.ExecMode = RunOptions::Mode::Cooperative;
@@ -208,6 +215,7 @@ public:
   /// the next \p BlocksPerSlice blocks, and \p Observer (optional) is
   /// called after the slice with full access to machine state. This is
   /// the execution substrate of the concurrency fuzzer (docs/FUZZING.md).
+  [[deprecated("use run(RunOptions) with ExecMode = Mode::Scheduled")]]
   ErrorOr<RunResult> runScheduled(ScheduleController &Sched,
                                   uint64_t BlocksPerSlice = 1,
                                   SliceObserver *Observer = nullptr) {
@@ -288,12 +296,59 @@ public:
   /// and the lifecycle state machine are documented in docs/API.md.
   void setScheme(std::unique_ptr<AtomicScheme> NewScheme);
 
+  // --- Copy-on-write snapshots (docs/SERVING.md "Snapshot lifecycle") ------
+
+  /// Captures a restorable image of this machine: guest memory as a
+  /// sealed, immutable memfd; the full architectural state of every vCPU;
+  /// and — when the active scheme's translations are machine-neutral
+  /// (SchemeTraits::NeutralTranslations) — shared co-ownership of the
+  /// warm TbCache and JIT code regions, so restored machines start with
+  /// warm tier-0 and tier-1 code without recompiling.
+  ///
+  /// Legal post-load or quiesced mid-run: the call takes the PR 4
+  /// stop-the-world floor itself (from any non-vCPU thread), breaks armed
+  /// LL windows (exclusive-monitor-neutral by construction) and resets
+  /// the scheme so page protections and published tables are neutral
+  /// before memory is captured. Requires a loaded program.
+  ErrorOr<std::shared_ptr<const MachineSnapshot>> snapshot();
+
+  /// Restores this machine to \p Snap's captured state. Guest memory
+  /// attaches to the snapshot memfd via MAP_PRIVATE CoW (dirty pages
+  /// after restore are private; the snapshot stays immutable) — except
+  /// under page-protection schemes (PST/PST-REMAP), which get a deep copy
+  /// into the machine's own memfd. Adopts the snapshot's shared code
+  /// caches when it carries them. The machine's config must match the
+  /// snapshot's shape (MemBytes, NumThreads); the scheme is hot-swapped
+  /// to the snapshot's kind when it differs. Repeated restores from the
+  /// same snapshot take the O(dirtied pages) fast path (madvise).
+  ErrorOr<void> restoreFrom(std::shared_ptr<const MachineSnapshot> Snap);
+
+  /// The snapshot this machine's guest memory is currently CoW-attached
+  /// to, or null. MachinePool keys its snapshot buckets on this.
+  const std::shared_ptr<const MachineSnapshot> &attachedSnapshot() const {
+    return AttachedSnapshot;
+  }
+
+  /// True while the TB cache + JIT are co-owned by a snapshot (sharing
+  /// both directions: donor after snapshot(), clone after restoreFrom()).
+  bool codeShared() const { return CodeShared; }
+
 private:
   explicit Machine(const MachineConfig &Config);
 
   /// Swap body; requires the caller to hold the quiescence floor with no
   /// other exclusive section queued (ExclusiveContext::soleExclusive()).
   void setSchemeLocked(std::unique_ptr<AtomicScheme> NewScheme);
+
+  /// Acquires the quiescence floor, draining queued scheme SC sections
+  /// (the setScheme protocol); pair with Excl.endExclusive.
+  void acquireFloor();
+
+  /// Replaces a *shared* TB cache + JIT with fresh private ones and
+  /// rewires the engine/listener plumbing. The shared objects live on in
+  /// the snapshot (and its other clones); this machine simply stops
+  /// executing out of them. Requires quiescence (no vCPU running).
+  void privatizeCode();
 
   /// Body of the adaptive controller thread (Config.Adaptive).
   void adaptiveLoop(const std::atomic<bool> &Stop);
@@ -330,12 +385,21 @@ private:
   /// into RunResult::Events alongside the per-vCPU blocks.
   EventCounters AdaptiveEvents;
   std::unique_ptr<Translator> Trans;
-  std::unique_ptr<TbCache> Cache;
+  /// TB cache and tier-1 JIT are shared_ptrs because a MachineSnapshot
+  /// co-owns them: a snapshot taken from this machine keeps the warm
+  /// translations (and compiled code) alive for its clones, which adopt
+  /// the same two objects on restore. CodeShared marks that state — any
+  /// path that would flush or reap a shared cache must privatize instead
+  /// (privatizeCode), since siblings still execute out of it.
+  std::shared_ptr<TbCache> Cache;
   std::unique_ptr<Engine> Exec;
   /// Tier-1 JIT; null when disabled or unsupported. Declared after Cache
   /// so it is destroyed first, while the blocks referencing its code
   /// regions still exist (nothing executes during destruction).
-  std::unique_ptr<jit::Jit> TheJit;
+  std::shared_ptr<jit::Jit> TheJit;
+  /// True while Cache/TheJit are co-owned by a snapshot (either because
+  /// snapshot() was taken from this machine or restoreFrom adopted them).
+  bool CodeShared = false;
   MachineContext Ctx;
   std::vector<VCpu> Cpus;
   guest::Program Prog;
@@ -343,6 +407,13 @@ private:
   /// from; loadProgram compares against it to decide whether to flush.
   uint64_t LoadedImageHash = 0;
   uint64_t Resets = 0;
+  /// Snapshot whose memfd guest memory is CoW-attached to (null when the
+  /// machine owns its pages, including after a PST deep-copy restore).
+  std::shared_ptr<const MachineSnapshot> AttachedSnapshot;
+  /// Snapshot whose captured vCPU state the next prepareRun applies (set
+  /// by restoreFrom for mid-run snapshots; consumed by prepareRun).
+  std::shared_ptr<const MachineSnapshot> RestorePoint;
+  bool PendingCpuRestore = false;
 };
 
 } // namespace llsc

@@ -1,0 +1,19 @@
+//===- core/Snapshot.cpp - Copy-on-write machine snapshots ---------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Snapshot.h"
+
+#include "engine/TbCache.h"
+#include "engine/jit/Jit.h"
+
+#include <unistd.h>
+
+using namespace llsc;
+
+MachineSnapshot::~MachineSnapshot() {
+  if (MemFd >= 0)
+    ::close(MemFd);
+}

@@ -1,0 +1,99 @@
+//===- core/Snapshot.h - Copy-on-write machine snapshots --------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The capture side of Machine::snapshot()/restoreFrom(): one immutable
+/// image of a warm machine that many clones restore from at near-zero
+/// cost (docs/SERVING.md "Snapshot lifecycle").
+///
+/// A snapshot owns three things:
+///  - guest memory as a sealed memfd (F_SEAL_WRITE and friends): restored
+///    machines map it MAP_PRIVATE, so their dirty pages are CoW-private
+///    and the snapshot bytes can never change underneath a sibling;
+///  - the architectural state of every vCPU (register file, pc, halt
+///    flag) plus the loaded program and its content hash;
+///  - optionally, shared co-ownership of the donor's TbCache and tier-1
+///    JIT. Compiled code is machine-neutral (engine/jit/JitCompiler.h),
+///    so clones execute the same warm translations read-only and start
+///    tier-1 without a single recompile — the serve-layer headline.
+///
+/// Snapshots are handed around as shared_ptr<const MachineSnapshot>; the
+/// last owner (pool bucket, in-flight clone, or the service that captured
+/// it) closes the memfd and releases the code caches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_CORE_SNAPSHOT_H
+#define LLSC_CORE_SNAPSHOT_H
+
+#include "core/Machine.h"
+#include "guest/Isa.h"
+#include "guest/Program.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace llsc {
+
+class TbCache;
+namespace jit {
+class Jit;
+} // namespace jit
+
+/// An immutable machine image produced by Machine::snapshot().
+struct MachineSnapshot {
+  MachineSnapshot() = default;
+  ~MachineSnapshot();
+  MachineSnapshot(const MachineSnapshot &) = delete;
+  MachineSnapshot &operator=(const MachineSnapshot &) = delete;
+
+  /// Captured per-vCPU architectural state.
+  struct CpuState {
+    uint64_t Regs[guest::NumGuestRegs] = {};
+    uint64_t Pc = 0;
+    bool Halted = false;
+  };
+
+  /// The donor's configuration at capture. restoreFrom validates shape
+  /// (MemBytes, NumThreads); the serve layer buckets snapshot clones by
+  /// machineConfigKey(Config) + ImageHash.
+  MachineConfig Config;
+
+  /// Scheme kind active at capture (may differ from Config.Scheme after
+  /// an adaptive hot-swap); restoreFrom re-attaches this kind.
+  SchemeKind SchemeAtCapture = SchemeKind::Hst;
+
+  /// The loaded program and its content hash (Machine's image identity,
+  /// the key that decides whether warm translations match).
+  guest::Program Prog;
+  uint64_t ImageHash = 0;
+
+  /// Sealed memfd holding the guest-memory image, and its size. Owned;
+  /// closed by the destructor.
+  int MemFd = -1;
+  uint64_t MemBytes = 0;
+
+  /// One entry per vCPU, in tid order.
+  std::vector<CpuState> Cpus;
+
+  /// True when the snapshot was taken mid-run (some vCPU had state beyond
+  /// the entry conventions); prepareRun then applies Cpus verbatim
+  /// instead of the fresh-entry register setup.
+  bool MidRun = false;
+
+  /// Warm code, co-owned with the donor and every clone — null when the
+  /// capture-time scheme's translations are not machine-neutral
+  /// (SchemeTraits::NeutralTranslations is false, i.e. HST-HELPER).
+  /// Cache declared before Jit so the Jit (and its executable regions)
+  /// is destroyed first, while the blocks referencing it still exist.
+  std::shared_ptr<TbCache> Cache;
+  std::shared_ptr<jit::Jit> Jit;
+};
+
+} // namespace llsc
+
+#endif // LLSC_CORE_SNAPSHOT_H

@@ -78,9 +78,10 @@ std::string StatsReport::renderBody(bool Compact) const {
 
   std::snprintf(Buf, sizeof(Buf),
                 "{%s\"schema_version\": %u,%s\"job_id\": %" PRIu64
+                ",%s\"name\": \"%s\""
                 ",%s\"reused_machine\": %s,%s\"final_scheme\": \"%s\",%s"
                 "\"wall_seconds\": %.9f,%s\"all_halted\": %s,%s",
-                Nl, SchemaVersion, Nl, JobId, Nl,
+                Nl, SchemaVersion, Nl, JobId, Nl, JobName.c_str(), Nl,
                 ReusedMachine ? "true" : "false", Nl, FinalScheme.c_str(),
                 Nl, WallSeconds, Nl, AllHalted ? "true" : "false", Nl);
   Out += Buf;

@@ -55,10 +55,11 @@ public:
     Metrics.push_back({std::move(Name), Value});
   }
 
-  /// Stamps the job identity keys (schema v3). Outside the serve layer
-  /// they keep their defaults: job_id 0, reused_machine false.
-  void setJob(uint64_t Id, bool Reused) {
+  /// Stamps the job identity keys (schema v4). Outside the serve layer
+  /// they keep their defaults: job_id 0, name "", reused_machine false.
+  void setJob(uint64_t Id, std::string Name, bool Reused) {
     JobId = Id;
+    JobName = std::move(Name);
     ReusedMachine = Reused;
   }
 
@@ -80,10 +81,14 @@ public:
   ///   3: + "job_id", "reused_machine" keys after "schema_version"
   ///      (serve-layer job identity; 0/false outside it), and the
   ///      "metrics" map may carry appended serve.* per-job counters
-  static constexpr unsigned SchemaVersion = 3;
+  ///   4: + "name" key after "job_id" (the serve-layer job label, so
+  ///      fleet consumers can group per-job lines without relying on
+  ///      submission order; "" outside the serve layer)
+  static constexpr unsigned SchemaVersion = 4;
 
   /// Renders the whole report as a JSON object:
-  ///   {"schema_version": 3, "job_id": 0, "reused_machine": false,
+  ///   {"schema_version": 4, "job_id": 0, "name": "",
+  ///    "reused_machine": false,
   ///    "final_scheme": "...", "wall_seconds": ..., "all_halted": ...,
   ///    "metrics": {...}, "per_cpu": [{"tid": 0, ...events...}, ...]}
   /// Key order is deterministic: top-level keys exactly as above,
@@ -104,6 +109,7 @@ private:
   double WallSeconds = 0;
   bool AllHalted = true;
   uint64_t JobId = 0;
+  std::string JobName;
   bool ReusedMachine = false;
   std::string FinalScheme;
   std::vector<StatMetric> Metrics;

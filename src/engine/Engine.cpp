@@ -541,7 +541,7 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
   // direct-mapped jump cache, dropped wholesale when the TbCache
   // generation moves (flush), filled lock-free from lookups.
   auto LookupJmpCached = [&](uint64_t Pc) -> ErrorOr<CachedBlock *> {
-    uint64_t Gen = Cache.generation();
+    uint64_t Gen = Cache->generation();
     if (LLSC_UNLIKELY(Gen != Cpu.JmpCache.Generation)) {
       Cpu.JmpCache.clear();
       Cpu.JmpCache.Generation = Gen;
@@ -551,7 +551,7 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
       return Hit;
     }
     Cpu.Events.JmpCacheMisses++;
-    auto BlockOrErr = Cache.lookup(Pc);
+    auto BlockOrErr = Cache->lookup(Pc, *Trans);
     if (!BlockOrErr)
       return BlockOrErr.error();
     Cpu.JmpCache.insert(Pc, *BlockOrErr);
@@ -577,7 +577,7 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
       // possibly freed at the next swap). At the loop top Block's pc is
       // Cpu.Pc, so re-resolve before touching it. Costs nothing on the
       // non-parked fast path.
-      if (LLSC_UNLIKELY(Cache.generation() != Cpu.JmpCache.Generation)) {
+      if (LLSC_UNLIKELY(Cache->generation() != Cpu.JmpCache.Generation)) {
         BlockOrErr = LookupJmpCached(Cpu.Pc);
         if (!BlockOrErr)
           return BlockOrErr.error();
@@ -718,9 +718,9 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
     ErrorOr<CachedBlock *> NextOrErr = [&]() -> ErrorOr<CachedBlock *> {
       switch (Exit.ExitKind) {
       case BlockExit::TakenBranch:
-        return Cache.chain(*Block, 0, Exit.NextPc);
+        return Cache->chain(*Block, 0, Exit.NextPc, *Trans);
       case BlockExit::FallThrough:
-        return Cache.chain(*Block, 1, Exit.NextPc);
+        return Cache->chain(*Block, 1, Exit.NextPc, *Trans);
       case BlockExit::Indirect:
         return LookupJmpCached(Exit.NextPc);
       case BlockExit::Halted:

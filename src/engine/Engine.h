@@ -29,6 +29,8 @@
 
 namespace llsc {
 
+class Translator;
+
 namespace jit {
 class Jit;
 } // namespace jit
@@ -64,8 +66,9 @@ enum class RunStatus {
 /// Executes guest code for vCPUs of one machine.
 class Engine {
 public:
-  Engine(MachineContext &Ctx, TbCache &Cache, const EngineConfig &Config)
-      : Ctx(Ctx), Cache(Cache), Config(Config) {}
+  Engine(MachineContext &Ctx, TbCache &Cache, Translator &Trans,
+         const EngineConfig &Config)
+      : Ctx(Ctx), Cache(&Cache), Trans(&Trans), Config(Config) {}
 
   /// Runs \p Cpu until HALT (or the block budget). Brackets execution with
   /// ExclusiveContext::execStart/execEnd and polls safepoints, so it is
@@ -87,6 +90,11 @@ public:
   /// Wires the tier-1 JIT (null = tier-0 only). Set by Machine::create
   /// before any vCPU runs; never changed while one executes.
   void setJit(jit::Jit *J) { TheJit = J; }
+
+  /// Repoints the engine at a different TB cache — how Machine adopts a
+  /// snapshot's shared warm cache (restoreFrom) or swaps in a private one
+  /// (privatizeCode). Must not be called while any vCPU is executing.
+  void setCache(TbCache *C) { Cache = C; }
 
 private:
   /// How a block handed control back.
@@ -110,7 +118,8 @@ private:
   ErrorOr<RunStatus> runLoop(VCpu &Cpu, uint64_t MaxBlocks, bool Registered);
 
   MachineContext &Ctx;
-  TbCache &Cache;
+  TbCache *Cache;
+  Translator *Trans;
   EngineConfig Config;
   jit::Jit *TheJit = nullptr;
 };

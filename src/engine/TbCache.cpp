@@ -12,7 +12,7 @@
 
 using namespace llsc;
 
-ErrorOr<CachedBlock *> TbCache::lookup(uint64_t Pc) {
+ErrorOr<CachedBlock *> TbCache::lookup(uint64_t Pc, Translator &Trans) {
   Lookups.fetch_add(1, std::memory_order_relaxed);
   Shard &S = Shards[shardIndex(Pc)];
   {
@@ -50,7 +50,7 @@ ErrorOr<CachedBlock *> TbCache::lookup(uint64_t Pc) {
 }
 
 ErrorOr<CachedBlock *> TbCache::chain(CachedBlock &Block, unsigned Slot,
-                                      uint64_t TargetPc) {
+                                      uint64_t TargetPc, Translator &Trans) {
   // Acquire on the pointer pairs with the release store below, so the pc
   // read afterwards is the one stored for this (or a later, identical)
   // resolution. Both cells are atomic; racing writers store the same
@@ -59,7 +59,7 @@ ErrorOr<CachedBlock *> TbCache::chain(CachedBlock &Block, unsigned Slot,
     if (Block.ChainPc[Slot].load(std::memory_order_relaxed) == TargetPc)
       return Cached;
 
-  auto TargetOrErr = lookup(TargetPc);
+  auto TargetOrErr = lookup(TargetPc, Trans);
   if (!TargetOrErr)
     return TargetOrErr.error();
   Block.ChainPc[Slot].store(TargetPc, std::memory_order_relaxed);

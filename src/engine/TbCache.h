@@ -95,22 +95,29 @@ public:
 };
 
 /// Thread-safe pc -> block cache, mutex-striped into shards.
+///
+/// The cache holds no translator of its own: misses translate through the
+/// Translator the caller passes in. That keeps the cache a pure function
+/// of the image bytes plus translation config — the property that lets a
+/// snapshot share one warm TbCache read-only across machines, each
+/// resolving misses through its own Translator (all of which produce
+/// identical IR for identical bytes).
 class TbCache {
 public:
-  explicit TbCache(Translator &Translator) : Trans(Translator) {}
+  TbCache() = default;
 
   /// Registers \p L (nullptr to clear) for flush/reap notifications.
   /// Not thread-safe; wire up before any vCPU runs.
   void setListener(TbCacheListener *L) { Listener = L; }
 
-  /// Looks up (translating on miss) the block at \p Pc.
+  /// Looks up (translating through \p Trans on miss) the block at \p Pc.
   /// \returns the cached block, or an error from translation.
-  ErrorOr<CachedBlock *> lookup(uint64_t Pc);
+  ErrorOr<CachedBlock *> lookup(uint64_t Pc, Translator &Trans);
 
   /// Resolves a chain slot of \p Block to the block at \p TargetPc,
   /// memoizing the pointer. \returns the successor block.
   ErrorOr<CachedBlock *> chain(CachedBlock &Block, unsigned Slot,
-                               uint64_t TargetPc);
+                               uint64_t TargetPc, Translator &Trans);
 
   /// Drops every cached block (e.g. between runs with different hooks).
   /// Old blocks are retired, not freed, so concurrently executing vCPUs
@@ -159,7 +166,6 @@ private:
     std::vector<std::unique_ptr<CachedBlock>> Retired;
   };
 
-  Translator &Trans;
   TbCacheListener *Listener = nullptr;
   Shard Shards[NumShards];
   std::atomic<uint64_t> Lookups{0};

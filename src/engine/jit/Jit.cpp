@@ -6,7 +6,6 @@
 
 #include "engine/jit/Jit.h"
 
-#include "atomic/AtomicScheme.h"
 #include "engine/jit/JitCompiler.h"
 #include "engine/jit/X86Emitter.h"
 #include "runtime/VCpu.h"
@@ -14,15 +13,11 @@
 using namespace llsc;
 using namespace llsc::jit;
 
-std::unique_ptr<Jit> Jit::create(const JitConfig &Config,
-                                 const void *ExclPendingAddr,
-                                 const void *FastEpochAddr) {
+std::unique_ptr<Jit> Jit::create(const JitConfig &Config) {
   auto Region = CodeCache::create(Config.CodeBytes);
   if (!Region)
     return nullptr;
   std::unique_ptr<Jit> J(new Jit(Config));
-  J->ExclPendingAddr = ExclPendingAddr;
-  J->FastEpochAddr = FastEpochAddr;
   J->Active = std::move(Region);
   return J;
 }
@@ -48,27 +43,16 @@ const void *Jit::codeFor(CachedBlock &Block, VCpu &Cpu) {
 }
 
 const void *Jit::compile(CachedBlock &Block, VCpu &Cpu) {
-  // Everything baked into the code below is stable for one TB-cache
-  // generation; the serial captured here detects the (quiesced-only, so
-  // effectively impossible while we are inside this function — but cheap
-  // to check) case of installing into a region newer than the one the
-  // environment was read against.
+  // Compiled bodies are machine-neutral (all instance addresses load
+  // through VCpu::Ctx at runtime); the serial captured here detects the
+  // (quiesced-only, so effectively impossible while we are inside this
+  // function — but cheap to check) case of installing into a region newer
+  // than the one this compilation started against.
   uint64_t Serial = RegionSerial.load(std::memory_order_acquire);
-
-  // The scheme's inline-emission contract: what may be baked into the
-  // code (stable until the next flush by definition of JitInlineInfo).
-  JitInlineInfo Inline = Cpu.Ctx->Scheme->jitInlineInfo();
-
-  CompileEnv Env;
-  Env.ExclPendingAddr = ExclPendingAddr;
-  Env.FastEpochAddr = FastEpochAddr;
-  Env.HstTable = Inline.HstTable;
-  Env.HstMask = Inline.HstMask;
-  Env.NumThreads = Cpu.Ctx->NumThreads;
 
   X86Emitter Em;
   std::vector<Fixup> Fixups;
-  if (!compileBlock(Block, Env, Em, Fixups)) {
+  if (!compileBlock(Block, Em, Fixups)) {
     Cpu.Events.JitCompileBails++;
     Block.Tier.store(static_cast<uint8_t>(BlockTier::Bailed),
                      std::memory_order_release);

@@ -72,14 +72,12 @@ struct JitConfig {
 /// by TB-cache flushes but still referenced by retired blocks.
 class Jit final : public TbCacheListener {
 public:
-  /// Creates a JIT with one fresh code region. \p ExclPendingAddr and
-  /// \p FastEpochAddr are the machine-lifetime addresses emitted block
-  /// prologues poll (ExclusiveContext::pendingFlagAddr,
-  /// GuestMemory::fastPathEpochAddr). \returns null when the region
-  /// cannot be allocated — the machine simply runs tier-0 only.
-  static std::unique_ptr<Jit> create(const JitConfig &Config,
-                                     const void *ExclPendingAddr,
-                                     const void *FastEpochAddr);
+  /// Creates a JIT with one fresh code region. \returns null when the
+  /// region cannot be allocated — the machine simply runs tier-0 only.
+  /// Emitted code carries no machine-instance addresses (everything is
+  /// loaded through VCpu::Ctx at runtime), so a Jit can be shared
+  /// read-only between a snapshot and its clones.
+  static std::unique_ptr<Jit> create(const JitConfig &Config);
 
   // --- Hot path (any vCPU) -------------------------------------------------
 
@@ -118,8 +116,6 @@ private:
   const void *compile(CachedBlock &Block, VCpu &Cpu);
 
   JitConfig Config;
-  const void *ExclPendingAddr = nullptr;
-  const void *FastEpochAddr = nullptr;
 
   /// Region of the current TB-cache generation. Swapped only in
   /// onTbFlush (quiesced), read without locks on the hot path.

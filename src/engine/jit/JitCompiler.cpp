@@ -61,6 +61,17 @@ constexpr int32_t OffFastMemLimit = offsetof(VCpu, FastMemLimit);
 constexpr int32_t OffFastMemEpoch = offsetof(VCpu, FastMemEpoch);
 constexpr int32_t OffChainBudget = offsetof(VCpu, JitChainBudget);
 constexpr int32_t OffPendingPatch = offsetof(VCpu, JitPendingPatch);
+constexpr int32_t OffCtx = offsetof(VCpu, Ctx);
+
+// MachineContext fields, reached as [[rbx + OffCtx] + off]. Loading these
+// at runtime (instead of baking the addresses the old CompileEnv carried)
+// keeps emitted code machine-neutral: a snapshot clone with a different
+// ExclusiveContext/GuestMemory/scheme instance runs the same bytes.
+constexpr int32_t OffCtxExclPending = offsetof(MachineContext, ExclPendingAddr);
+constexpr int32_t OffCtxFastEpoch = offsetof(MachineContext, FastEpochAddr);
+constexpr int32_t OffCtxHstTable = offsetof(MachineContext, HstTable);
+constexpr int32_t OffCtxHstMask = offsetof(MachineContext, HstMask);
+constexpr int32_t OffCtxNumThreads = offsetof(MachineContext, NumThreads);
 
 constexpr int32_t offCounter(size_t Member) {
   return static_cast<int32_t>(offsetof(VCpu, Counters) + Member);
@@ -119,9 +130,9 @@ bool fitsInt32(uint64_t V) {
 /// Per-block lowering context.
 class BlockCompiler {
 public:
-  BlockCompiler(const CachedBlock &Block, const CompileEnv &Env,
-                X86Emitter &Em, std::vector<Fixup> &Fixups)
-      : Block(Block), IR(Block.IR), Env(Env), Em(Em), Fixups(Fixups) {}
+  BlockCompiler(const CachedBlock &Block, X86Emitter &Em,
+                std::vector<Fixup> &Fixups)
+      : Block(Block), IR(Block.IR), Em(Em), Fixups(Fixups) {}
 
   bool run();
 
@@ -219,7 +230,6 @@ private:
 
   const CachedBlock &Block;
   const IRBlock &IR;
-  const CompileEnv &Env;
   X86Emitter &Em;
   std::vector<Fixup> &Fixups;
 
@@ -352,8 +362,10 @@ void BlockCompiler::writeDst(uint8_t Bank, ValueId Id, Reg Src) {
 void BlockCompiler::emitPrologue() {
   const uint64_t Pc = IR.GuestPc;
 
-  // Safepoint poll: one byte compare against the ExclusiveContext flag.
-  Em.movImm64(R10, reinterpret_cast<uint64_t>(Env.ExclPendingAddr));
+  // Safepoint poll: one byte compare against the ExclusiveContext flag,
+  // reached through the machine context so the code stays machine-neutral.
+  Em.loadQ(R10, RBX, OffCtx);
+  Em.loadQ(R10, R10, OffCtxExclPending);
   Em.cmpByteImm(R10, 0, 0);
   size_t SkipSp = Em.jcc(CC_E);
   emitExit(Pc, ExitKind::Safepoint);
@@ -375,7 +387,8 @@ void BlockCompiler::emitPrologue() {
         !(D.Flags & DecodedFlagInstrument))
       UsesFastMem = true;
   if (UsesFastMem) {
-    Em.movImm64(R10, reinterpret_cast<uint64_t>(Env.FastEpochAddr));
+    Em.loadQ(R10, RBX, OffCtx);
+    Em.loadQ(R10, R10, OffCtxFastEpoch);
     Em.loadQ(R10, R10, 0);
     Em.cmpRegMem(R10, RBX, OffFastMemEpoch);
     size_t SkipEpoch = Em.jcc(CC_E);
@@ -558,11 +571,16 @@ void BlockCompiler::emitStoreG(const DecodedInst &D) {
 }
 
 void BlockCompiler::emitHstStoreTag(const DecodedInst &D) {
-  // Fused multi-granule tag store against the baked table (the paper's
-  // Figure 5 inline sequence). Null table => the active scheme publishes
-  // none; the interpreter skips too.
-  if (Env.HstTable == nullptr)
-    return;
+  // Fused multi-granule tag store (the paper's Figure 5 inline sequence).
+  // Table and mask are read through the machine context at runtime with
+  // the interpreter's null guard — no scheme publishes a table => skip —
+  // so the same code body serves any machine: snapshot clones adopt it
+  // wholesale and each supplies its own tables through its own context.
+  Em.loadQ(RDX, RBX, OffCtx);
+  Em.loadQ(RAX, RDX, OffCtxHstMask);
+  Em.loadQ(RDX, RDX, OffCtxHstTable);
+  Em.cmpImm(RDX, 0);
+  size_t SkipAll = Em.jcc(CC_E);
   emitAddrAPlusImm(D, RSI);
   Em.movReg(RCX, RSI);
   Em.shiftImm(5, RCX, 2); // rcx = First = Addr >> 2.
@@ -570,8 +588,6 @@ void BlockCompiler::emitHstStoreTag(const DecodedInst &D) {
   Em.shiftImm(5, R10, 2); // r10 = Last.
   Em.loadDword(R11, RBX, OffTid);
   Em.addImm(R11, 1); // r11 = Tid + 1 (tag value).
-  Em.movImm64(RAX, Env.HstMask);
-  Em.movImm64(RDX, reinterpret_cast<uint64_t>(Env.HstTable));
   size_t Loop = Em.size();
   Em.movReg(RDI, RCX);
   Em.and_(RDI, RAX);
@@ -581,6 +597,7 @@ void BlockCompiler::emitHstStoreTag(const DecodedInst &D) {
   Em.addImm(RCX, 1);
   Em.patchRel32(Em.jmp(), Loop);
   Em.patchRel32(Done, Em.size());
+  Em.patchRel32(SkipAll, Em.size());
 }
 
 bool BlockCompiler::emitInst(const DecodedInst &D, unsigned InstIdx) {
@@ -724,7 +741,8 @@ bool BlockCompiler::emitInst(const DecodedInst &D, unsigned InstIdx) {
       Em.loadDword(RAX, RBX, OffTid);
       break;
     case SpecialValue::NumThreads:
-      Em.movImm64(RAX, Env.NumThreads);
+      Em.loadQ(RAX, RBX, OffCtx);
+      Em.loadDword(RAX, RAX, OffCtxNumThreads); // mov r32 zero-extends.
       break;
     case SpecialValue::ClockNanos:
       emitCall(reinterpret_cast<const void *>(&llscJitClockNanos));
@@ -797,7 +815,7 @@ bool BlockCompiler::run() {
 
 } // namespace
 
-bool llsc::jit::compileBlock(const CachedBlock &Block, const CompileEnv &Env,
-                             X86Emitter &Em, std::vector<Fixup> &Fixups) {
-  return BlockCompiler(Block, Env, Em, Fixups).run();
+bool llsc::jit::compileBlock(const CachedBlock &Block, X86Emitter &Em,
+                             std::vector<Fixup> &Fixups) {
+  return BlockCompiler(Block, Em, Fixups).run();
 }

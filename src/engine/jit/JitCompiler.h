@@ -36,29 +36,19 @@ namespace jit {
 
 class X86Emitter;
 
-/// Translation-time constants baked into emitted code. All of them are
-/// stable for one TbCache generation: Machine::setScheme flushes the
-/// cache (retiring this code) before any of them can change.
-struct CompileEnv {
-  /// &ExclusiveContext's pending flag, polled at every block entry.
-  const void *ExclPendingAddr = nullptr;
-  /// &GuestMemory's fast-path epoch, compared against the vCPU's cached
-  /// epoch at entry to blocks that use the inline fastmem window.
-  const void *FastEpochAddr = nullptr;
-  /// HST hash table published by the active scheme (null when the scheme
-  /// has none); HstStoreTag ops inline against it.
-  const std::atomic<uint32_t> *HstTable = nullptr;
-  uint64_t HstMask = 0;
-  /// ReadSpecial(NumThreads) constant.
-  uint32_t NumThreads = 1;
-};
-
 /// Lowers \p Block into \p Em, recording relocations in \p Fixups.
 /// \returns false to bail (block stays tier-0). On success the buffer is
 /// a complete block body: entry checks, counter bookkeeping, op bodies,
 /// and exit stubs, ready for CodeCache::install.
-bool compileBlock(const CachedBlock &Block, const CompileEnv &Env,
-                  X86Emitter &Em, std::vector<Fixup> &Fixups);
+///
+/// Emitted code is machine-neutral: every machine-instance address it
+/// needs (exclusive-pending flag, fastmem epoch, HST table/mask, thread
+/// count) is loaded through the pinned VCpu's MachineContext at runtime
+/// rather than baked as an immediate, so one compiled body is valid for
+/// any machine sharing the block — the property snapshot clones rely on
+/// to reuse warm code without recompiling.
+bool compileBlock(const CachedBlock &Block, X86Emitter &Em,
+                  std::vector<Fixup> &Fixups);
 
 } // namespace jit
 } // namespace llsc

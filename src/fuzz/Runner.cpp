@@ -295,7 +295,11 @@ ErrorOr<CaseResult> CaseRunner::runPrepared(const FuzzCase &Case,
   CaseResult Out;
   OracleObserver Obs(M, Case, model(), PreparedShared, Out, Swap,
                      Cfg.HstTableLog2);
-  auto RunOrErr = M.runScheduled(Sched, /*BlocksPerSlice=*/1, &Obs);
+  RunOptions RunOpts;
+  RunOpts.ExecMode = RunOptions::Mode::Scheduled;
+  RunOpts.Sched = &Sched;
+  RunOpts.Observer = &Obs;
+  auto RunOrErr = M.run(RunOpts);
   if (Obs.swapped())
     restoreBaseScheme(M); // Before any error return: the machine is cached.
   if (!RunOrErr)
@@ -324,7 +328,7 @@ ErrorOr<bool> CaseRunner::runStress(const FuzzCase &Case,
   if (!Loaded)
     return Loaded.error();
   Prepared = nullptr; // The stress image replaced any prepared case.
-  auto RunOrErr = M->run();
+  auto RunOrErr = M->run({});
   if (!RunOrErr)
     return RunOrErr.error();
   return RunOrErr->AllHalted;

@@ -72,8 +72,11 @@ ErrorOr<std::unique_ptr<GuestMemory>> GuestMemory::create(uint64_t Size) {
 GuestMemory::~GuestMemory() {
   if (PrimaryBase)
     munmap(PrimaryBase, Size);
-  if (ShadowBase)
-    munmap(ShadowBase, Size);
+  // While a snapshot is attached, ShadowBase aliases PrimaryBase and the
+  // real own-memfd shadow mapping is parked in OwnShadowBase.
+  uint8_t *Shadow = OwnShadowBase ? OwnShadowBase : ShadowBase;
+  if (Shadow && Shadow != PrimaryBase)
+    munmap(Shadow, Size);
   if (MemFd >= 0)
     close(MemFd);
 }
@@ -212,10 +215,21 @@ void GuestMemory::resetZero() {
   // fresh zero page. Cost scales with the pages the previous job actually
   // dirtied, not with the configured memory size — the reuse win over
   // zeroAll()'s full-size memset. Both mappings observe it (MAP_SHARED of
-  // the same file). Requires every primary page to be read-write, i.e.
-  // call only after the scheme released its protections.
-  assert(fastPathAllowed() &&
-         "resetZero with restricted pages (scheme not reset?)");
+  // the same file).
+  if (AttachedFd >= 0) {
+    // A snapshot clone being recycled for unrelated work: drop the CoW
+    // attachment first so the punch below lands on own backing.
+    detachSnapshot();
+  } else if (!fastPathAllowed()) {
+    // A scheme was torn down without releasing its page restrictions
+    // (e.g. a PST machine parked mid-protection, or PST-REMAP pages still
+    // remapped away). Restore plain read-write memfd backing page by
+    // page; remapPageBack handles both the mprotect()ed and the
+    // remapped-away state with a single MAP_FIXED mmap.
+    for (uint64_t P = 0; P < numPages(); ++P)
+      if (PageRestricted[P].load(std::memory_order_acquire))
+        remapPageBack(P, /*Writable=*/true);
+  }
   if (fallocate(MemFd, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE, 0,
                 static_cast<off_t>(Size)) == 0)
     return;
@@ -224,4 +238,262 @@ void GuestMemory::resetZero() {
   LLSC_WARN("fallocate(PUNCH_HOLE) failed (%s); falling back to memset",
             std::strerror(errno));
   zeroAll();
+}
+
+// --- Snapshot support -------------------------------------------------------
+
+namespace {
+
+/// Calls \p Fn(Offset, Length) for every data extent of \p Fd within
+/// [0, Size). \returns false when the filesystem cannot enumerate holes
+/// (SEEK_DATA unsupported) — callers then treat the whole file as data.
+template <typename FnT>
+bool forEachExtent(int Fd, uint64_t Size, FnT &&Fn) {
+  off_t Off = 0;
+  while (static_cast<uint64_t>(Off) < Size) {
+    off_t Data = lseek(Fd, Off, SEEK_DATA);
+    if (Data < 0) {
+      if (errno == ENXIO)
+        return true; // Nothing but holes from Off on.
+      return false;
+    }
+    if (static_cast<uint64_t>(Data) >= Size)
+      return true;
+    off_t Hole = lseek(Fd, Data, SEEK_HOLE);
+    if (Hole < 0 || static_cast<uint64_t>(Hole) > Size)
+      Hole = static_cast<off_t>(Size);
+    Fn(static_cast<uint64_t>(Data), static_cast<uint64_t>(Hole - Data));
+    Off = Hole;
+  }
+  return true;
+}
+
+} // namespace
+
+/// Computes the per-page "has meaningful data" map for the attached view:
+/// a page matters if the snapshot has an extent there (shared contents) or
+/// it is resident in the private mapping (CoW-dirty or faulted-in).
+bool GuestMemory::presentPagesAttached(std::vector<uint8_t> &Present) {
+  uint64_t Pages = numPages();
+  Present.assign(Pages, 0);
+  if (!forEachExtent(AttachedFd, Size, [&](uint64_t Off, uint64_t Len) {
+        for (uint64_t P = Off / PageSize; P < (Off + Len + PageSize - 1) / PageSize;
+             ++P)
+          Present[P] = 1;
+      }))
+    return false;
+  std::vector<unsigned char> Resident(Pages);
+  if (mincore(PrimaryBase, Size, Resident.data()) != 0)
+    return false;
+  for (uint64_t P = 0; P < Pages; ++P)
+    if (Resident[P] & 1)
+      Present[P] = 1;
+  return true;
+}
+
+ErrorOr<int> GuestMemory::snapshotTo() {
+  if (!fastPathAllowed())
+    return makeError("snapshotTo with restricted pages (scheme not reset?)");
+  int Fd = memfd_create("llsc-snap", MFD_ALLOW_SEALING);
+  if (Fd < 0)
+    return makeError("memfd_create(snapshot) failed: %s",
+                     std::strerror(errno));
+  if (ftruncate(Fd, static_cast<off_t>(Size)) != 0) {
+    int Saved = errno;
+    close(Fd);
+    return makeError("ftruncate(snapshot) failed: %s", std::strerror(Saved));
+  }
+
+  bool Ok = true;
+  auto WriteRange = [&](uint64_t Off, uint64_t Len) {
+    // Copy through the primary view: on a clone this folds the attached
+    // snapshot's pages and our CoW-private modifications into one image.
+    const uint8_t *Src = PrimaryBase + Off;
+    while (Len > 0 && Ok) {
+      ssize_t N = pwrite(Fd, Src, Len, static_cast<off_t>(Off));
+      if (N <= 0) {
+        Ok = false;
+        break;
+      }
+      Src += N;
+      Off += static_cast<uint64_t>(N);
+      Len -= static_cast<uint64_t>(N);
+    }
+  };
+
+  bool SparseDone = false;
+  if (AttachedFd >= 0) {
+    std::vector<uint8_t> Present;
+    if (presentPagesAttached(Present)) {
+      uint64_t Pages = numPages();
+      for (uint64_t P = 0; P < Pages && Ok;) {
+        if (!Present[P]) {
+          ++P;
+          continue;
+        }
+        uint64_t End = P;
+        while (End < Pages && Present[End])
+          ++End;
+        WriteRange(P * PageSize, (End - P) * PageSize);
+        P = End;
+      }
+      SparseDone = true;
+    }
+  } else {
+    SparseDone = forEachExtent(MemFd, Size, [&](uint64_t Off, uint64_t Len) {
+      if (Ok)
+        WriteRange(Off, Len);
+    });
+  }
+  if (Ok && !SparseDone) {
+    // No extent/residency information available: copy everything.
+    WriteRange(0, Size);
+  }
+  if (!Ok) {
+    int Saved = errno;
+    close(Fd);
+    return makeError("snapshot copy failed: %s", std::strerror(Saved));
+  }
+
+  // Seal the image: nobody — including us — can ever change these bytes,
+  // which is what makes handing the fd to arbitrarily many clones safe.
+  if (fcntl(Fd, F_ADD_SEALS,
+            F_SEAL_SHRINK | F_SEAL_GROW | F_SEAL_WRITE | F_SEAL_SEAL) != 0) {
+    int Saved = errno;
+    close(Fd);
+    return makeError("sealing snapshot failed: %s", std::strerror(Saved));
+  }
+  return Fd;
+}
+
+ErrorOr<void> GuestMemory::attachSnapshotCow(int Fd) {
+  if (!fastPathAllowed())
+    return makeError("attachSnapshotCow with restricted pages");
+  if (Fd == AttachedFd) {
+    resetToSnapshot();
+    return {};
+  }
+  // MAP_FIXED atomically replaces whatever backs the primary window —
+  // own memfd on a fresh machine, a previous snapshot on a re-targeted
+  // clone. Writing the private mapping never touches the sealed file.
+  void *P = mmap(PrimaryBase, Size, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_FIXED, Fd, 0);
+  if (P == MAP_FAILED)
+    return makeError("mmap(snapshot, MAP_PRIVATE) failed: %s",
+                     std::strerror(errno));
+  if (AttachedFd < 0) {
+    OwnShadowBase = ShadowBase;
+    ShadowBase = PrimaryBase;
+  }
+  AttachedFd = Fd;
+  return {};
+}
+
+void GuestMemory::resetToSnapshot() {
+  assert(AttachedFd >= 0 && "resetToSnapshot without an attached snapshot");
+  // On a private file mapping MADV_DONTNEED discards the CoW-private
+  // copies; the next touch of each page faults the snapshot's (shared,
+  // already-resident) page back in. This is the entire fast restore path.
+  if (madvise(PrimaryBase, Size, MADV_DONTNEED) != 0)
+    LLSC_ERROR("madvise(MADV_DONTNEED) failed: %s", std::strerror(errno));
+}
+
+void GuestMemory::detachSnapshot() {
+  if (AttachedFd < 0)
+    return;
+  void *P = mmap(PrimaryBase, Size, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_FIXED, MemFd, 0);
+  if (P == MAP_FAILED) {
+    // Leaves the attachment in place; with MAP_FIXED this effectively
+    // cannot fail for an existing reservation, but never crash the host.
+    LLSC_ERROR("detachSnapshot remap failed: %s", std::strerror(errno));
+    return;
+  }
+  ShadowBase = OwnShadowBase;
+  OwnShadowBase = nullptr;
+  AttachedFd = -1;
+}
+
+ErrorOr<void> GuestMemory::restoreCopyFrom(int Fd) {
+  if (AttachedFd >= 0)
+    detachSnapshot();
+  // Drop current contents, then materialise the snapshot's extents into
+  // own backing. copy_file_range stays in the kernel (page-cache sharing
+  // between memfds); fall back to a userspace bounce on filesystems
+  // without it.
+  if (fallocate(MemFd, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE, 0,
+                static_cast<off_t>(Size)) != 0)
+    zeroAll();
+  bool Ok = true;
+  bool Sparse = forEachExtent(Fd, Size, [&](uint64_t Off, uint64_t Len) {
+    while (Len > 0 && Ok) {
+      off_t In = static_cast<off_t>(Off), Out = static_cast<off_t>(Off);
+      ssize_t N = copy_file_range(Fd, &In, MemFd, &Out, Len, 0);
+      if (N > 0) {
+        Off += static_cast<uint64_t>(N);
+        Len -= static_cast<uint64_t>(N);
+        continue;
+      }
+      ssize_t R = pread(Fd, ShadowBase + Off, Len, static_cast<off_t>(Off));
+      if (R <= 0) {
+        Ok = false;
+        break;
+      }
+      Off += static_cast<uint64_t>(R);
+      Len -= static_cast<uint64_t>(R);
+    }
+  });
+  if (!Sparse && Ok) {
+    // Extent enumeration unsupported: bounce the whole file.
+    for (uint64_t Off = 0; Off < Size && Ok;) {
+      ssize_t R =
+          pread(Fd, ShadowBase + Off, Size - Off, static_cast<off_t>(Off));
+      if (R <= 0) {
+        Ok = false;
+        break;
+      }
+      Off += static_cast<uint64_t>(R);
+    }
+  }
+  if (!Ok)
+    return makeError("restoreCopyFrom failed: %s", std::strerror(errno));
+  return {};
+}
+
+ErrorOr<void> GuestMemory::privatizeFromSnapshot() {
+  if (AttachedFd < 0)
+    return {};
+  // Fold the attached view (snapshot pages + CoW-private modifications)
+  // into own memfd *before* tearing the private mapping down — the copy
+  // reads through PrimaryBase.
+  if (fallocate(MemFd, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE, 0,
+                static_cast<off_t>(Size)) != 0)
+    std::memset(OwnShadowBase, 0, Size);
+  std::vector<uint8_t> Present;
+  bool HavePresent = presentPagesAttached(Present);
+  uint64_t Pages = numPages();
+  for (uint64_t P = 0; P < Pages;) {
+    if (HavePresent && !Present[P]) {
+      ++P;
+      continue;
+    }
+    uint64_t End = HavePresent ? P : Pages;
+    while (HavePresent && End < Pages && Present[End])
+      ++End;
+    uint64_t Off = P * PageSize;
+    uint64_t Len = (End == P ? Pages : End) * PageSize - Off;
+    const uint8_t *Src = PrimaryBase + Off;
+    while (Len > 0) {
+      ssize_t N = pwrite(MemFd, Src, Len, static_cast<off_t>(Off));
+      if (N <= 0)
+        return makeError("privatizeFromSnapshot copy failed: %s",
+                         std::strerror(errno));
+      Src += N;
+      Off += static_cast<uint64_t>(N);
+      Len -= static_cast<uint64_t>(N);
+    }
+    P = HavePresent ? End : Pages;
+  }
+  detachSnapshot();
+  return {};
 }

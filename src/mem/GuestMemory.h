@@ -32,6 +32,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 namespace llsc {
 
@@ -233,10 +234,64 @@ public:
 
   /// Re-zeroes all of guest memory for machine reuse by punching the
   /// backing pages out of the memfd (dirty pages are released to the
-  /// kernel; the next touch faults in a zero page). Every primary page
-  /// must be unrestricted — callers reset the scheme first. Falls back to
-  /// zeroAll() where hole-punching is unsupported.
+  /// kernel; the next touch faults in a zero page). Cleans up any state a
+  /// previous tenant left behind first: an attached snapshot is detached,
+  /// and pages a scheme left protected or remapped away are restored to
+  /// plain read-write memfd backing. Falls back to zeroAll() where
+  /// hole-punching is unsupported.
   void resetZero();
+
+  // --- Snapshot support (core/Snapshot.h) ----------------------------------
+  //
+  // A snapshot is a sealed memfd holding a point-in-time image of guest
+  // memory. Clones attach it by mapping it MAP_PRIVATE over their primary
+  // window: reads are served from the shared snapshot pages, the first
+  // write to a page copies it privately (CoW), and reverting a clone to
+  // the image is a single MADV_DONTNEED. While attached, the shadow view
+  // aliases the primary one (the snapshot fd is write-sealed, so a second
+  // MAP_SHARED writable view is impossible — and unnecessary, because the
+  // attach path requires every page read-write). Page-protection schemes
+  // (SchemeTraits::UsesPageProtection) must never run attached: their
+  // remap entry points restore *own-memfd* backing. Machine keeps that
+  // invariant by using restoreCopyFrom()/privatizeFromSnapshot() for them.
+
+  /// Clones the current contents into a fresh memfd, sealed against any
+  /// future change (F_SEAL_WRITE|SHRINK|GROW|SEAL), and returns the fd
+  /// (ownership passes to the caller). Only pages with data are copied —
+  /// holes stay holes — so cost scales with the touched working set.
+  /// Requires every primary page read-write.
+  ErrorOr<int> snapshotTo();
+
+  /// True while the primary mapping is a MAP_PRIVATE CoW view of an
+  /// attached snapshot memfd.
+  bool snapshotAttached() const { return AttachedFd >= 0; }
+
+  /// Maps the sealed snapshot \p Fd copy-on-write over the primary window
+  /// (O(1), no data copied). \p Fd is borrowed — the caller keeps it open
+  /// for the attachment's lifetime (Machine holds the owning
+  /// shared_ptr<MachineSnapshot>). Re-attaching the already-attached fd
+  /// degenerates to resetToSnapshot(). Requires every page read-write.
+  ErrorOr<void> attachSnapshotCow(int Fd);
+
+  /// Discards every CoW-private page so the attached snapshot's contents
+  /// show through again — the fast restore path (one madvise, no copies).
+  void resetToSnapshot();
+
+  /// Restores own-memfd backing under the primary window and drops the
+  /// snapshot attachment. Own memfd contents are stale afterwards; callers
+  /// follow up with resetZero() or restoreCopyFrom().
+  void detachSnapshot();
+
+  /// Eagerly copies snapshot \p Fd's contents into own backing (punch +
+  /// extent copy) without attaching — the restore path for
+  /// page-protection schemes, which need own-memfd backing to remap.
+  ErrorOr<void> restoreCopyFrom(int Fd);
+
+  /// Converts an attached machine to self-backed: current contents
+  /// (snapshot pages + CoW-private modifications) are copied into own
+  /// memfd and the mappings rewired MAP_SHARED. Used before hot-swapping
+  /// a page-protection scheme onto a snapshot clone.
+  ErrorOr<void> privatizeFromSnapshot();
 
 private:
   GuestMemory() = default;
@@ -248,11 +303,23 @@ private:
   /// updating RestrictedPages and publishing a new fast-path epoch.
   void setPageRestricted(uint64_t PageIdx, bool Restricted);
 
+  /// Per-page map of pages with meaningful data while attached: snapshot
+  /// extents plus resident (CoW-dirty) private pages. \returns false when
+  /// the kernel cannot provide the information.
+  bool presentPagesAttached(std::vector<uint8_t> &Present);
+
   int MemFd = -1;
   uint8_t *PrimaryBase = nullptr;
   uint8_t *ShadowBase = nullptr;
   uint64_t Size = 0;
   unsigned PageSize = 4096;
+
+  /// Snapshot attachment state: the borrowed snapshot fd currently mapped
+  /// CoW under the primary window (-1 when self-backed), and the parked
+  /// own-memfd shadow mapping to restore on detach (ShadowBase aliases
+  /// PrimaryBase while attached).
+  int AttachedFd = -1;
+  uint8_t *OwnShadowBase = nullptr;
 
   /// Per-page restriction state of the primary mapping (1 = the page is
   /// not PROT_READ|PROT_WRITE, so a raw access may fault). Drives the

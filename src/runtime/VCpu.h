@@ -38,11 +38,19 @@ struct MachineContext {
   unsigned NumThreads = 1;
 
   /// Published by the HST-family schemes at attach() so the engine can
-  /// execute the fused HstStoreTag micro-op without a scheme call (the
-  /// JIT equivalent: the table address and mask are translation-time
-  /// constants baked into the inlined instrumentation).
+  /// execute the fused HstStoreTag micro-op without a scheme call. Tier-1
+  /// code loads these through the pinned VCpu's Ctx pointer at runtime
+  /// (never baked as immediates), so compiled blocks stay machine-neutral
+  /// and can be shared read-only across snapshot clones.
   std::atomic<uint32_t> *HstTable = nullptr;
   uint64_t HstMask = 0;
+
+  /// Machine-instance addresses tier-1 code needs every block: the
+  /// stop-the-world pending flag (safepoint poll) and the guest-memory
+  /// fast-path epoch (deopt check). Routed through the context for the
+  /// same machine-neutrality reason as HstTable above.
+  const void *ExclPendingAddr = nullptr;
+  const void *FastEpochAddr = nullptr;
 };
 
 /// The local exclusive monitor of one vCPU, in the architectural sense of

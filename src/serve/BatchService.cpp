@@ -6,6 +6,7 @@
 
 #include "serve/BatchService.h"
 
+#include "core/Snapshot.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
 #include "support/Trace.h"
@@ -42,6 +43,8 @@ BatchService::BatchService(const BatchConfig &Config)
   Counters.DeadlineExceeded = R.counter("serve.jobs.deadline_exceeded");
   Counters.PoolCreated = R.counter("serve.pool.created");
   Counters.PoolReused = R.counter("serve.pool.reused");
+  Counters.SnapCaptured = R.counter("serve.snapshot.captured");
+  Counters.SnapJobs = R.counter("serve.snapshot.jobs");
 
   unsigned NumWorkers = std::max(1u, Config.Workers);
   Workers.reserve(NumWorkers);
@@ -79,6 +82,53 @@ ErrorOr<JobHandle> BatchService::submit(JobSpec Spec) {
     return makeError("batch service is shut down");
   }
   return Handle;
+}
+
+ErrorOr<std::shared_ptr<const MachineSnapshot>>
+BatchService::captureSnapshot(const JobSpec &Spec, bool Warm) {
+  auto MachineOrErr = Pool.acquire(Spec.Machine);
+  if (!MachineOrErr)
+    return MachineOrErr.error();
+  std::unique_ptr<Machine> M = std::move(*MachineOrErr);
+
+  auto Fail = [&](Error E) -> Error {
+    // The donor may be mid-run or half-loaded; don't pool it.
+    Pool.release(std::move(M), /*Poisoned=*/true);
+    return E;
+  };
+
+  auto Load = [&]() -> ErrorOr<void> {
+    return Spec.Program ? M->loadProgram(*Spec.Program)
+                        : M->loadAssembly(Spec.AssemblySource, Spec.BaseAddr);
+  };
+  if (auto Loaded = Load(); !Loaded)
+    return Fail(Loaded.error());
+
+  if (Warm) {
+    // Warm-up run: hot blocks tier up into the JIT. Then scrub the guest
+    // image and reload the byte-identical program — the image hash
+    // matches, so the translation and JIT caches survive the reload and
+    // the snapshot captures a *pristine* memory image with *warm* code.
+    RunOptions Opts = Spec.Run;
+    if (Spec.MaxBlocksPerCpu)
+      Opts.MaxBlocksPerCpu = Spec.MaxBlocksPerCpu;
+    if (auto RunOrErr = M->run(Opts); !RunOrErr)
+      return Fail(RunOrErr.error());
+    M->reset();
+    if (auto Reloaded = Load(); !Reloaded)
+      return Fail(Reloaded.error());
+  }
+
+  auto SnapOrErr = M->snapshot();
+  if (!SnapOrErr)
+    return Fail(SnapOrErr.error());
+  Counters.SnapCaptured->fetch_add(1, std::memory_order_relaxed);
+
+  // The donor parks in its plain config bucket; its code caches are now
+  // shared read-only with the snapshot, which Machine handles by
+  // privatizing on any future flush.
+  Pool.release(std::move(M), /*Poisoned=*/!Config.ReuseMachines);
+  return std::shared_ptr<const MachineSnapshot>(std::move(*SnapOrErr));
 }
 
 void BatchService::workerLoop(unsigned WorkerIdx) {
@@ -121,28 +171,51 @@ void BatchService::runJob(PendingJob &Job, JobResult &Result) {
       break;
     }
 
-    auto MachineOrErr = Pool.acquire(Spec.Machine);
-    if (!MachineOrErr) {
-      Result.State = JobState::Failed;
-      Result.Error = MachineOrErr.error().message();
-      break; // Construction failures are not transient; no retry.
-    }
-    std::unique_ptr<Machine> M = std::move(*MachineOrErr);
-    Result.ReusedMachine = M->resetCount() > 0;
-    (Result.ReusedMachine ? Counters.PoolReused : Counters.PoolCreated)
-        ->fetch_add(1, std::memory_order_relaxed);
+    std::unique_ptr<Machine> M;
+    if (Spec.Snapshot) {
+      // Snapshot fan-out: clone instead of load. The machine comes back
+      // already restored to the snapshot image with the donor's warm code
+      // caches adopted — no loadProgram, no translation, no JIT compile.
+      bool WasReused = false;
+      auto MachineOrErr = Pool.acquireFromSnapshot(Spec.Snapshot, &WasReused);
+      if (!MachineOrErr) {
+        Result.State = JobState::Failed;
+        Result.Error = MachineOrErr.error().message();
+        break; // Construction/restore failures are not transient.
+      }
+      M = std::move(*MachineOrErr);
+      Result.ReusedMachine = WasReused;
+      (WasReused ? Counters.PoolReused : Counters.PoolCreated)
+          ->fetch_add(1, std::memory_order_relaxed);
+      Counters.SnapJobs->fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> Lock(FleetMutex);
+        ++Fleet.SnapshotJobs;
+      }
+    } else {
+      auto MachineOrErr = Pool.acquire(Spec.Machine);
+      if (!MachineOrErr) {
+        Result.State = JobState::Failed;
+        Result.Error = MachineOrErr.error().message();
+        break; // Construction failures are not transient; no retry.
+      }
+      M = std::move(*MachineOrErr);
+      Result.ReusedMachine = M->resetCount() > 0;
+      (Result.ReusedMachine ? Counters.PoolReused : Counters.PoolCreated)
+          ->fetch_add(1, std::memory_order_relaxed);
 
-    ErrorOr<void> Loaded =
-        Spec.Program ? M->loadProgram(*Spec.Program)
-                     : M->loadAssembly(Spec.AssemblySource, Spec.BaseAddr);
-    if (!Loaded) {
-      // Assembler/loader errors are deterministic — retrying re-runs the
-      // same text through the same assembler. Fail immediately. The
-      // machine never ran, so it is still clean enough to pool.
-      Pool.release(std::move(M), /*Poisoned=*/!Config.ReuseMachines);
-      Result.State = JobState::Failed;
-      Result.Error = Loaded.error().message();
-      break;
+      ErrorOr<void> Loaded =
+          Spec.Program ? M->loadProgram(*Spec.Program)
+                       : M->loadAssembly(Spec.AssemblySource, Spec.BaseAddr);
+      if (!Loaded) {
+        // Assembler/loader errors are deterministic — retrying re-runs the
+        // same text through the same assembler. Fail immediately. The
+        // machine never ran, so it is still clean enough to pool.
+        Pool.release(std::move(M), /*Poisoned=*/!Config.ReuseMachines);
+        Result.State = JobState::Failed;
+        Result.Error = Loaded.error().message();
+        break;
+      }
     }
 
     RunOptions Opts = Spec.Run;

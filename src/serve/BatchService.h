@@ -57,6 +57,7 @@ struct FleetStats {
   uint64_t DeadlineExceeded = 0; ///< Done jobs stopped by their deadline.
   uint64_t MachinesCreated = 0;  ///< Pool constructions.
   uint64_t MachinesReused = 0;   ///< Pool hits.
+  uint64_t SnapshotJobs = 0;     ///< Jobs served from a snapshot clone.
   uint64_t QueueNs = 0;          ///< Sum of per-job queue wait.
   uint64_t RunNs = 0;            ///< Sum of per-job run time.
   /// Event counters summed over every completed job (the fleet view of
@@ -77,6 +78,18 @@ public:
   /// Enqueues \p Spec. Blocks while the queue is full; fails after
   /// shutdown(). The handle resolves when a worker finishes the job.
   ErrorOr<JobHandle> submit(JobSpec Spec);
+
+  /// Captures a machine snapshot from \p Spec's program: a machine of the
+  /// spec's shape is checked out of the pool, loaded, and — when \p Warm —
+  /// run once first (under the spec's budgets) so hot blocks tier up,
+  /// then scrubbed and reloaded so the image is pristine while the
+  /// translation and JIT caches stay full. The returned snapshot can be
+  /// stored in JobSpec::Snapshot; every clone job then starts with the
+  /// donor's warm tier-0 and tier-1 code and never recompiles
+  /// (docs/SERVING.md, "Snapshot fan-out"). The donor machine is parked
+  /// back in the pool.
+  ErrorOr<std::shared_ptr<const MachineSnapshot>>
+  captureSnapshot(const JobSpec &Spec, bool Warm = true);
 
   /// Blocks until every job submitted so far has finished.
   void drain();
@@ -126,6 +139,8 @@ private:
     std::atomic<uint64_t> *DeadlineExceeded;
     std::atomic<uint64_t> *PoolCreated;
     std::atomic<uint64_t> *PoolReused;
+    std::atomic<uint64_t> *SnapCaptured;
+    std::atomic<uint64_t> *SnapJobs;
   };
   ServeCounters Counters;
 };

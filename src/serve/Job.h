@@ -38,6 +38,14 @@ struct JobSpec {
   std::string AssemblySource;
   uint64_t BaseAddr = 0x1000;
 
+  /// Run from a snapshot instead of loading a program: the worker clones
+  /// the machine via MachinePool::acquireFromSnapshot, skipping
+  /// loadProgram/loadAssembly entirely (Program and AssemblySource are
+  /// ignored, and Machine is overridden by the snapshot's config so the
+  /// clone's pool bucket matches the donor shape). Capture one with
+  /// BatchService::captureSnapshot.
+  std::shared_ptr<const MachineSnapshot> Snapshot;
+
   /// Machine shape this job needs. The pool hands out an idle Machine
   /// with an identical shape (serve/MachinePool.h) or builds one.
   MachineConfig Machine;

@@ -6,6 +6,9 @@
 
 #include "serve/MachinePool.h"
 
+#include "core/Snapshot.h"
+#include "support/Stats.h"
+
 #include <cinttypes>
 #include <cstdio>
 
@@ -42,6 +45,20 @@ std::string serve::machineConfigKey(const MachineConfig &Config) {
   return Buf;
 }
 
+/// Clone-bucket key: the snapshot's *identity*, not just its shape. Two
+/// snapshots can share config and image hash (e.g. post-load vs mid-run
+/// captures of the same program); a parked clone must only ever be handed
+/// to acquireFromSnapshot of the very snapshot it is attached to, so its
+/// fast restore path (AttachedSnapshot == Snap) applies. Pointer reuse
+/// cannot alias: every parked clone co-owns its snapshot, so the address
+/// stays taken while the bucket is non-empty.
+static std::string snapshotBucketKey(const MachineSnapshot &Snap) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "snap=%p;hash=%016" PRIx64,
+                static_cast<const void *>(&Snap), Snap.ImageHash);
+  return machineConfigKey(Snap.Config) + ";" + Buf;
+}
+
 ErrorOr<std::unique_ptr<Machine>> MachinePool::acquire(
     const MachineConfig &Config) {
   std::string Key = machineConfigKey(Config);
@@ -67,7 +84,58 @@ ErrorOr<std::unique_ptr<Machine>> MachinePool::acquire(
   return std::move(*MachineOrErr);
 }
 
+ErrorOr<std::unique_ptr<Machine>> MachinePool::acquireFromSnapshot(
+    const std::shared_ptr<const MachineSnapshot> &Snap, bool *WasReused) {
+  static std::atomic<uint64_t> *const ReusedCounter =
+      CounterRegistry::instance().counter("serve.snapshot.clones_reused");
+  static std::atomic<uint64_t> *const CreatedCounter =
+      CounterRegistry::instance().counter("serve.snapshot.clones_created");
+  static std::atomic<uint64_t> *const RestoresCounter =
+      CounterRegistry::instance().counter("serve.snapshot.restores");
+
+  if (!Snap)
+    return makeError("acquireFromSnapshot(null snapshot)");
+  std::string Key = snapshotBucketKey(*Snap);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Idle.find(Key);
+    if (It != Idle.end() && !It->second.empty()) {
+      // Parked clones were restored on release — hand-out-ready, no
+      // syscalls at all on this path.
+      std::unique_ptr<Machine> M = std::move(It->second.back());
+      It->second.pop_back();
+      ++Reused;
+      ++SnapshotReused;
+      ReusedCounter->fetch_add(1, std::memory_order_relaxed);
+      if (WasReused)
+        *WasReused = true;
+      return M;
+    }
+  }
+  // Cold path: restore onto an idle machine of the snapshot's shape (or
+  // a freshly constructed one). restoreFrom attaches the memfd CoW and
+  // adopts the shared warm code — still no program load or translation.
+  auto MachineOrErr = acquire(Snap->Config);
+  if (!MachineOrErr)
+    return MachineOrErr.error();
+  std::unique_ptr<Machine> M = std::move(*MachineOrErr);
+  if (auto R = M->restoreFrom(Snap); !R)
+    return R.error();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++SnapshotClones;
+    ++SnapshotRestores;
+  }
+  CreatedCounter->fetch_add(1, std::memory_order_relaxed);
+  RestoresCounter->fetch_add(1, std::memory_order_relaxed);
+  if (WasReused)
+    *WasReused = false;
+  return M;
+}
+
 void MachinePool::release(std::unique_ptr<Machine> M, bool Poisoned) {
+  static std::atomic<uint64_t> *const RestoresCounter =
+      CounterRegistry::instance().counter("serve.snapshot.restores");
   if (!M)
     return;
   if (Poisoned) {
@@ -75,10 +143,27 @@ void MachinePool::release(std::unique_ptr<Machine> M, bool Poisoned) {
     ++Destroyed;
     return; // M destroyed on scope exit.
   }
-  // Reset before parking (not at acquire) so dirtied guest pages are
-  // released to the kernel while the machine sits idle.
-  M->reset();
-  std::string Key = machineConfigKey(M->config());
+  std::string Key;
+  if (const std::shared_ptr<const MachineSnapshot> &Snap =
+          M->attachedSnapshot()) {
+    // Restore-on-release: revert the clone to its snapshot now (one
+    // madvise drops the job's CoW-dirty pages while the machine idles)
+    // and park it hand-out-ready in the snapshot's clone bucket.
+    Key = snapshotBucketKey(*Snap);
+    if (auto R = M->restoreFrom(Snap); !R) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Destroyed;
+      return;
+    }
+    RestoresCounter->fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++SnapshotRestores;
+  } else {
+    // Reset before parking (not at acquire) so dirtied guest pages are
+    // released to the kernel while the machine sits idle.
+    M->reset();
+    Key = machineConfigKey(M->config());
+  }
   std::lock_guard<std::mutex> Lock(Mutex);
   std::vector<std::unique_ptr<Machine>> &Bucket = Idle[Key];
   if (MaxIdlePerKey && Bucket.size() >= MaxIdlePerKey) {
@@ -101,6 +186,9 @@ MachinePool::Stats MachinePool::stats() const {
   S.Created = Created;
   S.Reused = Reused;
   S.Destroyed = Destroyed;
+  S.SnapshotClones = SnapshotClones;
+  S.SnapshotReused = SnapshotReused;
+  S.SnapshotRestores = SnapshotRestores;
   for (const auto &Entry : Idle)
     S.Idle += Entry.second.size();
   return S;

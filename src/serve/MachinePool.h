@@ -28,6 +28,9 @@
 #include <vector>
 
 namespace llsc {
+
+struct MachineSnapshot;
+
 namespace serve {
 
 /// \returns a string encoding every MachineConfig field that affects a
@@ -50,9 +53,23 @@ public:
   /// and Machine::create fails.
   ErrorOr<std::unique_ptr<Machine>> acquire(const MachineConfig &Config);
 
+  /// Pops an idle clone of \p Snap — already restored to the snapshot
+  /// image, hand-out-ready — or makes one: an idle machine of the
+  /// snapshot's shape (or a newly constructed one) is cold-restored via
+  /// Machine::restoreFrom. Clone buckets are keyed by snapshot identity,
+  /// so a popped machine is always attached to \p Snap itself, never to a
+  /// look-alike. \p WasReused (optional) reports warm-pop vs cold-restore.
+  ErrorOr<std::unique_ptr<Machine>> acquireFromSnapshot(
+      const std::shared_ptr<const MachineSnapshot> &Snap,
+      bool *WasReused = nullptr);
+
   /// Resets \p M and parks it for the next acquire() of the same shape.
-  /// When the machine is in a state reset() cannot clean up (a previous
-  /// run errored mid-flight), pass \p Poisoned to destroy it instead.
+  /// A snapshot-attached clone is instead *restored* to its snapshot
+  /// (restore-on-release: dirty CoW pages are dropped while it idles) and
+  /// parked in the snapshot's clone bucket for the next
+  /// acquireFromSnapshot. When the machine is in a state reset() cannot
+  /// clean up (a previous run errored mid-flight), pass \p Poisoned to
+  /// destroy it instead.
   void release(std::unique_ptr<Machine> M, bool Poisoned = false);
 
   /// Destroys every idle machine (shutdown / test isolation).
@@ -63,6 +80,11 @@ public:
     uint64_t Reused = 0;   ///< acquire() hits on a parked machine.
     uint64_t Destroyed = 0;///< Poisoned or over-capacity releases.
     uint64_t Idle = 0;     ///< Currently parked, all buckets.
+    // Snapshot-clone traffic (serve.snapshot.* in docs/OBSERVABILITY.md).
+    uint64_t SnapshotClones = 0;   ///< Cold restores (new clone minted).
+    uint64_t SnapshotReused = 0;   ///< Warm pops from a clone bucket.
+    uint64_t SnapshotRestores = 0; ///< Machine::restoreFrom calls (cold +
+                                   ///< restore-on-release fast paths).
   };
   Stats stats() const;
 
@@ -73,6 +95,9 @@ private:
   uint64_t Created = 0;
   uint64_t Reused = 0;
   uint64_t Destroyed = 0;
+  uint64_t SnapshotClones = 0;
+  uint64_t SnapshotReused = 0;
+  uint64_t SnapshotRestores = 0;
 };
 
 } // namespace serve

@@ -422,7 +422,7 @@ TEST_P(CrossCheckTest, PipelineMatchesReferenceIss) {
   Config.MemBytes = 1ULL << 20;
   auto M = Machine::create(Config).take();
   ASSERT_TRUE(bool(M->loadProgram(Prog)));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   ASSERT_TRUE(Result->AllHalted);
 
@@ -467,7 +467,7 @@ TEST_P(CrossCheckTest, OptimizerVariantsAgree) {
     Config.Translation.RuleBasedAtomics = RuleBased;
     auto M = Machine::create(Config).take();
     EXPECT_TRUE(bool(M->loadProgram(Prog)));
-    auto Result = M->run();
+    auto Result = M->run({});
     EXPECT_TRUE(bool(Result));
     std::array<uint64_t, NumGuestRegs> Regs;
     std::copy(std::begin(M->cpu(0).Regs), std::end(M->cpu(0).Regs),

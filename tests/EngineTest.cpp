@@ -37,7 +37,7 @@ loop:   cbz r2, done
         b   loop
 done:   halt
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   // The loop body executes 100 times but translates once; the program has
   // a handful of distinct blocks.
@@ -55,7 +55,7 @@ loop:   cbz r2, done
         b   loop
 done:   halt
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   // With direct chaining, cache lookups stay near the block count rather
   // than the dynamic block execution count (~20k here).
@@ -66,11 +66,11 @@ done:   halt
 TEST(TbCache, FlushRetranslates) {
   auto M = makeMachine();
   ASSERT_TRUE(bool(M->loadAssembly("_start: halt\n")));
-  ASSERT_TRUE(bool(M->run()));
+  ASSERT_TRUE(bool(M->run({})));
   size_t MissesBefore = M->cache().misses();
   M->cache().flush();
   EXPECT_EQ(M->cache().size(), 0u);
-  ASSERT_TRUE(bool(M->run()));
+  ASSERT_TRUE(bool(M->run({})));
   EXPECT_GT(M->cache().misses(), MissesBefore);
 }
 
@@ -87,7 +87,7 @@ inc:    addi r1, r1, #1
         ret
 out:    .quad 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("out"), 8), 2u);
 }
@@ -97,7 +97,7 @@ TEST(Engine, BlockBudgetStopsRunawayGuest) {
   ASSERT_TRUE(bool(M->loadAssembly(R"(
 _start: b _start      ; infinite loop
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_FALSE(Result->AllHalted);
   EXPECT_LE(Result->Total.ExecutedBlocks, 1001u);
@@ -110,7 +110,7 @@ _start: li  r1, #0x40000000     ; far beyond the 8 MiB guest memory
         ldd r2, [r1]
         halt
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   // The cpu halts (with a logged error) instead of crashing the host.
   EXPECT_TRUE(Result->AllHalted);
@@ -124,7 +124,7 @@ _start: dmb
         dmb
         halt
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_EQ(Result->Total.Yields, 1u);
 }
@@ -149,7 +149,10 @@ done:   halt
 data:   .word 0
 )");
     EXPECT_TRUE(bool(Loaded));
-    auto Result = M->runCooperative(Slice);
+    RunOptions Opts;
+    Opts.ExecMode = RunOptions::Mode::Cooperative;
+    Opts.BlocksPerSlice = Slice;
+    auto Result = M->run(Opts);
     EXPECT_TRUE(bool(Result));
     return M->mem().shadowLoad(M->program().requiredSymbol("data"), 4);
   };
@@ -183,7 +186,7 @@ done:   halt
         .align 4096
 counter: .word 0
 )")));
-    auto Result = M->run();
+    auto Result = M->run({});
     ASSERT_TRUE(bool(Result)) << Result.error().render();
     EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
               4000u)
@@ -216,7 +219,7 @@ done:   halt
         .align 64
 data:   .quad 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   // 100 instrumented stores, one fused instrumentation op each.
   EXPECT_GE(Result->Profile.InlineInstrumentOps, 100u);
@@ -265,7 +268,7 @@ _start: la      r1, data
         .align 64
 data:   .quad 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_EQ(Counting.Lls, 1u);
   EXPECT_EQ(Counting.Scs, 1u);
@@ -312,7 +315,7 @@ TEST(Engine, PstFaultsCorrectlyWithFastMem) {
   Config.MemBytes = 8ULL << 20;
   auto M = Machine::create(Config).take();
   ASSERT_TRUE(bool(M->loadAssembly(ContendedCounterSource)));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
@@ -329,7 +332,7 @@ TEST(Engine, PstRemapFaultsCorrectlyWithFastMem) {
   Config.MemBytes = 8ULL << 20;
   auto M = Machine::create(Config).take();
   ASSERT_TRUE(bool(M->loadAssembly(ContendedCounterSource)));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
@@ -356,7 +359,7 @@ done:   halt
         .align 64
 data:   .quad 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_GT(Result->Events.FastMemHits, 0u);
   EXPECT_EQ(Result->Events.FastMemSlow, 0u);
@@ -364,14 +367,14 @@ data:   .quad 0
   // Restrict an unrelated page: the window collapses machine-wide.
   ASSERT_TRUE(M->mem().protectPage(1000, PROT_READ));
   EXPECT_FALSE(M->mem().fastPathAllowed());
-  auto Restricted = M->run();
+  auto Restricted = M->run({});
   ASSERT_TRUE(bool(Restricted)) << Restricted.error().render();
   EXPECT_EQ(Restricted->Events.FastMemHits, 0u)
       << "no raw access may happen while any page is restricted";
   EXPECT_GT(Restricted->Events.FastMemSlow, 0u);
 
   ASSERT_TRUE(M->mem().protectPage(1000, PROT_READ | PROT_WRITE));
-  auto Reopened = M->run();
+  auto Reopened = M->run({});
   ASSERT_TRUE(bool(Reopened)) << Reopened.error().render();
   EXPECT_GT(Reopened->Events.FastMemHits, 0u);
 }
@@ -388,7 +391,7 @@ done:   halt
 callee: addi r3, r3, #1
         ret
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_EQ(M->cpu(0).Regs[3], 1000u);
   // Every `ret` is an indirect branch; after the cold misses the jump
@@ -409,7 +412,7 @@ TEST(Engine, WallBudgetStopsRunawayGuest) {
   auto M = Machine::create(Config).take();
   ASSERT_TRUE(bool(M->loadAssembly("_start: b _start\n")));
   uint64_t Start = monotonicNanos();
-  auto Result = M->run();
+  auto Result = M->run({});
   uint64_t ElapsedNs = monotonicNanos() - Start;
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_FALSE(Result->AllHalted);

@@ -153,7 +153,7 @@ struct RunSnapshot {
 RunSnapshot runOnce(Machine &M, const std::string &Asm) {
   RunSnapshot Snap{};
   EXPECT_TRUE(bool(M.loadAssembly(Asm)));
-  auto Result = M.run();
+  auto Result = M.run({});
   EXPECT_TRUE(bool(Result)) << Result.error().render();
   if (!Result)
     return Snap;
@@ -194,7 +194,7 @@ done:   halt
         .align 4096
 counter: .quad 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 8),
@@ -276,7 +276,7 @@ counter: .quad 0
   for (bool Jit : {false, true}) {
     auto M = makeMachine(Kind, Jit, Threads);
     ASSERT_TRUE(bool(M->loadAssembly(Asm)));
-    auto Result = M->run();
+    auto Result = M->run({});
     ASSERT_TRUE(bool(Result))
         << schemeTraits(Kind).Name << ": " << Result.error().render();
     EXPECT_TRUE(Result->AllHalted) << schemeTraits(Kind).Name;
@@ -325,7 +325,7 @@ done:   halt
 counter: .quad 0
 noise:   .quad 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 8),
@@ -364,7 +364,7 @@ flag:    .quad 0
 )")));
 
   ErrorOr<RunResult> Result = makeError("not run");
-  std::thread Runner([&] { Result = M->run(); });
+  std::thread Runner([&] { Result = M->run({}); });
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   M->setScheme(createScheme(SchemeKind::Pst));
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -396,7 +396,7 @@ TEST(JitBudget, BlockBudgetStopsChainedExecution) {
   Config.MaxBlocksPerCpu = 1000;
   auto M = Machine::create(Config).take();
   ASSERT_TRUE(bool(M->loadAssembly("_start: addi r1, r1, #1\n        b _start\n")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_FALSE(Result->AllHalted);
   // Chained jitted code must not overrun the budget: the chain budget is
@@ -418,7 +418,7 @@ TEST(JitWx, NoRwxMappingsWhileJitLive) {
   ASSERT_TRUE(bool(M->loadAssembly(
       "_start: li r2, #64\nloop: addi r1, r1, #1\n        addi r2, r2, #-1\n"
       "        cbnz r2, loop\n        halt\n")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   ASSERT_GT(Result->Events.JitBlocksCompiled, 0u);
 

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Machine.h"
+#include "core/Snapshot.h"
 #include "guest/Assembler.h"
 #include "mem/GuestMemory.h"
 #include "serve/BatchService.h"
@@ -328,6 +329,263 @@ TEST(BatchServiceTest, DeadlineExpiresWhileQueued) {
   EXPECT_TRUE(R.DeadlineExceeded);
   EXPECT_FALSE(R.Error.empty());
   EXPECT_EQ(LongHandle->wait().State, JobState::Done);
+}
+
+// --- Copy-on-write snapshots (docs/SERVING.md "Snapshot lifecycle") ---------
+
+/// Clones are isolated: a clone's writes are private CoW pages, invisible
+/// to sibling clones and to the sealed snapshot image itself, and a
+/// repeat restore discards them.
+TEST(SnapshotTest, CloneDivergence) {
+  auto Donor = makeMachine(SchemeKind::Hst);
+  ASSERT_TRUE(bool(Donor->loadAssembly(ProgramA)));
+  auto SnapOrErr = Donor->snapshot();
+  ASSERT_TRUE(bool(SnapOrErr)) << SnapOrErr.error().render();
+  std::shared_ptr<const MachineSnapshot> Snap = *SnapOrErr;
+  uint64_t WordAddr = Donor->program().requiredSymbol("word");
+
+  auto CloneA = makeMachine(SchemeKind::Hst);
+  auto CloneB = makeMachine(SchemeKind::Hst);
+  ASSERT_TRUE(bool(CloneA->restoreFrom(Snap)));
+  ASSERT_TRUE(bool(CloneB->restoreFrom(Snap)));
+
+  auto RunA = CloneA->run(RunOptions());
+  ASSERT_TRUE(bool(RunA)) << RunA.error().render();
+  EXPECT_EQ(CloneA->mem().shadowLoad(WordAddr, 8),
+            100u * CloneA->numThreads());
+  // CloneA's dirty pages never reach its sibling.
+  EXPECT_EQ(CloneB->mem().shadowLoad(WordAddr, 8), 0u);
+
+  // Repeat restore (the fast madvise path) drops CloneA's writes.
+  ASSERT_TRUE(bool(CloneA->restoreFrom(Snap)));
+  EXPECT_EQ(CloneA->mem().shadowLoad(WordAddr, 8), 0u);
+  auto RunA2 = CloneA->run(RunOptions());
+  ASSERT_TRUE(bool(RunA2)) << RunA2.error().render();
+  EXPECT_EQ(CloneA->mem().shadowLoad(WordAddr, 8),
+            100u * CloneA->numThreads());
+
+  auto RunB = CloneB->run(RunOptions());
+  ASSERT_TRUE(bool(RunB)) << RunB.error().render();
+  EXPECT_EQ(CloneB->mem().shadowLoad(WordAddr, 8),
+            100u * CloneB->numThreads());
+}
+
+/// The Table II classification is a property of the scheme, and being a
+/// snapshot clone must not change it — for any scheme kind, including the
+/// page-protection ones that restore by deep copy instead of CoW attach.
+TEST_P(ReuseTest, LitmusClassificationSurvivesRestore) {
+  auto M = makeMachine(GetParam());
+  auto Driver1 = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(Driver1)) << Driver1.error().render();
+  MeasuredAtomicity FreshClass = classifyScheme(*Driver1);
+
+  ASSERT_TRUE(bool(M->loadAssembly(ProgramA)));
+  auto SnapOrErr = M->snapshot();
+  ASSERT_TRUE(bool(SnapOrErr)) << SnapOrErr.error().render();
+
+  auto Clone = makeMachine(GetParam());
+  ASSERT_TRUE(bool(Clone->restoreFrom(*SnapOrErr)));
+  auto Run = Clone->run(RunOptions());
+  ASSERT_TRUE(bool(Run)) << Run.error().render();
+
+  auto Driver2 = LitmusDriver::create(*Clone);
+  ASSERT_TRUE(bool(Driver2)) << Driver2.error().render();
+  EXPECT_EQ(classifyScheme(*Driver2), FreshClass)
+      << "classification changed after snapshot restore ("
+      << measuredAtomicityName(FreshClass) << " before)";
+}
+
+/// Hot-swapping a snapshot-attached clone privatizes its memory and code;
+/// a later restore from the same snapshot re-attaches cleanly.
+TEST(SnapshotTest, RestoreAfterHotSwap) {
+  auto Donor = makeMachine(SchemeKind::Hst);
+  ASSERT_TRUE(bool(Donor->loadAssembly(ProgramA)));
+  auto SnapOrErr = Donor->snapshot();
+  ASSERT_TRUE(bool(SnapOrErr)) << SnapOrErr.error().render();
+  std::shared_ptr<const MachineSnapshot> Snap = *SnapOrErr;
+  uint64_t WordAddr = Donor->program().requiredSymbol("word");
+
+  auto Clone = makeMachine(SchemeKind::Hst);
+  ASSERT_TRUE(bool(Clone->restoreFrom(Snap)));
+  EXPECT_TRUE(Clone->attachedSnapshot() != nullptr);
+
+  // Swap to a page-protection scheme: the clone cannot keep executing out
+  // of a CoW attachment (PST remaps pages), so the swap deep-copies the
+  // image into the clone's own memfd and detaches.
+  Clone->setScheme(createScheme(SchemeKind::PstRemap));
+  EXPECT_TRUE(Clone->attachedSnapshot() == nullptr);
+  auto RunSwapped = Clone->run(RunOptions());
+  ASSERT_TRUE(bool(RunSwapped)) << RunSwapped.error().render();
+  EXPECT_EQ(Clone->mem().shadowLoad(WordAddr, 8),
+            100u * Clone->numThreads());
+
+  // Restore re-attaches (cold path: scheme swapped back to the captured
+  // kind, memory re-attached CoW) and the clone behaves like a fresh one.
+  ASSERT_TRUE(bool(Clone->restoreFrom(Snap)));
+  EXPECT_TRUE(Clone->attachedSnapshot() != nullptr);
+  EXPECT_EQ(Clone->scheme().traits().Kind, SchemeKind::Hst);
+  EXPECT_EQ(Clone->mem().shadowLoad(WordAddr, 8), 0u);
+  auto RunRestored = Clone->run(RunOptions());
+  ASSERT_TRUE(bool(RunRestored)) << RunRestored.error().render();
+  EXPECT_EQ(Clone->mem().shadowLoad(WordAddr, 8),
+            100u * Clone->numThreads());
+}
+
+/// The tier-1 warm-code guarantee: a clone adopts the donor's compiled
+/// code and recompiles nothing, yet executes the same work a fresh
+/// machine does (which pays the full compile bill itself).
+TEST(SnapshotTest, CloneRunsWarmTier1WithoutCompiling) {
+  MachineConfig Config;
+  Config.Scheme = SchemeKind::Hst;
+  Config.NumThreads = 1;
+  Config.MemBytes = 8ULL << 20;
+  Config.ForceSoftHtm = true;
+  // Tier up on first execution (threshold N compiles on the N+1th), so
+  // the donor's warm-up compiles even its once-executed entry/exit blocks
+  // and the clone has nothing left to compile.
+  Config.JitHotThreshold = 0;
+
+  auto DonorOrErr = Machine::create(Config);
+  ASSERT_TRUE(bool(DonorOrErr)) << DonorOrErr.error().render();
+  Machine &Donor = **DonorOrErr;
+  if (!Donor.jitBackend())
+    GTEST_SKIP() << "tier-1 JIT unavailable on this host";
+
+  // Warm like BatchService::captureSnapshot: run so every block tiers up,
+  // then scrub and reload the identical image so the snapshot holds a
+  // pristine memory image next to warm caches.
+  ASSERT_TRUE(bool(Donor.loadAssembly(ProgramB)));
+  auto Warm = Donor.run(RunOptions());
+  ASSERT_TRUE(bool(Warm)) << Warm.error().render();
+  uint64_t DonorCompiled = Warm->Events.JitBlocksCompiled;
+  EXPECT_GT(DonorCompiled, 0u);
+  Donor.reset();
+  ASSERT_TRUE(bool(Donor.loadAssembly(ProgramB)));
+  auto SnapOrErr = Donor.snapshot();
+  ASSERT_TRUE(bool(SnapOrErr)) << SnapOrErr.error().render();
+
+  // A fresh machine pays the same compile bill the donor did.
+  auto FreshOrErr = Machine::create(Config);
+  ASSERT_TRUE(bool(FreshOrErr));
+  Machine &Fresh = **FreshOrErr;
+  ASSERT_TRUE(bool(Fresh.loadAssembly(ProgramB)));
+  auto FreshRun = Fresh.run(RunOptions());
+  ASSERT_TRUE(bool(FreshRun)) << FreshRun.error().render();
+  EXPECT_EQ(FreshRun->Events.JitBlocksCompiled, DonorCompiled);
+
+  // The clone pays nothing: zero compiles, warm entries, same execution.
+  auto CloneOrErr = Machine::create(Config);
+  ASSERT_TRUE(bool(CloneOrErr));
+  Machine &Clone = **CloneOrErr;
+  ASSERT_TRUE(bool(Clone.restoreFrom(*SnapOrErr)));
+  EXPECT_TRUE(Clone.codeShared());
+  auto CloneRun = Clone.run(RunOptions());
+  ASSERT_TRUE(bool(CloneRun)) << CloneRun.error().render();
+  EXPECT_EQ(CloneRun->Events.JitBlocksCompiled, 0u);
+  EXPECT_GT(CloneRun->Events.JitEnters, 0u);
+  EXPECT_EQ(CloneRun->Total.ExecutedInsts, FreshRun->Total.ExecutedInsts);
+  EXPECT_EQ(Clone.mem().shadowLoad(Clone.program().requiredSymbol("out"), 8),
+            6765u);
+}
+
+/// Regression (PST-REMAP): resetZero() used to assert when a scheme had
+/// remapped pages away; it must instead restore plain memfd backing and
+/// zero everything.
+TEST(SnapshotTest, ResetZeroRestoresRemappedPages) {
+  auto MemOrErr = GuestMemory::create(1 << 20);
+  ASSERT_TRUE(bool(MemOrErr)) << MemOrErr.error().render();
+  GuestMemory &Mem = **MemOrErr;
+
+  Mem.shadowStore(0x2008, 0xFEEDu, 8);
+  ASSERT_TRUE(Mem.remapPageAway(2));
+  ASSERT_FALSE(Mem.fastPathAllowed());
+
+  Mem.resetZero();
+
+  EXPECT_TRUE(Mem.fastPathAllowed());
+  EXPECT_EQ(Mem.shadowLoad(0x2008, 8), 0u);
+  // The page is plain read-write memfd again: a primary-mapping access
+  // must not fault and must see shadow writes (shared backing restored).
+  Mem.shadowStore(0x2008, 0x55u, 8);
+  EXPECT_EQ(GuestMemory::loadRelaxed(Mem.primaryBase() + 0x2008, 8), 0x55u);
+}
+
+/// MachinePool snapshot buckets: cold restore mints a clone, release
+/// parks it restored, the next acquireFromSnapshot pops it warm.
+TEST(MachinePoolTest, SnapshotCloneBuckets) {
+  MachinePool Pool;
+  auto Donor = makeMachine(SchemeKind::Hst);
+  ASSERT_TRUE(bool(Donor->loadAssembly(ProgramA)));
+  auto SnapOrErr = Donor->snapshot();
+  ASSERT_TRUE(bool(SnapOrErr)) << SnapOrErr.error().render();
+  std::shared_ptr<const MachineSnapshot> Snap = *SnapOrErr;
+  uint64_t WordAddr = Donor->program().requiredSymbol("word");
+
+  bool WasReused = true;
+  auto C1 = Pool.acquireFromSnapshot(Snap, &WasReused);
+  ASSERT_TRUE(bool(C1)) << C1.error().render();
+  EXPECT_FALSE(WasReused);
+  EXPECT_EQ(Pool.stats().SnapshotClones, 1u);
+  Machine *Raw = C1->get();
+  ASSERT_TRUE(bool((*C1)->run(RunOptions())));
+
+  // Release restores (dirty pages dropped) and parks in the clone bucket.
+  Pool.release(C1.take());
+  EXPECT_EQ(Pool.stats().Idle, 1u);
+  EXPECT_EQ(Pool.stats().SnapshotRestores, 2u); // Cold + on-release.
+
+  auto C2 = Pool.acquireFromSnapshot(Snap, &WasReused);
+  ASSERT_TRUE(bool(C2)) << C2.error().render();
+  EXPECT_TRUE(WasReused);
+  EXPECT_EQ(C2->get(), Raw);
+  EXPECT_EQ(Pool.stats().SnapshotReused, 1u);
+  // Hand-out-ready: the previous job's writes are gone.
+  EXPECT_EQ((*C2)->mem().shadowLoad(WordAddr, 8), 0u);
+  ASSERT_TRUE(bool((*C2)->run(RunOptions())));
+  EXPECT_EQ((*C2)->mem().shadowLoad(WordAddr, 8),
+            100u * (*C2)->numThreads());
+}
+
+/// End to end through the service: snapshot jobs skip loading, share one
+/// warm image, and the fleet counts them.
+TEST(BatchServiceTest, SnapshotJobsFanOut) {
+  BatchConfig Config;
+  Config.Workers = 4;
+  BatchService Service(Config);
+
+  JobSpec DonorSpec;
+  DonorSpec.Name = "donor";
+  DonorSpec.AssemblySource = ProgramA;
+  DonorSpec.Machine.Scheme = SchemeKind::Hst;
+  DonorSpec.Machine.NumThreads = 2;
+  DonorSpec.Machine.MemBytes = 8ULL << 20;
+  DonorSpec.Machine.ForceSoftHtm = true;
+  auto SnapOrErr = Service.captureSnapshot(DonorSpec);
+  ASSERT_TRUE(bool(SnapOrErr)) << SnapOrErr.error().render();
+
+  constexpr unsigned Jobs = 16;
+  std::vector<JobHandle> Handles;
+  for (unsigned J = 0; J < Jobs; ++J) {
+    JobSpec Spec;
+    Spec.Name = "clone";
+    Spec.Snapshot = *SnapOrErr;
+    Spec.Machine = DonorSpec.Machine;
+    auto Handle = Service.submit(std::move(Spec));
+    ASSERT_TRUE(bool(Handle)) << Handle.error().render();
+    Handles.push_back(*Handle);
+  }
+  for (const JobHandle &H : Handles) {
+    const JobResult &R = H.wait();
+    EXPECT_EQ(R.State, JobState::Done) << R.Error;
+    EXPECT_GE(R.Report.Total.StoreConds, 200u);
+  }
+
+  FleetStats Fleet = Service.fleetStats();
+  EXPECT_EQ(Fleet.SnapshotJobs, Jobs);
+  EXPECT_EQ(Fleet.Completed, Jobs);
+  MachinePool::Stats P = Service.poolStats();
+  EXPECT_EQ(P.SnapshotClones + P.SnapshotReused, Jobs);
+  EXPECT_GT(P.SnapshotReused, 0u);
 }
 
 /// Deterministic spec errors (un-assemblable source) are not retried:

@@ -52,7 +52,7 @@ _start:
 out:    .quad 0
         .quad 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
   uint64_t Out = M->program().requiredSymbol("out");
@@ -76,7 +76,7 @@ done:   la      r3, out
         halt
 out:    .word 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("out"), 4),
             5050u);
@@ -101,7 +101,7 @@ double_it:
         ret
 out:    .quad 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("out"), 8), 20u);
 }
@@ -127,7 +127,7 @@ data:   .byte 0xff, 0
         .word 0x80000000
 out:    .space 32
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   uint64_t Out = M->program().requiredSymbol("out");
   auto Load = [&](unsigned Slot) {
@@ -170,7 +170,7 @@ done:   halt
         .align 4096
 counter: .word 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
@@ -201,7 +201,7 @@ done:   halt
         .align 4096
 counter: .word 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
@@ -227,7 +227,10 @@ done:   halt
         .align 4096
 counter: .word 0
 )")));
-  auto Result = M->runCooperative(/*BlocksPerSlice=*/2);
+  RunOptions Opts;
+  Opts.ExecMode = RunOptions::Mode::Cooperative;
+  Opts.BlocksPerSlice = 2;
+  auto Result = M->run(Opts);
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
@@ -250,7 +253,7 @@ _start:
         .align 8
 out:    .space 64
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   uint64_t Out = M->program().requiredSymbol("out");
   for (unsigned Tid = 0; Tid < 4; ++Tid)
@@ -270,7 +273,7 @@ _start:
         .align 8
 out:    .space 16
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   uint64_t Out = M->program().requiredSymbol("out");
   EXPECT_EQ(M->mem().shadowLoad(Out, 8), 100u);
@@ -292,7 +295,7 @@ retry:  ldxr.w  r3, [r1]
         .align 4096
 data:   .space 16
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_EQ(Result->Total.Stores, 2u);
   EXPECT_EQ(Result->Total.LoadLinks, 1u);
@@ -314,7 +317,7 @@ spin:   cbz     r2, out
         b       spin
 out:    halt
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
 }

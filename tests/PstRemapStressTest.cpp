@@ -88,7 +88,7 @@ hot_page:
         .align  4096
 bad:    .space  64
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   ASSERT_TRUE(Result->AllHalted);
 
@@ -126,7 +126,7 @@ done:   halt
 hot_page:
         .space  4096
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   ASSERT_TRUE(Result->AllHalted);
   uint64_t Hot = M->program().requiredSymbol("hot_page");
@@ -177,7 +177,7 @@ hot_page:
 corrupted:
         .word 0
 )")));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   ASSERT_TRUE(Result->AllHalted);
   uint64_t Hot = M->program().requiredSymbol("hot_page");
@@ -216,7 +216,7 @@ var_a:  .word   0
         .align  4096
 var_b:  .word   0
 )"))) << schemeTraits(Kind).Name;
-    auto Result = M->run();
+    auto Result = M->run({});
     ASSERT_TRUE(bool(Result))
         << schemeTraits(Kind).Name << ": " << Result.error().render();
     ASSERT_TRUE(Result->AllHalted) << schemeTraits(Kind).Name;

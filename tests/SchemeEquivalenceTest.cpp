@@ -93,7 +93,7 @@ TEST(SchemeEquivalence, SingleThreadedProgramsAgreeAcrossAllSchemes) {
       Config.ForceSoftHtm = true;
       auto M = Machine::create(Config).take();
       ASSERT_TRUE(bool(M->loadAssembly(Asm)));
-      auto Result = M->run();
+      auto Result = M->run({});
       ASSERT_TRUE(bool(Result))
           << schemeTraits(Kind).Name << ": " << Result.error().render();
       ASSERT_TRUE(Result->AllHalted) << schemeTraits(Kind).Name;
@@ -192,7 +192,7 @@ done:   halt
         .align 4096
 counter: .quad 0
 )")));
-    auto Result = M->run();
+    auto Result = M->run({});
     ASSERT_TRUE(bool(Result))
         << schemeTraits(Kind).Name << ": " << Result.error().render();
     EXPECT_TRUE(Result->AllHalted) << schemeTraits(Kind).Name;

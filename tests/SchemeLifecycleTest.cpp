@@ -195,7 +195,11 @@ var:    .word 7
 
   RoundRobinSchedule Sched;
   SwapBetweenLlAndSc Obs(*M, swapPartner(GetParam()));
-  auto Result = M->runScheduled(Sched, /*BlocksPerSlice=*/1, &Obs);
+  RunOptions Opts;
+  Opts.ExecMode = RunOptions::Mode::Scheduled;
+  Opts.Sched = &Sched;
+  Opts.Observer = &Obs;
+  auto Result = M->run(Opts);
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
   ASSERT_TRUE(Obs.swapped()) << "LL and SC were not split across slices";

@@ -106,7 +106,7 @@ _start: stw r1, [r2]
         halt
 )")));
     M->prepareRun();
-    auto Block = M->cache().lookup(0x1000);
+    auto Block = M->cache().lookup(0x1000, M->translator());
     ASSERT_TRUE(bool(Block));
     if (ExpectOps)
       EXPECT_GT((*Block)->IR.InstrumentOpCount, 0u);
@@ -393,7 +393,7 @@ done:   halt
 counter: .word 0
 )")));
   uint64_t FaultsBefore = FaultGuard::recoveredFaultCount();
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
             4u * 300u);

@@ -68,7 +68,7 @@ ErrorOr<RunResult> runSpinlock(SchemeKind Kind, unsigned Threads) {
   Machine &M = **MachineOrErr;
   if (auto Loaded = M.loadAssembly(SpinlockSource); !Loaded)
     return Loaded.error();
-  return M.run();
+  return M.run({});
 }
 
 // --- EventCounters unit behavior -------------------------------------------

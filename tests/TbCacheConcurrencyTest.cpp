@@ -71,7 +71,7 @@ TEST(TbCacheConcurrency, ParallelLookupTranslateFlush) {
       // miss-translate and read-hit traffic interleaved.
       for (unsigned I = 0; I < Iters && !Failed.load(); ++I) {
         uint64_t Pc = 0x1000 + 8 * ((I * (T + 1)) % NumBlocks);
-        auto BlockOrErr = Cache.lookup(Pc);
+        auto BlockOrErr = Cache.lookup(Pc, M->translator());
         if (!BlockOrErr || *BlockOrErr == nullptr ||
             (*BlockOrErr)->IR.GuestPc != Pc) {
           Failed.store(true);
@@ -80,7 +80,7 @@ TEST(TbCacheConcurrency, ParallelLookupTranslateFlush) {
         // Resolve a chain slot concurrently with other resolvers and
         // flushes (the publication-race regression surface).
         uint64_t TargetPc = 0x1000 + 8 * ((I * (T + 1) + 1) % NumBlocks);
-        auto ChainOrErr = Cache.chain(**BlockOrErr, I & 1, TargetPc);
+        auto ChainOrErr = Cache.chain(**BlockOrErr, I & 1, TargetPc, M->translator());
         if (!ChainOrErr || (*ChainOrErr)->IR.GuestPc != TargetPc)
           Failed.store(true);
       }
@@ -101,7 +101,7 @@ TEST(TbCacheConcurrency, ParallelLookupTranslateFlush) {
   EXPECT_GE(Cache.generation(), 21u); // 20 flushes + load-time flush.
 
   // The cache still serves correct blocks after the churn.
-  auto BlockOrErr = Cache.lookup(0x1000);
+  auto BlockOrErr = Cache.lookup(0x1000, M->translator());
   ASSERT_TRUE(bool(BlockOrErr));
   EXPECT_EQ((*BlockOrErr)->IR.GuestPc, 0x1000u);
 }
@@ -129,7 +129,7 @@ callee: addi r3, r3, #1
   ASSERT_TRUE(bool(MachineOrErr)) << MachineOrErr.error().render();
   auto M = MachineOrErr.take();
   ASSERT_TRUE(bool(M->loadAssembly(Source)));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   EXPECT_TRUE(Result->AllHalted);
   for (unsigned Tid = 0; Tid < 8; ++Tid)

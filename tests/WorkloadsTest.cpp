@@ -57,7 +57,7 @@ lock:   .word 0
 counter: .word 0
 )";
   ASSERT_TRUE(bool(M->loadAssembly(Asm)));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   ASSERT_TRUE(Result->AllHalted);
   EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
@@ -103,7 +103,7 @@ slots:  .space 64
 sums:   .space 64
 )";
   ASSERT_TRUE(bool(M->loadAssembly(Asm)));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   ASSERT_TRUE(Result->AllHalted);
   uint64_t Sums = M->program().requiredSymbol("sums");
@@ -132,7 +132,7 @@ counter: .word 0
 out:    .space 16
 )";
   ASSERT_TRUE(bool(M->loadAssembly(Asm)));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   uint64_t Out = M->program().requiredSymbol("out");
   EXPECT_EQ(M->mem().shadowLoad(Out, 8), 0u);
@@ -169,7 +169,7 @@ TEST_P(StackSchemeTest, StackConservedUnderCorrectSchemes) {
   auto ProgOrErr = buildLockFreeStack(Params);
   ASSERT_TRUE(bool(ProgOrErr)) << ProgOrErr.error().render();
   ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
-  auto Result = M->run();
+  auto Result = M->run({});
   ASSERT_TRUE(bool(Result)) << Result.error().render();
   ASSERT_TRUE(Result->AllHalted);
 
@@ -239,7 +239,7 @@ TEST(ParsecKernels, KernelsRunAndCountInstructionMix) {
     auto ProgOrErr = buildKernel(Params, /*Scale=*/0.05);
     ASSERT_TRUE(bool(ProgOrErr)) << Params.Name;
     ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
-    auto Result = M->run();
+    auto Result = M->run({});
     ASSERT_TRUE(bool(Result))
         << Params.Name << ": " << Result.error().render();
     EXPECT_TRUE(Result->AllHalted) << Params.Name;
@@ -263,7 +263,7 @@ TEST(ParsecKernels, SchemeIndependentTermination) {
     auto ProgOrErr = buildKernel(*Params, /*Scale=*/0.03);
     ASSERT_TRUE(bool(ProgOrErr));
     ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
-    auto Result = M->run();
+    auto Result = M->run({});
     ASSERT_TRUE(bool(Result)) << Result.error().render();
     EXPECT_TRUE(Result->AllHalted) << schemeTraits(Kind).Name;
   }
@@ -304,7 +304,7 @@ tlock:  .word 0
 counter: .word 0
 )";
     ASSERT_TRUE(bool(M->loadAssembly(Asm)));
-    auto Result = M->run();
+    auto Result = M->run({});
     ASSERT_TRUE(bool(Result)) << Result.error().render();
     ASSERT_TRUE(Result->AllHalted) << "rule-based=" << RuleBased;
     EXPECT_EQ(M->mem().shadowLoad(M->program().requiredSymbol("counter"), 4),
@@ -332,7 +332,7 @@ TEST(TaggedLockFreeStack, SurvivesPicoCas) {
     auto ProgOrErr = buildTaggedLockFreeStack(Params);
     ASSERT_TRUE(bool(ProgOrErr)) << ProgOrErr.error().render();
     ASSERT_TRUE(bool(M->loadProgram(*ProgOrErr)));
-    auto Result = M->run();
+    auto Result = M->run({});
     ASSERT_TRUE(bool(Result)) << Result.error().render();
     ASSERT_TRUE(Result->AllHalted);
     StackCheckResult Check =

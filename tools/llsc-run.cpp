@@ -167,7 +167,10 @@ int main(int Argc, char **Argv) {
     TraceRecorder::install(
         std::make_unique<TraceRecorder>(Config.NumThreads));
 
-  auto Result = *Coop ? M.runCooperative() : M.run();
+  RunOptions RunOpts;
+  if (*Coop)
+    RunOpts.ExecMode = RunOptions::Mode::Cooperative;
+  auto Result = M.run(RunOpts);
   if (!Result) {
     std::fprintf(stderr, "%s\n", Result.error().render().c_str());
     return 1;

@@ -15,18 +15,30 @@
 ///   llsc-serve --repeat 8 jobs.manifest       # submit the manifest 8x
 ///   llsc-serve --out jobs.jsonl jobs.manifest # JSON lines to a file
 ///
-/// Manifest format (docs/SERVING.md): '#' comments; otherwise one job
-/// per line as whitespace-separated key=value tokens:
+/// Manifest format (docs/SERVING.md): '#' comments; otherwise one
+/// directive per line as whitespace-separated key=value tokens:
 ///
 ///   job name=histogram scheme=hst threads=4 file=atomic_histogram.s
 ///   job name=spin scheme=pst threads=2 file=spinlock_counter.s deadline=5
 ///   job name=soak scheme=hst threads=4 file=histo.s attempts=2 repeat=16
 ///
-/// Keys: name, scheme (any Table II name, or "adaptive"), threads, file
-/// (relative to the manifest), deadline (seconds), max-blocks (per
-/// vCPU), attempts (retry-on-fault budget), repeat (submit N copies).
+///   snapshot name=warm scheme=hst threads=4 file=atomic_histogram.s
+///   job name=fan from=warm repeat=64
 ///
-/// Output: one compact JSON line per job (schema_version 3, the
+/// Job keys: name, scheme (any Table II name, or "adaptive"), threads,
+/// file (relative to the manifest), deadline (seconds), max-blocks (per
+/// vCPU), attempts (retry-on-fault budget), repeat (submit N copies),
+/// from (run as a clone of the named snapshot — file becomes optional
+/// and the machine shape is inherited from the snapshot).
+///
+/// A `snapshot` directive (keys: name, scheme, threads, file,
+/// max-blocks) defines a donor captured once at startup via
+/// BatchService::captureSnapshot — loaded, warmed so hot blocks tier up
+/// into the JIT, then imaged copy-on-write. Every `from=` job clones it
+/// instead of loading: no assembly, no translation, no recompilation
+/// (the serve.snapshot.* counters in docs/OBSERVABILITY.md prove it).
+///
+/// Output: one compact JSON line per job (schema_version 4, the
 /// StatsReport::renderJsonLine shape) in submission order on stdout (or
 /// --out), a human fleet summary on stderr, and with --summary=json a
 /// trailing fleet-summary JSON line on the job stream.
@@ -54,10 +66,18 @@ using namespace llsc::serve;
 
 namespace {
 
-/// One manifest line, before expansion by its repeat count.
+/// One manifest job line, before expansion by its repeat count.
 struct ManifestEntry {
   JobSpec Spec;
   unsigned Repeat = 1;
+  std::string From; ///< Snapshot name to clone from; empty = load file.
+};
+
+/// A parsed manifest: the job lines plus the named snapshot donors they
+/// may reference via from=.
+struct ParsedManifest {
+  std::vector<ManifestEntry> Entries;
+  std::map<std::string, JobSpec> Snapshots;
 };
 
 std::string dirnameOf(const std::string &Path) {
@@ -66,16 +86,17 @@ std::string dirnameOf(const std::string &Path) {
                                     : Path.substr(0, Slash);
 }
 
-/// Parses the manifest at \p Path into job specs, assembling each
-/// referenced program once (shared by every job that names it).
-ErrorOr<std::vector<ManifestEntry>> parseManifest(const std::string &Path) {
+/// Parses the manifest at \p Path into job specs and snapshot donor
+/// specs, assembling each referenced program once (shared by every
+/// directive that names it).
+ErrorOr<ParsedManifest> parseManifest(const std::string &Path) {
   std::ifstream In(Path);
   if (!In)
     return makeError("cannot open manifest %s", Path.c_str());
   std::string Dir = dirnameOf(Path);
 
   std::map<std::string, guest::Program> Programs; // file -> assembled
-  std::vector<ManifestEntry> Entries;
+  ParsedManifest Manifest;
   std::string Line;
   unsigned LineNo = 0;
   while (std::getline(In, Line)) {
@@ -84,9 +105,10 @@ ErrorOr<std::vector<ManifestEntry>> parseManifest(const std::string &Path) {
     std::string Tok;
     if (!(Tokens >> Tok) || Tok[0] == '#')
       continue;
-    if (Tok != "job")
-      return makeError("%s:%u: expected 'job', got '%s'", Path.c_str(),
-                       LineNo, Tok.c_str());
+    bool IsSnapshot = Tok == "snapshot";
+    if (Tok != "job" && !IsSnapshot)
+      return makeError("%s:%u: expected 'job' or 'snapshot', got '%s'",
+                       Path.c_str(), LineNo, Tok.c_str());
 
     ManifestEntry Entry;
     std::string File;
@@ -113,14 +135,16 @@ ErrorOr<std::vector<ManifestEntry>> parseManifest(const std::string &Path) {
             static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
       } else if (Key == "file") {
         File = Value;
-      } else if (Key == "deadline") {
+      } else if (Key == "from" && !IsSnapshot) {
+        Entry.From = Value;
+      } else if (Key == "deadline" && !IsSnapshot) {
         Entry.Spec.DeadlineSeconds = std::strtod(Value.c_str(), nullptr);
       } else if (Key == "max-blocks") {
         Entry.Spec.MaxBlocksPerCpu = std::strtoull(Value.c_str(), nullptr, 0);
-      } else if (Key == "attempts") {
+      } else if (Key == "attempts" && !IsSnapshot) {
         Entry.Spec.MaxAttempts =
             static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
-      } else if (Key == "repeat") {
+      } else if (Key == "repeat" && !IsSnapshot) {
         Entry.Repeat =
             static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
       } else {
@@ -128,33 +152,50 @@ ErrorOr<std::vector<ManifestEntry>> parseManifest(const std::string &Path) {
                          Key.c_str());
       }
     }
-    if (File.empty())
-      return makeError("%s:%u: job without file=", Path.c_str(), LineNo);
+    if (IsSnapshot && Entry.Spec.Name.empty())
+      return makeError("%s:%u: snapshot without name=", Path.c_str(), LineNo);
+    if (File.empty() && Entry.From.empty())
+      return makeError("%s:%u: %s without file=", Path.c_str(), LineNo,
+                       IsSnapshot ? "snapshot" : "job");
     if (Entry.Spec.Name.empty())
-      Entry.Spec.Name = File;
+      Entry.Spec.Name = !File.empty() ? File : Entry.From;
 
-    std::string FullPath = File[0] == '/' ? File : Dir + "/" + File;
-    auto It = Programs.find(FullPath);
-    if (It == Programs.end()) {
-      std::ifstream Src(FullPath);
-      if (!Src)
-        return makeError("%s:%u: cannot open %s", Path.c_str(), LineNo,
-                         FullPath.c_str());
-      std::stringstream Buf;
-      Buf << Src.rdbuf();
-      auto ProgOrErr = guest::assemble(Buf.str(), Entry.Spec.BaseAddr);
-      if (!ProgOrErr)
-        return makeError("%s:%u: %s: %s", Path.c_str(), LineNo,
-                         FullPath.c_str(),
-                         ProgOrErr.error().render().c_str());
-      It = Programs.emplace(FullPath, ProgOrErr.take()).first;
+    if (!File.empty()) {
+      std::string FullPath = File[0] == '/' ? File : Dir + "/" + File;
+      auto It = Programs.find(FullPath);
+      if (It == Programs.end()) {
+        std::ifstream Src(FullPath);
+        if (!Src)
+          return makeError("%s:%u: cannot open %s", Path.c_str(), LineNo,
+                           FullPath.c_str());
+        std::stringstream Buf;
+        Buf << Src.rdbuf();
+        auto ProgOrErr = guest::assemble(Buf.str(), Entry.Spec.BaseAddr);
+        if (!ProgOrErr)
+          return makeError("%s:%u: %s: %s", Path.c_str(), LineNo,
+                           FullPath.c_str(),
+                           ProgOrErr.error().render().c_str());
+        It = Programs.emplace(FullPath, ProgOrErr.take()).first;
+      }
+      Entry.Spec.Program = It->second;
     }
-    Entry.Spec.Program = It->second;
-    Entries.push_back(std::move(Entry));
+
+    if (IsSnapshot) {
+      if (!Manifest.Snapshots.emplace(Entry.Spec.Name, Entry.Spec).second)
+        return makeError("%s:%u: duplicate snapshot '%s'", Path.c_str(),
+                         LineNo, Entry.Spec.Name.c_str());
+    } else {
+      Manifest.Entries.push_back(std::move(Entry));
+    }
   }
-  if (Entries.empty())
+  if (Manifest.Entries.empty())
     return makeError("%s: no jobs", Path.c_str());
-  return Entries;
+  for (const ManifestEntry &Entry : Manifest.Entries)
+    if (!Entry.From.empty() && !Manifest.Snapshots.count(Entry.From))
+      return makeError("%s: job '%s' references unknown snapshot '%s'",
+                       Path.c_str(), Entry.Spec.Name.c_str(),
+                       Entry.From.c_str());
+  return Manifest;
 }
 
 /// Renders the per-job JSON line for a finished job (docs/SERVING.md).
@@ -165,15 +206,15 @@ std::string renderJobLine(const JobResult &R) {
     char Buf[512];
     std::snprintf(Buf, sizeof(Buf),
                   "{\"schema_version\": %u,\"job_id\": %" PRIu64
-                  ",\"reused_machine\": %s,\"state\": \"%s\",\"error\": "
-                  "\"%s\"}\n",
-                  StatsReport::SchemaVersion, R.JobId,
+                  ",\"name\": \"%s\",\"reused_machine\": %s,\"state\": "
+                  "\"%s\",\"error\": \"%s\"}\n",
+                  StatsReport::SchemaVersion, R.JobId, R.Name.c_str(),
                   R.ReusedMachine ? "true" : "false", jobStateName(R.State),
                   R.Error.c_str());
     return Buf;
   }
   StatsReport Report(R.Report);
-  Report.setJob(R.JobId, R.ReusedMachine);
+  Report.setJob(R.JobId, R.Name, R.ReusedMachine);
   Report.addMetric("serve.queue_ns", R.QueueNs);
   Report.addMetric("serve.run_ns", R.RunNs);
   Report.addMetric("serve.attempts", R.Attempts);
@@ -215,11 +256,12 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  auto EntriesOrErr = parseManifest(Args.positionals()[0]);
-  if (!EntriesOrErr) {
-    std::fprintf(stderr, "%s\n", EntriesOrErr.error().render().c_str());
+  auto ManifestOrErr = parseManifest(Args.positionals()[0]);
+  if (!ManifestOrErr) {
+    std::fprintf(stderr, "%s\n", ManifestOrErr.error().render().c_str());
     return 1;
   }
+  ParsedManifest &Manifest = *ManifestOrErr;
 
   std::FILE *OutFile = stdout;
   if (!Out->empty()) {
@@ -240,10 +282,31 @@ int main(int Argc, char **Argv) {
   Config.ReuseMachines = *Reuse;
   BatchService Service(Config);
 
+  // Capture each referenced snapshot donor once, before any job runs:
+  // load, warm (the donor's JIT-hot code becomes the fleet's), image.
+  std::map<std::string, std::shared_ptr<const MachineSnapshot>> Snaps;
+  for (ManifestEntry &Entry : Manifest.Entries) {
+    if (Entry.From.empty())
+      continue;
+    auto It = Snaps.find(Entry.From);
+    if (It == Snaps.end()) {
+      auto SnapOrErr = Service.captureSnapshot(Manifest.Snapshots[Entry.From]);
+      if (!SnapOrErr) {
+        std::fprintf(stderr, "snapshot %s: %s\n", Entry.From.c_str(),
+                     SnapOrErr.error().render().c_str());
+        return 1;
+      }
+      It = Snaps.emplace(Entry.From, std::move(*SnapOrErr)).first;
+    }
+    Entry.Spec.Snapshot = It->second;
+    // Clones must pool in the donor's shape bucket.
+    Entry.Spec.Machine = Manifest.Snapshots[Entry.From].Machine;
+  }
+
   uint64_t StartNs = monotonicNanos();
   std::vector<JobHandle> Handles;
   for (int64_t Round = 0; Round < *Repeat; ++Round) {
-    for (const ManifestEntry &Entry : *EntriesOrErr) {
+    for (const ManifestEntry &Entry : Manifest.Entries) {
       for (unsigned Copy = 0; Copy < std::max(1u, Entry.Repeat); ++Copy) {
         auto HandleOrErr = Service.submit(Entry.Spec);
         if (!HandleOrErr) {
@@ -281,10 +344,12 @@ int main(int Argc, char **Argv) {
         ",\"completed\": %" PRIu64 ",\"failed\": %" PRIu64
         ",\"retried\": %" PRIu64 ",\"deadline_exceeded\": %" PRIu64
         ",\"machines_created\": %" PRIu64 ",\"machines_reused\": %" PRIu64
+        ",\"snapshot_jobs\": %" PRIu64
         ",\"wall_seconds\": %.6f,\"jobs_per_second\": %.3f}\n",
         StatsReport::SchemaVersion, Fleet.Submitted, Fleet.Completed,
         Fleet.Failed, Fleet.Retried, Fleet.DeadlineExceeded,
-        Fleet.MachinesCreated, Fleet.MachinesReused, WallSec,
+        Fleet.MachinesCreated, Fleet.MachinesReused, Fleet.SnapshotJobs,
+        WallSec,
         WallSec > 0 ? static_cast<double>(Fleet.Completed) / WallSec : 0);
   }
   std::fprintf(
@@ -292,11 +357,11 @@ int main(int Argc, char **Argv) {
       "fleet: %" PRIu64 " jobs in %.3fs (%.1f jobs/s) | completed %" PRIu64
       " failed %" PRIu64 " retried %" PRIu64 " deadline-exceeded %" PRIu64
       " | machines created %" PRIu64 " reused %" PRIu64
-      " | avg queue %.3fms run %.3fms\n",
+      " snapshot-jobs %" PRIu64 " | avg queue %.3fms run %.3fms\n",
       Fleet.Submitted, WallSec,
       WallSec > 0 ? static_cast<double>(Fleet.Completed) / WallSec : 0,
       Fleet.Completed, Fleet.Failed, Fleet.Retried, Fleet.DeadlineExceeded,
-      Fleet.MachinesCreated, Fleet.MachinesReused,
+      Fleet.MachinesCreated, Fleet.MachinesReused, Fleet.SnapshotJobs,
       Fleet.Submitted
           ? static_cast<double>(Fleet.QueueNs) / Fleet.Submitted * 1e-6
           : 0,

@@ -60,10 +60,11 @@ int main(int Argc, char **Argv) {
   double Scale = *ScalePct / 100.0;
 
   Table Results({"kernel", "pico-cas (s)", "pico-st (s)", "hst (s)",
-                 "hst-weak (s)", "HST/PICO-ST speedup",
+                 "hst-weak (s)", "bw-llsc (s)", "HST/PICO-ST speedup",
                  "HST overhead vs CAS %"});
   std::vector<double> Speedups;
   std::vector<double> Overheads;
+  std::vector<double> BwRatios;
 
   for (const KernelParams &Kernel : parsecKernels()) {
     unsigned T = static_cast<unsigned>(*Threads);
@@ -72,15 +73,17 @@ int main(int Argc, char **Argv) {
     double St = timeKernel(SchemeKind::PicoSt, Kernel, T, Scale, R);
     double Hst = timeKernel(SchemeKind::Hst, Kernel, T, Scale, R);
     double Weak = timeKernel(SchemeKind::HstWeak, Kernel, T, Scale, R);
+    double Bw = timeKernel(SchemeKind::BwLlsc, Kernel, T, Scale, R);
 
     double Speedup = St / Hst;
     double OverheadPct = 100.0 * (Hst - Cas) / Cas;
     Speedups.push_back(Speedup);
     Overheads.push_back(OverheadPct);
+    BwRatios.push_back(Bw / Hst);
 
     Results.addRow({Kernel.Name, formatString("%.3f", Cas),
                     formatString("%.3f", St), formatString("%.3f", Hst),
-                    formatString("%.3f", Weak),
+                    formatString("%.3f", Weak), formatString("%.3f", Bw),
                     formatString("%.2fx", Speedup),
                     formatString("%.1f", OverheadPct)});
     std::fprintf(stderr, "  %s done\n", Kernel.Name.c_str());
@@ -95,6 +98,10 @@ int main(int Argc, char **Argv) {
   std::printf("HST overhead vs PICO-CAS: min %.1f%%, max %.1f%%\n"
               "  (paper: 2.9%% .. 555%%, growing with thread count)\n",
               minOf(Overheads), maxOf(Overheads));
+  std::printf("BW-LLSC cost vs HST: geomean %.2fx (announcement-array "
+              "LL/SC over CAS,\n  constant-time SC, no page protection or "
+              "HTM; arXiv:1911.09671)\n",
+              geometricMean(BwRatios));
 
   if (*Ablations) {
     Table Ablation({"kernel", "hst (s)", "hst-helper (s)",

@@ -9,6 +9,11 @@
 /// *measured* by replaying the Section IV-A litmus sequences against each
 /// scheme and printed next to the claimed class so divergence is visible.
 ///
+/// Each scheme also runs a contended LL/SC fetch-add micro-workload, so
+/// the table carries a measured cost column (ns per successful SC) next
+/// to the qualitative speed tier. `--json FILE` emits the rows for
+/// scripts/run_bench.sh to record into BENCH_schemes.json.
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
@@ -33,30 +38,122 @@ const char *atomicityName(AtomicityClass Class) {
   return "?";
 }
 
+struct Row {
+  std::string Scheme;
+  std::string Speed;
+  std::string Claimed;
+  std::string Measured;
+  std::string Portability;
+  double Seconds = 0;
+  uint64_t ScAttempted = 0;
+  uint64_t ScSucceeded = 0;
+};
+
+/// 4-thread contended fetch-add on one shared word: every scheme's SC
+/// path, retry loop included, with a deterministic final value to check.
+std::string contendedProgram(uint64_t Iterations) {
+  return formatString(R"(
+_start: la      r1, counter
+        li      r4, #%llu
+loop:   cbz     r4, done
+retry:  ldxr.w  r2, [r1]
+        addi    r2, r2, #1
+        stxr.w  r3, r2, [r1]
+        cbnz    r3, retry
+        addi    r4, r4, #-1
+        b       loop
+done:   halt
+        .align 4096
+counter: .word 0
+)",
+                      static_cast<unsigned long long>(Iterations));
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   ArgParser Args("E7: Table II scheme summary (claimed vs measured)");
+  int64_t *Threads = Args.addInt("threads", 4, "guest threads for the "
+                                               "contended micro-workload");
+  int64_t *Iters =
+      Args.addInt("iters", 20000, "fetch-add iterations per thread");
+  int64_t *Repeats = Args.addInt("repeats", 3, "runs per scheme");
+  std::string *JsonOut =
+      Args.addString("json", "", "write machine-readable rows to FILE");
   Args.parse(Argc, Argv);
 
   Table Results({"approach", "speed", "atomicity (claimed)",
-                 "atomicity (measured)", "portability"});
+                 "atomicity (measured)", "portability", "sc ns/op"});
+  std::vector<Row> Rows;
+
+  unsigned T = static_cast<unsigned>(*Threads);
+  uint64_t N = static_cast<uint64_t>(*Iters);
+  std::string Program = contendedProgram(N);
 
   for (SchemeKind Kind : allSchemeKinds()) {
     const SchemeTraits &Traits = schemeTraits(Kind);
+    Row R;
+    R.Scheme = Traits.Name;
+    R.Speed = Traits.Speed;
+    R.Claimed = atomicityName(Traits.Atomicity);
+    R.Portability = Traits.Portability;
 
-    auto M = makeBenchMachine(Kind, 2);
-    auto DriverOrErr = LitmusDriver::create(*M);
-    if (!DriverOrErr)
-      reportFatalError(DriverOrErr.error());
-    MeasuredAtomicity Measured = classifyScheme(*DriverOrErr);
+    {
+      auto M = makeBenchMachine(Kind, 2);
+      auto DriverOrErr = LitmusDriver::create(*M);
+      if (!DriverOrErr)
+        reportFatalError(DriverOrErr.error());
+      R.Measured = measuredAtomicityName(classifyScheme(*DriverOrErr));
+    }
 
-    Results.addRow({Traits.Name, Traits.Speed,
-                    atomicityName(Traits.Atomicity),
-                    measuredAtomicityName(Measured), Traits.Portability});
+    R.Seconds = averageSeconds(
+        static_cast<unsigned>(*Repeats), [&]() -> ErrorOr<RunResult> {
+          auto M = makeBenchMachine(Kind, T);
+          if (auto Loaded = M->loadAssembly(Program); !Loaded)
+            return Loaded.error();
+          auto Result = M->run({});
+          if (Result) {
+            R.ScAttempted += Result->Events.ScAttempted;
+            R.ScSucceeded += Result->Events.ScSucceeded;
+          }
+          return Result;
+        });
+
+    double NsPerOp =
+        R.ScSucceeded
+            ? R.Seconds * static_cast<unsigned>(*Repeats) * 1e9 /
+                  static_cast<double>(R.ScSucceeded)
+            : 0;
+    Results.addRow({R.Scheme, R.Speed, R.Claimed, R.Measured, R.Portability,
+                    formatString("%.1f", NsPerOp)});
+    Rows.push_back(R);
+    std::fprintf(stderr, "  %s done\n", R.Scheme.c_str());
   }
 
   emitTable("E7 / Table II: approaches to LL/SC emulation", Results,
             "table2_summary.csv");
+
+  if (!JsonOut->empty()) {
+    FILE *Out = std::fopen(JsonOut->c_str(), "w");
+    if (!Out)
+      reportFatalError("cannot open " + *JsonOut);
+    std::fprintf(Out, "{\n\"bench\": \"table2_summary\",\n\"rows\": [");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(
+          Out,
+          "%s\n  {\"scheme\": \"%s\", \"speed\": \"%s\", "
+          "\"claimed\": \"%s\", \"measured\": \"%s\", "
+          "\"portability\": \"%s\", \"seconds\": %.6f, "
+          "\"sc_attempted\": %llu, \"sc_succeeded\": %llu}",
+          I ? "," : "", R.Scheme.c_str(), R.Speed.c_str(),
+          R.Claimed.c_str(), R.Measured.c_str(), R.Portability.c_str(),
+          R.Seconds, static_cast<unsigned long long>(R.ScAttempted),
+          static_cast<unsigned long long>(R.ScSucceeded));
+    }
+    std::fprintf(Out, "\n]\n}\n");
+    std::fclose(Out);
+    std::printf("(json written to %s)\n", JsonOut->c_str());
+  }
   return 0;
 }

@@ -10,7 +10,10 @@
 # (docs/SERVING.md), and finally bench/micro_jit (tier-1 JIT vs tier-0
 # interpreter) into $OUT/BENCH_jit.json, enforcing the >= 5x
 # straight-line speedup gate (docs/JIT.md) whenever tier-1 is available
-# on the host. All artifacts are uploaded by the CI perf-smoke job.
+# on the host, and bench/table2_summary (per-scheme claimed vs
+# measured atomicity + contended SC cost) into $OUT/BENCH_schemes.json,
+# checking that every scheme's measured atomicity matches its claim.
+# All artifacts are uploaded by the CI perf-smoke job.
 #
 # Usage: scripts/run_bench.sh [--quick]
 #   BUILD=<dir>  build tree to run from (default: build)
@@ -30,6 +33,7 @@ MICRO_ARGS=(--benchmark_min_time=0.2 --benchmark_out=micro_ops.json
 SERVE_ARGS=(--workers 1,4,16 --json serve_throughput.json)
 SNAPSHOT_ARGS=(--workers 4,16 --json serve_snapshot.json)
 JIT_ARGS=(--scheme hst --threads 1 --json micro_jit.json)
+SCHEMES_ARGS=(--json table2_summary.json)
 if [ "$QUICK" = 1 ]; then
   DISPATCH_ARGS+=(--iters 20000 --repeats 1)
   MICRO_ARGS=(--benchmark_min_time=0.05 --benchmark_out=micro_ops.json
@@ -43,6 +47,7 @@ if [ "$QUICK" = 1 ]; then
   # granularity, and frequency ramping cannot mask the steady-state
   # speedup the gate measures.
   JIT_ARGS+=(--iters 500000 --repeats 2)
+  SCHEMES_ARGS+=(--iters 5000 --repeats 1)
 fi
 
 echo "==== micro_dispatch ===="
@@ -170,4 +175,31 @@ if merged["jit_available"]:
 else:
     print("tier-1 unavailable on this host; speedup gate skipped")
 EOF
+echo "==== table2_summary ===="
+"$BUILD/bench/table2_summary" "${SCHEMES_ARGS[@]}" 2>&1 | tee table2_summary.txt
+
+echo "==== merge -> $OUT/BENCH_schemes.json (gate: measured == claimed) ===="
+python3 - . <<'EOF2'
+import json, sys, os
+out = sys.argv[1]
+with open(os.path.join(out, "table2_summary.json")) as f:
+    table2 = json.load(f)
+merged = {
+    "artifact": "BENCH_schemes",
+    "table2": table2,
+}
+path = os.path.join(out, "BENCH_schemes.json")
+with open(path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print("wrote", path)
+# Gate: the measured atomicity class must match each scheme's Table II
+# claim — a divergence means a scheme regressed (or an unsound one got
+# accidentally sound, which also deserves a look).
+bad = [r for r in table2["rows"] if r["measured"] != r["claimed"]]
+if bad:
+    sys.exit("FAIL: measured atomicity diverged from claim: %r" % bad)
+print("gate ok: measured atomicity matches the claim for all %d schemes"
+      % len(table2["rows"]))
+EOF2
 echo "done; outputs in $OUT/"

@@ -72,7 +72,16 @@ constexpr SchemeTraits TraitsTable[] = {
      false, "portable", true, true},
     {SchemeKind::PstMpk, "pst-mpk", AtomicityClass::Strong, "fast", false,
      "portable (emulated MPK)", false, true},
+    {SchemeKind::BwLlsc, "bw-llsc", AtomicityClass::Strong, "fast", false,
+     "portable", false, true},
 };
+
+// Every SchemeKind must have a TraitsTable row; a kind added to the enum
+// without a row here would silently vanish from allSchemeKinds() and every
+// scheme-indexed suite built on it.
+static_assert(sizeof(TraitsTable) / sizeof(TraitsTable[0]) ==
+                  static_cast<size_t>(SchemeKind::BwLlsc) + 1,
+              "TraitsTable must cover every SchemeKind");
 
 } // namespace
 

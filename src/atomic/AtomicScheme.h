@@ -78,6 +78,12 @@ enum class SchemeKind {
   /// mprotect — no syscalls, no stop-the-world, but only 15 usable keys,
   /// so pages sharing a key false-share monitors.
   PstMpk,
+  /// Blelloch & Wei's constant-time LL/SC over pointer-width CAS
+  /// (arXiv:1911.09671): LL publishes (granule range, version) in a
+  /// per-vCPU announcement slot; SC commits by a single pointer-width CAS
+  /// on that version-tagged descriptor. O(1) SC, no page protection, no
+  /// hash table, no HTM — and no ABA window at all, unlike PICO-CAS.
+  BwLlsc,
 };
 
 /// Atomicity classes in the sense of Section II-D.
@@ -122,6 +128,15 @@ public:
   ~AtomicScheme() override;
 
   virtual const SchemeTraits &traits() const = 0;
+
+  /// True if the scheme *documents* ABA unsoundness: an SC may succeed
+  /// after the monitored location was modified and restored. The fuzz
+  /// oracle keys on this capability — for schemes returning true an ABA
+  /// success is counted (Oracle::abaSuccesses) as the scheme's documented
+  /// behavior; for every other scheme it is flagged as a failure. Only
+  /// the value-comparing kinds (PICO-CAS, and PICO-HTM's value-compare
+  /// fallback window) return true.
+  virtual bool admitsAba() const { return false; }
 
   // --- Lifecycle (non-virtual; see the state machine above) ----------------
 

@@ -1,0 +1,233 @@
+//===- atomic/BwLlsc.cpp - Constant-time LL/SC over pointer-width CAS ---------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// BW-LLSC: Blelloch & Wei's constant-time LL/SC construction
+/// (arXiv:1911.09671) adapted as an atomic-emulation scheme. Each vCPU
+/// owns one word-sized *announcement slot*; LL publishes a version-tagged
+/// descriptor of the monitored granule range there, and SC commits by a
+/// single pointer-width CAS that flips its own descriptor from
+/// (version, valid) to (version + 1, invalid). Any conflicting store or
+/// peer SC invalidates the slot the same way, so the stale descriptor can
+/// never match again — the version tag closes the ABA window PICO-CAS
+/// leaves open, without page protection, a hash table, or HTM.
+///
+/// Slot word layout (single 64-bit CAS target):
+///
+///   bit  63     valid
+///   bits 62..31 first monitored 4-byte granule (Addr >> 2)
+///   bits 30..29 granules spanned - 1 (an 8-byte access covers <= 3)
+///   bits 28..0  version, bumped on every consume (publish-to-publish
+///               reuse of a word needs 2^29 intervening LLs by the same
+///               vCPU — impossible within one LL/SC window)
+///
+/// Cost model: LL and SC are O(1) (one RMW each, plus an O(P) peer-slot
+/// scan on the SC commit); a plain store is one fence + one counter load
+/// unless some monitor is armed anywhere, in which case it scans the P
+/// slots. Space is O(P). The granule match is conservative (HST's 4-byte
+/// granule model), so false sharing within a granule costs a spurious SC
+/// failure, never a missed conflict.
+///
+//===----------------------------------------------------------------------===//
+
+#include "atomic/AtomicScheme.h"
+#include "atomic/Schemes.h"
+
+#include "mem/GuestMemory.h"
+#include "runtime/Observe.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+using namespace llsc;
+
+namespace {
+
+class BwLlsc final : public AtomicScheme {
+public:
+  static constexpr uint64_t ValidBit = 1ULL << 63;
+  static constexpr unsigned GranuleShift = 31;
+  static constexpr unsigned SpanShift = 29;
+  static constexpr uint64_t VersionMask = (1ULL << 29) - 1;
+
+  const SchemeTraits &traits() const override {
+    return schemeTraits(SchemeKind::BwLlsc);
+  }
+
+  void onAttach() override {
+    // The descriptor's granule field is 32 bits wide, bounding the guest
+    // address space at 16 GiB — far above any Machine this repo builds.
+    assert(Ctx->Mem->size() <= (1ULL << 34) &&
+           "bw-llsc granule field limits guest memory to 16 GiB");
+    NumThreads = Ctx->NumThreads;
+    Slots = std::make_unique<PaddedSlot[]>(NumThreads);
+    Published.assign(NumThreads, 0);
+    ArmedCount.store(0, std::memory_order_relaxed);
+  }
+
+  void onReset() override { dropAllSlots(); }
+
+  void onDetach() override {
+    dropAllSlots();
+    Slots.reset();
+    Published.clear();
+  }
+
+  bool storesViaHelper() const override { return true; }
+
+  uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    assert(Size >= 1 && Size <= 8 && "unsupported LL size");
+    std::atomic<uint64_t> &Slot = Slots[Cpu.Tid].Word;
+    consume(Slot); // At most one announcement per vCPU.
+    // Count-then-publish, and only then load: a plain store pairs a
+    // store-release of the data with a fenced load of ArmedCount, so
+    // either the storer observes the armed count (and scans the slots),
+    // or this LL's load observes the stored value (the store linearizes
+    // before the LL and the monitor legitimately survives it).
+    ArmedCount.fetch_add(1, std::memory_order_seq_cst);
+    uint64_t First = Addr >> 2;
+    uint64_t Span = ((Addr + Size - 1) >> 2) - First;
+    uint64_t Word = ValidBit | (First << GranuleShift) | (Span << SpanShift) |
+                    (Slot.load(std::memory_order_relaxed) & VersionMask);
+    Slot.exchange(Word, std::memory_order_seq_cst);
+    Published[Cpu.Tid] = Word;
+    Cpu.Events.BwLlscPublishes++;
+    uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
+    Cpu.Monitor.arm(Addr, Value, Size);
+    return Value;
+  }
+
+  bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                        unsigned Size) override {
+    ExclusiveMonitor &Mon = Cpu.Monitor;
+    if (!Mon.valid() || Mon.Addr != Addr || Mon.Size != Size) {
+      Mon.clear();
+      consume(Slots[Cpu.Tid].Word);
+      Cpu.Events.ScFailMonitorLost++;
+      return false;
+    }
+
+    bool Ok;
+    {
+      BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Exclusive);
+      ExclusiveSection Excl(Cpu, Cpu.InRunLoop);
+      // The commit: one pointer-width CAS retiring our own descriptor.
+      // Success proves no conflicting store consumed the slot since the
+      // LL published it; failure means the version already moved on.
+      uint64_t Expected = Published[Cpu.Tid];
+      Ok = Slots[Cpu.Tid].Word.compare_exchange_strong(
+          Expected, nextInvalid(Expected), std::memory_order_seq_cst);
+      if (Ok) {
+        ArmedCount.fetch_sub(1, std::memory_order_release);
+        // The SC is itself a store: retire every peer announcement of an
+        // overlapping granule range.
+        breakOverlapping(Cpu, Addr, Size);
+        Ctx->Mem->shadowStore(Addr, Value, Size);
+        Cpu.Events.BwLlscScCommits++;
+      } else {
+        Cpu.Events.ScFailMonitorLost++;
+      }
+    }
+    Mon.clear();
+    return Ok;
+  }
+
+  void clearExclusive(VCpu &Cpu) override {
+    consume(Slots[Cpu.Tid].Word);
+    Cpu.Monitor.clear();
+  }
+
+  void onCpuStopped(VCpu &Cpu) override { consume(Slots[Cpu.Tid].Word); }
+
+  void storeHook(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                 unsigned Size) override {
+    Ctx->Mem->store(Addr, Value, Size);
+    // Store-then-check, fenced against LL's count-then-publish-then-load
+    // (Dekker pairing, see emulateLoadLink). A zero count is the fast
+    // path: no monitor armed anywhere, nothing to scan.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (ArmedCount.load(std::memory_order_relaxed) == 0)
+      return;
+    Cpu.Events.BwLlscStoreScans++;
+    BucketTimer Timer(Cpu.profileOrNull(), ProfileBucket::Instrument);
+    breakOverlapping(Cpu, Addr, Size);
+  }
+
+private:
+  struct alignas(64) PaddedSlot {
+    std::atomic<uint64_t> Word{0};
+  };
+
+  /// The invalid successor of \p Word: version bumped, valid/granule bits
+  /// dropped. Version arithmetic wraps within the 29-bit field.
+  static uint64_t nextInvalid(uint64_t Word) { return (Word + 1) & VersionMask; }
+
+  /// Retires \p Slot if it holds a valid announcement. Exactly one CAS
+  /// winner per published word decrements ArmedCount.
+  bool consume(std::atomic<uint64_t> &Slot) {
+    uint64_t Word = Slot.load(std::memory_order_acquire);
+    while (Word & ValidBit) {
+      if (Slot.compare_exchange_weak(Word, nextInvalid(Word),
+                                     std::memory_order_acq_rel)) {
+        ArmedCount.fetch_sub(1, std::memory_order_release);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Retires every peer announcement overlapping [Addr, Addr + Size) at
+  /// granule resolution. Own-slot announcements survive own stores.
+  void breakOverlapping(VCpu &Cpu, uint64_t Addr, unsigned Size) {
+    uint64_t First = Addr >> 2;
+    uint64_t Last = (Addr + Size - 1) >> 2;
+    for (unsigned Tid = 0; Tid < NumThreads; ++Tid) {
+      if (Tid == Cpu.Tid)
+        continue;
+      std::atomic<uint64_t> &Slot = Slots[Tid].Word;
+      uint64_t Word = Slot.load(std::memory_order_acquire);
+      while ((Word & ValidBit) && overlaps(Word, First, Last)) {
+        if (Slot.compare_exchange_weak(Word, nextInvalid(Word),
+                                       std::memory_order_acq_rel)) {
+          ArmedCount.fetch_sub(1, std::memory_order_release);
+          Cpu.Events.BwLlscSlotBreaks++;
+          break;
+        }
+      }
+    }
+  }
+
+  static bool overlaps(uint64_t Word, uint64_t First, uint64_t Last) {
+    uint64_t SlotFirst = (Word >> GranuleShift) & 0xFFFFFFFFULL;
+    uint64_t SlotLast = SlotFirst + ((Word >> SpanShift) & 3);
+    return SlotFirst <= Last && First <= SlotLast;
+  }
+
+  void dropAllSlots() {
+    for (unsigned Tid = 0; Tid < NumThreads; ++Tid)
+      Slots[Tid].Word.store(0, std::memory_order_relaxed);
+    if (!Published.empty())
+      Published.assign(NumThreads, 0);
+    ArmedCount.store(0, std::memory_order_relaxed);
+  }
+
+  unsigned NumThreads = 0;
+  std::unique_ptr<PaddedSlot[]> Slots;
+  /// The exact word each vCPU's LL published — the SC CAS's expected
+  /// value. Owner-read/owner-written only, so no synchronization.
+  std::vector<uint64_t> Published;
+  /// Number of valid announcement slots; plain stores skip the slot scan
+  /// while it is zero.
+  std::atomic<uint64_t> ArmedCount{0};
+};
+
+} // namespace
+
+std::unique_ptr<AtomicScheme> llsc::createBwLlsc() {
+  return std::make_unique<BwLlsc>();
+}

@@ -29,6 +29,11 @@ public:
     return schemeTraits(SchemeKind::PicoCas);
   }
 
+  // Figure 1's documented unsoundness: the SC compares values, so a
+  // modify-and-restore cycle is invisible. The fuzz oracle counts (not
+  // flags) ABA successes for schemes declaring this.
+  bool admitsAba() const override { return true; }
+
   uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
     // Figure 1: record oldval and lsc_addr after loading.
     uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);

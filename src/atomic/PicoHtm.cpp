@@ -44,6 +44,12 @@ public:
     return schemeTraits(SchemeKind::PicoHtm);
   }
 
+  // Table II classifies PICO-HTM as incorrect: the livelock fallback
+  // serializes instead of detecting conflicts, so a success over a
+  // modified-and-restored value is documented behavior, not a bug the
+  // oracle should flag.
+  bool admitsAba() const override { return true; }
+
   void onAttach() override { InExclFallback.assign(Ctx->NumThreads, false); }
 
   void onReset() override {

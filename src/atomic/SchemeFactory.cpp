@@ -32,6 +32,8 @@ std::unique_ptr<AtomicScheme> llsc::createScheme(SchemeKind Kind,
     return createPstRemap();
   case SchemeKind::PstMpk:
     return createPstMpk();
+  case SchemeKind::BwLlsc:
+    return createBwLlsc();
   }
   llsc_unreachable("unknown scheme kind");
 }

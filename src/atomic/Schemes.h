@@ -27,6 +27,7 @@ std::unique_ptr<AtomicScheme> createHstHtm(unsigned HstTableLog2,
 std::unique_ptr<AtomicScheme> createPst();
 std::unique_ptr<AtomicScheme> createPstRemap();
 std::unique_ptr<AtomicScheme> createPstMpk();
+std::unique_ptr<AtomicScheme> createBwLlsc();
 
 } // namespace llsc
 

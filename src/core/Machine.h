@@ -23,7 +23,7 @@
 ///   auto MachineOrErr = Machine::create(Config);
 ///   auto &M = **MachineOrErr;
 ///   M.loadAssembly(Source);           // or loadProgram(Program)
-///   auto Result = M.run();            // one host thread per guest thread
+///   auto Result = M.run({});          // one host thread per guest thread
 ///   printf("%f s, %llu SC failures\n", Result->WallSeconds,
 ///          Result->Total.StoreCondFailures);
 ///   M.reset();                        // ready for the next job
@@ -186,46 +186,6 @@ public:
   /// negative tid, Opts.Observer by returning false); RunResult.AllHalted
   /// then reflects the actual vCPU states.
   ErrorOr<RunResult> run(const RunOptions &Opts);
-
-  // --- Legacy run spellings -------------------------------------------------
-  // Thin wrappers over run(RunOptions); deprecated since PR 7 (the PR 5
-  // API redesign kept them for migration). Use run(RunOptions) — see
-  // docs/API.md "Session lifecycle & pooling".
-
-  /// Runs every vCPU from the program entry to HALT, one host thread per
-  /// vCPU. Equivalent to run(RunOptions{}).
-  [[deprecated("use run(RunOptions) — a default-constructed RunOptions is "
-               "equivalent")]]
-  ErrorOr<RunResult> run() {
-    return run(RunOptions());
-  }
-
-  /// Deterministic single-host-thread mode: executes vCPUs round-robin,
-  /// \p BlocksPerSlice blocks at a time, in tid order.
-  [[deprecated("use run(RunOptions) with ExecMode = Mode::Cooperative")]]
-  ErrorOr<RunResult> runCooperative(uint64_t BlocksPerSlice = 1) {
-    RunOptions Opts;
-    Opts.ExecMode = RunOptions::Mode::Cooperative;
-    Opts.BlocksPerSlice = BlocksPerSlice;
-    return run(Opts);
-  }
-
-  /// Deterministic single-host-thread mode under external schedule
-  /// control: every slice, \p Sched picks which runnable vCPU executes
-  /// the next \p BlocksPerSlice blocks, and \p Observer (optional) is
-  /// called after the slice with full access to machine state. This is
-  /// the execution substrate of the concurrency fuzzer (docs/FUZZING.md).
-  [[deprecated("use run(RunOptions) with ExecMode = Mode::Scheduled")]]
-  ErrorOr<RunResult> runScheduled(ScheduleController &Sched,
-                                  uint64_t BlocksPerSlice = 1,
-                                  SliceObserver *Observer = nullptr) {
-    RunOptions Opts;
-    Opts.ExecMode = RunOptions::Mode::Scheduled;
-    Opts.BlocksPerSlice = BlocksPerSlice;
-    Opts.Sched = &Sched;
-    Opts.Observer = Observer;
-    return run(Opts);
-  }
 
   /// Restores machine-neutral state so the same Machine can serve another
   /// job without paying construction cost again (guest-memory mmap,

@@ -17,7 +17,8 @@
 ///     shared 16-byte window.
 ///  2. CaseRunner: assembles the case into a GRV program (one event per
 ///     translation block) and executes it slice-by-slice under
-///     Machine::runScheduled, exhaustively enumerating interleavings for
+///     Machine::run in Scheduled mode, exhaustively enumerating
+///     interleavings for
 ///     tiny cases and sampling PCT schedules beyond.
 ///  3. Oracle: a scheme-aware reference model classifying every observed
 ///     SC outcome as required-fail / allowed-either / forbidden-success
@@ -116,8 +117,16 @@ struct OracleModel {
   /// between. Outcomes in that window are unspecified (Masked), matching
   /// ARM's IMPLEMENTATION DEFINED own-store behavior.
   bool GranuleMasking = false;
+  /// The scheme declares value-compare SC semantics
+  /// (AtomicScheme::admitsAba): a success after a modify-and-restore
+  /// cycle is documented unsoundness, counted in Oracle::abaSuccesses.
+  /// For every other scheme such a success is flagged as a violation.
+  bool AdmitsAba = false;
 
-  static OracleModel forScheme(SchemeKind Kind);
+  /// Builds the model from the scheme instance's *claimed* contract
+  /// (traits + admitsAba). Judging fixtures by their claims is what turns
+  /// a planted bug into a reported violation.
+  static OracleModel forScheme(const AtomicScheme &Scheme);
 };
 
 /// Reference model for one case execution. Feed it the observed events in
@@ -149,8 +158,10 @@ public:
   /// \p Off against the shadow (for drivers that read word-wise).
   std::string checkMemoryWord(unsigned Off, uint64_t Actual) const;
 
-  /// SC successes pico-cas shouldn't architecturally have had (ABA);
-  /// expected non-zero for AtomicityClass::Incorrect, a bug elsewhere.
+  /// SC successes the scheme shouldn't architecturally have had (ABA).
+  /// Only counted for schemes declaring the unsoundness
+  /// (OracleModel::AdmitsAba — pico-cas and pico-htm); for every other
+  /// scheme an ABA success is a Violation, never a count here.
   uint64_t abaSuccesses() const { return Aba; }
   /// SC failures the model would have allowed to succeed (hash
   /// conflicts, false sharing, ...). Always legal; tracked for stats.
@@ -213,6 +224,10 @@ public:
     /// Swap in the deliberately faulty single-granule HST (the pre-fix
     /// behavior) — the fuzzer's detection fixture / negative control.
     bool BuggySingleGranuleHst = false;
+    /// Swap in the deliberately ABA-unsound bw-llsc variant (value-compare
+    /// SC, no announcement array) — proves the oracle flags, not counts,
+    /// ABA for schemes that claim soundness.
+    bool BuggyAbaBwLlsc = false;
     /// Small table so per-case reset stays cheap across 10k cases.
     unsigned HstTableLog2 = 12;
     uint64_t MemBytes = 1ULL << 20;
@@ -247,6 +262,10 @@ private:
   /// a swapped run left a different scheme active.
   void restoreBaseScheme(Machine &M);
 
+  /// The scheme instance this runner's config asks for: a buggy fixture
+  /// when one is enabled, the real scheme otherwise.
+  std::unique_ptr<AtomicScheme> makeScheme() const;
+
   Config Cfg;
   std::map<unsigned, std::unique_ptr<Machine>> Machines;
   Machine *Prepared = nullptr;
@@ -257,6 +276,14 @@ private:
 /// access. Kept as a permanent negative control proving the fuzzer can
 /// see the bug this PR fixed.
 std::unique_ptr<AtomicScheme> createSingleGranuleHst(unsigned TableLog2);
+
+/// A bw-llsc that claims the real scheme's traits but validates SC by
+/// value compare (pico-cas semantics) instead of the versioned
+/// announcement CAS. Negative control for the ABA oracle: because the
+/// fixture does not declare admitsAba(), a success after a
+/// modify-and-restore cycle must surface as a Violation, not an
+/// abaSuccesses() count.
+std::unique_ptr<AtomicScheme> createAbaUnsoundBwLlsc();
 
 // --- Schedules -------------------------------------------------------------
 
@@ -290,6 +317,9 @@ struct FuzzOptions {
   /// Use the single-granule HST fixture instead of the real scheme
   /// (applies to SchemeKind::Hst entries only).
   bool BuggyHst = false;
+  /// Use the ABA-unsound bw-llsc fixture instead of the real scheme
+  /// (applies to SchemeKind::BwLlsc entries only).
+  bool BuggyBwLlsc = false;
   /// HST-family table size for the machines under test (--hst-table-log2;
   /// small default keeps per-case reset cheap across 10k cases).
   unsigned HstTableLog2 = 12;
@@ -359,8 +389,11 @@ struct Repro {
 ErrorOr<Repro> parseRepro(const std::string &Text);
 
 /// Replays a repro file's case under its recorded trace. \returns the
-/// result of the run (violations present = still reproduces).
-ErrorOr<CaseResult> replayRepro(const Repro &R, bool BuggyHst);
+/// result of the run (violations present = still reproduces). The buggy
+/// flags install the matching negative-control fixture when the repro's
+/// scheme is the fixture's host kind.
+ErrorOr<CaseResult> replayRepro(const Repro &R, bool BuggyHst,
+                                bool BuggyBwLlsc = false);
 
 } // namespace fuzz
 } // namespace llsc

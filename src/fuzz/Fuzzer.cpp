@@ -273,10 +273,12 @@ ErrorOr<Repro> fuzz::parseRepro(const std::string &Text) {
   return R;
 }
 
-ErrorOr<CaseResult> fuzz::replayRepro(const Repro &R, bool BuggyHst) {
+ErrorOr<CaseResult> fuzz::replayRepro(const Repro &R, bool BuggyHst,
+                                      bool BuggyBwLlsc) {
   CaseRunner::Config RC;
   RC.Scheme = R.Scheme;
   RC.BuggySingleGranuleHst = BuggyHst && R.Scheme == SchemeKind::Hst;
+  RC.BuggyAbaBwLlsc = BuggyBwLlsc && R.Scheme == SchemeKind::BwLlsc;
   CaseRunner Runner(RC);
   FixedSchedule Sched(R.Trace);
   return Runner.run(R.Case, Sched, R.Swap ? &*R.Swap : nullptr);
@@ -347,6 +349,7 @@ ErrorOr<FuzzReport> fuzz::runFuzz(const FuzzOptions &Opts) {
     CaseRunner::Config RC;
     RC.Scheme = Scheme;
     RC.BuggySingleGranuleHst = Opts.BuggyHst && Scheme == SchemeKind::Hst;
+    RC.BuggyAbaBwLlsc = Opts.BuggyBwLlsc && Scheme == SchemeKind::BwLlsc;
     RC.HstTableLog2 = Opts.HstTableLog2;
     CaseRunner Runner(RC);
     SchemeKind SwapTo = swapTargetFor(Opts, SchemeIdx);
@@ -423,6 +426,7 @@ ErrorOr<FuzzReport> fuzz::runStress(const FuzzOptions &Opts,
     CaseRunner::Config RC;
     RC.Scheme = Scheme;
     RC.BuggySingleGranuleHst = Opts.BuggyHst && Scheme == SchemeKind::Hst;
+    RC.BuggyAbaBwLlsc = Opts.BuggyBwLlsc && Scheme == SchemeKind::BwLlsc;
     RC.HstTableLog2 = Opts.HstTableLog2;
     CaseRunner Runner(RC);
 

@@ -13,7 +13,10 @@
 ///   Broken -> success is forbidden; this is the headline check. What
 ///             breaks a monitor depends on the class: Strong = any other
 ///             thread's store (plain or SC), Weak = only instrumented
-///             (SC) stores, Incorrect = tracked for ABA accounting only.
+///             (SC) stores. Schemes declaring value-compare unsoundness
+///             (OracleModel::AdmitsAba) are judged by the value instead:
+///             a success after break-and-restore is counted as ABA, not
+///             flagged.
 ///   Masked -> broken, but the owner has since plain-stored over the
 ///             monitored granules; HST-family tag resurrection makes the
 ///             outcome unspecified (GranuleMasking schemes only).
@@ -34,19 +37,32 @@
 using namespace llsc;
 using namespace llsc::fuzz;
 
-OracleModel OracleModel::forScheme(SchemeKind Kind) {
+OracleModel OracleModel::forScheme(const AtomicScheme &Scheme) {
+  const SchemeTraits &Traits = Scheme.traits();
   OracleModel Model;
-  Model.Class = schemeTraits(Kind).Atomicity;
-  switch (Kind) {
+  Model.Class = Traits.Atomicity;
+  // A capability query, not a name match: fixtures claiming a sound
+  // scheme's traits inherit the sound contract, so their ABA shows up as
+  // a violation instead of vanishing into the ABA count.
+  Model.AdmitsAba = Scheme.admitsAba();
+  switch (Traits.Kind) {
   case SchemeKind::Hst:
   case SchemeKind::HstHelper:
   case SchemeKind::HstHtm:
     Model.GranuleMasking = true;
     break;
-  default:
-    // hst-weak doesn't instrument plain stores, so its own stores cannot
-    // re-tag anything; the PST family and pico-st track byte/page ranges,
-    // not granule tags.
+  // hst-weak doesn't instrument plain stores, so its own stores cannot
+  // re-tag anything; the PST family and pico-st track byte/page ranges,
+  // not granule tags; bw-llsc announcements are only ever consumed, never
+  // resurrected, by stores.
+  case SchemeKind::PicoCas:
+  case SchemeKind::PicoSt:
+  case SchemeKind::PicoHtm:
+  case SchemeKind::HstWeak:
+  case SchemeKind::Pst:
+  case SchemeKind::PstRemap:
+  case SchemeKind::PstMpk:
+  case SchemeKind::BwLlsc:
     Model.GranuleMasking = false;
     break;
   }
@@ -125,11 +141,13 @@ std::string Oracle::onStoreCond(unsigned Tid, unsigned Off, unsigned Size,
       What = formatString(
           "SC succeeded without a matching monitor (off=%u size=%u)", Off,
           Size);
-  } else if (Model.Class == AtomicityClass::Incorrect) {
-    // pico-cas semantics: the SC is a value compare. Success with a
-    // changed value is impossible even for it; success after a
-    // break-and-restore is the scheme's documented ABA unsoundness —
-    // counted, not flagged, when running the negative control.
+  } else if (Model.AdmitsAba) {
+    // Declared value-compare semantics (pico-cas, pico-htm's fallback):
+    // success with a changed value is impossible even for them; success
+    // after a break-and-restore is the scheme's documented ABA
+    // unsoundness — counted, not flagged. Schemes that do NOT declare it
+    // (bw-llsc included) fall through to the strict branch below, where
+    // the same success is a forbidden violation.
     bool ValueIntact = bytesMatchSnapshot(M);
     if (Success && !ValueIntact)
       What = formatString(

@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// CaseRunner drives one generated case through Machine::runScheduled at
+/// CaseRunner drives one generated case through Scheduled-mode runs at
 /// one-block slices. Because the program builder emits exactly one
 /// translation block per event (and a uniform two-block dispatch
 /// preamble), per-tid slice number K maps to:
@@ -131,6 +131,40 @@ private:
   std::unique_ptr<std::atomic<uint32_t>[]> Table;
 };
 
+/// The ABA negative control for the oracle's capability query: claims
+/// bw-llsc's traits (strong, sound) but validates SC with pico-cas's
+/// value compare — no announcement array, no version tag. It does NOT
+/// override admitsAba(), so the oracle judges it by the sound contract
+/// it claims and must flag its ABA successes as violations.
+class AbaUnsoundBwLlsc final : public AtomicScheme {
+public:
+  const SchemeTraits &traits() const override {
+    return schemeTraits(SchemeKind::BwLlsc);
+  }
+
+  uint64_t emulateLoadLink(VCpu &Cpu, uint64_t Addr, unsigned Size) override {
+    uint64_t Value = Ctx->Mem->shadowLoad(Addr, Size);
+    Cpu.Monitor.arm(Addr, Value, Size);
+    return Value;
+  }
+
+  bool emulateStoreCond(VCpu &Cpu, uint64_t Addr, uint64_t Value,
+                        unsigned Size) override {
+    ExclusiveMonitor &Mon = Cpu.Monitor;
+    if (!Mon.valid() || Mon.Addr != Addr || Mon.Size != Size) {
+      Mon.clear();
+      Cpu.Events.ScFailMonitorLost++;
+      return false;
+    }
+    uint64_t Expected = Mon.Value;
+    bool Ok = Ctx->Mem->compareExchange(Addr, Expected, Value, Size);
+    if (!Ok)
+      Cpu.Events.ScFailMonitorLost++;
+    Mon.clear();
+    return Ok;
+  }
+};
+
 } // namespace
 
 std::unique_ptr<AtomicScheme>
@@ -138,12 +172,25 @@ llsc::fuzz::createSingleGranuleHst(unsigned TableLog2) {
   return std::make_unique<SingleGranuleHst>(TableLog2);
 }
 
+std::unique_ptr<AtomicScheme> llsc::fuzz::createAbaUnsoundBwLlsc() {
+  return std::make_unique<AbaUnsoundBwLlsc>();
+}
+
 // --- CaseRunner -------------------------------------------------------------
 
+std::unique_ptr<AtomicScheme> CaseRunner::makeScheme() const {
+  if (Cfg.BuggySingleGranuleHst)
+    return createSingleGranuleHst(Cfg.HstTableLog2);
+  if (Cfg.BuggyAbaBwLlsc)
+    return createAbaUnsoundBwLlsc();
+  return createScheme(Cfg.Scheme, Cfg.HstTableLog2);
+}
+
 OracleModel CaseRunner::model() const {
-  // The buggy fixture pretends to be HST; the oracle judges it by HST's
-  // contract, which is exactly how the bug becomes a reported violation.
-  return OracleModel::forScheme(Cfg.Scheme);
+  // The buggy fixtures pretend to be their host scheme; the oracle judges
+  // them by the contract they claim (traits + admitsAba), which is
+  // exactly how the planted bug becomes a reported violation.
+  return OracleModel::forScheme(*makeScheme());
 }
 
 ErrorOr<Machine *> CaseRunner::machineFor(unsigned NumThreads) {
@@ -164,18 +211,13 @@ ErrorOr<Machine *> CaseRunner::machineFor(unsigned NumThreads) {
     if (!MOrErr)
       return MOrErr.error();
     M = MOrErr.take();
-    if (Cfg.BuggySingleGranuleHst)
-      M->setScheme(createSingleGranuleHst(Cfg.HstTableLog2));
+    if (Cfg.BuggySingleGranuleHst || Cfg.BuggyAbaBwLlsc)
+      M->setScheme(makeScheme());
   }
   return M.get();
 }
 
-void CaseRunner::restoreBaseScheme(Machine &M) {
-  if (Cfg.BuggySingleGranuleHst)
-    M.setScheme(createSingleGranuleHst(Cfg.HstTableLog2));
-  else
-    M.setScheme(createScheme(Cfg.Scheme, Cfg.HstTableLog2));
-}
+void CaseRunner::restoreBaseScheme(Machine &M) { M.setScheme(makeScheme()); }
 
 ErrorOr<bool> CaseRunner::prepare(const FuzzCase &Case) {
   Prepared = nullptr;
@@ -252,7 +294,7 @@ public:
     // cache flush under every interleaving the fuzzer can reach.
     if (Swap && !DidSwap && StepIndex == Swap->AfterSlice) {
       M.setScheme(createScheme(Swap->To, HstTableLog2));
-      Or.onSchemeSwap(OracleModel::forScheme(Swap->To));
+      Or.onSchemeSwap(OracleModel::forScheme(M.scheme()));
       DidSwap = true;
     }
     return true;

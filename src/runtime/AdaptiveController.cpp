@@ -8,68 +8,67 @@
 
 using namespace llsc;
 
-namespace {
-
-bool isPstFamily(SchemeKind Kind) {
-  return Kind == SchemeKind::Pst || Kind == SchemeKind::PstRemap ||
-         Kind == SchemeKind::PstMpk;
-}
-
-bool isStrongHst(SchemeKind Kind) {
-  return Kind == SchemeKind::Hst || Kind == SchemeKind::HstHelper;
-}
-
-bool isHtmKind(SchemeKind Kind) {
-  return Kind == SchemeKind::PicoHtm || Kind == SchemeKind::HstHtm;
-}
-
-} // namespace
-
 SchemeKind AdaptiveController::desired(const AdaptiveSample &Delta) const {
   if (Delta.WallNs == 0)
     return Current;
 
-  if (isPstFamily(Current)) {
+  // The switch is exhaustive on purpose (no default): adding a SchemeKind
+  // without deciding its escape rule is a compile error, not a silent
+  // fallthrough.
+  switch (Current) {
+  case SchemeKind::Pst:
+  case SchemeKind::PstRemap:
+  case SchemeKind::PstMpk: {
     // PST monitors whole pages: unrelated stores to a monitored page fault,
     // recover, and stall the faulting vCPU. A sustained false-sharing fault
-    // rate means the workload keeps hitting monitored pages from the side —
-    // HST's 4-byte granules do not have that failure mode.
+    // rate means the workload keeps hitting monitored pages from the side.
+    // bw-llsc is the escape target: granule-resolution announcements, no
+    // faults, no table to conflict in.
     double FaultsPerMs =
         static_cast<double>(Delta.FalseSharingFaults) * 1e6 / Delta.WallNs;
     if (FaultsPerMs >= Config.FalseSharingPerMs)
-      return SchemeKind::Hst;
+      return SchemeKind::BwLlsc;
     return Current;
   }
 
-  // The remaining rules are SC-failure ratios; idle intervals are noise.
-  if (Delta.ScAttempted < Config.MinScAttempted)
-    return Current;
-
-  if (isStrongHst(Current)) {
+  case SchemeKind::Hst:
+  case SchemeKind::HstHelper:
     // Distinct monitored addresses hashing to one table slot make SCs fail
     // with the monitored value unchanged. PST's exact page ranges do not
     // alias (at the price of mprotect traffic, which its own rule watches).
-    double ConflictFrac = static_cast<double>(Delta.ScFailHashConflict) /
-                          static_cast<double>(Delta.ScAttempted);
-    if (ConflictFrac >= Config.HashConflictFrac)
-      return SchemeKind::Pst;
+    if (Delta.ScAttempted >= Config.MinScAttempted) {
+      double ConflictFrac = static_cast<double>(Delta.ScFailHashConflict) /
+                            static_cast<double>(Delta.ScAttempted);
+      if (ConflictFrac >= Config.HashConflictFrac)
+        return SchemeKind::Pst;
+    }
     return Current;
-  }
 
-  if (isHtmKind(Current)) {
+  case SchemeKind::PicoHtm:
+  case SchemeKind::HstHtm:
     // Fig. 11's abort storm: once most SCs end in the serialized livelock
-    // fallback, the transactions only add retry latency.
-    double FallbackFrac = static_cast<double>(Delta.HtmFallbacks) /
-                          static_cast<double>(Delta.ScAttempted);
-    if (FallbackFrac >= Config.HtmFallbackFrac)
-      return SchemeKind::Hst;
+    // fallback, the transactions only add retry latency. bw-llsc needs no
+    // HTM at all, making it the preferred escape.
+    if (Delta.ScAttempted >= Config.MinScAttempted) {
+      double FallbackFrac = static_cast<double>(Delta.HtmFallbacks) /
+                            static_cast<double>(Delta.ScAttempted);
+      if (FallbackFrac >= Config.HtmFallbackFrac)
+        return SchemeKind::BwLlsc;
+    }
+    return Current;
+
+  case SchemeKind::PicoCas:
+  case SchemeKind::PicoSt:
+  case SchemeKind::HstWeak:
+  case SchemeKind::BwLlsc:
+    // No escape rule: PicoCas and HstWeak are kept only as ablation
+    // baselines; PicoSt has no counter signature distinguishing "slow by
+    // design" from "workload-hostile"; bw-llsc has no pathological
+    // counter signature (its spurious SC failures are bounded by granule
+    // false sharing, already cheaper than any swap).
     return Current;
   }
-
-  // PicoCas / PicoSt / HstWeak: no escape rule (PicoCas and HstWeak are
-  // kept only as ablation baselines; PicoSt has no counter signature that
-  // distinguishes "slow by design" from "workload-hostile").
-  return Current;
+  return Current; // Unreachable; keeps -Wreturn-type satisfied.
 }
 
 std::optional<SchemeKind> AdaptiveController::onSample(

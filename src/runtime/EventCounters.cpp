@@ -33,6 +33,10 @@ void EventCounters::merge(const EventCounters &Other) {
   InlineInstrumentOps += Other.InlineInstrumentOps;
   FaultsRecovered += Other.FaultsRecovered;
   FalseSharingFaults += Other.FalseSharingFaults;
+  BwLlscPublishes += Other.BwLlscPublishes;
+  BwLlscScCommits += Other.BwLlscScCommits;
+  BwLlscSlotBreaks += Other.BwLlscSlotBreaks;
+  BwLlscStoreScans += Other.BwLlscStoreScans;
   JmpCacheHits += Other.JmpCacheHits;
   JmpCacheMisses += Other.JmpCacheMisses;
   FastMemHits += Other.FastMemHits;
@@ -75,6 +79,10 @@ void EventCounters::flushToRegistry() const {
     std::atomic<uint64_t> *InlineInstrumentOps;
     std::atomic<uint64_t> *FaultsRecovered;
     std::atomic<uint64_t> *FalseSharingFaults;
+    std::atomic<uint64_t> *BwLlscPublishes;
+    std::atomic<uint64_t> *BwLlscScCommits;
+    std::atomic<uint64_t> *BwLlscSlotBreaks;
+    std::atomic<uint64_t> *BwLlscStoreScans;
     std::atomic<uint64_t> *JmpCacheHits;
     std::atomic<uint64_t> *JmpCacheMisses;
     std::atomic<uint64_t> *FastMemHits;
@@ -113,6 +121,10 @@ void EventCounters::flushToRegistry() const {
         R.counter("instr.inline_ops"),
         R.counter("fault.recovered"),
         R.counter("fault.false_sharing"),
+        R.counter("bwllsc.ll_published"),
+        R.counter("bwllsc.sc_commits"),
+        R.counter("bwllsc.slot_breaks"),
+        R.counter("bwllsc.store_scans"),
         R.counter("engine.jmpcache.hit"),
         R.counter("engine.jmpcache.miss"),
         R.counter("engine.fastmem.hit"),
@@ -154,6 +166,10 @@ void EventCounters::flushToRegistry() const {
   Add(C.InlineInstrumentOps, InlineInstrumentOps);
   Add(C.FaultsRecovered, FaultsRecovered);
   Add(C.FalseSharingFaults, FalseSharingFaults);
+  Add(C.BwLlscPublishes, BwLlscPublishes);
+  Add(C.BwLlscScCommits, BwLlscScCommits);
+  Add(C.BwLlscSlotBreaks, BwLlscSlotBreaks);
+  Add(C.BwLlscStoreScans, BwLlscStoreScans);
   Add(C.JmpCacheHits, JmpCacheHits);
   Add(C.JmpCacheMisses, JmpCacheMisses);
   Add(C.FastMemHits, FastMemHits);

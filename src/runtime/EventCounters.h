@@ -76,6 +76,12 @@ struct EventCounters {
   uint64_t FaultsRecovered = 0;    ///< SIGSEGV/SIGBUS recovered via FaultGuard.
   uint64_t FalseSharingFaults = 0; ///< Faults on pages shared, not raced.
 
+  // --- BW-LLSC announcement array (bw-llsc) ---------------------------------
+  uint64_t BwLlscPublishes = 0;  ///< LL announcement-slot publishes.
+  uint64_t BwLlscScCommits = 0;  ///< SCs committed by the descriptor CAS.
+  uint64_t BwLlscSlotBreaks = 0; ///< Peer slots invalidated by a store/SC.
+  uint64_t BwLlscStoreScans = 0; ///< Plain stores that scanned the array.
+
   // --- Engine hot path ------------------------------------------------------
   uint64_t JmpCacheHits = 0;   ///< Indirect branches resolved lock-free.
   uint64_t JmpCacheMisses = 0; ///< Indirect branches that hit the TB cache.
@@ -128,6 +134,10 @@ struct EventCounters {
     Fn("instr.inline_ops", InlineInstrumentOps);
     Fn("fault.recovered", FaultsRecovered);
     Fn("fault.false_sharing", FalseSharingFaults);
+    Fn("bwllsc.ll_published", BwLlscPublishes);
+    Fn("bwllsc.sc_commits", BwLlscScCommits);
+    Fn("bwllsc.slot_breaks", BwLlscSlotBreaks);
+    Fn("bwllsc.store_scans", BwLlscStoreScans);
     Fn("engine.jmpcache.hit", JmpCacheHits);
     Fn("engine.jmpcache.miss", JmpCacheMisses);
     Fn("engine.fastmem.hit", FastMemHits);

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Pluggable schedule control for Machine::runScheduled: a controller
+/// Pluggable schedule control for Machine::run in Scheduled mode: a controller
 /// picks which runnable vCPU executes the next slice of the deterministic
 /// single-host-thread runner, and an observer inspects machine state after
 /// every slice. Built for the differential concurrency fuzzer
@@ -32,7 +32,7 @@
 
 namespace llsc {
 
-/// Picks which vCPU runs the next slice in Machine::runScheduled.
+/// Picks which vCPU runs the next slice in Machine::run (Scheduled mode).
 class ScheduleController {
 public:
   virtual ~ScheduleController() = default;
@@ -58,8 +58,8 @@ public:
 };
 
 /// Cycles through runnable tids in ascending order — the schedule
-/// Machine::runCooperative has always produced, now expressed as a
-/// controller.
+/// Machine::run's Cooperative mode has always produced, now expressed as
+/// a controller.
 class RoundRobinSchedule final : public ScheduleController {
 public:
   int pickNext(const std::vector<unsigned> &Runnable) override {

@@ -157,6 +157,87 @@ TEST(FuzzDetection, PicoCasAbaIsCountedNotFlagged) {
   EXPECT_EQ(Res2->AbaSuccesses, 0u);
 }
 
+TEST(FuzzDetection, BwLlscIgnoresAbaBait) {
+  // The same ABA bait as the pico-cas test: bw-llsc's version-tagged
+  // descriptor CAS must fail the SC (t1's commits consumed t0's slot and
+  // bumped the version), with zero ABA successes and zero violations.
+  FuzzCase Case;
+  Case.Threads.resize(2);
+  Case.Threads[0] = {{EventKind::LoadLink, 0, 4, 0},
+                     {EventKind::StoreCond, 0, 4, 2}};
+  Case.Threads[1] = {{EventKind::LoadLink, 0, 4, 0},
+                     {EventKind::StoreCond, 0, 4, 1},
+                     {EventKind::LoadLink, 0, 4, 0},
+                     {EventKind::StoreCond, 0, 4, 0}};
+
+  CaseRunner::Config Config;
+  Config.Scheme = SchemeKind::BwLlsc;
+  CaseRunner Runner(Config);
+  FixedSchedule Sched(traceFor(Case, {0, 1, 1, 1, 1, 0}));
+  auto Res = Runner.run(Case, Sched);
+  ASSERT_TRUE(bool(Res)) << Res.error().render();
+  EXPECT_TRUE(Res->Violations.empty());
+  EXPECT_EQ(Res->AbaSuccesses, 0u)
+      << "bw-llsc must be architecturally immune to ABA";
+}
+
+TEST(FuzzDetection, AbaUnsoundBwLlscFixtureIsFlagged) {
+  // The negative control for the admitsAba capability query: a fixture
+  // claiming bw-llsc's sound traits but validating SC by value compare.
+  // The oracle judges it by the claimed contract, so the ABA success is a
+  // flagged violation — NOT silently counted the way pico-cas's is.
+  FuzzCase Case;
+  Case.Threads.resize(2);
+  Case.Threads[0] = {{EventKind::LoadLink, 0, 4, 0},
+                     {EventKind::StoreCond, 0, 4, 2}};
+  Case.Threads[1] = {{EventKind::LoadLink, 0, 4, 0},
+                     {EventKind::StoreCond, 0, 4, 1},
+                     {EventKind::LoadLink, 0, 4, 0},
+                     {EventKind::StoreCond, 0, 4, 0}};
+
+  CaseRunner::Config Config;
+  Config.Scheme = SchemeKind::BwLlsc;
+  Config.BuggyAbaBwLlsc = true;
+  CaseRunner Runner(Config);
+  FixedSchedule Sched(traceFor(Case, {0, 1, 1, 1, 1, 0}));
+  auto Res = Runner.run(Case, Sched);
+  ASSERT_TRUE(bool(Res)) << Res.error().render();
+  ASSERT_FALSE(Res->Violations.empty())
+      << "the ABA-unsound fixture slipped past the oracle";
+  EXPECT_NE(Res->Violations[0].What.find("forbidden"), std::string::npos)
+      << Res->Violations[0].What;
+  EXPECT_EQ(Res->AbaSuccesses, 0u)
+      << "a scheme claiming soundness must not accrue ABA counts";
+}
+
+TEST(FuzzDetection, FuzzLoopFindsTheAbaUnsoundBwLlscFixture) {
+  FuzzOptions Opts;
+  Opts.Schemes = {SchemeKind::BwLlsc};
+  Opts.Seed = 3;
+  Opts.NumCases = 300;
+  Opts.BuggyBwLlsc = true;
+  Opts.MaxFailuresPerScheme = 1;
+  auto Report = runFuzz(Opts);
+  ASSERT_TRUE(bool(Report)) << Report.error().render();
+  ASSERT_FALSE(Report->Failures.empty())
+      << "the fuzzer cannot see the planted ABA bug";
+  EXPECT_NE(Report->Failures[0].First.What.find("forbidden"),
+            std::string::npos)
+      << Report->Failures[0].First.What;
+}
+
+TEST(FuzzDetection, FuzzLoopCleanOnRealBwLlsc) {
+  FuzzOptions Opts;
+  Opts.Schemes = {SchemeKind::BwLlsc};
+  Opts.Seed = 3;
+  Opts.NumCases = 120;
+  auto Report = runFuzz(Opts);
+  ASSERT_TRUE(bool(Report)) << Report.error().render();
+  for (const FailureRecord &Rec : Report->Failures)
+    ADD_FAILURE() << schemeTraits(Rec.Scheme).Name << ": "
+                  << Rec.First.What;
+}
+
 // --- Oracle unit tests ------------------------------------------------------
 
 TEST(FuzzOracle, ForbidsSuccessAfterOverlappingStore) {

@@ -177,6 +177,7 @@ INSTANTIATE_TEST_SUITE_P(
                       Expectation{SchemeKind::Pst, true},
                       Expectation{SchemeKind::PstRemap, true},
                       Expectation{SchemeKind::PstMpk, true},
+                      Expectation{SchemeKind::BwLlsc, true},
                       Expectation{SchemeKind::HstWeak, false}),
     [](const ::testing::TestParamInfo<Expectation> &Info) {
       std::string Name = schemeTraits(Info.param.Kind).Name;
@@ -238,7 +239,8 @@ TEST_P(RandomLitmusTest, NoUnsoundScSuccessOnMixedSizeTraces) {
   LitmusDriver &Driver = *DriverOrErr;
 
   Rng R(0x517ed + static_cast<uint64_t>(GetParam().Kind));
-  fuzz::OracleModel Model = fuzz::OracleModel::forScheme(GetParam().Kind);
+  fuzz::OracleModel Model =
+      fuzz::OracleModel::forScheme(*createScheme(GetParam().Kind));
 
   for (int Trial = 0; Trial < 40; ++Trial) {
     Driver.resetVar(0); // The oracle's shadow starts all-zero too.

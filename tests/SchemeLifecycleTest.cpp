@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Machine.h"
+#include "core/Snapshot.h"
 #include "mem/GuestMemory.h"
 
 #include <gtest/gtest.h>
@@ -144,11 +145,40 @@ TEST_P(LifecycleTest, SwapReleasesMachineState) {
   EXPECT_TRUE(M->scheme().emulateStoreCond(A, 0xd000, 2, 4));
 }
 
+/// restoreFrom is monitor-neutral: an LL window armed before the restore
+/// must not survive it — the restore path quiesces and resets the scheme,
+/// so the pending SC fails exactly as it would after CLREX — and the
+/// restored machine runs a fresh LL/SC pair. This matters most for
+/// schemes whose monitor state lives outside guest memory (HST tag
+/// tables, PST protection maps, bw-llsc announcement slots): none of it
+/// is captured by the snapshot, so all of it must be dropped on restore.
+TEST_P(LifecycleTest, SnapshotRestoreIsMonitorNeutral) {
+  auto Donor = makeMachine(GetParam());
+  ASSERT_TRUE(bool(Donor->loadAssembly("_start: halt\n")));
+  auto SnapOrErr = Donor->snapshot();
+  ASSERT_TRUE(bool(SnapOrErr)) << SnapOrErr.error().render();
+
+  auto Clone = makeMachine(GetParam());
+  ASSERT_TRUE(bool(Clone->loadAssembly("_start: halt\n")));
+  Clone->prepareRun();
+  VCpu &A = Clone->cpu(0);
+  Clone->scheme().emulateLoadLink(A, 0xe000, 4);
+  ASSERT_TRUE(bool(Clone->restoreFrom(*SnapOrErr)));
+
+  EXPECT_FALSE(Clone->scheme().emulateStoreCond(A, 0xe000, 1, 4))
+      << "SC across a snapshot restore must fail";
+
+  // The restored scheme is fully operational.
+  Clone->scheme().emulateLoadLink(A, 0xe000, 4);
+  EXPECT_TRUE(Clone->scheme().emulateStoreCond(A, 0xe000, 2, 4))
+      << schemeTraits(GetParam()).Name;
+}
+
 namespace {
 
 /// Swaps the scheme the first time it sees the LL executed with the SC
 /// still pending — the adaptive controller's quiesce/swap path, driven
-/// deterministically between runScheduled slices.
+/// deterministically between Scheduled-mode slices.
 class SwapBetweenLlAndSc final : public SliceObserver {
 public:
   SwapBetweenLlAndSc(Machine &M, SchemeKind To) : M(M), To(To) {}

@@ -43,7 +43,19 @@ TEST(SchemeRegistry, NamesParseBothSpellings) {
   EXPECT_EQ(parseSchemeName("HST-WEAK"), SchemeKind::HstWeak);
   EXPECT_EQ(parseSchemeName("pico_cas"), SchemeKind::PicoCas);
   EXPECT_EQ(parseSchemeName("pst-remap"), SchemeKind::PstRemap);
+  EXPECT_EQ(parseSchemeName("bw-llsc"), SchemeKind::BwLlsc);
   EXPECT_FALSE(parseSchemeName("nonesuch").has_value());
+}
+
+/// Every kind's canonical name parses back to the kind — keeps the name
+/// table, the parser, and the enum in lockstep as schemes are added.
+TEST(SchemeRegistry, NameParseRoundTripsAllKinds) {
+  for (SchemeKind Kind : allSchemeKinds()) {
+    const SchemeTraits &Traits = schemeTraits(Kind);
+    auto Parsed = parseSchemeName(Traits.Name);
+    ASSERT_TRUE(Parsed.has_value()) << Traits.Name;
+    EXPECT_EQ(*Parsed, Kind) << Traits.Name;
+  }
 }
 
 TEST(SchemeRegistry, TraitsMatchTableII) {
@@ -55,7 +67,22 @@ TEST(SchemeRegistry, TraitsMatchTableII) {
   EXPECT_TRUE(schemeTraits(SchemeKind::HstHtm).RequiresHtm);
   EXPECT_TRUE(schemeTraits(SchemeKind::PicoHtm).RequiresHtm);
   EXPECT_FALSE(schemeTraits(SchemeKind::Pst).RequiresHtm);
-  EXPECT_EQ(allSchemeKinds().size(), 10u);
+  EXPECT_EQ(schemeTraits(SchemeKind::BwLlsc).Atomicity,
+            AtomicityClass::Strong);
+  EXPECT_FALSE(schemeTraits(SchemeKind::BwLlsc).RequiresHtm);
+  EXPECT_FALSE(schemeTraits(SchemeKind::BwLlsc).UsesPageProtection);
+  EXPECT_EQ(allSchemeKinds().size(), 11u);
+}
+
+/// The ABA capability query the fuzz oracle keys on: only the two schemes
+/// with documented value-compare unsoundness declare it.
+TEST(SchemeRegistry, AdmitsAbaOnlyForValueCompareSchemes) {
+  for (SchemeKind Kind : allSchemeKinds()) {
+    bool Expected =
+        Kind == SchemeKind::PicoCas || Kind == SchemeKind::PicoHtm;
+    EXPECT_EQ(createScheme(Kind)->admitsAba(), Expected)
+        << schemeTraits(Kind).Name;
+  }
 }
 
 /// HST: a store by another thread whose address *collides in the hash
@@ -91,6 +118,7 @@ TEST(Hst, InstrumentationRouting) {
   EXPECT_FALSE(createScheme(SchemeKind::HstWeak)->storesViaHelper());
   EXPECT_TRUE(createScheme(SchemeKind::PicoSt)->storesViaHelper());
   EXPECT_TRUE(createScheme(SchemeKind::Pst)->storesViaHelper());
+  EXPECT_TRUE(createScheme(SchemeKind::BwLlsc)->storesViaHelper());
   EXPECT_TRUE(createScheme(SchemeKind::PstRemap)->loadsViaHelper());
   EXPECT_FALSE(createScheme(SchemeKind::Pst)->loadsViaHelper());
 }

@@ -16,6 +16,9 @@
 ///   llsc-fuzz --buggy-hst --repro-dir out/    # negative control: the
 ///                                             # pre-fix single-granule HST
 ///                                             # must produce repros
+///   llsc-fuzz --schemes bw-llsc --buggy-bwllsc  # negative control: the
+///                                             # ABA-unsound fixture must
+///                                             # be flagged (admitsAba)
 ///   llsc-fuzz --replay out/hst-seed42.grv     # replay a minimized repro
 ///   llsc-fuzz --stress --iterations 5000      # free-threaded (TSAN) sweep
 ///
@@ -54,9 +57,9 @@ namespace {
 
 /// Schemes with a sound-by-design contract the oracle can enforce, plus
 /// pico-cas as the documented ABA negative control when asked for "all".
-const char *DefaultSchemes = "hst,hst-weak,pst,pst-remap,pico-st";
-const char *AllSchemes =
-    "hst,hst-weak,hst-helper,hst-htm,pst,pst-remap,pico-st,pico-cas";
+const char *DefaultSchemes = "hst,hst-weak,pst,pst-remap,pico-st,bw-llsc";
+const char *AllSchemes = "hst,hst-weak,hst-helper,hst-htm,pst,pst-remap,"
+                         "pico-st,pico-cas,bw-llsc";
 
 void printFailures(const FuzzReport &Report) {
   for (const FailureRecord &Rec : Report.Failures) {
@@ -82,7 +85,7 @@ void printSummary(const char *What, const FuzzReport &Report) {
                static_cast<unsigned long long>(Report.SpuriousFails));
 }
 
-int replayFile(const std::string &Path, bool BuggyHst) {
+int replayFile(const std::string &Path, bool BuggyHst, bool BuggyBwLlsc) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "cannot open %s\n", Path.c_str());
@@ -97,22 +100,23 @@ int replayFile(const std::string &Path, bool BuggyHst) {
                  ReproOrErr.error().render().c_str());
     return 2;
   }
-  auto Res = replayRepro(*ReproOrErr, BuggyHst);
+  auto Res = replayRepro(*ReproOrErr, BuggyHst, BuggyBwLlsc);
   if (!Res) {
     std::fprintf(stderr, "%s\n", Res.error().render().c_str());
     return 2;
   }
+  const char *Fixture = BuggyHst      ? ", buggy-hst fixture"
+                        : BuggyBwLlsc ? ", buggy-bwllsc fixture"
+                                      : "";
   if (Res->Violations.empty()) {
     std::fprintf(stderr, "replay [%s%s]: no violation (fixed)\n",
-                 schemeTraits(ReproOrErr->Scheme).Name,
-                 BuggyHst ? ", buggy-hst fixture" : "");
+                 schemeTraits(ReproOrErr->Scheme).Name, Fixture);
     return 0;
   }
   for (const Violation &V : Res->Violations)
     std::fprintf(stderr, "replay [%s%s]: tid %u event %d: %s\n",
-                 schemeTraits(ReproOrErr->Scheme).Name,
-                 BuggyHst ? ", buggy-hst fixture" : "", V.Tid, V.EventIdx,
-                 V.What.c_str());
+                 schemeTraits(ReproOrErr->Scheme).Name, Fixture, V.Tid,
+                 V.EventIdx, V.What.c_str());
   return 1;
 }
 
@@ -144,6 +148,10 @@ int main(int Argc, char **Argv) {
   bool *BuggyHst = Args.addBool(
       "buggy-hst", false,
       "swap hst for the pre-fix single-granule fixture (negative control)");
+  bool *BuggyBwLlsc = Args.addBool(
+      "buggy-bwllsc", false,
+      "swap bw-llsc for an ABA-unsound value-compare fixture (negative "
+      "control for the oracle's admitsAba capability query)");
   bool *Swap = Args.addBool(
       "swap", false,
       "hot-swap the scheme mid-run on every schedule (setScheme protocol "
@@ -169,7 +177,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (!Replay->empty())
-    return replayFile(*Replay, *BuggyHst);
+    return replayFile(*Replay, *BuggyHst, *BuggyBwLlsc);
 
   auto Kinds =
       parseSchemeList(*SchemeList == "all" ? AllSchemes : *SchemeList);
@@ -201,6 +209,7 @@ int main(int Argc, char **Argv) {
   Opts.Gen.MaxEventsPerThread = static_cast<unsigned>(*MaxEvents);
   Opts.ReproDir = *ReproDir;
   Opts.BuggyHst = *BuggyHst;
+  Opts.BuggyBwLlsc = *BuggyBwLlsc;
   Opts.Verbose = *Verbose;
   if (*Smoke)
     Opts.NumCases = 150;
@@ -254,13 +263,14 @@ int main(int Argc, char **Argv) {
   printFailures(Combined);
   printSummary(*Stress         ? "stress"
                : *BuggyHst     ? "(buggy-hst fixture)"
+               : *BuggyBwLlsc  ? "(buggy-bwllsc fixture)"
                                : "fuzz",
                Combined);
-  if (*BuggyHst && Combined.Failures.empty()) {
+  if ((*BuggyHst || *BuggyBwLlsc) && Combined.Failures.empty()) {
     std::fprintf(stderr,
-                 "ERROR: the single-granule fixture produced no violation — "
+                 "ERROR: the planted-bug fixture produced no violation — "
                  "the fuzzer lost its detection power\n");
     return 1;
   }
-  return Combined.clean() || *BuggyHst ? 0 : 1;
+  return Combined.clean() || *BuggyHst || *BuggyBwLlsc ? 0 : 1;
 }

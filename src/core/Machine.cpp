@@ -72,7 +72,9 @@ ErrorOr<std::unique_ptr<Machine>> Machine::create(const MachineConfig &Config) {
   M->Ctx.FastEpochAddr = M->Mem->fastPathEpochAddr();
   M->Scheme->attach(M->Ctx);
 
-  M->Trans = std::make_unique<Translator>(*M->Mem, M->Scheme.get(),
+  M->Trans = std::make_unique<Translator>(*M->Mem,
+                                          input::inputArch(Config.Arch),
+                                          M->Scheme.get(),
                                           Config.Translation);
   M->Cache = std::make_shared<TbCache>();
 
@@ -129,17 +131,24 @@ static uint64_t programImageHash(const guest::Program &Prog) {
   return Hash;
 }
 
-ErrorOr<void> Machine::loadProgram(guest::Program NewProg) {
+ErrorOr<void> Machine::load(input::GuestImage Image) {
+  if (Image.Arch != Config.Arch)
+    return makeError("image arch '%s' does not match machine arch '%s' "
+                     "(the frontend is fixed at Machine::create)",
+                     input::guestArchName(Image.Arch),
+                     input::guestArchName(Config.Arch));
+  guest::Program NewProg = std::move(Image.Prog);
   auto LoadedOrErr = Mem->loadProgram(NewProg);
   if (!LoadedOrErr)
     return LoadedOrErr.error();
   // Translations are a pure function of the image bytes plus per-machine
-  // translator config and the attached scheme (whose change paths flush on
-  // their own), so a byte-identical reload — the pooled-reuse pattern in
-  // serve/MachinePool.h — keeps the previous job's code cache warm and
-  // skips retranslation entirely. Guest stores into the code region are
-  // not tracked (the engine assumes no self-modifying code), which is the
-  // same contract a single run already has.
+  // translator config, the frontend (fixed at create) and the attached
+  // scheme (whose change paths flush on their own), so a byte-identical
+  // reload — the pooled-reuse pattern in serve/MachinePool.h — keeps the
+  // previous job's code cache warm and skips retranslation entirely.
+  // Guest stores into the code region are not tracked (the engine assumes
+  // no self-modifying code), which is the same contract a single run
+  // already has.
   uint64_t Hash = programImageHash(NewProg);
   if (Hash != LoadedImageHash) {
     // A shared cache holds translations siblings still execute; walk away
@@ -152,6 +161,10 @@ ErrorOr<void> Machine::loadProgram(guest::Program NewProg) {
   }
   Prog = std::move(NewProg);
   return {};
+}
+
+ErrorOr<void> Machine::loadProgram(guest::Program NewProg) {
+  return load(input::GuestImage(input::GuestArch::Grv, std::move(NewProg)));
 }
 
 ErrorOr<void> Machine::loadAssembly(std::string_view Source,
@@ -396,6 +409,14 @@ ErrorOr<void> Machine::restoreFrom(std::shared_ptr<const MachineSnapshot> Snap) 
         Snap->Config.NumThreads,
         static_cast<unsigned long long>(Snap->MemBytes), Config.NumThreads,
         static_cast<unsigned long long>(Mem->size()));
+  // Shared translations (and the captured register file) are in the
+  // snapshot arch's lowering; restoring across frontends would execute
+  // one ISA's code under another's conventions.
+  if (Snap->Config.Arch != Config.Arch)
+    return makeError("snapshot guest arch '%s' does not match machine "
+                     "arch '%s'",
+                     input::guestArchName(Snap->Config.Arch),
+                     input::guestArchName(Config.Arch));
 
   // Fast path — this machine is already a clone of this very snapshot
   // (the pool's restore-on-release steady state): revert CoW-dirty pages
@@ -470,14 +491,15 @@ void Machine::prepareRun() {
   AdaptiveEvents.reset();
   if (Htm)
     Htm->resetStats();
+  const input::InputArch &Frontend = input::inputArch(Config.Arch);
   for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
     VCpu &Cpu = Cpus[Tid];
     Cpu.resetForRun(Prog.entryAddr());
-    // Entry conventions: r0 = tid, sp = private stack top (16-aligned),
-    // stacks carved from the top of guest memory downwards.
-    Cpu.Regs[0] = Tid;
+    // Entry conventions are the frontend's: which register carries the
+    // tid, which is the stack pointer (GRV: r0/r13, RV32: a0/x2). Stacks
+    // are carved from the top of guest memory downwards.
     uint64_t StackTop = Config.MemBytes - Tid * Config.StackBytes;
-    Cpu.Regs[guest::RegSp] = alignDown(StackTop - 16, 16);
+    Frontend.setupEntry(Cpu, Tid, StackTop);
   }
 
   // A mid-run snapshot restore replaces the fresh-entry conventions with
@@ -517,6 +539,7 @@ RunResult Machine::collectResult(bool AllHalted,
   }
   Result.Events.merge(AdaptiveEvents);
   Result.FinalSchemeKind = Scheme->traits().Kind;
+  Result.GuestArch = Config.Arch;
   if (Htm)
     Result.Htm = Htm->stats();
   // Deltas, not absolutes: the underlying totals are monotonic across

@@ -38,6 +38,7 @@
 #include "engine/Engine.h"
 #include "guest/Program.h"
 #include "htm/Htm.h"
+#include "input/GuestImage.h"
 #include "mem/GuestMemory.h"
 #include "runtime/AdaptiveController.h"
 #include "runtime/Exclusive.h"
@@ -56,6 +57,10 @@ struct MachineSnapshot;
 
 /// Everything configurable about a Machine.
 struct MachineConfig {
+  /// Guest ISA this machine translates. Fixed at create() — the frontend
+  /// determines decode, entry conventions and the binary format load()
+  /// accepts; snapshots and pool keys carry it (docs/FRONTENDS.md).
+  input::GuestArch Arch = input::GuestArch::Grv;
   SchemeKind Scheme = SchemeKind::Hst;
   unsigned NumThreads = 1;
   uint64_t MemBytes = 64ULL << 20;
@@ -151,6 +156,8 @@ struct JobReport {
   /// Kind the active scheme claimed (traits().Kind) when the run ended;
   /// differs from MachineConfig::Scheme after an adaptive hot-swap.
   SchemeKind FinalSchemeKind = SchemeKind::Hst;
+  /// Guest ISA the job ran under (stats schema v5 "guest_arch").
+  input::GuestArch GuestArch = input::GuestArch::Grv;
 };
 
 /// Aggregate outcome of one run(). The statistics live in the JobReport
@@ -169,13 +176,21 @@ public:
   Machine(const Machine &) = delete;
   Machine &operator=(const Machine &) = delete;
 
-  /// Loads an assembled program. The code cache is flushed only when the
-  /// image differs (by content hash) from the one the cached translations
-  /// were built from: reloading a byte-identical program — what a pooled
-  /// machine does between jobs — keeps the cache warm.
+  /// Loads an arch-tagged program image — the one load entry point. The
+  /// image's arch must match MachineConfig::Arch (the frontend is fixed at
+  /// create()). The code cache is flushed only when the image differs (by
+  /// content hash) from the one the cached translations were built from:
+  /// reloading a byte-identical image — what a pooled machine does between
+  /// jobs — keeps the cache warm.
+  ErrorOr<void> load(input::GuestImage Image);
+
+  /// Deprecated GRV-only wrapper: load({GuestArch::Grv, Prog}). Errors on
+  /// a non-GRV machine. See the docs/API.md deprecation table.
   ErrorOr<void> loadProgram(guest::Program Prog);
 
-  /// Assembles \p Source at \p BaseAddr and loads it.
+  /// Deprecated GRV-only wrapper: assembles \p Source at \p BaseAddr with
+  /// the GRV assembler and loads it. See the docs/API.md deprecation
+  /// table.
   ErrorOr<void> loadAssembly(std::string_view Source,
                              uint64_t BaseAddr = 0x1000);
 

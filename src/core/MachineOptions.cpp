@@ -12,6 +12,13 @@ ErrorOr<MachineConfig>
 llsc::machineConfigFromOptions(const MachineOptionValues &Values) {
   MachineConfig Config;
 
+  if (Values.Arch) {
+    auto ArchOrErr = input::parseGuestArch(*Values.Arch);
+    if (!ArchOrErr)
+      return ArchOrErr.error();
+    Config.Arch = *ArchOrErr;
+  }
+
   if (*Values.Scheme == "adaptive") {
     Config.Adaptive = true;
     // PST is the paper's page-protection baseline and the scheme the

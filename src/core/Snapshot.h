@@ -53,7 +53,7 @@ struct MachineSnapshot {
 
   /// Captured per-vCPU architectural state.
   struct CpuState {
-    uint64_t Regs[guest::NumGuestRegs] = {};
+    uint64_t Regs[guest::MaxGuestRegs] = {};
     uint64_t Pc = 0;
     bool Halted = false;
   };

@@ -15,7 +15,8 @@ using namespace llsc;
 
 StatsReport::StatsReport(const JobReport &Result)
     : WallSeconds(Result.WallSeconds), AllHalted(Result.AllHalted),
-      FinalScheme(schemeTraits(Result.FinalSchemeKind).Name) {
+      FinalScheme(schemeTraits(Result.FinalSchemeKind).Name),
+      GuestArchName(input::guestArchName(Result.GuestArch)) {
   auto Add = [this](const char *Name, uint64_t Value) {
     Metrics.push_back({Name, Value});
   };
@@ -80,10 +81,12 @@ std::string StatsReport::renderBody(bool Compact) const {
                 "{%s\"schema_version\": %u,%s\"job_id\": %" PRIu64
                 ",%s\"name\": \"%s\""
                 ",%s\"reused_machine\": %s,%s\"final_scheme\": \"%s\",%s"
+                "\"guest_arch\": \"%s\",%s"
                 "\"wall_seconds\": %.9f,%s\"all_halted\": %s,%s",
                 Nl, SchemaVersion, Nl, JobId, Nl, JobName.c_str(), Nl,
                 ReusedMachine ? "true" : "false", Nl, FinalScheme.c_str(),
-                Nl, WallSeconds, Nl, AllHalted ? "true" : "false", Nl);
+                Nl, GuestArchName.c_str(), Nl, WallSeconds, Nl,
+                AllHalted ? "true" : "false", Nl);
   Out += Buf;
 
   Out += "\"metrics\": {";

@@ -72,6 +72,8 @@ public:
   /// Name of the scheme active when the run ended (differs from the
   /// configured one after an adaptive hot-swap).
   const std::string &finalScheme() const { return FinalScheme; }
+  /// Stable name of the guest frontend the job ran under ("grv", "rv32").
+  const std::string &guestArch() const { return GuestArchName; }
 
   /// The --stats=json schema version. Bumped when a top-level key is
   /// added, removed, or reordered; adding a metric to "metrics" (a
@@ -84,12 +86,15 @@ public:
   ///   4: + "name" key after "job_id" (the serve-layer job label, so
   ///      fleet consumers can group per-job lines without relying on
   ///      submission order; "" outside the serve layer)
-  static constexpr unsigned SchemaVersion = 4;
+  ///   5: + "guest_arch" key after "final_scheme" (the frontend the job
+  ///      ran under: "grv", "rv32" — docs/FRONTENDS.md)
+  static constexpr unsigned SchemaVersion = 5;
 
   /// Renders the whole report as a JSON object:
-  ///   {"schema_version": 4, "job_id": 0, "name": "",
+  ///   {"schema_version": 5, "job_id": 0, "name": "",
   ///    "reused_machine": false,
-  ///    "final_scheme": "...", "wall_seconds": ..., "all_halted": ...,
+  ///    "final_scheme": "...", "guest_arch": "...",
+  ///    "wall_seconds": ..., "all_halted": ...,
   ///    "metrics": {...}, "per_cpu": [{"tid": 0, ...events...}, ...]}
   /// Key order is deterministic: top-level keys exactly as above,
   /// "metrics" in stable catalogue order (the metrics() order, plus any
@@ -112,6 +117,7 @@ private:
   std::string JobName;
   bool ReusedMachine = false;
   std::string FinalScheme;
+  std::string GuestArchName;
   std::vector<StatMetric> Metrics;
   /// Per-vCPU event rows for the JSON "per_cpu" array: one vector of
   /// (name, value) per tid, EventCounters names only.

@@ -15,6 +15,9 @@ static_assert(static_cast<uint8_t>(DecodedFlagSignExtend) ==
 static_assert(static_cast<uint8_t>(DecodedFlagInstrument) ==
                   static_cast<uint8_t>(ir::IRFlagInstrument),
               "decode copies IR flag bits through");
+static_assert(static_cast<uint8_t>(DecodedFlagCheckAlign) ==
+                  static_cast<uint8_t>(ir::IRFlagCheckAlign),
+              "decode copies IR flag bits through");
 
 static uint8_t bankOf(ir::ValueId Id) {
   return Id < ir::FirstTempId ? BankRegs : BankTemps;
@@ -27,7 +30,8 @@ std::vector<DecodedInst> engine::decodeBlock(const ir::IRBlock &IR) {
     DecodedInst D;
     D.Op = I.Op;
     D.Size = I.Size;
-    D.Flags = I.Flags & (DecodedFlagSignExtend | DecodedFlagInstrument);
+    D.Flags = I.Flags & (DecodedFlagSignExtend | DecodedFlagInstrument |
+                         DecodedFlagCheckAlign);
     if ((I.Flags & ir::IRFlagInstrument) && I.Op != ir::IROp::Helper &&
         I.Op != ir::IROp::HelperLoad && I.Op != ir::IROp::HelperStore)
       D.Flags |= DecodedFlagCountInline;

@@ -37,6 +37,7 @@ enum : uint8_t {
   /// Instrumented op that executes inline (not via a Helper* op), i.e. it
   /// increments Events.InlineInstrumentOps when executed.
   DecodedFlagCountInline = 1 << 2,
+  DecodedFlagCheckAlign = 1 << 3, ///< == IRFlagCheckAlign.
 };
 
 /// Operand bank selectors: index 0 is the guest register file, index 1 the

@@ -135,7 +135,7 @@ Engine::BlockExit Engine::execBlock(VCpu &Cpu, const CachedBlock &Block,
       &&H_SltUImm, &&H_LoadG,    &&H_StoreG,  &&H_LoadHost, &&H_StoreHost,
       &&H_LoadLink, &&H_StoreCond, &&H_ClearExcl, &&H_Fence,
       &&H_HelperStore, &&H_HelperLoad, &&H_Helper, &&H_AtomicAddG,
-      &&H_HstStoreTag, &&H_ReadSpecial, &&H_SysCall, &&H_Yield,
+      &&H_AtomicRmwG, &&H_HstStoreTag, &&H_ReadSpecial, &&H_SysCall, &&H_Yield,
       &&H_SetPcImm, &&H_SetPc,   &&H_BrCond,  &&H_Halt,
   };
   static_assert(sizeof(JumpTable) / sizeof(JumpTable[0]) ==
@@ -356,7 +356,16 @@ DispatchTop:
 
   // --- Atomics --------------------------------------------------------------
   OP(LoadLink) {
-    SET_DST(Scheme.emulateLoadLink(Cpu, VAL_A(), D->Size));
+    uint64_t LlAddr = VAL_A();
+    if (LLSC_UNLIKELY((D->Flags & DecodedFlagCheckAlign) &&
+                      (LlAddr & (D->Size - 1)))) {
+      LLSC_ERROR("tid %u: misaligned LR at pc-block 0x%" PRIx64
+                 " addr 0x%" PRIx64,
+                 Cpu.Tid, IR.GuestPc, LlAddr);
+      Cpu.Halted = true;
+      return {BlockExit::Halted, 0};
+    }
+    SET_DST(Scheme.emulateLoadLink(Cpu, LlAddr, D->Size));
     Cpu.Counters.LoadLinks++;
     Cpu.Events.LlIssued++;
     if (TraceRecorder *Trace = TraceRecorder::active())
@@ -364,7 +373,16 @@ DispatchTop:
     NEXT();
   }
   OP(StoreCond) {
-    bool Ok = Scheme.emulateStoreCond(Cpu, VAL_A(), VAL_B(), D->Size);
+    uint64_t ScAddr = VAL_A();
+    if (LLSC_UNLIKELY((D->Flags & DecodedFlagCheckAlign) &&
+                      (ScAddr & (D->Size - 1)))) {
+      LLSC_ERROR("tid %u: misaligned SC at pc-block 0x%" PRIx64
+                 " addr 0x%" PRIx64,
+                 Cpu.Tid, IR.GuestPc, ScAddr);
+      Cpu.Halted = true;
+      return {BlockExit::Halted, 0};
+    }
+    bool Ok = Scheme.emulateStoreCond(Cpu, ScAddr, VAL_B(), D->Size);
     SET_DST(Ok ? 0 : 1);
     Cpu.Counters.StoreConds++;
     Cpu.Events.ScAttempted++;
@@ -444,6 +462,27 @@ DispatchTop:
       return {BlockExit::Halted, 0};
     }
     SET_DST(Mem.fetchAdd(Addr, VAL_B(), D->Size));
+    NEXT();
+  }
+
+  OP(AtomicRmwG) {
+    // Single host-RMW lowering of a guest AMO (Section VI rule-based
+    // path and the GRV fetch-add idiom's generalised sibling). Imm is an
+    // ir::RmwKind; GuestMemory::atomicRmw matches it numerically. AMOs
+    // are architecturally aligned, so misalignment is a translation bug
+    // for the naturally-aligned frontends — but guest addresses are
+    // data-dependent, so misalignment halts rather than asserts.
+    uint64_t Addr = VAL_A();
+    if (LLSC_UNLIKELY(Addr >= Mem.size() || Mem.size() - Addr < D->Size ||
+                      (Addr & (D->Size - 1)))) {
+      LLSC_ERROR("tid %u: atomic rmw out of range or misaligned addr"
+                 " 0x%" PRIx64,
+                 Cpu.Tid, Addr);
+      Cpu.Halted = true;
+      return {BlockExit::Halted, 0};
+    }
+    SET_DST(Mem.atomicRmw(Addr, VAL_B(), D->Size,
+                          static_cast<unsigned>(D->Imm)));
     NEXT();
   }
 

@@ -675,16 +675,22 @@ bool BlockCompiler::emitInst(const DecodedInst &D, unsigned InstIdx) {
   case IROp::LoadLink:
     Em.movReg(RDI, RBX);
     readInto(RSI, D.ABank, D.A);
-    Em.movImm64(RDX, D.Size);
+    Em.movImm64(RDX,
+                D.Size | ((D.Flags & DecodedFlagCheckAlign) ? 0x100u : 0u));
     emitCall(reinterpret_cast<const void *>(&llscJitLoadLink));
+    if (D.Flags & DecodedFlagCheckAlign)
+      emitHaltedCheck();
     writeDst(D.DstBank, D.Dst, RAX);
     break;
   case IROp::StoreCond:
     Em.movReg(RDI, RBX);
     readInto(RSI, D.ABank, D.A);
     readInto(RDX, D.BBank, D.B);
-    Em.movImm64(RCX, D.Size);
+    Em.movImm64(RCX,
+                D.Size | ((D.Flags & DecodedFlagCheckAlign) ? 0x100u : 0u));
     emitCall(reinterpret_cast<const void *>(&llscJitStoreCond));
+    if (D.Flags & DecodedFlagCheckAlign)
+      emitHaltedCheck();
     writeDst(D.DstBank, D.Dst, RAX);
     break;
   case IROp::ClearExcl:
@@ -727,6 +733,16 @@ bool BlockCompiler::emitInst(const DecodedInst &D, unsigned InstIdx) {
     readInto(RDX, D.BBank, D.B);
     Em.movImm64(RCX, D.Size);
     emitCall(reinterpret_cast<const void *>(&llscJitAtomicAdd));
+    emitHaltedCheck();
+    writeDst(D.DstBank, D.Dst, RAX);
+    break;
+
+  case IROp::AtomicRmwG:
+    Em.movReg(RDI, RBX);
+    readInto(RSI, D.ABank, D.A);
+    readInto(RDX, D.BBank, D.B);
+    Em.movImm64(RCX, D.Size | (static_cast<uint64_t>(D.Imm) << 8));
+    emitCall(reinterpret_cast<const void *>(&llscJitAtomicRmw));
     emitHaltedCheck();
     writeDst(D.DstBank, D.Dst, RAX);
     break;

@@ -33,9 +33,14 @@ using namespace llsc;
 
 extern "C" {
 
-uint64_t llscJitLoadLink(VCpu *Cpu, uint64_t Addr, uint64_t Size) {
-  uint64_t Value = Cpu->Ctx->Scheme->emulateLoadLink(
-      *Cpu, Addr, static_cast<unsigned>(Size));
+uint64_t llscJitLoadLink(VCpu *Cpu, uint64_t Addr, uint64_t SizeAndFlags) {
+  unsigned Size = static_cast<unsigned>(SizeAndFlags & 0xff);
+  if (LLSC_UNLIKELY((SizeAndFlags & 0x100) && (Addr & (Size - 1)))) {
+    LLSC_ERROR("tid %u: misaligned LR addr 0x%" PRIx64, Cpu->Tid, Addr);
+    Cpu->Halted = true;
+    return 0;
+  }
+  uint64_t Value = Cpu->Ctx->Scheme->emulateLoadLink(*Cpu, Addr, Size);
   Cpu->Counters.LoadLinks++;
   Cpu->Events.LlIssued++;
   if (TraceRecorder *Trace = TraceRecorder::active())
@@ -44,9 +49,14 @@ uint64_t llscJitLoadLink(VCpu *Cpu, uint64_t Addr, uint64_t Size) {
 }
 
 uint64_t llscJitStoreCond(VCpu *Cpu, uint64_t Addr, uint64_t Value,
-                          uint64_t Size) {
-  bool Ok = Cpu->Ctx->Scheme->emulateStoreCond(*Cpu, Addr, Value,
-                                               static_cast<unsigned>(Size));
+                          uint64_t SizeAndFlags) {
+  unsigned Size = static_cast<unsigned>(SizeAndFlags & 0xff);
+  if (LLSC_UNLIKELY((SizeAndFlags & 0x100) && (Addr & (Size - 1)))) {
+    LLSC_ERROR("tid %u: misaligned SC addr 0x%" PRIx64, Cpu->Tid, Addr);
+    Cpu->Halted = true;
+    return 0;
+  }
+  bool Ok = Cpu->Ctx->Scheme->emulateStoreCond(*Cpu, Addr, Value, Size);
   Cpu->Counters.StoreConds++;
   Cpu->Events.ScAttempted++;
   if (Ok) {
@@ -135,6 +145,22 @@ uint64_t llscJitAtomicAdd(VCpu *Cpu, uint64_t Addr, uint64_t Delta,
     return 0;
   }
   return Mem.fetchAdd(Addr, Delta, static_cast<unsigned>(Size));
+}
+
+uint64_t llscJitAtomicRmw(VCpu *Cpu, uint64_t Addr, uint64_t Operand,
+                          uint64_t SizeAndKind) {
+  unsigned Size = static_cast<unsigned>(SizeAndKind & 0xff);
+  unsigned Kind = static_cast<unsigned>(SizeAndKind >> 8);
+  GuestMemory &Mem = *Cpu->Ctx->Mem;
+  if (LLSC_UNLIKELY(Addr >= Mem.size() || Mem.size() - Addr < Size ||
+                    (Addr & (Size - 1)))) {
+    LLSC_ERROR("tid %u: atomic rmw out of range or misaligned addr"
+               " 0x%" PRIx64,
+               Cpu->Tid, Addr);
+    Cpu->Halted = true;
+    return 0;
+  }
+  return Mem.atomicRmw(Addr, Operand, Size, Kind);
 }
 
 uint64_t llscJitSysCall(VCpu *Cpu, uint64_t A, uint64_t Selector) {

@@ -90,11 +90,16 @@ using EnterFn = JitExit (*)(VCpu *Cpu, const void *Body);
 extern "C" {
 
 /// LoadLink micro-op: counters + trace + scheme.emulateLoadLink.
-uint64_t llscJitLoadLink(VCpu *Cpu, uint64_t Addr, uint64_t Size);
+/// \p SizeAndFlags packs the access size in the low byte; bit 0x100 set
+/// means the frontend requested an alignment trap (RV32 LR), in which
+/// case a misaligned address halts the vCPU (return value 0, emitted
+/// code must test VCpu::Halted — same protocol as llscJitLoadSlow).
+uint64_t llscJitLoadLink(VCpu *Cpu, uint64_t Addr, uint64_t SizeAndFlags);
 
 /// StoreCond micro-op. \returns the guest-visible result (0 ok, 1 fail).
+/// \p SizeAndFlags as in llscJitLoadLink (bit 0x100 = align-trap).
 uint64_t llscJitStoreCond(VCpu *Cpu, uint64_t Addr, uint64_t Value,
-                          uint64_t Size);
+                          uint64_t SizeAndFlags);
 
 /// ClearExcl micro-op.
 void llscJitClearExcl(VCpu *Cpu);
@@ -127,6 +132,13 @@ void llscJitStoreSlow(VCpu *Cpu, uint64_t Addr, uint64_t Value,
 /// out-of-range.
 uint64_t llscJitAtomicAdd(VCpu *Cpu, uint64_t Addr, uint64_t Delta,
                           uint64_t Size);
+
+/// AtomicRmwG micro-op (single host-RMW AMO lowering). \p SizeAndKind
+/// packs the access size in the low byte and the ir::RmwKind selector in
+/// bits 8+. Halts on out-of-range or misaligned (AMOs trap on
+/// misalignment architecturally).
+uint64_t llscJitAtomicRmw(VCpu *Cpu, uint64_t Addr, uint64_t Operand,
+                          uint64_t SizeAndKind);
 
 /// SysCall micro-op.
 uint64_t llscJitSysCall(VCpu *Cpu, uint64_t A, uint64_t Selector);

@@ -93,6 +93,10 @@ struct GenConfig {
   /// Allow 1/2-byte plain stores (sub-granule conflicts).
   bool AllowSubWordStores = true;
   bool AllowClearExcl = true;
+  /// Allow 8-byte LL/SC and plain stores. Off for rv32 cases: RV32IA has
+  /// only the word forms (LR.W/SC.W, SW), so the arch-neutral event pool
+  /// shrinks to what the frontend can express.
+  bool Allow8ByteAccesses = true;
 };
 
 FuzzCase generateCase(Rng &R, const GenConfig &Config);
@@ -105,6 +109,18 @@ std::string buildProgramAsm(const FuzzCase &Case);
 /// Like buildProgramAsm but wraps each thread's events in a countdown
 /// loop of \p Iterations — the free-threaded stress shape (--stress).
 std::string buildStressAsm(const FuzzCase &Case, uint64_t Iterations);
+
+/// Renders the case as RV32 machine code with the same block structure
+/// (and therefore the same slice -> event mapping) as buildProgramAsm:
+/// LL -> LR.W into x1, SC -> SC.W status into x2, so the slice observer's
+/// register contract is arch-neutral. Fails on events RV32IA cannot
+/// express (8-byte accesses, CLREX) — generate rv32 cases with
+/// Allow8ByteAccesses/AllowClearExcl off.
+ErrorOr<guest::Program> buildProgramRv32(const FuzzCase &Case);
+
+/// RV32 counterpart of buildStressAsm (--stress --arch=rv32).
+ErrorOr<guest::Program> buildStressRv32(const FuzzCase &Case,
+                                        uint64_t Iterations);
 
 // --- Oracle ----------------------------------------------------------------
 
@@ -221,6 +237,9 @@ class CaseRunner {
 public:
   struct Config {
     SchemeKind Scheme = SchemeKind::Hst;
+    /// Guest frontend the cases are materialized for (GRV assembly or
+    /// RV32 machine code — the event semantics and oracle are shared).
+    input::GuestArch Arch = input::GuestArch::Grv;
     /// Swap in the deliberately faulty single-granule HST (the pre-fix
     /// behavior) — the fuzzer's detection fixture / negative control.
     bool BuggySingleGranuleHst = false;
@@ -301,6 +320,10 @@ uint64_t totalSlices(const FuzzCase &Case);
 
 struct FuzzOptions {
   std::vector<SchemeKind> Schemes;
+  /// Guest frontend for the whole sweep (--arch). The caller is expected
+  /// to have constrained Gen to what the frontend can express (llsc-fuzz
+  /// turns off 8-byte accesses and CLREX for rv32).
+  input::GuestArch Arch = input::GuestArch::Grv;
   uint64_t Seed = 1;
   uint64_t NumCases = 100;
   /// PCT schedules sampled per case when exhaustive enumeration is out
@@ -371,16 +394,21 @@ FuzzCase shrinkFailure(CaseRunner &Runner, FuzzCase Case,
                        const SwapPlan *Swap = nullptr);
 
 /// Serializes a failing case + schedule as a standalone `.grv` file:
-/// `;;`-prefixed metadata (scheme, events, trace, optional swap) followed
-/// by the generated assembly, so the file is both machine-replayable
-/// (llsc-fuzz --replay) and human-readable / runnable under llsc-run.
+/// `;;`-prefixed metadata (scheme, arch, events, trace, optional swap)
+/// followed by the generated GRV assembly, so the file is both
+/// machine-replayable (llsc-fuzz --replay) and human-readable. Replay
+/// regenerates the program from the event metadata, so the assembly half
+/// is documentation even for rv32 repros (whose events are GRV-expressible
+/// by construction).
 std::string renderRepro(SchemeKind Scheme, const FuzzCase &Case,
                         const std::vector<unsigned> &Trace,
                         const std::string &Note,
-                        const SwapPlan *Swap = nullptr);
+                        const SwapPlan *Swap = nullptr,
+                        input::GuestArch Arch = input::GuestArch::Grv);
 
 struct Repro {
   SchemeKind Scheme = SchemeKind::Hst;
+  input::GuestArch Arch = input::GuestArch::Grv;
   FuzzCase Case;
   std::vector<unsigned> Trace;
   std::optional<SwapPlan> Swap;

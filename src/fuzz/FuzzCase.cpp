@@ -59,7 +59,7 @@ FuzzCase fuzz::generateCase(Rng &R, const GenConfig &Config) {
         E.Value = 0;
       } else if (E.Kind == EventKind::PlainStore) {
         static constexpr uint8_t StoreSizes[] = {1, 2, 4, 8};
-        unsigned MaxSizeIdx = Config.AllowSubWordStores ? 3 : 3;
+        unsigned MaxSizeIdx = Config.Allow8ByteAccesses ? 3 : 2;
         unsigned MinSizeIdx = Config.AllowSubWordStores ? 0 : 2;
         E.Size = StoreSizes[R.nextInRange(MinSizeIdx, MaxSizeIdx)];
         // Naturally aligned within the window.
@@ -70,7 +70,7 @@ FuzzCase fuzz::generateCase(Rng &R, const GenConfig &Config) {
         // LL/SC: 4 or 8 bytes at any 4-byte-aligned offset that fits —
         // an 8-byte access at offset 4 or 12 straddles two granules
         // while staying 4-byte aligned (the HST-family killer shape).
-        E.Size = R.nextBool(0.5) ? 8 : 4;
+        E.Size = Config.Allow8ByteAccesses && R.nextBool(0.5) ? 8 : 4;
         unsigned Slots = (SharedWindowBytes - E.Size) / 4 + 1;
         E.Offset = static_cast<uint8_t>(R.nextBelow(Slots) * 4);
         E.Value = ValuePool[R.nextBelow(sizeof(ValuePool))];

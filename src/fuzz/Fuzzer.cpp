@@ -168,10 +168,12 @@ std::optional<EventKind> eventKindFromName(std::string_view Name) {
 std::string fuzz::renderRepro(SchemeKind Scheme, const FuzzCase &Case,
                               const std::vector<unsigned> &Trace,
                               const std::string &Note,
-                              const SwapPlan *Swap) {
+                              const SwapPlan *Swap, input::GuestArch Arch) {
   std::string Out;
   Out += ";; llsc-fuzz repro v1\n";
   Out += formatString(";; scheme: %s\n", schemeTraits(Scheme).Name);
+  if (Arch != input::GuestArch::Grv)
+    Out += formatString(";; arch: %s\n", input::guestArchName(Arch));
   if (Swap)
     Out += formatString(";; swap: %llu %s\n",
                         static_cast<unsigned long long>(Swap->AfterSlice),
@@ -211,6 +213,11 @@ ErrorOr<Repro> fuzz::parseRepro(const std::string &Text) {
                          static_cast<int>(Name.size()), Name.data());
       R.Scheme = *Kind;
       SawScheme = true;
+    } else if (startsWith(Body, "arch:")) {
+      auto Arch = input::parseGuestArch(trim(Body.substr(5)));
+      if (!Arch)
+        return Arch.error();
+      R.Arch = *Arch;
     } else if (startsWith(Body, "swap:")) {
       auto Tok = splitWhitespace(Body.substr(5));
       if (Tok.size() != 2)
@@ -277,6 +284,7 @@ ErrorOr<CaseResult> fuzz::replayRepro(const Repro &R, bool BuggyHst,
                                       bool BuggyBwLlsc) {
   CaseRunner::Config RC;
   RC.Scheme = R.Scheme;
+  RC.Arch = R.Arch;
   RC.BuggySingleGranuleHst = BuggyHst && R.Scheme == SchemeKind::Hst;
   RC.BuggyAbaBwLlsc = BuggyBwLlsc && R.Scheme == SchemeKind::BwLlsc;
   CaseRunner Runner(RC);
@@ -327,7 +335,8 @@ ErrorOr<bool> recordFailure(const FuzzOptions &Opts, CaseRunner &Runner,
     std::ofstream Out(Rec.ReproPath);
     if (!Out)
       return makeError("cannot write repro file %s", Rec.ReproPath.c_str());
-    Out << renderRepro(Scheme, Rec.Shrunk, Rec.Trace, Rec.First.What, Swap);
+    Out << renderRepro(Scheme, Rec.Shrunk, Rec.Trace, Rec.First.What, Swap,
+                       Opts.Arch);
   }
 
   if (Opts.Verbose)
@@ -348,6 +357,7 @@ ErrorOr<FuzzReport> fuzz::runFuzz(const FuzzOptions &Opts) {
     SchemeKind Scheme = Opts.Schemes[SchemeIdx];
     CaseRunner::Config RC;
     RC.Scheme = Scheme;
+    RC.Arch = Opts.Arch;
     RC.BuggySingleGranuleHst = Opts.BuggyHst && Scheme == SchemeKind::Hst;
     RC.BuggyAbaBwLlsc = Opts.BuggyBwLlsc && Scheme == SchemeKind::BwLlsc;
     RC.HstTableLog2 = Opts.HstTableLog2;
@@ -425,6 +435,7 @@ ErrorOr<FuzzReport> fuzz::runStress(const FuzzOptions &Opts,
   for (SchemeKind Scheme : Opts.Schemes) {
     CaseRunner::Config RC;
     RC.Scheme = Scheme;
+    RC.Arch = Opts.Arch;
     RC.BuggySingleGranuleHst = Opts.BuggyHst && Scheme == SchemeKind::Hst;
     RC.BuggyAbaBwLlsc = Opts.BuggyBwLlsc && Scheme == SchemeKind::BwLlsc;
     RC.HstTableLog2 = Opts.HstTableLog2;

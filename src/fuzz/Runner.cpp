@@ -197,6 +197,7 @@ ErrorOr<Machine *> CaseRunner::machineFor(unsigned NumThreads) {
   std::unique_ptr<Machine> &M = Machines[NumThreads];
   if (!M) {
     MachineConfig MC;
+    MC.Arch = Cfg.Arch;
     MC.Scheme = Cfg.Scheme;
     MC.NumThreads = NumThreads;
     MC.MemBytes = Cfg.MemBytes;
@@ -225,7 +226,14 @@ ErrorOr<bool> CaseRunner::prepare(const FuzzCase &Case) {
   if (!MOrErr)
     return MOrErr.error();
   Machine *M = *MOrErr;
-  auto Loaded = M->loadAssembly(buildProgramAsm(Case));
+  auto Loaded = [&]() -> ErrorOr<void> {
+    if (Cfg.Arch == input::GuestArch::Grv)
+      return M->loadAssembly(buildProgramAsm(Case));
+    auto ProgOrErr = buildProgramRv32(Case);
+    if (!ProgOrErr)
+      return ProgOrErr.error();
+    return M->load(input::GuestImage(Cfg.Arch, ProgOrErr.take()));
+  }();
   if (!Loaded)
     return Loaded.error();
   auto Shared = M->program().symbol("shared");
@@ -366,7 +374,14 @@ ErrorOr<bool> CaseRunner::runStress(const FuzzCase &Case,
   if (!MOrErr)
     return MOrErr.error();
   Machine *M = *MOrErr;
-  auto Loaded = M->loadAssembly(buildStressAsm(Case, Iterations));
+  auto Loaded = [&]() -> ErrorOr<void> {
+    if (Cfg.Arch == input::GuestArch::Grv)
+      return M->loadAssembly(buildStressAsm(Case, Iterations));
+    auto ProgOrErr = buildStressRv32(Case, Iterations);
+    if (!ProgOrErr)
+      return ProgOrErr.error();
+    return M->load(input::GuestImage(Cfg.Arch, ProgOrErr.take()));
+  }();
   if (!Loaded)
     return Loaded.error();
   Prepared = nullptr; // The stress image replaced any prepared case.

@@ -1,0 +1,211 @@
+//===- fuzz/Rv32Case.cpp - RV32 materialization of fuzz cases -----------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Renders abstract fuzz cases as RV32IA machine code with exactly the
+/// block structure Runner.cpp's slice -> event mapping assumes (one
+/// dispatch block, a one-instruction trampoline per thread, one block per
+/// event, one halt block). The register contract matches the GRV shape so
+/// OracleObserver needs no arch dispatch: the LR.W result lands in x1 and
+/// the SC.W status (0 = success, the shared IR convention) in x2. x2 is
+/// the RISC-V stack pointer, but fuzz programs never touch the stack.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "input/rv32/Rv32Isa.h"
+#include "support/BitUtils.h"
+
+#include <cassert>
+#include <map>
+
+using namespace llsc;
+using namespace llsc::fuzz;
+using namespace llsc::input::rv32;
+
+namespace {
+
+constexpr uint64_t BaseAddr = 0x1000;
+
+/// Tiny fixup assembler over 32-bit words. Labels are integer ids
+/// (events: tid<<16 | index; per-thread done/tail: tid<<16 | 0xffff).
+class Rv32Asm {
+public:
+  static unsigned eventLabel(unsigned Tid, unsigned Index) {
+    return (Tid << 16) | Index;
+  }
+  static unsigned doneLabel(unsigned Tid) { return (Tid << 16) | 0xffff; }
+
+  void label(unsigned Id) { Labels[Id] = Words.size(); }
+  void emit(uint32_t Word) { Words.push_back(Word); }
+
+  /// lui+addi pair materializing an arbitrary 32-bit constant (the addi
+  /// is kept even when redundant so every call is exactly two words).
+  void emitLi32(unsigned Rd, uint32_t Value) {
+    int32_t Lo = static_cast<int32_t>(Value << 20) >> 20;
+    emit(rv32EncodeU(static_cast<int32_t>(Value - static_cast<uint32_t>(Lo)),
+                     Rd, 0x37));
+    emit(rv32EncodeI(Lo, Rd, 0x0, Rd, 0x13));
+  }
+
+  /// lui rd, %hi(shared) — the operand is patched in finish() once the
+  /// code size (and so the page-aligned shared address) is known.
+  void emitLuiShared(unsigned Rd) {
+    SharedLuis.push_back({Words.size(), Rd});
+    emit(0);
+  }
+
+  void emitJump(unsigned LabelId) {
+    Fixups.push_back({Words.size(), LabelId, FixKind::Jal});
+    emit(0);
+  }
+
+  /// bne \p Rs1, x0, label.
+  void emitBnez(unsigned Rs1, unsigned LabelId) {
+    Fixups.push_back({Words.size(), LabelId, FixKind::Bne, Rs1});
+    emit(0);
+  }
+
+  /// Resolves fixups, appends the zeroed shared window at the next page
+  /// boundary, and returns the finished program.
+  guest::Program finish() {
+    uint64_t SharedAddr = alignTo(BaseAddr + Words.size() * 4, 4096);
+    for (const SharedLui &L : SharedLuis)
+      Words[L.Index] =
+          rv32EncodeU(static_cast<int32_t>(SharedAddr), L.Rd, 0x37);
+    for (const Fixup &F : Fixups) {
+      auto It = Labels.find(F.Label);
+      assert(It != Labels.end() && "jump to an unplaced label");
+      int32_t Delta =
+          (static_cast<int32_t>(It->second) - static_cast<int32_t>(F.Index)) *
+          4;
+      Words[F.Index] = F.Kind == FixKind::Jal
+                           ? rv32EncodeJ(Delta, 0)
+                           : rv32EncodeB(Delta, 0, F.Rs1, 0x1);
+    }
+
+    std::vector<uint8_t> Image(SharedAddr - BaseAddr + SharedRegionBytes, 0);
+    for (size_t I = 0; I < Words.size(); ++I) {
+      Image[I * 4 + 0] = static_cast<uint8_t>(Words[I]);
+      Image[I * 4 + 1] = static_cast<uint8_t>(Words[I] >> 8);
+      Image[I * 4 + 2] = static_cast<uint8_t>(Words[I] >> 16);
+      Image[I * 4 + 3] = static_cast<uint8_t>(Words[I] >> 24);
+    }
+    return guest::Program(std::move(Image), BaseAddr, BaseAddr,
+                          {{"shared", SharedAddr}});
+  }
+
+private:
+  enum class FixKind : uint8_t { Jal, Bne };
+  struct Fixup {
+    size_t Index;
+    unsigned Label;
+    FixKind Kind;
+    unsigned Rs1 = 0;
+  };
+  struct SharedLui {
+    size_t Index;
+    unsigned Rd;
+  };
+
+  std::vector<uint32_t> Words;
+  std::map<unsigned, size_t> Labels;
+  std::vector<Fixup> Fixups;
+  std::vector<SharedLui> SharedLuis;
+};
+
+/// The tid-dispatch preamble: the same two slices per thread as the GRV
+/// shape (the `_start` block, then the thread's one-jump trampoline).
+/// a0 carries the tid (Rv32Input::setupEntry).
+void emitDispatch(Rv32Asm &A, const FuzzCase &Case) {
+  A.emit(rv32EncodeI(2, 10, 0x1, 3, 0x13));    // slli x3, a0, 2
+  uint32_t JumptabAddr =
+      static_cast<uint32_t>(BaseAddr) + 5 * 4; // After these five words.
+  A.emitLi32(4, JumptabAddr);                  // lui+addi x4
+  A.emit(rv32EncodeR(0, 3, 4, 0x0, 4, 0x33));  // add x4, x4, x3
+  A.emit(rv32EncodeI(0, 4, 0x0, 0, 0x67));     // jalr x0, 0(x4)
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid)
+    A.emitJump(Rv32Asm::eventLabel(Tid, 0));
+}
+
+/// Emits one event body (address setup + operation), without the trailing
+/// jump. Mirrors emitEventBody in FuzzCase.cpp under RV32IA's limits.
+ErrorOr<void> emitEvent(Rv32Asm &A, const Event &E) {
+  switch (E.Kind) {
+  case EventKind::ClearExcl:
+    return makeError("rv32 has no clear-exclusive instruction "
+                     "(generate rv32 cases with AllowClearExcl off)");
+  case EventKind::LoadLink:
+  case EventKind::StoreCond: {
+    if (E.Size != 4)
+      return makeError("rv32 LL/SC is word-only (event size %u)",
+                       static_cast<unsigned>(E.Size));
+    A.emitLuiShared(10);
+    if (E.Offset)
+      A.emit(rv32EncodeI(E.Offset, 10, 0x0, 10, 0x13)); // addi a0, a0, off
+    if (E.Kind == EventKind::LoadLink) {
+      A.emit(rv32EncodeAmo(AmoFunct5LrW, false, false, 0, 10, 1));
+    } else {
+      A.emit(rv32EncodeI(E.Value, 0, 0x0, 11, 0x13)); // addi a1, zero, val
+      A.emit(rv32EncodeAmo(AmoFunct5ScW, false, false, 11, 10, 2));
+    }
+    return {};
+  }
+  case EventKind::PlainStore: {
+    if (E.Size == 8)
+      return makeError("rv32 has no 8-byte store (event size 8)");
+    A.emitLuiShared(10);
+    A.emit(rv32EncodeI(E.Value, 0, 0x0, 11, 0x13)); // addi a1, zero, val
+    unsigned Funct3 = E.Size == 4 ? 0x2 : E.Size == 2 ? 0x1 : 0x0;
+    A.emit(rv32EncodeS(E.Offset, 11, 10, Funct3, 0x23));
+    return {};
+  }
+  }
+  return makeError("unknown event kind");
+}
+
+} // namespace
+
+ErrorOr<guest::Program> fuzz::buildProgramRv32(const FuzzCase &Case) {
+  Rv32Asm A;
+  emitDispatch(A, Case);
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid) {
+    const auto &Events = Case.Threads[Tid];
+    for (unsigned I = 0; I < Events.size(); ++I) {
+      A.label(Rv32Asm::eventLabel(Tid, I));
+      if (auto R = emitEvent(A, Events[I]); !R)
+        return R.error();
+      A.emitJump(I + 1 < Events.size() ? Rv32Asm::eventLabel(Tid, I + 1)
+                                       : Rv32Asm::doneLabel(Tid));
+    }
+    if (Events.empty())
+      A.label(Rv32Asm::eventLabel(Tid, 0));
+    A.label(Rv32Asm::doneLabel(Tid));
+    A.emit(rv32EncodeI(0, 0, 0x0, 0, 0x73)); // ecall -> halt
+  }
+  return A.finish();
+}
+
+ErrorOr<guest::Program> fuzz::buildStressRv32(const FuzzCase &Case,
+                                              uint64_t Iterations) {
+  Rv32Asm A;
+  emitDispatch(A, Case);
+  for (unsigned Tid = 0; Tid < Case.numThreads(); ++Tid) {
+    const auto &Events = Case.Threads[Tid];
+    // The trampoline targets the init block; the loop re-enters at e0.
+    A.label(Rv32Asm::eventLabel(Tid, 0));
+    A.emitLi32(9, static_cast<uint32_t>(Iterations)); // x9 = countdown
+    unsigned LoopHead = Rv32Asm::doneLabel(Tid) - 1;  // (tid<<16)|0xfffe
+    A.label(LoopHead);
+    for (const Event &E : Events)
+      if (auto R = emitEvent(A, E); !R)
+        return R.error();
+    A.emit(rv32EncodeI(-1, 9, 0x0, 9, 0x13)); // addi x9, x9, -1
+    A.emitBnez(9, LoopHead);
+    A.emit(rv32EncodeI(0, 0, 0x0, 0, 0x73)); // ecall
+  }
+  return A.finish();
+}

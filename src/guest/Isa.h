@@ -36,6 +36,15 @@ namespace guest {
 /// Number of general-purpose guest registers.
 constexpr unsigned NumGuestRegs = 16;
 
+/// Width of the machine-level guest register file shared by every input
+/// frontend (runtime/VCpu.h, ir::FirstTempId). GRV uses the first
+/// NumGuestRegs slots; RV32 uses 32 (x0..x31). Sized for the widest
+/// supported frontend so IR value ids below this bound always denote
+/// architectural registers regardless of the arch that produced the block.
+constexpr unsigned MaxGuestRegs = 32;
+static_assert(NumGuestRegs <= MaxGuestRegs,
+              "GRV register file must fit the shared machine register file");
+
 /// Register conventions used by the assembler and the guest runtime.
 constexpr unsigned RegSp = 13; ///< Stack pointer.
 constexpr unsigned RegLr = 14; ///< Link register (written by BL).

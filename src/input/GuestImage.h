@@ -1,0 +1,58 @@
+//===- input/GuestImage.h - Arch-tagged guest program image -----*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest-architecture tag and the arch-tagged program image that
+/// Machine::load consumes. Every loadable artifact — GRV assembly, a GRV
+/// Program, an RV32 ELF — resolves to a GuestImage before it reaches a
+/// Machine, so the machine/translator plumbing never special-cases a
+/// frontend (docs/FRONTENDS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_INPUT_GUESTIMAGE_H
+#define LLSC_INPUT_GUESTIMAGE_H
+
+#include "guest/Program.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace llsc {
+namespace input {
+
+/// The guest ISAs the DBT can translate. Values are stable (snapshots and
+/// stats reports carry them); append only.
+enum class GuestArch : uint8_t {
+  Grv = 0,  ///< The native toy RISC ISA (guest/Isa.h).
+  Rv32 = 1, ///< RISC-V RV32IA (input/rv32/).
+};
+
+constexpr unsigned NumGuestArchs = 2;
+
+/// Stable lowercase name ("grv", "rv32") — used by --arch, stats keys and
+/// machine-config keys.
+const char *guestArchName(GuestArch Arch);
+
+/// Parses an --arch value. \returns the arch or an error naming the
+/// accepted spellings.
+ErrorOr<GuestArch> parseGuestArch(std::string_view Name);
+
+/// A program image tagged with the ISA its bytes encode.
+struct GuestImage {
+  GuestArch Arch = GuestArch::Grv;
+  guest::Program Prog;
+
+  GuestImage() = default;
+  GuestImage(GuestArch Arch, guest::Program Prog)
+      : Arch(Arch), Prog(std::move(Prog)) {}
+};
+
+} // namespace input
+} // namespace llsc
+
+#endif // LLSC_INPUT_GUESTIMAGE_H

@@ -1,0 +1,44 @@
+//===- input/InputArch.cpp - Guest frontend registry -------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "input/InputArch.h"
+
+#include "input/grv/GrvInput.h"
+#include "input/rv32/Rv32Input.h"
+
+using namespace llsc;
+using namespace llsc::input;
+
+const char *input::guestArchName(GuestArch Arch) {
+  switch (Arch) {
+  case GuestArch::Grv:
+    return "grv";
+  case GuestArch::Rv32:
+    return "rv32";
+  }
+  return "unknown";
+}
+
+ErrorOr<GuestArch> input::parseGuestArch(std::string_view Name) {
+  if (Name == "grv")
+    return GuestArch::Grv;
+  if (Name == "rv32" || Name == "riscv32" || Name == "rv32ia")
+    return GuestArch::Rv32;
+  return makeError("unknown guest arch '%.*s' (expected grv or rv32)",
+                   static_cast<int>(Name.size()), Name.data());
+}
+
+const InputArch &input::inputArch(GuestArch Arch) {
+  static const GrvInput Grv;
+  static const Rv32Input Rv32;
+  switch (Arch) {
+  case GuestArch::Grv:
+    return Grv;
+  case GuestArch::Rv32:
+    return Rv32;
+  }
+  return Grv;
+}

@@ -1,0 +1,113 @@
+//===- input/InputArch.h - Guest frontend interface -------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decode→IR frontend interface. One InputArch per guest ISA owns
+/// everything ISA-specific the pipeline needs: instruction fetch+decode,
+/// per-instruction IR lowering (including the atomic-instruction mapping
+/// the paper is about), disassembly for tooling, image loading, and the
+/// register conventions a fresh vCPU starts with. The translator, engine,
+/// schemes and serve layer stay frontend-neutral: LL/SC and AMO guest
+/// instructions lower to the same LoadLink/StoreCond/AtomicRmwG micro-ops
+/// regardless of source ISA, so all eleven emulation schemes apply to
+/// every frontend unchanged (docs/FRONTENDS.md).
+///
+/// Frontends are stateless singletons obtained via inputArch(); lowerInst
+/// is const and safe to call from concurrently-translating vCPUs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_INPUT_INPUTARCH_H
+#define LLSC_INPUT_INPUTARCH_H
+
+#include "input/GuestImage.h"
+#include "ir/IRBuilder.h"
+#include "ir/TranslationHooks.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace llsc {
+
+class GuestMemory;
+struct VCpu;
+
+namespace input {
+
+/// What a lowerInst call recognized beyond a plain instruction.
+enum class AtomicIdiom : uint8_t {
+  None = 0,
+  /// The frontend collapsed an atomic guest construct (a GRV LL/SC retry
+  /// loop or an RV32 AMO under rule-based lowering) into one host atomic
+  /// RMW micro-op — the Section VI fast path. Counted by the translator
+  /// as TranslatorStats::AtomicIdiomsMatched.
+  HostRmw = 1,
+};
+
+/// The outcome of lowering one guest instruction (or fused idiom).
+struct LowerResult {
+  unsigned InstsConsumed = 1; ///< Guest instructions covered.
+  unsigned BytesConsumed = 0; ///< Code bytes covered (Pc advances by this).
+  bool EndsBlock = false;     ///< A terminator was emitted.
+  AtomicIdiom Idiom = AtomicIdiom::None;
+};
+
+/// Per-call context a frontend lowers under.
+struct LowerContext {
+  ir::IRBuilder &Builder;
+  /// Active scheme's instrumentation hooks; null = no instrumentation.
+  ir::TranslationHooks *Hooks;
+  uint64_t Pc; ///< Guest address of the instruction to lower.
+  /// Section VI rule-based atomic lowering is enabled: the frontend may
+  /// emit AtomicAddG/AtomicRmwG instead of an LL/SC expansion.
+  bool RuleBasedAtomics;
+};
+
+/// One guest ISA frontend. Implementations are immutable singletons.
+class InputArch {
+public:
+  virtual ~InputArch() = default;
+
+  virtual GuestArch arch() const = 0;
+  /// Same spelling as guestArchName(arch()).
+  const char *name() const { return guestArchName(arch()); }
+
+  /// Instruction granularity in bytes: fetch alignment and the smallest
+  /// unit lowerInst can consume.
+  virtual unsigned instBytes() const = 0;
+
+  /// Fetches, decodes and lowers the guest instruction at \p Ctx.Pc into
+  /// \p Ctx.Builder, applying \p Ctx.Hooks to plain loads/stores. May
+  /// consume several instructions when it fuses an idiom. Fetches go
+  /// through \p Mem's shadow mapping so page protection never blocks
+  /// translation. \returns what was consumed, or an error for an
+  /// undecodable instruction or out-of-range pc.
+  virtual ErrorOr<LowerResult> lowerInst(GuestMemory &Mem,
+                                         const LowerContext &Ctx) const = 0;
+
+  /// Renders one instruction word for tooling and tests.
+  virtual std::string disassemble(uint32_t Word, uint64_t Pc) const = 0;
+
+  /// Parses \p Bytes (the frontend's native binary format: a raw GRV
+  /// image, an RV32 ELF32) into a loadable program.
+  virtual ErrorOr<guest::Program>
+  loadImage(const std::vector<uint8_t> &Bytes) const = 0;
+
+  /// Applies the frontend's entry register conventions to a freshly reset
+  /// vCPU: which register carries the thread id, which is the stack
+  /// pointer. \p StackTop is the exclusive top of the thread's stack.
+  virtual void setupEntry(VCpu &Cpu, unsigned Tid,
+                          uint64_t StackTop) const = 0;
+};
+
+/// \returns the singleton frontend for \p Arch.
+const InputArch &inputArch(GuestArch Arch);
+
+} // namespace input
+} // namespace llsc
+
+#endif // LLSC_INPUT_INPUTARCH_H

@@ -1,0 +1,440 @@
+//===- input/grv/GrvInput.cpp - GRV guest frontend ---------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "input/grv/GrvInput.h"
+
+#include "guest/Disassembler.h"
+#include "guest/Encoding.h"
+#include "guest/Isa.h"
+#include "mem/GuestMemory.h"
+#include "runtime/VCpu.h"
+#include "support/BitUtils.h"
+#include "support/Compiler.h"
+
+using namespace llsc;
+using namespace llsc::input;
+using namespace llsc::guest;
+using namespace llsc::ir;
+
+namespace {
+
+/// Fetches and decodes one GRV instruction via the shadow mapping.
+ErrorOr<Inst> fetchInst(GuestMemory &Mem, uint64_t Pc) {
+  if (Pc + InstBytes > Mem.size() || Pc % InstBytes != 0)
+    return makeError("instruction fetch from invalid pc 0x%llx",
+                     static_cast<unsigned long long>(Pc));
+  uint32_t Word = static_cast<uint32_t>(Mem.shadowLoad(Pc, /*Bytes=*/4));
+  return decode(Word);
+}
+
+/// Maps a guest ALU opcode to its IR op (reg-reg forms).
+IROp regRegIrOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::ADD:
+    return IROp::Add;
+  case Opcode::SUB:
+    return IROp::Sub;
+  case Opcode::MUL:
+    return IROp::Mul;
+  case Opcode::UDIV:
+    return IROp::UDiv;
+  case Opcode::SDIV:
+    return IROp::SDiv;
+  case Opcode::UREM:
+    return IROp::URem;
+  case Opcode::SREM:
+    return IROp::SRem;
+  case Opcode::AND:
+    return IROp::And;
+  case Opcode::ORR:
+    return IROp::Or;
+  case Opcode::EOR:
+    return IROp::Xor;
+  case Opcode::LSL:
+    return IROp::Shl;
+  case Opcode::LSR:
+    return IROp::Shr;
+  case Opcode::ASR:
+    return IROp::Sar;
+  case Opcode::SLT:
+    return IROp::SltS;
+  case Opcode::SLTU:
+    return IROp::SltU;
+  default:
+    llsc_unreachable("not a reg-reg ALU opcode");
+  }
+}
+
+IROp regImmIrOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::ADDI:
+    return IROp::AddImm;
+  case Opcode::ANDI:
+    return IROp::AndImm;
+  case Opcode::ORRI:
+    return IROp::OrImm;
+  case Opcode::EORI:
+    return IROp::XorImm;
+  case Opcode::LSLI:
+    return IROp::ShlImm;
+  case Opcode::LSRI:
+    return IROp::ShrImm;
+  case Opcode::ASRI:
+    return IROp::SarImm;
+  case Opcode::SLTI:
+    return IROp::SltSImm;
+  case Opcode::SLTUI:
+    return IROp::SltUImm;
+  default:
+    llsc_unreachable("not a reg-imm ALU opcode");
+  }
+}
+
+CondCode branchCond(Opcode Op) {
+  switch (Op) {
+  case Opcode::BEQ:
+    return CondCode::Eq;
+  case Opcode::BNE:
+    return CondCode::Ne;
+  case Opcode::BLT:
+    return CondCode::LtS;
+  case Opcode::BLTU:
+    return CondCode::LtU;
+  case Opcode::BGE:
+    return CondCode::GeS;
+  case Opcode::BGEU:
+    return CondCode::GeU;
+  case Opcode::CBZ:
+    return CondCode::Eq;
+  case Opcode::CBNZ:
+    return CondCode::Ne;
+  default:
+    llsc_unreachable("not a conditional branch");
+  }
+}
+
+} // namespace
+
+unsigned GrvInput::instBytes() const { return InstBytes; }
+
+unsigned GrvInput::tryAtomicIdiom(GuestMemory &Mem, IRBuilder &Builder,
+                                  uint64_t Pc) const {
+  // Pattern (Section VI; gcc's typical __atomic_fetch_add lowering):
+  //   loop: ldxr.{w,d} rOld, [rAddr]
+  //         add  rNew, rOld, rDelta      (or addi rNew, rOld, #imm)
+  //         stxr.{w,d} rStatus, rNew, [rAddr]
+  //         cbnz rStatus, loop
+  auto LdOrErr = fetchInst(Mem, Pc);
+  if (!LdOrErr)
+    return 0;
+  const Inst Ld = *LdOrErr;
+  if (Ld.Op != Opcode::LDXRW && Ld.Op != Opcode::LDXRD)
+    return 0;
+  unsigned Size = memAccessBytes(Ld.Op);
+
+  auto AddOrErr = fetchInst(Mem, Pc + 4);
+  if (!AddOrErr)
+    return 0;
+  const Inst Add = *AddOrErr;
+  bool AddIsImm = Add.Op == Opcode::ADDI;
+  if (Add.Op != Opcode::ADD && !AddIsImm)
+    return 0;
+  if (Add.Rs1 != Ld.Rd || Add.Rd == Ld.Rd || Add.Rd == Ld.Rs1)
+    return 0;
+
+  auto StOrErr = fetchInst(Mem, Pc + 8);
+  if (!StOrErr)
+    return 0;
+  const Inst St = *StOrErr;
+  if ((Size == 4 && St.Op != Opcode::STXRW) ||
+      (Size == 8 && St.Op != Opcode::STXRD))
+    return 0;
+  if (St.Rs1 != Ld.Rs1 || St.Rs2 != Add.Rd || St.Rd == Ld.Rs1 ||
+      St.Rd == Add.Rd)
+    return 0;
+
+  auto BrOrErr = fetchInst(Mem, Pc + 12);
+  if (!BrOrErr)
+    return 0;
+  const Inst Br = *BrOrErr;
+  if (Br.Op != Opcode::CBNZ || Br.Rs1 != St.Rd)
+    return 0;
+  if (static_cast<int64_t>(Pc + 12) + Br.Imm * 4 != static_cast<int64_t>(Pc))
+    return 0;
+
+  // Matched: one host atomic RMW replaces the whole retry loop.
+  ValueId Old;
+  ValueId AddrVal = IRBuilder::guestReg(Ld.Rs1);
+  if (AddIsImm) {
+    ValueId Delta = Builder.emitMovImm(Add.Imm);
+    Old = Builder.emitAtomicAddG(AddrVal, Delta, Size);
+  } else {
+    Old = Builder.emitAtomicAddG(AddrVal, IRBuilder::guestReg(Add.Rs2),
+                                 Size);
+  }
+  // Architectural state after the loop: rOld = last loaded (old) value,
+  // rNew = old + delta, rStatus = 0. 32-bit ops keep zero-extension.
+  if (Size == 4)
+    Builder.emitBinImmTo(IROp::AndImm, IRBuilder::guestReg(Ld.Rd), Old,
+                         0xffffffffLL);
+  else
+    Builder.emitMovTo(IRBuilder::guestReg(Ld.Rd), Old);
+  if (AddIsImm)
+    Builder.emitBinImmTo(IROp::AddImm, IRBuilder::guestReg(Add.Rd),
+                         IRBuilder::guestReg(Ld.Rd), Add.Imm);
+  else
+    Builder.emitBinTo(IROp::Add, IRBuilder::guestReg(Add.Rd),
+                      IRBuilder::guestReg(Ld.Rd),
+                      IRBuilder::guestReg(Add.Rs2));
+  if (Size == 4)
+    Builder.emitBinImmTo(IROp::AndImm, IRBuilder::guestReg(Add.Rd),
+                         IRBuilder::guestReg(Add.Rd), 0xffffffffLL);
+  Builder.emitMovImmTo(IRBuilder::guestReg(St.Rd), 0);
+  return 4;
+}
+
+ErrorOr<LowerResult> GrvInput::lowerInst(GuestMemory &Mem,
+                                         const LowerContext &Ctx) const {
+  IRBuilder &Builder = Ctx.Builder;
+  uint64_t Pc = Ctx.Pc;
+
+  if (Ctx.RuleBasedAtomics) {
+    if (unsigned Consumed = tryAtomicIdiom(Mem, Builder, Pc)) {
+      LowerResult R;
+      R.InstsConsumed = Consumed;
+      R.BytesConsumed = Consumed * InstBytes;
+      R.Idiom = AtomicIdiom::HostRmw;
+      return R;
+    }
+  }
+
+  auto InstOrErr = fetchInst(Mem, Pc);
+  if (!InstOrErr)
+    return InstOrErr.error();
+  const Inst I = *InstOrErr;
+  uint64_t NextPc = Pc + InstBytes;
+
+  LowerResult R;
+  R.InstsConsumed = 1;
+  R.BytesConsumed = InstBytes;
+
+  switch (I.Op) {
+  // --- ALU ---------------------------------------------------------------
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::MUL:
+  case Opcode::UDIV:
+  case Opcode::SDIV:
+  case Opcode::UREM:
+  case Opcode::SREM:
+  case Opcode::AND:
+  case Opcode::ORR:
+  case Opcode::EOR:
+  case Opcode::LSL:
+  case Opcode::LSR:
+  case Opcode::ASR:
+  case Opcode::SLT:
+  case Opcode::SLTU:
+    Builder.emitBinTo(regRegIrOp(I.Op), IRBuilder::guestReg(I.Rd),
+                      IRBuilder::guestReg(I.Rs1),
+                      IRBuilder::guestReg(I.Rs2));
+    break;
+
+  case Opcode::ADDI:
+  case Opcode::ANDI:
+  case Opcode::ORRI:
+  case Opcode::EORI:
+  case Opcode::LSLI:
+  case Opcode::LSRI:
+  case Opcode::ASRI:
+  case Opcode::SLTI:
+  case Opcode::SLTUI:
+    Builder.emitBinImmTo(regImmIrOp(I.Op), IRBuilder::guestReg(I.Rd),
+                         IRBuilder::guestReg(I.Rs1), I.Imm);
+    break;
+
+  case Opcode::MOVZ:
+    Builder.emitMovImmTo(IRBuilder::guestReg(I.Rd),
+                         static_cast<int64_t>(static_cast<uint64_t>(I.Imm)
+                                              << (I.Hw * 16)));
+    break;
+  case Opcode::MOVK: {
+    uint64_t Mask = ~(0xffffULL << (I.Hw * 16));
+    Builder.emitBinImmTo(IROp::AndImm, IRBuilder::guestReg(I.Rd),
+                         IRBuilder::guestReg(I.Rd),
+                         static_cast<int64_t>(Mask));
+    Builder.emitBinImmTo(IROp::OrImm, IRBuilder::guestReg(I.Rd),
+                         IRBuilder::guestReg(I.Rd),
+                         static_cast<int64_t>(static_cast<uint64_t>(I.Imm)
+                                              << (I.Hw * 16)));
+    break;
+  }
+
+  // --- Memory -------------------------------------------------------------
+  case Opcode::LDB:
+  case Opcode::LDH:
+  case Opcode::LDW:
+  case Opcode::LDD:
+  case Opcode::LDSB:
+  case Opcode::LDSH:
+  case Opcode::LDSW: {
+    unsigned Size = memAccessBytes(I.Op);
+    bool Sext = isSignExtendingLoad(I.Op);
+    if (Ctx.Hooks && Ctx.Hooks->loadsViaHelper())
+      Builder.emitHelperLoadTo(IRBuilder::guestReg(I.Rd),
+                               IRBuilder::guestReg(I.Rs1), I.Imm, Size,
+                               Sext);
+    else
+      Builder.emitLoadGTo(IRBuilder::guestReg(I.Rd),
+                          IRBuilder::guestReg(I.Rs1), I.Imm, Size, Sext);
+    break;
+  }
+
+  case Opcode::STB:
+  case Opcode::STH:
+  case Opcode::STW:
+  case Opcode::STD: {
+    unsigned Size = memAccessBytes(I.Op);
+    ValueId Addr = IRBuilder::guestReg(I.Rs1);
+    ValueId Value = IRBuilder::guestReg(I.Rd);
+    if (Ctx.Hooks)
+      Ctx.Hooks->emitStorePrologue(Builder, Addr, I.Imm, Value, Size);
+    if (Ctx.Hooks && Ctx.Hooks->storesViaHelper())
+      Builder.emitHelperStore(Addr, I.Imm, Value, Size);
+    else
+      Builder.emitStoreG(Addr, I.Imm, Value, Size);
+    break;
+  }
+
+  // --- Exclusives -----------------------------------------------------------
+  case Opcode::LDXRW:
+  case Opcode::LDXRD:
+    Builder.emitLoadLinkTo(IRBuilder::guestReg(I.Rd),
+                           IRBuilder::guestReg(I.Rs1),
+                           memAccessBytes(I.Op));
+    break;
+  case Opcode::STXRW:
+  case Opcode::STXRD:
+    Builder.emitStoreCondTo(IRBuilder::guestReg(I.Rd),
+                            IRBuilder::guestReg(I.Rs1),
+                            IRBuilder::guestReg(I.Rs2),
+                            memAccessBytes(I.Op));
+    break;
+  case Opcode::CLREX:
+    Builder.emitClearExcl();
+    break;
+
+  // --- Control flow ----------------------------------------------------------
+  case Opcode::BEQ:
+  case Opcode::BNE:
+  case Opcode::BLT:
+  case Opcode::BLTU:
+  case Opcode::BGE:
+  case Opcode::BGEU: {
+    uint64_t Target = Pc + static_cast<uint64_t>(I.Imm * 4);
+    Builder.emitBrCond(branchCond(I.Op), IRBuilder::guestReg(I.Rs1),
+                       IRBuilder::guestReg(I.Rs2), Target);
+    Builder.emitSetPcImm(NextPc);
+    R.EndsBlock = true;
+    break;
+  }
+  case Opcode::CBZ:
+  case Opcode::CBNZ: {
+    uint64_t Target = Pc + static_cast<uint64_t>(I.Imm * 4);
+    ValueId Zero = Builder.emitMovImm(0);
+    Builder.emitBrCond(branchCond(I.Op), IRBuilder::guestReg(I.Rs1), Zero,
+                       Target);
+    Builder.emitSetPcImm(NextPc);
+    R.EndsBlock = true;
+    break;
+  }
+  case Opcode::B:
+    Builder.emitSetPcImm(Pc + static_cast<uint64_t>(I.Imm * 4));
+    R.EndsBlock = true;
+    break;
+  case Opcode::BL:
+    Builder.emitMovImmTo(IRBuilder::guestReg(RegLr),
+                         static_cast<int64_t>(NextPc));
+    Builder.emitSetPcImm(Pc + static_cast<uint64_t>(I.Imm * 4));
+    R.EndsBlock = true;
+    break;
+  case Opcode::BR:
+    Builder.emitSetPc(IRBuilder::guestReg(I.Rs1));
+    R.EndsBlock = true;
+    break;
+
+  // --- Misc ------------------------------------------------------------------
+  case Opcode::NOP:
+    break;
+  case Opcode::HALT:
+    Builder.emitHalt();
+    R.EndsBlock = true;
+    break;
+  case Opcode::YIELD:
+    // End the block so the engine reaches a safepoint promptly.
+    Builder.emitYield();
+    Builder.emitSetPcImm(NextPc);
+    R.EndsBlock = true;
+    break;
+  case Opcode::DMB:
+    Builder.emitFence();
+    break;
+  case Opcode::TID:
+    Builder.emitReadSpecialTo(IRBuilder::guestReg(I.Rd), SpecialValue::Tid);
+    break;
+  case Opcode::SYS:
+    switch (static_cast<SysCall>(I.Imm)) {
+    case SysCall::Exit:
+      Builder.emitHalt();
+      R.EndsBlock = true;
+      break;
+    case SysCall::NumThreads:
+      Builder.emitReadSpecialTo(IRBuilder::guestReg(I.Rd),
+                                SpecialValue::NumThreads);
+      break;
+    case SysCall::ClockNanos:
+      Builder.emitReadSpecialTo(IRBuilder::guestReg(I.Rd),
+                                SpecialValue::ClockNanos);
+      break;
+    case SysCall::PrintReg:
+    default:
+      Builder.emitSysCallTo(IRBuilder::guestReg(I.Rd), I.Imm,
+                            IRBuilder::guestReg(I.Rd));
+      break;
+    }
+    break;
+
+  case Opcode::NumOpcodes:
+    return makeError("undecodable instruction at 0x%llx",
+                     static_cast<unsigned long long>(Pc));
+  }
+
+  return R;
+}
+
+std::string GrvInput::disassemble(uint32_t Word, uint64_t Pc) const {
+  return guest::disassembleWord(Word, Pc);
+}
+
+ErrorOr<guest::Program>
+GrvInput::loadImage(const std::vector<uint8_t> &Bytes) const {
+  // GRV's native binary form is a raw image loaded at the conventional
+  // assembler base, entry at the first byte. Assembled programs (with
+  // symbols and explicit entry) come through guest::assemble instead.
+  if (Bytes.empty())
+    return makeError("empty GRV image");
+  if (Bytes.size() % InstBytes != 0)
+    return makeError("GRV image size %zu is not a multiple of %u",
+                     Bytes.size(), InstBytes);
+  const uint64_t Base = 0x1000;
+  return guest::Program(Bytes, Base, Base, {});
+}
+
+void GrvInput::setupEntry(VCpu &Cpu, unsigned Tid, uint64_t StackTop) const {
+  // Entry conventions: r0 = tid, sp = private stack top (16-aligned).
+  Cpu.Regs[0] = Tid;
+  Cpu.Regs[RegSp] = alignDown(StackTop - 16, 16);
+}

@@ -1,0 +1,47 @@
+//===- input/grv/GrvInput.h - GRV guest frontend ----------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GRV frontend: the native toy RISC ISA (guest/Isa.h) behind the
+/// InputArch interface. Owns the per-opcode IR lowering that used to live
+/// in translate/Translator.cpp, including the Section VI rule-based
+/// LL/SC-retry-loop idiom (LDXR/ADD/STXR/CBNZ → one AtomicAddG).
+///
+/// Entry conventions: r0 = tid, sp (r13) = 16-aligned private stack top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_INPUT_GRV_GRVINPUT_H
+#define LLSC_INPUT_GRV_GRVINPUT_H
+
+#include "input/InputArch.h"
+
+namespace llsc {
+namespace input {
+
+class GrvInput final : public InputArch {
+public:
+  GuestArch arch() const override { return GuestArch::Grv; }
+  unsigned instBytes() const override;
+  ErrorOr<LowerResult> lowerInst(GuestMemory &Mem,
+                                 const LowerContext &Ctx) const override;
+  std::string disassemble(uint32_t Word, uint64_t Pc) const override;
+  ErrorOr<guest::Program>
+  loadImage(const std::vector<uint8_t> &Bytes) const override;
+  void setupEntry(VCpu &Cpu, unsigned Tid, uint64_t StackTop) const override;
+
+private:
+  /// Attempts the atomic_add LL/SC retry-loop match at \p Pc; on success
+  /// emits the AtomicAddG lowering and returns the number of guest
+  /// instructions consumed (0 = no match).
+  unsigned tryAtomicIdiom(GuestMemory &Mem, ir::IRBuilder &Builder,
+                          uint64_t Pc) const;
+};
+
+} // namespace input
+} // namespace llsc
+
+#endif // LLSC_INPUT_GRV_GRVINPUT_H

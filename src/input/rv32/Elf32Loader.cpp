@@ -1,0 +1,190 @@
+//===- input/rv32/Elf32Loader.cpp - Minimal ELF32 loader ---------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "input/rv32/Elf32Loader.h"
+
+#include <cstring>
+#include <map>
+#include <string>
+
+using namespace llsc;
+using namespace llsc::input::rv32;
+
+namespace {
+
+// The handful of ELF constants we need; spelled out rather than pulled
+// from <elf.h> so the loader is self-contained and testable anywhere.
+constexpr uint8_t ElfClass32 = 1;
+constexpr uint8_t ElfData2Lsb = 1;
+constexpr uint16_t EmRiscv = 243;
+constexpr uint32_t PtLoad = 1;
+constexpr uint32_t ShtSymtab = 2;
+
+struct Elf32Ehdr {
+  uint8_t Ident[16];
+  uint16_t Type;
+  uint16_t Machine;
+  uint32_t Version;
+  uint32_t Entry;
+  uint32_t Phoff;
+  uint32_t Shoff;
+  uint32_t Flags;
+  uint16_t Ehsize;
+  uint16_t Phentsize;
+  uint16_t Phnum;
+  uint16_t Shentsize;
+  uint16_t Shnum;
+  uint16_t Shstrndx;
+};
+
+struct Elf32Phdr {
+  uint32_t Type;
+  uint32_t Offset;
+  uint32_t Vaddr;
+  uint32_t Paddr;
+  uint32_t Filesz;
+  uint32_t Memsz;
+  uint32_t Flags;
+  uint32_t Align;
+};
+
+struct Elf32Shdr {
+  uint32_t Name;
+  uint32_t Type;
+  uint32_t Flags;
+  uint32_t Addr;
+  uint32_t Offset;
+  uint32_t Size;
+  uint32_t Link;
+  uint32_t Info;
+  uint32_t Addralign;
+  uint32_t Entsize;
+};
+
+struct Elf32Sym {
+  uint32_t Name;
+  uint32_t Value;
+  uint32_t Size;
+  uint8_t Info;
+  uint8_t Other;
+  uint16_t Shndx;
+};
+
+/// Copies a packed struct out of the file, bounds-checked.
+template <typename T>
+bool readAt(const std::vector<uint8_t> &Bytes, uint64_t Offset, T &Out) {
+  if (Offset + sizeof(T) > Bytes.size() || Offset + sizeof(T) < Offset)
+    return false;
+  std::memcpy(&Out, Bytes.data() + Offset, sizeof(T));
+  return true;
+}
+
+} // namespace
+
+ErrorOr<guest::Program>
+input::rv32::loadElf32(const std::vector<uint8_t> &Bytes) {
+  Elf32Ehdr Ehdr;
+  if (!readAt(Bytes, 0, Ehdr))
+    return makeError("ELF32: file too small for header (%zu bytes)",
+                     Bytes.size());
+  if (Ehdr.Ident[0] != 0x7f || Ehdr.Ident[1] != 'E' || Ehdr.Ident[2] != 'L' ||
+      Ehdr.Ident[3] != 'F')
+    return makeError("ELF32: bad magic (not an ELF file)");
+  if (Ehdr.Ident[4] != ElfClass32)
+    return makeError("ELF32: not a 32-bit ELF (EI_CLASS=%u)", Ehdr.Ident[4]);
+  if (Ehdr.Ident[5] != ElfData2Lsb)
+    return makeError("ELF32: not little-endian (EI_DATA=%u)", Ehdr.Ident[5]);
+  if (Ehdr.Machine != EmRiscv)
+    return makeError("ELF32: e_machine=%u is not RISC-V (%u)", Ehdr.Machine,
+                     EmRiscv);
+  if (Ehdr.Phnum == 0)
+    return makeError("ELF32: no program headers");
+  if (Ehdr.Phentsize < sizeof(Elf32Phdr))
+    return makeError("ELF32: bad e_phentsize %u", Ehdr.Phentsize);
+
+  // First pass over PT_LOAD: the image span.
+  uint64_t MinVaddr = UINT64_MAX, MaxVaddr = 0;
+  unsigned NumLoad = 0;
+  for (unsigned N = 0; N < Ehdr.Phnum; ++N) {
+    Elf32Phdr Phdr;
+    if (!readAt(Bytes, static_cast<uint64_t>(Ehdr.Phoff) +
+                           static_cast<uint64_t>(N) * Ehdr.Phentsize,
+                Phdr))
+      return makeError("ELF32: program header %u out of range", N);
+    if (Phdr.Type != PtLoad)
+      continue;
+    if (Phdr.Memsz < Phdr.Filesz)
+      return makeError("ELF32: segment %u has memsz < filesz", N);
+    ++NumLoad;
+    MinVaddr = std::min(MinVaddr, static_cast<uint64_t>(Phdr.Vaddr));
+    MaxVaddr = std::max(MaxVaddr, static_cast<uint64_t>(Phdr.Vaddr) +
+                                      Phdr.Memsz);
+  }
+  if (NumLoad == 0)
+    return makeError("ELF32: no PT_LOAD segments");
+
+  // Second pass: copy file-backed bytes, leave BSS zeroed.
+  std::vector<uint8_t> Image(MaxVaddr - MinVaddr, 0);
+  for (unsigned N = 0; N < Ehdr.Phnum; ++N) {
+    Elf32Phdr Phdr;
+    readAt(Bytes, static_cast<uint64_t>(Ehdr.Phoff) +
+                      static_cast<uint64_t>(N) * Ehdr.Phentsize,
+           Phdr);
+    if (Phdr.Type != PtLoad || Phdr.Filesz == 0)
+      continue;
+    if (static_cast<uint64_t>(Phdr.Offset) + Phdr.Filesz > Bytes.size())
+      return makeError("ELF32: segment %u data out of range", N);
+    std::memcpy(Image.data() + (Phdr.Vaddr - MinVaddr),
+                Bytes.data() + Phdr.Offset, Phdr.Filesz);
+  }
+
+  // Symbols: every named entry of the first SHT_SYMTAB (the fixtures'
+  // .symtab), so tests can find "counter", "lock", "main", ...
+  std::map<std::string, uint64_t> Symbols;
+  for (unsigned N = 0; N < Ehdr.Shnum; ++N) {
+    Elf32Shdr Shdr;
+    if (!readAt(Bytes, static_cast<uint64_t>(Ehdr.Shoff) +
+                           static_cast<uint64_t>(N) * Ehdr.Shentsize,
+                Shdr))
+      break;
+    if (Shdr.Type != ShtSymtab || Shdr.Entsize < sizeof(Elf32Sym))
+      continue;
+    Elf32Shdr Strtab;
+    if (!readAt(Bytes, static_cast<uint64_t>(Ehdr.Shoff) +
+                           static_cast<uint64_t>(Shdr.Link) * Ehdr.Shentsize,
+                Strtab))
+      continue;
+    for (uint32_t Off = 0; Off + sizeof(Elf32Sym) <= Shdr.Size;
+         Off += Shdr.Entsize) {
+      Elf32Sym Sym;
+      if (!readAt(Bytes, static_cast<uint64_t>(Shdr.Offset) + Off, Sym))
+        break;
+      if (Sym.Name == 0 || Sym.Name >= Strtab.Size)
+        continue;
+      uint64_t NameOff = static_cast<uint64_t>(Strtab.Offset) + Sym.Name;
+      if (NameOff >= Bytes.size())
+        continue;
+      // NUL-terminated name inside the string table.
+      const char *Start = reinterpret_cast<const char *>(Bytes.data());
+      uint64_t End = NameOff;
+      while (End < Bytes.size() && Start[End] != '\0')
+        ++End;
+      if (End == NameOff || End == Bytes.size())
+        continue;
+      Symbols.emplace(std::string(Start + NameOff, End - NameOff),
+                      Sym.Value);
+    }
+    break;
+  }
+
+  uint64_t Entry = Ehdr.Entry;
+  if (Entry < MinVaddr || Entry >= MaxVaddr)
+    return makeError("ELF32: entry 0x%llx outside loaded image",
+                     static_cast<unsigned long long>(Entry));
+
+  return guest::Program(std::move(Image), MinVaddr, Entry,
+                        std::move(Symbols));
+}

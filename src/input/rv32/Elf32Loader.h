@@ -1,0 +1,38 @@
+//===- input/rv32/Elf32Loader.h - Minimal ELF32 loader ----------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal ELF32 executable loader for the RV32 frontend: validates a
+/// little-endian EM_RISCV ELF32 header, lays the PT_LOAD segments into one
+/// flat image (BSS zeroed), and pulls named symbols out of .symtab so
+/// tests can locate fixture entry points and data. No dynamic linking, no
+/// relocations — fixtures are statically linked (tests/fixtures/rv32/).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_INPUT_RV32_ELF32LOADER_H
+#define LLSC_INPUT_RV32_ELF32LOADER_H
+
+#include "guest/Program.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace llsc {
+namespace input {
+namespace rv32 {
+
+/// Parses \p Bytes as a little-endian EM_RISCV ELF32 executable.
+/// \returns a Program spanning [min PT_LOAD vaddr, max vaddr+memsz) with
+/// entry = e_entry and all named .symtab symbols, or a descriptive error.
+ErrorOr<guest::Program> loadElf32(const std::vector<uint8_t> &Bytes);
+
+} // namespace rv32
+} // namespace input
+} // namespace llsc
+
+#endif // LLSC_INPUT_RV32_ELF32LOADER_H

@@ -1,0 +1,414 @@
+//===- input/rv32/Rv32Input.cpp - RISC-V RV32IA frontend ---------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "input/rv32/Rv32Input.h"
+
+#include "input/rv32/Elf32Loader.h"
+#include "mem/GuestMemory.h"
+#include "runtime/VCpu.h"
+#include "support/BitUtils.h"
+#include "support/Compiler.h"
+
+using namespace llsc;
+using namespace llsc::input;
+using namespace llsc::input::rv32;
+using namespace llsc::ir;
+
+namespace {
+
+// RV32 ABI register numbers used by the entry conventions.
+constexpr unsigned RegSp = 2;  // x2
+constexpr unsigned RegA0 = 10; // x10
+
+/// Writes sext32(Src) into Dst — re-establishes the canonical form after
+/// an operation whose 64-bit result can disagree with the 32-bit one in
+/// the upper half (add, sub, shl, zero-extending loads of LL results).
+void emitSext32To(IRBuilder &B, ValueId Dst, ValueId Src) {
+  B.emitBinImmTo(IROp::ShlImm, Dst, Src, 32);
+  B.emitBinImmTo(IROp::SarImm, Dst, Dst, 32);
+}
+
+ValueId emitSext32(IRBuilder &B, ValueId Src) {
+  ValueId Dst = B.newTemp();
+  emitSext32To(B, Dst, Src);
+  return Dst;
+}
+
+CondCode rv32BranchCond(Rv32Op Op) {
+  switch (Op) {
+  case Rv32Op::Beq:
+    return CondCode::Eq;
+  case Rv32Op::Bne:
+    return CondCode::Ne;
+  case Rv32Op::Blt:
+    return CondCode::LtS;
+  case Rv32Op::Bge:
+    return CondCode::GeS;
+  case Rv32Op::Bltu:
+    return CondCode::LtU;
+  case Rv32Op::Bgeu:
+    return CondCode::GeU;
+  default:
+    llsc_unreachable("not an RV32 branch");
+  }
+}
+
+/// The AtomicRmwG kind for a directly-mappable AMO, or -1 for the min/max
+/// family (which has no single host RMW and always takes the LL/SC path).
+int rmwKindFor(Rv32Op Op) {
+  switch (Op) {
+  case Rv32Op::AmoSwapW:
+    return static_cast<int>(RmwKind::Swap);
+  case Rv32Op::AmoAddW:
+    return static_cast<int>(RmwKind::Add);
+  case Rv32Op::AmoXorW:
+    return static_cast<int>(RmwKind::Xor);
+  case Rv32Op::AmoAndW:
+    return static_cast<int>(RmwKind::And);
+  case Rv32Op::AmoOrW:
+    return static_cast<int>(RmwKind::Or);
+  default:
+    return -1;
+  }
+}
+
+} // namespace
+
+ErrorOr<LowerResult> Rv32Input::lowerInst(GuestMemory &Mem,
+                                          const LowerContext &Ctx) const {
+  IRBuilder &B = Ctx.Builder;
+  const uint64_t Pc = Ctx.Pc;
+  if (Pc + 4 > Mem.size() || Pc % 4 != 0)
+    return makeError("instruction fetch from invalid pc 0x%llx",
+                     static_cast<unsigned long long>(Pc));
+  const uint32_t Word = static_cast<uint32_t>(Mem.shadowLoad(Pc, 4));
+  const Rv32Inst I = rv32Decode(Word);
+  const uint64_t NextPc = Pc + 4;
+
+  // x0 is hardwired zero: Regs[0] is never written (reads are free since a
+  // reset vCPU holds 0 there), and pure computations into x0 are dropped.
+  const auto Reg = [](unsigned N) { return IRBuilder::guestReg(N); };
+
+  LowerResult R;
+  R.InstsConsumed = 1;
+  R.BytesConsumed = 4;
+
+  switch (I.Op) {
+  case Rv32Op::Lui:
+    if (I.Rd)
+      B.emitMovImmTo(Reg(I.Rd), static_cast<int64_t>(I.Imm));
+    break;
+  case Rv32Op::Auipc:
+    if (I.Rd)
+      B.emitMovImmTo(Reg(I.Rd),
+                     static_cast<int64_t>(static_cast<int32_t>(
+                         static_cast<uint32_t>(Pc) +
+                         static_cast<uint32_t>(I.Imm))));
+    break;
+
+  case Rv32Op::Jal:
+    if (I.Rd)
+      B.emitMovImmTo(Reg(I.Rd),
+                     static_cast<int64_t>(static_cast<int32_t>(NextPc)));
+    B.emitSetPcImm(static_cast<uint32_t>(Pc) + static_cast<uint32_t>(I.Imm));
+    R.EndsBlock = true;
+    break;
+  case Rv32Op::Jalr: {
+    // Target = (rs1 + imm) with bit 0 cleared, as a 32-bit address.
+    // Compute before the link-register write: rd may alias rs1.
+    ValueId Target = B.emitBinImm(IROp::AddImm, Reg(I.Rs1), I.Imm);
+    B.emitBinImmTo(IROp::AndImm, Target, Target, 0xfffffffeLL);
+    if (I.Rd)
+      B.emitMovImmTo(Reg(I.Rd),
+                     static_cast<int64_t>(static_cast<int32_t>(NextPc)));
+    B.emitSetPc(Target);
+    R.EndsBlock = true;
+    break;
+  }
+
+  case Rv32Op::Beq:
+  case Rv32Op::Bne:
+  case Rv32Op::Blt:
+  case Rv32Op::Bge:
+  case Rv32Op::Bltu:
+  case Rv32Op::Bgeu: {
+    // Canonical (sext32) operands compare correctly at 64 bits for both
+    // signed and unsigned orders: sign extension is monotonic for each.
+    uint64_t Target =
+        static_cast<uint32_t>(Pc) + static_cast<uint32_t>(I.Imm);
+    B.emitBrCond(rv32BranchCond(I.Op), Reg(I.Rs1), Reg(I.Rs2), Target);
+    B.emitSetPcImm(NextPc);
+    R.EndsBlock = true;
+    break;
+  }
+
+  case Rv32Op::Lb:
+  case Rv32Op::Lh:
+  case Rv32Op::Lw:
+  case Rv32Op::Lbu:
+  case Rv32Op::Lhu: {
+    unsigned Size = (I.Op == Rv32Op::Lb || I.Op == Rv32Op::Lbu)   ? 1
+                    : (I.Op == Rv32Op::Lh || I.Op == Rv32Op::Lhu) ? 2
+                                                                  : 4;
+    bool Sext = I.Op == Rv32Op::Lb || I.Op == Rv32Op::Lh ||
+                I.Op == Rv32Op::Lw;
+    // Both result forms are canonical: sign extension directly, zero
+    // extension because the value then fits in 31 bits.
+    ValueId Dst = I.Rd ? Reg(I.Rd) : B.newTemp();
+    if (Ctx.Hooks && Ctx.Hooks->loadsViaHelper())
+      B.emitHelperLoadTo(Dst, Reg(I.Rs1), I.Imm, Size, Sext);
+    else
+      B.emitLoadGTo(Dst, Reg(I.Rs1), I.Imm, Size, Sext);
+    break;
+  }
+
+  case Rv32Op::Sb:
+  case Rv32Op::Sh:
+  case Rv32Op::Sw: {
+    unsigned Size = I.Op == Rv32Op::Sb ? 1 : I.Op == Rv32Op::Sh ? 2 : 4;
+    ValueId Addr = Reg(I.Rs1);
+    ValueId Value = Reg(I.Rs2);
+    if (Ctx.Hooks)
+      Ctx.Hooks->emitStorePrologue(B, Addr, I.Imm, Value, Size);
+    if (Ctx.Hooks && Ctx.Hooks->storesViaHelper())
+      B.emitHelperStore(Addr, I.Imm, Value, Size);
+    else
+      B.emitStoreG(Addr, I.Imm, Value, Size);
+    break;
+  }
+
+  case Rv32Op::Addi:
+    if (I.Rd) {
+      B.emitBinImmTo(IROp::AddImm, Reg(I.Rd), Reg(I.Rs1), I.Imm);
+      emitSext32To(B, Reg(I.Rd), Reg(I.Rd));
+    }
+    break;
+  case Rv32Op::Slti:
+    // 0/1 result is canonical; canonical operands order correctly.
+    if (I.Rd)
+      B.emitBinImmTo(IROp::SltSImm, Reg(I.Rd), Reg(I.Rs1), I.Imm);
+    break;
+  case Rv32Op::Sltiu:
+    if (I.Rd)
+      B.emitBinImmTo(IROp::SltUImm, Reg(I.Rd), Reg(I.Rs1), I.Imm);
+    break;
+  case Rv32Op::Xori:
+  case Rv32Op::Ori:
+  case Rv32Op::Andi:
+    // Bitwise ops preserve the canonical form bit-for-bit.
+    if (I.Rd)
+      B.emitBinImmTo(I.Op == Rv32Op::Xori  ? IROp::XorImm
+                     : I.Op == Rv32Op::Ori ? IROp::OrImm
+                                           : IROp::AndImm,
+                     Reg(I.Rd), Reg(I.Rs1), I.Imm);
+    break;
+  case Rv32Op::Slli:
+    if (I.Rd) {
+      B.emitBinImmTo(IROp::ShlImm, Reg(I.Rd), Reg(I.Rs1), I.Imm);
+      emitSext32To(B, Reg(I.Rd), Reg(I.Rd));
+    }
+    break;
+  case Rv32Op::Srli:
+    if (I.Rd) {
+      if (I.Imm == 0) {
+        B.emitMovTo(Reg(I.Rd), Reg(I.Rs1));
+      } else {
+        // Zero-extend first so the 64-bit shift sees only the 32-bit
+        // value; a positive shift leaves the result canonical.
+        B.emitBinImmTo(IROp::AndImm, Reg(I.Rd), Reg(I.Rs1), 0xffffffffLL);
+        B.emitBinImmTo(IROp::ShrImm, Reg(I.Rd), Reg(I.Rd), I.Imm);
+      }
+    }
+    break;
+  case Rv32Op::Srai:
+    // Arithmetic shift of a canonical value is canonical.
+    if (I.Rd)
+      B.emitBinImmTo(IROp::SarImm, Reg(I.Rd), Reg(I.Rs1), I.Imm);
+    break;
+
+  case Rv32Op::Add:
+  case Rv32Op::Sub:
+    if (I.Rd) {
+      B.emitBinTo(I.Op == Rv32Op::Add ? IROp::Add : IROp::Sub, Reg(I.Rd),
+                  Reg(I.Rs1), Reg(I.Rs2));
+      emitSext32To(B, Reg(I.Rd), Reg(I.Rd));
+    }
+    break;
+  case Rv32Op::Sll: {
+    if (!I.Rd)
+      break;
+    ValueId Sh = B.emitBinImm(IROp::AndImm, Reg(I.Rs2), 31);
+    B.emitBinTo(IROp::Shl, Reg(I.Rd), Reg(I.Rs1), Sh);
+    emitSext32To(B, Reg(I.Rd), Reg(I.Rd));
+    break;
+  }
+  case Rv32Op::Srl: {
+    if (!I.Rd)
+      break;
+    ValueId Sh = B.emitBinImm(IROp::AndImm, Reg(I.Rs2), 31);
+    ValueId Z = B.emitBinImm(IROp::AndImm, Reg(I.Rs1), 0xffffffffLL);
+    B.emitBinTo(IROp::Shr, Reg(I.Rd), Z, Sh);
+    // Shift 0 passes the zero-extended value through: re-canonicalize.
+    emitSext32To(B, Reg(I.Rd), Reg(I.Rd));
+    break;
+  }
+  case Rv32Op::Sra: {
+    if (!I.Rd)
+      break;
+    ValueId Sh = B.emitBinImm(IROp::AndImm, Reg(I.Rs2), 31);
+    B.emitBinTo(IROp::Sar, Reg(I.Rd), Reg(I.Rs1), Sh);
+    break;
+  }
+  case Rv32Op::Slt:
+    if (I.Rd)
+      B.emitBinTo(IROp::SltS, Reg(I.Rd), Reg(I.Rs1), Reg(I.Rs2));
+    break;
+  case Rv32Op::Sltu:
+    if (I.Rd)
+      B.emitBinTo(IROp::SltU, Reg(I.Rd), Reg(I.Rs1), Reg(I.Rs2));
+    break;
+  case Rv32Op::Xor:
+  case Rv32Op::Or:
+  case Rv32Op::And:
+    if (I.Rd)
+      B.emitBinTo(I.Op == Rv32Op::Xor  ? IROp::Xor
+                  : I.Op == Rv32Op::Or ? IROp::Or
+                                       : IROp::And,
+                  Reg(I.Rd), Reg(I.Rs1), Reg(I.Rs2));
+    break;
+
+  case Rv32Op::Fence:
+    B.emitFence();
+    break;
+  case Rv32Op::Ecall:
+  case Rv32Op::Ebreak:
+    // No OS personality: an environment call ends the thread, like GRV's
+    // SYS exit. Fixtures use `ecall` as their exit sequence.
+    B.emitHalt();
+    R.EndsBlock = true;
+    break;
+
+  case Rv32Op::LrW: {
+    // LR.W traps on misalignment (IRFlagCheckAlign) and loads zero-
+    // extended; the architectural register gets the sign extension.
+    ValueId T = B.newTemp();
+    B.emitLoadLinkTo(T, Reg(I.Rs1), 4, /*CheckAlign=*/true);
+    if (I.Rd)
+      emitSext32To(B, Reg(I.Rd), T);
+    break;
+  }
+  case Rv32Op::ScW: {
+    // IR StoreCond already follows the RISC-V convention: 0 = success,
+    // non-zero = failure — canonical either way.
+    ValueId Dst = I.Rd ? Reg(I.Rd) : B.newTemp();
+    B.emitStoreCondTo(Dst, Reg(I.Rs1), Reg(I.Rs2), 4, /*CheckAlign=*/true);
+    break;
+  }
+
+  case Rv32Op::AmoSwapW:
+  case Rv32Op::AmoAddW:
+  case Rv32Op::AmoXorW:
+  case Rv32Op::AmoAndW:
+  case Rv32Op::AmoOrW:
+  case Rv32Op::AmoMinW:
+  case Rv32Op::AmoMaxW:
+  case Rv32Op::AmoMinuW:
+  case Rv32Op::AmoMaxuW: {
+    const int Kind = rmwKindFor(I.Op);
+    if (Ctx.RuleBasedAtomics && Kind >= 0) {
+      // Section VI rule-based mapping: the single-instruction AMO becomes
+      // one host atomic RMW, no retry loop, no scheme expansion.
+      ValueId Old = B.newTemp();
+      B.emitAtomicRmwGTo(Old, static_cast<RmwKind>(Kind), Reg(I.Rs1),
+                         Reg(I.Rs2), 4);
+      if (I.Rd)
+        emitSext32To(B, Reg(I.Rd), Old);
+      R.Idiom = AtomicIdiom::HostRmw;
+      break;
+    }
+
+    // Portable lowering: an LL/SC retry loop the active scheme expands.
+    // The LL result is zero-extended; canonicalize once and use that for
+    // the new-value computation and the writeback.
+    ValueId Addr = Reg(I.Rs1);
+    ValueId Raw = B.newTemp();
+    B.emitLoadLinkTo(Raw, Addr, 4, /*CheckAlign=*/true);
+    ValueId Old = emitSext32(B, Raw);
+    ValueId New;
+    switch (I.Op) {
+    case Rv32Op::AmoSwapW:
+      New = Reg(I.Rs2);
+      break;
+    case Rv32Op::AmoAddW:
+      New = B.emitBin(IROp::Add, Old, Reg(I.Rs2));
+      break;
+    case Rv32Op::AmoXorW:
+      New = B.emitBin(IROp::Xor, Old, Reg(I.Rs2));
+      break;
+    case Rv32Op::AmoAndW:
+      New = B.emitBin(IROp::And, Old, Reg(I.Rs2));
+      break;
+    case Rv32Op::AmoOrW:
+      New = B.emitBin(IROp::Or, Old, Reg(I.Rs2));
+      break;
+    default: {
+      // Min/max via branchless select: cond = (take old), mask = -cond,
+      // new = (old & mask) | (rs2 & ~mask). Canonical operands make the
+      // 64-bit compare agree with the 32-bit one.
+      bool Unsigned = I.Op == Rv32Op::AmoMinuW || I.Op == Rv32Op::AmoMaxuW;
+      bool IsMin = I.Op == Rv32Op::AmoMinW || I.Op == Rv32Op::AmoMinuW;
+      IROp Cmp = Unsigned ? IROp::SltU : IROp::SltS;
+      ValueId Cond = IsMin ? B.emitBin(Cmp, Old, Reg(I.Rs2))
+                           : B.emitBin(Cmp, Reg(I.Rs2), Old);
+      ValueId Zero = B.emitMovImm(0);
+      ValueId Mask = B.emitBin(IROp::Sub, Zero, Cond);
+      ValueId KeepOld = B.emitBin(IROp::And, Old, Mask);
+      ValueId NotMask = B.emitBinImm(IROp::XorImm, Mask, -1);
+      ValueId KeepNew = B.emitBin(IROp::And, Reg(I.Rs2), NotMask);
+      New = B.emitBin(IROp::Or, KeepOld, KeepNew);
+      break;
+    }
+    }
+    ValueId St = B.emitStoreCond(Addr, New, 4);
+    ValueId Zero = B.emitMovImm(0);
+    // SC failed: retry the whole AMO. rd is only written on the
+    // fall-through (success) path so the retry re-reads intact sources.
+    B.emitBrCond(CondCode::Ne, St, Zero, Pc);
+    if (I.Rd)
+      B.emitMovTo(Reg(I.Rd), Old);
+    B.emitSetPcImm(NextPc);
+    R.EndsBlock = true;
+    break;
+  }
+
+  case Rv32Op::Compressed:
+    return makeError("compressed (RVC) instruction 0x%04x at 0x%llx: the "
+                     "RV32IA frontend supports 32-bit encodings only "
+                     "(build fixtures with -march=rv32ia)",
+                     Word & 0xffff, static_cast<unsigned long long>(Pc));
+  case Rv32Op::Invalid:
+  case Rv32Op::NumRv32Ops:
+    return makeError("undecodable RV32 instruction 0x%08x at 0x%llx", Word,
+                     static_cast<unsigned long long>(Pc));
+  }
+
+  return R;
+}
+
+std::string Rv32Input::disassemble(uint32_t Word, uint64_t Pc) const {
+  return rv32Disassemble(Word, Pc);
+}
+
+ErrorOr<guest::Program>
+Rv32Input::loadImage(const std::vector<uint8_t> &Bytes) const {
+  return loadElf32(Bytes);
+}
+
+void Rv32Input::setupEntry(VCpu &Cpu, unsigned Tid, uint64_t StackTop) const {
+  // a0 = tid, sp = 16-aligned private stack top; x0 stays zero.
+  Cpu.Regs[RegA0] = Tid;
+  Cpu.Regs[RegSp] = alignDown(StackTop - 16, 16);
+}

@@ -1,0 +1,50 @@
+//===- input/rv32/Rv32Input.h - RISC-V RV32IA frontend ----------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RISC-V RV32IA guest frontend. LR.W/SC.W map directly onto the IR's
+/// LoadLink/StoreCond micro-ops (with alignment trapping, as the RISC-V
+/// spec requires), so every LL/SC emulation scheme applies to RV32 guests
+/// unchanged. AMO instructions lower either to an LL/SC retry loop (the
+/// portable default — the active scheme then expands those micro-ops) or,
+/// under rule-based atomics, straight to one AtomicRmwG host RMW — the
+/// paper's Section VI single-instruction mapping.
+///
+/// Register model: each 64-bit machine register slot holds the sign
+/// extension of the 32-bit architectural value ("canonical form"). x0 is
+/// never written. Entry conventions: a0 (x10) = tid, sp (x2) = 16-aligned
+/// private stack top.
+///
+/// Binary format: ELF32 little-endian EM_RISCV executables
+/// (input/rv32/Elf32Loader.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_INPUT_RV32_RV32INPUT_H
+#define LLSC_INPUT_RV32_RV32INPUT_H
+
+#include "input/InputArch.h"
+#include "input/rv32/Rv32Isa.h"
+
+namespace llsc {
+namespace input {
+
+class Rv32Input final : public InputArch {
+public:
+  GuestArch arch() const override { return GuestArch::Rv32; }
+  unsigned instBytes() const override { return 4; }
+  ErrorOr<LowerResult> lowerInst(GuestMemory &Mem,
+                                 const LowerContext &Ctx) const override;
+  std::string disassemble(uint32_t Word, uint64_t Pc) const override;
+  ErrorOr<guest::Program>
+  loadImage(const std::vector<uint8_t> &Bytes) const override;
+  void setupEntry(VCpu &Cpu, unsigned Tid, uint64_t StackTop) const override;
+};
+
+} // namespace input
+} // namespace llsc
+
+#endif // LLSC_INPUT_RV32_RV32INPUT_H

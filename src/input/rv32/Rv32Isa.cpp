@@ -1,0 +1,496 @@
+//===- input/rv32/Rv32Isa.cpp - RV32IA decode/encode -------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "input/rv32/Rv32Isa.h"
+
+#include "support/BitUtils.h"
+#include "support/StringUtils.h"
+
+using namespace llsc;
+using namespace llsc::input::rv32;
+
+namespace {
+
+int32_t immI(uint32_t W) {
+  return static_cast<int32_t>(signExtend(extractBits(W, 20, 12), 12));
+}
+
+int32_t immS(uint32_t W) {
+  return static_cast<int32_t>(
+      signExtend((extractBits(W, 25, 7) << 5) | extractBits(W, 7, 5), 12));
+}
+
+int32_t immB(uint32_t W) {
+  return static_cast<int32_t>(
+      signExtend((extractBits(W, 31, 1) << 12) | (extractBits(W, 7, 1) << 11) |
+                     (extractBits(W, 25, 6) << 5) |
+                     (extractBits(W, 8, 4) << 1),
+                 13));
+}
+
+int32_t immU(uint32_t W) { return static_cast<int32_t>(W & 0xfffff000u); }
+
+int32_t immJ(uint32_t W) {
+  return static_cast<int32_t>(
+      signExtend((extractBits(W, 31, 1) << 20) | (extractBits(W, 12, 8) << 12) |
+                     (extractBits(W, 20, 1) << 11) |
+                     (extractBits(W, 21, 10) << 1),
+                 21));
+}
+
+} // namespace
+
+const char *input::rv32::rv32OpName(Rv32Op Op) {
+  switch (Op) {
+  case Rv32Op::Lui:
+    return "lui";
+  case Rv32Op::Auipc:
+    return "auipc";
+  case Rv32Op::Jal:
+    return "jal";
+  case Rv32Op::Jalr:
+    return "jalr";
+  case Rv32Op::Beq:
+    return "beq";
+  case Rv32Op::Bne:
+    return "bne";
+  case Rv32Op::Blt:
+    return "blt";
+  case Rv32Op::Bge:
+    return "bge";
+  case Rv32Op::Bltu:
+    return "bltu";
+  case Rv32Op::Bgeu:
+    return "bgeu";
+  case Rv32Op::Lb:
+    return "lb";
+  case Rv32Op::Lh:
+    return "lh";
+  case Rv32Op::Lw:
+    return "lw";
+  case Rv32Op::Lbu:
+    return "lbu";
+  case Rv32Op::Lhu:
+    return "lhu";
+  case Rv32Op::Sb:
+    return "sb";
+  case Rv32Op::Sh:
+    return "sh";
+  case Rv32Op::Sw:
+    return "sw";
+  case Rv32Op::Addi:
+    return "addi";
+  case Rv32Op::Slti:
+    return "slti";
+  case Rv32Op::Sltiu:
+    return "sltiu";
+  case Rv32Op::Xori:
+    return "xori";
+  case Rv32Op::Ori:
+    return "ori";
+  case Rv32Op::Andi:
+    return "andi";
+  case Rv32Op::Slli:
+    return "slli";
+  case Rv32Op::Srli:
+    return "srli";
+  case Rv32Op::Srai:
+    return "srai";
+  case Rv32Op::Add:
+    return "add";
+  case Rv32Op::Sub:
+    return "sub";
+  case Rv32Op::Sll:
+    return "sll";
+  case Rv32Op::Slt:
+    return "slt";
+  case Rv32Op::Sltu:
+    return "sltu";
+  case Rv32Op::Xor:
+    return "xor";
+  case Rv32Op::Srl:
+    return "srl";
+  case Rv32Op::Sra:
+    return "sra";
+  case Rv32Op::Or:
+    return "or";
+  case Rv32Op::And:
+    return "and";
+  case Rv32Op::Fence:
+    return "fence";
+  case Rv32Op::Ecall:
+    return "ecall";
+  case Rv32Op::Ebreak:
+    return "ebreak";
+  case Rv32Op::LrW:
+    return "lr.w";
+  case Rv32Op::ScW:
+    return "sc.w";
+  case Rv32Op::AmoSwapW:
+    return "amoswap.w";
+  case Rv32Op::AmoAddW:
+    return "amoadd.w";
+  case Rv32Op::AmoXorW:
+    return "amoxor.w";
+  case Rv32Op::AmoAndW:
+    return "amoand.w";
+  case Rv32Op::AmoOrW:
+    return "amoor.w";
+  case Rv32Op::AmoMinW:
+    return "amomin.w";
+  case Rv32Op::AmoMaxW:
+    return "amomax.w";
+  case Rv32Op::AmoMinuW:
+    return "amominu.w";
+  case Rv32Op::AmoMaxuW:
+    return "amomaxu.w";
+  case Rv32Op::Invalid:
+    return "<invalid>";
+  case Rv32Op::Compressed:
+    return "<compressed>";
+  case Rv32Op::NumRv32Ops:
+    break;
+  }
+  return "<invalid>";
+}
+
+const char *input::rv32::rv32RegName(unsigned Reg) {
+  static const char *const Names[32] = {
+      "zero", "ra", "sp", "gp", "tp",  "t0",  "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5",  "a6",  "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return Reg < 32 ? Names[Reg] : "<bad>";
+}
+
+Rv32Inst input::rv32::rv32Decode(uint32_t Word) {
+  Rv32Inst I;
+  if ((Word & 0x3) != 0x3) {
+    I.Op = Rv32Op::Compressed;
+    return I;
+  }
+  unsigned Opc = Word & 0x7f;
+  unsigned Funct3 = static_cast<unsigned>(extractBits(Word, 12, 3));
+  unsigned Funct7 = static_cast<unsigned>(extractBits(Word, 25, 7));
+  I.Rd = static_cast<uint8_t>(extractBits(Word, 7, 5));
+  I.Rs1 = static_cast<uint8_t>(extractBits(Word, 15, 5));
+  I.Rs2 = static_cast<uint8_t>(extractBits(Word, 20, 5));
+
+  switch (Opc) {
+  case 0x37: // LUI
+    I.Op = Rv32Op::Lui;
+    I.Imm = immU(Word);
+    return I;
+  case 0x17: // AUIPC
+    I.Op = Rv32Op::Auipc;
+    I.Imm = immU(Word);
+    return I;
+  case 0x6f: // JAL
+    I.Op = Rv32Op::Jal;
+    I.Imm = immJ(Word);
+    return I;
+  case 0x67: // JALR
+    if (Funct3 != 0)
+      break;
+    I.Op = Rv32Op::Jalr;
+    I.Imm = immI(Word);
+    return I;
+  case 0x63: // branches
+    I.Imm = immB(Word);
+    switch (Funct3) {
+    case 0:
+      I.Op = Rv32Op::Beq;
+      return I;
+    case 1:
+      I.Op = Rv32Op::Bne;
+      return I;
+    case 4:
+      I.Op = Rv32Op::Blt;
+      return I;
+    case 5:
+      I.Op = Rv32Op::Bge;
+      return I;
+    case 6:
+      I.Op = Rv32Op::Bltu;
+      return I;
+    case 7:
+      I.Op = Rv32Op::Bgeu;
+      return I;
+    default:
+      break;
+    }
+    break;
+  case 0x03: // loads
+    I.Imm = immI(Word);
+    switch (Funct3) {
+    case 0:
+      I.Op = Rv32Op::Lb;
+      return I;
+    case 1:
+      I.Op = Rv32Op::Lh;
+      return I;
+    case 2:
+      I.Op = Rv32Op::Lw;
+      return I;
+    case 4:
+      I.Op = Rv32Op::Lbu;
+      return I;
+    case 5:
+      I.Op = Rv32Op::Lhu;
+      return I;
+    default:
+      break;
+    }
+    break;
+  case 0x23: // stores
+    I.Imm = immS(Word);
+    switch (Funct3) {
+    case 0:
+      I.Op = Rv32Op::Sb;
+      return I;
+    case 1:
+      I.Op = Rv32Op::Sh;
+      return I;
+    case 2:
+      I.Op = Rv32Op::Sw;
+      return I;
+    default:
+      break;
+    }
+    break;
+  case 0x13: // ALU immediate
+    I.Imm = immI(Word);
+    switch (Funct3) {
+    case 0:
+      I.Op = Rv32Op::Addi;
+      return I;
+    case 2:
+      I.Op = Rv32Op::Slti;
+      return I;
+    case 3:
+      I.Op = Rv32Op::Sltiu;
+      return I;
+    case 4:
+      I.Op = Rv32Op::Xori;
+      return I;
+    case 6:
+      I.Op = Rv32Op::Ori;
+      return I;
+    case 7:
+      I.Op = Rv32Op::Andi;
+      return I;
+    case 1: // SLLI
+      if (Funct7 != 0)
+        break;
+      I.Op = Rv32Op::Slli;
+      I.Imm = static_cast<int32_t>(I.Rs2); // shamt
+      return I;
+    case 5: // SRLI / SRAI
+      if (Funct7 == 0x00)
+        I.Op = Rv32Op::Srli;
+      else if (Funct7 == 0x20)
+        I.Op = Rv32Op::Srai;
+      else
+        break;
+      I.Imm = static_cast<int32_t>(I.Rs2); // shamt
+      return I;
+    default:
+      break;
+    }
+    break;
+  case 0x33: // ALU register
+    switch ((Funct7 << 3) | Funct3) {
+    case (0x00 << 3) | 0:
+      I.Op = Rv32Op::Add;
+      return I;
+    case (0x20 << 3) | 0:
+      I.Op = Rv32Op::Sub;
+      return I;
+    case (0x00 << 3) | 1:
+      I.Op = Rv32Op::Sll;
+      return I;
+    case (0x00 << 3) | 2:
+      I.Op = Rv32Op::Slt;
+      return I;
+    case (0x00 << 3) | 3:
+      I.Op = Rv32Op::Sltu;
+      return I;
+    case (0x00 << 3) | 4:
+      I.Op = Rv32Op::Xor;
+      return I;
+    case (0x00 << 3) | 5:
+      I.Op = Rv32Op::Srl;
+      return I;
+    case (0x20 << 3) | 5:
+      I.Op = Rv32Op::Sra;
+      return I;
+    case (0x00 << 3) | 6:
+      I.Op = Rv32Op::Or;
+      return I;
+    case (0x00 << 3) | 7:
+      I.Op = Rv32Op::And;
+      return I;
+    default: // includes the whole M extension (funct7 == 0x01)
+      break;
+    }
+    break;
+  case 0x0f: // FENCE / FENCE.I — both order-only here, single memory model
+    if (Funct3 == 0 || Funct3 == 1) {
+      I.Op = Rv32Op::Fence;
+      return I;
+    }
+    break;
+  case 0x73: // SYSTEM
+    if (Funct3 == 0 && I.Rd == 0 && I.Rs1 == 0) {
+      if (extractBits(Word, 20, 12) == 0) {
+        I.Op = Rv32Op::Ecall;
+        return I;
+      }
+      if (extractBits(Word, 20, 12) == 1) {
+        I.Op = Rv32Op::Ebreak;
+        return I;
+      }
+    }
+    break;
+  case 0x2f: // A extension
+    if (Funct3 != 2)
+      break; // only the .W forms exist in RV32
+    I.Aq = extractBits(Word, 26, 1) != 0;
+    I.Rl = extractBits(Word, 25, 1) != 0;
+    switch (static_cast<unsigned>(extractBits(Word, 27, 5))) {
+    case AmoFunct5LrW:
+      if (I.Rs2 != 0)
+        break;
+      I.Op = Rv32Op::LrW;
+      return I;
+    case AmoFunct5ScW:
+      I.Op = Rv32Op::ScW;
+      return I;
+    case AmoFunct5SwapW:
+      I.Op = Rv32Op::AmoSwapW;
+      return I;
+    case AmoFunct5AddW:
+      I.Op = Rv32Op::AmoAddW;
+      return I;
+    case AmoFunct5XorW:
+      I.Op = Rv32Op::AmoXorW;
+      return I;
+    case AmoFunct5AndW:
+      I.Op = Rv32Op::AmoAndW;
+      return I;
+    case AmoFunct5OrW:
+      I.Op = Rv32Op::AmoOrW;
+      return I;
+    case AmoFunct5MinW:
+      I.Op = Rv32Op::AmoMinW;
+      return I;
+    case AmoFunct5MaxW:
+      I.Op = Rv32Op::AmoMaxW;
+      return I;
+    case AmoFunct5MinuW:
+      I.Op = Rv32Op::AmoMinuW;
+      return I;
+    case AmoFunct5MaxuW:
+      I.Op = Rv32Op::AmoMaxuW;
+      return I;
+    default:
+      break;
+    }
+    break;
+  default:
+    break;
+  }
+  I.Op = Rv32Op::Invalid;
+  return I;
+}
+
+std::string input::rv32::rv32Disassemble(uint32_t Word, uint64_t Pc) {
+  const Rv32Inst I = rv32Decode(Word);
+  const char *Name = rv32OpName(I.Op);
+  const char *Rd = rv32RegName(I.Rd);
+  const char *Rs1 = rv32RegName(I.Rs1);
+  const char *Rs2 = rv32RegName(I.Rs2);
+
+  auto Target = [&](int32_t Off) {
+    if (Pc == ~0ULL)
+      return formatString("pc%+d", Off);
+    return formatString("0x%llx",
+                        static_cast<unsigned long long>(Pc + Off));
+  };
+
+  switch (I.Op) {
+  case Rv32Op::Lui:
+  case Rv32Op::Auipc:
+    return formatString("%s %s, 0x%x", Name, Rd,
+                        static_cast<uint32_t>(I.Imm) >> 12);
+  case Rv32Op::Jal:
+    return formatString("%s %s, %s", Name, Rd, Target(I.Imm).c_str());
+  case Rv32Op::Jalr:
+    return formatString("%s %s, %d(%s)", Name, Rd, I.Imm, Rs1);
+  case Rv32Op::Beq:
+  case Rv32Op::Bne:
+  case Rv32Op::Blt:
+  case Rv32Op::Bge:
+  case Rv32Op::Bltu:
+  case Rv32Op::Bgeu:
+    return formatString("%s %s, %s, %s", Name, Rs1, Rs2,
+                        Target(I.Imm).c_str());
+  case Rv32Op::Lb:
+  case Rv32Op::Lh:
+  case Rv32Op::Lw:
+  case Rv32Op::Lbu:
+  case Rv32Op::Lhu:
+    return formatString("%s %s, %d(%s)", Name, Rd, I.Imm, Rs1);
+  case Rv32Op::Sb:
+  case Rv32Op::Sh:
+  case Rv32Op::Sw:
+    return formatString("%s %s, %d(%s)", Name, Rs2, I.Imm, Rs1);
+  case Rv32Op::Addi:
+  case Rv32Op::Slti:
+  case Rv32Op::Sltiu:
+  case Rv32Op::Xori:
+  case Rv32Op::Ori:
+  case Rv32Op::Andi:
+  case Rv32Op::Slli:
+  case Rv32Op::Srli:
+  case Rv32Op::Srai:
+    return formatString("%s %s, %s, %d", Name, Rd, Rs1, I.Imm);
+  case Rv32Op::Add:
+  case Rv32Op::Sub:
+  case Rv32Op::Sll:
+  case Rv32Op::Slt:
+  case Rv32Op::Sltu:
+  case Rv32Op::Xor:
+  case Rv32Op::Srl:
+  case Rv32Op::Sra:
+  case Rv32Op::Or:
+  case Rv32Op::And:
+    return formatString("%s %s, %s, %s", Name, Rd, Rs1, Rs2);
+  case Rv32Op::Fence:
+  case Rv32Op::Ecall:
+  case Rv32Op::Ebreak:
+    return Name;
+  case Rv32Op::LrW:
+    return formatString("%s%s%s %s, (%s)", Name, I.Aq ? ".aq" : "",
+                        I.Rl ? ".rl" : "", Rd, Rs1);
+  case Rv32Op::ScW:
+  case Rv32Op::AmoSwapW:
+  case Rv32Op::AmoAddW:
+  case Rv32Op::AmoXorW:
+  case Rv32Op::AmoAndW:
+  case Rv32Op::AmoOrW:
+  case Rv32Op::AmoMinW:
+  case Rv32Op::AmoMaxW:
+  case Rv32Op::AmoMinuW:
+  case Rv32Op::AmoMaxuW:
+    return formatString("%s%s%s %s, %s, (%s)", Name, I.Aq ? ".aq" : "",
+                        I.Rl ? ".rl" : "", Rd, Rs2, Rs1);
+  case Rv32Op::Invalid:
+  case Rv32Op::Compressed:
+  case Rv32Op::NumRv32Ops:
+    break;
+  }
+  return formatString("%s (0x%08x)", Name, Word);
+}

@@ -1,0 +1,182 @@
+//===- input/rv32/Rv32Isa.h - RV32IA decode/encode --------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RISC-V RV32IA instruction decoding, encoding helpers and disassembly.
+/// Only the 32-bit encodings of RV32I plus the A extension's word forms
+/// (LR.W / SC.W / AMO*.W) are supported; compressed (16-bit) encodings and
+/// the M/F/D extensions decode to explicit rejection values so the
+/// frontend can report a precise error.
+///
+/// The encode helpers exist for tests and litmus fragments — fixture
+/// binaries are real ELF32 objects built by a RISC-V assembler
+/// (tests/fixtures/rv32/README.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_INPUT_RV32_RV32ISA_H
+#define LLSC_INPUT_RV32_RV32ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace llsc {
+namespace input {
+namespace rv32 {
+
+/// Decoded RV32IA operations. Invalid/Compressed are decode outcomes, not
+/// instructions.
+enum class Rv32Op : uint8_t {
+  // RV32I
+  Lui,
+  Auipc,
+  Jal,
+  Jalr,
+  Beq,
+  Bne,
+  Blt,
+  Bge,
+  Bltu,
+  Bgeu,
+  Lb,
+  Lh,
+  Lw,
+  Lbu,
+  Lhu,
+  Sb,
+  Sh,
+  Sw,
+  Addi,
+  Slti,
+  Sltiu,
+  Xori,
+  Ori,
+  Andi,
+  Slli,
+  Srli,
+  Srai,
+  Add,
+  Sub,
+  Sll,
+  Slt,
+  Sltu,
+  Xor,
+  Srl,
+  Sra,
+  Or,
+  And,
+  Fence,
+  Ecall,
+  Ebreak,
+  // A extension (word forms)
+  LrW,
+  ScW,
+  AmoSwapW,
+  AmoAddW,
+  AmoXorW,
+  AmoAndW,
+  AmoOrW,
+  AmoMinW,
+  AmoMaxW,
+  AmoMinuW,
+  AmoMaxuW,
+  // Decode outcomes
+  Invalid,    ///< No matching RV32IA encoding.
+  Compressed, ///< 16-bit (RVC) encoding — unsupported, rejected explicitly.
+  NumRv32Ops
+};
+
+/// \returns the mnemonic for \p Op ("amoadd.w", "lr.w", ...).
+const char *rv32OpName(Rv32Op Op);
+
+/// One decoded RV32 instruction.
+struct Rv32Inst {
+  Rv32Op Op = Rv32Op::Invalid;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  bool Aq = false; ///< acquire bit on A-extension encodings
+  bool Rl = false; ///< release bit on A-extension encodings
+  int32_t Imm = 0; ///< sign-extended immediate (format-dependent)
+};
+
+/// Decodes one 32-bit instruction word. Never fails: unsupported encodings
+/// come back as Rv32Op::Invalid, 16-bit RVC encodings (low two bits != 11)
+/// as Rv32Op::Compressed.
+Rv32Inst rv32Decode(uint32_t Word);
+
+/// Renders \p Word at \p Pc ("beq a0, a1, 0x1010"; branch/jump targets are
+/// absolute when Pc is known, "pc+imm" otherwise).
+std::string rv32Disassemble(uint32_t Word, uint64_t Pc = ~0ULL);
+
+/// RISC-V ABI register name ("zero", "ra", "sp", "a0", ...).
+const char *rv32RegName(unsigned Reg);
+
+// --- Encode helpers (tests and litmus fragments) ---------------------------
+
+constexpr uint32_t rv32EncodeR(unsigned Funct7, unsigned Rs2, unsigned Rs1,
+                               unsigned Funct3, unsigned Rd, unsigned Opc) {
+  return (Funct7 << 25) | (Rs2 << 20) | (Rs1 << 15) | (Funct3 << 12) |
+         (Rd << 7) | Opc;
+}
+
+constexpr uint32_t rv32EncodeI(int32_t Imm, unsigned Rs1, unsigned Funct3,
+                               unsigned Rd, unsigned Opc) {
+  return (static_cast<uint32_t>(Imm & 0xfff) << 20) | (Rs1 << 15) |
+         (Funct3 << 12) | (Rd << 7) | Opc;
+}
+
+constexpr uint32_t rv32EncodeS(int32_t Imm, unsigned Rs2, unsigned Rs1,
+                               unsigned Funct3, unsigned Opc) {
+  return (static_cast<uint32_t>((Imm >> 5) & 0x7f) << 25) | (Rs2 << 20) |
+         (Rs1 << 15) | (Funct3 << 12) |
+         (static_cast<uint32_t>(Imm & 0x1f) << 7) | Opc;
+}
+
+constexpr uint32_t rv32EncodeB(int32_t Imm, unsigned Rs2, unsigned Rs1,
+                               unsigned Funct3) {
+  uint32_t U = static_cast<uint32_t>(Imm);
+  return (((U >> 12) & 1) << 31) | (((U >> 5) & 0x3f) << 25) | (Rs2 << 20) |
+         (Rs1 << 15) | (Funct3 << 12) | (((U >> 1) & 0xf) << 8) |
+         (((U >> 11) & 1) << 7) | 0x63;
+}
+
+constexpr uint32_t rv32EncodeU(int32_t Imm, unsigned Rd, unsigned Opc) {
+  return (static_cast<uint32_t>(Imm) & 0xfffff000u) | (Rd << 7) | Opc;
+}
+
+constexpr uint32_t rv32EncodeJ(int32_t Imm, unsigned Rd) {
+  uint32_t U = static_cast<uint32_t>(Imm);
+  return (((U >> 20) & 1) << 31) | (((U >> 1) & 0x3ff) << 21) |
+         (((U >> 11) & 1) << 20) | (((U >> 12) & 0xff) << 12) | (Rd << 7) |
+         0x6f;
+}
+
+/// A-extension encoding (opcode 0x2F, funct3=010 for the .W forms).
+constexpr uint32_t rv32EncodeAmo(unsigned Funct5, bool Aq, bool Rl,
+                                 unsigned Rs2, unsigned Rs1, unsigned Rd) {
+  return (Funct5 << 27) | ((Aq ? 1u : 0u) << 26) | ((Rl ? 1u : 0u) << 25) |
+         (Rs2 << 20) | (Rs1 << 15) | (0x2u << 12) | (Rd << 7) | 0x2f;
+}
+
+// funct5 values for the A extension.
+constexpr unsigned AmoFunct5LrW = 0x02;
+constexpr unsigned AmoFunct5ScW = 0x03;
+constexpr unsigned AmoFunct5SwapW = 0x01;
+constexpr unsigned AmoFunct5AddW = 0x00;
+constexpr unsigned AmoFunct5XorW = 0x04;
+constexpr unsigned AmoFunct5AndW = 0x0c;
+constexpr unsigned AmoFunct5OrW = 0x08;
+constexpr unsigned AmoFunct5MinW = 0x10;
+constexpr unsigned AmoFunct5MaxW = 0x14;
+constexpr unsigned AmoFunct5MinuW = 0x18;
+constexpr unsigned AmoFunct5MaxuW = 0x1c;
+
+} // namespace rv32
+} // namespace input
+} // namespace llsc
+
+#endif // LLSC_INPUT_RV32_RV32ISA_H

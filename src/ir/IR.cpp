@@ -91,6 +91,8 @@ const char *ir::irOpName(IROp Op) {
     return "helper";
   case IROp::AtomicAddG:
     return "atomic_add";
+  case IROp::AtomicRmwG:
+    return "atomic_rmw";
   case IROp::HstStoreTag:
     return "hst_tag";
   case IROp::ReadSpecial:
@@ -129,6 +131,22 @@ const char *ir::condCodeName(CondCode Cc) {
     return "geu";
   }
   llsc_unreachable("invalid condition code");
+}
+
+const char *ir::rmwKindName(RmwKind Kind) {
+  switch (Kind) {
+  case RmwKind::Swap:
+    return "swap";
+  case RmwKind::Add:
+    return "add";
+  case RmwKind::And:
+    return "and";
+  case RmwKind::Or:
+    return "or";
+  case RmwKind::Xor:
+    return "xor";
+  }
+  llsc_unreachable("invalid RMW kind");
 }
 
 bool ir::isTerminator(IROp Op) {

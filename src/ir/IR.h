@@ -7,7 +7,7 @@
 /// \file
 /// The translator's intermediate representation, modeled after QEMU's TCG:
 /// each guest instruction lowers to a handful of micro-ops over an infinite
-/// set of block-local values. Value ids below NumGuestRegs denote the guest
+/// set of block-local values. Value ids below FirstTempId denote the guest
 /// registers themselves (TCG "globals"); higher ids are block-local temps.
 ///
 /// The atomic-emulation schemes inject micro-ops here — this is the paper's
@@ -29,11 +29,14 @@
 namespace llsc {
 namespace ir {
 
-/// Block-local value id. Ids [0, NumGuestRegs) name guest registers.
+/// Block-local value id. Ids [0, FirstTempId) name guest registers.
 using ValueId = uint16_t;
 
-/// First value id that denotes a temp rather than a guest register.
-constexpr ValueId FirstTempId = guest::NumGuestRegs;
+/// First value id that denotes a temp rather than a guest register. Sized
+/// by the widest frontend's register file (guest::MaxGuestRegs), not by
+/// GRV's: value ids below this bound are architectural registers for
+/// whichever input::InputArch produced the block.
+constexpr ValueId FirstTempId = guest::MaxGuestRegs;
 
 /// Micro-op opcodes.
 enum class IROp : uint8_t {
@@ -92,6 +95,12 @@ enum class IROp : uint8_t {
   // rule-based translation pass for recognized LL/SC idioms (Section VI).
   AtomicAddG, ///< dst = atomic_fetch_add(guest[A], B) (Size).
 
+  // Generalized host atomic RMW on guest memory: the Section VI rule-based
+  // lowering of single-instruction guest atomics (RV32 AMOs). Imm selects
+  // the operation (RmwKind); like AtomicAddG it bypasses the scheme and
+  // runs as one sequentially-consistent host RMW.
+  AtomicRmwG, ///< dst = atomic_rmw<Imm>(guest[A], B) (Size).
+
   // Fused HST store instrumentation: one micro-op tagging every 4-byte
   // granule covered by [A + Imm, A + Imm + Size) in the hash table the
   // active scheme published in MachineContext (aligned accesses of <= 4
@@ -126,10 +135,28 @@ enum class SpecialValue : uint8_t {
 /// Condition codes for BrCond.
 enum class CondCode : uint8_t { Eq, Ne, LtS, LtU, GeS, GeU };
 
+/// Operation selector for AtomicRmwG, carried in IRInst::Imm. The numeric
+/// values are baked into emitted tier-1 code (thunk argument) — append only.
+enum class RmwKind : uint8_t {
+  Swap = 0, ///< dst = exchange(guest[A], B).
+  Add = 1,  ///< dst = fetch_add(guest[A], B).
+  And = 2,  ///< dst = fetch_and(guest[A], B).
+  Or = 3,   ///< dst = fetch_or(guest[A], B).
+  Xor = 4,  ///< dst = fetch_xor(guest[A], B).
+};
+constexpr unsigned NumRmwKinds = 5;
+
 /// IRInst::Flags bits.
 enum : uint8_t {
   IRFlagSignExtend = 1 << 0, ///< LoadG/HelperLoad sign-extends.
   IRFlagInstrument = 1 << 1, ///< Op was injected by scheme instrumentation.
+  /// LoadLink/StoreCond: fault (error-halt) when A is not Size-aligned.
+  /// RV32 requires LR/SC addresses naturally aligned; GRV does not. Bit
+  /// position 1 << 2 is deliberately skipped: the engine's decoded flag
+  /// space derives DecodedFlagCountInline there (engine/Decoded.h), and
+  /// keeping pass-through bits at equal positions in both spaces lets
+  /// decodeBlock copy them with a mask.
+  IRFlagCheckAlign = 1 << 3,
 };
 
 /// One micro-op. Fields unused by an opcode are zero.
@@ -187,6 +214,27 @@ const char *irOpName(IROp Op);
 
 /// \returns the printable name of \p Cc.
 const char *condCodeName(CondCode Cc);
+
+/// \returns the printable name of \p Kind ("swap", "add", ...).
+const char *rmwKindName(RmwKind Kind);
+
+/// Applies \p Kind to two values (the new value an AtomicRmwG stores).
+/// Shared by the interpreter, the JIT thunk, and the constant folder.
+inline uint64_t applyRmwKind(RmwKind Kind, uint64_t Old, uint64_t Operand) {
+  switch (Kind) {
+  case RmwKind::Swap:
+    return Operand;
+  case RmwKind::Add:
+    return Old + Operand;
+  case RmwKind::And:
+    return Old & Operand;
+  case RmwKind::Or:
+    return Old | Operand;
+  case RmwKind::Xor:
+    return Old ^ Operand;
+  }
+  return Operand;
+}
 
 /// \returns true if \p Op ends a block (SetPc/SetPcImm/Halt). BrCond is
 /// conditional and therefore not a final terminator.

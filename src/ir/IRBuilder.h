@@ -38,9 +38,10 @@ public:
     return Block.NumValues++;
   }
 
-  /// \returns the value id of guest register \p Reg.
+  /// \returns the value id of guest register \p Reg (machine register
+  /// file slot; frontends index their architectural registers here).
   static ValueId guestReg(unsigned Reg) {
-    assert(Reg < guest::NumGuestRegs && "invalid guest register");
+    assert(Reg < guest::MaxGuestRegs && "invalid guest register");
     return static_cast<ValueId>(Reg);
   }
 
@@ -111,9 +112,11 @@ public:
     emitLoadLinkTo(Dst, Addr, Size);
     return Dst;
   }
-  void emitLoadLinkTo(ValueId Dst, ValueId Addr, unsigned Size) {
-    append({IROp::LoadLink, static_cast<uint8_t>(Size), 0, CondCode::Eq, Dst,
-            Addr, 0, 0});
+  void emitLoadLinkTo(ValueId Dst, ValueId Addr, unsigned Size,
+                      bool CheckAlign = false) {
+    append({IROp::LoadLink, static_cast<uint8_t>(Size),
+            static_cast<uint8_t>(CheckAlign ? IRFlagCheckAlign : 0),
+            CondCode::Eq, Dst, Addr, 0, 0});
   }
   ValueId emitStoreCond(ValueId Addr, ValueId Value, unsigned Size) {
     ValueId Dst = newTemp();
@@ -121,9 +124,10 @@ public:
     return Dst;
   }
   void emitStoreCondTo(ValueId Dst, ValueId Addr, ValueId Value,
-                       unsigned Size) {
-    append({IROp::StoreCond, static_cast<uint8_t>(Size), 0, CondCode::Eq,
-            Dst, Addr, Value, 0});
+                       unsigned Size, bool CheckAlign = false) {
+    append({IROp::StoreCond, static_cast<uint8_t>(Size),
+            static_cast<uint8_t>(CheckAlign ? IRFlagCheckAlign : 0),
+            CondCode::Eq, Dst, Addr, Value, 0});
   }
   void emitClearExcl() {
     append({IROp::ClearExcl, 0, 0, CondCode::Eq, 0, 0, 0, 0});
@@ -171,6 +175,18 @@ public:
                         unsigned Size) {
     append({IROp::AtomicAddG, static_cast<uint8_t>(Size), 0, CondCode::Eq,
             Dst, Addr, Delta, 0});
+  }
+
+  ValueId emitAtomicRmwG(RmwKind Kind, ValueId Addr, ValueId Operand,
+                         unsigned Size) {
+    ValueId Dst = newTemp();
+    emitAtomicRmwGTo(Dst, Kind, Addr, Operand, Size);
+    return Dst;
+  }
+  void emitAtomicRmwGTo(ValueId Dst, RmwKind Kind, ValueId Addr,
+                        ValueId Operand, unsigned Size) {
+    append({IROp::AtomicRmwG, static_cast<uint8_t>(Size), 0, CondCode::Eq,
+            Dst, Addr, Operand, static_cast<int64_t>(Kind)});
   }
 
   ValueId emitReadSpecial(SpecialValue Which) {

@@ -13,8 +13,13 @@ using namespace llsc;
 using namespace llsc::ir;
 
 std::string ir::printValue(ValueId Id) {
-  if (Id < FirstTempId)
+  // GRV register names for the slots GRV defines; the extra machine
+  // register-file slots (used by wider frontends like RV32) print as
+  // plain g16..g31 — the printer is frontend-agnostic.
+  if (Id < guest::NumGuestRegs)
     return std::string(guest::regName(Id));
+  if (Id < FirstTempId)
+    return formatString("g%u", static_cast<unsigned>(Id));
   // formatString rather than operator+: GCC 12's -O3 -Wrestrict trips a
   // false positive on const char* + std::string&& (PR105651).
   return formatString("t%u", static_cast<unsigned>(Id));
@@ -113,6 +118,11 @@ std::string ir::printInst(const IRInst &I) {
   case IROp::AtomicAddG:
     Text = V(I.Dst) + " = atomic_add." + std::to_string(I.Size) + " [" +
            V(I.A) + "], " + V(I.B);
+    break;
+  case IROp::AtomicRmwG:
+    Text = V(I.Dst) + " = atomic_" +
+           rmwKindName(static_cast<RmwKind>(I.Imm)) + "." +
+           std::to_string(I.Size) + " [" + V(I.A) + "], " + V(I.B);
     break;
   case IROp::HstStoreTag:
     Text = "hst_tag." + std::to_string(I.Size) + " [" + V(I.A) +

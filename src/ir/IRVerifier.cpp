@@ -51,6 +51,12 @@ ErrorOr<bool> ir::verify(const IRBlock &Block) {
       if (I.Size != 4 && I.Size != 8)
         return BadInst(Index, "exclusive/atomic size must be 4 or 8");
       break;
+    case IROp::AtomicRmwG:
+      if (I.Size != 4 && I.Size != 8)
+        return BadInst(Index, "exclusive/atomic size must be 4 or 8");
+      if (I.Imm < 0 || I.Imm >= static_cast<int64_t>(NumRmwKinds))
+        return BadInst(Index, "invalid RMW kind selector");
+      break;
     case IROp::Helper:
       if (I.Imm < 0 ||
           static_cast<size_t>(I.Imm) >= Block.Helpers.size() ||

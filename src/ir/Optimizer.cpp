@@ -48,6 +48,7 @@ void operandsRead(const IRInst &I, bool &ReadsA, bool &ReadsB) {
   case IROp::HelperStore:
   case IROp::Helper:
   case IROp::AtomicAddG:
+  case IROp::AtomicRmwG:
   case IROp::BrCond:
     ReadsA = ReadsB = true;
     return;
@@ -290,6 +291,7 @@ bool observesAllRegs(IROp Op) {
   case IROp::HelperLoad:
   case IROp::SysCall:
   case IROp::AtomicAddG:
+  case IROp::AtomicRmwG:
     return true;
   default:
     return false;
@@ -404,6 +406,7 @@ OptStats ir::forwardStoresToLoads(IRBlock &Block) {
     case IROp::HelperStore:
     case IROp::Helper:
     case IROp::AtomicAddG:
+    case IROp::AtomicRmwG:
     case IROp::LoadLink:
     case IROp::ClearExcl:
     case IROp::Fence:

@@ -126,6 +126,37 @@ uint64_t GuestMemory::fetchAdd(uint64_t Addr, uint64_t Delta, unsigned Bytes) {
                             Delta, __ATOMIC_SEQ_CST);
 }
 
+namespace {
+template <typename T>
+uint64_t atomicRmwOn(T *Ptr, T Operand, unsigned Kind) {
+  switch (Kind) {
+  case 0: // swap
+    return __atomic_exchange_n(Ptr, Operand, __ATOMIC_SEQ_CST);
+  case 1: // add
+    return __atomic_fetch_add(Ptr, Operand, __ATOMIC_SEQ_CST);
+  case 2: // and
+    return __atomic_fetch_and(Ptr, Operand, __ATOMIC_SEQ_CST);
+  case 3: // or
+    return __atomic_fetch_or(Ptr, Operand, __ATOMIC_SEQ_CST);
+  case 4: // xor
+    return __atomic_fetch_xor(Ptr, Operand, __ATOMIC_SEQ_CST);
+  }
+  assert(false && "invalid RMW kind");
+  return 0;
+}
+} // namespace
+
+uint64_t GuestMemory::atomicRmw(uint64_t Addr, uint64_t Operand,
+                                unsigned Bytes, unsigned Kind) {
+  assert(isAligned(Addr, Bytes) && "atomic access must be aligned");
+  if (Bytes == 4)
+    return atomicRmwOn(reinterpret_cast<uint32_t *>(shadowPtr(Addr)),
+                       static_cast<uint32_t>(Operand), Kind);
+  assert(Bytes == 8 && "atomicRmw supports 4 or 8 bytes");
+  return atomicRmwOn(reinterpret_cast<uint64_t *>(shadowPtr(Addr)), Operand,
+                     Kind);
+}
+
 void GuestMemory::setPageRestricted(uint64_t PageIdx, bool Restricted) {
   uint8_t Prev = PageRestricted[PageIdx].exchange(Restricted ? 1 : 0,
                                                  std::memory_order_relaxed);

@@ -207,6 +207,14 @@ public:
   /// mapping). \p Bytes is 4 or 8. \returns the previous value.
   uint64_t fetchAdd(uint64_t Addr, uint64_t Delta, unsigned Bytes);
 
+  /// Sequentially-consistent atomic read-modify-write on guest memory
+  /// (shadow mapping). \p Kind selects the combining op and matches
+  /// ir::RmwKind numerically (0=swap 1=add 2=and 3=or 4=xor); the mem
+  /// layer takes a plain unsigned so it stays independent of the IR
+  /// headers. \p Bytes is 4 or 8. \returns the previous value.
+  uint64_t atomicRmw(uint64_t Addr, uint64_t Operand, unsigned Bytes,
+                     unsigned Kind);
+
   // --- Page protection (primary mapping only) -----------------------------
 
   /// mprotect()s one page of the primary mapping. \p Prot is a PROT_* mask.

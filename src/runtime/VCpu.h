@@ -146,7 +146,9 @@ struct JumpCache {
 
 /// One guest hardware thread.
 struct VCpu {
-  uint64_t Regs[guest::NumGuestRegs] = {};
+  /// Machine register file. Sized for the widest supported frontend
+  /// (RV32's x0..x31); GRV uses only the first NumGuestRegs slots.
+  uint64_t Regs[guest::MaxGuestRegs] = {};
   uint64_t Pc = 0;
   bool Halted = false;
 

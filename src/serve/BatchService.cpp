@@ -98,8 +98,9 @@ BatchService::captureSnapshot(const JobSpec &Spec, bool Warm) {
   };
 
   auto Load = [&]() -> ErrorOr<void> {
-    return Spec.Program ? M->loadProgram(*Spec.Program)
-                        : M->loadAssembly(Spec.AssemblySource, Spec.BaseAddr);
+    return Spec.Program
+               ? M->load(input::GuestImage(Spec.Machine.Arch, *Spec.Program))
+               : M->loadAssembly(Spec.AssemblySource, Spec.BaseAddr);
   };
   if (auto Loaded = Load(); !Loaded)
     return Fail(Loaded.error());
@@ -205,8 +206,9 @@ void BatchService::runJob(PendingJob &Job, JobResult &Result) {
           ->fetch_add(1, std::memory_order_relaxed);
 
       ErrorOr<void> Loaded =
-          Spec.Program ? M->loadProgram(*Spec.Program)
-                       : M->loadAssembly(Spec.AssemblySource, Spec.BaseAddr);
+          Spec.Program
+              ? M->load(input::GuestImage(Spec.Machine.Arch, *Spec.Program))
+              : M->loadAssembly(Spec.AssemblySource, Spec.BaseAddr);
       if (!Loaded) {
         // Assembler/loader errors are deterministic — retrying re-runs the
         // same text through the same assembler. Fail immediately. The

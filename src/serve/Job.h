@@ -32,8 +32,9 @@ struct JobSpec {
   /// Label carried through results, logs, and trace instants.
   std::string Name;
 
-  /// Guest program: either pre-assembled, or GRV assembly source
-  /// assembled at dispatch time (Program wins when both are set).
+  /// Guest program: either pre-built (loaded under Machine.Arch — GRV or
+  /// an rv32 ELF's parsed image), or GRV assembly source assembled at
+  /// dispatch time (Program wins when both are set).
   std::optional<guest::Program> Program;
   std::string AssemblySource;
   uint64_t BaseAddr = 0x1000;

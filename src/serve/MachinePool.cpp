@@ -28,11 +28,12 @@ std::string serve::machineConfigKey(const MachineConfig &Config) {
   const SoftHtmConfig &S = Config.SoftHtm;
   std::snprintf(
       Buf, sizeof(Buf),
-      "scheme=%s;threads=%u;mem=%" PRIu64 ";stack=%" PRIu64
+      "arch=%s;scheme=%s;threads=%u;mem=%" PRIu64 ";stack=%" PRIu64
       ";profile=%d;softhtm=%d;maxblocks=%" PRIu64
       ";maxsecs=%.9g;hstlog2=%u;htmretries=%u;adaptive=%d"
       ";ad=%" PRIu64 ",%" PRIu64 ",%u,%" PRIu64 ",%.9g,%.9g,%.9g"
       ";tr=%d,%d,%u,%d;sh=%u,%u,%" PRIu64 ",%u",
+      input::guestArchName(Config.Arch),
       schemeTraits(Config.Scheme).Name, Config.NumThreads, Config.MemBytes,
       Config.StackBytes, Config.Profile ? 1 : 0, Config.ForceSoftHtm ? 1 : 0,
       Config.MaxBlocksPerCpu, Config.MaxSecondsPerCpu, Config.HstTableLog2,

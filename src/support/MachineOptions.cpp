@@ -13,6 +13,9 @@ MachineOptionValues llsc::registerMachineOptions(ArgParser &Args,
   MachineOptionValues V;
   V.Scheme = Args.addString(Spec.SchemeFlag, Spec.SchemeDefault,
                             Spec.SchemeHelp);
+  V.Arch = Args.addString("arch", "grv",
+                          "guest ISA frontend: grv or rv32 "
+                          "(docs/FRONTENDS.md)");
   if (Spec.WithExecution) {
     V.Threads = Args.addInt("threads", 1, "guest vCPU count");
     V.MemMb = Args.addInt("mem-mb", 64, "guest memory size in MiB");

@@ -49,6 +49,7 @@ struct MachineOptionSpec {
 /// out of stay null.
 struct MachineOptionValues {
   std::string *Scheme = nullptr;
+  std::string *Arch = nullptr;
   int64_t *Threads = nullptr;
   int64_t *MemMb = nullptr;
   int64_t *HstTableLog2 = nullptr;

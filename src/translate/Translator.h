@@ -5,18 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Translates GRV guest basic blocks to IR, applying the active atomic
-/// scheme's instrumentation hooks (ir::TranslationHooks) and, optionally,
-/// the rule-based atomic-idiom pass of the paper's Section VI, which
-/// recognizes compiler-generated LL/SC retry loops (atomic_add style) and
-/// lowers the whole loop to one host atomic read-modify-write — both fast
-/// and ABA-free.
+/// Translates guest basic blocks to IR. The translator itself is
+/// frontend-neutral: per-instruction decoding and lowering live behind the
+/// input::InputArch interface (one implementation per guest ISA), while
+/// this layer owns block formation, the active atomic scheme's
+/// instrumentation hooks (ir::TranslationHooks), the optimizer/verifier
+/// pipeline, and translation statistics. The paper's Section VI rule-based
+/// atomic translation is a frontend concern — GRV matches compiler-shaped
+/// LL/SC retry loops, RV32 maps single AMO instructions — and frontends
+/// report each hit back through input::AtomicIdiom so the stats stay
+/// comparable across ISAs.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLSC_TRANSLATE_TRANSLATOR_H
 #define LLSC_TRANSLATE_TRANSLATOR_H
 
+#include "input/InputArch.h"
 #include "ir/IR.h"
 #include "ir/TranslationHooks.h"
 
@@ -32,7 +37,8 @@ class GuestMemory;
 struct TranslatorConfig {
   /// Run the IR optimizer (constant folding, copy-prop, DCE) per block.
   bool Optimize = true;
-  /// Enable the Section VI rule-based LL/SC idiom translation.
+  /// Enable the Section VI rule-based atomic translation (frontend-
+  /// specific: GRV retry-loop idioms, RV32 AMO → host RMW).
   bool RuleBasedAtomics = false;
   /// Guest instructions per translation block before a forced cut.
   unsigned MaxGuestInstsPerBlock = 64;
@@ -55,11 +61,12 @@ struct TranslatorStats {
 /// time. Thread-safe for concurrent translateBlock calls.
 class Translator {
 public:
-  /// \p Hooks may be null (no instrumentation). \p Mem provides code
-  /// bytes; fetches go through the shadow mapping so PST page protection
-  /// never blocks code fetch.
-  Translator(GuestMemory &Mem, ir::TranslationHooks *Hooks,
-             const TranslatorConfig &Config);
+  /// \p Arch is the guest frontend (stateless singleton, outlives the
+  /// translator). \p Hooks may be null (no instrumentation). \p Mem
+  /// provides code bytes; fetches go through the shadow mapping so PST
+  /// page protection never blocks code fetch.
+  Translator(GuestMemory &Mem, const input::InputArch &Arch,
+             ir::TranslationHooks *Hooks, const TranslatorConfig &Config);
 
   /// Translates the block starting at \p Pc.
   /// \returns the block, or an error for undecodable instructions or an
@@ -72,18 +79,14 @@ public:
   /// so no block translated with the old hooks survives.
   void setHooks(ir::TranslationHooks *NewHooks) { Hooks = NewHooks; }
 
+  /// The guest frontend this translator lowers with.
+  const input::InputArch &arch() const { return Arch; }
+
   const TranslatorStats &stats() const { return Stats; }
 
 private:
-  /// Attempts to match the atomic_add LL/SC idiom at \p Pc; on success
-  /// emits the AtomicAddG lowering and returns the number of guest
-  /// instructions consumed (0 if no match).
-  unsigned tryAtomicIdiom(ir::IRBuilder &Builder, uint64_t Pc);
-
-  /// Fetches and decodes one instruction.
-  ErrorOr<guest::Inst> fetch(uint64_t Pc);
-
   GuestMemory &Mem;
+  const input::InputArch &Arch;
   ir::TranslationHooks *Hooks;
   TranslatorConfig Config;
   TranslatorStats Stats;

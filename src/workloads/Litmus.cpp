@@ -6,6 +6,8 @@
 
 #include "workloads/Litmus.h"
 
+#include "input/GuestImage.h"
+#include "input/rv32/Rv32Isa.h"
 #include "support/Compiler.h"
 
 #include <cassert>
@@ -55,10 +57,57 @@ shared_var:
         .space  16
 )";
 
+// RV32IA equivalent of FragmentProgram, emitted as machine code (there is
+// no RV32 assembler in-tree). Same register contract as GRV: address in
+// x10, value in x11, LL result in x1, SC status in x2 (0 = success, which
+// is RISC-V's native convention). No 8-byte fragments — the A extension
+// has no 64-bit word form on RV32.
+static guest::Program rv32FragmentProgram() {
+  using namespace input::rv32;
+  constexpr uint64_t Base = 0x1000;
+  const uint32_t Ecall = rv32EncodeI(0, 0, 0x0, 0, 0x73);
+
+  std::vector<uint32_t> Words;
+  std::map<std::string, uint64_t> Symbols;
+  auto Label = [&](const char *Name) {
+    Symbols[Name] = Base + Words.size() * 4;
+  };
+
+  Label("_start");
+  Words.push_back(Ecall); // never used as an entry
+  Label("frag_ll");       // lr.w x1, (x10)
+  Words.push_back(rv32EncodeAmo(AmoFunct5LrW, false, false, 0, 10, 1));
+  Words.push_back(Ecall);
+  Label("frag_sc");       // sc.w x2, x11, (x10)
+  Words.push_back(rv32EncodeAmo(AmoFunct5ScW, false, false, 11, 10, 2));
+  Words.push_back(Ecall);
+  Label("frag_store");    // sw x11, 0(x10)
+  Words.push_back(rv32EncodeS(0, 11, 10, 0x2, 0x23));
+  Words.push_back(Ecall);
+  Label("frag_store_h");  // sh x11, 0(x10)
+  Words.push_back(rv32EncodeS(0, 11, 10, 0x1, 0x23));
+  Words.push_back(Ecall);
+
+  // Page-aligned shared window, as in the GRV source's ".align 4096".
+  const uint64_t SharedVar = 0x2000;
+  Symbols["shared_var"] = SharedVar;
+
+  std::vector<uint8_t> Image(SharedVar - Base + LitmusDriver::WindowBytes, 0);
+  for (size_t I = 0; I < Words.size(); ++I)
+    for (unsigned B = 0; B < 4; ++B)
+      Image[I * 4 + B] = static_cast<uint8_t>(Words[I] >> (B * 8));
+  return guest::Program(std::move(Image), Base, Base, std::move(Symbols));
+}
+
 ErrorOr<LitmusDriver> LitmusDriver::create(Machine &M) {
   if (M.numThreads() < 2)
     return makeError("litmus sequences need at least 2 threads");
-  auto LoadedOrErr = M.loadAssembly(FragmentProgram);
+
+  const bool Rv32 = M.config().Arch == input::GuestArch::Rv32;
+  auto LoadedOrErr =
+      Rv32 ? M.load(input::GuestImage(input::GuestArch::Rv32,
+                                      rv32FragmentProgram()))
+           : M.loadAssembly(FragmentProgram);
   if (!LoadedOrErr)
     return LoadedOrErr.error();
 
@@ -66,9 +115,11 @@ ErrorOr<LitmusDriver> LitmusDriver::create(Machine &M) {
   Driver.LlPc = M.program().requiredSymbol("frag_ll");
   Driver.ScPc = M.program().requiredSymbol("frag_sc");
   Driver.StorePc = M.program().requiredSymbol("frag_store");
-  Driver.LlDPc = M.program().requiredSymbol("frag_ll_d");
-  Driver.ScDPc = M.program().requiredSymbol("frag_sc_d");
-  Driver.StoreDPc = M.program().requiredSymbol("frag_store_d");
+  if (!Rv32) {
+    Driver.LlDPc = M.program().requiredSymbol("frag_ll_d");
+    Driver.ScDPc = M.program().requiredSymbol("frag_sc_d");
+    Driver.StoreDPc = M.program().requiredSymbol("frag_store_d");
+  }
   Driver.StoreHPc = M.program().requiredSymbol("frag_store_h");
   Driver.VarAddr = M.program().requiredSymbol("shared_var");
   M.prepareRun();
@@ -83,6 +134,8 @@ void LitmusDriver::resetVar(uint32_t Value) {
 }
 
 void LitmusDriver::runFragment(unsigned Tid, uint64_t Pc) {
+  assert(Pc != 0 && "fragment not available under this frontend "
+                    "(8-byte variants are GRV-only)");
   VCpu &Cpu = M.cpu(Tid);
   Cpu.Halted = false;
   Cpu.Pc = Pc;

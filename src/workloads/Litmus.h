@@ -39,8 +39,13 @@ namespace workloads {
 /// of a machine, through the translator and engine.
 class LitmusDriver {
 public:
-  /// Prepares \p M with the fragment program. The machine must have been
-  /// created with at least 2 threads; existing program state is replaced.
+  /// Prepares \p M with the fragment program in the machine's configured
+  /// guest ISA (MachineConfig::Arch): GRV assembly, or machine-code RV32IA
+  /// fragments (lr.w/sc.w), so the same sequences classify a scheme through
+  /// either frontend. The machine must have been created with at least 2
+  /// threads; existing program state is replaced. The 8-byte window
+  /// variants (loadLinkAt/storeCondAt with Size == 8) are GRV-only — RV32's
+  /// A extension has no 64-bit word form on a 32-bit guest.
   static ErrorOr<LitmusDriver> create(Machine &M);
 
   /// Bytes of the shared window sized operations may address.

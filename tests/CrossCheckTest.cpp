@@ -470,8 +470,7 @@ TEST_P(CrossCheckTest, OptimizerVariantsAgree) {
     auto Result = M->run({});
     EXPECT_TRUE(bool(Result));
     std::array<uint64_t, NumGuestRegs> Regs;
-    std::copy(std::begin(M->cpu(0).Regs), std::end(M->cpu(0).Regs),
-              Regs.begin());
+    std::copy_n(std::begin(M->cpu(0).Regs), NumGuestRegs, Regs.begin());
     return Regs;
   };
 

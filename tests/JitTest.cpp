@@ -158,8 +158,8 @@ RunSnapshot runOnce(Machine &M, const std::string &Asm) {
   if (!Result)
     return Snap;
   EXPECT_TRUE(Result->AllHalted);
-  std::copy(std::begin(M.cpu(0).Regs), std::end(M.cpu(0).Regs),
-            Snap.Regs.begin());
+  std::copy_n(std::begin(M.cpu(0).Regs), guest::NumGuestRegs,
+              Snap.Regs.begin());
   uint64_t Scratch = M.program().requiredSymbol("scratch");
   Snap.Scratch.resize(256);
   for (unsigned B = 0; B < 256; ++B)

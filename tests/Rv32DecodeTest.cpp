@@ -1,0 +1,273 @@
+//===- tests/Rv32DecodeTest.cpp - RV32IA decoder golden tests ------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Golden tests for the RV32IA decoder (src/input/rv32/Rv32Isa.h): one
+/// deterministic check per encoding class, explicit rejection of the
+/// encodings the frontend does NOT support (compressed, M extension,
+/// LR with rs2 != 0), disassembly goldens, and the runtime misaligned
+/// LR/SC fault the frontend is contracted to deliver (CheckAlign).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "input/GuestImage.h"
+#include "input/rv32/Rv32Isa.h"
+
+#include <gtest/gtest.h>
+
+using namespace llsc;
+using namespace llsc::input::rv32;
+
+namespace {
+
+Rv32Inst decodeExpect(uint32_t Word, Rv32Op Op) {
+  Rv32Inst I = rv32Decode(Word);
+  EXPECT_EQ(I.Op, Op) << rv32Disassemble(Word);
+  return I;
+}
+
+/// Builds an RV32 guest program from raw words at 0x1000 with a 4 KiB
+/// data page appended.
+guest::Program rv32Program(const std::vector<uint32_t> &Words) {
+  constexpr uint64_t Base = 0x1000;
+  const uint64_t DataAddr = 0x2000;
+  std::vector<uint8_t> Image(DataAddr - Base + 4096, 0);
+  for (size_t I = 0; I < Words.size(); ++I)
+    for (unsigned B = 0; B < 4; ++B)
+      Image[I * 4 + B] = static_cast<uint8_t>(Words[I] >> (B * 8));
+  return guest::Program(std::move(Image), Base, Base, {{"data", DataAddr}});
+}
+
+} // namespace
+
+/// U-format: LUI/AUIPC carry the upper-20 immediate, pre-shifted.
+TEST(Rv32Decode, UFormat) {
+  Rv32Inst I = decodeExpect(rv32EncodeU(0x12345000, 11, 0x37), Rv32Op::Lui);
+  EXPECT_EQ(I.Rd, 11);
+  EXPECT_EQ(I.Imm, 0x12345000);
+
+  I = decodeExpect(rv32EncodeU(static_cast<int32_t>(0xfffff000), 5, 0x17),
+                   Rv32Op::Auipc);
+  EXPECT_EQ(I.Rd, 5);
+  EXPECT_EQ(I.Imm, static_cast<int32_t>(0xfffff000));
+}
+
+/// J-format: JAL's scrambled 21-bit immediate, positive and negative.
+TEST(Rv32Decode, JFormat) {
+  Rv32Inst I = decodeExpect(rv32EncodeJ(0x12344, 1), Rv32Op::Jal);
+  EXPECT_EQ(I.Rd, 1);
+  EXPECT_EQ(I.Imm, 0x12344);
+
+  I = decodeExpect(rv32EncodeJ(-4, 0), Rv32Op::Jal);
+  EXPECT_EQ(I.Rd, 0);
+  EXPECT_EQ(I.Imm, -4);
+}
+
+/// I-format: JALR, loads, ALU immediates (including the shift split) with
+/// sign-extended immediates.
+TEST(Rv32Decode, IFormat) {
+  Rv32Inst I = decodeExpect(rv32EncodeI(-8, 1, 0x0, 0, 0x67), Rv32Op::Jalr);
+  EXPECT_EQ(I.Rs1, 1);
+  EXPECT_EQ(I.Imm, -8);
+  // JALR exists only with funct3 == 0.
+  decodeExpect(rv32EncodeI(-8, 1, 0x5, 0, 0x67), Rv32Op::Invalid);
+
+  struct {
+    unsigned Funct3;
+    Rv32Op Op;
+  } Loads[] = {{0x0, Rv32Op::Lb}, {0x1, Rv32Op::Lh},  {0x2, Rv32Op::Lw},
+               {0x4, Rv32Op::Lbu}, {0x5, Rv32Op::Lhu}};
+  for (const auto &L : Loads) {
+    I = decodeExpect(rv32EncodeI(-2048, 10, L.Funct3, 11, 0x03), L.Op);
+    EXPECT_EQ(I.Rd, 11);
+    EXPECT_EQ(I.Rs1, 10);
+    EXPECT_EQ(I.Imm, -2048);
+  }
+
+  I = decodeExpect(rv32EncodeI(2047, 2, 0x0, 3, 0x13), Rv32Op::Addi);
+  EXPECT_EQ(I.Imm, 2047);
+  decodeExpect(rv32EncodeI(1, 2, 0x2, 3, 0x13), Rv32Op::Slti);
+  decodeExpect(rv32EncodeI(1, 2, 0x3, 3, 0x13), Rv32Op::Sltiu);
+  decodeExpect(rv32EncodeI(1, 2, 0x4, 3, 0x13), Rv32Op::Xori);
+  decodeExpect(rv32EncodeI(1, 2, 0x6, 3, 0x13), Rv32Op::Ori);
+  decodeExpect(rv32EncodeI(1, 2, 0x7, 3, 0x13), Rv32Op::Andi);
+
+  // Shifts: shamt in rs2's field, srli/srai split on bit 30.
+  I = decodeExpect(rv32EncodeI(31, 2, 0x1, 3, 0x13), Rv32Op::Slli);
+  EXPECT_EQ(I.Imm & 0x1f, 31);
+  decodeExpect(rv32EncodeI(4, 2, 0x5, 3, 0x13), Rv32Op::Srli);
+  decodeExpect(rv32EncodeI(4 | 0x400, 2, 0x5, 3, 0x13), Rv32Op::Srai);
+}
+
+/// B-format: all six branches with a negative displacement.
+TEST(Rv32Decode, BFormat) {
+  struct {
+    unsigned Funct3;
+    Rv32Op Op;
+  } Branches[] = {{0x0, Rv32Op::Beq},  {0x1, Rv32Op::Bne},
+                  {0x4, Rv32Op::Blt},  {0x5, Rv32Op::Bge},
+                  {0x6, Rv32Op::Bltu}, {0x7, Rv32Op::Bgeu}};
+  for (const auto &Br : Branches) {
+    Rv32Inst I = decodeExpect(rv32EncodeB(-18, 7, 6, Br.Funct3), Br.Op);
+    EXPECT_EQ(I.Rs1, 6);
+    EXPECT_EQ(I.Rs2, 7);
+    EXPECT_EQ(I.Imm, -18);
+  }
+  decodeExpect(rv32EncodeB(0x0ffe, 7, 6, 0x0), Rv32Op::Beq); // max positive
+  EXPECT_EQ(rv32Decode(rv32EncodeB(0x0ffe, 7, 6, 0x0)).Imm, 0x0ffe);
+}
+
+/// S-format: stores with a negative offset.
+TEST(Rv32Decode, SFormat) {
+  struct {
+    unsigned Funct3;
+    Rv32Op Op;
+  } Stores[] = {{0x0, Rv32Op::Sb}, {0x1, Rv32Op::Sh}, {0x2, Rv32Op::Sw}};
+  for (const auto &St : Stores) {
+    Rv32Inst I = decodeExpect(rv32EncodeS(-33, 12, 11, St.Funct3, 0x23),
+                              St.Op);
+    EXPECT_EQ(I.Rs1, 11);
+    EXPECT_EQ(I.Rs2, 12);
+    EXPECT_EQ(I.Imm, -33);
+  }
+}
+
+/// R-format: the ten RV32I register-register ops, sub/sra on bit 30.
+TEST(Rv32Decode, RFormat) {
+  struct {
+    unsigned Funct7, Funct3;
+    Rv32Op Op;
+  } Ops[] = {{0x00, 0x0, Rv32Op::Add},  {0x20, 0x0, Rv32Op::Sub},
+             {0x00, 0x1, Rv32Op::Sll},  {0x00, 0x2, Rv32Op::Slt},
+             {0x00, 0x3, Rv32Op::Sltu}, {0x00, 0x4, Rv32Op::Xor},
+             {0x00, 0x5, Rv32Op::Srl},  {0x20, 0x5, Rv32Op::Sra},
+             {0x00, 0x6, Rv32Op::Or},   {0x00, 0x7, Rv32Op::And}};
+  for (const auto &Of : Ops) {
+    Rv32Inst I = decodeExpect(rv32EncodeR(Of.Funct7, 3, 2, Of.Funct3, 1, 0x33),
+                              Of.Op);
+    EXPECT_EQ(I.Rd, 1);
+    EXPECT_EQ(I.Rs1, 2);
+    EXPECT_EQ(I.Rs2, 3);
+  }
+}
+
+/// System and fence encodings.
+TEST(Rv32Decode, SystemAndFence) {
+  decodeExpect(0x00000073, Rv32Op::Ecall);
+  decodeExpect(0x00100073, Rv32Op::Ebreak);
+  decodeExpect(0x0ff0000f, Rv32Op::Fence);
+}
+
+/// A extension: LR/SC and every AMO, with aq/rl bit extraction.
+TEST(Rv32Decode, AExtension) {
+  Rv32Inst I = decodeExpect(rv32EncodeAmo(AmoFunct5LrW, true, false, 0, 11, 7),
+                            Rv32Op::LrW);
+  EXPECT_EQ(I.Rd, 7);
+  EXPECT_EQ(I.Rs1, 11);
+  EXPECT_TRUE(I.Aq);
+  EXPECT_FALSE(I.Rl);
+
+  I = decodeExpect(rv32EncodeAmo(AmoFunct5ScW, true, true, 28, 11, 29),
+                   Rv32Op::ScW);
+  EXPECT_EQ(I.Rd, 29);
+  EXPECT_EQ(I.Rs2, 28);
+  EXPECT_TRUE(I.Aq);
+  EXPECT_TRUE(I.Rl);
+
+  struct {
+    unsigned Funct5;
+    Rv32Op Op;
+  } Amos[] = {{AmoFunct5SwapW, Rv32Op::AmoSwapW},
+              {AmoFunct5AddW, Rv32Op::AmoAddW},
+              {AmoFunct5XorW, Rv32Op::AmoXorW},
+              {AmoFunct5AndW, Rv32Op::AmoAndW},
+              {AmoFunct5OrW, Rv32Op::AmoOrW},
+              {AmoFunct5MinW, Rv32Op::AmoMinW},
+              {AmoFunct5MaxW, Rv32Op::AmoMaxW},
+              {AmoFunct5MinuW, Rv32Op::AmoMinuW},
+              {AmoFunct5MaxuW, Rv32Op::AmoMaxuW}};
+  for (const auto &A : Amos) {
+    I = decodeExpect(rv32EncodeAmo(A.Funct5, false, false, 12, 10, 14), A.Op);
+    EXPECT_EQ(I.Rd, 14);
+    EXPECT_EQ(I.Rs1, 10);
+    EXPECT_EQ(I.Rs2, 12);
+  }
+}
+
+/// Encodings the frontend rejects, each with its precise decode outcome.
+TEST(Rv32Decode, Rejections) {
+  // 16-bit (RVC) encodings: low two bits != 0b11.
+  decodeExpect(0x0001, Rv32Op::Compressed);         // c.nop
+  decodeExpect(0x4501, Rv32Op::Compressed);         // c.li a0, 0
+  decodeExpect(0xfffffffe, Rv32Op::Compressed);
+  // LR.W with rs2 != 0 is not a valid encoding.
+  decodeExpect(rv32EncodeAmo(AmoFunct5LrW, false, false, 5, 11, 7),
+               Rv32Op::Invalid);
+  // M extension (funct7 == 1 on OP): not part of RV32IA.
+  decodeExpect(rv32EncodeR(0x01, 3, 2, 0x0, 1, 0x33), Rv32Op::Invalid); // mul
+  decodeExpect(rv32EncodeR(0x01, 3, 2, 0x4, 1, 0x33), Rv32Op::Invalid); // div
+  // A extension .D forms (funct3 == 3) do not exist on RV32.
+  decodeExpect(rv32EncodeAmo(AmoFunct5AddW, false, false, 3, 2, 1) ^
+                   (0x1u << 12),
+               Rv32Op::Invalid);
+  // Entirely undefined major opcode.
+  decodeExpect(0x0000007f, Rv32Op::Invalid);
+}
+
+/// Disassembly goldens (syntax consumed by --disassemble and traces).
+TEST(Rv32Decode, DisassemblyGoldens) {
+  EXPECT_EQ(rv32Disassemble(rv32EncodeI(64, 0, 0x0, 6, 0x13)),
+            "addi t1, zero, 64");
+  EXPECT_EQ(rv32Disassemble(rv32EncodeU(0x3000, 11, 0x37)), "lui a1, 0x3");
+  EXPECT_EQ(rv32Disassemble(rv32EncodeAmo(AmoFunct5LrW, false, false, 0, 11,
+                                          7)),
+            "lr.w t2, (a1)");
+  EXPECT_EQ(rv32Disassemble(rv32EncodeAmo(AmoFunct5ScW, false, false, 28, 11,
+                                          29)),
+            "sc.w t4, t3, (a1)");
+  EXPECT_EQ(rv32Disassemble(
+                rv32EncodeAmo(AmoFunct5AddW, true, true, 28, 11, 0)),
+            "amoadd.w.aq.rl zero, t3, (a1)");
+  EXPECT_EQ(rv32Disassemble(rv32EncodeB(-8, 0, 7, 0x1), 0x1010),
+            "bne t2, zero, 0x1008");
+  EXPECT_EQ(rv32Disassemble(rv32EncodeB(-8, 0, 7, 0x1)),
+            "bne t2, zero, pc-8");
+  EXPECT_EQ(rv32Disassemble(0x00000073), "ecall");
+}
+
+/// Runtime contract: misaligned LR/SC addresses fault (halt the vCPU)
+/// instead of arming a monitor on a straddling granule.
+TEST(Rv32Decode, MisalignedLrScFaults) {
+  for (bool Misaligned : {false, true}) {
+    MachineConfig Config;
+    Config.Arch = input::GuestArch::Rv32;
+    Config.NumThreads = 1;
+    Config.MemBytes = 8ULL << 20;
+    auto MOrErr = Machine::create(Config);
+    ASSERT_TRUE(bool(MOrErr)) << MOrErr.error().render();
+    auto M = MOrErr.take();
+
+    // lui a0, 0x2; [addi a0, a0, 2;] lr.w x1, (a0); sc.w x2, x1, (a0);
+    // addi x5, zero, 1; ecall
+    std::vector<uint32_t> Words;
+    Words.push_back(rv32EncodeU(0x2000, 10, 0x37));
+    if (Misaligned)
+      Words.push_back(rv32EncodeI(2, 10, 0x0, 10, 0x13));
+    Words.push_back(rv32EncodeAmo(AmoFunct5LrW, false, false, 0, 10, 1));
+    Words.push_back(rv32EncodeAmo(AmoFunct5ScW, false, false, 1, 10, 2));
+    Words.push_back(rv32EncodeI(1, 0, 0x0, 5, 0x13));
+    Words.push_back(rv32EncodeI(0, 0, 0x0, 0, 0x73));
+
+    ASSERT_TRUE(bool(M->load(
+        input::GuestImage(input::GuestArch::Rv32, rv32Program(Words)))));
+    auto Result = M->run({});
+    ASSERT_TRUE(bool(Result)) << Result.error().render();
+    EXPECT_TRUE(Result->AllHalted);
+    // The aligned run reaches the marker; the misaligned one faults at
+    // the LR and never writes x5.
+    EXPECT_EQ(M->cpu(0).Regs[5], Misaligned ? 0u : 1u);
+  }
+}

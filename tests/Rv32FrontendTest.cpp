@@ -1,0 +1,221 @@
+//===- tests/Rv32FrontendTest.cpp - RV32 frontend end-to-end matrix ------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end matrix for the --arch=rv32 frontend: the checked-in ELF32
+/// fixtures (tests/fixtures/rv32/) run under EVERY atomic scheme in both
+/// execution tiers (threaded interpreter and forced JIT), plus the
+/// Section VI rule-based AMO path, asserting architectural results
+/// through the loader's symbol table. The Section IV-A litmus rows are
+/// replayed through the RV32 fragment program and must land in the same
+/// Table II atomicity class as the GRV frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "input/InputArch.h"
+#include "workloads/Litmus.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace llsc;
+using namespace llsc::workloads;
+
+#ifndef LLSC_RV32_FIXTURE_DIR
+#error "LLSC_RV32_FIXTURE_DIR must point at tests/fixtures/rv32"
+#endif
+
+namespace {
+
+constexpr unsigned NumThreads = 4;
+constexpr uint64_t Iters = 64;
+
+/// Execution-tier axis of the matrix.
+enum class Tier {
+  Interp,   ///< Tier-0 threaded interpreter only.
+  Jit,      ///< JitHotThreshold = 0: every block through the tier-1 JIT.
+  RuleBased ///< Interpreter + Section VI idiom pass (AMOs as host RMW).
+};
+
+const char *tierName(Tier T) {
+  switch (T) {
+  case Tier::Interp:
+    return "Interp";
+  case Tier::Jit:
+    return "Jit";
+  case Tier::RuleBased:
+    return "RuleBased";
+  }
+  return "?";
+}
+
+guest::Program loadFixture(const std::string &Name) {
+  std::string Path = std::string(LLSC_RV32_FIXTURE_DIR) + "/" + Name;
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "missing fixture " << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  const std::string Bytes = Buf.str();
+  auto ProgOrErr = input::inputArch(input::GuestArch::Rv32)
+                       .loadImage(std::vector<uint8_t>(Bytes.begin(),
+                                                       Bytes.end()));
+  EXPECT_TRUE(bool(ProgOrErr)) << ProgOrErr.error().render();
+  return ProgOrErr.take();
+}
+
+std::unique_ptr<Machine> makeMachine(SchemeKind Scheme, Tier T,
+                                     unsigned Threads = NumThreads) {
+  MachineConfig Config;
+  Config.Arch = input::GuestArch::Rv32;
+  Config.Scheme = Scheme;
+  Config.NumThreads = Threads;
+  Config.MemBytes = 16ULL << 20;
+  Config.ForceSoftHtm = true;
+  Config.MaxBlocksPerCpu = 50'000'000;
+  switch (T) {
+  case Tier::Interp:
+    Config.Jit = false;
+    break;
+  case Tier::Jit:
+    Config.JitHotThreshold = 0;
+    break;
+  case Tier::RuleBased:
+    Config.Jit = false;
+    Config.Translation.RuleBasedAtomics = true;
+    break;
+  }
+  auto MachineOrErr = Machine::create(Config);
+  EXPECT_TRUE(bool(MachineOrErr)) << MachineOrErr.error().render();
+  return MachineOrErr.take();
+}
+
+uint32_t word(Machine &M, const char *Sym) {
+  return static_cast<uint32_t>(
+      M.mem().shadowLoad(M.program().requiredSymbol(Sym), 4));
+}
+
+struct MatrixParam {
+  SchemeKind Scheme;
+  Tier T;
+};
+
+class Rv32Matrix : public ::testing::TestWithParam<MatrixParam> {};
+
+std::vector<MatrixParam> matrixParams() {
+  std::vector<MatrixParam> Params;
+  for (SchemeKind Scheme : allSchemeKinds())
+    for (Tier T : {Tier::Interp, Tier::Jit, Tier::RuleBased})
+      Params.push_back({Scheme, T});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndTiers, Rv32Matrix, ::testing::ValuesIn(matrixParams()),
+    [](const ::testing::TestParamInfo<MatrixParam> &Info) {
+      std::string Name = schemeTraits(Info.param.Scheme).Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name + "_" + tierName(Info.param.T);
+    });
+
+} // namespace
+
+/// spinlock.elf: LR/SC mutual exclusion holds under every scheme and tier.
+TEST_P(Rv32Matrix, SpinlockFixture) {
+  auto M = makeMachine(GetParam().Scheme, GetParam().T);
+  ASSERT_TRUE(bool(M->load(input::GuestImage(input::GuestArch::Rv32,
+                                             loadFixture("spinlock.elf")))));
+  auto Result = M->run({});
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_TRUE(Result->AllHalted);
+  EXPECT_EQ(Result->GuestArch, input::GuestArch::Rv32);
+  EXPECT_EQ(word(*M, "LOCK"), 0u);
+  EXPECT_EQ(word(*M, "COUNTER"), NumThreads * Iters);
+}
+
+/// amo_counter.elf: every AMO family produces its architectural result.
+TEST_P(Rv32Matrix, AmoCounterFixture) {
+  auto M = makeMachine(GetParam().Scheme, GetParam().T);
+  ASSERT_TRUE(bool(M->load(input::GuestImage(
+      input::GuestArch::Rv32, loadFixture("amo_counter.elf")))));
+  auto Result = M->run({});
+  ASSERT_TRUE(bool(Result)) << Result.error().render();
+  EXPECT_TRUE(Result->AllHalted);
+
+  EXPECT_EQ(word(*M, "COUNTER"), NumThreads * Iters);
+  const uint32_t Swapped = word(*M, "SWAPW");
+  EXPECT_GE(Swapped, 1u);
+  EXPECT_LE(Swapped, NumThreads);
+  EXPECT_EQ(word(*M, "ORW"), (1u << NumThreads) - 1);
+  EXPECT_EQ(word(*M, "XORW"), (1u << NumThreads) - 1);
+  EXPECT_EQ(word(*M, "MAXW"), NumThreads);
+  EXPECT_EQ(word(*M, "ANDW"), 0u);
+}
+
+namespace {
+
+class Rv32Litmus : public ::testing::TestWithParam<SchemeKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, Rv32Litmus, ::testing::ValuesIn(allSchemeKinds()),
+    [](const ::testing::TestParamInfo<SchemeKind> &Info) {
+      std::string Name = schemeTraits(Info.param).Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace
+
+/// The RV32 frontend's LR/SC lowering must preserve each scheme's Table II
+/// atomicity class: the litmus rows match the GRV frontend's exactly.
+TEST_P(Rv32Litmus, ClassificationMatchesTableII) {
+  auto M = makeMachine(GetParam(), Tier::Interp, /*Threads=*/2);
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  MeasuredAtomicity Measured = classifyScheme(*DriverOrErr);
+
+  switch (schemeTraits(GetParam()).Atomicity) {
+  case AtomicityClass::Strong:
+    EXPECT_EQ(Measured, MeasuredAtomicity::Strong);
+    break;
+  case AtomicityClass::Weak:
+    EXPECT_EQ(Measured, MeasuredAtomicity::Weak);
+    break;
+  case AtomicityClass::Incorrect:
+    EXPECT_EQ(Measured, MeasuredAtomicity::Incorrect);
+    break;
+  }
+}
+
+/// Uncontested LR/SC through the rv32 fragments, every scheme.
+TEST_P(Rv32Litmus, UncontestedLrScSucceeds) {
+  auto M = makeMachine(GetParam(), Tier::Interp, /*Threads=*/2);
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  LitmusDriver &Driver = *DriverOrErr;
+
+  Driver.resetVar(7);
+  EXPECT_EQ(Driver.loadLink(0), 7u);
+  EXPECT_TRUE(Driver.storeCond(0, 8));
+  EXPECT_EQ(Driver.varValue(), 8u);
+}
+
+/// SC without a matching LR must fail through the rv32 frontend too.
+TEST_P(Rv32Litmus, ScWithoutLrFails) {
+  auto M = makeMachine(GetParam(), Tier::Interp, /*Threads=*/2);
+  auto DriverOrErr = LitmusDriver::create(*M);
+  ASSERT_TRUE(bool(DriverOrErr)) << DriverOrErr.error().render();
+  LitmusDriver &Driver = *DriverOrErr;
+
+  Driver.resetVar(7);
+  EXPECT_FALSE(Driver.storeCond(0, 8));
+  EXPECT_EQ(Driver.varValue(), 7u);
+}

@@ -99,8 +99,8 @@ TEST(SchemeEquivalence, SingleThreadedProgramsAgreeAcrossAllSchemes) {
       ASSERT_TRUE(Result->AllHalted) << schemeTraits(Kind).Name;
 
       std::array<uint64_t, guest::NumGuestRegs> Regs;
-      std::copy(std::begin(M->cpu(0).Regs), std::end(M->cpu(0).Regs),
-                Regs.begin());
+      std::copy_n(std::begin(M->cpu(0).Regs), guest::NumGuestRegs,
+                  Regs.begin());
       uint64_t Scratch = M->program().requiredSymbol("scratch");
       std::vector<uint8_t> Data(256);
       for (unsigned B = 0; B < 256; ++B)

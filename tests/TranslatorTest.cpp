@@ -30,7 +30,8 @@ Setup makeTranslator(const std::string &Asm, TranslationHooks *Hooks = nullptr,
   auto Prog = guest::assemble(Asm);
   EXPECT_TRUE(bool(Prog)) << Prog.error().render();
   EXPECT_TRUE(bool(S.Mem->loadProgram(*Prog)));
-  S.Trans = std::make_unique<Translator>(*S.Mem, Hooks, Config);
+  S.Trans = std::make_unique<Translator>(
+      *S.Mem, input::inputArch(input::GuestArch::Grv), Hooks, Config);
   return S;
 }
 

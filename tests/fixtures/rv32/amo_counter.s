@@ -1,0 +1,46 @@
+# AMO counter fixture (rv32ia).
+#
+# Every thread (tid in a0) performs ITERS amoadd.w increments of a shared
+# counter, then one each of the other AMO families on separate words so a
+# test can check every lowering end-to-end:
+#   counter = 0x3000   amoadd.w   expect num_threads * ITERS
+#   swapw   = 0x3004   amoswap.w  expect some tid+1 (last writer wins)
+#   orw     = 0x3008   amoor.w    expect (1 << num_threads) - 1
+#   xorw    = 0x300c   amoxor.w   expect (1 << num_threads) - 1
+#   maxw    = 0x3010   amomax.w   expect num_threads
+#   andw    = 0x3014   amoand.w   expect 0 (0 & anything)
+
+.equ COUNTER, 0x3000
+.equ SWAPW,   0x3004
+.equ ORW,     0x3008
+.equ XORW,    0x300c
+.equ MAXW,    0x3010
+.equ ANDW,    0x3014
+.equ ITERS,   64
+
+    .text
+    .globl _start
+_start:
+    li      t1, ITERS
+loop:
+    li      a1, COUNTER
+    li      t2, 1
+    amoadd.w zero, t2, (a1)
+    addi    t1, t1, -1
+    bnez    t1, loop
+
+    li      t2, 1
+    sll     t2, t2, a0          # 1 << tid
+    li      a1, ORW
+    amoor.w zero, t2, (a1)
+    li      a1, XORW
+    amoxor.w zero, t2, (a1)    # each bit set exactly once
+
+    addi    t2, a0, 1           # tid + 1
+    li      a1, MAXW
+    amomax.w zero, t2, (a1)
+    li      a1, SWAPW
+    amoswap.w t3, t2, (a1)
+    li      a1, ANDW
+    amoand.w zero, t2, (a1)
+    ecall

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Pack the rv32 fixture sources into minimal ET_EXEC ELF32 binaries.
+
+The canonical way to build these fixtures is a real RISC-V toolchain:
+
+    riscv32-unknown-elf-gcc -O2 -march=rv32ia -mabi=ilp32 -nostdlib \
+        -nostartfiles -Wl,-Ttext=0x1000 -o spinlock.elf spinlock.s
+
+This container only ships llvm-mc, so this script does the linker's job by
+hand: it assembles each .s to a relocatable object with
+
+    llvm-mc -triple=riscv32 -mattr=+a -filetype=obj
+
+then lifts the .text payload into a single-PT_LOAD executable matching
+what src/input/rv32/Elf32Loader.cpp consumes:
+
+  * ELFCLASS32 / little-endian / e_machine = EM_RISCV (243)
+  * one PT_LOAD at vaddr TEXT_VADDR whose memsz stretches through the
+    fixtures' absolute data region (0x3000..) so the loader's BSS
+    zero-fill gives the programs zeroed shared words
+  * a .symtab whose text symbols are rebased to TEXT_VADDR (the loader
+    takes st_value verbatim) and whose SHN_ABS (.equ) symbols pass
+    through untouched, so tests can resolve "counter", "lock", ...
+  * e_entry = address of _start
+
+The fixture sources must therefore be fully resolved at assembly time:
+local branches only, data addressed via numeric .equ constants. The
+script refuses to pack an object that still carries text relocations.
+"""
+
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+TEXT_VADDR = 0x1000
+# One page of slack past the last .equ data word (0x3014); BSS-zeroed.
+MEM_TOP = 0x4000
+
+EM_RISCV = 243
+SHT_SYMTAB = 2
+SHT_RELA = 4
+SHT_REL = 9
+SHN_ABS = 0xFFF1
+
+EHDR = struct.Struct("<16sHHIIIIIHHHHHH")
+PHDR = struct.Struct("<IIIIIIII")
+SHDR = struct.Struct("<IIIIIIIIII")
+SYM = struct.Struct("<IIIBBH")
+
+
+def parse_object(blob):
+    """Return (text_bytes, [(name, value, info, other, is_text)]) from a
+    relocatable ELF32 object."""
+    (ident, _etype, machine, _ver, _entry, _phoff, shoff, _flags, _ehsize,
+     _phentsize, _phnum, shentsize, shnum, shstrndx) = EHDR.unpack_from(blob)
+    if ident[:4] != b"\x7fELF" or ident[4] != 1 or ident[5] != 1:
+        raise SystemExit("input is not a little-endian ELF32 object")
+    if machine != EM_RISCV:
+        raise SystemExit(f"input e_machine {machine} is not EM_RISCV")
+
+    shdrs = [SHDR.unpack_from(blob, shoff + i * shentsize)
+             for i in range(shnum)]
+
+    def shname(sh):
+        off = shdrs[shstrndx][4] + sh[0]
+        return blob[off:blob.index(b"\0", off)].decode()
+
+    text_idx = next((i for i, sh in enumerate(shdrs)
+                     if shname(sh) == ".text"), None)
+    if text_idx is None:
+        raise SystemExit("object has no .text section")
+    tsh = shdrs[text_idx]
+    text = blob[tsh[4]:tsh[4] + tsh[5]]
+
+    for sh in shdrs:
+        if sh[1] in (SHT_RELA, SHT_REL) and sh[7] == text_idx and sh[5]:
+            raise SystemExit(
+                f"unresolved relocations against .text ({shname(sh)}); "
+                "fixtures must use only local branches and .equ addresses")
+
+    syms = []
+    for sh in shdrs:
+        if sh[1] != SHT_SYMTAB:
+            continue
+        strtab = shdrs[sh[6]]
+        count = sh[5] // SYM.size
+        for i in range(1, count):
+            name_off, value, size, info, other, shndx = SYM.unpack_from(
+                blob, sh[4] + i * SYM.size)
+            off = strtab[4] + name_off
+            name = blob[off:blob.index(b"\0", off)].decode()
+            stype = info & 0xF
+            if not name or stype in (3, 4):  # STT_SECTION, STT_FILE
+                continue
+            if shndx == text_idx:
+                syms.append((name, value + TEXT_VADDR, info, other, True))
+            elif shndx == SHN_ABS:
+                syms.append((name, value, info, other, False))
+        break
+    return text, syms
+
+
+def write_exec(path, text, syms):
+    entry = next((v for n, v, _i, _o, t in syms if n == "_start" and t),
+                 TEXT_VADDR)
+
+    strtab = b"\0"
+    sym_records = [SYM.pack(0, 0, 0, 0, 0, 0)]
+    for name, value, info, other, _is_text in syms:
+        name_off = len(strtab)
+        strtab += name.encode() + b"\0"
+        sym_records.append(SYM.pack(name_off, value, 0, info, other, SHN_ABS))
+    symtab = b"".join(sym_records)
+
+    shstrtab = b"\0.symtab\0.strtab\0.shstrtab\0"
+    name_symtab, name_strtab, name_shstrtab = 1, 9, 17
+
+    phoff = EHDR.size
+    text_off = phoff + PHDR.size
+    symtab_off = text_off + len(text)
+    strtab_off = symtab_off + len(symtab)
+    shstrtab_off = strtab_off + len(strtab)
+    shoff = shstrtab_off + len(shstrtab)
+
+    ehdr = EHDR.pack(
+        b"\x7fELF" + bytes([1, 1, 1]) + b"\0" * 9,
+        2,                      # ET_EXEC
+        EM_RISCV, 1, entry, phoff, shoff, 0,
+        EHDR.size, PHDR.size, 1, SHDR.size, 4, 3)
+    phdr = PHDR.pack(
+        1,                      # PT_LOAD
+        text_off, TEXT_VADDR, TEXT_VADDR,
+        len(text), MEM_TOP - TEXT_VADDR,
+        7, 4)                   # RWX, 4-byte align
+    shdrs = b"".join([
+        SHDR.pack(0, 0, 0, 0, 0, 0, 0, 0, 0, 0),
+        SHDR.pack(name_symtab, SHT_SYMTAB, 0, 0, symtab_off, len(symtab),
+                  2, len(sym_records), 4, SYM.size),
+        SHDR.pack(name_strtab, 3, 0, 0, strtab_off, len(strtab), 0, 0, 1, 0),
+        SHDR.pack(name_shstrtab, 3, 0, 0, shstrtab_off, len(shstrtab),
+                  0, 0, 1, 0),
+    ])
+
+    path.write_bytes(ehdr + phdr + text + symtab + strtab + shstrtab + shdrs)
+    print(f"{path}: entry=0x{entry:x} text={len(text)}B "
+          f"mem=[0x{TEXT_VADDR:x},0x{MEM_TOP:x}) syms={len(syms)}")
+
+
+def main():
+    here = Path(__file__).resolve().parent
+    sources = sorted(here.glob("*.s"))
+    if not sources:
+        raise SystemExit(f"no .s fixture sources in {here}")
+    for src in sources:
+        obj = src.with_suffix(".o")
+        subprocess.run(
+            ["llvm-mc", "-triple=riscv32", "-mattr=+a", "-filetype=obj",
+             str(src), "-o", str(obj)],
+            check=True)
+        text, syms = parse_object(obj.read_bytes())
+        obj.unlink()
+        write_exec(src.with_suffix(".elf"), text, syms)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+# LR/SC spinlock fixture (rv32ia).
+#
+# Every thread (tid in a0, set by the frontend's entry convention)
+# acquires a test-and-set spinlock with an LR.W/SC.W retry loop, bumps a
+# shared counter with plain loads/stores inside the critical section,
+# releases, and repeats ITERS times. Correct final state under any sound
+# atomic scheme: counter == num_threads * ITERS, lock == 0.
+#
+# Data lives at fixed absolute addresses (no relocations), so the binary
+# can be packed by make_fixtures.py without a linker:
+#   lock    = 0x3000
+#   counter = 0x3004
+
+.equ LOCK,    0x3000
+.equ COUNTER, 0x3004
+.equ ITERS,   64
+
+    .text
+    .globl _start
+_start:
+    li      t1, ITERS
+outer:
+    li      a1, LOCK
+acquire:
+    lr.w    t2, (a1)
+    bnez    t2, acquire         # held -> spin on LR
+    li      t3, 1
+    sc.w    t4, t3, (a1)
+    bnez    t4, acquire         # lost the race -> retry
+    # critical section: counter++ with plain accesses (exercises the
+    # schemes' plain-store instrumentation against a live monitor)
+    li      a2, COUNTER
+    lw      t5, 0(a2)
+    addi    t5, t5, 1
+    sw      t5, 0(a2)
+    # release
+    sw      zero, 0(a1)
+    addi    t1, t1, -1
+    bnez    t1, outer
+    ecall

@@ -28,6 +28,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzz.h"
+#include "input/GuestImage.h"
 #include "support/CommandLine.h"
 #include "support/MachineOptions.h"
 #include "support/StringUtils.h"
@@ -188,6 +189,18 @@ int main(int Argc, char **Argv) {
 
   FuzzOptions Opts;
   Opts.Schemes = Kinds.take();
+  auto ArchOrErr = input::parseGuestArch(*MachineOpts.Arch);
+  if (!ArchOrErr) {
+    std::fprintf(stderr, "%s\n", ArchOrErr.error().render().c_str());
+    return 2;
+  }
+  Opts.Arch = *ArchOrErr;
+  if (Opts.Arch == input::GuestArch::Rv32) {
+    // RV32IA has only word-form LL/SC (and no CLREX); constrain the event
+    // pool to what the frontend can express.
+    Opts.Gen.Allow8ByteAccesses = false;
+    Opts.Gen.AllowClearExcl = false;
+  }
   Opts.HstTableLog2 = static_cast<unsigned>(*MachineOpts.HstTableLog2);
   Opts.Swap = *Swap;
   if (!SwapTo->empty()) {

@@ -4,11 +4,13 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// A qemu-user-style command line driver: assemble a GRV .s file and run
-/// it multi-threaded under any atomic-emulation scheme.
+/// A qemu-user-style command line driver: assemble a GRV .s file (or load
+/// an RV32 ELF with --arch=rv32) and run it multi-threaded under any
+/// atomic-emulation scheme.
 ///
 ///   llsc-run prog.s                                # hst, 1 thread
 ///   llsc-run --scheme pico-cas --threads 16 prog.s
+///   llsc-run --arch=rv32 prog.elf                  # RISC-V RV32IA guest
 ///   llsc-run --scheme adaptive prog.s              # adaptive controller,
 ///                                                  # starting scheme from
 ///                                                  # --adaptive-start
@@ -27,8 +29,8 @@
 #include "core/MachineOptions.h"
 #include "core/StatsReport.h"
 #include "guest/Assembler.h"
-#include "guest/Disassembler.h"
 #include "guest/Encoding.h"
+#include "input/InputArch.h"
 #include "support/CommandLine.h"
 #include "support/Logging.h"
 #include "support/StringUtils.h"
@@ -44,14 +46,16 @@ using namespace llsc;
 
 namespace {
 
-int disassembleProgram(const guest::Program &Prog) {
+int disassembleProgram(const input::InputArch &Arch,
+                       const guest::Program &Prog) {
   const auto &Image = Prog.image();
   // Invert the symbol table for labeling.
   std::map<uint64_t, std::string> Labels;
   for (const auto &[Name, Addr] : Prog.symbols())
     Labels[Addr] = Name;
 
-  for (uint64_t Offset = 0; Offset + 4 <= Image.size(); Offset += 4) {
+  const unsigned Step = Arch.instBytes();
+  for (uint64_t Offset = 0; Offset + Step <= Image.size(); Offset += Step) {
     uint64_t Addr = Prog.baseAddr() + Offset;
     if (auto It = Labels.find(Addr); It != Labels.end())
       std::printf("%s:\n", It->second.c_str());
@@ -61,7 +65,7 @@ int disassembleProgram(const guest::Program &Prog) {
                     static_cast<uint32_t>(Image[Offset + 3]) << 24;
     std::printf("  %08llx:  %08x  %s\n",
                 static_cast<unsigned long long>(Addr), Word,
-                guest::disassembleWord(Word, Addr).c_str());
+                Arch.disassemble(Word, Addr).c_str());
   }
   return 0;
 }
@@ -108,7 +112,7 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  std::ifstream In(Args.positionals()[0]);
+  std::ifstream In(Args.positionals()[0], std::ios::binary);
   if (!In) {
     std::fprintf(stderr, "cannot open %s\n", Args.positionals()[0].c_str());
     return 1;
@@ -121,9 +125,18 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s\n", ConfigOrErr.error().render().c_str());
     return 1;
   }
+  const input::InputArch &Frontend = input::inputArch(ConfigOrErr->Arch);
 
-  auto ProgOrErr =
-      guest::assemble(Buffer.str(), static_cast<uint64_t>(*Base));
+  // GRV keeps its textual assembler front door (the fixture corpus is
+  // .s files); every other frontend consumes the file bytes through its
+  // own image loader (rv32: an ELF32 executable).
+  auto ProgOrErr = [&]() -> ErrorOr<guest::Program> {
+    if (ConfigOrErr->Arch == input::GuestArch::Grv)
+      return guest::assemble(Buffer.str(), static_cast<uint64_t>(*Base));
+    const std::string Bytes = Buffer.str();
+    return Frontend.loadImage(
+        std::vector<uint8_t>(Bytes.begin(), Bytes.end()));
+  }();
   if (!ProgOrErr) {
     std::fprintf(stderr, "%s: %s\n", Args.positionals()[0].c_str(),
                  ProgOrErr.error().render().c_str());
@@ -131,7 +144,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (*Disassemble)
-    return disassembleProgram(*ProgOrErr);
+    return disassembleProgram(Frontend, *ProgOrErr);
   if (*DumpSymbols) {
     for (const auto &[Name, Addr] : ProgOrErr->symbols())
       std::printf("%016llx  %s\n", static_cast<unsigned long long>(Addr),
@@ -149,7 +162,9 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   Machine &M = **MachineOrErr;
-  if (auto Loaded = M.loadProgram(ProgOrErr.take()); !Loaded) {
+  if (auto Loaded =
+          M.load(input::GuestImage(Config.Arch, ProgOrErr.take()));
+      !Loaded) {
     std::fprintf(stderr, "%s\n", Loaded.error().render().c_str());
     return 1;
   }

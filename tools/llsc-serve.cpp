@@ -38,7 +38,7 @@
 /// instead of loading: no assembly, no translation, no recompilation
 /// (the serve.snapshot.* counters in docs/OBSERVABILITY.md prove it).
 ///
-/// Output: one compact JSON line per job (schema_version 4, the
+/// Output: one compact JSON line per job (schema_version 5, the
 /// StatsReport::renderJsonLine shape) in submission order on stdout (or
 /// --out), a human fleet summary on stderr, and with --summary=json a
 /// trailing fleet-summary JSON line on the job stream.
@@ -47,6 +47,7 @@
 
 #include "core/StatsReport.h"
 #include "guest/Assembler.h"
+#include "input/InputArch.h"
 #include "serve/BatchService.h"
 #include "support/CommandLine.h"
 #include "support/Logging.h"
@@ -121,6 +122,12 @@ ErrorOr<ParsedManifest> parseManifest(const std::string &Path) {
       std::string Value = Tok.substr(Eq + 1);
       if (Key == "name") {
         Entry.Spec.Name = Value;
+      } else if (Key == "arch") {
+        auto Arch = input::parseGuestArch(Value);
+        if (!Arch)
+          return makeError("%s:%u: %s", Path.c_str(), LineNo,
+                           Arch.error().message().c_str());
+        Entry.Spec.Machine.Arch = *Arch;
       } else if (Key == "scheme") {
         if (Value == "adaptive") {
           Entry.Spec.Machine.Adaptive = true;
@@ -161,21 +168,33 @@ ErrorOr<ParsedManifest> parseManifest(const std::string &Path) {
       Entry.Spec.Name = !File.empty() ? File : Entry.From;
 
     if (!File.empty()) {
+      const input::GuestArch Arch = Entry.Spec.Machine.Arch;
       std::string FullPath = File[0] == '/' ? File : Dir + "/" + File;
-      auto It = Programs.find(FullPath);
+      // Keyed by arch too: the same path could legally appear under two
+      // arch= values, and an ELF parsed as GRV assembly must not leak
+      // into an rv32 job (or vice versa).
+      std::string CacheKey =
+          std::string(input::guestArchName(Arch)) + "|" + FullPath;
+      auto It = Programs.find(CacheKey);
       if (It == Programs.end()) {
-        std::ifstream Src(FullPath);
+        std::ifstream Src(FullPath, std::ios::binary);
         if (!Src)
           return makeError("%s:%u: cannot open %s", Path.c_str(), LineNo,
                            FullPath.c_str());
         std::stringstream Buf;
         Buf << Src.rdbuf();
-        auto ProgOrErr = guest::assemble(Buf.str(), Entry.Spec.BaseAddr);
+        auto ProgOrErr = [&]() -> ErrorOr<guest::Program> {
+          if (Arch == input::GuestArch::Grv)
+            return guest::assemble(Buf.str(), Entry.Spec.BaseAddr);
+          const std::string Bytes = Buf.str();
+          return input::inputArch(Arch).loadImage(
+              std::vector<uint8_t>(Bytes.begin(), Bytes.end()));
+        }();
         if (!ProgOrErr)
           return makeError("%s:%u: %s: %s", Path.c_str(), LineNo,
                            FullPath.c_str(),
                            ProgOrErr.error().render().c_str());
-        It = Programs.emplace(FullPath, ProgOrErr.take()).first;
+        It = Programs.emplace(CacheKey, ProgOrErr.take()).first;
       }
       Entry.Spec.Program = It->second;
     }

@@ -1,0 +1,523 @@
+//===- bench/serve_daemon.cpp - daemon-over-wire vs in-process serving ----------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures what the llsc-served network front costs: the same batch of
+/// short LL/SC jobs is driven through the session API twice per worker
+/// count — once in-process (Session::submit / Session::stream, the
+/// tools/llsc-serve path) and once through a live TCP daemon over
+/// localhost (net::Server event loop + line-delimited JSON, the
+/// tools/llsc-client path). The headline is daemon_over_inproc: how much
+/// slower the wire run is. The acceptance gate holds it to <= 1.3x at 16
+/// workers (docs/SERVING.md) — the single-threaded event loop must not
+/// become the fleet's bottleneck.
+///
+/// The --soak-jobs section is the serving tier's endurance proof: it
+/// pushes that many jobs through the daemon over localhost (queue-full
+/// rejections honored with their retry-after hints), records the p99
+/// queue latency from the fleet's log2 histogram, then fires a real
+/// SIGTERM mid-load on a second burst and verifies the drain contract —
+/// admissions cut over to "draining" rejections, every accepted job
+/// still completes and streams out, the event loop exits on its own,
+/// and the machine pool ends with zero outstanding machines (no leaks).
+///
+/// `--json FILE` emits the point list plus the soak verdict;
+/// scripts/run_bench.sh merges both into BENCH_serve.json and enforces
+/// the gates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/Snapshot.h"
+#include "net/Client.h"
+#include "net/Server.h"
+#include "support/Timing.h"
+
+#include <csignal>
+#include <thread>
+
+using namespace llsc;
+using namespace llsc::bench;
+using namespace llsc::serve;
+using namespace llsc::net;
+
+namespace {
+
+/// A short contended LL/SC fetch-add job — small enough that 10k of them
+/// soak in seconds, real enough that every one exercises the full
+/// submit -> pool -> run -> stream path.
+std::string fetchAddProgram(uint64_t Iters) {
+  return formatString(R"(_start: li      r9, #%llu
+loop:   cbz     r9, done
+        la      r10, word
+try:    ldxr.d  r1, [r10]
+        addi    r1, r1, #1
+        stxr.d  r2, r1, [r10]
+        cbnz    r2, try
+        addi    r9, r9, #-1
+        b       loop
+done:   halt
+        .align 64
+word:   .quad 0
+)",
+                      static_cast<unsigned long long>(Iters));
+}
+
+struct Point {
+  unsigned Workers = 0;
+  bool Daemon = false;
+  unsigned Jobs = 0;
+  double Seconds = 0;
+  double JobsPerSec = 0;
+};
+
+ServiceConfig fleetConfig(unsigned Workers, size_t QueueCap) {
+  ServiceConfig Config;
+  Config.Fleet.Workers = Workers;
+  Config.Fleet.QueueCapacity = QueueCap;
+  return Config;
+}
+
+JobSpec makeSpec(const std::string &Asm, unsigned Threads) {
+  JobSpec Spec;
+  Spec.Name = "bench";
+  Spec.Source = JobSource::assembly(Asm);
+  Spec.Machine.Scheme = SchemeKind::Hst;
+  Spec.Machine.NumThreads = Threads;
+  return Spec;
+}
+
+/// In-process leg: the tools/llsc-serve shape — snapshot once at
+/// session setup, then fan out clone jobs with submit retry-after
+/// honored and one stream pass collecting everything. Snapshot fan-out
+/// is the designed high-throughput serving workload (docs/SERVING.md),
+/// so both legs of the comparison use it; the capture itself is setup
+/// cost and stays outside the timed window on both sides.
+double runInproc(unsigned Workers, unsigned Jobs, const std::string &Asm) {
+  // Queue sized for the batch, as serve_throughput does: the throughput
+  // legs measure wire overhead, not admission control (the soak covers
+  // that with a deliberately tight queue).
+  SessionService Service(fleetConfig(Workers, Jobs));
+  SessionConfig SessCfg;
+  SessCfg.MaxBufferedResults = Jobs;
+  auto Sess = Service.createSession(SessCfg);
+  if (!Sess)
+    reportFatalError(Sess.error());
+  auto Snap = (*Sess)->captureSnapshot("img", makeSpec(Asm, 2));
+  if (!Snap)
+    reportFatalError(Snap.error());
+  JobSpec CloneSpec;
+  CloneSpec.Name = "bench";
+  CloneSpec.Source = JobSource::snapshotRef(*Snap);
+  CloneSpec.Machine = (*Snap)->Config;
+
+  uint64_t StartNs = monotonicNanos();
+  for (unsigned J = 0; J < Jobs; ++J) {
+    while (true) {
+      Admission A = (*Sess)->submit(CloneSpec);
+      if (A.Status == AdmitStatus::Accepted)
+        break;
+      if (A.Status != AdmitStatus::QueueFull)
+        reportFatalError(formatString("inproc submit rejected (%s)",
+                                      admitStatusName(A.Status)));
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          A.RetryAfterSeconds > 0 ? A.RetryAfterSeconds : 0.001));
+    }
+  }
+  unsigned Collected = 0;
+  while (Collected < Jobs) {
+    std::vector<JobResult> Results = (*Sess)->stream(64, 1.0);
+    for (const JobResult &R : Results)
+      if (R.State != JobState::Done)
+        reportFatalError("inproc job failed: " + R.Error);
+    Collected += static_cast<unsigned>(Results.size());
+  }
+  double Seconds = static_cast<double>(monotonicNanos() - StartNs) * 1e-9;
+  (*Sess)->close();
+  return Seconds;
+}
+
+/// One live daemon: server event loop on its own thread, ephemeral port.
+struct LiveDaemon {
+  SessionService Service;
+  Server Srv;
+  std::thread Loop;
+
+  LiveDaemon(unsigned Workers, size_t QueueCap)
+      : Service(fleetConfig(Workers, QueueCap)),
+        Srv([this] {
+          ServerConfig C;
+          C.Service = &Service;
+          return C;
+        }()) {
+    if (auto Started = Srv.start(); !Started)
+      reportFatalError(Started.error());
+    Loop = std::thread([this] { Srv.run(); });
+  }
+
+  ~LiveDaemon() {
+    if (Loop.joinable()) {
+      Srv.requestStop();
+      Loop.join();
+    }
+  }
+};
+
+/// Clone submits reference the session snapshot by name — a ~60-byte
+/// line instead of shipping the assembly payload per job.
+JsonValue submitRequest(const std::string &Session) {
+  JsonValue R = JsonValue::object();
+  auto &M = R.membersMut();
+  M["verb"] = JsonValue::string("submit");
+  M["session"] = JsonValue::string(Session);
+  M["name"] = JsonValue::string("bench");
+  M["from"] = JsonValue::string("img");
+  return R;
+}
+
+ErrorOr<JsonValue> callOk(Client &C, const JsonValue &Request) {
+  auto Resp = C.call(Request);
+  if (!Resp)
+    return Resp.error();
+  if (!Resp->get("ok").asBool(false))
+    return makeError("server: %s",
+                     Resp->get("error").asString("request failed").c_str());
+  return Resp;
+}
+
+/// Captures the shared donor snapshot on the daemon (synchronous verb;
+/// session-setup cost, outside every timed window).
+void captureWireSnapshot(Client &Conn, const std::string &Session,
+                         const std::string &Asm) {
+  JsonValue R = JsonValue::object();
+  auto &M = R.membersMut();
+  M["verb"] = JsonValue::string("snapshot");
+  M["session"] = JsonValue::string(Session);
+  M["name"] = JsonValue::string("img");
+  M["scheme"] = JsonValue::string("hst");
+  M["threads"] = JsonValue::integer(2);
+  M["asm"] = JsonValue::string(Asm);
+  auto Resp = callOk(Conn, R);
+  if (!Resp)
+    reportFatalError(Resp.error());
+}
+
+Client connectSession(const LiveDaemon &D, unsigned Jobs,
+                      std::string &SessionOut) {
+  Client Conn;
+  if (auto Connected = Conn.connect("127.0.0.1", D.Srv.port()); !Connected)
+    reportFatalError(Connected.error());
+  JsonValue Create = JsonValue::object();
+  Create.membersMut()["verb"] = JsonValue::string("create-session");
+  Create.membersMut()["max_buffered"] =
+      JsonValue::integer(static_cast<int64_t>(Jobs));
+  auto Resp = callOk(Conn, Create);
+  if (!Resp)
+    reportFatalError(Resp.error());
+  SessionOut = Resp->get("session").asString(std::string());
+  return Conn;
+}
+
+/// Submits \p Jobs over \p Conn with a pipelined request window —
+/// line-delimited requests answer in order, so a throughput client
+/// keeps a window in flight instead of paying one full round trip per
+/// job. Queue-full rejections are resubmitted (with the retry-after
+/// backoff once a whole window bounced). \returns the number accepted
+/// (all of them unless \p StopOnDraining and the daemon began draining
+/// mid-burst).
+unsigned submitWire(Client &Conn, const std::string &Session,
+                    unsigned Jobs, bool StopOnDraining = false) {
+  const std::string Line = submitRequest(Session).render();
+  constexpr unsigned Window = 32;
+  unsigned Accepted = 0, Outstanding = 0, ToSend = Jobs;
+  unsigned ConsecutiveRejects = 0;
+  bool Draining = false;
+  while (ToSend > 0 || Outstanding > 0) {
+    while (!Draining && ToSend > 0 && Outstanding < Window) {
+      if (auto Sent = Conn.sendLine(Line); !Sent)
+        reportFatalError(Sent.error());
+      --ToSend;
+      ++Outstanding;
+    }
+    if (Outstanding == 0)
+      break;
+    auto In = Conn.readLine();
+    if (!In)
+      reportFatalError(In.error());
+    auto Resp = JsonValue::parse(*In);
+    if (!Resp)
+      reportFatalError(Resp.error());
+    --Outstanding;
+    if (Resp->get("ok").asBool(false)) {
+      ++Accepted;
+      ConsecutiveRejects = 0;
+      continue;
+    }
+    std::string Reason = Resp->get("error").asString(std::string());
+    if (Reason == "draining" && StopOnDraining) {
+      Draining = true; // Flush remaining replies, send no more.
+      continue;
+    }
+    if (Reason != "queue-full")
+      reportFatalError("wire submit rejected (" + Reason + ")");
+    if (!Draining)
+      ++ToSend; // Resubmit.
+    // Back off once a window's worth of rejects bounced in a row:
+    // hot resubmission would flood the event loop with reject traffic
+    // that competes with the workers posting results. Sleeping here is
+    // safe with replies outstanding — they buffer in the socket.
+    if (++ConsecutiveRejects >= Window) {
+      double RetryAfter = Resp->get("retry_after").asDouble(0.001);
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          RetryAfter > 0 ? RetryAfter : 0.001));
+      ConsecutiveRejects = 0;
+    }
+  }
+  return Accepted;
+}
+
+/// Opens a stream subscription for \p Count results (events read later
+/// via readStream).
+void beginStream(Client &Conn, const std::string &Session, unsigned Count) {
+  JsonValue Stream = JsonValue::object();
+  Stream.membersMut()["verb"] = JsonValue::string("stream");
+  Stream.membersMut()["session"] = JsonValue::string(Session);
+  Stream.membersMut()["count"] =
+      JsonValue::integer(static_cast<int64_t>(Count));
+  if (auto Sent = Conn.sendLine(Stream.render()); !Sent)
+    reportFatalError(Sent.error());
+}
+
+/// Reads stream events until stream-end; \returns how many results were
+/// delivered (equal to the subscribed count unless the daemon drained).
+unsigned readStream(Client &Conn) {
+  unsigned Delivered = 0;
+  while (true) {
+    auto Line = Conn.readLine();
+    if (!Line)
+      reportFatalError(Line.error());
+    auto Event = JsonValue::parse(*Line);
+    if (!Event)
+      reportFatalError(Event.error());
+    std::string Kind = Event->get("event").asString(std::string());
+    if (Kind == "result") {
+      if (Event->get("job").get("state").asString("done") != "done")
+        reportFatalError("wire job failed");
+      ++Delivered;
+      continue;
+    }
+    if (Kind == "stream-end")
+      return Delivered;
+    reportFatalError("unexpected stream line: " + *Line);
+  }
+}
+
+/// Wire leg of the throughput comparison.
+double runDaemon(unsigned Workers, unsigned Jobs, const std::string &Asm) {
+  LiveDaemon D(Workers, Jobs);
+  std::string Session;
+  Client Conn = connectSession(D, Jobs, Session);
+  captureWireSnapshot(Conn, Session, Asm);
+
+  uint64_t StartNs = monotonicNanos();
+  submitWire(Conn, Session, Jobs);
+  beginStream(Conn, Session, Jobs);
+  unsigned Delivered = readStream(Conn);
+  double Seconds = static_cast<double>(monotonicNanos() - StartNs) * 1e-9;
+  if (Delivered != Jobs)
+    reportFatalError(formatString("daemon delivered %u of %u results",
+                                  Delivered, Jobs));
+  return Seconds;
+}
+
+struct SoakVerdict {
+  unsigned Jobs = 0;
+  unsigned Completed = 0;
+  double Seconds = 0;
+  double JobsPerSec = 0;
+  uint64_t P99QueueNs = 0;
+  unsigned DrainAccepted = 0;
+  unsigned DrainDelivered = 0;
+  uint64_t MachinesOutstanding = ~0ull;
+  bool AdmissionCutOver = false;
+  bool DrainClean = false;
+};
+
+/// The endurance run: \p Jobs through one live daemon, then a real
+/// SIGTERM mid-burst to prove the drain contract.
+SoakVerdict runSoak(unsigned Workers, unsigned Jobs, const std::string &Asm) {
+  SoakVerdict V;
+  V.Jobs = Jobs;
+  LiveDaemon D(Workers, 64);
+  std::string Session;
+  Client Conn = connectSession(D, Jobs, Session);
+  captureWireSnapshot(Conn, Session, Asm);
+
+  // Phase 1: the full load, submit + stream, p99 from the fleet's
+  // histogram afterwards.
+  uint64_t StartNs = monotonicNanos();
+  submitWire(Conn, Session, Jobs);
+  beginStream(Conn, Session, Jobs);
+  V.Completed = readStream(Conn);
+  V.Seconds = static_cast<double>(monotonicNanos() - StartNs) * 1e-9;
+  V.JobsPerSec =
+      V.Seconds > 0 ? static_cast<double>(V.Completed) / V.Seconds : 0;
+  V.P99QueueNs = D.Service.fleet().queueLatencyQuantileNs(0.99);
+
+  // Phase 2: a second burst interrupted by SIGTERM. The handler routes
+  // the signal to the server's self-pipe; the daemon must reject further
+  // admissions as "draining", finish and stream what it accepted, and
+  // exit its event loop unprompted.
+  Server::installSigtermDrain(&D.Srv);
+  unsigned Burst = std::min(Jobs, 256u);
+  // Subscribe on a second connection *before* the interrupted burst: a
+  // drain only owes results to live subscribers (an unsubscribed client
+  // forfeits its buffer, docs/SERVING.md), and subscribing up front also
+  // means the daemon cannot finish draining before we ask.
+  Client StreamConn;
+  if (auto Connected = StreamConn.connect("127.0.0.1", D.Srv.port());
+      !Connected)
+    reportFatalError(Connected.error());
+  beginStream(StreamConn, Session, Burst);
+  unsigned Half = submitWire(Conn, Session, Burst / 2);
+  raise(SIGTERM);
+  // raise() returns only after the handler wrote the drain byte, and the
+  // event loop consumes its wake pipe before reading connections — so
+  // every submit from here on must answer "draining".
+  unsigned Rest =
+      submitWire(Conn, Session, Burst - Burst / 2, /*StopOnDraining=*/true);
+  V.DrainAccepted = Half + Rest;
+  V.AdmissionCutOver = Rest < Burst - Burst / 2;
+  V.DrainDelivered = readStream(StreamConn);
+  Conn.close();
+  StreamConn.close();
+  D.Loop.join(); // run() must return on its own once drained.
+  Server::installSigtermDrain(nullptr);
+
+  V.MachinesOutstanding = D.Service.fleet().poolStats().Outstanding;
+  V.DrainClean = V.AdmissionCutOver &&
+                 V.DrainDelivered == V.DrainAccepted &&
+                 V.MachinesOutstanding == 0 && V.Completed == Jobs;
+  return V;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("serving daemon overhead: wire vs in-process session API");
+  std::string *WorkerList =
+      Args.addString("workers", "4,16", "comma-separated worker counts");
+  int64_t *Jobs = Args.addInt("jobs", 256, "jobs per point");
+  int64_t *Iters = Args.addInt("iters", 1600, "guest loop iterations per job");
+  int64_t *Repeats = Args.addInt("repeats", 3, "runs per point");
+  int64_t *SoakJobs = Args.addInt(
+      "soak-jobs", 10000, "soak section job count (0 = skip the soak)");
+  std::string *JsonOut =
+      Args.addString("json", "", "write machine-readable points to FILE");
+  Args.parse(Argc, Argv);
+
+  std::vector<unsigned> Concurrencies;
+  for (std::string_view Tok : split(*WorkerList, ','))
+    Concurrencies.push_back(static_cast<unsigned>(
+        std::strtoul(std::string(Tok).c_str(), nullptr, 10)));
+
+  std::string Asm = fetchAddProgram(static_cast<uint64_t>(*Iters));
+  Table Results({"workers", "mode", "jobs", "seconds", "jobs/s"});
+  std::vector<Point> Points;
+
+  for (unsigned Workers : Concurrencies) {
+    double InprocRate = 0;
+    for (bool Daemon : {false, true}) {
+      double SumSeconds = 0;
+      for (int64_t Rep = 0; Rep < *Repeats; ++Rep)
+        SumSeconds += Daemon
+                          ? runDaemon(Workers,
+                                      static_cast<unsigned>(*Jobs), Asm)
+                          : runInproc(Workers,
+                                      static_cast<unsigned>(*Jobs), Asm);
+      Point P;
+      P.Workers = Workers;
+      P.Daemon = Daemon;
+      P.Jobs = static_cast<unsigned>(*Jobs);
+      P.Seconds = SumSeconds / static_cast<double>(*Repeats);
+      P.JobsPerSec =
+          P.Seconds > 0 ? static_cast<double>(*Jobs) / P.Seconds : 0;
+      Points.push_back(P);
+      if (!Daemon)
+        InprocRate = P.JobsPerSec;
+
+      Results.addRow({formatString("%u", Workers),
+                      Daemon ? "daemon" : "inproc",
+                      formatString("%u", P.Jobs),
+                      formatString("%.4f", P.Seconds),
+                      formatString("%.1f", P.JobsPerSec)});
+      std::fprintf(stderr, "  workers=%u %s: %.1f jobs/s\n", Workers,
+                   Daemon ? "daemon" : "inproc", P.JobsPerSec);
+    }
+    const Point &DaemonPt = Points.back();
+    std::fprintf(stderr, "  workers=%u daemon_over_inproc = %.2fx\n",
+                 Workers,
+                 DaemonPt.JobsPerSec > 0 ? InprocRate / DaemonPt.JobsPerSec
+                                         : 0);
+  }
+
+  SoakVerdict Soak;
+  if (*SoakJobs > 0) {
+    unsigned SoakWorkers = Concurrencies.back();
+    std::fprintf(stderr, "  soak: %lld jobs @ %u workers...\n",
+                 static_cast<long long>(*SoakJobs), SoakWorkers);
+    Soak = runSoak(SoakWorkers, static_cast<unsigned>(*SoakJobs), Asm);
+    std::fprintf(stderr,
+                 "  soak: %u/%u jobs in %.2fs (%.1f jobs/s) | p99 queue "
+                 "%.3fms | drain accepted %u delivered %u | outstanding "
+                 "%llu | %s\n",
+                 Soak.Completed, Soak.Jobs, Soak.Seconds, Soak.JobsPerSec,
+                 static_cast<double>(Soak.P99QueueNs) * 1e-6,
+                 Soak.DrainAccepted, Soak.DrainDelivered,
+                 static_cast<unsigned long long>(Soak.MachinesOutstanding),
+                 Soak.DrainClean ? "drain clean" : "DRAIN DIRTY");
+  }
+
+  emitTable("serving daemon overhead (wire vs in-process)", Results,
+            "serve_daemon.csv");
+
+  if (!JsonOut->empty()) {
+    FILE *Out = std::fopen(JsonOut->c_str(), "w");
+    if (!Out)
+      reportFatalError("cannot open " + *JsonOut);
+    std::fprintf(Out, "{\n\"bench\": \"serve_daemon\",\n\"points\": [");
+    for (size_t I = 0; I < Points.size(); ++I) {
+      const Point &P = Points[I];
+      std::fprintf(Out,
+                   "%s\n  {\"workers\": %u, \"mode\": \"%s\", \"jobs\": %u, "
+                   "\"seconds\": %.6f, \"jobs_per_sec\": %.2f}",
+                   I ? "," : "", P.Workers, P.Daemon ? "daemon" : "inproc",
+                   P.Jobs, P.Seconds, P.JobsPerSec);
+    }
+    std::fprintf(Out, "\n],\n");
+    if (*SoakJobs > 0) {
+      std::fprintf(
+          Out,
+          "\"soak\": {\"jobs\": %u, \"completed\": %u, \"seconds\": %.6f, "
+          "\"jobs_per_sec\": %.2f, \"p99_queue_ns\": %llu, "
+          "\"drain_accepted\": %u, \"drain_delivered\": %u, "
+          "\"machines_outstanding\": %llu, \"admission_cut_over\": %s, "
+          "\"drain_clean\": %s}\n",
+          Soak.Jobs, Soak.Completed, Soak.Seconds, Soak.JobsPerSec,
+          static_cast<unsigned long long>(Soak.P99QueueNs),
+          Soak.DrainAccepted, Soak.DrainDelivered,
+          static_cast<unsigned long long>(Soak.MachinesOutstanding),
+          Soak.AdmissionCutOver ? "true" : "false",
+          Soak.DrainClean ? "true" : "false");
+    } else {
+      std::fprintf(Out, "\"soak\": null\n");
+    }
+    std::fprintf(Out, "}\n");
+    std::fclose(Out);
+    std::printf("(json written to %s)\n", JsonOut->c_str());
+  }
+  return (*SoakJobs > 0 && !Soak.DrainClean) ? 1 : 0;
+}

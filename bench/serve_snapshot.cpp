@@ -153,7 +153,7 @@ int main(int Argc, char **Argv) {
           // the whole fleet amortizes.
           JobSpec DonorSpec;
           DonorSpec.Name = "donor";
-          DonorSpec.Program = Program;
+          DonorSpec.Source = JobSource::image(Program);
           DonorSpec.Machine = Shape;
           auto SnapOrErr = Service.captureSnapshot(DonorSpec);
           if (!SnapOrErr)
@@ -167,9 +167,9 @@ int main(int Argc, char **Argv) {
           Spec.Name = formatString("job-%lld", static_cast<long long>(J));
           Spec.Machine = Shape;
           if (M == Mode::Snapshot)
-            Spec.Snapshot = Snap;
+            Spec.Source = JobSource::snapshotRef(Snap);
           else
-            Spec.Program = Program;
+            Spec.Source = JobSource::image(Program);
           // Threaded execution (the default), not cooperative: tier-1
           // dispatch is threaded-only, and the differential being
           // measured — fresh jobs translating and compiling ~Units

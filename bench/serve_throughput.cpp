@@ -129,7 +129,7 @@ int main(int Argc, char **Argv) {
           const Shape &S = Shapes[J % (sizeof(Shapes) / sizeof(Shapes[0]))];
           JobSpec Spec;
           Spec.Name = formatString("job-%lld", static_cast<long long>(J));
-          Spec.Program = Program;
+          Spec.Source = JobSource::image(Program);
           Spec.Machine.Scheme = S.Scheme;
           Spec.Machine.NumThreads = S.Threads;
           // Cooperative execution: the job runs inline on the service

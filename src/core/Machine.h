@@ -304,6 +304,15 @@ public:
     return AttachedSnapshot;
   }
 
+  /// How many shared_ptr copies of \p Snap this machine itself holds
+  /// (AttachedSnapshot and the one-shot RestorePoint may both point at
+  /// it). MachinePool::trim needs the exact count to tell bucket-owned
+  /// references apart from an open session's.
+  unsigned snapshotRefs(const MachineSnapshot &Snap) const {
+    return (AttachedSnapshot.get() == &Snap ? 1u : 0u) +
+           (RestorePoint.get() == &Snap ? 1u : 0u);
+  }
+
   /// True while the TB cache + JIT are co-owned by a snapshot (sharing
   /// both directions: donor after snapshot(), clone after restoreFrom()).
   bool codeShared() const { return CodeShared; }

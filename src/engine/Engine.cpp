@@ -570,11 +570,19 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
   GuestMemory &Mem = *Ctx.Mem;
   std::vector<uint64_t> Temps;
 
+  // The wall budget is per *run*, not per runLoop entry: sliced modes
+  // re-enter here once per slice, so the clock must carry over or a
+  // cooperative vCPU could never exceed its budget inside one slice.
+  // Profile.WallNs holds exactly the wall time accrued by this vCPU's
+  // earlier slices of the current run (reset in prepareRun).
   uint64_t WallStart = monotonicNanos();
+  const uint64_t WallBase = Cpu.Profile.WallNs;
   auto Finish = [&](RunStatus Status) {
     Cpu.Profile.WallNs += monotonicNanos() - WallStart;
     return Status;
   };
+  if (Config.MaxWallNanosPerCpu && WallBase > Config.MaxWallNanosPerCpu)
+    return Finish(RunStatus::TimedOut);
 
   // First-level block lookup for indirect control flow: the per-vCPU
   // direct-mapped jump cache, dropped wholesale when the TbCache
@@ -687,7 +695,8 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
             Cpu.Counters.ExecutedBlocks >= Config.MaxBlocksPerCpu)
           return Finish(RunStatus::TimedOut);
         if (Config.MaxWallNanosPerCpu) {
-          if (monotonicNanos() - WallStart > Config.MaxWallNanosPerCpu)
+          if (WallBase + (monotonicNanos() - WallStart) >
+              Config.MaxWallNanosPerCpu)
             return Finish(RunStatus::TimedOut);
           WallCheckLeft = 0; // Stride state is stale; re-read next block.
         }
@@ -739,7 +748,7 @@ ErrorOr<RunStatus> Engine::runLoop(VCpu &Cpu, uint64_t MaxBlocks,
     // remaining budget.
     if (Config.MaxWallNanosPerCpu) {
       if (WallCheckLeft == 0) {
-        uint64_t Elapsed = monotonicNanos() - WallStart;
+        uint64_t Elapsed = WallBase + (monotonicNanos() - WallStart);
         if (Elapsed > Config.MaxWallNanosPerCpu)
           return Finish(RunStatus::TimedOut);
         uint64_t Remaining = Config.MaxWallNanosPerCpu - Elapsed;

@@ -1,0 +1,118 @@
+//===- net/Client.cpp - Blocking llsc-served client --------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace llsc;
+using namespace llsc::net;
+
+Client::~Client() { close(); }
+
+Client::Client(Client &&Other) noexcept
+    : Fd(Other.Fd), InBuf(std::move(Other.InBuf)) {
+  Other.Fd = -1;
+}
+
+Client &Client::operator=(Client &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    InBuf = std::move(Other.InBuf);
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+  InBuf.clear();
+}
+
+ErrorOr<void> Client::connect(const std::string &Host, uint16_t Port) {
+  close();
+  Fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return makeError("socket: %s", std::strerror(errno));
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    close();
+    return makeError("bad address '%s'", Host.c_str());
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error E = makeError("connect %s:%u: %s", Host.c_str(), Port,
+                        std::strerror(errno));
+    close();
+    return E;
+  }
+  // Request/response lines are latency-bound, not throughput-bound.
+  int One = 1;
+  setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return {};
+}
+
+ErrorOr<void> Client::sendLine(const std::string &Line) {
+  if (Fd < 0)
+    return makeError("not connected");
+  std::string Data = Line;
+  Data += '\n';
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return makeError("send: %s", std::strerror(errno));
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return {};
+}
+
+ErrorOr<std::string> Client::readLine() {
+  if (Fd < 0)
+    return makeError("not connected");
+  while (true) {
+    size_t Nl = InBuf.find('\n');
+    if (Nl != std::string::npos) {
+      std::string Line = InBuf.substr(0, Nl);
+      InBuf.erase(0, Nl + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      return Line;
+    }
+    char Buf[4096];
+    ssize_t N = recv(Fd, Buf, sizeof(Buf), 0);
+    if (N == 0)
+      return makeError("server closed the connection");
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return makeError("recv: %s", std::strerror(errno));
+    }
+    InBuf.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+ErrorOr<JsonValue> Client::call(const JsonValue &Request) {
+  if (auto Sent = sendLine(Request.render()); !Sent)
+    return Sent.error();
+  auto Line = readLine();
+  if (!Line)
+    return Line.error();
+  return JsonValue::parse(*Line);
+}

@@ -1,0 +1,61 @@
+//===- net/Client.h - Blocking llsc-served client ---------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client for the llsc-served protocol: connect, send
+/// one JSON line, read one JSON line back (call), or read raw lines for
+/// the stream verb's event sequence. Used by tools/llsc-client, the
+/// daemon tests and the serve_daemon bench — none of which need
+/// concurrency on the client side, so blocking I/O keeps it simple.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_NET_CLIENT_H
+#define LLSC_NET_CLIENT_H
+
+#include "net/Json.h"
+
+#include <string>
+
+namespace llsc {
+namespace net {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&Other) noexcept;
+  Client &operator=(Client &&Other) noexcept;
+
+  /// Connects to the daemon at \p Host:\p Port.
+  ErrorOr<void> connect(const std::string &Host, uint16_t Port);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends one line (newline appended).
+  ErrorOr<void> sendLine(const std::string &Line);
+
+  /// Blocks for the next line from the server (without the newline).
+  /// Fails on EOF or a socket error.
+  ErrorOr<std::string> readLine();
+
+  /// Request/response round trip: send \p Request as one line, parse
+  /// the next line as the response object.
+  ErrorOr<JsonValue> call(const JsonValue &Request);
+
+private:
+  int Fd = -1;
+  std::string InBuf;
+};
+
+} // namespace net
+} // namespace llsc
+
+#endif // LLSC_NET_CLIENT_H

@@ -1,0 +1,121 @@
+//===- net/Json.h - Minimal JSON value + parser -----------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough JSON for the daemon's line-delimited protocol: a tagged
+/// JsonValue, a recursive-descent parser, and a small writer. No
+/// external deps by design (the container bakes in nothing beyond the
+/// toolchain), and no streaming — every protocol message is one line,
+/// parsed whole. Numbers keep an integer fast path (job ids are
+/// uint64s, which doubles would mangle past 2^53).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_NET_JSON_H
+#define LLSC_NET_JSON_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llsc {
+namespace net {
+
+/// One parsed JSON value. Object keys are kept sorted (std::map) —
+/// protocol messages are tiny, so lookup cost is irrelevant and
+/// deterministic iteration helps tests.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isBool() const { return K == Kind::Bool; }
+
+  /// Object member access; \returns null for missing keys / non-objects
+  /// (a static Null, so chained lookups are safe).
+  const JsonValue &get(const std::string &Key) const;
+  bool has(const std::string &Key) const {
+    return K == Kind::Object && Obj.count(Key) != 0;
+  }
+
+  // Typed reads with defaults — the protocol layer's idiom for
+  // optional message fields.
+  bool asBool(bool Default = false) const {
+    return K == Kind::Bool ? B : Default;
+  }
+  int64_t asInt(int64_t Default = 0) const {
+    if (K == Kind::Int)
+      return I;
+    if (K == Kind::Double)
+      return static_cast<int64_t>(D);
+    return Default;
+  }
+  uint64_t asUint(uint64_t Default = 0) const {
+    int64_t V = asInt(static_cast<int64_t>(Default));
+    return V < 0 ? Default : static_cast<uint64_t>(V);
+  }
+  double asDouble(double Default = 0) const {
+    if (K == Kind::Double)
+      return D;
+    if (K == Kind::Int)
+      return static_cast<double>(I);
+    return Default;
+  }
+  const std::string &asString() const { return S; }
+  std::string asString(const std::string &Default) const {
+    return K == Kind::String ? S : Default;
+  }
+  const std::vector<JsonValue> &items() const { return Arr; }
+  const std::map<std::string, JsonValue> &members() const { return Obj; }
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool V);
+  static JsonValue integer(int64_t V);
+  static JsonValue number(double V);
+  static JsonValue string(std::string V);
+  static JsonValue array();
+  static JsonValue object();
+
+  // Builder access (only meaningful on the matching kind).
+  std::vector<JsonValue> &itemsMut() { return Arr; }
+  std::map<std::string, JsonValue> &membersMut() { return Obj; }
+
+  /// Parses exactly one JSON value from \p Text (trailing whitespace
+  /// allowed, trailing garbage is an error).
+  static ErrorOr<JsonValue> parse(std::string_view Text);
+
+  /// Compact single-line rendering (the wire format).
+  std::string render() const;
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0;
+  std::string S;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+};
+
+/// \returns \p S with JSON string escapes applied (no surrounding
+/// quotes).
+std::string jsonEscape(const std::string &S);
+
+} // namespace net
+} // namespace llsc
+
+#endif // LLSC_NET_JSON_H

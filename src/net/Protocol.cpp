@@ -1,0 +1,111 @@
+//===- net/Protocol.cpp - llsc-served wire protocol --------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Protocol.h"
+
+#include "input/InputArch.h"
+
+using namespace llsc;
+using namespace llsc::net;
+using namespace llsc::serve;
+
+std::string net::hexEncode(const std::vector<uint8_t> &Bytes) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(Bytes.size() * 2);
+  for (uint8_t B : Bytes) {
+    Out += Digits[B >> 4];
+    Out += Digits[B & 0xF];
+  }
+  return Out;
+}
+
+ErrorOr<std::vector<uint8_t>> net::hexDecode(const std::string &Hex) {
+  if (Hex.size() % 2)
+    return makeError("hex payload has odd length %zu", Hex.size());
+  auto Nibble = [](char C) -> int {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    if (C >= 'A' && C <= 'F')
+      return C - 'A' + 10;
+    return -1;
+  };
+  std::vector<uint8_t> Out;
+  Out.reserve(Hex.size() / 2);
+  for (size_t I = 0; I < Hex.size(); I += 2) {
+    int Hi = Nibble(Hex[I]), Lo = Nibble(Hex[I + 1]);
+    if (Hi < 0 || Lo < 0)
+      return makeError("bad hex digit at offset %zu", I);
+    Out.push_back(static_cast<uint8_t>((Hi << 4) | Lo));
+  }
+  return Out;
+}
+
+ErrorOr<JobSpec> net::jobSpecFromRequest(const JsonValue &Request,
+                                         std::string *FromOut) {
+  JobSpec Spec;
+  Spec.Name = Request.get("name").asString(std::string());
+
+  if (const JsonValue &Arch = Request.get("arch"); Arch.isString()) {
+    auto Parsed = input::parseGuestArch(Arch.asString());
+    if (!Parsed)
+      return Parsed.error();
+    Spec.Machine.Arch = *Parsed;
+  }
+  if (const JsonValue &Scheme = Request.get("scheme"); Scheme.isString()) {
+    if (Scheme.asString() == "adaptive") {
+      Spec.Machine.Adaptive = true;
+    } else if (auto Kind = parseSchemeName(Scheme.asString())) {
+      Spec.Machine.Scheme = *Kind;
+    } else {
+      return makeError("unknown scheme '%s'", Scheme.asString().c_str());
+    }
+  }
+  if (Request.has("threads"))
+    Spec.Machine.NumThreads =
+        static_cast<unsigned>(Request.get("threads").asUint(1));
+  if (Request.has("deadline"))
+    Spec.DeadlineSeconds = Request.get("deadline").asDouble(0);
+  if (Request.has("max_blocks"))
+    Spec.MaxBlocksPerCpu = Request.get("max_blocks").asUint(0);
+  if (Request.has("attempts"))
+    Spec.MaxAttempts =
+        static_cast<unsigned>(Request.get("attempts").asUint(1));
+
+  std::string From = Request.get("from").asString(std::string());
+  if (FromOut)
+    *FromOut = From;
+  bool HasAsm = Request.get("asm").isString();
+  bool HasElf = Request.get("elf_hex").isString();
+  if ((HasAsm ? 1 : 0) + (HasElf ? 1 : 0) + (From.empty() ? 0 : 1) > 1)
+    return makeError("request carries more than one of asm/elf_hex/from");
+
+  if (HasAsm) {
+    // GRV assembly ships as source: the worker assembles it at dispatch
+    // time, keeping the event loop free of per-job assembly work.
+    uint64_t Base = Request.has("base") ? Request.get("base").asUint(0x1000)
+                                        : 0x1000;
+    Spec.Source = JobSource::assembly(Request.get("asm").asString(), Base);
+    if (Spec.Machine.Arch != input::GuestArch::Grv)
+      return makeError("asm payloads require arch=grv (got %s)",
+                       input::guestArchName(Spec.Machine.Arch));
+  } else if (HasElf) {
+    // A binary image must be parsed here — loadImage validates headers
+    // and yields the arch-checked program the worker will load.
+    auto Bytes = hexDecode(Request.get("elf_hex").asString());
+    if (!Bytes)
+      return Bytes.error();
+    auto Prog = input::inputArch(Spec.Machine.Arch).loadImage(*Bytes);
+    if (!Prog)
+      return Prog.error();
+    Spec.Source = JobSource::image(Prog.take());
+  } else if (From.empty()) {
+    return makeError("request needs one of asm/elf_hex/from");
+  }
+  return Spec;
+}

@@ -1,0 +1,53 @@
+//===- net/Protocol.h - llsc-served wire protocol ---------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The llsc-served wire protocol, version 1: line-delimited JSON over
+/// TCP, one request object per line, answered by one response object
+/// (the stream verb answers with several event lines). Each protocol
+/// verb maps one-to-one onto the session API (serve/Session.h);
+/// docs/SERVING.md carries the full message grammar. This header holds
+/// the request-decoding helpers shared by the server and tests:
+/// turning a submit/snapshot request object into a JobSpec, and the
+/// hex codec used to ship rv32 ELF images inside JSON strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_NET_PROTOCOL_H
+#define LLSC_NET_PROTOCOL_H
+
+#include "net/Json.h"
+#include "serve/Job.h"
+
+#include <string>
+#include <vector>
+
+namespace llsc {
+namespace net {
+
+/// Wire protocol version spoken by this build (the hello verb reports
+/// it; requests carry it as "v").
+constexpr int ProtocolVersion = 1;
+
+/// Decodes a submit / snapshot request object into a JobSpec.
+/// Recognized fields: name, scheme ("adaptive" or any Table II name),
+/// threads, arch, asm (GRV assembly text — stays source so the worker
+/// assembles it off the event loop), elf_hex (hex-encoded rv32 ELF,
+/// decoded and loaded here), base (assembly base address), deadline,
+/// max_blocks, attempts. A "from" field (snapshot-clone jobs) is
+/// reported via \p FromOut and leaves the spec's source empty — the
+/// server resolves the named snapshot against the session.
+ErrorOr<serve::JobSpec> jobSpecFromRequest(const JsonValue &Request,
+                                           std::string *FromOut = nullptr);
+
+/// Hex codec for binary payloads in JSON strings (rv32 ELF images).
+std::string hexEncode(const std::vector<uint8_t> &Bytes);
+ErrorOr<std::vector<uint8_t>> hexDecode(const std::string &Hex);
+
+} // namespace net
+} // namespace llsc
+
+#endif // LLSC_NET_PROTOCOL_H

@@ -1,0 +1,624 @@
+//===- net/Server.cpp - llsc-served TCP event loop ---------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+
+#include "core/Snapshot.h"
+#include "core/StatsReport.h"
+#include "net/Protocol.h"
+#include "serve/Manifest.h"
+#include "support/Stats.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace llsc;
+using namespace llsc::net;
+using namespace llsc::serve;
+
+/// One request line may carry a hex-encoded guest image; cap it so a
+/// rogue client cannot grow a connection buffer without bound.
+static constexpr size_t MaxLineBytes = 16u << 20;
+
+static void setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+Server::Server(const ServerConfig &Config) : Config(Config) {
+  CounterRegistry &R = CounterRegistry::instance();
+  Counters.Connections = R.counter("serve.net.connections");
+  Counters.Messages = R.counter("serve.net.messages");
+  Counters.ProtocolErrors = R.counter("serve.net.protocol_errors");
+  Counters.SubmitsAccepted = R.counter("serve.net.submits_accepted");
+  Counters.SubmitsRejected = R.counter("serve.net.submits_rejected");
+  Counters.ResultsStreamed = R.counter("serve.net.results_streamed");
+  Counters.Drains = R.counter("serve.net.drains");
+}
+
+Server::~Server() {
+  for (auto &Entry : Conns)
+    if (Entry.second.Fd >= 0)
+      ::close(Entry.second.Fd);
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (WakePipe[0] >= 0)
+    ::close(WakePipe[0]);
+  if (WakePipe[1] >= 0)
+    ::close(WakePipe[1]);
+}
+
+ErrorOr<void> Server::start() {
+  if (!Config.Service)
+    return makeError("server needs a SessionService");
+  if (pipe(WakePipe) != 0)
+    return makeError("pipe: %s", std::strerror(errno));
+  setNonBlocking(WakePipe[0]);
+  setNonBlocking(WakePipe[1]);
+
+  ListenFd = socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return makeError("socket: %s", std::strerror(errno));
+  int One = 1;
+  setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Config.Port);
+  if (inet_pton(AF_INET, Config.Host.c_str(), &Addr.sin_addr) != 1)
+    return makeError("bad listen address '%s'", Config.Host.c_str());
+  if (bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return makeError("bind %s:%u: %s", Config.Host.c_str(), Config.Port,
+                     std::strerror(errno));
+  if (listen(ListenFd, 64) != 0)
+    return makeError("listen: %s", std::strerror(errno));
+  setNonBlocking(ListenFd);
+
+  socklen_t Len = sizeof(Addr);
+  if (getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  return {};
+}
+
+void Server::requestStop() {
+  if (WakePipe[1] >= 0)
+    (void)!write(WakePipe[1], "S", 1);
+}
+
+void Server::requestDrain() {
+  if (WakePipe[1] >= 0)
+    (void)!write(WakePipe[1], "D", 1);
+}
+
+namespace {
+/// The SIGTERM handler's target: just a pipe fd — everything the
+/// handler does is one async-signal-safe write.
+volatile sig_atomic_t SigDrainFd = -1;
+void sigtermHandler(int) {
+  int Fd = SigDrainFd;
+  if (Fd >= 0)
+    (void)!write(Fd, "D", 1);
+}
+} // namespace
+
+void Server::installSigtermDrain(Server *S) {
+  SigDrainFd = S ? S->WakePipe[1] : -1;
+  struct sigaction Sa = {};
+  Sa.sa_handler = S ? sigtermHandler : SIG_DFL;
+  sigemptyset(&Sa.sa_mask);
+  sigaction(SIGTERM, &Sa, nullptr);
+  sigaction(SIGINT, &Sa, nullptr);
+}
+
+void Server::watchSession(const std::shared_ptr<Session> &S) {
+  if (!S || Watched.count(S->name()))
+    return;
+  int Fd = WakePipe[1];
+  S->setNotifier([Fd] { (void)!write(Fd, "N", 1); });
+  Watched[S->name()] = true;
+}
+
+void Server::reply(Conn &C, const JsonValue &Response) {
+  C.Out += Response.render();
+  C.Out += '\n';
+}
+
+void Server::replyError(Conn &C, const std::string &Message,
+                        const char *Code) {
+  JsonValue R = JsonValue::object();
+  R.membersMut()["ok"] = JsonValue::boolean(false);
+  R.membersMut()["error"] =
+      JsonValue::string(Code ? std::string(Code) : Message);
+  if (Code)
+    R.membersMut()["detail"] = JsonValue::string(Message);
+  reply(C, R);
+}
+
+std::shared_ptr<Session> Server::sessionFor(Conn &C,
+                                            const JsonValue &Request) {
+  std::string Name = Request.get("session").asString(std::string());
+  if (Name.empty()) {
+    replyError(C, "request needs a session field");
+    return nullptr;
+  }
+  std::shared_ptr<Session> S = Config.Service->find(Name);
+  if (!S)
+    replyError(C, "unknown session '" + Name + "'");
+  return S;
+}
+
+JsonValue Server::statsResponse() const {
+  const BatchService &Fleet = Config.Service->fleet();
+  FleetStats F = Fleet.fleetStats();
+  MachinePool::Stats P = Fleet.poolStats();
+  CounterRegistry &R = CounterRegistry::instance();
+
+  JsonValue J = JsonValue::object();
+  auto &M = J.membersMut();
+  M["ok"] = JsonValue::boolean(true);
+  M["draining"] = JsonValue::boolean(Config.Service->draining());
+  M["submitted"] = JsonValue::integer(static_cast<int64_t>(F.Submitted));
+  M["completed"] = JsonValue::integer(static_cast<int64_t>(F.Completed));
+  M["failed"] = JsonValue::integer(static_cast<int64_t>(F.Failed));
+  M["cancelled"] = JsonValue::integer(static_cast<int64_t>(F.Cancelled));
+  M["rejected_queue_full"] =
+      JsonValue::integer(static_cast<int64_t>(F.RejectedQueueFull));
+  M["deadline_exceeded"] =
+      JsonValue::integer(static_cast<int64_t>(F.DeadlineExceeded));
+  M["snapshot_jobs"] = JsonValue::integer(static_cast<int64_t>(F.SnapshotJobs));
+  M["machines_created"] =
+      JsonValue::integer(static_cast<int64_t>(P.Created));
+  M["machines_reused"] = JsonValue::integer(static_cast<int64_t>(P.Reused));
+  M["machines_outstanding"] =
+      JsonValue::integer(static_cast<int64_t>(P.Outstanding));
+  M["machines_idle"] = JsonValue::integer(static_cast<int64_t>(P.Idle));
+  M["queue_depth"] =
+      JsonValue::integer(static_cast<int64_t>(Fleet.queueDepth()));
+  M["queue_capacity"] =
+      JsonValue::integer(static_cast<int64_t>(Fleet.queueCapacity()));
+  M["workers"] = JsonValue::integer(Fleet.workerTarget());
+  M["busy_workers"] = JsonValue::integer(Fleet.busyWorkers());
+  M["queue_p99_ns"] = JsonValue::integer(
+      static_cast<int64_t>(Fleet.queueLatencyQuantileNs(0.99)));
+  M["autoscale_samples"] = JsonValue::integer(static_cast<int64_t>(
+      R.counter("serve.autoscale.samples")->load(std::memory_order_relaxed)));
+  M["autoscale_scale_ups"] = JsonValue::integer(static_cast<int64_t>(
+      R.counter("serve.autoscale.scale_ups")->load(std::memory_order_relaxed)));
+  M["autoscale_scale_downs"] =
+      JsonValue::integer(static_cast<int64_t>(R.counter("serve.autoscale.scale_downs")
+                                                  ->load(std::memory_order_relaxed)));
+  return J;
+}
+
+void Server::handleRequest(Conn &C, const JsonValue &Request) {
+  Counters.Messages->fetch_add(1, std::memory_order_relaxed);
+  std::string Verb = Request.get("verb").asString(std::string());
+
+  if (Verb == "hello") {
+    JsonValue R = JsonValue::object();
+    R.membersMut()["ok"] = JsonValue::boolean(true);
+    R.membersMut()["server"] = JsonValue::string("llsc-served");
+    R.membersMut()["proto"] = JsonValue::integer(ProtocolVersion);
+    R.membersMut()["schema_version"] =
+        JsonValue::integer(StatsReport::SchemaVersion);
+    R.membersMut()["draining"] = JsonValue::boolean(Draining);
+    reply(C, R);
+    return;
+  }
+
+  if (Verb == "stats") {
+    reply(C, statsResponse());
+    return;
+  }
+
+  if (Verb == "create-session") {
+    SessionConfig Cfg;
+    Cfg.Name = Request.get("session").asString(std::string());
+    Cfg.MaxInFlight =
+        static_cast<unsigned>(Request.get("max_inflight").asUint(0));
+    if (Request.has("max_buffered"))
+      Cfg.MaxBufferedResults = Request.get("max_buffered").asUint(1024);
+    auto SessOrErr = Config.Service->createSession(Cfg);
+    if (!SessOrErr) {
+      replyError(C, SessOrErr.error().message());
+      return;
+    }
+    watchSession(*SessOrErr);
+    JsonValue R = JsonValue::object();
+    R.membersMut()["ok"] = JsonValue::boolean(true);
+    R.membersMut()["session"] = JsonValue::string((*SessOrErr)->name());
+    reply(C, R);
+    return;
+  }
+
+  if (Verb == "snapshot") {
+    std::shared_ptr<Session> S = sessionFor(C, Request);
+    if (!S)
+      return;
+    std::string Name = Request.get("name").asString(std::string());
+    if (Name.empty()) {
+      replyError(C, "snapshot needs a name");
+      return;
+    }
+    auto SpecOrErr = jobSpecFromRequest(Request);
+    if (!SpecOrErr) {
+      Counters.ProtocolErrors->fetch_add(1, std::memory_order_relaxed);
+      replyError(C, SpecOrErr.error().message());
+      return;
+    }
+    // Deliberately synchronous: capture loads, warms and images the
+    // donor before answering. Sessions snapshot at setup time, not in
+    // the submit hot path (docs/SERVING.md).
+    auto SnapOrErr =
+        S->captureSnapshot(Name, *SpecOrErr, Request.get("warm").asBool(true));
+    if (!SnapOrErr) {
+      replyError(C, SnapOrErr.error().message());
+      return;
+    }
+    JsonValue R = JsonValue::object();
+    R.membersMut()["ok"] = JsonValue::boolean(true);
+    R.membersMut()["snapshot"] = JsonValue::string(Name);
+    reply(C, R);
+    return;
+  }
+
+  if (Verb == "submit") {
+    std::shared_ptr<Session> S = sessionFor(C, Request);
+    if (!S)
+      return;
+    std::string From;
+    auto SpecOrErr = jobSpecFromRequest(Request, &From);
+    if (!SpecOrErr) {
+      Counters.ProtocolErrors->fetch_add(1, std::memory_order_relaxed);
+      replyError(C, SpecOrErr.error().message());
+      return;
+    }
+    JobSpec Spec = SpecOrErr.take();
+    if (!From.empty()) {
+      std::shared_ptr<const MachineSnapshot> Snap = S->findSnapshot(From);
+      if (!Snap) {
+        replyError(C, "unknown snapshot '" + From + "'");
+        return;
+      }
+      Spec.Source = JobSource::snapshotRef(Snap);
+      Spec.Machine = Snap->Config; // Clones pool in the donor's bucket.
+    }
+    Admission A = S->submit(std::move(Spec));
+    if (A.Status != AdmitStatus::Accepted) {
+      Counters.SubmitsRejected->fetch_add(1, std::memory_order_relaxed);
+      JsonValue R = JsonValue::object();
+      R.membersMut()["ok"] = JsonValue::boolean(false);
+      R.membersMut()["error"] = JsonValue::string(admitStatusName(A.Status));
+      if (A.Status == AdmitStatus::QueueFull)
+        R.membersMut()["retry_after"] = JsonValue::number(A.RetryAfterSeconds);
+      reply(C, R);
+      return;
+    }
+    Counters.SubmitsAccepted->fetch_add(1, std::memory_order_relaxed);
+    JsonValue R = JsonValue::object();
+    R.membersMut()["ok"] = JsonValue::boolean(true);
+    R.membersMut()["job_id"] =
+        JsonValue::integer(static_cast<int64_t>(A.Handle.id()));
+    reply(C, R);
+    return;
+  }
+
+  if (Verb == "poll") {
+    std::shared_ptr<Session> S = sessionFor(C, Request);
+    if (!S)
+      return;
+    uint64_t JobId = Request.get("job_id").asUint(0);
+    std::optional<JobState> State = S->poll(JobId);
+    JsonValue R = JsonValue::object();
+    if (!State) {
+      R.membersMut()["ok"] = JsonValue::boolean(false);
+      R.membersMut()["error"] = JsonValue::string("unknown job");
+    } else {
+      R.membersMut()["ok"] = JsonValue::boolean(true);
+      R.membersMut()["job_id"] = JsonValue::integer(static_cast<int64_t>(JobId));
+      R.membersMut()["state"] = JsonValue::string(jobStateName(*State));
+    }
+    reply(C, R);
+    return;
+  }
+
+  if (Verb == "stream") {
+    std::shared_ptr<Session> S = sessionFor(C, Request);
+    if (!S)
+      return;
+    uint64_t Count = Request.get("count").asUint(0);
+    if (Count == 0) {
+      replyError(C, "stream needs a positive count");
+      return;
+    }
+    watchSession(S);
+    C.StreamSession = S;
+    C.StreamRemaining = Count;
+    pumpStream(C);
+    return;
+  }
+
+  if (Verb == "cancel") {
+    std::shared_ptr<Session> S = sessionFor(C, Request);
+    if (!S)
+      return;
+    uint64_t JobId = Request.get("job_id").asUint(0);
+    JsonValue R = JsonValue::object();
+    R.membersMut()["ok"] = JsonValue::boolean(true);
+    R.membersMut()["cancelled"] = JsonValue::boolean(S->cancel(JobId));
+    reply(C, R);
+    return;
+  }
+
+  if (Verb == "close-session") {
+    std::shared_ptr<Session> S = sessionFor(C, Request);
+    if (!S)
+      return;
+    if (S->tryClose()) {
+      Config.Service->closeSession(S->name());
+      JsonValue R = JsonValue::object();
+      R.membersMut()["ok"] = JsonValue::boolean(true);
+      R.membersMut()["session"] = JsonValue::string(S->name());
+      R.membersMut()["closed"] = JsonValue::boolean(true);
+      reply(C, R);
+    } else {
+      // Jobs still in flight: the response is deferred until they
+      // finish (checkPendingClose each loop pass).
+      C.PendingClose = S;
+    }
+    return;
+  }
+
+  Counters.ProtocolErrors->fetch_add(1, std::memory_order_relaxed);
+  replyError(C, "unknown verb '" + Verb + "'");
+}
+
+void Server::pumpStream(Conn &C) {
+  if (!C.StreamSession)
+    return;
+  while (C.StreamRemaining > 0) {
+    size_t Batch = static_cast<size_t>(
+        std::min<uint64_t>(C.StreamRemaining, 64));
+    std::vector<JobResult> Results = C.StreamSession->stream(Batch, 0.0);
+    if (Results.empty())
+      break;
+    for (const JobResult &R : Results) {
+      std::string Line = renderJobLine(R);
+      while (!Line.empty() && Line.back() == '\n')
+        Line.pop_back();
+      C.Out += "{\"event\":\"result\",\"session\":\"";
+      C.Out += jsonEscape(C.StreamSession->name());
+      C.Out += "\",\"job\":";
+      C.Out += Line;
+      C.Out += "}\n";
+      --C.StreamRemaining;
+    }
+    Counters.ResultsStreamed->fetch_add(Results.size(),
+                                        std::memory_order_relaxed);
+  }
+
+  // The subscription ends when delivered in full, or when no further
+  // result can ever arrive (session idle+closed, or a service-wide
+  // drain finished with nothing buffered).
+  bool Exhausted = C.StreamSession->idle() && C.StreamSession->buffered() == 0;
+  bool DrainedOut = Draining && C.StreamSession->inFlight() == 0 &&
+                    C.StreamSession->buffered() == 0;
+  if (C.StreamRemaining == 0 || Exhausted || DrainedOut) {
+    JsonValue End = JsonValue::object();
+    End.membersMut()["event"] = JsonValue::string("stream-end");
+    End.membersMut()["session"] = JsonValue::string(C.StreamSession->name());
+    End.membersMut()["remaining"] =
+        JsonValue::integer(static_cast<int64_t>(C.StreamRemaining));
+    End.membersMut()["draining"] = JsonValue::boolean(Draining);
+    reply(C, End);
+    C.StreamSession.reset();
+    C.StreamRemaining = 0;
+    // Serve any requests the client pipelined behind the stream.
+    while (!C.Pending.empty() && !C.StreamSession) {
+      std::string Line = std::move(C.Pending.front());
+      C.Pending.pop_front();
+      handleLine(C, Line);
+    }
+  }
+}
+
+void Server::checkPendingClose(Conn &C) {
+  if (!C.PendingClose || !C.PendingClose->idle())
+    return;
+  Config.Service->closeSession(C.PendingClose->name());
+  JsonValue R = JsonValue::object();
+  R.membersMut()["ok"] = JsonValue::boolean(true);
+  R.membersMut()["session"] = JsonValue::string(C.PendingClose->name());
+  R.membersMut()["closed"] = JsonValue::boolean(true);
+  reply(C, R);
+  C.PendingClose.reset();
+}
+
+void Server::handleLine(Conn &C, const std::string &Line) {
+  if (C.StreamSession) {
+    C.Pending.push_back(Line);
+    return;
+  }
+  auto Parsed = JsonValue::parse(Line);
+  if (!Parsed) {
+    Counters.ProtocolErrors->fetch_add(1, std::memory_order_relaxed);
+    replyError(C, Parsed.error().message());
+    return;
+  }
+  handleRequest(C, *Parsed);
+}
+
+void Server::acceptNew() {
+  while (true) {
+    int Fd = accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return; // EAGAIN or transient error — poll again.
+    setNonBlocking(Fd);
+    // Small request/response lines: without this, Nagle + delayed ACK
+    // turns every submit round trip into a ~40ms stall.
+    int One = 1;
+    setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    Conn C;
+    C.Fd = Fd;
+    Conns.emplace(Fd, std::move(C));
+    Counters.Connections->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::readConn(Conn &C) {
+  char Buf[4096];
+  while (true) {
+    ssize_t N = recv(C.Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      C.In.append(Buf, static_cast<size_t>(N));
+      if (C.In.size() > MaxLineBytes) {
+        Counters.ProtocolErrors->fetch_add(1, std::memory_order_relaxed);
+        C.CloseAfterFlush = true;
+        return;
+      }
+      continue;
+    }
+    if (N == 0) { // Peer closed.
+      C.CloseAfterFlush = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    C.CloseAfterFlush = true;
+    break;
+  }
+  size_t Start = 0;
+  while (true) {
+    size_t Nl = C.In.find('\n', Start);
+    if (Nl == std::string::npos)
+      break;
+    std::string Line = C.In.substr(Start, Nl - Start);
+    Start = Nl + 1;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (!Line.empty())
+      handleLine(C, Line);
+  }
+  if (Start)
+    C.In.erase(0, Start);
+}
+
+void Server::flushConn(Conn &C) {
+  while (!C.Out.empty()) {
+    ssize_t N = send(C.Fd, C.Out.data(), C.Out.size(), MSG_NOSIGNAL);
+    if (N > 0) {
+      C.Out.erase(0, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return;
+    C.Out.clear();
+    C.CloseAfterFlush = true;
+    return;
+  }
+}
+
+void Server::closeConn(Conn &C) {
+  if (C.Fd >= 0)
+    ::close(C.Fd);
+  C.Fd = -1;
+}
+
+void Server::run() {
+  std::vector<pollfd> Fds;
+  while (true) {
+    Fds.clear();
+    Fds.push_back({WakePipe[0], POLLIN, 0});
+    if (!Draining && ListenFd >= 0)
+      Fds.push_back({ListenFd, POLLIN, 0});
+    for (auto &Entry : Conns) {
+      short Events = POLLIN;
+      if (!Entry.second.Out.empty())
+        Events |= POLLOUT;
+      Fds.push_back({Entry.first, Events, 0});
+    }
+
+    (void)poll(Fds.data(), Fds.size(), 50);
+
+    // Drain the wake pipe; a 'D' byte begins the graceful drain, an
+    // 'S' byte stops immediately. 'N' bytes are session notifications
+    // — their only job was ending the poll sleep early.
+    char WakeBuf[64];
+    ssize_t N;
+    while ((N = read(WakePipe[0], WakeBuf, sizeof(WakeBuf))) > 0) {
+      for (ssize_t I = 0; I < N; ++I) {
+        if (WakeBuf[I] == 'S')
+          Stopping = true;
+        if (WakeBuf[I] == 'D' && !Draining) {
+          Draining = true;
+          Counters.Drains->fetch_add(1, std::memory_order_relaxed);
+          Config.Service->beginDrain();
+          if (ListenFd >= 0) {
+            ::close(ListenFd);
+            ListenFd = -1;
+          }
+        }
+      }
+    }
+
+    if (Stopping)
+      break;
+
+    if (!Draining && ListenFd >= 0)
+      acceptNew();
+
+    for (auto &Entry : Conns) {
+      Conn &C = Entry.second;
+      readConn(C);
+      pumpStream(C);
+      checkPendingClose(C);
+      flushConn(C);
+    }
+    for (auto It = Conns.begin(); It != Conns.end();) {
+      Conn &C = It->second;
+      if (C.CloseAfterFlush && C.Out.empty() && !C.StreamSession &&
+          !C.PendingClose) {
+        closeConn(C);
+        It = Conns.erase(It);
+      } else {
+        ++It;
+      }
+    }
+
+    if (Draining) {
+      // The drain completes when nothing is in flight anywhere and
+      // every connection's buffers are flushed. pumpStream already
+      // emitted early stream-ends (draining flag set) above.
+      // Buffered-but-unsubscribed results do NOT hold the drain open:
+      // a client that never streams forfeits them (documented).
+      bool Busy = false;
+      for (const std::shared_ptr<Session> &S : Config.Service->sessions())
+        if (S->inFlight() > 0)
+          Busy = true;
+      for (auto &Entry : Conns)
+        if (!Entry.second.Out.empty() || Entry.second.StreamSession ||
+            Entry.second.PendingClose)
+          Busy = true;
+      if (!Busy)
+        break;
+    }
+  }
+
+  for (auto &Entry : Conns) {
+    flushConn(Entry.second);
+    closeConn(Entry.second);
+  }
+  Conns.clear();
+}

@@ -1,0 +1,144 @@
+//===- net/Server.h - llsc-served TCP event loop ----------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's network front: a single-threaded poll(2) event loop
+/// speaking the line-delimited JSON protocol (net/Protocol.h) against a
+/// shared SessionService. One thread is enough because the loop never
+/// runs guest code — every job is handed to the fleet through the
+/// non-blocking session submit, and queue-full answers a retry-after
+/// line instead of parking the loop (the acceptance bar: the accept
+/// loop never blocks on a busy fleet).
+///
+/// Results flow back through per-session notifiers poking a self-pipe,
+/// so a stream verb turns into event lines pushed as jobs finish — no
+/// polling threads, no timers beyond poll's own timeout.
+///
+/// Graceful drain (SIGTERM via installSigtermDrain, or requestDrain):
+/// stop accepting connections and admissions, let in-flight jobs
+/// finish, push their results to any active streams, flush every
+/// connection, then return from run(). The drain request is one
+/// signal-safe write to the self-pipe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_NET_SERVER_H
+#define LLSC_NET_SERVER_H
+
+#include "net/Json.h"
+#include "serve/Session.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+namespace llsc {
+namespace net {
+
+struct ServerConfig {
+  std::string Host = "127.0.0.1";
+  /// TCP port; 0 = ephemeral (resolved port readable via port() after
+  /// start() — tests and the soak bench bind this way).
+  uint16_t Port = 0;
+  /// The serving tier this daemon fronts. Not owned.
+  serve::SessionService *Service = nullptr;
+};
+
+class Server {
+public:
+  explicit Server(const ServerConfig &Config);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens; resolves an ephemeral port. Call before run().
+  ErrorOr<void> start();
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// The event loop. Returns after a drain completes (all in-flight
+  /// jobs finished, streams flushed) or requestStop().
+  void run();
+
+  /// Asks the loop to exit immediately (connections dropped, in-flight
+  /// jobs keep running in the fleet). Signal-safe.
+  void requestStop();
+
+  /// Begins a graceful drain: stop accepting, finish in-flight, flush,
+  /// exit run(). Signal-safe — one byte down the self-pipe.
+  void requestDrain();
+
+  /// Routes SIGTERM (and SIGINT) to \p S->requestDrain(). Pass nullptr
+  /// to uninstall. One server per process may be registered.
+  static void installSigtermDrain(Server *S);
+
+  bool draining() const { return Draining; }
+
+private:
+  /// Per-connection state. In/Out are byte buffers; Pending holds
+  /// request lines deferred while a stream is in progress (responses
+  /// must not interleave into an event stream).
+  struct Conn {
+    int Fd = -1;
+    std::string In;
+    std::string Out;
+    std::deque<std::string> Pending;
+    /// Active stream subscription: deliver up to Remaining results
+    /// from Session, then a stream-end line.
+    std::shared_ptr<serve::Session> StreamSession;
+    uint64_t StreamRemaining = 0;
+    /// close-session verb awaiting in-flight jobs; respond when idle.
+    std::shared_ptr<serve::Session> PendingClose;
+    bool CloseAfterFlush = false;
+  };
+
+  void acceptNew();
+  void readConn(Conn &C);
+  void handleLine(Conn &C, const std::string &Line);
+  void handleRequest(Conn &C, const JsonValue &Request);
+  /// Moves buffered session results into the conn's Out as event
+  /// lines; emits stream-end when the subscription completes (or the
+  /// server is draining and nothing more can arrive).
+  void pumpStream(Conn &C);
+  void checkPendingClose(Conn &C);
+  void flushConn(Conn &C);
+  void closeConn(Conn &C);
+  void reply(Conn &C, const JsonValue &Response);
+  void replyError(Conn &C, const std::string &Message,
+                  const char *Code = nullptr);
+  std::shared_ptr<serve::Session> sessionFor(Conn &C,
+                                             const JsonValue &Request);
+  /// Registers the loop-wakeup notifier on \p S (idempotent).
+  void watchSession(const std::shared_ptr<serve::Session> &S);
+  JsonValue statsResponse() const;
+
+  ServerConfig Config;
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1};
+  uint16_t BoundPort = 0;
+  bool Draining = false;
+  bool Stopping = false;
+  std::map<int, Conn> Conns;
+  std::map<std::string, bool> Watched; ///< Sessions with our notifier.
+
+  struct NetCounters {
+    std::atomic<uint64_t> *Connections;
+    std::atomic<uint64_t> *Messages;
+    std::atomic<uint64_t> *ProtocolErrors;
+    std::atomic<uint64_t> *SubmitsAccepted;
+    std::atomic<uint64_t> *SubmitsRejected;
+    std::atomic<uint64_t> *ResultsStreamed;
+    std::atomic<uint64_t> *Drains;
+  };
+  NetCounters Counters;
+};
+
+} // namespace net
+} // namespace llsc
+
+#endif // LLSC_NET_SERVER_H

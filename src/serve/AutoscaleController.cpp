@@ -1,0 +1,76 @@
+//===- serve/AutoscaleController.cpp - Worker-fleet sizing policy ------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/AutoscaleController.h"
+
+#include <algorithm>
+
+using namespace llsc;
+using namespace llsc::serve;
+
+AutoscaleController::AutoscaleController(unsigned MinWorkers,
+                                         unsigned MaxWorkers,
+                                         const AutoscaleConfig &Config)
+    : Config(Config), Min(std::max(1u, MinWorkers)),
+      Max(std::max(this->Min, MaxWorkers)), Current(this->Min) {}
+
+unsigned AutoscaleController::desired(const AutoscaleSample &Sample) const {
+  unsigned Workers = std::max(1u, Sample.Workers);
+  // Pressure: the queue is outrunning the fleet. Double, so a burst is
+  // absorbed in O(log) scale decisions instead of one worker at a time.
+  double QueuePerWorker =
+      static_cast<double>(Sample.QueueDepth) / static_cast<double>(Workers);
+  if (QueuePerWorker >= Config.QueuePerWorkerHigh)
+    return std::min(Max, Workers * 2);
+  // Lull: nothing queued and most of the fleet idle. Halve (round up so
+  // 3 -> 2 -> 1), never below the floor.
+  double BusyFrac = static_cast<double>(Sample.BusyWorkers) /
+                    static_cast<double>(Workers);
+  if (Sample.QueueDepth == 0 && BusyFrac < Config.BusyFracLow)
+    return std::max(Min, (Workers + 1) / 2);
+  return Current;
+}
+
+std::optional<unsigned> AutoscaleController::onSample(
+    const AutoscaleSample &Sample, uint64_t NowNs) {
+  ++Samples;
+  unsigned Want = desired(Sample);
+  if (Want == Current) {
+    Streak = 0;
+    return std::nullopt;
+  }
+  // Hysteresis: a streak of same-direction decisions. The exact doubled/
+  // halved target may drift between samples (queue depth moves), so the
+  // streak is keyed on direction, not on the precise worker count.
+  bool WantUp = Want > Current;
+  bool StreakUp = StreakTarget > Current;
+  if (Streak > 0 && WantUp == StreakUp) {
+    ++Streak;
+  } else {
+    Streak = 1;
+  }
+  StreakTarget = Want;
+  if (Streak < Config.HysteresisSamples)
+    return std::nullopt;
+  if (LastScaleNs != 0 &&
+      NowNs - LastScaleNs < Config.CooldownMs * 1000000ULL) {
+    ++CooldownBlocked;
+    return std::nullopt;
+  }
+  return Want;
+}
+
+void AutoscaleController::onScaleComplete(unsigned NewWorkers,
+                                          uint64_t NowNs) {
+  if (NewWorkers > Current)
+    ++ScaleUps;
+  else if (NewWorkers < Current)
+    ++ScaleDowns;
+  Current = NewWorkers;
+  StreakTarget = NewWorkers;
+  Streak = 0;
+  LastScaleNs = NowNs;
+}

@@ -1,0 +1,102 @@
+//===- serve/AutoscaleController.h - Worker-fleet sizing policy -*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides when the batch service's worker fleet should grow or shrink.
+/// Same shape as runtime/AdaptiveController (pure policy, hysteresis +
+/// cooldown so bursty load can't thrash the fleet): the sampler thread in
+/// BatchService feeds it queue-depth / busy-worker samples derived from
+/// the serve.* counters, and it answers with a new worker target or
+/// "stay". The mechanics of actually growing/shrinking the fleet —
+/// spawning worker threads, letting surplus ones retire, trimming the
+/// machine pool without destroying referenced snapshot clones — live in
+/// BatchService::setWorkerTarget and MachinePool::trim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SERVE_AUTOSCALECONTROLLER_H
+#define LLSC_SERVE_AUTOSCALECONTROLLER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace llsc {
+namespace serve {
+
+/// Tunables for fleet autoscaling (llsc-served --autoscale-* flags).
+struct AutoscaleConfig {
+  /// Sampling period of the controller thread.
+  uint64_t SampleIntervalMs = 20;
+  /// Minimum time between two scaling actions.
+  uint64_t CooldownMs = 200;
+  /// Consecutive same-direction samples required before a scale fires.
+  unsigned HysteresisSamples = 3;
+  /// Scale *up* when queued jobs per worker exceed this (the queue is
+  /// outrunning the fleet).
+  double QueuePerWorkerHigh = 2.0;
+  /// Scale *down* when the queue is empty and the busy fraction of the
+  /// fleet is below this (workers are idling).
+  double BusyFracLow = 0.5;
+};
+
+/// One sample of fleet pressure.
+struct AutoscaleSample {
+  size_t QueueDepth = 0;  ///< Jobs waiting in the bounded queue.
+  unsigned Workers = 0;   ///< Current worker target.
+  unsigned BusyWorkers = 0; ///< Workers mid-job right now.
+};
+
+/// Pure sizing policy. Not thread-safe: owned and driven by the
+/// service's single sampler thread.
+class AutoscaleController {
+public:
+  AutoscaleController(unsigned MinWorkers, unsigned MaxWorkers,
+                      const AutoscaleConfig &Config);
+
+  /// Feeds one sample. \returns the worker target to scale to, or
+  /// nullopt to stay. On a scale decision the caller resizes the fleet
+  /// and then reports it via onScaleComplete().
+  std::optional<unsigned> onSample(const AutoscaleSample &Sample,
+                                   uint64_t NowNs);
+
+  /// Records a completed resize (resets hysteresis, starts the cooldown).
+  void onScaleComplete(unsigned NewWorkers, uint64_t NowNs);
+
+  unsigned current() const { return Current; }
+  unsigned minWorkers() const { return Min; }
+  unsigned maxWorkers() const { return Max; }
+
+  // Mirrored into the serve.autoscale.* counters by the service.
+  uint64_t samples() const { return Samples; }
+  uint64_t scaleUps() const { return ScaleUps; }
+  uint64_t scaleDowns() const { return ScaleDowns; }
+  uint64_t cooldownBlocked() const { return CooldownBlocked; }
+
+private:
+  /// What does this sample argue for? \returns Current when the sample
+  /// carries no scaling signal. Up doubles (clamped to Max) so a burst
+  /// is absorbed in O(log) decisions; down halves (clamped to Min) so a
+  /// lull releases threads gradually.
+  unsigned desired(const AutoscaleSample &Sample) const;
+
+  AutoscaleConfig Config;
+  unsigned Min;
+  unsigned Max;
+  unsigned Current;
+  unsigned StreakTarget = 0;
+  unsigned Streak = 0;
+  uint64_t LastScaleNs = 0; ///< 0 = never scaled; no initial cooldown.
+  uint64_t Samples = 0;
+  uint64_t ScaleUps = 0;
+  uint64_t ScaleDowns = 0;
+  uint64_t CooldownBlocked = 0;
+};
+
+} // namespace serve
+} // namespace llsc
+
+#endif // LLSC_SERVE_AUTOSCALECONTROLLER_H

@@ -12,6 +12,8 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 
 using namespace llsc;
 using namespace llsc::serve;
@@ -26,66 +28,150 @@ const char *serve::jobStateName(JobState State) {
     return "done";
   case JobState::Failed:
     return "failed";
+  case JobState::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+const char *serve::admitStatusName(AdmitStatus Status) {
+  switch (Status) {
+  case AdmitStatus::Accepted:
+    return "accepted";
+  case AdmitStatus::QueueFull:
+    return "queue-full";
+  case AdmitStatus::QuotaExceeded:
+    return "quota-exceeded";
+  case AdmitStatus::Draining:
+    return "draining";
+  case AdmitStatus::Closed:
+    return "closed";
   }
   return "unknown";
 }
 
 BatchService::BatchService(const BatchConfig &Config)
     : Config(Config),
-      Pool(Config.MaxIdlePerKey ? Config.MaxIdlePerKey
-                                : std::max(1u, Config.Workers)),
+      MaxFleet(Config.Autoscale
+                   ? std::max(std::max(1u, Config.MinWorkers),
+                              Config.MaxWorkers ? Config.MaxWorkers
+                                                : std::max(1u, Config.Workers))
+                   : std::max(1u, Config.Workers)),
+      Pool(Config.MaxIdlePerKey ? Config.MaxIdlePerKey : MaxFleet),
       Queue(std::max<size_t>(1, Config.QueueCapacity)) {
   CounterRegistry &R = CounterRegistry::instance();
   Counters.Submitted = R.counter("serve.jobs.submitted");
   Counters.Completed = R.counter("serve.jobs.completed");
   Counters.Failed = R.counter("serve.jobs.failed");
+  Counters.Cancelled = R.counter("serve.jobs.cancelled");
+  Counters.RejectedQueueFull = R.counter("serve.jobs.rejected_queue_full");
   Counters.Retried = R.counter("serve.jobs.retried");
   Counters.DeadlineExceeded = R.counter("serve.jobs.deadline_exceeded");
   Counters.PoolCreated = R.counter("serve.pool.created");
   Counters.PoolReused = R.counter("serve.pool.reused");
   Counters.SnapCaptured = R.counter("serve.snapshot.captured");
   Counters.SnapJobs = R.counter("serve.snapshot.jobs");
+  Counters.AsSamples = R.counter("serve.autoscale.samples");
+  Counters.AsScaleUps = R.counter("serve.autoscale.scale_ups");
+  Counters.AsScaleDowns = R.counter("serve.autoscale.scale_downs");
+  Counters.AsCooldownBlocked = R.counter("serve.autoscale.cooldown_blocked");
+  Counters.AsWorkers = R.counter("serve.autoscale.workers");
 
-  unsigned NumWorkers = std::max(1u, Config.Workers);
-  Workers.reserve(NumWorkers);
-  for (unsigned I = 0; I < NumWorkers; ++I)
-    Workers.emplace_back([this, I] { workerLoop(I); });
+  unsigned Initial = Config.Autoscale ? std::max(1u, Config.MinWorkers)
+                                      : std::max(1u, Config.Workers);
+  setWorkerTarget(Initial);
+  if (Config.Autoscale) {
+    Scaler = std::make_unique<AutoscaleController>(
+        std::max(1u, Config.MinWorkers), MaxFleet, Config.AutoTuning);
+    Counters.AsWorkers->store(Initial, std::memory_order_relaxed);
+    Sampler = std::thread([this] { samplerLoop(); });
+  }
 }
 
 BatchService::~BatchService() { shutdown(); }
 
-ErrorOr<JobHandle> BatchService::submit(JobSpec Spec) {
-  if (ShutDown.load(std::memory_order_acquire))
-    return makeError("batch service is shut down");
-
+BatchService::PendingJob BatchService::makePending(JobSpec &&Spec,
+                                                   JobCallback &&OnComplete) {
   PendingJob Job;
   Job.Spec = std::move(Spec);
   Job.JobId = NextJobId.fetch_add(1, std::memory_order_relaxed);
-  Job.SubmitNs = monotonicNanos();
   Job.Ticket = std::make_shared<detail::JobTicket>();
+  Job.OnComplete = std::move(OnComplete);
+  return Job;
+}
 
-  JobHandle Handle(Job.JobId, Job.Ticket);
-
-  // Count the submission before the push so drain()'s "finished ==
-  // submitted" predicate can never observe a finished job that was not
-  // yet counted as submitted.
+void BatchService::onQueueAccept(PendingJob &Job) {
+  // Runs under the queue lock at the accept moment: the deadline clock
+  // starts *here*, after any full-queue wait, never at enqueue-attempt.
+  Job.AcceptNs = monotonicNanos();
+  // Count the submission before any worker can pop it, so drain()'s
+  // "finished == submitted" predicate can never observe a finished job
+  // that was not yet counted as submitted.
   {
     std::lock_guard<std::mutex> Lock(FleetMutex);
     ++Fleet.Submitted;
   }
   Counters.Submitted->fetch_add(1, std::memory_order_relaxed);
+}
 
-  if (!Queue.push(std::move(Job))) {
-    std::lock_guard<std::mutex> Lock(FleetMutex);
-    --Fleet.Submitted;
-    Counters.Submitted->fetch_sub(1, std::memory_order_relaxed);
-    return makeError("batch service is shut down");
+Admission BatchService::trySubmit(JobSpec Spec, JobCallback OnComplete) {
+  Admission A;
+  if (ShutDown.load(std::memory_order_acquire)) {
+    A.Status = AdmitStatus::Closed;
+    return A;
   }
+  PendingJob Job = makePending(std::move(Spec), std::move(OnComplete));
+  JobHandle Handle(Job.JobId, Job.Ticket);
+
+  switch (Queue.tryPush(Job, [this](PendingJob &J) { onQueueAccept(J); })) {
+  case PushResult::Ok:
+    A.Status = AdmitStatus::Accepted;
+    A.Handle = Handle;
+    return A;
+  case PushResult::Closed:
+    A.Status = AdmitStatus::Closed;
+    return A;
+  case PushResult::Full:
+    break;
+  }
+
+  A.Status = AdmitStatus::QueueFull;
+  // Retry-after: how long until a queue slot frees up, estimated as the
+  // backlog per worker times the fleet's recent per-job service time.
+  double Ewma;
+  {
+    std::lock_guard<std::mutex> Lock(FleetMutex);
+    ++Fleet.RejectedQueueFull;
+    Ewma = EwmaRunSeconds;
+  }
+  Counters.RejectedQueueFull->fetch_add(1, std::memory_order_relaxed);
+  unsigned Workers = std::max(1u, workerTarget());
+  double Estimate =
+      Ewma > 0
+          ? (static_cast<double>(Queue.capacity()) / Workers + 1.0) * Ewma
+          : 0.02;
+  A.RetryAfterSeconds = std::clamp(Estimate, 0.005, 2.0);
+  return A;
+}
+
+ErrorOr<JobHandle> BatchService::submit(JobSpec Spec, JobCallback OnComplete) {
+  if (ShutDown.load(std::memory_order_acquire))
+    return makeError("batch service is shut down");
+
+  PendingJob Job = makePending(std::move(Spec), std::move(OnComplete));
+  JobHandle Handle(Job.JobId, Job.Ticket);
+
+  if (!Queue.push(std::move(Job),
+                  [this](PendingJob &J) { onQueueAccept(J); }))
+    return makeError("batch service is shut down");
   return Handle;
 }
 
 ErrorOr<std::shared_ptr<const MachineSnapshot>>
 BatchService::captureSnapshot(const JobSpec &Spec, bool Warm) {
+  if (Spec.Source.SourceKind != JobSource::Kind::Image)
+    return makeError("captureSnapshot needs an Image source (snapshots "
+                     "cannot be captured from snapshot-clone jobs)");
   auto MachineOrErr = Pool.acquire(Spec.Machine);
   if (!MachineOrErr)
     return MachineOrErr.error();
@@ -97,10 +183,11 @@ BatchService::captureSnapshot(const JobSpec &Spec, bool Warm) {
     return E;
   };
 
+  const JobSource &Src = Spec.Source;
   auto Load = [&]() -> ErrorOr<void> {
-    return Spec.Program
-               ? M->load(input::GuestImage(Spec.Machine.Arch, *Spec.Program))
-               : M->loadAssembly(Spec.AssemblySource, Spec.BaseAddr);
+    return Src.Program
+               ? M->load(input::GuestImage(Spec.Machine.Arch, *Src.Program))
+               : M->loadAssembly(Src.AssemblySource, Src.BaseAddr);
   };
   if (auto Loaded = Load(); !Loaded)
     return Fail(Loaded.error());
@@ -132,12 +219,69 @@ BatchService::captureSnapshot(const JobSpec &Spec, bool Warm) {
   return std::shared_ptr<const MachineSnapshot>(std::move(*SnapOrErr));
 }
 
+void BatchService::setWorkerTarget(unsigned Target) {
+  Target = std::clamp(Target, 1u, MaxFleet);
+  std::lock_guard<std::mutex> Lock(WorkersMutex);
+  WorkerTarget.store(Target, std::memory_order_relaxed);
+  for (unsigned I = 0; I < Target; ++I) {
+    if (I >= Slots.size()) {
+      // Push the slot before starting its thread: workerLoop indexes
+      // Slots[I] and must find it there.
+      Slots.push_back(std::make_unique<WorkerSlot>());
+      Slots.back()->Thread = std::thread([this, I] { workerLoop(I); });
+    } else if (Slots[I]->Exited.load(std::memory_order_acquire)) {
+      // Re-commission a retired slot: the old thread has nothing left
+      // but its return, so this join is immediate.
+      Slots[I]->Thread.join();
+      Slots[I]->Exited.store(false, std::memory_order_release);
+      Slots[I]->Thread = std::thread([this, I] { workerLoop(I); });
+    }
+  }
+  // Slots at indices >= Target notice the lowered target at their next
+  // queue-poll boundary and retire themselves.
+}
+
 void BatchService::workerLoop(unsigned WorkerIdx) {
-  while (std::optional<PendingJob> Job = Queue.pop()) {
+  while (true) {
+    if (WorkerIdx >= WorkerTarget.load(std::memory_order_relaxed)) {
+      // Authoritative retire decision under the slots lock, so a
+      // concurrent scale-up either keeps this thread or re-commissions
+      // the slot after Exited flips — never both, never neither.
+      std::lock_guard<std::mutex> Lock(WorkersMutex);
+      if (WorkerIdx >= WorkerTarget.load(std::memory_order_relaxed)) {
+        Slots[WorkerIdx]->Exited.store(true, std::memory_order_release);
+        return;
+      }
+    }
+
+    bool Drained = false;
+    std::optional<PendingJob> Job = Queue.popFor(0.05, &Drained);
+    if (Drained) {
+      std::lock_guard<std::mutex> Lock(WorkersMutex);
+      Slots[WorkerIdx]->Exited.store(true, std::memory_order_release);
+      return;
+    }
+    if (!Job)
+      continue; // Timeout: re-check the scale target, poll again.
+
     JobResult Result;
     Result.JobId = Job->JobId;
     Result.Name = Job->Spec.Name;
+
+    if (Job->Ticket->CancelRequested.load(std::memory_order_acquire)) {
+      // Cancelled while queued: it never runs. (A cancel that lands
+      // after this check runs to completion — cancel is best-effort.)
+      Result.State = JobState::Cancelled;
+      Result.Error = "cancelled while queued";
+      Result.QueueNs = monotonicNanos() - Job->AcceptNs;
+      finishJob(*Job, std::move(Result));
+      Job.reset();
+      continue;
+    }
+
+    Job->Ticket->LiveState.store(JobState::Running, std::memory_order_release);
     Result.State = JobState::Running;
+    BusyWorkers.fetch_add(1, std::memory_order_relaxed);
 
     if (TraceRecorder *Tr = TraceRecorder::active())
       Tr->instant(WorkerIdx, "serve.job.start", "serve", "job", Job->JobId);
@@ -148,13 +292,51 @@ void BatchService::workerLoop(unsigned WorkerIdx) {
       Tr->instant(WorkerIdx, "serve.job.done", "serve", "job", Job->JobId);
 
     finishJob(*Job, std::move(Result));
+    BusyWorkers.fetch_sub(1, std::memory_order_relaxed);
+    // Drop the spec before parking on the queue: a snapshot-sourced job
+    // would otherwise pin its donor snapshot (and thus its warm clone
+    // bucket, via the trim() reference check) from this worker's stack
+    // for as long as the worker sits idle.
+    Job.reset();
+  }
+}
+
+void BatchService::samplerLoop() {
+  const auto Interval =
+      std::chrono::milliseconds(std::max<uint64_t>(1, Config.AutoTuning.SampleIntervalMs));
+  while (!SamplerStop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(Interval);
+    AutoscaleSample S;
+    S.QueueDepth = Queue.size();
+    S.Workers = workerTarget();
+    S.BusyWorkers = BusyWorkers.load(std::memory_order_relaxed);
+    if (std::optional<unsigned> Want = Scaler->onSample(S, monotonicNanos())) {
+      unsigned Old = workerTarget();
+      setWorkerTarget(*Want);
+      unsigned New = workerTarget();
+      if (New < Old) {
+        // Fewer workers need fewer warm machines — but referenced
+        // snapshot-clone buckets are spared (MachinePool::trim).
+        Pool.trim(New);
+      }
+      Scaler->onScaleComplete(New, monotonicNanos());
+    }
+    // Mirror the controller's tallies into the process-wide counters so
+    // the stats verb and tests read them without touching the sampler.
+    Counters.AsSamples->store(Scaler->samples(), std::memory_order_relaxed);
+    Counters.AsScaleUps->store(Scaler->scaleUps(), std::memory_order_relaxed);
+    Counters.AsScaleDowns->store(Scaler->scaleDowns(),
+                                 std::memory_order_relaxed);
+    Counters.AsCooldownBlocked->store(Scaler->cooldownBlocked(),
+                                      std::memory_order_relaxed);
+    Counters.AsWorkers->store(workerTarget(), std::memory_order_relaxed);
   }
 }
 
 void BatchService::runJob(PendingJob &Job, JobResult &Result) {
   const JobSpec &Spec = Job.Spec;
   uint64_t StartNs = monotonicNanos();
-  Result.QueueNs = StartNs - Job.SubmitNs;
+  Result.QueueNs = StartNs - Job.AcceptNs;
 
   unsigned MaxAttempts = std::max(1u, Spec.MaxAttempts);
   for (unsigned Attempt = 1; Attempt <= MaxAttempts; ++Attempt) {
@@ -162,8 +344,9 @@ void BatchService::runJob(PendingJob &Job, JobResult &Result) {
 
     // Deadline check per attempt: a job whose deadline passed while it sat
     // in the queue (or burned in failed attempts) never starts another.
+    // The clock runs from queue accept (Job.AcceptNs), by contract.
     double ElapsedSec =
-        static_cast<double>(monotonicNanos() - Job.SubmitNs) * 1e-9;
+        static_cast<double>(monotonicNanos() - Job.AcceptNs) * 1e-9;
     if (Spec.DeadlineSeconds > 0 && ElapsedSec >= Spec.DeadlineSeconds) {
       Result.State = JobState::Failed;
       Result.DeadlineExceeded = true;
@@ -172,43 +355,34 @@ void BatchService::runJob(PendingJob &Job, JobResult &Result) {
       break;
     }
 
-    std::unique_ptr<Machine> M;
-    if (Spec.Snapshot) {
-      // Snapshot fan-out: clone instead of load. The machine comes back
-      // already restored to the snapshot image with the donor's warm code
-      // caches adopted — no loadProgram, no translation, no JIT compile.
-      bool WasReused = false;
-      auto MachineOrErr = Pool.acquireFromSnapshot(Spec.Snapshot, &WasReused);
-      if (!MachineOrErr) {
-        Result.State = JobState::Failed;
-        Result.Error = MachineOrErr.error().message();
-        break; // Construction/restore failures are not transient.
-      }
-      M = std::move(*MachineOrErr);
-      Result.ReusedMachine = WasReused;
-      (WasReused ? Counters.PoolReused : Counters.PoolCreated)
-          ->fetch_add(1, std::memory_order_relaxed);
-      Counters.SnapJobs->fetch_add(1, std::memory_order_relaxed);
-      {
-        std::lock_guard<std::mutex> Lock(FleetMutex);
-        ++Fleet.SnapshotJobs;
-      }
-    } else {
-      auto MachineOrErr = Pool.acquire(Spec.Machine);
-      if (!MachineOrErr) {
-        Result.State = JobState::Failed;
-        Result.Error = MachineOrErr.error().message();
-        break; // Construction failures are not transient; no retry.
-      }
-      M = std::move(*MachineOrErr);
-      Result.ReusedMachine = M->resetCount() > 0;
-      (Result.ReusedMachine ? Counters.PoolReused : Counters.PoolCreated)
-          ->fetch_add(1, std::memory_order_relaxed);
+    // Single dispatch on the source variant: the pool hands back either
+    // a loaded-later plain machine or a hand-out-ready snapshot clone.
+    bool WasReused = false;
+    auto MachineOrErr = Pool.acquireForJob(Spec.Source, Spec.Machine,
+                                           &WasReused);
+    if (!MachineOrErr) {
+      Result.State = JobState::Failed;
+      Result.Error = MachineOrErr.error().message();
+      break; // Construction/restore failures are not transient.
+    }
+    std::unique_ptr<Machine> M = std::move(*MachineOrErr);
+    Result.ReusedMachine = WasReused;
+    (WasReused ? Counters.PoolReused : Counters.PoolCreated)
+        ->fetch_add(1, std::memory_order_relaxed);
 
+    if (Spec.Source.SourceKind == JobSource::Kind::SnapshotRef) {
+      // Snapshot fan-out: the clone came back already restored with the
+      // donor's warm code caches adopted — no load, no translation, no
+      // JIT compile.
+      Counters.SnapJobs->fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> Lock(FleetMutex);
+      ++Fleet.SnapshotJobs;
+    } else {
+      const JobSource &Src = Spec.Source;
       ErrorOr<void> Loaded =
-          Spec.Program
-              ? M->load(input::GuestImage(Spec.Machine.Arch, *Spec.Program))
-              : M->loadAssembly(Spec.AssemblySource, Spec.BaseAddr);
+          Src.Program
+              ? M->load(input::GuestImage(Spec.Machine.Arch, *Src.Program))
+              : M->loadAssembly(Src.AssemblySource, Src.BaseAddr);
       if (!Loaded) {
         // Assembler/loader errors are deterministic — retrying re-runs the
         // same text through the same assembler. Fail immediately. The
@@ -254,7 +428,7 @@ void BatchService::runJob(PendingJob &Job, JobResult &Result) {
     Result.Report = std::move(static_cast<JobReport &>(*RunOrErr));
     if (Spec.DeadlineSeconds > 0 && !Result.Report.AllHalted) {
       double EndSec =
-          static_cast<double>(monotonicNanos() - Job.SubmitNs) * 1e-9;
+          static_cast<double>(monotonicNanos() - Job.AcceptNs) * 1e-9;
       Result.DeadlineExceeded = EndSec >= Spec.DeadlineSeconds;
     }
     Pool.release(std::move(M), /*Poisoned=*/!Config.ReuseMachines);
@@ -265,10 +439,17 @@ void BatchService::runJob(PendingJob &Job, JobResult &Result) {
 }
 
 void BatchService::finishJob(PendingJob &Job, JobResult &&Result) {
-  if (Result.State == JobState::Done)
+  switch (Result.State) {
+  case JobState::Done:
     Counters.Completed->fetch_add(1, std::memory_order_relaxed);
-  else
+    break;
+  case JobState::Cancelled:
+    Counters.Cancelled->fetch_add(1, std::memory_order_relaxed);
+    break;
+  default:
     Counters.Failed->fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
   if (Result.DeadlineExceeded)
     Counters.DeadlineExceeded->fetch_add(1, std::memory_order_relaxed);
 
@@ -277,6 +458,8 @@ void BatchService::finishJob(PendingJob &Job, JobResult &&Result) {
     if (Result.State == JobState::Done) {
       ++Fleet.Completed;
       Fleet.Events.merge(Result.Report.Events);
+    } else if (Result.State == JobState::Cancelled) {
+      ++Fleet.Cancelled;
     } else {
       ++Fleet.Failed;
     }
@@ -284,12 +467,38 @@ void BatchService::finishJob(PendingJob &Job, JobResult &&Result) {
       ++Fleet.DeadlineExceeded;
     Fleet.QueueNs += Result.QueueNs;
     Fleet.RunNs += Result.RunNs;
+    // Queue-wait histogram bucket i holds waits with bit-width i, i.e.
+    // [2^(i-1), 2^i); queueLatencyQuantileNs walks it for p99.
+    ++QueueHist[std::min<unsigned>(63, std::bit_width(Result.QueueNs))];
+    if (Result.RunNs > 0) {
+      double RunSec = static_cast<double>(Result.RunNs) * 1e-9;
+      EwmaRunSeconds =
+          EwmaRunSeconds > 0 ? 0.8 * EwmaRunSeconds + 0.2 * RunSec : RunSec;
+    }
+  }
+
+  // Completion hook between the stats update and the drain gate: by the
+  // time a result is streamable the fleet already counts it, and by the
+  // time drain() returns every result is filed — neither a stats read
+  // racing the stream nor a poll() racing the wait() sees a gap.
+  if (Job.OnComplete)
+    Job.OnComplete(Result);
+
+  // Drop the spec's payload before the drain gate too: once drain()
+  // returns, no worker may still pin a job's donor snapshot
+  // (MachinePool::trim counts outside references to decide whether a
+  // clone bucket is reclaimable).
+  Job.Spec.Source = JobSource();
+
+  {
+    std::lock_guard<std::mutex> Lock(FleetMutex);
     ++FinishedJobs;
   }
   AllDoneCv.notify_all();
 
-  // Publish last: waiters on the handle must observe the fleet update too
-  // (fleetStats() after wait() reflects this job).
+  // Publish last: waiters on the handle must observe the fleet update
+  // and the callback's effects too.
+  Job.Ticket->LiveState.store(Result.State, std::memory_order_release);
   {
     std::lock_guard<std::mutex> Lock(Job.Ticket->Mutex);
     Job.Ticket->Result = std::move(Result);
@@ -306,10 +515,18 @@ void BatchService::drain() {
 void BatchService::shutdown() {
   if (ShutDown.exchange(true, std::memory_order_acq_rel))
     return;
+  if (Sampler.joinable()) {
+    SamplerStop.store(true, std::memory_order_release);
+    Sampler.join();
+  }
   Queue.close(); // Workers drain the queue, then exit their loops.
-  for (std::thread &W : Workers)
-    W.join();
-  Workers.clear();
+  // Join without WorkersMutex: the retiring workers take it to flip
+  // their Exited flag. No setWorkerTarget may race shutdown (the
+  // sampler — its only internal caller — is already joined).
+  for (std::unique_ptr<WorkerSlot> &Slot : Slots)
+    if (Slot->Thread.joinable())
+      Slot->Thread.join();
+  Slots.clear();
   Pool.clear();
 }
 
@@ -320,4 +537,24 @@ FleetStats BatchService::fleetStats() const {
   S.MachinesCreated = P.Created;
   S.MachinesReused = P.Reused;
   return S;
+}
+
+uint64_t BatchService::queueLatencyQuantileNs(double Q) const {
+  std::lock_guard<std::mutex> Lock(FleetMutex);
+  uint64_t Total = 0;
+  for (uint64_t Count : QueueHist)
+    Total += Count;
+  if (Total == 0)
+    return 0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  uint64_t Target = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  if (Target < 1)
+    Target = 1;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I < 64; ++I) {
+    Seen += QueueHist[I];
+    if (Seen >= Target)
+      return I >= 63 ? UINT64_MAX : (uint64_t{1} << I); // Bucket upper bound.
+  }
+  return UINT64_MAX;
 }

@@ -5,29 +5,47 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The batch job service: N worker threads pull JobSpecs off a bounded
-/// MPMC queue and run each on a Machine checked out of a MachinePool,
+/// The batch job service: a worker fleet pulls JobSpecs off a bounded
+/// MPMC queue and runs each on a Machine checked out of a MachinePool,
 /// so machine construction is amortized across jobs of the same shape.
 /// Each job gets its own deadline, block budget and retry-on-fault
-/// policy; outcomes are delivered through future-style JobHandles and
-/// aggregated into fleet-wide statistics (plus the serve.* counters in
-/// the process-wide CounterRegistry and per-job trace instants).
+/// policy; outcomes are delivered through future-style JobHandles,
+/// optional per-job completion callbacks (the session layer's wiring),
+/// and fleet-wide statistics (plus the serve.* counters in the
+/// process-wide CounterRegistry and per-job trace instants).
+///
+/// Admission is non-blocking by default: trySubmit() answers QueueFull
+/// with a retry-after hint instead of parking the caller, which is what
+/// lets the network daemon's accept loop never block on a busy fleet.
+/// The deadline clock starts at *queue accept* — the moment the bounded
+/// queue takes the job — so a full-queue wait in the legacy blocking
+/// submit() cannot silently eat a job's deadline budget.
+///
+/// With BatchConfig::Autoscale set, a sampler thread sizes the fleet
+/// between MinWorkers and MaxWorkers from queue-depth/busy-fraction
+/// pressure (serve/AutoscaleController.h — same hysteresis + cooldown
+/// shape as the runtime's adaptive scheme controller), and scale-downs
+/// trim the machine pool without destroying snapshot-clone capacity
+/// that open sessions still reference (MachinePool::trim).
 ///
 /// This is the paper's measurement harness turned service: the bench
 /// matrix that used to construct a fresh Machine per (scheme, workload)
 /// cell now streams cells through a warm pool. docs/SERVING.md walks
-/// through the design; tools/llsc-serve is the CLI front end.
+/// through the design; the session API in serve/Session.h is the
+/// intended front door, and tools/llsc-served serves it over TCP.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLSC_SERVE_BATCHSERVICE_H
 #define LLSC_SERVE_BATCHSERVICE_H
 
+#include "serve/AutoscaleController.h"
 #include "serve/Job.h"
 #include "serve/JobQueue.h"
 #include "serve/MachinePool.h"
 
 #include <atomic>
+#include <functional>
 #include <thread>
 
 namespace llsc {
@@ -35,17 +53,43 @@ namespace serve {
 
 /// Service-wide knobs.
 struct BatchConfig {
-  /// Worker threads. Each runs one job at a time, and each job runs its
-  /// own vCPU host threads, so total host threads is roughly
+  /// Worker threads (the fixed fleet size when Autoscale is off). Each
+  /// runs one job at a time, and each job runs its own vCPU host
+  /// threads, so total host threads is roughly
   /// Workers * (1 + max NumThreads over in-flight jobs).
   unsigned Workers = 4;
-  /// submit() blocks once this many jobs are queued (backpressure).
+  /// submit() blocks — and trySubmit() rejects — once this many jobs are
+  /// queued (backpressure).
   size_t QueueCapacity = 64;
   /// Check Machines back into the pool after each job. Off = construct a
   /// fresh Machine per job (the baseline the pooled bench line beats).
   bool ReuseMachines = true;
   /// Idle machines each pool bucket may hold; 0 = one per worker.
   unsigned MaxIdlePerKey = 0;
+  /// Size the fleet dynamically between MinWorkers and MaxWorkers. The
+  /// fleet starts at MinWorkers and grows on queue pressure.
+  bool Autoscale = false;
+  /// Fleet floor when autoscaling; 0 = 1.
+  unsigned MinWorkers = 0;
+  /// Fleet ceiling when autoscaling; 0 = Workers.
+  unsigned MaxWorkers = 0;
+  /// Autoscaler policy knobs (sampling period, cooldown, thresholds).
+  AutoscaleConfig AutoTuning;
+};
+
+/// Completion hook, invoked on the worker thread that finished the job,
+/// just before the JobHandle resolves. Must not block (it runs inside
+/// the fleet's throughput path) and must not call back into submit.
+using JobCallback = std::function<void(const JobResult &Result)>;
+
+/// Answer of a non-blocking admission attempt. Handle is valid only
+/// when Status == Accepted; on QueueFull, RetryAfterSeconds estimates
+/// when a slot will open (queue depth times the fleet's recent per-job
+/// service time).
+struct Admission {
+  AdmitStatus Status = AdmitStatus::Closed;
+  JobHandle Handle;
+  double RetryAfterSeconds = 0;
 };
 
 /// Fleet-wide aggregate over every job the service finished.
@@ -53,6 +97,8 @@ struct FleetStats {
   uint64_t Submitted = 0;
   uint64_t Completed = 0;        ///< Reached Done (incl. deadline-exceeded).
   uint64_t Failed = 0;           ///< Reached Failed.
+  uint64_t Cancelled = 0;        ///< Cancelled while queued; never ran.
+  uint64_t RejectedQueueFull = 0;///< trySubmit answers of QueueFull.
   uint64_t Retried = 0;          ///< Extra attempts beyond the first.
   uint64_t DeadlineExceeded = 0; ///< Done jobs stopped by their deadline.
   uint64_t MachinesCreated = 0;  ///< Pool constructions.
@@ -75,19 +121,26 @@ public:
   BatchService(const BatchService &) = delete;
   BatchService &operator=(const BatchService &) = delete;
 
-  /// Enqueues \p Spec. Blocks while the queue is full; fails after
-  /// shutdown(). The handle resolves when a worker finishes the job.
-  ErrorOr<JobHandle> submit(JobSpec Spec);
+  /// Non-blocking admission: enqueues \p Spec or rejects it without
+  /// waiting. On Accepted the handle is live and \p OnComplete (if any)
+  /// fires when the job finishes; on QueueFull the admission carries a
+  /// retry-after hint. Never blocks, so event loops can call it inline.
+  Admission trySubmit(JobSpec Spec, JobCallback OnComplete = nullptr);
 
-  /// Captures a machine snapshot from \p Spec's program: a machine of the
-  /// spec's shape is checked out of the pool, loaded, and — when \p Warm —
-  /// run once first (under the spec's budgets) so hot blocks tier up,
-  /// then scrubbed and reloaded so the image is pristine while the
-  /// translation and JIT caches stay full. The returned snapshot can be
-  /// stored in JobSpec::Snapshot; every clone job then starts with the
+  /// Blocking admission (the legacy library shape): parks the caller
+  /// while the queue is full; fails only after shutdown(). The deadline
+  /// clock still starts at queue *accept*, after any full-queue wait.
+  ErrorOr<JobHandle> submit(JobSpec Spec, JobCallback OnComplete = nullptr);
+
+  /// Captures a machine snapshot from \p Spec's image source: a machine
+  /// of the spec's shape is checked out of the pool, loaded, and — when
+  /// \p Warm — run once first (under the spec's budgets) so hot blocks
+  /// tier up, then scrubbed and reloaded so the image is pristine while
+  /// the translation and JIT caches stay full. The returned snapshot
+  /// feeds JobSource::snapshotRef jobs: every clone starts with the
   /// donor's warm tier-0 and tier-1 code and never recompiles
   /// (docs/SERVING.md, "Snapshot fan-out"). The donor machine is parked
-  /// back in the pool.
+  /// back in the pool. \p Spec must carry an Image source.
   ErrorOr<std::shared_ptr<const MachineSnapshot>>
   captureSnapshot(const JobSpec &Spec, bool Warm = true);
 
@@ -98,29 +151,78 @@ public:
   /// call twice.
   void shutdown();
 
+  /// Resizes the worker fleet (clamped to [1, MaxWorkers]). Spawns new
+  /// workers immediately; surplus workers retire after their current
+  /// job. The autoscaler's actuator; also callable directly in tests.
+  void setWorkerTarget(unsigned Target);
+
   /// Snapshot of the fleet aggregates (thread-safe, callable mid-run).
   FleetStats fleetStats() const;
 
-  /// Pool-level stats (created/reused/idle machine counts).
+  /// Pool-level stats (created/reused/idle/outstanding machine counts).
   MachinePool::Stats poolStats() const { return Pool.stats(); }
+
+  /// Queue-latency quantile over finished jobs, from a log2 histogram —
+  /// \p Q in [0,1]; returns an upper bound of the bucket holding the
+  /// quantile (the soak test's bounded-p99 assertion).
+  uint64_t queueLatencyQuantileNs(double Q) const;
+
+  size_t queueDepth() const { return Queue.size(); }
+  size_t queueCapacity() const { return Queue.capacity(); }
+  unsigned workerTarget() const {
+    return WorkerTarget.load(std::memory_order_relaxed);
+  }
+  unsigned busyWorkers() const {
+    return BusyWorkers.load(std::memory_order_relaxed);
+  }
+
+  /// Direct access to the pool (the session layer's drain bookkeeping
+  /// and tests' trim interop checks).
+  MachinePool &pool() { return Pool; }
 
 private:
   struct PendingJob {
     JobSpec Spec;
     uint64_t JobId = 0;
-    uint64_t SubmitNs = 0;
+    uint64_t AcceptNs = 0; ///< Queue-accept stamp; deadline clock zero.
     std::shared_ptr<detail::JobTicket> Ticket;
+    JobCallback OnComplete;
   };
 
+  /// One worker thread slot. Slots are indexed; a slot whose index is
+  /// at or above the worker target retires (Exited flips true) and its
+  /// thread is joined on the next scale-up through that index or at
+  /// shutdown.
+  struct WorkerSlot {
+    std::thread Thread;
+    std::atomic<bool> Exited{false};
+  };
+
+  PendingJob makePending(JobSpec &&Spec, JobCallback &&OnComplete);
+  /// The accept-time stamp, run under the queue lock: deadline clock
+  /// zero + the Submitted count (so drain()'s predicate can never see a
+  /// finished job that was not counted as submitted).
+  void onQueueAccept(PendingJob &Job);
   void workerLoop(unsigned WorkerIdx);
+  void samplerLoop();
   /// Runs one job start to finish (all attempts) and fills \p Result.
   void runJob(PendingJob &Job, JobResult &Result);
   void finishJob(PendingJob &Job, JobResult &&Result);
 
   BatchConfig Config;
+  unsigned MaxFleet; ///< Hard ceiling on worker slots.
   MachinePool Pool;
   JobQueue<PendingJob> Queue;
-  std::vector<std::thread> Workers;
+
+  std::mutex WorkersMutex; ///< Guards Slots (spawn/join/respawn).
+  std::vector<std::unique_ptr<WorkerSlot>> Slots;
+  std::atomic<unsigned> WorkerTarget{0};
+  std::atomic<unsigned> BusyWorkers{0};
+
+  std::unique_ptr<AutoscaleController> Scaler; ///< Sampler-thread-owned.
+  std::thread Sampler;
+  std::atomic<bool> SamplerStop{false};
+
   std::atomic<uint64_t> NextJobId{1};
   std::atomic<bool> ShutDown{false};
 
@@ -128,6 +230,10 @@ private:
   std::condition_variable AllDoneCv; ///< Signalled as Finished catches Submitted.
   uint64_t FinishedJobs = 0;         ///< Guarded by FleetMutex.
   FleetStats Fleet;                  ///< Guarded by FleetMutex.
+  double EwmaRunSeconds = 0;         ///< Recent per-job service time.
+  /// log2 histogram of per-job queue wait (bucket i holds waits in
+  /// [2^(i-1), 2^i) ns); guarded by FleetMutex.
+  uint64_t QueueHist[64] = {};
 
   /// Cached CounterRegistry pointers for the serve.* counters
   /// (docs/OBSERVABILITY.md catalogues them).
@@ -135,12 +241,19 @@ private:
     std::atomic<uint64_t> *Submitted;
     std::atomic<uint64_t> *Completed;
     std::atomic<uint64_t> *Failed;
+    std::atomic<uint64_t> *Cancelled;
+    std::atomic<uint64_t> *RejectedQueueFull;
     std::atomic<uint64_t> *Retried;
     std::atomic<uint64_t> *DeadlineExceeded;
     std::atomic<uint64_t> *PoolCreated;
     std::atomic<uint64_t> *PoolReused;
     std::atomic<uint64_t> *SnapCaptured;
     std::atomic<uint64_t> *SnapJobs;
+    std::atomic<uint64_t> *AsSamples;
+    std::atomic<uint64_t> *AsScaleUps;
+    std::atomic<uint64_t> *AsScaleDowns;
+    std::atomic<uint64_t> *AsCooldownBlocked;
+    std::atomic<uint64_t> *AsWorkers;
   };
   ServeCounters Counters;
 };

@@ -5,11 +5,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The unit of work of the batch job service (serve/BatchService.h): a
-/// JobSpec describes one guest program plus the Machine shape and budgets
-/// it should run under; submitting one yields a future-style JobHandle
-/// whose wait() delivers the JobResult — job metadata wrapped around the
-/// core JobReport the Machine produced.
+/// The unit of work of the serving tier (serve/BatchService.h and the
+/// session API in serve/Session.h): a JobSpec describes one payload —
+/// a guest image or a snapshot reference — plus the Machine shape and
+/// budgets it should run under. Admission is non-blocking: trySubmit /
+/// Session::submit answer with an AdmitStatus (queue-full rejections
+/// carry a retry-after hint instead of blocking the caller), and a
+/// future-style JobHandle delivers the JobResult.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,7 @@
 
 #include "core/Machine.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -27,38 +30,77 @@
 namespace llsc {
 namespace serve {
 
-/// Everything needed to run one guest program as a job.
-struct JobSpec {
-  /// Label carried through results, logs, and trace instants.
-  std::string Name;
+/// What a job runs: exactly one of the two payload flavors. The explicit
+/// Kind replaces the old "Snapshot pointer set means clone job" special
+/// case — every consumer switches on SourceKind instead of probing
+/// fields, and MachinePool::acquireForJob is the single dispatch point.
+struct JobSource {
+  enum class Kind {
+    Image,       ///< Load a guest program (pre-built or GRV assembly).
+    SnapshotRef, ///< Clone a captured MachineSnapshot (no load at all).
+  };
+  Kind SourceKind = Kind::Image;
 
-  /// Guest program: either pre-built (loaded under Machine.Arch — GRV or
+  /// Image payload: either pre-built (loaded under Machine.Arch — GRV or
   /// an rv32 ELF's parsed image), or GRV assembly source assembled at
   /// dispatch time (Program wins when both are set).
   std::optional<guest::Program> Program;
   std::string AssemblySource;
   uint64_t BaseAddr = 0x1000;
 
-  /// Run from a snapshot instead of loading a program: the worker clones
-  /// the machine via MachinePool::acquireFromSnapshot, skipping
-  /// loadProgram/loadAssembly entirely (Program and AssemblySource are
-  /// ignored, and Machine is overridden by the snapshot's config so the
-  /// clone's pool bucket matches the donor shape). Capture one with
-  /// BatchService::captureSnapshot.
+  /// SnapshotRef payload: the worker clones the machine via
+  /// MachinePool::acquireFromSnapshot, skipping load entirely. The
+  /// machine shape is the snapshot's (a clone must pool in the donor's
+  /// bucket). Capture one with BatchService::captureSnapshot or
+  /// Session::captureSnapshot.
   std::shared_ptr<const MachineSnapshot> Snapshot;
+
+  static JobSource image(guest::Program Prog) {
+    JobSource S;
+    S.SourceKind = Kind::Image;
+    S.Program = std::move(Prog);
+    return S;
+  }
+  static JobSource assembly(std::string Source, uint64_t BaseAddr = 0x1000) {
+    JobSource S;
+    S.SourceKind = Kind::Image;
+    S.AssemblySource = std::move(Source);
+    S.BaseAddr = BaseAddr;
+    return S;
+  }
+  static JobSource
+  snapshotRef(std::shared_ptr<const MachineSnapshot> Snapshot) {
+    JobSource S;
+    S.SourceKind = Kind::SnapshotRef;
+    S.Snapshot = std::move(Snapshot);
+    return S;
+  }
+};
+
+/// Everything needed to run one job.
+struct JobSpec {
+  /// Label carried through results, logs, and trace instants.
+  std::string Name;
+
+  /// The payload: image to load or snapshot to clone.
+  JobSource Source;
 
   /// Machine shape this job needs. The pool hands out an idle Machine
   /// with an identical shape (serve/MachinePool.h) or builds one.
+  /// Ignored for SnapshotRef jobs (the snapshot's config wins, so the
+  /// clone's pool bucket matches the donor shape).
   MachineConfig Machine;
 
   /// Execution mode and slice size (core/Machine.h). The budget fields
   /// below override whatever the options or config say.
   RunOptions Run;
 
-  /// Wall-clock deadline measured from *submission* (queue wait counts);
-  /// 0 = none. Enforced as the run's MaxSecondsPerCpu remainder, so a
-  /// deadline-blown job stops at the next engine poll, and jobs whose
-  /// deadline expires while still queued never run at all.
+  /// Wall-clock deadline measured from *queue accept* (the moment the
+  /// bounded queue admitted the job — time spent blocked in a full-queue
+  /// submit() does not count); 0 = none. Enforced as the run's
+  /// MaxSecondsPerCpu remainder, so a deadline-blown job stops at the
+  /// next engine poll, and jobs whose deadline expires while still
+  /// queued never run at all.
   double DeadlineSeconds = 0;
 
   /// Per-vCPU block budget for this job; 0 = unlimited.
@@ -73,14 +115,29 @@ struct JobSpec {
 
 /// Where a job is in its life.
 enum class JobState {
-  Queued,  ///< Accepted, waiting for a worker.
-  Running, ///< A worker is executing it.
-  Done,    ///< Finished; JobResult::Report is valid.
-  Failed,  ///< Gave up; JobResult::Error says why.
+  Queued,    ///< Accepted, waiting for a worker.
+  Running,   ///< A worker is executing it.
+  Done,      ///< Finished; JobResult::Report is valid.
+  Failed,    ///< Gave up; JobResult::Error says why.
+  Cancelled, ///< Cancelled while still queued; it never ran.
 };
 
 /// \returns a stable lower-case name ("queued", "done", ...).
 const char *jobStateName(JobState State);
+
+/// How an admission attempt (trySubmit / Session::submit) was answered.
+/// Everything except Accepted is a *rejection before enqueue* — the job
+/// was never admitted and nothing ran.
+enum class AdmitStatus {
+  Accepted,      ///< Enqueued; the handle/JobId is live.
+  QueueFull,     ///< Bounded queue at capacity; retry after the hint.
+  QuotaExceeded, ///< Session per-tenant in-flight quota hit.
+  Draining,      ///< Service is draining (SIGTERM); no new work.
+  Closed,        ///< Session closed or service shut down.
+};
+
+/// \returns a stable lower-case name ("accepted", "queue-full", ...).
+const char *admitStatusName(AdmitStatus Status);
 
 /// Outcome of one job: service-level metadata around the core JobReport.
 struct JobResult {
@@ -91,7 +148,7 @@ struct JobResult {
   unsigned Attempts = 0;
   bool ReusedMachine = false;    ///< Served by a pooled, reset Machine.
   bool DeadlineExceeded = false; ///< Stopped by DeadlineSeconds.
-  uint64_t QueueNs = 0;          ///< Submission -> dispatch.
+  uint64_t QueueNs = 0;          ///< Queue accept -> dispatch.
   uint64_t RunNs = 0;            ///< Dispatch -> completion, all attempts.
   JobReport Report;              ///< Valid when State == Done.
 };
@@ -104,6 +161,12 @@ struct JobTicket {
   std::condition_variable Cv;
   bool Finished = false;
   JobResult Result;
+  /// Live state probe (poll verb): Queued -> Running -> terminal. The
+  /// terminal store happens-before Finished publication.
+  std::atomic<JobState> LiveState{JobState::Queued};
+  /// Best-effort cancel: honored only if the job is still queued when a
+  /// worker picks it up (a running job is never interrupted).
+  std::atomic<bool> CancelRequested{false};
 };
 } // namespace detail
 
@@ -137,6 +200,18 @@ public:
   bool done() const {
     std::lock_guard<std::mutex> Lock(Ticket->Mutex);
     return Ticket->Finished;
+  }
+
+  /// Non-blocking live-state probe (the poll verb).
+  JobState state() const {
+    return Ticket->LiveState.load(std::memory_order_acquire);
+  }
+
+  /// Requests a best-effort cancel: a still-queued job completes as
+  /// Cancelled without running; a dispatched one runs to completion.
+  /// The result (Cancelled or the real outcome) still arrives via wait().
+  void requestCancel() const {
+    Ticket->CancelRequested.store(true, std::memory_order_release);
   }
 
 private:

@@ -5,12 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A bounded multi-producer/multi-consumer FIFO used between
-/// BatchService::submit and its worker threads. Deliberately the simple
+/// A bounded multi-producer/multi-consumer FIFO used between the serving
+/// tier's admission paths and its worker threads. Deliberately the simple
 /// mutex-plus-two-condvars design: the queue hands off whole jobs (each
 /// worth milliseconds of emulation), so a lock-free ring would buy
 /// nothing — contrast with the per-block TB lookup path, which is
 /// lock-free for a reason (docs/ENGINE.md).
+///
+/// Two admission flavors: tryPush() never blocks (the admission-control
+/// path — a full queue is answered with PushResult::Full so the caller
+/// can reject with a retry-after hint), while push() blocks until there
+/// is room (the legacy library path). Both stamp the item via an
+/// OnAccept hook *at the moment the queue takes it*, which is what lets
+/// deadline clocks start at enqueue-accept rather than enqueue-attempt.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +25,7 @@
 #define LLSC_SERVE_JOBQUEUE_H
 
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -28,26 +36,60 @@
 namespace llsc {
 namespace serve {
 
-/// Bounded blocking FIFO. push() blocks while full, pop() blocks while
-/// empty; close() wakes everyone and makes further pushes fail and pops
-/// drain the remaining items before returning nullopt.
+/// Outcome of a non-blocking tryPush().
+enum class PushResult {
+  Ok,     ///< Enqueued (OnAccept ran).
+  Full,   ///< At capacity; the caller keeps the item.
+  Closed, ///< Queue closed; the caller keeps the item.
+};
+
+/// Bounded FIFO. tryPush() rejects when full, push() blocks while full,
+/// pop()/popFor() block while empty; close() wakes everyone, makes
+/// further pushes fail, and lets pops drain the remaining items before
+/// reporting the queue done.
 template <typename T> class JobQueue {
 public:
   explicit JobQueue(size_t Capacity) : Capacity(Capacity) {
     assert(Capacity > 0 && "queue capacity must be positive");
   }
 
-  /// Blocks until there is room (or the queue is closed).
-  /// \returns false when the queue was closed before the item went in.
-  bool push(T Item) {
-    std::unique_lock<std::mutex> Lock(Mutex);
-    NotFull.wait(Lock, [this] { return Items.size() < Capacity || Closed; });
-    if (Closed)
-      return false;
-    Items.push_back(std::move(Item));
-    Lock.unlock();
+  /// Non-blocking admission: enqueues \p Item (after running
+  /// \p OnAccept(Item) under the queue lock — the accept-time stamp) or
+  /// reports Full/Closed without consuming it.
+  template <typename F> PushResult tryPush(T &Item, F &&OnAccept) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      if (Closed)
+        return PushResult::Closed;
+      if (Items.size() >= Capacity)
+        return PushResult::Full;
+      OnAccept(Item);
+      Items.push_back(std::move(Item));
+    }
+    NotEmpty.notify_one();
+    return PushResult::Ok;
+  }
+
+  /// Blocks until there is room (or the queue is closed), then enqueues.
+  /// \p OnAccept(Item) runs under the lock at the accept moment, *after*
+  /// any full-queue wait. \returns false when the queue was closed
+  /// before the item went in.
+  template <typename F> bool push(T Item, F &&OnAccept) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      NotFull.wait(Lock, [this] { return Items.size() < Capacity || Closed; });
+      if (Closed)
+        return false;
+      OnAccept(Item);
+      Items.push_back(std::move(Item));
+    }
     NotEmpty.notify_one();
     return true;
+  }
+
+  /// push() without an accept hook.
+  bool push(T Item) {
+    return push(std::move(Item), [](T &) {});
   }
 
   /// Blocks until an item is available; after close(), keeps returning the
@@ -55,13 +97,26 @@ public:
   std::optional<T> pop() {
     std::unique_lock<std::mutex> Lock(Mutex);
     NotEmpty.wait(Lock, [this] { return !Items.empty() || Closed; });
-    if (Items.empty())
+    return popLocked(Lock);
+  }
+
+  /// Waits up to \p Seconds for an item. \returns the item, or nullopt on
+  /// timeout or when the queue is closed and fully drained — the two are
+  /// distinguished via \p Drained (set true only in the latter case), so
+  /// autoscaled workers can wake periodically to check their scale-down
+  /// target without confusing a quiet queue with a finished one.
+  std::optional<T> popFor(double Seconds, bool *Drained = nullptr) {
+    if (Drained)
+      *Drained = false;
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait_for(Lock, std::chrono::duration<double>(Seconds),
+                      [this] { return !Items.empty() || Closed; });
+    if (Items.empty()) {
+      if (Closed && Drained)
+        *Drained = true;
       return std::nullopt;
-    T Item = std::move(Items.front());
-    Items.pop_front();
-    Lock.unlock();
-    NotFull.notify_one();
-    return Item;
+    }
+    return popLocked(Lock);
   }
 
   /// Closes the queue: pending and future push()es fail, pop()s drain.
@@ -79,12 +134,24 @@ public:
     return Items.size();
   }
 
+  size_t capacity() const { return Capacity; }
+
   bool closed() const {
     std::lock_guard<std::mutex> Lock(Mutex);
     return Closed;
   }
 
 private:
+  std::optional<T> popLocked(std::unique_lock<std::mutex> &Lock) {
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return Item;
+  }
+
   const size_t Capacity;
   mutable std::mutex Mutex;
   std::condition_variable NotFull;

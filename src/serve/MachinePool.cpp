@@ -70,6 +70,7 @@ ErrorOr<std::unique_ptr<Machine>> MachinePool::acquire(
       std::unique_ptr<Machine> M = std::move(It->second.back());
       It->second.pop_back();
       ++Reused;
+      ++Outstanding;
       return M;
     }
   }
@@ -81,6 +82,7 @@ ErrorOr<std::unique_ptr<Machine>> MachinePool::acquire(
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Created;
+    ++Outstanding;
   }
   return std::move(*MachineOrErr);
 }
@@ -106,6 +108,7 @@ ErrorOr<std::unique_ptr<Machine>> MachinePool::acquireFromSnapshot(
       std::unique_ptr<Machine> M = std::move(It->second.back());
       It->second.pop_back();
       ++Reused;
+      ++Outstanding;
       ++SnapshotReused;
       ReusedCounter->fetch_add(1, std::memory_order_relaxed);
       if (WasReused)
@@ -120,8 +123,13 @@ ErrorOr<std::unique_ptr<Machine>> MachinePool::acquireFromSnapshot(
   if (!MachineOrErr)
     return MachineOrErr.error();
   std::unique_ptr<Machine> M = std::move(*MachineOrErr);
-  if (auto R = M->restoreFrom(Snap); !R)
+  if (auto R = M->restoreFrom(Snap); !R) {
+    // The half-restored machine is destroyed here, not handed out.
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Destroyed;
+    --Outstanding;
     return R.error();
+  }
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++SnapshotClones;
@@ -134,6 +142,21 @@ ErrorOr<std::unique_ptr<Machine>> MachinePool::acquireFromSnapshot(
   return M;
 }
 
+ErrorOr<std::unique_ptr<Machine>> MachinePool::acquireForJob(
+    const JobSource &Source, const MachineConfig &Config, bool *WasReused) {
+  switch (Source.SourceKind) {
+  case JobSource::Kind::SnapshotRef:
+    return acquireFromSnapshot(Source.Snapshot, WasReused);
+  case JobSource::Kind::Image: {
+    auto MachineOrErr = acquire(Config);
+    if (MachineOrErr && WasReused)
+      *WasReused = (*MachineOrErr)->resetCount() > 0;
+    return MachineOrErr;
+  }
+  }
+  return makeError("acquireForJob: unknown job source kind");
+}
+
 void MachinePool::release(std::unique_ptr<Machine> M, bool Poisoned) {
   static std::atomic<uint64_t> *const RestoresCounter =
       CounterRegistry::instance().counter("serve.snapshot.restores");
@@ -142,6 +165,7 @@ void MachinePool::release(std::unique_ptr<Machine> M, bool Poisoned) {
   if (Poisoned) {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Destroyed;
+    --Outstanding;
     return; // M destroyed on scope exit.
   }
   std::string Key;
@@ -154,6 +178,7 @@ void MachinePool::release(std::unique_ptr<Machine> M, bool Poisoned) {
     if (auto R = M->restoreFrom(Snap); !R) {
       std::lock_guard<std::mutex> Lock(Mutex);
       ++Destroyed;
+      --Outstanding;
       return;
     }
     RestoresCounter->fetch_add(1, std::memory_order_relaxed);
@@ -166,6 +191,7 @@ void MachinePool::release(std::unique_ptr<Machine> M, bool Poisoned) {
     Key = machineConfigKey(M->config());
   }
   std::lock_guard<std::mutex> Lock(Mutex);
+  --Outstanding;
   std::vector<std::unique_ptr<Machine>> &Bucket = Idle[Key];
   if (MaxIdlePerKey && Bucket.size() >= MaxIdlePerKey) {
     ++Destroyed;
@@ -181,12 +207,48 @@ void MachinePool::clear() {
   Idle.clear();
 }
 
+void MachinePool::trim(unsigned MaxIdle) {
+  // Destroy excess parked machines under the lock; machine destruction
+  // is munmap + free, cheap enough not to warrant the staging dance.
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &Entry : Idle) {
+    std::vector<std::unique_ptr<Machine>> &Bucket = Entry.second;
+    if (Bucket.size() <= MaxIdle)
+      continue;
+    // Clone buckets: every parked clone co-owns its donor snapshot (via
+    // both its CoW attachment and its one-shot restore point), so a
+    // use_count above what the bucket's own machines hold means someone
+    // *else* still references the snapshot — an open session or in-flight
+    // jobs that will fan out of it again. Destroying those clones would
+    // trade a pointer-sized shrink now for full cold restores later;
+    // leave the bucket alone (the release-time MaxIdlePerKey cap still
+    // bounds it).
+    if (const std::shared_ptr<const MachineSnapshot> &Snap =
+            Bucket.front()->attachedSnapshot()) {
+      size_t OwnedRefs = 0;
+      for (const std::unique_ptr<Machine> &M : Bucket)
+        OwnedRefs += M->snapshotRefs(*Snap);
+      if (static_cast<size_t>(Snap.use_count()) > OwnedRefs) {
+        ++TrimSkippedBuckets;
+        continue;
+      }
+    }
+    uint64_t Excess = Bucket.size() - MaxIdle;
+    Bucket.resize(MaxIdle);
+    Destroyed += Excess;
+    Trimmed += Excess;
+  }
+}
+
 MachinePool::Stats MachinePool::stats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   Stats S;
   S.Created = Created;
   S.Reused = Reused;
   S.Destroyed = Destroyed;
+  S.Outstanding = Outstanding;
+  S.Trimmed = Trimmed;
+  S.TrimSkippedBuckets = TrimSkippedBuckets;
   S.SnapshotClones = SnapshotClones;
   S.SnapshotReused = SnapshotReused;
   S.SnapshotRestores = SnapshotRestores;

@@ -20,6 +20,7 @@
 #define LLSC_SERVE_MACHINEPOOL_H
 
 #include "core/Machine.h"
+#include "serve/Job.h"
 
 #include <map>
 #include <memory>
@@ -63,6 +64,15 @@ public:
       const std::shared_ptr<const MachineSnapshot> &Snap,
       bool *WasReused = nullptr);
 
+  /// The single dispatch point for a job's machine: switches on the
+  /// JobSource variant — acquire(\p Config) for Image payloads,
+  /// acquireFromSnapshot for SnapshotRef payloads — so the worker loop
+  /// never probes payload fields. \p WasReused reports a warm pool hit
+  /// in either flavor.
+  ErrorOr<std::unique_ptr<Machine>> acquireForJob(const JobSource &Source,
+                                                  const MachineConfig &Config,
+                                                  bool *WasReused = nullptr);
+
   /// Resets \p M and parks it for the next acquire() of the same shape.
   /// A snapshot-attached clone is instead *restored* to its snapshot
   /// (restore-on-release: dirty CoW pages are dropped while it idles) and
@@ -75,11 +85,26 @@ public:
   /// Destroys every idle machine (shutdown / test isolation).
   void clear();
 
+  /// Shrinks every bucket to at most \p MaxIdle parked machines — the
+  /// autoscaler calls this after scaling the fleet down so idle machines
+  /// do not outlive the workers that would use them. Snapshot-clone
+  /// buckets whose donor snapshot is still referenced *outside* the pool
+  /// (an open session holds it, or in-flight SnapshotRef jobs name it)
+  /// are exempt: their parked clones are exactly the warm fan-out
+  /// capacity the referer is about to use, and a destroyed clone would
+  /// cost a full cold restore to recreate. Referenced-ness is judged by
+  /// snapshot use_count vs the parked clones' own co-ownership.
+  void trim(unsigned MaxIdle);
+
   struct Stats {
     uint64_t Created = 0;  ///< Machines constructed by acquire().
     uint64_t Reused = 0;   ///< acquire() hits on a parked machine.
     uint64_t Destroyed = 0;///< Poisoned or over-capacity releases.
     uint64_t Idle = 0;     ///< Currently parked, all buckets.
+    uint64_t Outstanding = 0; ///< Acquired and not yet released/destroyed
+                              ///< (the soak test's leak-parity check).
+    uint64_t Trimmed = 0;     ///< Idle machines destroyed by trim().
+    uint64_t TrimSkippedBuckets = 0; ///< Clone buckets trim() left alone.
     // Snapshot-clone traffic (serve.snapshot.* in docs/OBSERVABILITY.md).
     uint64_t SnapshotClones = 0;   ///< Cold restores (new clone minted).
     uint64_t SnapshotReused = 0;   ///< Warm pops from a clone bucket.
@@ -95,6 +120,9 @@ private:
   uint64_t Created = 0;
   uint64_t Reused = 0;
   uint64_t Destroyed = 0;
+  uint64_t Outstanding = 0;
+  uint64_t Trimmed = 0;
+  uint64_t TrimSkippedBuckets = 0;
   uint64_t SnapshotClones = 0;
   uint64_t SnapshotReused = 0;
   uint64_t SnapshotRestores = 0;

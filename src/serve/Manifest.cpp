@@ -1,0 +1,187 @@
+//===- serve/Manifest.cpp - Job manifest parsing -----------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Manifest.h"
+
+#include "core/StatsReport.h"
+#include "guest/Assembler.h"
+#include "input/InputArch.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace llsc;
+using namespace llsc::serve;
+
+static std::string dirnameOf(const std::string &Path) {
+  size_t Slash = Path.rfind('/');
+  return Slash == std::string::npos ? std::string(".")
+                                    : Path.substr(0, Slash);
+}
+
+ErrorOr<ParsedManifest> serve::parseManifest(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return makeError("cannot open manifest %s", Path.c_str());
+  std::string Dir = dirnameOf(Path);
+
+  // file text + parsed program, cached per (arch, path).
+  struct CachedFile {
+    std::string Text;
+    guest::Program Program;
+  };
+  std::map<std::string, CachedFile> Files;
+  ParsedManifest Manifest;
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::istringstream Tokens(Line);
+    std::string Tok;
+    if (!(Tokens >> Tok) || Tok[0] == '#')
+      continue;
+    bool IsSnapshot = Tok == "snapshot";
+    if (Tok != "job" && !IsSnapshot)
+      return makeError("%s:%u: expected 'job' or 'snapshot', got '%s'",
+                       Path.c_str(), LineNo, Tok.c_str());
+
+    ManifestEntry Entry;
+    std::string File;
+    while (Tokens >> Tok) {
+      size_t Eq = Tok.find('=');
+      if (Eq == std::string::npos)
+        return makeError("%s:%u: expected key=value, got '%s'",
+                         Path.c_str(), LineNo, Tok.c_str());
+      std::string Key = Tok.substr(0, Eq);
+      std::string Value = Tok.substr(Eq + 1);
+      if (Key == "name") {
+        Entry.Spec.Name = Value;
+      } else if (Key == "arch") {
+        auto Arch = input::parseGuestArch(Value);
+        if (!Arch)
+          return makeError("%s:%u: %s", Path.c_str(), LineNo,
+                           Arch.error().message().c_str());
+        Entry.Spec.Machine.Arch = *Arch;
+      } else if (Key == "scheme") {
+        if (Value == "adaptive") {
+          Entry.Spec.Machine.Adaptive = true;
+        } else if (auto Kind = parseSchemeName(Value)) {
+          Entry.Spec.Machine.Scheme = *Kind;
+        } else {
+          return makeError("%s:%u: unknown scheme '%s'", Path.c_str(),
+                           LineNo, Value.c_str());
+        }
+      } else if (Key == "threads") {
+        Entry.Spec.Machine.NumThreads =
+            static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
+      } else if (Key == "file") {
+        File = Value;
+      } else if (Key == "from" && !IsSnapshot) {
+        Entry.From = Value;
+      } else if (Key == "deadline" && !IsSnapshot) {
+        Entry.Spec.DeadlineSeconds = std::strtod(Value.c_str(), nullptr);
+      } else if (Key == "max-blocks") {
+        Entry.Spec.MaxBlocksPerCpu = std::strtoull(Value.c_str(), nullptr, 0);
+      } else if (Key == "attempts" && !IsSnapshot) {
+        Entry.Spec.MaxAttempts =
+            static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
+      } else if (Key == "repeat" && !IsSnapshot) {
+        Entry.Repeat =
+            static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
+      } else {
+        return makeError("%s:%u: unknown key '%s'", Path.c_str(), LineNo,
+                         Key.c_str());
+      }
+    }
+    if (IsSnapshot && Entry.Spec.Name.empty())
+      return makeError("%s:%u: snapshot without name=", Path.c_str(), LineNo);
+    if (File.empty() && Entry.From.empty())
+      return makeError("%s:%u: %s without file=", Path.c_str(), LineNo,
+                       IsSnapshot ? "snapshot" : "job");
+    if (Entry.Spec.Name.empty())
+      Entry.Spec.Name = !File.empty() ? File : Entry.From;
+
+    if (!File.empty()) {
+      const input::GuestArch Arch = Entry.Spec.Machine.Arch;
+      std::string FullPath = File[0] == '/' ? File : Dir + "/" + File;
+      // Keyed by arch too: the same path could legally appear under two
+      // arch= values, and an ELF parsed as GRV assembly must not leak
+      // into an rv32 job (or vice versa).
+      std::string CacheKey =
+          std::string(input::guestArchName(Arch)) + "|" + FullPath;
+      auto It = Files.find(CacheKey);
+      if (It == Files.end()) {
+        std::ifstream Src(FullPath, std::ios::binary);
+        if (!Src)
+          return makeError("%s:%u: cannot open %s", Path.c_str(), LineNo,
+                           FullPath.c_str());
+        std::stringstream Buf;
+        Buf << Src.rdbuf();
+        std::string Text = Buf.str();
+        auto ProgOrErr = [&]() -> ErrorOr<guest::Program> {
+          if (Arch == input::GuestArch::Grv)
+            return guest::assemble(Text, Entry.Spec.Source.BaseAddr);
+          return input::inputArch(Arch).loadImage(
+              std::vector<uint8_t>(Text.begin(), Text.end()));
+        }();
+        if (!ProgOrErr)
+          return makeError("%s:%u: %s: %s", Path.c_str(), LineNo,
+                           FullPath.c_str(),
+                           ProgOrErr.error().render().c_str());
+        It = Files
+                 .emplace(CacheKey,
+                          CachedFile{std::move(Text), ProgOrErr.take()})
+                 .first;
+      }
+      Entry.Spec.Source = JobSource::image(It->second.Program);
+      Entry.FilePath = FullPath;
+      Entry.FileText = It->second.Text;
+    }
+
+    if (IsSnapshot) {
+      std::string Name = Entry.Spec.Name;
+      if (!Manifest.Snapshots.emplace(Name, std::move(Entry)).second)
+        return makeError("%s:%u: duplicate snapshot '%s'", Path.c_str(),
+                         LineNo, Name.c_str());
+    } else {
+      Manifest.Entries.push_back(std::move(Entry));
+    }
+  }
+  if (Manifest.Entries.empty())
+    return makeError("%s: no jobs", Path.c_str());
+  for (const ManifestEntry &Entry : Manifest.Entries)
+    if (!Entry.From.empty() && !Manifest.Snapshots.count(Entry.From))
+      return makeError("%s: job '%s' references unknown snapshot '%s'",
+                       Path.c_str(), Entry.Spec.Name.c_str(),
+                       Entry.From.c_str());
+  return Manifest;
+}
+
+std::string serve::renderJobLine(const JobResult &R) {
+  if (R.State != JobState::Done) {
+    // Failures have no JobReport to flatten; a minimal hand-built line
+    // with the same leading keys keeps the stream one-object-per-line.
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"schema_version\": %u,\"job_id\": %" PRIu64
+                  ",\"name\": \"%s\",\"reused_machine\": %s,\"state\": "
+                  "\"%s\",\"error\": \"%s\"}\n",
+                  StatsReport::SchemaVersion, R.JobId, R.Name.c_str(),
+                  R.ReusedMachine ? "true" : "false", jobStateName(R.State),
+                  R.Error.c_str());
+    return Buf;
+  }
+  StatsReport Report(R.Report);
+  Report.setJob(R.JobId, R.Name, R.ReusedMachine);
+  Report.addMetric("serve.queue_ns", R.QueueNs);
+  Report.addMetric("serve.run_ns", R.RunNs);
+  Report.addMetric("serve.attempts", R.Attempts);
+  Report.addMetric("serve.deadline_exceeded", R.DeadlineExceeded ? 1 : 0);
+  return Report.renderJsonLine();
+}

@@ -1,0 +1,67 @@
+//===- serve/Manifest.h - Job manifest parsing ------------------*- C++-*-===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The manifest format shared by every serving front end — the
+/// in-process tools/llsc-serve runner and the tools/llsc-client wire
+/// client both parse the same files (docs/SERVING.md documents the
+/// grammar): '#' comments; otherwise one directive per line as
+/// whitespace-separated key=value tokens:
+///
+///   job name=histogram scheme=hst threads=4 file=atomic_histogram.s
+///   snapshot name=warm scheme=hst threads=4 file=atomic_histogram.s
+///   job name=fan from=warm repeat=64
+///
+/// Each referenced file is read once and kept twice: parsed into the
+/// entry's JobSource (ready to submit in-process) and raw in FileText
+/// (ready to ship over the wire as asm / elf_hex payloads).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSC_SERVE_MANIFEST_H
+#define LLSC_SERVE_MANIFEST_H
+
+#include "serve/Job.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace llsc {
+namespace serve {
+
+/// One manifest directive (job or snapshot donor), before expansion by
+/// its repeat count.
+struct ManifestEntry {
+  JobSpec Spec;
+  unsigned Repeat = 1; ///< job-only: submit this many copies.
+  std::string From;    ///< job-only: snapshot name to clone from.
+  std::string FilePath; ///< Resolved file path; empty for from= jobs.
+  std::string FileText; ///< Raw file bytes (GRV source or rv32 ELF).
+};
+
+/// A parsed manifest: the job lines plus the named snapshot donors they
+/// may reference via from=.
+struct ParsedManifest {
+  std::vector<ManifestEntry> Entries;
+  std::map<std::string, ManifestEntry> Snapshots;
+};
+
+/// Parses the manifest at \p Path (file paths resolved relative to it),
+/// assembling/loading each referenced program once (shared by every
+/// directive that names it).
+ErrorOr<ParsedManifest> parseManifest(const std::string &Path);
+
+/// Renders the per-job JSON line for a finished job — the schema-v5
+/// StatsReport::renderJsonLine shape for Done jobs, a minimal line with
+/// the same leading keys plus state/error otherwise (docs/SERVING.md).
+/// Shared by llsc-serve's stdout stream and the daemon's stream verb.
+std::string renderJobLine(const JobResult &R);
+
+} // namespace serve
+} // namespace llsc
+
+#endif // LLSC_SERVE_MANIFEST_H

@@ -266,7 +266,7 @@ TEST(BatchServiceTest, ConcurrentSubmitWaitStress) {
       for (unsigned J = 0; J < JobsEach; ++J) {
         JobSpec Spec;
         Spec.Name = "stress";
-        Spec.AssemblySource = ProgramA;
+        Spec.Source = JobSource::assembly(ProgramA);
         Spec.Machine.Scheme = SchemeKind::Hst;
         Spec.Machine.NumThreads = 2;
         Spec.Machine.MemBytes = 8ULL << 20;
@@ -307,7 +307,7 @@ TEST(BatchServiceTest, DeadlineExpiresWhileQueued) {
   // Occupy the lone worker long enough for the deadline job to age out.
   JobSpec Long;
   Long.Name = "long";
-  Long.AssemblySource = ProgramA;
+  Long.Source = JobSource::assembly(ProgramA);
   Long.Machine.Scheme = SchemeKind::PicoCas;
   Long.Machine.NumThreads = 2;
   Long.Machine.MemBytes = 8ULL << 20;
@@ -316,7 +316,7 @@ TEST(BatchServiceTest, DeadlineExpiresWhileQueued) {
 
   JobSpec Doomed;
   Doomed.Name = "doomed";
-  Doomed.AssemblySource = ProgramA;
+  Doomed.Source = JobSource::assembly(ProgramA);
   Doomed.Machine.Scheme = SchemeKind::PicoCas;
   Doomed.Machine.NumThreads = 2;
   Doomed.Machine.MemBytes = 8ULL << 20;
@@ -555,7 +555,7 @@ TEST(BatchServiceTest, SnapshotJobsFanOut) {
 
   JobSpec DonorSpec;
   DonorSpec.Name = "donor";
-  DonorSpec.AssemblySource = ProgramA;
+  DonorSpec.Source = JobSource::assembly(ProgramA);
   DonorSpec.Machine.Scheme = SchemeKind::Hst;
   DonorSpec.Machine.NumThreads = 2;
   DonorSpec.Machine.MemBytes = 8ULL << 20;
@@ -568,7 +568,7 @@ TEST(BatchServiceTest, SnapshotJobsFanOut) {
   for (unsigned J = 0; J < Jobs; ++J) {
     JobSpec Spec;
     Spec.Name = "clone";
-    Spec.Snapshot = *SnapOrErr;
+    Spec.Source = JobSource::snapshotRef(*SnapOrErr);
     Spec.Machine = DonorSpec.Machine;
     auto Handle = Service.submit(std::move(Spec));
     ASSERT_TRUE(bool(Handle)) << Handle.error().render();
@@ -597,7 +597,7 @@ TEST(BatchServiceTest, LoadErrorFailsWithoutRetry) {
 
   JobSpec Bad;
   Bad.Name = "bad";
-  Bad.AssemblySource = "_start: not_an_instruction r1, r2\n";
+  Bad.Source = JobSource::assembly("_start: not_an_instruction r1, r2\n");
   Bad.Machine.Scheme = SchemeKind::Hst;
   Bad.Machine.NumThreads = 1;
   Bad.MaxAttempts = 3;

@@ -1,0 +1,324 @@
+//===- tools/llsc-client.cpp - llsc-served wire client ------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Drives a manifest through a running llsc-served daemon — the wire
+/// twin of tools/llsc-serve, exercising the same session verbs over
+/// line-delimited JSON (docs/SERVING.md) instead of in-process calls:
+///
+///   llsc-client --port 7733 jobs.manifest
+///   llsc-client --port 7733 --out jobs.jsonl --summary=json jobs.manifest
+///
+/// The flow is hello (version/schema handshake), create-session sized
+/// to the whole run, one snapshot verb per donor the manifest names
+/// (GRV sources ship as asm payloads, rv32 ELFs as elf_hex), one submit
+/// per job copy — retrying queue-full rejections after the server's
+/// retry-after hint, never busy-looping — then a single stream verb
+/// that delivers every schema-v5 result line, and close-session.
+///
+/// Output mirrors llsc-serve: one JSON object per job in completion
+/// order on stdout (or --out) — the "job" member of each streamed
+/// result event — plus with --summary=json a trailing fleet-summary
+/// line built from the daemon's stats verb. Exits 1 when any job
+/// fails, 0 when every job lands Done.
+///
+//===----------------------------------------------------------------------===//
+
+#include "atomic/AtomicScheme.h"
+#include "input/InputArch.h"
+#include "net/Client.h"
+#include "net/Protocol.h"
+#include "serve/Manifest.h"
+#include "support/CommandLine.h"
+#include "support/Logging.h"
+#include "support/Timing.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+using namespace llsc;
+using namespace llsc::serve;
+using namespace llsc::net;
+
+namespace {
+
+/// Builds the wire request for \p Entry's spec: machine shape, budgets,
+/// and the payload (asm for GRV sources, elf_hex for binary images,
+/// from for snapshot clones).
+JsonValue requestFor(const char *Verb, const std::string &Session,
+                     const ManifestEntry &Entry) {
+  const JobSpec &Spec = Entry.Spec;
+  JsonValue R = JsonValue::object();
+  auto &M = R.membersMut();
+  M["verb"] = JsonValue::string(Verb);
+  M["session"] = JsonValue::string(Session);
+  M["name"] = JsonValue::string(Spec.Name);
+  if (!Entry.From.empty()) {
+    M["from"] = JsonValue::string(Entry.From);
+    return R; // Clones inherit the donor's shape server-side.
+  }
+  M["arch"] =
+      JsonValue::string(input::guestArchName(Spec.Machine.Arch));
+  M["scheme"] = JsonValue::string(
+      Spec.Machine.Adaptive ? "adaptive"
+                            : schemeTraits(Spec.Machine.Scheme).Name);
+  M["threads"] =
+      JsonValue::integer(static_cast<int64_t>(Spec.Machine.NumThreads));
+  if (Spec.DeadlineSeconds > 0)
+    M["deadline"] = JsonValue::number(Spec.DeadlineSeconds);
+  if (Spec.MaxBlocksPerCpu)
+    M["max_blocks"] =
+        JsonValue::integer(static_cast<int64_t>(Spec.MaxBlocksPerCpu));
+  if (Spec.MaxAttempts > 1)
+    M["attempts"] = JsonValue::integer(Spec.MaxAttempts);
+  if (Spec.Machine.Arch == input::GuestArch::Grv) {
+    M["asm"] = JsonValue::string(Entry.FileText);
+    M["base"] =
+        JsonValue::integer(static_cast<int64_t>(Spec.Source.BaseAddr));
+  } else {
+    M["elf_hex"] = JsonValue::string(hexEncode(
+        std::vector<uint8_t>(Entry.FileText.begin(), Entry.FileText.end())));
+  }
+  return R;
+}
+
+/// One round trip that must come back ok:true.
+ErrorOr<JsonValue> callOk(Client &C, const JsonValue &Request) {
+  auto Resp = C.call(Request);
+  if (!Resp)
+    return Resp.error();
+  if (!Resp->get("ok").asBool(false))
+    return makeError("server: %s",
+                     Resp->get("error").asString("request failed").c_str());
+  return Resp;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  initLogLevelFromEnv();
+  ArgParser Args("llsc-client: run a manifest through a llsc-served "
+                 "daemon over TCP");
+  std::string *Host = Args.addString("host", "127.0.0.1", "daemon address");
+  int64_t *Port = Args.addInt("port", 0, "daemon port (required)");
+  std::string *SessionName = Args.addString(
+      "session", "", "session name (empty = server-assigned)");
+  int64_t *Repeat =
+      Args.addInt("repeat", 1, "submit the whole manifest this many times");
+  std::string *Out = Args.addString(
+      "out", "", "write per-job JSON lines to FILE instead of stdout");
+  std::string *Summary = Args.addOptString(
+      "summary", "text", "text",
+      "fleet summary: text (stderr) or json (appended to the job stream)");
+  Args.parse(Argc, Argv);
+
+  if (Args.positionals().size() != 1 || *Port <= 0 || *Port > 65535) {
+    std::fprintf(stderr,
+                 "usage: llsc-client --port PORT [flags] jobs.manifest\n%s",
+                 Args.usage().c_str());
+    return 2;
+  }
+  if (*Summary != "text" && *Summary != "json") {
+    std::fprintf(stderr, "unknown --summary mode '%s' (text|json)\n",
+                 Summary->c_str());
+    return 2;
+  }
+
+  auto ManifestOrErr = parseManifest(Args.positionals()[0]);
+  if (!ManifestOrErr) {
+    std::fprintf(stderr, "%s\n", ManifestOrErr.error().render().c_str());
+    return 1;
+  }
+  ParsedManifest &Manifest = *ManifestOrErr;
+
+  uint64_t TotalJobs = 0;
+  for (const ManifestEntry &Entry : Manifest.Entries)
+    TotalJobs += std::max(1u, Entry.Repeat);
+  TotalJobs *= static_cast<uint64_t>(std::max<int64_t>(1, *Repeat));
+
+  std::FILE *OutFile = stdout;
+  if (!Out->empty()) {
+    OutFile = std::fopen(Out->c_str(), "w");
+    if (!OutFile) {
+      std::fprintf(stderr, "cannot open %s\n", Out->c_str());
+      return 1;
+    }
+  }
+
+  Client Conn;
+  if (auto Connected =
+          Conn.connect(*Host, static_cast<uint16_t>(*Port));
+      !Connected) {
+    std::fprintf(stderr, "%s\n", Connected.error().render().c_str());
+    return 1;
+  }
+
+  auto Fail = [](const Error &E) {
+    std::fprintf(stderr, "%s\n", E.render().c_str());
+    return 1;
+  };
+
+  // hello: refuse to talk across protocol versions.
+  JsonValue Hello = JsonValue::object();
+  Hello.membersMut()["verb"] = JsonValue::string("hello");
+  auto HelloResp = callOk(Conn, Hello);
+  if (!HelloResp)
+    return Fail(HelloResp.error());
+  int64_t Proto = HelloResp->get("proto").asInt(0);
+  if (Proto != ProtocolVersion) {
+    std::fprintf(stderr, "protocol mismatch: server speaks v%" PRId64
+                         ", client v%d\n",
+                 Proto, ProtocolVersion);
+    return 1;
+  }
+
+  // create-session, sized so the server buffers the whole run even if
+  // this client streams late.
+  JsonValue Create = JsonValue::object();
+  Create.membersMut()["verb"] = JsonValue::string("create-session");
+  if (!SessionName->empty())
+    Create.membersMut()["session"] = JsonValue::string(*SessionName);
+  Create.membersMut()["max_buffered"] =
+      JsonValue::integer(static_cast<int64_t>(TotalJobs));
+  auto CreateResp = callOk(Conn, Create);
+  if (!CreateResp)
+    return Fail(CreateResp.error());
+  std::string Session = CreateResp->get("session").asString(std::string());
+
+  uint64_t StartNs = monotonicNanos();
+
+  // Capture each donor the manifest references, once, before any job.
+  std::map<std::string, bool> Captured;
+  for (const ManifestEntry &Entry : Manifest.Entries) {
+    if (Entry.From.empty() || Captured.count(Entry.From))
+      continue;
+    JsonValue Req =
+        requestFor("snapshot", Session, Manifest.Snapshots[Entry.From]);
+    Req.membersMut()["name"] = JsonValue::string(Entry.From);
+    if (auto Resp = callOk(Conn, Req); !Resp)
+      return Fail(Resp.error());
+    Captured[Entry.From] = true;
+  }
+
+  // Submit every copy; queue-full answers carry a retry-after hint the
+  // client honors instead of hammering the accept loop.
+  for (int64_t Round = 0; Round < *Repeat; ++Round) {
+    for (const ManifestEntry &Entry : Manifest.Entries) {
+      for (unsigned Copy = 0; Copy < std::max(1u, Entry.Repeat); ++Copy) {
+        JsonValue Req = requestFor("submit", Session, Entry);
+        while (true) {
+          auto Resp = Conn.call(Req);
+          if (!Resp)
+            return Fail(Resp.error());
+          if (Resp->get("ok").asBool(false))
+            break;
+          std::string Reason =
+              Resp->get("error").asString("request failed");
+          if (Reason != "queue-full") {
+            std::fprintf(stderr, "submit %s: rejected (%s)\n",
+                         Entry.Spec.Name.c_str(), Reason.c_str());
+            return 1;
+          }
+          double RetryAfter = Resp->get("retry_after").asDouble(0.005);
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              RetryAfter > 0 ? RetryAfter : 0.005));
+        }
+      }
+    }
+  }
+
+  // One stream subscription delivers the whole run in completion order.
+  JsonValue Stream = JsonValue::object();
+  Stream.membersMut()["verb"] = JsonValue::string("stream");
+  Stream.membersMut()["session"] = JsonValue::string(Session);
+  Stream.membersMut()["count"] =
+      JsonValue::integer(static_cast<int64_t>(TotalJobs));
+  if (auto Sent = Conn.sendLine(Stream.render()); !Sent)
+    return Fail(Sent.error());
+
+  uint64_t Collected = 0, Failed = 0;
+  while (true) {
+    auto Line = Conn.readLine();
+    if (!Line)
+      return Fail(Line.error());
+    auto Event = JsonValue::parse(*Line);
+    if (!Event)
+      return Fail(Event.error());
+    std::string Kind = Event->get("event").asString(std::string());
+    if (Kind == "result") {
+      const JsonValue &Job = Event->get("job");
+      if (Job.get("state").asString("done") != "done")
+        ++Failed;
+      ++Collected;
+      std::fputs((Job.render() + "\n").c_str(), OutFile);
+      continue;
+    }
+    if (Kind == "stream-end") {
+      uint64_t Remaining = Event->get("remaining").asUint(0);
+      if (Remaining) {
+        std::fprintf(stderr,
+                     "stream ended short: %" PRIu64 " of %" PRIu64
+                     " results missing (draining=%s)\n",
+                     Remaining, TotalJobs,
+                     Event->get("draining").asBool(false) ? "true" : "false");
+        Failed += Remaining;
+      }
+      break;
+    }
+    std::fprintf(stderr, "unexpected stream line: %s\n", Line->c_str());
+    return 1;
+  }
+  double WallSec = static_cast<double>(monotonicNanos() - StartNs) * 1e-9;
+
+  JsonValue Close = JsonValue::object();
+  Close.membersMut()["verb"] = JsonValue::string("close-session");
+  Close.membersMut()["session"] = JsonValue::string(Session);
+  if (auto Resp = callOk(Conn, Close); !Resp)
+    return Fail(Resp.error());
+
+  // Fleet summary from the daemon's stats verb (service-wide numbers —
+  // the daemon may be serving other sessions too).
+  JsonValue StatsReq = JsonValue::object();
+  StatsReq.membersMut()["verb"] = JsonValue::string("stats");
+  auto Stats = callOk(Conn, StatsReq);
+  if (!Stats)
+    return Fail(Stats.error());
+
+  if (*Summary == "json") {
+    std::fprintf(
+        OutFile,
+        "{\"fleet\": true,\"schema_version\": %" PRId64
+        ",\"jobs\": %" PRId64 ",\"completed\": %" PRId64
+        ",\"failed\": %" PRId64 ",\"cancelled\": %" PRId64
+        ",\"deadline_exceeded\": %" PRId64
+        ",\"machines_created\": %" PRId64 ",\"machines_reused\": %" PRId64
+        ",\"snapshot_jobs\": %" PRId64
+        ",\"wall_seconds\": %.6f,\"jobs_per_second\": %.3f}\n",
+        HelloResp->get("schema_version").asInt(0),
+        Stats->get("submitted").asInt(0), Stats->get("completed").asInt(0),
+        Stats->get("failed").asInt(0), Stats->get("cancelled").asInt(0),
+        Stats->get("deadline_exceeded").asInt(0),
+        Stats->get("machines_created").asInt(0),
+        Stats->get("machines_reused").asInt(0),
+        Stats->get("snapshot_jobs").asInt(0), WallSec,
+        WallSec > 0 ? static_cast<double>(Collected) / WallSec : 0);
+  }
+  std::fprintf(
+      stderr,
+      "client: %" PRIu64 " results in %.3fs (%.1f jobs/s) | failed %" PRIu64
+      " | daemon completed %" PRId64 " reused %" PRId64
+      " outstanding %" PRId64 "\n",
+      Collected, WallSec,
+      WallSec > 0 ? static_cast<double>(Collected) / WallSec : 0, Failed,
+      Stats->get("completed").asInt(0),
+      Stats->get("machines_reused").asInt(0),
+      Stats->get("machines_outstanding").asInt(0));
+
+  if (OutFile != stdout)
+    std::fclose(OutFile);
+  return Failed ? 1 : 0;
+}

@@ -1,257 +1,71 @@
-//===- tools/llsc-serve.cpp - batch job service front end ------------------------===//
+//===- tools/llsc-serve.cpp - in-process serving front end -------------------===//
 //
 // Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Streams a manifest of guest programs through the batch job service
-/// (src/serve/): a pool of worker threads runs every job on Machines
-/// checked out of a MachinePool, so machine construction is paid once
-/// per (scheme, threads, ...) shape instead of once per job.
+/// Streams a manifest of guest programs through the serving tier's
+/// session API (src/serve/Session.h) — the same verbs the llsc-served
+/// daemon exposes over TCP, consumed here in-process: open a session,
+/// capture its snapshot donors, submit every job (retrying on
+/// queue-full with the admission's retry-after hint), then stream the
+/// results back as they complete.
 ///
 ///   llsc-serve jobs.manifest                  # 4 workers, pooled machines
 ///   llsc-serve --workers 8 jobs.manifest
+///   llsc-serve --autoscale --max-workers 16 jobs.manifest
 ///   llsc-serve --no-reuse jobs.manifest       # fresh Machine per job
 ///   llsc-serve --repeat 8 jobs.manifest       # submit the manifest 8x
 ///   llsc-serve --out jobs.jsonl jobs.manifest # JSON lines to a file
 ///
-/// Manifest format (docs/SERVING.md): '#' comments; otherwise one
-/// directive per line as whitespace-separated key=value tokens:
-///
-///   job name=histogram scheme=hst threads=4 file=atomic_histogram.s
-///   job name=spin scheme=pst threads=2 file=spinlock_counter.s deadline=5
-///   job name=soak scheme=hst threads=4 file=histo.s attempts=2 repeat=16
-///
-///   snapshot name=warm scheme=hst threads=4 file=atomic_histogram.s
-///   job name=fan from=warm repeat=64
-///
-/// Job keys: name, scheme (any Table II name, or "adaptive"), threads,
-/// file (relative to the manifest), deadline (seconds), max-blocks (per
-/// vCPU), attempts (retry-on-fault budget), repeat (submit N copies),
-/// from (run as a clone of the named snapshot — file becomes optional
-/// and the machine shape is inherited from the snapshot).
-///
-/// A `snapshot` directive (keys: name, scheme, threads, file,
-/// max-blocks) defines a donor captured once at startup via
-/// BatchService::captureSnapshot — loaded, warmed so hot blocks tier up
-/// into the JIT, then imaged copy-on-write. Every `from=` job clones it
-/// instead of loading: no assembly, no translation, no recompilation
-/// (the serve.snapshot.* counters in docs/OBSERVABILITY.md prove it).
+/// The manifest grammar lives in serve/Manifest.h (and docs/SERVING.md):
+/// '#' comments; otherwise one `job` or `snapshot` directive per line as
+/// whitespace-separated key=value tokens. A `snapshot` directive defines
+/// a donor captured once at session setup — loaded, warmed so hot blocks
+/// tier up into the JIT, then imaged copy-on-write; every `from=` job
+/// clones it instead of loading.
 ///
 /// Output: one compact JSON line per job (schema_version 5, the
-/// StatsReport::renderJsonLine shape) in submission order on stdout (or
-/// --out), a human fleet summary on stderr, and with --summary=json a
-/// trailing fleet-summary JSON line on the job stream.
+/// StatsReport::renderJsonLine shape) in *completion order* on stdout
+/// (or --out), a human fleet summary on stderr, and with --summary=json
+/// a trailing fleet-summary JSON line on the job stream.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/Snapshot.h"
 #include "core/StatsReport.h"
-#include "guest/Assembler.h"
-#include "input/InputArch.h"
-#include "serve/BatchService.h"
+#include "serve/Manifest.h"
+#include "serve/Session.h"
 #include "support/CommandLine.h"
 #include "support/Logging.h"
-#include "support/StringUtils.h"
 #include "support/Timing.h"
 #include "support/Trace.h"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <map>
-#include <sstream>
+#include <thread>
 
 using namespace llsc;
 using namespace llsc::serve;
 
-namespace {
-
-/// One manifest job line, before expansion by its repeat count.
-struct ManifestEntry {
-  JobSpec Spec;
-  unsigned Repeat = 1;
-  std::string From; ///< Snapshot name to clone from; empty = load file.
-};
-
-/// A parsed manifest: the job lines plus the named snapshot donors they
-/// may reference via from=.
-struct ParsedManifest {
-  std::vector<ManifestEntry> Entries;
-  std::map<std::string, JobSpec> Snapshots;
-};
-
-std::string dirnameOf(const std::string &Path) {
-  size_t Slash = Path.rfind('/');
-  return Slash == std::string::npos ? std::string(".")
-                                    : Path.substr(0, Slash);
-}
-
-/// Parses the manifest at \p Path into job specs and snapshot donor
-/// specs, assembling each referenced program once (shared by every
-/// directive that names it).
-ErrorOr<ParsedManifest> parseManifest(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In)
-    return makeError("cannot open manifest %s", Path.c_str());
-  std::string Dir = dirnameOf(Path);
-
-  std::map<std::string, guest::Program> Programs; // file -> assembled
-  ParsedManifest Manifest;
-  std::string Line;
-  unsigned LineNo = 0;
-  while (std::getline(In, Line)) {
-    ++LineNo;
-    std::istringstream Tokens(Line);
-    std::string Tok;
-    if (!(Tokens >> Tok) || Tok[0] == '#')
-      continue;
-    bool IsSnapshot = Tok == "snapshot";
-    if (Tok != "job" && !IsSnapshot)
-      return makeError("%s:%u: expected 'job' or 'snapshot', got '%s'",
-                       Path.c_str(), LineNo, Tok.c_str());
-
-    ManifestEntry Entry;
-    std::string File;
-    while (Tokens >> Tok) {
-      size_t Eq = Tok.find('=');
-      if (Eq == std::string::npos)
-        return makeError("%s:%u: expected key=value, got '%s'",
-                         Path.c_str(), LineNo, Tok.c_str());
-      std::string Key = Tok.substr(0, Eq);
-      std::string Value = Tok.substr(Eq + 1);
-      if (Key == "name") {
-        Entry.Spec.Name = Value;
-      } else if (Key == "arch") {
-        auto Arch = input::parseGuestArch(Value);
-        if (!Arch)
-          return makeError("%s:%u: %s", Path.c_str(), LineNo,
-                           Arch.error().message().c_str());
-        Entry.Spec.Machine.Arch = *Arch;
-      } else if (Key == "scheme") {
-        if (Value == "adaptive") {
-          Entry.Spec.Machine.Adaptive = true;
-        } else if (auto Kind = parseSchemeName(Value)) {
-          Entry.Spec.Machine.Scheme = *Kind;
-        } else {
-          return makeError("%s:%u: unknown scheme '%s'", Path.c_str(),
-                           LineNo, Value.c_str());
-        }
-      } else if (Key == "threads") {
-        Entry.Spec.Machine.NumThreads =
-            static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
-      } else if (Key == "file") {
-        File = Value;
-      } else if (Key == "from" && !IsSnapshot) {
-        Entry.From = Value;
-      } else if (Key == "deadline" && !IsSnapshot) {
-        Entry.Spec.DeadlineSeconds = std::strtod(Value.c_str(), nullptr);
-      } else if (Key == "max-blocks") {
-        Entry.Spec.MaxBlocksPerCpu = std::strtoull(Value.c_str(), nullptr, 0);
-      } else if (Key == "attempts" && !IsSnapshot) {
-        Entry.Spec.MaxAttempts =
-            static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
-      } else if (Key == "repeat" && !IsSnapshot) {
-        Entry.Repeat =
-            static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 0));
-      } else {
-        return makeError("%s:%u: unknown key '%s'", Path.c_str(), LineNo,
-                         Key.c_str());
-      }
-    }
-    if (IsSnapshot && Entry.Spec.Name.empty())
-      return makeError("%s:%u: snapshot without name=", Path.c_str(), LineNo);
-    if (File.empty() && Entry.From.empty())
-      return makeError("%s:%u: %s without file=", Path.c_str(), LineNo,
-                       IsSnapshot ? "snapshot" : "job");
-    if (Entry.Spec.Name.empty())
-      Entry.Spec.Name = !File.empty() ? File : Entry.From;
-
-    if (!File.empty()) {
-      const input::GuestArch Arch = Entry.Spec.Machine.Arch;
-      std::string FullPath = File[0] == '/' ? File : Dir + "/" + File;
-      // Keyed by arch too: the same path could legally appear under two
-      // arch= values, and an ELF parsed as GRV assembly must not leak
-      // into an rv32 job (or vice versa).
-      std::string CacheKey =
-          std::string(input::guestArchName(Arch)) + "|" + FullPath;
-      auto It = Programs.find(CacheKey);
-      if (It == Programs.end()) {
-        std::ifstream Src(FullPath, std::ios::binary);
-        if (!Src)
-          return makeError("%s:%u: cannot open %s", Path.c_str(), LineNo,
-                           FullPath.c_str());
-        std::stringstream Buf;
-        Buf << Src.rdbuf();
-        auto ProgOrErr = [&]() -> ErrorOr<guest::Program> {
-          if (Arch == input::GuestArch::Grv)
-            return guest::assemble(Buf.str(), Entry.Spec.BaseAddr);
-          const std::string Bytes = Buf.str();
-          return input::inputArch(Arch).loadImage(
-              std::vector<uint8_t>(Bytes.begin(), Bytes.end()));
-        }();
-        if (!ProgOrErr)
-          return makeError("%s:%u: %s: %s", Path.c_str(), LineNo,
-                           FullPath.c_str(),
-                           ProgOrErr.error().render().c_str());
-        It = Programs.emplace(CacheKey, ProgOrErr.take()).first;
-      }
-      Entry.Spec.Program = It->second;
-    }
-
-    if (IsSnapshot) {
-      if (!Manifest.Snapshots.emplace(Entry.Spec.Name, Entry.Spec).second)
-        return makeError("%s:%u: duplicate snapshot '%s'", Path.c_str(),
-                         LineNo, Entry.Spec.Name.c_str());
-    } else {
-      Manifest.Entries.push_back(std::move(Entry));
-    }
-  }
-  if (Manifest.Entries.empty())
-    return makeError("%s: no jobs", Path.c_str());
-  for (const ManifestEntry &Entry : Manifest.Entries)
-    if (!Entry.From.empty() && !Manifest.Snapshots.count(Entry.From))
-      return makeError("%s: job '%s' references unknown snapshot '%s'",
-                       Path.c_str(), Entry.Spec.Name.c_str(),
-                       Entry.From.c_str());
-  return Manifest;
-}
-
-/// Renders the per-job JSON line for a finished job (docs/SERVING.md).
-std::string renderJobLine(const JobResult &R) {
-  if (R.State != JobState::Done) {
-    // Failures have no JobReport to flatten; a minimal hand-built line
-    // with the same leading keys keeps the stream one-object-per-line.
-    char Buf[512];
-    std::snprintf(Buf, sizeof(Buf),
-                  "{\"schema_version\": %u,\"job_id\": %" PRIu64
-                  ",\"name\": \"%s\",\"reused_machine\": %s,\"state\": "
-                  "\"%s\",\"error\": \"%s\"}\n",
-                  StatsReport::SchemaVersion, R.JobId, R.Name.c_str(),
-                  R.ReusedMachine ? "true" : "false", jobStateName(R.State),
-                  R.Error.c_str());
-    return Buf;
-  }
-  StatsReport Report(R.Report);
-  Report.setJob(R.JobId, R.Name, R.ReusedMachine);
-  Report.addMetric("serve.queue_ns", R.QueueNs);
-  Report.addMetric("serve.run_ns", R.RunNs);
-  Report.addMetric("serve.attempts", R.Attempts);
-  Report.addMetric("serve.deadline_exceeded", R.DeadlineExceeded ? 1 : 0);
-  return Report.renderJsonLine();
-}
-
-} // namespace
-
 int main(int Argc, char **Argv) {
   initLogLevelFromEnv();
-  ArgParser Args("llsc-serve: run a manifest of jobs through the batch "
-                 "service with Machine pooling");
+  ArgParser Args("llsc-serve: run a manifest of jobs through the serving "
+                 "tier's session API with Machine pooling");
   int64_t *Workers = Args.addInt("workers", 4, "worker threads");
   int64_t *QueueCap = Args.addInt("queue", 64, "job queue capacity");
   bool *Reuse = Args.addBool(
       "reuse", true,
       "pool Machines across jobs (--no-reuse for a fresh one per job)");
+  bool *Autoscale = Args.addBool(
+      "autoscale", false,
+      "size the fleet dynamically between --min-workers and --max-workers");
+  int64_t *MinWorkers =
+      Args.addInt("min-workers", 0, "autoscale floor (0 = 1)");
+  int64_t *MaxWorkers =
+      Args.addInt("max-workers", 0, "autoscale ceiling (0 = --workers)");
   int64_t *Repeat =
       Args.addInt("repeat", 1, "submit the whole manifest this many times");
   std::string *Out = Args.addString(
@@ -282,6 +96,11 @@ int main(int Argc, char **Argv) {
   }
   ParsedManifest &Manifest = *ManifestOrErr;
 
+  uint64_t TotalJobs = 0;
+  for (const ManifestEntry &Entry : Manifest.Entries)
+    TotalJobs += std::max(1u, Entry.Repeat);
+  TotalJobs *= static_cast<uint64_t>(std::max<int64_t>(1, *Repeat));
+
   std::FILE *OutFile = stdout;
   if (!Out->empty()) {
     OutFile = std::fopen(Out->c_str(), "w");
@@ -295,59 +114,88 @@ int main(int Argc, char **Argv) {
     TraceRecorder::install(std::make_unique<TraceRecorder>(
         static_cast<unsigned>(*Workers)));
 
-  BatchConfig Config;
-  Config.Workers = static_cast<unsigned>(*Workers);
-  Config.QueueCapacity = static_cast<size_t>(*QueueCap);
-  Config.ReuseMachines = *Reuse;
-  BatchService Service(Config);
+  ServiceConfig Config;
+  Config.Fleet.Workers = static_cast<unsigned>(*Workers);
+  Config.Fleet.QueueCapacity = static_cast<size_t>(*QueueCap);
+  Config.Fleet.ReuseMachines = *Reuse;
+  Config.Fleet.Autoscale = *Autoscale;
+  Config.Fleet.MinWorkers = static_cast<unsigned>(*MinWorkers);
+  Config.Fleet.MaxWorkers = static_cast<unsigned>(*MaxWorkers);
+  SessionService Service(Config);
+
+  SessionConfig SessCfg;
+  SessCfg.Name = "llsc-serve";
+  // Size the buffer to the whole run: this front end streams after the
+  // submit loop, so the session must hold every result without dropping.
+  SessCfg.MaxBufferedResults = static_cast<size_t>(TotalJobs);
+  auto SessionOrErr = Service.createSession(SessCfg);
+  if (!SessionOrErr) {
+    std::fprintf(stderr, "create-session: %s\n",
+                 SessionOrErr.error().render().c_str());
+    return 1;
+  }
+  std::shared_ptr<Session> Sess = *SessionOrErr;
 
   // Capture each referenced snapshot donor once, before any job runs:
   // load, warm (the donor's JIT-hot code becomes the fleet's), image.
-  std::map<std::string, std::shared_ptr<const MachineSnapshot>> Snaps;
+  // The session owns the captures — that ownership is what keeps
+  // autoscale trims away from the donors' warm clone buckets.
   for (ManifestEntry &Entry : Manifest.Entries) {
     if (Entry.From.empty())
       continue;
-    auto It = Snaps.find(Entry.From);
-    if (It == Snaps.end()) {
-      auto SnapOrErr = Service.captureSnapshot(Manifest.Snapshots[Entry.From]);
+    std::shared_ptr<const MachineSnapshot> Snap =
+        Sess->findSnapshot(Entry.From);
+    if (!Snap) {
+      auto SnapOrErr = Sess->captureSnapshot(
+          Entry.From, Manifest.Snapshots[Entry.From].Spec);
       if (!SnapOrErr) {
         std::fprintf(stderr, "snapshot %s: %s\n", Entry.From.c_str(),
                      SnapOrErr.error().render().c_str());
         return 1;
       }
-      It = Snaps.emplace(Entry.From, std::move(*SnapOrErr)).first;
+      Snap = std::move(*SnapOrErr);
     }
-    Entry.Spec.Snapshot = It->second;
+    Entry.Spec.Source = JobSource::snapshotRef(Snap);
     // Clones must pool in the donor's shape bucket.
-    Entry.Spec.Machine = Manifest.Snapshots[Entry.From].Machine;
+    Entry.Spec.Machine = Snap->Config;
   }
 
   uint64_t StartNs = monotonicNanos();
-  std::vector<JobHandle> Handles;
   for (int64_t Round = 0; Round < *Repeat; ++Round) {
     for (const ManifestEntry &Entry : Manifest.Entries) {
       for (unsigned Copy = 0; Copy < std::max(1u, Entry.Repeat); ++Copy) {
-        auto HandleOrErr = Service.submit(Entry.Spec);
-        if (!HandleOrErr) {
-          std::fprintf(stderr, "submit %s: %s\n", Entry.Spec.Name.c_str(),
-                       HandleOrErr.error().render().c_str());
-          return 1;
+        // The session submit never blocks; a full queue answers with a
+        // retry-after hint and the front end is the one that sleeps.
+        while (true) {
+          Admission A = Sess->submit(Entry.Spec);
+          if (A.Status == AdmitStatus::Accepted)
+            break;
+          if (A.Status != AdmitStatus::QueueFull) {
+            std::fprintf(stderr, "submit %s: rejected (%s)\n",
+                         Entry.Spec.Name.c_str(), admitStatusName(A.Status));
+            return 1;
+          }
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              A.RetryAfterSeconds > 0 ? A.RetryAfterSeconds : 0.005));
         }
-        Handles.push_back(*HandleOrErr);
       }
     }
   }
 
-  unsigned Failed = 0;
-  for (const JobHandle &Handle : Handles) {
-    const JobResult &R = Handle.wait();
-    if (R.State != JobState::Done)
-      ++Failed;
-    std::fputs(renderJobLine(R).c_str(), OutFile);
+  uint64_t Collected = 0, Failed = 0;
+  while (Collected < TotalJobs) {
+    std::vector<JobResult> Results = Sess->stream(64, 1.0);
+    for (const JobResult &R : Results) {
+      if (R.State != JobState::Done)
+        ++Failed;
+      std::fputs(renderJobLine(R).c_str(), OutFile);
+    }
+    Collected += Results.size();
   }
+  Sess->close();
   Service.drain();
   double WallSec = static_cast<double>(monotonicNanos() - StartNs) * 1e-9;
-  FleetStats Fleet = Service.fleetStats();
+  FleetStats Fleet = Service.fleet().fleetStats();
 
   if (!TraceOut->empty()) {
     TraceRecorder *Trace = TraceRecorder::active();

@@ -1,0 +1,107 @@
+//===- tools/llsc-served.cpp - serving daemon ---------------------------------===//
+//
+// Part of the llsc-dbt project (CGO'21 LL/SC atomic emulation reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The long-running serving daemon: a SessionService fronted by the
+/// single-threaded TCP event loop in src/net/Server.h, speaking the
+/// line-delimited JSON protocol of docs/SERVING.md. Clients (see
+/// tools/llsc-client) open sessions, capture snapshots, submit jobs and
+/// stream schema-v5 result lines back.
+///
+///   llsc-served --port 7733 --workers 8
+///   llsc-served --port 0 --autoscale --min-workers 2 --max-workers 16
+///
+/// With --port 0 the kernel picks an ephemeral port; the daemon always
+/// prints one `listening on HOST:PORT` line to stdout (and flushes) so
+/// a supervisor or test harness can scrape the bound port.
+///
+/// SIGTERM (and SIGINT) begin a graceful drain: admissions answer
+/// "draining", the listen socket closes, in-flight jobs finish and are
+/// streamed to their subscribers, every connection is flushed, then the
+/// daemon exits 0 with a fleet summary on stderr.
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+#include "support/CommandLine.h"
+#include "support/Logging.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace llsc;
+using namespace llsc::serve;
+
+int main(int Argc, char **Argv) {
+  initLogLevelFromEnv();
+  ArgParser Args("llsc-served: serve the session API over TCP "
+                 "(line-delimited JSON, docs/SERVING.md)");
+  std::string *Host =
+      Args.addString("host", "127.0.0.1", "listen address");
+  int64_t *Port = Args.addInt("port", 0, "listen port (0 = ephemeral)");
+  int64_t *Workers = Args.addInt("workers", 4, "worker threads");
+  int64_t *QueueCap = Args.addInt("queue", 64, "job queue capacity");
+  bool *Reuse = Args.addBool(
+      "reuse", true,
+      "pool Machines across jobs (--no-reuse for a fresh one per job)");
+  bool *Autoscale = Args.addBool(
+      "autoscale", false,
+      "size the fleet dynamically between --min-workers and --max-workers");
+  int64_t *MinWorkers =
+      Args.addInt("min-workers", 0, "autoscale floor (0 = 1)");
+  int64_t *MaxWorkers =
+      Args.addInt("max-workers", 0, "autoscale ceiling (0 = --workers)");
+  Args.parse(Argc, Argv);
+
+  if (!Args.positionals().empty()) {
+    std::fprintf(stderr, "usage: llsc-served [flags]\n%s",
+                 Args.usage().c_str());
+    return 2;
+  }
+
+  ServiceConfig Config;
+  Config.Fleet.Workers = static_cast<unsigned>(*Workers);
+  Config.Fleet.QueueCapacity = static_cast<size_t>(*QueueCap);
+  Config.Fleet.ReuseMachines = *Reuse;
+  Config.Fleet.Autoscale = *Autoscale;
+  Config.Fleet.MinWorkers = static_cast<unsigned>(*MinWorkers);
+  Config.Fleet.MaxWorkers = static_cast<unsigned>(*MaxWorkers);
+  SessionService Service(Config);
+
+  net::ServerConfig NetConfig;
+  NetConfig.Host = *Host;
+  NetConfig.Port = static_cast<uint16_t>(*Port);
+  NetConfig.Service = &Service;
+  net::Server Server(NetConfig);
+  if (auto Started = Server.start(); !Started) {
+    std::fprintf(stderr, "%s\n", Started.error().render().c_str());
+    return 1;
+  }
+
+  // One scrapeable line: harnesses binding --port 0 read the real port
+  // from here. Flush — the daemon may outlive the pipe reader's patience.
+  std::printf("listening on %s:%u\n", Host->c_str(), Server.port());
+  std::fflush(stdout);
+
+  net::Server::installSigtermDrain(&Server);
+  Server.run();
+  net::Server::installSigtermDrain(nullptr);
+
+  // run() returned: the drain already waited for in-flight jobs, but a
+  // requestStop() exit may leave stragglers — wait them out either way.
+  Service.drain();
+
+  FleetStats Fleet = Service.fleet().fleetStats();
+  std::fprintf(
+      stderr,
+      "llsc-served: drained | submitted %" PRIu64 " completed %" PRIu64
+      " failed %" PRIu64 " cancelled %" PRIu64 " rejected-queue-full %" PRIu64
+      " | machines created %" PRIu64 " reused %" PRIu64
+      " outstanding %" PRIu64 "\n",
+      Fleet.Submitted, Fleet.Completed, Fleet.Failed, Fleet.Cancelled,
+      Fleet.RejectedQueueFull, Fleet.MachinesCreated, Fleet.MachinesReused,
+      Service.fleet().poolStats().Outstanding);
+  return 0;
+}
